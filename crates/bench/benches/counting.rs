@@ -1,0 +1,50 @@
+//! E5/E6 (runtime side): exhaustive enumeration throughput and collision
+//! search — the costs that cap how far the exact Lemma 1 table reaches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use referee_graph::{algo, enumerate};
+use referee_reductions::collision::{find_collision, ModularSumSketch};
+use referee_reductions::counting;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting/enumerate");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("square_free", n), &n, |b, &n| {
+            b.iter(|| enumerate::count_graphs(n, |g| !algo::has_square(g)).0)
+        });
+        group.bench_with_input(BenchmarkId::new("forests", n), &n, |b, &n| {
+            b.iter(|| enumerate::count_graphs(n, algo::is_forest).0)
+        });
+    }
+    group.finish();
+}
+
+fn bench_budgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting/bigint_budgets");
+    group.sample_size(20);
+    // 2^(c·n·log n) at n = 2^20 is a ~168-million-bit number: exercises
+    // the wideint substrate the way the E5 asymptotic table does.
+    group.bench_function("budget_n_1e6_c8", |b| {
+        b.iter(|| counting::message_vector_budget(1 << 20, 8).bit_len())
+    });
+    group.bench_function("count_all_graphs_n2048", |b| {
+        b.iter(|| counting::count_all_graphs(2048).bit_len())
+    });
+    group.finish();
+}
+
+fn bench_collision_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting/collision_search");
+    group.sample_size(10);
+    group.bench_function("modular_sketch_n4", |b| {
+        b.iter(|| {
+            find_collision(&ModularSumSketch { bits: 1 }, enumerate::all_graphs(4))
+                .expect("collides")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_budgets, bench_collision_search);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E9 (ablation): the paper's Lemma 3 lookup-table decoder vs the
+//! algebraic Newton decoder.
+//!
+//! Expectation: table *construction* blows up combinatorially in n and k
+//! (`O(n^k)` entries) while per-query lookups are fast; the Newton decoder
+//! needs no preprocessing and stays polynomial, so it wins everywhere the
+//! table cannot even be built.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use rand::{seq::SliceRandom, Rng};
+use referee_degeneracy::{NeighbourhoodDecoder, NewtonDecoder, TableDecoder};
+use referee_wideint::UBig;
+
+fn sums_of(ids: &[u32], k: usize) -> Vec<UBig> {
+    (1..=k)
+        .map(|p| {
+            let mut acc = UBig::zero();
+            for &i in ids {
+                acc.add_assign_ref(&UBig::pow_of(i as u64, p as u32));
+            }
+            acc
+        })
+        .collect()
+}
+
+fn random_subset(n: usize, d: usize, rng: &mut StdRng) -> Vec<u32> {
+    let mut pool: Vec<u32> = (1..=n as u32).collect();
+    pool.shuffle(rng);
+    let mut s: Vec<u32> = pool[..d].to_vec();
+    s.sort_unstable();
+    s
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/table_build_k3");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| TableDecoder::new(n, 3).expect("within budget").entries())
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/query_k3");
+    group.sample_size(30);
+    let k = 3usize;
+    for n in [32usize, 256, 2048] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries: Vec<(usize, Vec<UBig>)> = (0..64)
+            .map(|_| {
+                let d = rng.gen_range(0..=k);
+                let ids = random_subset(n, d, &mut rng);
+                (d, sums_of(&ids, k))
+            })
+            .collect();
+        // Newton: no preprocessing, polynomial per query.
+        group.bench_with_input(BenchmarkId::new("newton", n), &n, |b, &n| {
+            b.iter(|| {
+                for (d, sums) in &queries {
+                    NewtonDecoder.decode(n, *d, sums).expect("valid sums");
+                }
+            })
+        });
+        // Table: only where buildable (n = 2048, k = 3 would need ~1.4e9
+        // entries — that cliff IS the ablation's finding).
+        if let Ok(table) = TableDecoder::new(n, k) {
+            group.bench_with_input(BenchmarkId::new("table", n), &n, |b, &n| {
+                b.iter(|| {
+                    for (d, sums) in &queries {
+                        table.decode(n, *d, sums).expect("valid sums");
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_build, bench_query);
+criterion_main!(benches);

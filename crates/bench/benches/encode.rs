@@ -1,0 +1,54 @@
+//! E16 (runtime side): Algorithm 3 encoding cost — "the computation can be
+//! performed in O(n) local time" (Lemma 2). Sweeps n at fixed k and k at
+//! fixed n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_degeneracy::PowerSumSketch;
+use referee_graph::generators;
+
+fn bench_encode_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/vs_n_k3");
+    group.sample_size(20);
+    for n in [256usize, 1024, 4096, 16384] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::random_k_degenerate(n, 3, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // whole local phase: every vertex's sketch + serialization
+                let mut total_bits = 0usize;
+                for v in 1..=n as u32 {
+                    let sk = PowerSumSketch::compute(n, v, g.neighbourhood(v), 3);
+                    total_bits += sk.to_message(n, 3).len_bits();
+                }
+                total_bits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/vs_k_n4096");
+    group.sample_size(20);
+    let n = 4096usize;
+    for k in [1usize, 2, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::random_k_degenerate(n, k, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut total_bits = 0usize;
+                for v in 1..=n as u32 {
+                    let sk = PowerSumSketch::compute(n, v, g.neighbourhood(v), k);
+                    total_bits += sk.to_message(n, k).len_bits();
+                }
+                total_bits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_vs_n, bench_encode_vs_k);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! E18–E22 (runtime side): sketch protocols, adaptive rounds, the
+//! treewidth ablation (exact DP vs greedy heuristics), and the
+//! generalized diameter gadget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_degeneracy::adaptive::adaptive_reconstruct;
+use referee_degeneracy::DegeneracyProtocol;
+use referee_graph::{algo, generators};
+use referee_protocol::run_protocol;
+use referee_reductions::gadgets::diameter_t_gadget;
+use referee_sketches::kconn::sketch_edge_connectivity;
+use referee_sketches::sketch_bipartiteness;
+
+fn bench_sketch_bipartiteness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/sketch_bipartiteness");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(70);
+        let g = generators::gnp(n, 3.0 / n as f64, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| sketch_bipartiteness(g, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketch_kconn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/sketch_kconn");
+    group.sample_size(10);
+    let n = 128usize;
+    let mut rng = StdRng::seed_from_u64(71);
+    let g = generators::gnp(n, 6.0 / n as f64, &mut rng);
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| sketch_edge_connectivity(g, 7, k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_vs_oneround(c: &mut Criterion) {
+    // Adaptive (unknown k) pays its extra rounds in referee re-pruning;
+    // the one-round protocol needs k up front. Same reconstruction out.
+    let mut group = c.benchmark_group("extensions/adaptive_vs_oneround");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(72);
+    for d in [2usize, 5] {
+        let g = generators::random_k_degenerate(150, d, 0.9, &mut rng);
+        let k = algo::degeneracy_ordering(&g).degeneracy.max(1);
+        group.bench_with_input(BenchmarkId::new("adaptive", d), &g, |b, g| {
+            b.iter(|| adaptive_reconstruct(g).0.clone().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("oneround_known_k", d), &g, |b, g| {
+            let p = DegeneracyProtocol::new(k);
+            b.iter(|| run_protocol(&p, g).output.unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_treewidth_ablation(c: &mut Criterion) {
+    // Exact subset DP explodes exponentially; the greedy orders stay
+    // polynomial — the measured gap justifies the heuristic default.
+    let mut group = c.benchmark_group("extensions/treewidth");
+    group.sample_size(10);
+    for n in [10usize, 14, 18] {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = generators::gnp(n, 0.3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact_dp", n), &g, |b, g| {
+            b.iter(|| algo::treewidth_exact(g))
+        });
+        group.bench_with_input(BenchmarkId::new("min_fill", n), &g, |b, g| {
+            b.iter(|| algo::min_fill_order(g).width)
+        });
+        group.bench_with_input(BenchmarkId::new("min_degree", n), &g, |b, g| {
+            b.iter(|| algo::min_degree_order(g).width)
+        });
+    }
+    group.finish();
+}
+
+fn bench_diameter_t_gadget(c: &mut Criterion) {
+    // Gadget construction + decision across thresholds: the check cost
+    // grows with t only through the (t-2)-vertex pendant path.
+    let mut group = c.benchmark_group("extensions/diameter_t_gadget");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(74);
+    let g = generators::gnp(64, 0.1, &mut rng);
+    for t in [3u32, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &g, |b, g| {
+            b.iter(|| {
+                let gd = diameter_t_gadget(g, 1, 64, t);
+                algo::diameter_at_most(&gd, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/stoer_wagner");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(75);
+        let g = generators::gnp(n, 0.3, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| algo::edge_connectivity(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_easy_protocols(c: &mut Criterion) {
+    // The positive boundary is also the cheapest: these should sit far
+    // below the reconstruction protocols at the same n.
+    use referee_protocol::easy::{EdgeCountProtocol, NeighbourhoodSumProtocol};
+    let mut group = c.benchmark_group("extensions/easy_protocols");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(76);
+    let g = generators::gnp(1024, 4.0 / 1024.0, &mut rng);
+    group.bench_with_input(BenchmarkId::new("edge_count", 1024), &g, |b, g| {
+        b.iter(|| run_protocol(&EdgeCountProtocol, g).output.unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("fingerprint", 1024), &g, |b, g| {
+        b.iter(|| run_protocol(&NeighbourhoodSumProtocol, g).output.unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scale_free_reconstruction(c: &mut Criterion) {
+    // E24 runtime side: Theorem 5 on Barabási–Albert graphs.
+    let mut group = c.benchmark_group("extensions/scale_free_thm5");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = generators::barabasi_albert(n, 3, &mut rng).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let p = DegeneracyProtocol::new(3);
+            b.iter(|| run_protocol(&p, g).output.clone().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sketch_bipartiteness,
+    bench_sketch_kconn,
+    bench_adaptive_vs_oneround,
+    bench_treewidth_ablation,
+    bench_diameter_t_gadget,
+    bench_mincut,
+    bench_easy_protocols,
+    bench_scale_free_reconstruction
+);
+criterion_main!(benches);

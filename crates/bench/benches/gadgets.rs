@@ -1,0 +1,52 @@
+//! E1–E3 (runtime side): gadget construction and property detection —
+//! the per-probe cost that drives the Δ reductions' O(n²) loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::algo;
+use referee_graph::generators;
+use referee_reductions::gadgets;
+
+fn bench_gadget_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadgets/build");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(20);
+        let g = generators::gnp(n, 4.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square_2n", n), &g, |b, g| {
+            b.iter(|| gadgets::square_gadget(g, 1, (g.n() / 2) as u32))
+        });
+        group.bench_with_input(BenchmarkId::new("diameter_n3", n), &g, |b, g| {
+            b.iter(|| gadgets::diameter_gadget(g, 1, (g.n() / 2) as u32))
+        });
+        group.bench_with_input(BenchmarkId::new("triangle_n1", n), &g, |b, g| {
+            b.iter(|| gadgets::triangle_gadget(g, 1, (g.n() / 2) as u32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_property_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadgets/detect");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::gnp(n, 4.0 / n as f64, &mut rng);
+        let sq = gadgets::square_gadget(&g, 1, (n / 2) as u32);
+        let di = gadgets::diameter_gadget(&g, 1, (n / 2) as u32);
+        let tr = gadgets::triangle_gadget(&g, 1, (n / 2) as u32);
+        group.bench_with_input(BenchmarkId::new("has_square", n), &sq, |b, g| {
+            b.iter(|| algo::has_square(g))
+        });
+        group.bench_with_input(BenchmarkId::new("diameter_at_most_3", n), &di, |b, g| {
+            b.iter(|| algo::diameter_at_most(g, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("has_triangle", n), &tr, |b, g| {
+            b.iter(|| algo::has_triangle(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gadget_build, bench_property_detection);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Substrate benches: the graph algorithms every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::{algo, generators};
+
+fn bench_traversals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/traversal");
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(40);
+        let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bfs", n), &g, |b, g| {
+            b.iter(|| algo::bfs_distances(g, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("components", n), &g, |b, g| {
+            b.iter(|| algo::component_count(g))
+        });
+        group.bench_with_input(BenchmarkId::new("degeneracy_ordering", n), &g, |b, g| {
+            b.iter(|| algo::degeneracy_ordering(g).degeneracy)
+        });
+    }
+    group.finish();
+}
+
+fn bench_subgraph_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/detect");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = generators::gnp(n, 6.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("count_triangles", n), &g, |b, g| {
+            b.iter(|| algo::count_triangles(g))
+        });
+        group.bench_with_input(BenchmarkId::new("count_squares", n), &g, |b, g| {
+            b.iter(|| algo::count_squares(g))
+        });
+        group.bench_with_input(BenchmarkId::new("girth", n), &g, |b, g| {
+            b.iter(|| algo::girth(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/diameter");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let g = generators::grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &g,
+            |b, g| b.iter(|| algo::diameter(g).finite()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversals, bench_subgraph_detection, bench_diameter);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E12/E14 (runtime side): the §IV connectivity protocols — multi-round
+//! Borůvka simulation cost and one-round partition-connectivity cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_core::partition::partition_connectivity;
+use referee_graph::generators;
+use referee_protocol::multiround::boruvka_connectivity;
+
+fn bench_boruvka(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiround/boruvka");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(50);
+        let g = generators::gnp(n, 3.0 / n as f64, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| boruvka_connectivity(g).0)
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiround/partition");
+    group.sample_size(10);
+    let n = 2048usize;
+    let mut rng = StdRng::seed_from_u64(51);
+    let g = generators::gnp(n, 3.0 / n as f64, &mut rng);
+    for k in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| partition_connectivity(g, k).connected)
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketch_connectivity(c: &mut Criterion) {
+    use referee_sketches::connectivity::sketch_connectivity;
+    let mut group = c.benchmark_group("multiround/sketch_one_round");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = generators::gnp(n, 3.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| sketch_connectivity(g, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boruvka, bench_partition, bench_sketch_connectivity);
+criterion_main!(benches);

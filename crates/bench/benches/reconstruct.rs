@@ -1,0 +1,85 @@
+//! E7/E8 (runtime side): full one-round reconstruction — local phase plus
+//! the referee's Algorithm 4 pruning ("reconstructs graph G in O(n²)
+//! time") — across the paper's graph classes, against the adjacency
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_degeneracy::{DegeneracyProtocol, ForestProtocol, GeneralizedDegeneracyProtocol};
+use referee_graph::generators;
+use referee_protocol::baseline::AdjacencyListProtocol;
+use referee_protocol::run_protocol;
+
+fn bench_forest_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct/forest");
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::random_forest(n, 0.9, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("triple_sIIIA", n), &g, |b, g| {
+            b.iter(|| run_protocol(&ForestProtocol, g).output.unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("powersum_k1", n), &g, |b, g| {
+            b.iter(|| run_protocol(&DegeneracyProtocol::new(1), g).output.unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("adjacency_baseline", n), &g, |b, g| {
+            b.iter(|| run_protocol(&AdjacencyListProtocol, g).output.unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_degeneracy_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct/vs_k_n1000");
+    group.sample_size(10);
+    let n = 1000usize;
+    for k in [1usize, 2, 4, 6] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::random_k_degenerate(n, k, 0.9, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| run_protocol(&DegeneracyProtocol::new(k), g).output.unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_degeneracy_by_n(c: &mut Criterion) {
+    // Algorithm 4's O(n²) claim: time per run across doubling n.
+    let mut group = c.benchmark_group("reconstruct/vs_n_k2_grid");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let side = (n as f64).sqrt() as usize;
+        let g = generators::grid(side, side);
+        group.bench_with_input(BenchmarkId::from_parameter(g.n()), &g, |b, g| {
+            b.iter(|| run_protocol(&DegeneracyProtocol::new(2), g).output.unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_generalized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct/generalized_complement");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dense = generators::random_k_degenerate(n, 2, 1.0, &mut rng).complement();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dense, |b, g| {
+            b.iter(|| {
+                run_protocol(&GeneralizedDegeneracyProtocol::new(2), g)
+                    .output
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forest_protocols,
+    bench_degeneracy_by_k,
+    bench_degeneracy_by_n,
+    bench_generalized
+);
+criterion_main!(benches);

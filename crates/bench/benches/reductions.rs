@@ -1,0 +1,39 @@
+//! E4 (runtime side): the Δ-from-Γ reductions end-to-end. Each probe of
+//! Δ's global function invokes Γ on a gadget-sized message vector, so the
+//! wall time is Θ(n² · cost(Γ)) — quartic with the adjacency oracle.
+//! Sizes are therefore small; the point is the scaling shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::generators;
+use referee_protocol::run_protocol;
+use referee_reductions::oracle::{DiameterOracle, SquareOracle, TriangleOracle};
+use referee_reductions::{DiameterReduction, SquareReduction, TriangleReduction};
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/end_to_end");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(30);
+        let sq_free = generators::random_square_free(n, &mut rng);
+        let arbitrary = generators::gnp(n, 0.5, &mut rng);
+        let bip = generators::random_balanced_bipartite(n, 0.4, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("square", n), &sq_free, |b, g| {
+            let delta = SquareReduction::new(SquareOracle);
+            b.iter(|| run_protocol(&delta, g).output)
+        });
+        group.bench_with_input(BenchmarkId::new("diameter", n), &arbitrary, |b, g| {
+            let delta = DiameterReduction::new(DiameterOracle);
+            b.iter(|| run_protocol(&delta, g).output.unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("triangle", n), &bip, |b, g| {
+            let delta = TriangleReduction::new(TriangleOracle);
+            b.iter(|| run_protocol(&delta, g).output.unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Run the entire experiment grid E1–E25 in one go (compact parameters)
+//! and emit a single markdown report — the source material for
+//! `EXPERIMENTS.md`.
+//!
+//! Run: `cargo run --release -p referee-bench --bin exp_all`
+
+use referee_bench::experiments::{
+    blowup, counting, degeneracy, extensions, gadget_validation as gv, message_size as ms,
+    openq,
+};
+use referee_bench::{render_table, section};
+
+fn main() {
+    println!("# referee-one-round — full experiment grid (compact run)");
+
+    section("E1–E3: gadget iff validations");
+    let mut rows = gv::validate_diameter(4, 40, 5);
+    rows.extend(gv::validate_triangle(5, 40, 5));
+    rows.extend(gv::validate_square(4, 30, 5));
+    println!("{}", render_table(&gv::to_table(&rows)));
+    let violations: u64 = rows.iter().map(|r| r.violations).sum();
+    assert_eq!(violations, 0, "gadget iff violated");
+
+    section("E4: reduction blow-ups (n = 12)");
+    let b = blowup::run(12, 7);
+    println!("{}", render_table(&blowup::to_table(&b)));
+    assert!(b.iter().all(|r| r.exact));
+
+    section("E5: Lemma 1 exact counts (n ≤ 6)");
+    println!("{}", render_table(&counting::to_table(&counting::exact_table(6))));
+
+    section("E6: pigeonhole witnesses");
+    for line in counting::collision_findings() {
+        println!("- {line}");
+    }
+
+    section("E7/E8/E10/E11: reconstruction grid (n = 200)");
+    let rows = degeneracy::run_grid(200, 42);
+    println!("{}", render_table(&degeneracy::to_table(&rows)));
+    assert!(rows.iter().all(|r| r.verdict != "WRONG"));
+
+    section("E15/E16: frugality audits");
+    println!("{}", ms::sketch_vs_n(2, &[64, 256, 1024]).to_table());
+    println!("{}", ms::baseline_on_stars(&[64, 256, 1024]).to_table());
+
+    section("E12: partition connectivity (n = 200)");
+    println!("k\tbits\tbound\tcorrect");
+    for (k, bits, bound, ok) in openq::partition_sweep(200, &[2, 8, 32], 3) {
+        println!("{k}\t{bits}\t{bound}\t{ok}");
+        assert!(ok);
+    }
+
+    section("E13: bipartiteness ⇒ bipartite connectivity");
+    for (n, agree, total) in openq::bipartite_connectivity_sweep(&[10, 14], 4) {
+        println!("n={n}: {agree}/{total} agreements");
+        assert_eq!(agree, total);
+    }
+
+    section("E14: multi-round Borůvka");
+    for (n, rounds, logn, bits, ans) in openq::boruvka_sweep(&[64, 1024]) {
+        println!("n={n}: {rounds} rounds (⌈log₂ n⌉ = {logn}), {bits} bits, connected={ans}");
+        assert!(ans);
+    }
+
+    section("E17: public-coin sketch connectivity");
+    for (n, sk, adj, agree, total) in openq::sketch_sweep(&[32, 128], 5) {
+        println!("n={n}: {sk} sketch bits vs {adj} adjacency bits, {agree}/{total} agree");
+    }
+
+    section("E18: public-coin double-cover bipartiteness");
+    for (n, bits, agree, total) in extensions::bipartiteness_sweep(&[16, 32], 6) {
+        println!("n={n}: {bits} bits/node, {agree}/{total} agree");
+    }
+
+    section("E19: k-edge-connectivity by forest peeling (k = 3)");
+    for (name, lambda, k, got) in extensions::kconn_named_families(3) {
+        println!("{name}: λ={lambda}, protocol min(λ,{k})={got}");
+        assert_eq!(got, lambda.min(k));
+    }
+
+    section("E20: adaptive unknown-k degeneracy");
+    for (name, d, rounds, predicted, k_final, total, one_round) in extensions::adaptive_sweep() {
+        println!("{name}: d={d}, rounds={rounds} (predicted {predicted}), k_final={k_final}, {total} bits (one-shot {one_round})");
+        assert_eq!(rounds, predicted);
+    }
+
+    section("E21: diameter ≤ t hardness, t ∈ {3,4,6}");
+    for (t, n, pairs, iff_ok, recon_ok) in extensions::diameter_t_sweep(&[3, 4, 6], 8, 2) {
+        println!("t={t}, n={n}: {pairs} pairs, iff={iff_ok}, reconstructs={recon_ok}");
+        assert!(iff_ok && recon_ok);
+    }
+
+    section("E22: degeneracy ≤ treewidth ≤ min-fill chain");
+    for (name, d, tw, mf, ok) in extensions::treewidth_chain() {
+        println!("{name}: degeneracy={d} ≤ treewidth={tw} ≤ min-fill={mf}, protocol ok={ok}");
+        assert!(d <= tw && tw <= mf && ok);
+    }
+
+    section("E23: the positive boundary (degree-statistic protocols)");
+    for (name, _n, bits, verdict) in extensions::easy_protocol_table(200, 99) {
+        println!("{name}: {bits} bits/node — {verdict}");
+    }
+
+    section("E24: scale-free hubs vs Theorem 5 (BA, m = 3)");
+    for (n, _m, hub, thm5, naive, ok) in extensions::scale_free_sweep(&[200, 800], 3, 17) {
+        println!("n={n}: hub Δ={hub}, Thm5 {thm5} bits vs naive {naive}, exact={ok}");
+        assert!(ok && thm5 < naive);
+    }
+
+    section("E25: width triangle + colouring payoff");
+    for (name, omega1, d, tw, greedy, chi) in extensions::width_triangle() {
+        println!("{name}: ω−1={omega1} ≤ d={d} ≤ tw={tw}; χ={chi} ≤ greedy={greedy} ≤ d+1");
+        assert!(omega1 <= d && d <= tw && chi <= greedy && greedy <= d + 1);
+    }
+
+    println!("\nALL EXPERIMENTS PASSED ✓");
+}

@@ -1,0 +1,44 @@
+//! E15 + E16: frugality audits — Lemma 2 scaling for the sketch, and the
+//! footnote-1 baseline's dependence on maximum degree.
+//!
+//! Run: `cargo run --release -p referee-bench --bin exp_message_size`
+
+use referee_bench::experiments::message_size as ms;
+use referee_bench::section;
+
+fn main() {
+    println!("# E16: Lemma 2 — sketch size Θ(k² log n)");
+
+    section("E16a — bits vs n at fixed k = 2 (grid family); ratio must flatten");
+    let rep = ms::sketch_vs_n(2, &[64, 256, 1024, 4096, 16384]);
+    println!("{}", rep.to_table());
+
+    section("E16b — bits vs k at fixed n = 4096 (closed form); bits/k² ≈ const");
+    println!("k\tbits\tbits/k²");
+    for (k, bits, ratio) in ms::sketch_vs_k(4096, &[1, 2, 3, 4, 5, 6, 7, 8]) {
+        println!("{k}\t{bits}\t{ratio:.1}");
+    }
+
+    section("E7 size side — §III.A forest triple: 'less than 4 log n bits'");
+    println!("n\tbits\t4·log₂n");
+    for n in [64usize, 1024, 16384, 262144] {
+        let bits = referee_degeneracy::forest::forest_message_bits(n);
+        let bound = 4.0 * (n as f64).log2();
+        println!("{n}\t{bits}\t{bound:.1}");
+        assert!((bits as f64) < bound);
+    }
+
+    println!("\n# E15: footnote 1 — adjacency baseline frugal iff degree bounded");
+
+    section("bounded degree (caterpillar, 3 legs/vertex): ratio flat ⇒ frugal");
+    let flat = ms::baseline_vs_degree(&[64, 256, 1024, 4096], 3);
+    println!("{}", flat.to_table());
+
+    section("unbounded degree (stars, Δ = n−1): ratio diverges ⇒ not frugal");
+    let steep = ms::baseline_on_stars(&[64, 256, 1024, 4096]);
+    println!("{}", steep.to_table());
+
+    assert!(!ms::sketch_vs_n(2, &[64, 256, 1024]).ratio_diverges(0.2));
+    assert!(steep.ratio_diverges(1.0));
+    println!("shape checks passed ✓");
+}

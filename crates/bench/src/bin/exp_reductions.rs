@@ -1,0 +1,22 @@
+//! E4: the executable reductions Δ-from-Γ with measured message blow-ups
+//! (§II closing remark: k(2n), 3k(n+3), 2k(n+1)).
+//!
+//! Run: `cargo run --release -p referee-bench --bin exp_reductions`
+
+use referee_bench::experiments::blowup;
+use referee_bench::{render_table, section};
+
+fn main() {
+    println!("# E4: Δ-from-Γ reduction simulations (Algorithms 1–2, Thm 3)");
+    println!("# Γ = non-frugal adjacency oracle; Δ must reconstruct EXACTLY.");
+    println!("# 'paper-form bound' instantiates k(2n) / 3k(n+3) / 2k(n+1) for this Γ;");
+    println!("# overhead = self-delimiting bundling prefixes (ours is exact, paper's is asymptotic).");
+
+    for n in [8usize, 12, 16, 24] {
+        section(&format!("n = {n}"));
+        let rows = blowup::run(n, 2011 + n as u64);
+        println!("{}", render_table(&blowup::to_table(&rows)));
+        assert!(rows.iter().all(|r| r.exact), "reduction failed to reconstruct");
+    }
+    println!("all reductions reconstructed their inputs exactly ✓");
+}

@@ -1,0 +1,168 @@
+//! E5 + E6: Lemma 1's counting table and pigeonhole witnesses.
+
+use referee_graph::{algo, enumerate, graph6};
+use referee_reductions::collision::{
+    find_collision, guaranteed_collision_n, DegreeSumSketch, ModularSumSketch,
+};
+use referee_reductions::counting;
+
+/// One row of the E5 table: a family's exact log-count vs budgets.
+#[derive(Debug, Clone)]
+pub struct CountRow {
+    /// Graph size.
+    pub n: usize,
+    /// log₂ #(all labelled graphs) = C(n,2).
+    pub all_log2: f64,
+    /// log₂ #(balanced bipartite).
+    pub bipartite_log2: f64,
+    /// log₂ #(square-free), exact by enumeration.
+    pub square_free_log2: f64,
+    /// log₂ #(forests), exact — the *reconstructible* family for contrast.
+    pub forests_log2: f64,
+    /// Budget exponents at c ∈ {1, 2, 8}.
+    pub budgets: [usize; 3],
+}
+
+/// Exact counting table for `n ∈ 2..=n_max` (`n_max ≤ 7`).
+pub fn exact_table(n_max: usize) -> Vec<CountRow> {
+    (2..=n_max)
+        .map(|n| CountRow {
+            n,
+            all_log2: counting::count_all_graphs(n).log2(),
+            bipartite_log2: counting::count_balanced_bipartite(n).log2(),
+            square_free_log2: (counting::count_square_free_exact(n) as f64).log2(),
+            forests_log2: (counting::count_forests_exact(n) as f64).log2(),
+            budgets: [
+                counting::budget_log2(n, 1),
+                counting::budget_log2(n, 2),
+                counting::budget_log2(n, 8),
+            ],
+        })
+        .collect()
+}
+
+/// The asymptotic race (no enumeration): family exponents vs budget, at
+/// sizes where the crossover is visible.
+pub fn asymptotic_rows(ns: &[usize], c: usize) -> Vec<Vec<String>> {
+    let mut out = vec![vec![
+        "n".into(),
+        "n²/2 (all)".into(),
+        "⌈n/2⌉⌊n/2⌋ (bipartite)".into(),
+        "n^1.5/2 (square-free, K–W)".into(),
+        format!("budget c={c}"),
+        "reconstruction possible?".into(),
+    ]];
+    for &n in ns {
+        let all = (n * n.saturating_sub(1) / 2) as f64;
+        let bip = (n.div_ceil(2) * (n / 2)) as f64;
+        let sf = counting::kleitman_winston_exponent(n);
+        let budget = counting::budget_log2(n, c) as f64;
+        out.push(vec![
+            n.to_string(),
+            format!("{all:.0}"),
+            format!("{bip:.0}"),
+            format!("{sf:.0}"),
+            format!("{budget:.0}"),
+            if sf > budget { "NO (even square-free too big)" } else if all > budget { "no for all-graphs" } else { "not yet excluded" }
+                .into(),
+        ]);
+    }
+    out
+}
+
+/// E6: collision witnesses. Returns human-readable findings.
+pub fn collision_findings() -> Vec<String> {
+    let mut out = Vec::new();
+    let (a, b) = find_collision(&ModularSumSketch { bits: 1 }, enumerate::all_graphs(4))
+        .expect("mod-2 collides at n=4");
+    out.push(format!(
+        "ModularSumSketch(1 bit): collision at n=4 → {} vs {}",
+        graph6::to_graph6(&a),
+        graph6::to_graph6(&b)
+    ));
+    let sf = enumerate::all_graphs(5).filter(|g| !algo::has_square(g));
+    let (a, b) = find_collision(&ModularSumSketch { bits: 2 }, sf)
+        .expect("mod-4 collides on square-free n=5");
+    out.push(format!(
+        "ModularSumSketch(2 bits) on square-free n=5 → {} vs {}",
+        graph6::to_graph6(&a),
+        graph6::to_graph6(&b)
+    ));
+    for n in 2..=5 {
+        assert!(
+            find_collision(&DegreeSumSketch, enumerate::all_graphs(n)).is_none(),
+            "unexpected (deg,Σ) collision at n={n}"
+        );
+    }
+    out.push(
+        "DegreeSumSketch (§III.A triple): collision-free on ALL graphs n ≤ 5 (exhaustive)".into(),
+    );
+    let n0 = guaranteed_collision_n(DegreeSumSketch::message_bits);
+    out.push(format!(
+        "DegreeSumSketch: Lemma 1 pigeonhole guarantees a collision by n = {n0} \
+         ({}·{} = {} total bits < C({n0},2) = {})",
+        n0,
+        DegreeSumSketch::message_bits(n0),
+        n0 * DegreeSumSketch::message_bits(n0),
+        n0 * (n0 - 1) / 2
+    ));
+    out
+}
+
+/// Render the E5 exact table.
+pub fn to_table(rows: &[CountRow]) -> Vec<Vec<String>> {
+    let mut out = vec![vec![
+        "n".into(),
+        "log₂ all".into(),
+        "log₂ bipartite".into(),
+        "log₂ square-free".into(),
+        "log₂ forests".into(),
+        "budget c=1".into(),
+        "c=2".into(),
+        "c=8".into(),
+    ]];
+    for r in rows {
+        out.push(vec![
+            r.n.to_string(),
+            format!("{:.1}", r.all_log2),
+            format!("{:.1}", r.bipartite_log2),
+            format!("{:.1}", r.square_free_log2),
+            format!("{:.1}", r.forests_log2),
+            r.budgets[0].to_string(),
+            r.budgets[1].to_string(),
+            r.budgets[2].to_string(),
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_table_matches_known_values() {
+        let rows = exact_table(5);
+        assert_eq!(rows.len(), 4);
+        let r4 = &rows[2];
+        assert_eq!(r4.n, 4);
+        assert_eq!(r4.all_log2, 6.0);
+        assert!((r4.square_free_log2 - 54f64.log2()).abs() < 1e-12);
+        assert!((r4.forests_log2 - 38f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_findings_nonempty() {
+        let f = collision_findings();
+        assert_eq!(f.len(), 4);
+        assert!(f[0].contains("collision at n=4"));
+    }
+
+    #[test]
+    fn asymptotic_verdicts_flip() {
+        let rows = asymptotic_rows(&[16, 4096, 1 << 20], 8);
+        // header + 3 rows; the large-n row must say reconstruction is
+        // impossible even for square-free.
+        assert!(rows[3][5].contains("NO"));
+    }
+}

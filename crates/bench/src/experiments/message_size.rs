@@ -1,0 +1,82 @@
+//! E15 + E16: message-size scaling.
+//!
+//! * E16 — Lemma 2: the sketch size grows as `Θ(k² log n)`; for fixed `k`
+//!   the ratio bits/log₂(n) flattens (frugal), and for fixed `n` the bits
+//!   grow quadratically in `k`.
+//! * E15 — footnote 1: the naive adjacency protocol is frugal exactly on
+//!   bounded-degree families; its ratio diverges with Δ.
+
+use referee_degeneracy::{lemma2_bound_bits, DegeneracyProtocol};
+use referee_graph::generators;
+use referee_protocol::baseline::AdjacencyListProtocol;
+use referee_protocol::{FrugalityAudit, FrugalityReport};
+
+/// E16a: bits vs n at fixed k (grid family; sizes must be 8·x).
+pub fn sketch_vs_n(k: usize, sizes: &[usize]) -> FrugalityReport {
+    let p = DegeneracyProtocol::new(k);
+    FrugalityAudit::new(&p, sizes.iter().copied()).run(|n| generators::grid(n / 8, 8))
+}
+
+/// E16b: exact Lemma 2 bits vs k at fixed n (closed form, no simulation).
+pub fn sketch_vs_k(n: usize, ks: &[usize]) -> Vec<(usize, usize, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let bits = lemma2_bound_bits(n, k);
+            (k, bits, bits as f64 / (k * k) as f64)
+        })
+        .collect()
+}
+
+/// E15: adjacency baseline vs degree — frugal on caterpillars with fixed
+/// legs, divergent as legs grow with n.
+pub fn baseline_vs_degree(sizes: &[usize], legs: usize) -> FrugalityReport {
+    let p = AdjacencyListProtocol;
+    FrugalityAudit::new(&p, sizes.iter().copied()).run(move |n| {
+        // caterpillar with `legs` legs per spine vertex: n = spine·(legs+1)
+        let spine = n / (legs + 1);
+        let g = generators::caterpillar(spine, legs);
+        assert_eq!(g.n(), n, "choose sizes divisible by legs+1");
+        g
+    })
+}
+
+/// E15 (divergent side): adjacency baseline on stars (Δ = n − 1).
+pub fn baseline_on_stars(sizes: &[usize]) -> FrugalityReport {
+    let p = AdjacencyListProtocol;
+    FrugalityAudit::new(&p, sizes.iter().copied())
+        .run(|n| generators::star(n).expect("n ≥ 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_ratio_flattens() {
+        let rep = sketch_vs_n(2, &[64, 256, 1024]);
+        assert!(!rep.ratio_diverges(0.2), "{:?}", rep.rows);
+        assert!(rep.worst_ratio() < 12.0);
+    }
+
+    #[test]
+    fn sketch_quadratic_in_k() {
+        // Against the refined model (k(k+1)/2 + k + 2)·⌈log₂(n+1)⌉ the
+        // measured widths sit within ±25% at every k (the residual is
+        // per-field ceiling rounding).
+        let n = 1024usize;
+        let logn = referee_protocol::bits_for(n) as f64;
+        for (k, bits, _) in sketch_vs_k(n, &[1, 2, 4, 8]) {
+            let model = ((k * (k + 1) / 2 + k + 2) as f64) * logn;
+            let ratio = bits as f64 / model;
+            assert!((0.75..=1.25).contains(&ratio), "k={k}: {bits} vs model {model}");
+        }
+    }
+
+    #[test]
+    fn baseline_flat_on_bounded_degree_divergent_on_stars() {
+        let flat = baseline_vs_degree(&[64, 256, 1024], 3);
+        assert!(!flat.ratio_diverges(0.2));
+        let steep = baseline_on_stars(&[64, 256, 1024]);
+        assert!(steep.ratio_diverges(1.0));
+    }
+}

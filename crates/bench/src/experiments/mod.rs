@@ -1,0 +1,9 @@
+//! One module per experiment family (see `EXPERIMENTS.md` E1–E25).
+
+pub mod blowup;
+pub mod counting;
+pub mod degeneracy;
+pub mod extensions;
+pub mod gadget_validation;
+pub mod message_size;
+pub mod openq;

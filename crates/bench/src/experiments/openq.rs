@@ -1,0 +1,129 @@
+//! E12–E14: the §IV open-question protocols.
+//!
+//! * E12 — partition connectivity: bits/node vs number of parts k.
+//! * E13 — bipartiteness ⟹ bipartite connectivity (executable reduction).
+//! * E14 — O(log n)-round Borůvka connectivity: rounds vs n.
+
+use rand::{rngs::StdRng, SeedableRng};
+use referee_core::partition::partition_connectivity;
+use referee_graph::{algo, generators};
+use referee_protocol::multiround::boruvka_connectivity;
+use referee_protocol::run_protocol;
+use referee_reductions::oracle::BipartitenessOracle;
+use referee_reductions::BipartiteConnectivityReduction;
+
+/// E12 rows: (k, max bits/node, bound, correct on all seeds).
+pub fn partition_sweep(n: usize, ks: &[usize], seeds: u64) -> Vec<(usize, usize, usize, bool)> {
+    ks.iter()
+        .map(|&k| {
+            let mut max_bits = 0;
+            let mut bound = 0;
+            let mut all_correct = true;
+            for seed in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(300 + seed);
+                let g = generators::gnp(n, 1.5 / n as f64, &mut rng);
+                let out = partition_connectivity(&g, k);
+                max_bits = max_bits.max(out.max_message_bits);
+                bound = out.bound_bits;
+                all_correct &= out.connected == algo::is_connected(&g);
+            }
+            (k, max_bits, bound, all_correct)
+        })
+        .collect()
+}
+
+/// E13 rows: (n, density, reduction answer == truth over all seeds).
+pub fn bipartite_connectivity_sweep(
+    ns: &[usize],
+    seeds: u64,
+) -> Vec<(usize, u64, u64)> {
+    let delta = BipartiteConnectivityReduction::new(BipartitenessOracle);
+    ns.iter()
+        .map(|&n| {
+            let mut agree = 0u64;
+            let mut total = 0u64;
+            for seed in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(400 + seed);
+                // density around the connectivity threshold to get both answers
+                let g = generators::random_balanced_bipartite(n, 2.0 / n as f64, &mut rng);
+                let ans = run_protocol(&delta, &g).output.expect("honest messages");
+                total += 1;
+                if ans == algo::is_connected(&g) {
+                    agree += 1;
+                }
+            }
+            (n, agree, total)
+        })
+        .collect()
+}
+
+/// E17 rows: (n, sketch bits/node, adjacency bits/node on Δ=n−1,
+/// agreement count, runs) — the public-coin one-round connectivity
+/// protocol vs the open question's deterministic setting.
+pub fn sketch_sweep(ns: &[usize], seeds: u64) -> Vec<(usize, usize, usize, u64, u64)> {
+    use referee_sketches::connectivity::sketch_connectivity;
+    use referee_sketches::SketchConnectivityProtocol;
+    ns.iter()
+        .map(|&n| {
+            let sketch_bits = SketchConnectivityProtocol::message_bits(n);
+            let adj_bits = n * referee_protocol::bits_for(n) as usize;
+            let mut agree = 0u64;
+            let mut total = 0u64;
+            for seed in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(500 + seed);
+                let g = generators::gnp(n, 2.5 / n as f64, &mut rng);
+                total += 1;
+                if sketch_connectivity(&g, 9000 + seed) == algo::is_connected(&g) {
+                    agree += 1;
+                }
+            }
+            (n, sketch_bits, adj_bits, agree, total)
+        })
+        .collect()
+}
+
+/// E14 rows: (n, rounds, ⌈log₂ n⌉, max message bits anywhere, correct).
+pub fn boruvka_sweep(ns: &[usize]) -> Vec<(usize, usize, u32, usize, bool)> {
+    ns.iter()
+        .map(|&n| {
+            // Path graphs are the adversarial case for label flooding.
+            let g = generators::path(n);
+            let (ans, stats) = boruvka_connectivity(&g);
+            let max_bits = stats
+                .max_uplink_bits
+                .max(stats.max_downlink_bits)
+                .max(stats.max_link_bits);
+            (n, stats.rounds, referee_protocol::bits_for(n), max_bits, ans)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_sweep_correct_and_bounded() {
+        for (k, bits, bound, correct) in partition_sweep(80, &[2, 4, 8], 3) {
+            assert!(correct, "k={k}");
+            assert!(bits <= bound, "k={k}: {bits} > {bound}");
+        }
+    }
+
+    #[test]
+    fn bipartite_sweep_agrees() {
+        for (n, agree, total) in bipartite_connectivity_sweep(&[8, 12], 4) {
+            assert_eq!(agree, total, "n={n}");
+        }
+    }
+
+    #[test]
+    fn boruvka_rounds_grow_slowly() {
+        let rows = boruvka_sweep(&[64, 1024]);
+        for (n, rounds, logn, bits, ans) in rows {
+            assert!(ans, "paths are connected (n={n})");
+            assert!(rounds <= 6 * logn as usize, "n={n}: {rounds} rounds");
+            assert!(bits <= 2 * logn as usize, "n={n}: {bits} bits");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Experiment harness for the `referee-one-round` reproduction.
+//!
+//! The paper (a theory paper) has two figures — both gadget constructions
+//! — and no measured tables; `EXPERIMENTS.md` at the repository root
+//! defines the experiment grid E1–E25 that substitutes for them. Each
+//! submodule of [`experiments`] computes one experiment's rows; the
+//! `exp_*` binaries in `src/bin/` print them, and the Criterion benches in
+//! `benches/` measure the runtime-scaling claims (local time O(n),
+//! reconstruction O(n²), table-vs-Newton decoding).
+//!
+//! Everything here is deterministic under fixed seeds so `EXPERIMENTS.md`
+//! can quote exact numbers.
+
+pub mod experiments;
+
+/// Render aligned rows (first row = header) as a markdown-ish table.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!(" {cell:>w$} |"));
+        }
+        out.push('\n');
+        if ri == 0 {
+            out.push('|');
+            for w in &widths {
+                out.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Print a section header for the experiment binaries.
+pub fn section(title: &str) {
+    println!("\n### {title}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let rows = vec![
+            vec!["n".into(), "bits".into()],
+            vec!["8".into(), "24".into()],
+            vec!["1024".into(), "77".into()],
+        ];
+        let t = render_table(&rows);
+        assert!(t.contains("|    n | bits |"));
+        assert!(t.lines().count() == 4);
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned: {t}");
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render_table(&[]), "");
+    }
+}

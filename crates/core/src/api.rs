@@ -1,0 +1,227 @@
+//! High-level convenience API over the protocol machinery.
+//!
+//! These helpers run a full protocol round (local phase at every node,
+//! global phase at the referee) and package the outcome with the
+//! measurements a user typically wants: message sizes, the Lemma 2 bound,
+//! and wall times.
+
+use referee_degeneracy::{
+    lemma2_bound_bits, DegeneracyProtocol, ForestProtocol, Reconstruction,
+};
+use referee_graph::LabelledGraph;
+use referee_protocol::{run_protocol, DecodeError, RunStats};
+
+/// Outcome of a high-level reconstruction call.
+#[derive(Debug, Clone)]
+pub struct ReconstructionReport {
+    /// The referee's verdict.
+    pub result: Reconstruction,
+    /// Simulator measurements.
+    pub stats: RunStats,
+    /// The exact per-message bit bound of Lemma 2 for these parameters
+    /// (equals `stats.max_message_bits` for the degeneracy protocol —
+    /// every sketch message has the same deterministic width).
+    pub message_bound_bits: usize,
+}
+
+impl ReconstructionReport {
+    /// Did the protocol accept and reproduce the graph exactly?
+    pub fn reconstructed(&self, original: &LabelledGraph) -> bool {
+        matches!(&self.result, Reconstruction::Graph(g) if g == original)
+    }
+}
+
+/// Run Theorem 5's protocol on `g` with parameter `k`.
+///
+/// Returns `Err` only on genuinely malformed message vectors, which
+/// cannot happen through this entry point (messages are generated
+/// honestly); the interesting outcomes are `Reconstruction::Graph` and
+/// `Reconstruction::NotInClass`.
+pub fn reconstruct_bounded_degeneracy(
+    g: &LabelledGraph,
+    k: usize,
+) -> Result<ReconstructionReport, DecodeError> {
+    let outcome = run_protocol(&DegeneracyProtocol::new(k), g);
+    let result = outcome.output?;
+    Ok(ReconstructionReport {
+        result,
+        message_bound_bits: lemma2_bound_bits(g.n(), k),
+        stats: outcome.stats,
+    })
+}
+
+/// Outcome of [`reconstruct_adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// The report of the successful (or final failed) attempt.
+    pub report: ReconstructionReport,
+    /// The `k` that succeeded (`None` if even `k_max` was rejected).
+    pub k_used: Option<usize>,
+    /// Every `k` tried, in order.
+    pub attempts: Vec<usize>,
+}
+
+/// Reconstruct with **unknown** degeneracy by doubling `k` until the
+/// recognition protocol accepts (`k = 1, 2, 4, …, ≤ k_max`).
+///
+/// Note on the model: the paper's protocol fixes `k` in advance ("each
+/// vertex needs to know the value of k"). Doubling is therefore a
+/// *sequence* of one-round protocols — `⌈log₂ k*⌉ + 1` rounds in the
+/// multi-round reading, or a practical driver loop in the systems
+/// reading. Total bits stay `O(k*² log n)` per node across all attempts
+/// (the geometric sum is dominated by the last attempt).
+pub fn reconstruct_adaptive(
+    g: &LabelledGraph,
+    k_max: usize,
+) -> Result<AdaptiveReport, DecodeError> {
+    let mut attempts = Vec::new();
+    let mut k = 1usize;
+    loop {
+        attempts.push(k);
+        let report = reconstruct_bounded_degeneracy(g, k)?;
+        match report.result {
+            Reconstruction::Graph(_) => {
+                return Ok(AdaptiveReport { report, k_used: Some(k), attempts });
+            }
+            Reconstruction::NotInClass if k >= k_max => {
+                return Ok(AdaptiveReport { report, k_used: None, attempts });
+            }
+            Reconstruction::NotInClass => k = (k * 2).min(k_max),
+        }
+    }
+}
+
+/// Run the §III.A forest protocol on `g`.
+pub fn reconstruct_forest(g: &LabelledGraph) -> Result<ReconstructionReport, DecodeError> {
+    let outcome = run_protocol(&ForestProtocol, g);
+    let result = outcome.output?;
+    Ok(ReconstructionReport {
+        result,
+        message_bound_bits: referee_degeneracy::forest::forest_message_bits(g.n()),
+        stats: outcome.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::generators;
+
+    #[test]
+    fn degeneracy_report() {
+        let g = generators::grid(5, 5);
+        let r = reconstruct_bounded_degeneracy(&g, 2).unwrap();
+        assert!(r.reconstructed(&g));
+        assert_eq!(r.stats.max_message_bits, r.message_bound_bits);
+    }
+
+    #[test]
+    fn rejection_report() {
+        let g = generators::complete(8); // degeneracy 7
+        let r = reconstruct_bounded_degeneracy(&g, 3).unwrap();
+        assert_eq!(r.result, Reconstruction::NotInClass);
+        assert!(!r.reconstructed(&g));
+    }
+
+    #[test]
+    fn adaptive_finds_minimal_doubled_k() {
+        let mut rng = StdRng::seed_from_u64(91);
+        // true degeneracy 3 ⇒ doubling tries 1, 2, 4 and stops at 4
+        let g = generators::random_k_degenerate(60, 3, 1.0, &mut rng);
+        let true_k = referee_graph::algo::degeneracy_ordering(&g).degeneracy;
+        assert_eq!(true_k, 3);
+        let r = reconstruct_adaptive(&g, 64).unwrap();
+        assert_eq!(r.k_used, Some(4));
+        assert_eq!(r.attempts, vec![1, 2, 4]);
+        assert!(r.report.reconstructed(&g));
+    }
+
+    #[test]
+    fn adaptive_gives_up_at_k_max() {
+        let g = generators::complete(20); // degeneracy 19
+        let r = reconstruct_adaptive(&g, 8).unwrap();
+        assert_eq!(r.k_used, None);
+        assert_eq!(*r.attempts.last().unwrap(), 8);
+        assert_eq!(r.report.result, Reconstruction::NotInClass);
+    }
+
+    #[test]
+    fn adaptive_on_forest_stops_immediately() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let g = generators::random_tree(40, &mut rng);
+        let r = reconstruct_adaptive(&g, 16).unwrap();
+        assert_eq!(r.k_used, Some(1));
+        assert_eq!(r.attempts, vec![1]);
+    }
+
+    #[test]
+    fn forest_report() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let g = generators::random_tree(30, &mut rng);
+        let r = reconstruct_forest(&g).unwrap();
+        assert!(r.reconstructed(&g));
+        assert_eq!(r.stats.max_message_bits, r.message_bound_bits);
+        assert!((r.message_bound_bits as f64) < 4.0 * (30f64).log2());
+    }
+}
+
+/// One-round public-coin census of a topology: everything the sketch
+/// suite can learn from a single round of polylog-bit messages.
+#[derive(Debug, Clone)]
+pub struct SketchCensus {
+    /// Is the network connected? (E17; one-sided Monte-Carlo.)
+    pub connected: bool,
+    /// Is it bipartite / 2-colourable? (E18, double cover.)
+    pub bipartite: bool,
+    /// `min(λ(G), k)` — edge connectivity capped at the threshold
+    /// requested (E19, forest peeling).
+    pub edge_connectivity: usize,
+    /// The spanning forest the referee recovered as a witness.
+    pub forest_edges: Vec<referee_graph::Edge>,
+    /// Whether the forest recovery certified completeness (final
+    /// component boundaries all sketched to zero).
+    pub forest_complete: bool,
+}
+
+/// Run the whole public-coin suite (connectivity, bipartiteness,
+/// k-edge-connectivity, spanning forest) on `g` with shared seed
+/// `seed`. Each protocol is one round; a real deployment would ship all
+/// four message groups in a single concatenated transmission.
+pub fn sketch_census(g: &LabelledGraph, seed: u64, k: usize) -> SketchCensus {
+    use referee_sketches as sk;
+    let forest = sk::sketch_spanning_forest(g, seed);
+    SketchCensus {
+        connected: sk::connectivity::sketch_connectivity(g, seed),
+        bipartite: sk::sketch_bipartiteness(g, seed),
+        edge_connectivity: sk::kconn::sketch_edge_connectivity(g, seed, k.max(1)),
+        forest_complete: forest.complete,
+        forest_edges: forest.edges,
+    }
+}
+
+#[cfg(test)]
+mod census_tests {
+    use super::*;
+    use referee_graph::{algo, generators};
+
+    #[test]
+    fn census_on_healthy_fabric() {
+        let g = generators::hypercube(3); // connected, bipartite, λ = 3
+        let c = sketch_census(&g, 2011, 3);
+        assert!(c.connected && c.bipartite);
+        assert_eq!(c.edge_connectivity, 3);
+        assert!(c.forest_complete);
+        assert_eq!(c.forest_edges.len(), g.n() - 1);
+    }
+
+    #[test]
+    fn census_on_split_fabric() {
+        let g = generators::path(5).disjoint_union(&generators::cycle(5).unwrap());
+        let c = sketch_census(&g, 7, 2);
+        assert!(!c.connected);
+        assert!(!c.bipartite); // the C5 half
+        assert_eq!(c.edge_connectivity, 0);
+        assert_eq!(c.forest_edges.len(), g.n() - algo::component_count(&g));
+    }
+}

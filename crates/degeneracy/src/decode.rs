@@ -1,0 +1,234 @@
+//! Interchangeable neighbourhood decoders (the E9 ablation).
+//!
+//! Both answer the same query the referee issues while pruning: *given a
+//! vertex of remaining degree `d ≤ k` and its (updated) power sums, which
+//! `d` vertex IDs produced them?* Corollary 1 of the paper guarantees the
+//! answer is unique.
+
+use crate::newton;
+use referee_graph::VertexId;
+use referee_protocol::DecodeError;
+use referee_wideint::UBig;
+use std::collections::HashMap;
+
+/// A strategy for inverting power-sum sketches.
+pub trait NeighbourhoodDecoder {
+    /// Recover the sorted ID set of size `degree` whose power sums are
+    /// `sums` (length ≥ `degree`), with IDs in `1..=n`.
+    fn decode(
+        &self,
+        n: usize,
+        degree: usize,
+        sums: &[UBig],
+    ) -> Result<Vec<VertexId>, DecodeError>;
+
+    /// Name for reports/benches.
+    fn name(&self) -> &'static str;
+}
+
+/// Which decoder a protocol should use (runtime-selectable for benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Algebraic decoder — polynomial time, the default.
+    Newton,
+    /// The paper's Lemma 3 lookup table — `O(n^k)` preprocessing.
+    Table,
+}
+
+/// Algebraic decoder: Newton's identities + integer root extraction
+/// (see [`crate::newton`]). No preprocessing, `O(k² + n·k)` per decode
+/// in wide-integer operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NewtonDecoder;
+
+impl NeighbourhoodDecoder for NewtonDecoder {
+    fn decode(
+        &self,
+        n: usize,
+        degree: usize,
+        sums: &[UBig],
+    ) -> Result<Vec<VertexId>, DecodeError> {
+        newton::decode_neighbours(n, degree, sums)
+    }
+
+    fn name(&self) -> &'static str {
+        "newton"
+    }
+}
+
+/// The paper's Lemma 3 decoder: "enumerate all k-subsets of {1..n} and
+/// compute the values b = A(k,n)·x … and store them in a table N".
+///
+/// We key a hash map by the power-sum vector (the paper sorts and
+/// binary-searches; a hash map gives the same `O(n^k)` space with O(1)
+/// expected lookups — the distinction the paper cares about, table size,
+/// is identical). Preprocessing enumerates all subsets of size ≤ k, so
+/// this is only feasible for small `n^k`; [`TableDecoder::new`] guards
+/// with a budget.
+pub struct TableDecoder {
+    n: usize,
+    k: usize,
+    /// power-sum vector (k entries, as limb blobs) → sorted ID subset
+    table: HashMap<Vec<UBig>, Vec<VertexId>>,
+}
+
+impl TableDecoder {
+    /// Safety budget: refuse to build tables above this many entries.
+    pub const MAX_ENTRIES: usize = 8_000_000;
+
+    /// Build the table for parameters `(n, k)`. Errors (rather than OOMs)
+    /// if `Σ_{d≤k} C(n,d)` exceeds [`TableDecoder::MAX_ENTRIES`].
+    pub fn new(n: usize, k: usize) -> Result<Self, DecodeError> {
+        let mut entries: u128 = 0;
+        let mut binom: u128 = 1;
+        for d in 0..=k.min(n) {
+            if d > 0 {
+                binom = binom * (n - d + 1) as u128 / d as u128;
+            }
+            entries += binom;
+            if entries > Self::MAX_ENTRIES as u128 {
+                return Err(DecodeError::Invalid(format!(
+                    "lookup table for n={n}, k={k} needs > {} entries",
+                    Self::MAX_ENTRIES
+                )));
+            }
+        }
+        let mut table = HashMap::with_capacity(entries as usize);
+        // DFS over subsets of size ≤ k in lexicographic order.
+        let mut subset: Vec<VertexId> = Vec::with_capacity(k);
+        let mut sums = vec![UBig::zero(); k];
+        fn rec(
+            n: usize,
+            k: usize,
+            start: VertexId,
+            subset: &mut Vec<VertexId>,
+            sums: &mut Vec<UBig>,
+            table: &mut HashMap<Vec<UBig>, Vec<VertexId>>,
+        ) {
+            table.insert(sums.clone(), subset.clone());
+            if subset.len() == k {
+                return;
+            }
+            for v in start..=n as VertexId {
+                subset.push(v);
+                let mut saved = Vec::with_capacity(k);
+                for (p, s) in sums.iter_mut().enumerate() {
+                    saved.push(s.clone());
+                    s.add_assign_ref(&UBig::pow_of(v as u64, (p + 1) as u32));
+                }
+                rec(n, k, v + 1, subset, sums, table);
+                subset.pop();
+                *sums = saved;
+            }
+        }
+        rec(n, k, 1, &mut subset, &mut sums, &mut table);
+        Ok(TableDecoder { n, k, table })
+    }
+
+    /// Number of table entries (for the ablation report).
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl NeighbourhoodDecoder for TableDecoder {
+    fn decode(
+        &self,
+        n: usize,
+        degree: usize,
+        sums: &[UBig],
+    ) -> Result<Vec<VertexId>, DecodeError> {
+        if n != self.n {
+            return Err(DecodeError::Invalid(format!(
+                "table built for n={}, queried with n={n}",
+                self.n
+            )));
+        }
+        if degree > self.k {
+            return Err(DecodeError::Invalid(format!(
+                "degree {degree} exceeds table arity {}",
+                self.k
+            )));
+        }
+        let key = sums[..self.k.min(sums.len())].to_vec();
+        match self.table.get(&key) {
+            Some(ids) if ids.len() == degree => Ok(ids.clone()),
+            Some(ids) => Err(DecodeError::Inconsistent(format!(
+                "sums decode to {} ids but degree field says {degree}",
+                ids.len()
+            ))),
+            None => Err(DecodeError::Inconsistent(
+                "power sums match no ≤k-subset (corrupted sketch?)".into(),
+            )),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "table"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums_of(ids: &[u32], k: usize) -> Vec<UBig> {
+        (1..=k)
+            .map(|p| {
+                let mut acc = UBig::zero();
+                for &i in ids {
+                    acc.add_assign_ref(&UBig::pow_of(i as u64, p as u32));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_matches_newton_on_all_subsets() {
+        let (n, k) = (9usize, 3usize);
+        let table = TableDecoder::new(n, k).unwrap();
+        // all subsets of {1..9} of size ≤ 3
+        for mask in 0u32..(1 << n) {
+            let ids: Vec<u32> =
+                (1..=n as u32).filter(|&i| mask >> (i - 1) & 1 == 1).collect();
+            if ids.len() > k {
+                continue;
+            }
+            let sums = sums_of(&ids, k);
+            let t = table.decode(n, ids.len(), &sums).unwrap();
+            let nw = NewtonDecoder.decode(n, ids.len(), &sums).unwrap();
+            assert_eq!(t, ids);
+            assert_eq!(nw, ids);
+        }
+    }
+
+    #[test]
+    fn table_entry_count() {
+        // Σ_{d=0..2} C(5,d) = 1 + 5 + 10 = 16
+        let table = TableDecoder::new(5, 2).unwrap();
+        assert_eq!(table.entries(), 16);
+    }
+
+    #[test]
+    fn table_budget_guard() {
+        assert!(TableDecoder::new(10_000, 4).is_err());
+    }
+
+    #[test]
+    fn table_rejects_mismatched_queries() {
+        let table = TableDecoder::new(6, 2).unwrap();
+        let sums = sums_of(&[2, 5], 2);
+        assert!(table.decode(7, 2, &sums).is_err()); // wrong n
+        assert!(table.decode(6, 3, &sums).is_err()); // degree > k
+        assert!(table.decode(6, 1, &sums).is_err()); // degree mismatch
+        let garbage = vec![UBig::from(999u64), UBig::from(1u64)];
+        assert!(table.decode(6, 2, &garbage).is_err());
+    }
+
+    #[test]
+    fn decoder_names() {
+        assert_eq!(NewtonDecoder.name(), "newton");
+        assert_eq!(TableDecoder::new(4, 1).unwrap().name(), "table");
+    }
+}

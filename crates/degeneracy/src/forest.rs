@@ -1,0 +1,245 @@
+//! §III.A — the forest special case (degeneracy 1).
+//!
+//! Each vertex sends the triple the paper describes:
+//!
+//! > its identifier, its degree in T, and the sum of the identifiers of
+//! > its neighbours — "this clearly can be encoded using less than
+//! > 4 log n bits".
+//!
+//! The referee repeatedly prunes a leaf `v`: the sum field *is* the ID of
+//! its unique neighbour `w`, so it records the edge and replaces `w`'s
+//! triple by `(ID(w), deg(w) − 1, sum(w) − ID(v))`. If pruning stalls with
+//! edges left, the graph contains a cycle — the referee "can … decide
+//! whether the graph contains a cycle", which is this protocol's
+//! recognition mode.
+//!
+//! This is [`DegeneracyProtocol`](crate::DegeneracyProtocol) at `k = 1`
+//! with a leaner encoding (a plain sum instead of a power-sum vector); the
+//! equivalence is pinned by tests, and the bench compares their constants.
+
+use crate::protocol::Reconstruction;
+use referee_graph::{LabelledGraph, VertexId};
+use referee_protocol::{bits_for, BitWriter, DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// The §III.A triple protocol for forests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForestProtocol;
+
+/// Field widths: degree < n needs `bits_for(n-1)`; the neighbour-ID sum is
+/// at most `Σ_{i=1..n} i = n(n+1)/2`.
+fn widths(n: usize) -> (u32, u32) {
+    let deg = bits_for(n.saturating_sub(1));
+    let sum = bits_for(n * (n + 1) / 2);
+    (deg, sum)
+}
+
+/// Exact message size of the forest protocol in bits (< 4·log₂ n as the
+/// paper remarks — we drop the explicit ID field since the channel index
+/// already carries it; the degeneracy protocol keeps the ID for strict
+/// faithfulness, so both layouts are exercised in the workspace).
+pub fn forest_message_bits(n: usize) -> usize {
+    let (d, s) = widths(n);
+    (d + s) as usize
+}
+
+impl OneRoundProtocol for ForestProtocol {
+    type Output = Result<Reconstruction, DecodeError>;
+
+    fn name(&self) -> String {
+        "forest reconstruction (§III.A)".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let (dw, sw) = widths(view.n);
+        let sum: u64 = view.neighbours.iter().map(|&w| w as u64).sum();
+        let mut w = BitWriter::new();
+        w.write_bits(view.degree() as u64, dw);
+        w.write_bits(sum, sw);
+        Message::from_writer(w)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        let (dw, sw) = widths(n);
+        let mut deg = Vec::with_capacity(n);
+        let mut sum = Vec::with_capacity(n);
+        for (i, m) in messages.iter().enumerate() {
+            let mut r = m.reader();
+            let d = r.read_bits(dw)? as usize;
+            let s = r.read_bits(sw)?;
+            if d >= n.max(1) {
+                return Err(DecodeError::OutOfRange(format!(
+                    "vertex {} claims degree {d}",
+                    i + 1
+                )));
+            }
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing bits".into()));
+            }
+            deg.push(d);
+            sum.push(s);
+        }
+        if deg.iter().sum::<usize>() % 2 != 0 {
+            return Err(DecodeError::Inconsistent("odd degree sum".into()));
+        }
+
+        let mut g = LabelledGraph::new(n);
+        let mut leaves: Vec<u32> = (0..n as u32).filter(|&i| deg[i as usize] == 1).collect();
+        while let Some(vi) = leaves.pop() {
+            let v = vi as usize;
+            if deg[v] != 1 {
+                continue; // stale entry: pruned down to 0 meanwhile
+            }
+            let w64 = sum[v];
+            if w64 == 0 || w64 > n as u64 || w64 == (v + 1) as u64 {
+                return Err(DecodeError::Inconsistent(format!(
+                    "leaf {} has invalid neighbour sum {w64}",
+                    v + 1
+                )));
+            }
+            let w = (w64 - 1) as usize;
+            if deg[w] == 0 {
+                return Err(DecodeError::Inconsistent(format!(
+                    "leaf {} points at exhausted vertex {}",
+                    v + 1,
+                    w + 1
+                )));
+            }
+            g.add_edge((v + 1) as VertexId, (w + 1) as VertexId).map_err(|_| {
+                DecodeError::Inconsistent(format!(
+                    "duplicate edge {{{},{}}} decoded",
+                    v + 1,
+                    w + 1
+                ))
+            })?;
+            deg[v] = 0;
+            sum[v] = 0;
+            deg[w] -= 1;
+            sum[w] = sum[w].checked_sub((v + 1) as u64).ok_or_else(|| {
+                DecodeError::Inconsistent(format!("sum underflow at vertex {}", w + 1))
+            })?;
+            if deg[w] == 1 {
+                leaves.push(w as u32);
+            }
+        }
+
+        if deg.iter().any(|&d| d > 0) {
+            // Leafless residue with edges left ⇒ a cycle exists.
+            return Ok(Reconstruction::NotInClass);
+        }
+        if sum.iter().any(|&s| s != 0) {
+            return Err(DecodeError::Inconsistent(
+                "nonzero neighbour sum on exhausted vertex".into(),
+            ));
+        }
+        Ok(Reconstruction::Graph(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::generators;
+    use referee_protocol::run_protocol;
+
+    #[test]
+    fn reconstructs_random_forests() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for n in [1usize, 2, 10, 100, 1000] {
+            let g = generators::random_forest(n, 0.85, &mut rng);
+            let out = run_protocol(&ForestProtocol, &g);
+            assert_eq!(out.output.unwrap(), Reconstruction::Graph(g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reconstructs_trees_and_stars() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = generators::random_tree(200, &mut rng);
+        assert_eq!(
+            run_protocol(&ForestProtocol, &t).output.unwrap(),
+            Reconstruction::Graph(t)
+        );
+        let s = generators::star(50).unwrap();
+        assert_eq!(
+            run_protocol(&ForestProtocol, &s).output.unwrap(),
+            Reconstruction::Graph(s)
+        );
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let c = generators::cycle(10).unwrap();
+        assert_eq!(
+            run_protocol(&ForestProtocol, &c).output.unwrap(),
+            Reconstruction::NotInClass
+        );
+        // a lollipop: cycle with a tail — the tail prunes, the cycle stays
+        let mut g = generators::cycle(5).unwrap().grow(8);
+        g.add_edge(5, 6).unwrap();
+        g.add_edge(6, 7).unwrap();
+        g.add_edge(7, 8).unwrap();
+        assert_eq!(
+            run_protocol(&ForestProtocol, &g).output.unwrap(),
+            Reconstruction::NotInClass
+        );
+    }
+
+    #[test]
+    fn message_under_4_log_n() {
+        for n in [16usize, 256, 4096, 65536] {
+            let bits = forest_message_bits(n);
+            assert!(
+                (bits as f64) < 4.0 * (n as f64).log2(),
+                "n={n}: {bits} bits ≥ 4 log n"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_degeneracy_protocol_k1() {
+        use crate::DegeneracyProtocol;
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..5 {
+            let g = generators::random_forest(40, 0.7, &mut rng);
+            let forest = run_protocol(&ForestProtocol, &g).output.unwrap();
+            let degen = run_protocol(&DegeneracyProtocol::new(1), &g).output.unwrap();
+            assert_eq!(forest, degen);
+        }
+    }
+
+    #[test]
+    fn corrupted_messages_rejected_or_harmless() {
+        let g = generators::random_tree(12, &mut StdRng::seed_from_u64(13));
+        let msgs: Vec<Message> = g
+            .vertices()
+            .map(|v| ForestProtocol.local(NodeView::new(12, v, g.neighbourhood(v))))
+            .collect();
+        let original = msgs[3].clone();
+        let mut msgs = msgs;
+        for bit in 0..original.len_bits() {
+            msgs[3] = original.with_bit_flipped(bit);
+            match ForestProtocol.global(12, &msgs) {
+                Err(_) | Ok(Reconstruction::NotInClass) => {}
+                Ok(Reconstruction::Graph(decoded)) => {
+                    assert_eq!(decoded, g, "bit {bit} silently changed the forest");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_vertex_edge() {
+        let g = LabelledGraph::from_edges(2, [(1, 2)]).unwrap();
+        assert_eq!(
+            run_protocol(&ForestProtocol, &g).output.unwrap(),
+            Reconstruction::Graph(g)
+        );
+    }
+}

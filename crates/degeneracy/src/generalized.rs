@@ -1,0 +1,312 @@
+//! Generalized degeneracy (§III's closing remark).
+//!
+//! A graph has *generalized degeneracy* ≤ k if there is a vertex ordering
+//! `(r_1, …, r_n)` where each `r_i` has degree ≤ k **either in** `G_i`
+//! (the subgraph induced by `{r_1..r_i}`) **or in its complement**. The
+//! paper: "We can adapt our protocol for the reconstruction of graphs of
+//! generalized degeneracy at most k, by encoding both the neighborhood and
+//! the non-neighborhood of each vertex."
+//!
+//! Refinement implemented here: the nodes send **the same message as the
+//! plain protocol** (Algorithm 3). The co-neighbourhood sketch need not be
+//! transmitted, because the referee can derive it — over any live set `A`
+//! it knows, `co_b_p(v) = Σ_{i ∈ A} i^p − ID(v)^p − b_p(v)`, and the total
+//! `Σ_{i ∈ A} i^p` is maintained incrementally as vertices are pruned. So
+//! generalized degeneracy costs *zero extra bits* over Theorem 5. (The
+//! paper's variant that sends both sketches would merely double the
+//! message; the class reconstructed is identical.)
+
+use crate::decode::{NeighbourhoodDecoder, NewtonDecoder};
+use crate::encode::PowerSumSketch;
+use crate::protocol::Reconstruction;
+use referee_graph::{LabelledGraph, VertexId};
+use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
+use referee_wideint::UBig;
+
+/// Reconstruction protocol for graphs of generalized degeneracy ≤ k.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralizedDegeneracyProtocol {
+    k: usize,
+}
+
+impl GeneralizedDegeneracyProtocol {
+    /// Protocol with class parameter `k ≥ 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "parameter must be ≥ 1");
+        GeneralizedDegeneracyProtocol { k }
+    }
+
+    /// The class parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl OneRoundProtocol for GeneralizedDegeneracyProtocol {
+    type Output = Result<Reconstruction, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("generalized-degeneracy-{} reconstruction", self.k)
+    }
+
+    /// Identical to Algorithm 3 (see module docs for why no co-sketch is
+    /// transmitted).
+    fn local(&self, view: NodeView<'_>) -> Message {
+        PowerSumSketch::compute(view.n, view.id, view.neighbours, self.k)
+            .to_message(view.n, self.k)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        let mut sk = crate::protocol::parse_sketches(messages, n, self.k)?;
+        let originals = sk.clone();
+
+        // totals[p-1] = Σ_{i live} i^p, maintained as vertices are pruned.
+        let mut totals: Vec<UBig> = (1..=self.k)
+            .map(|p| {
+                let mut acc = UBig::zero();
+                for i in 1..=n as u64 {
+                    acc.add_assign_ref(&UBig::pow_of(i, p as u32));
+                }
+                acc
+            })
+            .collect();
+        let mut alive = vec![true; n];
+        let mut live_count = n;
+        let decoder = NewtonDecoder;
+        let mut g = LabelledGraph::new(n);
+
+        while live_count > 0 {
+            // Find a prunable vertex: degree ≤ k or co-degree ≤ k among
+            // the live set. O(n) scan per prune keeps the code direct; the
+            // whole loop is O(n²), same as Algorithm 4's stated bound.
+            let mut choice: Option<(usize, bool)> = None; // (index, via_complement)
+            for i in 0..n {
+                if !alive[i] {
+                    continue;
+                }
+                if sk[i].degree <= self.k {
+                    choice = Some((i, false));
+                    break;
+                }
+                // A live vertex can have at most live_count − 1 live
+                // neighbours; a larger claimed degree means corruption.
+                let co_deg = (live_count - 1).checked_sub(sk[i].degree).ok_or_else(|| {
+                    DecodeError::Inconsistent(format!(
+                        "vertex {} claims degree {} with only {} live peers",
+                        i + 1,
+                        sk[i].degree,
+                        live_count - 1
+                    ))
+                })?;
+                if co_deg <= self.k {
+                    choice = Some((i, true));
+                    break;
+                }
+            }
+            let Some((xi, via_complement)) = choice else {
+                return Ok(Reconstruction::NotInClass);
+            };
+            let x = (xi + 1) as VertexId;
+
+            // Decode x's live neighbour set (directly, or via complement).
+            let nbrs: Vec<VertexId> = if !via_complement {
+                decoder.decode(n, sk[xi].degree, &sk[xi].sums)?
+            } else {
+                // co-sums over live set: totals − x^p − b_p(x)
+                let co_sums: Vec<UBig> = (0..self.k)
+                    .map(|pi| {
+                        totals[pi]
+                            .checked_sub(&UBig::pow_of(x as u64, (pi + 1) as u32))
+                            .and_then(|t| t.checked_sub(&sk[xi].sums[pi]))
+                            .ok_or_else(|| {
+                                DecodeError::Inconsistent(format!(
+                                    "co-sum p={} of vertex {x} is negative",
+                                    pi + 1
+                                ))
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let co_deg = live_count - 1 - sk[xi].degree;
+                let co_nbrs = decoder.decode(n, co_deg, &co_sums)?;
+                // neighbours = live \ {x} \ co_nbrs
+                let mut is_co = vec![false; n + 1];
+                for &c in &co_nbrs {
+                    if !alive[(c - 1) as usize] {
+                        return Err(DecodeError::Inconsistent(format!(
+                            "decoded co-neighbour {c} of {x} is not live"
+                        )));
+                    }
+                    is_co[c as usize] = true;
+                }
+                (1..=n as VertexId)
+                    .filter(|&v| v != x && alive[(v - 1) as usize] && !is_co[v as usize])
+                    .collect()
+            };
+
+            if nbrs.len() != sk[xi].degree {
+                return Err(DecodeError::Inconsistent(format!(
+                    "vertex {x}: decoded {} neighbours, degree field says {}",
+                    nbrs.len(),
+                    sk[xi].degree
+                )));
+            }
+
+            // Commit: record edges, subtract x from neighbours' sketches
+            // and from the live totals.
+            alive[xi] = false;
+            live_count -= 1;
+            for (pi, t) in totals.iter_mut().enumerate() {
+                *t = t
+                    .checked_sub(&UBig::pow_of(x as u64, (pi + 1) as u32))
+                    .expect("totals cover all live ids");
+            }
+            for &w in &nbrs {
+                if w == x || !alive[(w - 1) as usize] {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "decoded neighbour {w} of {x} is not a live distinct vertex"
+                    )));
+                }
+                g.add_edge(x, w).map_err(|_| {
+                    DecodeError::Inconsistent(format!("duplicate edge {{{x},{w}}}"))
+                })?;
+                sk[(w - 1) as usize].prune_neighbour(x)?;
+            }
+        }
+
+        // Soundness: reconstruction must regenerate every original message.
+        for v in 1..=n as VertexId {
+            let re = PowerSumSketch::compute(n, v, g.neighbourhood(v), self.k);
+            let orig = &originals[(v - 1) as usize];
+            if re.degree != orig.degree || re.sums != orig.sums {
+                return Err(DecodeError::Inconsistent(format!(
+                    "reconstruction does not reproduce the message of vertex {v}"
+                )));
+            }
+        }
+        Ok(Reconstruction::Graph(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::generators;
+    use referee_protocol::run_protocol;
+
+    fn reconstruct(k: usize, g: &LabelledGraph) -> Reconstruction {
+        run_protocol(&GeneralizedDegeneracyProtocol::new(k), g)
+            .output
+            .expect("decode ok")
+    }
+
+    #[test]
+    fn handles_plain_degenerate_graphs() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let g = generators::random_k_degenerate(40, 3, 1.0, &mut rng);
+        assert_eq!(reconstruct(3, &g), Reconstruction::Graph(g));
+    }
+
+    #[test]
+    fn handles_dense_complements() {
+        // Complement of a 2-degenerate graph: plain protocol rejects
+        // (degeneracy ≈ n), generalized reconstructs.
+        let mut rng = StdRng::seed_from_u64(21);
+        let sparse = generators::random_k_degenerate(30, 2, 1.0, &mut rng);
+        let dense = sparse.complement();
+        assert_eq!(reconstruct(2, &dense), Reconstruction::Graph(dense.clone()));
+        // sanity: the plain protocol really cannot handle it
+        use crate::DegeneracyProtocol;
+        let plain = run_protocol(&DegeneracyProtocol::new(2), &dense).output.unwrap();
+        assert_eq!(plain, Reconstruction::NotInClass);
+    }
+
+    #[test]
+    fn handles_complete_graphs_at_k1() {
+        // K_n has co-degeneracy 0: every vertex has co-degree 0.
+        let g = generators::complete(25);
+        assert_eq!(reconstruct(1, &g), Reconstruction::Graph(g));
+    }
+
+    #[test]
+    fn handles_mixed_sparse_dense_layers() {
+        // A clique on half the vertices plus a pendant forest: needs both
+        // prune rules in one run.
+        let mut g = generators::complete(10).grow(16);
+        for v in 11..=16u32 {
+            g.add_edge(v - 10, v).unwrap();
+        }
+        assert_eq!(reconstruct(2, &g), Reconstruction::Graph(g));
+    }
+
+    #[test]
+    fn rejects_out_of_class() {
+        // A Paley-like middling graph: random G(n, 1/2) has both degeneracy
+        // and co-degeneracy ≈ n/4 ≫ k almost surely.
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = generators::gnp(24, 0.5, &mut rng);
+        assert_eq!(reconstruct(2, &g), Reconstruction::NotInClass);
+    }
+
+    #[test]
+    fn message_identical_to_plain_protocol() {
+        use crate::DegeneracyProtocol;
+        let g = generators::grid(4, 4);
+        let gen = GeneralizedDegeneracyProtocol::new(2);
+        let plain = DegeneracyProtocol::new(2);
+        for v in g.vertices() {
+            let view = NodeView::new(16, v, g.neighbourhood(v));
+            assert_eq!(gen.local(view), plain.local(view));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabelledGraph::new(6);
+        assert_eq!(reconstruct(2, &g), Reconstruction::Graph(g));
+    }
+
+    #[test]
+    fn corrupted_messages_never_misdecode() {
+        // Same failure-injection discipline as the plain protocol: bit
+        // flips in one message must never silently change the output —
+        // including flips that push the claimed degree past the live-peer
+        // count (the co-degree underflow path).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let dense = referee_graph::generators::random_k_degenerate(8, 2, 1.0, &mut rng)
+            .complement();
+        let p = GeneralizedDegeneracyProtocol::new(2);
+        let n = dense.n();
+        let msgs: Vec<Message> = dense
+            .vertices()
+            .map(|v| p.local(NodeView::new(n, v, dense.neighbourhood(v))))
+            .collect();
+        assert_eq!(p.global(n, &msgs).unwrap(), Reconstruction::Graph(dense.clone()));
+        let original = msgs[2].clone();
+        let mut msgs = msgs;
+        for bit in 0..original.len_bits() {
+            msgs[2] = original.with_bit_flipped(bit);
+            match p.global(n, &msgs) {
+                Err(_) | Ok(Reconstruction::NotInClass) => {}
+                Ok(Reconstruction::Graph(decoded)) => {
+                    assert_eq!(decoded, dense, "bit {bit} silently changed the graph");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_n_and_large_k() {
+        // k ≥ n − 1 makes everything prunable by degree; must still work.
+        let g = LabelledGraph::from_edges(3, [(1, 2), (2, 3)]).unwrap();
+        assert_eq!(reconstruct(5, &g), Reconstruction::Graph(g));
+        let g1 = LabelledGraph::new(1);
+        assert_eq!(reconstruct(3, &g1), Reconstruction::Graph(g1));
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! The positive result of Becker et al. (IPDPS 2011), §III: **a one-round
+//! frugal protocol reconstructing graphs of bounded degeneracy** (Theorem
+//! 5), plus the forest special case (§III.A) and the generalized-degeneracy
+//! extension (§III's closing remark).
+//!
+//! # How the protocol works
+//!
+//! Every node `v` sends the `(k+2)`-tuple of Algorithm 3:
+//!
+//! > its identifier `ID(v)`, its degree `deg(v)`, and for each `p ∈ 1..=k`
+//! > the power sum `b_p(v) = Σ_{w ∈ N(v)} ID(w)^p`.
+//!
+//! By Lemma 2 this is `O(k² log n)` bits. The referee (Algorithm 4)
+//! repeatedly *prunes*: it picks any vertex of current degree ≤ k, decodes
+//! its remaining neighbourhood from the power sums — unique by Wright's
+//! theorem on equal sums of like powers (Theorem 4) — and subtracts the
+//! pruned vertex's contribution (`deg -= 1`, `b_p -= ID(x)^p`) from each
+//! neighbour, exactly as a leaf is pruned from a forest in §III.A.
+//!
+//! # Decoders
+//!
+//! Two interchangeable neighbourhood decoders are provided (E9 ablation):
+//!
+//! * [`decode::TableDecoder`] — the paper's Lemma 3 lookup table over all
+//!   ≤ k-subsets of `{1..n}`: `O(n^k)` space, `O(1)` lookups. Feasible
+//!   only for tiny `n^k`.
+//! * [`decode::NewtonDecoder`] — algebraic: Newton's identities turn the
+//!   power sums into elementary symmetric polynomials; the neighbour IDs
+//!   are then the integer roots of the associated monic polynomial, found
+//!   by divisor filtering + Horner evaluation. Polynomial in `n` and `k`.
+//!
+//! Both reject corrupted or inconsistent messages with a
+//! [`DecodeError`](referee_protocol::DecodeError) instead of mis-decoding.
+//!
+//! # Unknown k
+//!
+//! The paper's protocol needs `k` agreed in advance. Two relaxations are
+//! provided: [`adaptive`] (E20) runs the doubling schedule as *rounds* of
+//! the §IV multi-round model, shipping only the new power sums each round
+//! (across-round total = the one-shot sketch); `referee_core`'s
+//! `reconstruct_adaptive` is the driver-loop variant that re-sends full
+//! sketches per attempt.
+
+pub mod adaptive;
+pub mod decode;
+pub mod encode;
+pub mod forest;
+pub mod generalized;
+pub mod newton;
+pub mod protocol;
+
+pub use adaptive::{adaptive_reconstruct, AdaptiveDegeneracyProtocol};
+pub use decode::{DecoderKind, NeighbourhoodDecoder, NewtonDecoder, TableDecoder};
+pub use encode::{lemma2_bound_bits, sketch_field_widths, PowerSumSketch};
+pub use forest::ForestProtocol;
+pub use generalized::GeneralizedDegeneracyProtocol;
+pub use protocol::{DegeneracyProtocol, Reconstruction};

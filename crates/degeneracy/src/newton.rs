@@ -1,0 +1,250 @@
+//! Newton's identities and integer root extraction — the algebra behind
+//! the scalable neighbourhood decoder.
+//!
+//! Theorem 4 of the paper (Wright 1948) guarantees that the power sums
+//! `p_1, …, p_k` of at most `k` distinct integers determine the integers
+//! uniquely. This module makes that effective:
+//!
+//! 1. Newton's identities convert power sums to elementary symmetric
+//!    polynomials: `j·e_j = Σ_{i=1}^{j} (-1)^{i-1} e_{j-i} · p_i`.
+//! 2. The neighbour IDs are then the roots of the monic polynomial
+//!    `Π (x - r_i) = Σ_i (-1)^i e_i x^{d-i}`. All roots are distinct
+//!    integers in `1..=n`, so they divide the constant term `e_d`; we scan
+//!    candidates, filter by divisibility, and confirm by synthetic
+//!    division (which also deflates the polynomial).
+//!
+//! Every step checks exactness so corrupted sketches surface as
+//! [`DecodeError`]s, never as wrong neighbour sets.
+
+use referee_graph::VertexId;
+use referee_protocol::DecodeError;
+use referee_wideint::{IBig, UBig};
+
+/// Convert power sums `p[0..d]` (`p[i]` = `p_{i+1}`) into elementary
+/// symmetric polynomials `e[0..=d]` with `e[0] = 1`.
+///
+/// Fails if any Newton division is inexact or any `e_j` comes out
+/// negative — both impossible for genuine power sums of positive integers.
+pub fn power_sums_to_elementary(p: &[UBig], d: usize) -> Result<Vec<IBig>, DecodeError> {
+    assert!(p.len() >= d, "need at least d power sums");
+    let mut e: Vec<IBig> = Vec::with_capacity(d + 1);
+    e.push(IBig::one());
+    for j in 1..=d {
+        // j·e_j = Σ_{i=1}^{j} (-1)^{i-1} e_{j-i} p_i
+        let mut acc = IBig::zero();
+        for i in 1..=j {
+            let term = &e[j - i] * &IBig::from(p[i - 1].clone());
+            if i % 2 == 1 {
+                acc = &acc + &term;
+            } else {
+                acc = &acc - &term;
+            }
+        }
+        let ej = acc.exact_div_small(j as u64).ok_or_else(|| {
+            DecodeError::Inconsistent(format!("Newton identity for e_{j} is not divisible by {j}"))
+        })?;
+        if ej.is_negative() {
+            return Err(DecodeError::Inconsistent(format!(
+                "elementary symmetric e_{j} is negative"
+            )));
+        }
+        e.push(ej);
+    }
+    Ok(e)
+}
+
+/// Find the `d` distinct integer roots in `1..=n` of the monic polynomial
+/// with elementary symmetric coefficients `e` (`e.len() = d + 1`). Returns
+/// them ascending. Errors if fewer than `d` roots exist in range.
+pub fn integer_roots(e: &[IBig], n: usize) -> Result<Vec<VertexId>, DecodeError> {
+    let d = e.len() - 1;
+    if d == 0 {
+        return Ok(Vec::new());
+    }
+    // coeffs[i] = (-1)^i e_i, for x^{d-i}
+    let mut coeffs: Vec<IBig> = e
+        .iter()
+        .enumerate()
+        .map(|(i, ei)| if i % 2 == 0 { ei.clone() } else { -ei })
+        .collect();
+    let mut roots: Vec<VertexId> = Vec::with_capacity(d);
+
+    for cand in 1..=n as u64 {
+        if roots.len() == d {
+            break;
+        }
+        // Quick filter: a root must divide the current constant term
+        // (unless that term is zero, which cannot happen while roots
+        // remain — all roots are ≥ 1 so the constant term is ± their
+        // product ≠ 0).
+        let konst = coeffs.last().expect("non-empty coeffs");
+        if konst.is_zero() {
+            return Err(DecodeError::Inconsistent(
+                "zero constant term while roots remain (0 is not a valid ID)".into(),
+            ));
+        }
+        if cand > 1 {
+            let (_, rem) = konst
+                .magnitude()
+                .divrem_small(cand)
+                .map_err(|_| DecodeError::Inconsistent("divisor zero".into()))?;
+            if rem != 0 {
+                continue;
+            }
+        }
+        // Synthetic division by (x - cand): b_0 = c_0, b_i = c_i + cand·b_{i-1}.
+        let cand_ib = IBig::from(UBig::from(cand));
+        let mut b: Vec<IBig> = Vec::with_capacity(coeffs.len());
+        b.push(coeffs[0].clone());
+        for c in &coeffs[1..] {
+            let prev = b.last().expect("non-empty");
+            b.push(c + &(&cand_ib * prev));
+        }
+        if b.last().expect("remainder").is_zero() {
+            roots.push(cand as VertexId);
+            b.pop();
+            coeffs = b; // deflated quotient
+        }
+    }
+
+    if roots.len() != d {
+        return Err(DecodeError::Inconsistent(format!(
+            "found only {} of {d} integer roots in 1..={n}",
+            roots.len()
+        )));
+    }
+    Ok(roots)
+}
+
+/// End-to-end: recover the `degree`-element neighbour set from its power
+/// sums. All `sums` provided (even beyond `degree`) are used for a final
+/// consistency check, so a corrupted higher power sum is detected even
+/// when the first `degree` sums happen to be consistent.
+pub fn decode_neighbours(
+    n: usize,
+    degree: usize,
+    sums: &[UBig],
+) -> Result<Vec<VertexId>, DecodeError> {
+    if degree > sums.len() {
+        return Err(DecodeError::Invalid(format!(
+            "degree {degree} exceeds sketch arity {}",
+            sums.len()
+        )));
+    }
+    let e = power_sums_to_elementary(sums, degree)?;
+    let roots = integer_roots(&e, n)?;
+    // Verify every provided power sum, not just the first `degree`.
+    for (p, expect) in sums.iter().enumerate() {
+        let mut acc = UBig::zero();
+        for &r in &roots {
+            acc.add_assign_ref(&UBig::pow_of(r as u64, (p + 1) as u32));
+        }
+        if &acc != expect {
+            return Err(DecodeError::Inconsistent(format!(
+                "power sum p={} mismatch after root recovery",
+                p + 1
+            )));
+        }
+    }
+    Ok(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums_of(ids: &[u32], k: usize) -> Vec<UBig> {
+        (1..=k)
+            .map(|p| {
+                let mut acc = UBig::zero();
+                for &i in ids {
+                    acc.add_assign_ref(&UBig::pow_of(i as u64, p as u32));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn elementary_of_known_roots() {
+        // roots {2, 3, 5}: e1 = 10, e2 = 31, e3 = 30
+        let p = sums_of(&[2, 3, 5], 3);
+        let e = power_sums_to_elementary(&p, 3).unwrap();
+        assert_eq!(e[1], IBig::from(10));
+        assert_eq!(e[2], IBig::from(31));
+        assert_eq!(e[3], IBig::from(30));
+    }
+
+    #[test]
+    fn roots_recovered_ascending() {
+        let p = sums_of(&[7, 2, 9], 3);
+        assert_eq!(decode_neighbours(10, 3, &p).unwrap(), vec![2, 7, 9]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(decode_neighbours(10, 0, &sums_of(&[], 2)).unwrap(), Vec::<u32>::new());
+        assert_eq!(decode_neighbours(10, 1, &sums_of(&[6], 2)).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn extra_sums_strengthen_verification() {
+        // degree 2 but 4 sums provided; corrupt the 4th sum only.
+        let mut p = sums_of(&[3, 8], 4);
+        assert!(decode_neighbours(10, 2, &p).is_ok());
+        p[3] = p[3].add_ref(&UBig::one());
+        assert!(decode_neighbours(10, 2, &p).is_err());
+    }
+
+    #[test]
+    fn corrupted_first_sum_detected() {
+        let mut p = sums_of(&[3, 8], 2);
+        p[0] = p[0].add_ref(&UBig::one());
+        assert!(decode_neighbours(10, 2, &p).is_err());
+    }
+
+    #[test]
+    fn wrong_degree_detected() {
+        let p = sums_of(&[3, 8], 2);
+        assert!(decode_neighbours(10, 1, &p).is_err());
+        assert!(decode_neighbours(10, 3, &p).is_err()); // degree > arity
+    }
+
+    #[test]
+    fn roots_out_of_range_detected() {
+        // power sums of {12} with n = 10: root exists but not in range
+        let p = sums_of(&[12], 1);
+        assert!(decode_neighbours(10, 1, &p).is_err());
+    }
+
+    #[test]
+    fn big_ids_exercise_wideint() {
+        let ids = [65521u32, 99991, 1, 50000];
+        let p = sums_of(&ids, 6);
+        assert!(p[5].bit_len() > 64);
+        let mut expect = ids.to_vec();
+        expect.sort_unstable();
+        assert_eq!(decode_neighbours(100_000, 4, &p).unwrap(), expect);
+    }
+
+    #[test]
+    fn wright_uniqueness_spot_check() {
+        // Distinct ≤k-subsets never share all k power sums (Theorem 4):
+        // exhaustive over subsets of {1..8} with k = 3.
+        use std::collections::HashMap;
+        let mut seen: HashMap<Vec<UBig>, Vec<u32>> = HashMap::new();
+        let ids: Vec<u32> = (1..=8).collect();
+        // all subsets of size ≤ 3
+        for mask in 0u32..(1 << 8) {
+            if mask.count_ones() > 3 {
+                continue;
+            }
+            let subset: Vec<u32> =
+                ids.iter().copied().filter(|&i| mask >> (i - 1) & 1 == 1).collect();
+            let key = sums_of(&subset, 3);
+            if let Some(prev) = seen.insert(key, subset.clone()) {
+                panic!("power-sum collision: {prev:?} vs {subset:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests: the Theorem 5 protocol round-trips on random members
+//! of its class, Wright uniqueness holds on random subsets, and decoders
+//! agree.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use referee_degeneracy::{
+    newton, DecoderKind, DegeneracyProtocol, ForestProtocol, GeneralizedDegeneracyProtocol,
+    NeighbourhoodDecoder, NewtonDecoder, TableDecoder,
+};
+use referee_degeneracy::protocol::Reconstruction;
+use referee_graph::generators;
+use referee_protocol::run_protocol;
+use referee_wideint::UBig;
+
+fn sums_of(ids: &[u32], k: usize) -> Vec<UBig> {
+    (1..=k)
+        .map(|p| {
+            let mut acc = UBig::zero();
+            for &i in ids {
+                acc.add_assign_ref(&UBig::pow_of(i as u64, p as u32));
+            }
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn newton_decode_round_trips(
+        n in 5usize..2000,
+        seed in any::<u64>(),
+        d in 0usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // d distinct ids in 1..=n
+        let mut ids: Vec<u32> = Vec::new();
+        let d = d.min(n);
+        while ids.len() < d {
+            let c = rand::Rng::gen_range(&mut rng, 1..=n as u32);
+            if !ids.contains(&c) {
+                ids.push(c);
+            }
+        }
+        ids.sort_unstable();
+        let k = d.max(1) + 1; // one extra sum for the verification path
+        let sums = sums_of(&ids, k);
+        prop_assert_eq!(newton::decode_neighbours(n, d, &sums).unwrap(), ids);
+    }
+
+    #[test]
+    fn degeneracy_protocol_round_trips(
+        n in 2usize..40,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_k_degenerate(n, k, 0.8, &mut rng);
+        let out = run_protocol(&DegeneracyProtocol::new(k), &g).output.unwrap();
+        prop_assert_eq!(out, Reconstruction::Graph(g));
+    }
+
+    #[test]
+    fn forest_protocol_round_trips(n in 1usize..120, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_forest(n, 0.8, &mut rng);
+        let out = run_protocol(&ForestProtocol, &g).output.unwrap();
+        prop_assert_eq!(out, Reconstruction::Graph(g));
+    }
+
+    #[test]
+    fn generalized_handles_complements(n in 4usize..24, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sparse = generators::random_k_degenerate(n, 2, 0.9, &mut rng);
+        let dense = sparse.complement();
+        let out = run_protocol(&GeneralizedDegeneracyProtocol::new(2), &dense)
+            .output
+            .unwrap();
+        prop_assert_eq!(out, Reconstruction::Graph(dense));
+    }
+
+    #[test]
+    fn recognition_is_sound_and_complete(n in 3usize..20, seed in any::<u64>()) {
+        // For an arbitrary random graph, the k-protocol accepts iff the
+        // true degeneracy is ≤ k (and then reconstructs exactly).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.4, &mut rng);
+        let true_k = referee_graph::algo::degeneracy_ordering(&g).degeneracy;
+        for k in 1usize..=4 {
+            let out = run_protocol(&DegeneracyProtocol::new(k), &g).output.unwrap();
+            if true_k <= k {
+                prop_assert_eq!(out, Reconstruction::Graph(g.clone()), "k={}", k);
+            } else {
+                prop_assert_eq!(out, Reconstruction::NotInClass, "k={}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn decoders_agree(seed in any::<u64>(), d in 0usize..4) {
+        let n = 10usize;
+        let k = 3usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u32> = Vec::new();
+        while ids.len() < d {
+            let c = rand::Rng::gen_range(&mut rng, 1..=n as u32);
+            if !ids.contains(&c) {
+                ids.push(c);
+            }
+        }
+        ids.sort_unstable();
+        let sums = sums_of(&ids, k);
+        let table = TableDecoder::new(n, k).unwrap();
+        prop_assert_eq!(
+            NewtonDecoder.decode(n, d, &sums).unwrap(),
+            table.decode(n, d, &sums).unwrap()
+        );
+    }
+
+    #[test]
+    fn reconstruction_commutes_with_relabelling(n in 3usize..25, seed in any::<u64>()) {
+        // "Graph" means LABELLED graph: the protocol must reconstruct the
+        // exact labelling, and relabelling the input relabels the output.
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_k_degenerate(n, 2, 0.9, &mut rng);
+        let mut perm: Vec<u32> = (1..=n as u32).collect();
+        perm.shuffle(&mut rng);
+        let h = g.relabel(&perm);
+        let out = run_protocol(&DegeneracyProtocol::new(2), &h).output.unwrap();
+        prop_assert_eq!(out, Reconstruction::Graph(h));
+    }
+
+    #[test]
+    fn table_and_newton_protocols_identical(n in 4usize..14, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_k_degenerate(n, 2, 1.0, &mut rng);
+        let a = run_protocol(&DegeneracyProtocol::new(2), &g).output.unwrap();
+        let b = run_protocol(&DegeneracyProtocol::with_decoder(2, DecoderKind::Table), &g)
+            .output
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension-layer properties: the adaptive unknown-k protocol
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adaptive reconstruction round-trips on random graphs of random
+    /// degeneracy, in exactly ⌈log₂ d⌉ + 1 rounds, with k_final < 2d.
+    #[test]
+    fn adaptive_round_trip(n in 2usize..40, seed in any::<u64>(), k in 1usize..6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::random_k_degenerate(n.max(k + 1), k, 0.8, &mut rng);
+        let d = referee_graph::algo::degeneracy_ordering(&g).degeneracy;
+        let (out, stats, k_final) = referee_degeneracy::adaptive_reconstruct(&g);
+        prop_assert_eq!(out.unwrap(), g.clone());
+        prop_assert_eq!(
+            stats.rounds,
+            referee_degeneracy::adaptive::rounds_for_degeneracy(g.n(), d)
+        );
+        if d >= 1 {
+            prop_assert!(k_final < 2 * d.max(1) || k_final == 1);
+        }
+    }
+
+    /// Adaptive and known-k protocols agree bit-for-bit on the result.
+    #[test]
+    fn adaptive_agrees_with_oneround(n in 3usize..30, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.25, &mut rng);
+        let d = referee_graph::algo::degeneracy_ordering(&g).degeneracy.max(1);
+        let one = run_protocol(&DegeneracyProtocol::new(d), &g).output.unwrap();
+        let (adaptive, _, _) = referee_degeneracy::adaptive_reconstruct(&g);
+        prop_assert_eq!(one.graph().unwrap(), adaptive.unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! Breadth-first search primitives.
+
+use crate::csr::Csr;
+use crate::{LabelledGraph, VertexId};
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source` (1-based ID) to every vertex.
+///
+/// `result[i]` is the distance to vertex `i + 1`, or [`UNREACHABLE`].
+pub fn bfs_distances(g: &LabelledGraph, source: VertexId) -> Vec<u32> {
+    let csr = Csr::from_graph(g);
+    bfs_distances_csr(&csr, (source - 1) as usize)
+}
+
+/// BFS on a prebuilt CSR from a 0-based source index. The workhorse of the
+/// all-pairs diameter computation — no allocation beyond the two vectors.
+pub fn bfs_distances_csr(csr: &Csr, source: usize) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; csr.n()];
+    let mut queue = Vec::with_capacity(csr.n());
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u];
+        for &v in csr.neighbours(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS into caller-provided scratch buffers (for hot loops).
+/// `dist` must have length `csr.n()`; it is fully reinitialized.
+pub fn bfs_into(csr: &Csr, source: usize, dist: &mut [u32], queue: &mut Vec<u32>) {
+    dist.fill(UNREACHABLE);
+    queue.clear();
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u];
+        for &v in csr.neighbours(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+        }
+    }
+}
+
+/// Eccentricity of `source`: max distance to any reachable vertex, or
+/// `None` if some vertex is unreachable (infinite eccentricity).
+pub fn eccentricity(g: &LabelledGraph, source: VertexId) -> Option<u32> {
+    let dist = bfs_distances(g, source);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_distances() {
+        let g = LabelledGraph::from_edges(4, [(1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(bfs_distances(&g, 1), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 3), vec![2, 1, 0, 1]);
+        assert_eq!(eccentricity(&g, 2), Some(2));
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let g = LabelledGraph::from_edges(4, [(1, 2)]).unwrap();
+        let d = bfs_distances(&g, 1);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(eccentricity(&g, 1), None);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = LabelledGraph::new(1);
+        assert_eq!(bfs_distances(&g, 1), vec![0]);
+        assert_eq!(eccentricity(&g, 1), Some(0));
+    }
+
+    #[test]
+    fn bfs_into_reuses_buffers() {
+        let g = LabelledGraph::from_edges(3, [(1, 2), (2, 3)]).unwrap();
+        let csr = Csr::from_graph(&g);
+        let mut dist = vec![0u32; 3];
+        let mut queue = Vec::new();
+        bfs_into(&csr, 0, &mut dist, &mut queue);
+        assert_eq!(dist, vec![0, 1, 2]);
+        bfs_into(&csr, 2, &mut dist, &mut queue);
+        assert_eq!(dist, vec![2, 1, 0]);
+    }
+}

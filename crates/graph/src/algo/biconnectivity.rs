@@ -1,0 +1,300 @@
+//! Articulation points, bridges and 2-edge-connected components
+//! (iterative Tarjan low-link, `O(n + m)`).
+//!
+//! The paper's central open question (§IV) is one-round *connectivity*;
+//! its robustness refinements — which single failures disconnect the
+//! network — are what a practitioner monitoring an interconnection
+//! network actually asks. These routines are the centralized ground
+//! truth used by the failure-injection experiments and the
+//! `network_monitoring` example: a bridge is exactly an edge whose loss
+//! splits a component, and an articulation point a node whose loss does.
+//!
+//! All traversals are iterative (explicit stacks): the experiments run
+//! on paths of length 10⁵, which would overflow the call stack with a
+//! recursive DFS.
+
+use crate::{Edge, LabelledGraph, VertexId};
+
+/// Result of the low-link pass over one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Biconnectivity {
+    /// Articulation points (cut vertices), ascending.
+    pub articulation_points: Vec<VertexId>,
+    /// Bridges (cut edges) in canonical order.
+    pub bridges: Vec<Edge>,
+    /// `two_edge_component[i]` = 0-based label of the 2-edge-connected
+    /// component of vertex `i + 1` (components = classes of the
+    /// "connected after any single edge deletion" relation).
+    pub two_edge_component: Vec<u32>,
+}
+
+impl Biconnectivity {
+    /// Number of distinct 2-edge-connected components.
+    pub fn two_edge_component_count(&self) -> usize {
+        self.two_edge_component.iter().copied().max().map_or(0, |m| m as usize + 1)
+    }
+
+    /// Is `v` an articulation point?
+    pub fn is_articulation(&self, v: VertexId) -> bool {
+        self.articulation_points.binary_search(&v).is_ok()
+    }
+
+    /// Is `{u, v}` a bridge?
+    pub fn is_bridge(&self, u: VertexId, v: VertexId) -> bool {
+        self.bridges.binary_search(&Edge::new(u, v)).is_ok()
+    }
+}
+
+/// Compute articulation points, bridges and 2-edge-connected components
+/// in one iterative DFS sweep.
+pub fn biconnectivity(g: &LabelledGraph) -> Biconnectivity {
+    let n = g.n();
+    let mut disc = vec![0u32; n]; // discovery time + 1 (0 = unvisited)
+    let mut low = vec![0u32; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut child_count = vec![0u32; n];
+    let mut is_art = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 1u32;
+
+    // Iterative DFS. Each frame: (vertex, index into its neighbour list).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != 0 {
+            continue;
+        }
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let nbrs = g.neighbourhood((v + 1) as VertexId);
+            if *idx < nbrs.len() {
+                let w = (nbrs[*idx] - 1) as usize;
+                *idx += 1;
+                if disc[w] == 0 {
+                    parent[w] = v;
+                    child_count[v] += 1;
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    stack.push((w, 0));
+                } else if w != parent[v] {
+                    // Back/cross edge in undirected DFS: a back edge.
+                    low[v] = low[v].min(disc[w]);
+                }
+                // A parallel path to the parent cannot exist (simple
+                // graph), so skipping exactly one parent occurrence is
+                // sound.
+            } else {
+                stack.pop();
+                let p = parent[v];
+                if p != usize::MAX {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > disc[p] {
+                        bridges.push(Edge::new((v + 1) as VertexId, (p + 1) as VertexId));
+                    }
+                    if p != root && low[v] >= disc[p] {
+                        is_art[p] = true;
+                    }
+                }
+            }
+        }
+        if child_count[root] >= 2 {
+            is_art[root] = true;
+        }
+    }
+
+    bridges.sort_unstable();
+    let articulation_points: Vec<VertexId> =
+        (0..n).filter(|&v| is_art[v]).map(|v| (v + 1) as VertexId).collect();
+
+    // 2-edge-connected components: connected components after removing
+    // bridges. Union along every non-bridge edge.
+    let mut dsu = crate::dsu::Dsu::new(n);
+    for e in g.edges() {
+        if bridges.binary_search(&e).is_err() {
+            dsu.union((e.0 - 1) as usize, (e.1 - 1) as usize);
+        }
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut two_edge_component = vec![0u32; n];
+    for v in 0..n {
+        let root = dsu.find(v);
+        if label[root] == u32::MAX {
+            label[root] = next;
+            next += 1;
+        }
+        two_edge_component[v] = label[root];
+    }
+
+    Biconnectivity { articulation_points, bridges, two_edge_component }
+}
+
+/// Convenience: just the bridges.
+pub fn bridges(g: &LabelledGraph) -> Vec<Edge> {
+    biconnectivity(g).bridges
+}
+
+/// Convenience: just the articulation points.
+pub fn articulation_points(g: &LabelledGraph) -> Vec<VertexId> {
+    biconnectivity(g).articulation_points
+}
+
+/// Is `g` 2-edge-connected (connected, ≥ 2 vertices, and no bridge)?
+pub fn is_two_edge_connected(g: &LabelledGraph) -> bool {
+    g.n() >= 2 && crate::algo::is_connected(g) && bridges(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{component_count, is_connected};
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Brute force: v is an articulation point iff deleting it increases
+    /// the component count (among the remaining vertices).
+    fn brute_articulation(g: &LabelledGraph) -> Vec<VertexId> {
+        let base = component_count(g);
+        g.vertices()
+            .filter(|&v| {
+                let keep: Vec<VertexId> = g.vertices().filter(|&u| u != v).collect();
+                let (sub, _) = g.induced_subgraph(&keep);
+                // Deleting an isolated vertex removes a component; any
+                // other deletion keeps the count unless the vertex cuts.
+                component_count(&sub) > if g.degree(v) == 0 { base - 1 } else { base }
+            })
+            .collect()
+    }
+
+    /// Brute force: an edge is a bridge iff deleting it splits a
+    /// component.
+    fn brute_bridges(g: &LabelledGraph) -> Vec<Edge> {
+        let base = component_count(g);
+        g.edges()
+            .filter(|e| {
+                let mut h = g.clone();
+                h.remove_edge(e.0, e.1).unwrap();
+                component_count(&h) > base
+            })
+            .collect()
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let g = generators::path(6);
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges.len(), 5);
+        assert_eq!(b.articulation_points, vec![2, 3, 4, 5]);
+        assert_eq!(b.two_edge_component_count(), 6);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn cycle_has_none() {
+        let g = generators::cycle(8).unwrap();
+        let b = biconnectivity(&g);
+        assert!(b.bridges.is_empty());
+        assert!(b.articulation_points.is_empty());
+        assert_eq!(b.two_edge_component_count(), 1);
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn barbell_cut_structure() {
+        // Two triangles joined by a bridge 3-4.
+        let g = LabelledGraph::from_edges(
+            6,
+            [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6), (3, 4)],
+        )
+        .unwrap();
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges, vec![Edge(3, 4)]);
+        assert!(b.is_bridge(4, 3));
+        assert_eq!(b.articulation_points, vec![3, 4]);
+        assert!(b.is_articulation(3) && !b.is_articulation(1));
+        assert_eq!(b.two_edge_component_count(), 2);
+        assert_eq!(b.two_edge_component[0], b.two_edge_component[2]);
+        assert_ne!(b.two_edge_component[0], b.two_edge_component[3]);
+    }
+
+    #[test]
+    fn star_centre_is_articulation() {
+        let g = generators::star(7).unwrap();
+        let b = biconnectivity(&g);
+        assert_eq!(b.articulation_points, vec![1]);
+        assert_eq!(b.bridges.len(), 6);
+    }
+
+    #[test]
+    fn root_with_two_children_detected() {
+        // DFS roots need the special two-children rule: vertex 1 is the
+        // centre of a path 2-1-3 when DFS starts at 1.
+        let g = LabelledGraph::from_edges(3, [(1, 2), (1, 3)]).unwrap();
+        assert_eq!(articulation_points(&g), vec![1]);
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(biconnectivity(&LabelledGraph::new(0)).bridges.is_empty());
+        let b = biconnectivity(&LabelledGraph::new(3));
+        assert!(b.articulation_points.is_empty());
+        assert_eq!(b.two_edge_component_count(), 3);
+        assert!(!is_two_edge_connected(&LabelledGraph::new(1)));
+        assert!(!is_two_edge_connected(&LabelledGraph::new(3)));
+    }
+
+    #[test]
+    fn matches_brute_force_exhaustively() {
+        for g in crate::enumerate::all_graphs(5) {
+            let b = biconnectivity(&g);
+            assert_eq!(b.articulation_points, brute_articulation(&g), "{g:?}");
+            assert_eq!(b.bridges, brute_bridges(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..30 {
+            let g = generators::gnp(12, 0.18, &mut rng);
+            let b = biconnectivity(&g);
+            assert_eq!(b.articulation_points, brute_articulation(&g), "trial {trial}");
+            assert_eq!(b.bridges, brute_bridges(&g), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn two_edge_components_respect_bridge_deletion() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = generators::gnp(30, 0.08, &mut rng);
+        let b = biconnectivity(&g);
+        // After deleting all bridges, component structure == labels.
+        let mut h = g.clone();
+        for e in &b.bridges {
+            h.remove_edge(e.0, e.1).unwrap();
+        }
+        let comps = crate::algo::components(&h);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(
+                    comps[u] == comps[v],
+                    b.two_edge_component[u] == b.two_edge_component[v],
+                    "{u} {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        // 100k-vertex path: the iterative DFS must not recurse.
+        let g = generators::path(100_000);
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges.len(), 99_999);
+        assert_eq!(b.articulation_points.len(), 99_998);
+        assert!(is_connected(&g));
+    }
+}

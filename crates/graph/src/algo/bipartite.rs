@@ -1,0 +1,140 @@
+//! Bipartiteness testing by BFS 2-colouring.
+//!
+//! Theorem 3's reduction reconstructs bipartite graphs with parts
+//! `{1..n/2}` and `{n/2+1..n}`; §IV asks whether bipartiteness itself is
+//! frugally decidable in one round and relates it to bipartite
+//! connectivity. Both need a trusted centralized bipartiteness oracle,
+//! which this module provides.
+
+use crate::csr::Csr;
+use crate::{LabelledGraph, VertexId};
+
+/// A certified 2-colouring: `side[i]` ∈ {0, 1} for vertex `i + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bipartition {
+    /// Side of each vertex (index `id - 1`).
+    pub side: Vec<u8>,
+}
+
+impl Bipartition {
+    /// Vertices on side 0, ascending IDs.
+    pub fn left(&self) -> Vec<VertexId> {
+        self.side
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == 0)
+            .map(|(i, _)| (i + 1) as VertexId)
+            .collect()
+    }
+
+    /// Vertices on side 1, ascending IDs.
+    pub fn right(&self) -> Vec<VertexId> {
+        self.side
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == 1)
+            .map(|(i, _)| (i + 1) as VertexId)
+            .collect()
+    }
+}
+
+/// Attempt to 2-colour `G`; `None` iff an odd cycle exists.
+///
+/// Isolated vertices and fresh components start on side 0, so the output
+/// is deterministic (useful for snapshot-style tests).
+pub fn bipartition(g: &LabelledGraph) -> Option<Bipartition> {
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    let mut side = vec![u8::MAX; n];
+    let mut queue = Vec::new();
+    for s in 0..n {
+        if side[s] != u8::MAX {
+            continue;
+        }
+        side[s] = 0;
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &v in csr.neighbours(u) {
+                let v = v as usize;
+                if side[v] == u8::MAX {
+                    side[v] = 1 - side[u];
+                    queue.push(v as u32);
+                } else if side[v] == side[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(Bipartition { side })
+}
+
+/// The predicate "G is bipartite".
+pub fn is_bipartite(g: &LabelledGraph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Check whether `G` is bipartite **with the fixed parts** `{1..⌈n/2⌉}` and
+/// `{⌈n/2⌉+1..n}` used by Theorem 3: every edge must cross the split.
+pub fn respects_balanced_split(g: &LabelledGraph) -> bool {
+    let half = g.n().div_ceil(2) as VertexId;
+    g.edges().all(|e| (e.0 <= half) != (e.1 <= half))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn even_cycle_bipartite() {
+        let g = generators::cycle(6).unwrap();
+        let b = bipartition(&g).expect("even cycle is bipartite");
+        assert_eq!(b.left(), vec![1, 3, 5]);
+        assert_eq!(b.right(), vec![2, 4, 6]);
+        assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn odd_cycle_not_bipartite() {
+        let g = generators::cycle(5).unwrap();
+        assert!(bipartition(&g).is_none());
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert!(is_bipartite(&LabelledGraph::new(0)));
+        let g = LabelledGraph::new(4);
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.side, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn disconnected_mixed() {
+        // one bipartite component + one odd cycle ⇒ not bipartite
+        let mut g = generators::cycle(3).unwrap().grow(6);
+        g.add_edge(4, 5).unwrap();
+        g.add_edge(5, 6).unwrap();
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn balanced_split_predicate() {
+        // Edges crossing {1,2} | {3,4}
+        let g = LabelledGraph::from_edges(4, [(1, 3), (2, 4), (1, 4)]).unwrap();
+        assert!(respects_balanced_split(&g));
+        let g2 = LabelledGraph::from_edges(4, [(1, 2)]).unwrap();
+        assert!(!respects_balanced_split(&g2));
+    }
+
+    #[test]
+    fn complete_bipartite_generator_is_bipartite() {
+        let g = generators::complete_bipartite(3, 4);
+        assert!(is_bipartite(&g));
+        assert_eq!(g.m(), 12);
+    }
+}

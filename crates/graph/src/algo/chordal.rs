@@ -1,0 +1,233 @@
+//! Chordal-graph recognition (Lex-BFS + perfect-elimination check) and
+//! chordal-specific exact invariants.
+//!
+//! Chordal graphs are the "easy" end of the treewidth world: a graph is
+//! chordal iff it has a *perfect elimination order* (every vertex's
+//! later neighbours form a clique), in which case treewidth = ω − 1 with
+//! **no** fill-in and the Theorem 5 protocol's `k` equals the largest
+//! clique minus one. The k-trees of the Theorem 5 experiments and the
+//! Apollonian networks of the planar experiments are all chordal, so
+//! this module gives those tests an independent exact oracle:
+//!
+//! * [`lex_bfs`] — lexicographic BFS ordering by partition refinement
+//!   (a simple `O(n·m)`-worst-case variant; the graphs it serves here
+//!   are reconstruction-scale, not streaming-scale);
+//! * [`is_chordal`] — Lex-BFS order reversed is a perfect elimination
+//!   order iff the graph is chordal (Rose–Tarjan–Lueker);
+//! * [`perfect_elimination_order`] — the witness, when chordal;
+//! * [`chordal_max_clique`] — ω(G) read off the elimination order;
+//! * [`chordal_treewidth`] — ω(G) − 1, exact for chordal graphs.
+
+use crate::{LabelledGraph, VertexId};
+
+/// Lexicographic BFS: returns a visit order (first visited first).
+/// Implemented with partition refinement over a list of buckets.
+pub fn lex_bfs(g: &LabelledGraph) -> Vec<VertexId> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Buckets of unvisited vertices, ordered by label priority.
+    let mut buckets: Vec<Vec<VertexId>> = vec![(1..=n as VertexId).collect()];
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n + 1];
+    while let Some(first) = buckets.iter_mut().find(|b| !b.is_empty()) {
+        let v = first.pop().expect("nonempty bucket");
+        if visited[v as usize] {
+            continue;
+        }
+        visited[v as usize] = true;
+        order.push(v);
+        // Split every bucket into (neighbours of v, the rest), with the
+        // neighbour part gaining priority.
+        let mut next: Vec<Vec<VertexId>> = Vec::with_capacity(buckets.len() * 2);
+        for bucket in buckets.drain(..) {
+            let (nbrs, rest): (Vec<VertexId>, Vec<VertexId>) = bucket
+                .into_iter()
+                .filter(|&w| !visited[w as usize])
+                .partition(|&w| g.has_edge(v, w));
+            if !nbrs.is_empty() {
+                next.push(nbrs);
+            }
+            if !rest.is_empty() {
+                next.push(rest);
+            }
+        }
+        buckets = next;
+    }
+    order
+}
+
+/// Verify that `order` **reversed** is a perfect elimination order:
+/// for each vertex, its neighbours occurring *earlier* in `order` must
+/// form a clique. (With `order` a Lex-BFS order, this succeeds iff the
+/// graph is chordal.) `O(Σ deg²)` worst case.
+fn reverse_is_peo(g: &LabelledGraph, order: &[VertexId]) -> bool {
+    let n = g.n();
+    let mut position = vec![usize::MAX; n + 1];
+    for (i, &v) in order.iter().enumerate() {
+        position[v as usize] = i;
+    }
+    // Standard optimization: it suffices to check, for each v, that its
+    // earlier neighbourhood's *latest* member ("parent") is adjacent to
+    // all other earlier neighbours.
+    for &v in order.iter() {
+        let earlier: Vec<VertexId> = g
+            .neighbourhood(v)
+            .iter()
+            .copied()
+            .filter(|&w| position[w as usize] < position[v as usize])
+            .collect();
+        let Some(&parent) = earlier.iter().max_by_key(|&&w| position[w as usize]) else {
+            continue;
+        };
+        for &w in &earlier {
+            if w != parent && !g.has_edge(parent, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Is `g` chordal (every cycle of length ≥ 4 has a chord)?
+pub fn is_chordal(g: &LabelledGraph) -> bool {
+    reverse_is_peo(g, &lex_bfs(g))
+}
+
+/// A perfect elimination order (first eliminated first), if one exists.
+pub fn perfect_elimination_order(g: &LabelledGraph) -> Option<Vec<VertexId>> {
+    let order = lex_bfs(g);
+    if reverse_is_peo(g, &order) {
+        let mut peo = order;
+        peo.reverse();
+        Some(peo)
+    } else {
+        None
+    }
+}
+
+/// ω(G) for chordal `g`: 1 + the largest earlier-neighbourhood along
+/// the Lex-BFS order. Returns `None` when `g` is not chordal.
+pub fn chordal_max_clique(g: &LabelledGraph) -> Option<usize> {
+    let order = lex_bfs(g);
+    if !reverse_is_peo(g, &order) {
+        return None;
+    }
+    let n = g.n();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut position = vec![usize::MAX; n + 1];
+    for (i, &v) in order.iter().enumerate() {
+        position[v as usize] = i;
+    }
+    let best = order
+        .iter()
+        .map(|&v| {
+            g.neighbourhood(v)
+                .iter()
+                .filter(|&&w| position[w as usize] < position[v as usize])
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    Some(best + 1)
+}
+
+/// Exact treewidth of a chordal graph: ω(G) − 1. `None` if not chordal.
+pub fn chordal_treewidth(g: &LabelledGraph) -> Option<usize> {
+    chordal_max_clique(g).map(|w| w.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{has_induced_subgraph, treewidth_exact, width_of_order};
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Reference: chordal iff no induced cycle of length ≥ 4. At the
+    /// test sizes, checking C4..C7 suffices.
+    fn brute_chordal(g: &LabelledGraph) -> bool {
+        (4..=g.n().min(7)).all(|k| {
+            !has_induced_subgraph(g, &generators::cycle(k).unwrap())
+        })
+    }
+
+    #[test]
+    fn named_families() {
+        assert!(is_chordal(&generators::path(8)));
+        assert!(is_chordal(&generators::complete(6)));
+        assert!(is_chordal(&generators::star(7).unwrap()));
+        assert!(is_chordal(&generators::complete(3))); // C3 is chordal
+        assert!(!is_chordal(&generators::cycle(4).unwrap()));
+        assert!(!is_chordal(&generators::cycle(7).unwrap()));
+        assert!(!is_chordal(&generators::grid(3, 3)));
+        assert!(!is_chordal(&generators::petersen()));
+        assert!(is_chordal(&LabelledGraph::new(4)));
+        assert!(is_chordal(&LabelledGraph::new(0)));
+    }
+
+    #[test]
+    fn k_trees_and_apollonians_are_chordal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in 1..=4usize {
+            let g = generators::k_tree(14, k, &mut rng);
+            assert!(is_chordal(&g), "k = {k}");
+            assert_eq!(chordal_max_clique(&g), Some(k + 1), "k = {k}");
+            assert_eq!(chordal_treewidth(&g), Some(k), "k = {k}");
+        }
+        let ap = generators::random_apollonian(20, &mut rng).unwrap();
+        assert!(is_chordal(&ap));
+        assert_eq!(chordal_treewidth(&ap), Some(3));
+    }
+
+    #[test]
+    fn chordal_treewidth_agrees_with_exact_dp() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 1..=3usize {
+            let g = generators::k_tree(12, k, &mut rng);
+            assert_eq!(chordal_treewidth(&g), Some(treewidth_exact(&g)));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_exhaustively() {
+        for g in crate::enumerate::all_graphs(6) {
+            assert_eq!(is_chordal(&g), brute_chordal(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn peo_witness_is_valid() {
+        // A PEO eliminates with zero fill-in: simulated width equals
+        // ω − 1 on chordal graphs.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::k_tree(15, 3, &mut rng);
+        let peo = perfect_elimination_order(&g).expect("chordal");
+        assert_eq!(width_of_order(&g, &peo), 3);
+        // Non-chordal graphs yield no witness.
+        assert!(perfect_elimination_order(&generators::cycle(5).unwrap()).is_none());
+    }
+
+    #[test]
+    fn lex_bfs_visits_everything_once() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::gnp(30, 0.1, &mut rng);
+        let order = lex_bfs(&g);
+        assert_eq!(order.len(), 30);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+    }
+
+    #[test]
+    fn disconnected_chordality() {
+        let g = generators::path(4).disjoint_union(&generators::complete(4));
+        assert!(is_chordal(&g));
+        let h = generators::path(4).disjoint_union(&generators::cycle(5).unwrap());
+        assert!(!is_chordal(&h));
+    }
+}

@@ -1,0 +1,164 @@
+//! Maximum clique (Bron–Kerbosch with pivoting) and the clique-number
+//! sandwich `ω − 1 ≤ treewidth` it contributes to the invariant web.
+//!
+//! ω(G) is the third leg of the width triangle the experiments verify:
+//! `ω − 1 ≤ treewidth` (a clique must fit inside some bag) and
+//! `degeneracy ≥ ω − 1` (the last clique vertex eliminated still sees
+//! the others). For chordal graphs all three collapse to equality,
+//! which [`chordal`](crate::algo::chordal) exposes in `O(n·m)` — this
+//! module is the general-graph oracle the chordal shortcut is checked
+//! against.
+
+use crate::{BitSet, LabelledGraph, VertexId};
+
+/// A maximum clique of `g` (vertex list, ascending). Exponential in the
+/// worst case (Bron–Kerbosch with pivoting, degeneracy-ordered outer
+/// loop); fine for the reconstruction-scale graphs of this workspace.
+pub fn max_clique(g: &LabelledGraph) -> Vec<VertexId> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let adj: Vec<BitSet> = (1..=n as VertexId).map(|v| g.neighbourhood_bitset(v)).collect();
+    let mut best: Vec<usize> = Vec::new();
+    // Outer loop in degeneracy order shrinks the candidate sets fast.
+    let order = crate::algo::degeneracy_ordering(g).order;
+    let mut excluded_global = BitSet::new(n);
+    for &v in &order {
+        let vi = (v - 1) as usize;
+        let mut p = adj[vi].clone();
+        p.difference_with(&excluded_global);
+        let mut x = adj[vi].clone();
+        x.intersect_with(&excluded_global);
+        let mut r = vec![vi];
+        bron_kerbosch(&adj, &mut r, p, x, &mut best);
+        excluded_global.set(vi);
+    }
+    let mut out: Vec<VertexId> = best.into_iter().map(|i| (i + 1) as VertexId).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Clique number ω(G); 0 for the empty graph.
+pub fn clique_number(g: &LabelledGraph) -> usize {
+    max_clique(g).len()
+}
+
+fn bron_kerbosch(
+    adj: &[BitSet],
+    r: &mut Vec<usize>,
+    p: BitSet,
+    x: BitSet,
+    best: &mut Vec<usize>,
+) {
+    if p.count() == 0 && x.count() == 0 {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    if r.len() + p.count() <= best.len() {
+        return; // bound: cannot beat the incumbent
+    }
+    // Pivot: the vertex of P ∪ X with most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| adj[u].intersection_count(&p))
+        .expect("P ∪ X nonempty");
+    let mut candidates = p.clone();
+    candidates.difference_with(&adj[pivot]);
+    for v in candidates.iter().collect::<Vec<_>>() {
+        let mut p2 = p.clone();
+        p2.intersect_with(&adj[v]);
+        let mut x2 = x.clone();
+        x2.intersect_with(&adj[v]);
+        r.push(v);
+        bron_kerbosch(adj, r, p2, x2, best);
+        r.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{chordal_max_clique, degeneracy_ordering, treewidth_exact};
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Brute-force ω by subset enumeration (n ≤ 16).
+    fn brute_omega(g: &LabelledGraph) -> usize {
+        let n = g.n();
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let members: Vec<VertexId> =
+                (1..=n as VertexId).filter(|v| mask & (1 << (v - 1)) != 0).collect();
+            if members.len() > best
+                && members.iter().enumerate().all(|(i, &u)| {
+                    members[i + 1..].iter().all(|&w| g.has_edge(u, w))
+                })
+            {
+                best = members.len();
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn named_families() {
+        assert_eq!(clique_number(&generators::complete(7)), 7);
+        assert_eq!(clique_number(&generators::cycle(6).unwrap()), 2);
+        assert_eq!(clique_number(&generators::complete(3)), 3);
+        assert_eq!(clique_number(&generators::petersen()), 2); // triangle-free
+        assert_eq!(clique_number(&generators::complete_bipartite(4, 4)), 2);
+        assert_eq!(clique_number(&LabelledGraph::new(5)), 1);
+        assert_eq!(clique_number(&LabelledGraph::new(0)), 0);
+        assert_eq!(clique_number(&generators::wheel(7).unwrap()), 3);
+    }
+
+    #[test]
+    fn returned_clique_is_a_clique() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let g = generators::gnp(14, 0.45, &mut rng);
+            let c = max_clique(&g);
+            for (i, &u) in c.iter().enumerate() {
+                for &w in &c[i + 1..] {
+                    assert!(g.has_edge(u, w), "non-edge in clique {c:?}");
+                }
+            }
+            assert_eq!(c.len(), brute_omega(&g));
+        }
+    }
+
+    #[test]
+    fn matches_brute_exhaustively() {
+        for g in crate::enumerate::all_graphs(5) {
+            assert_eq!(clique_number(&g), brute_omega(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn width_triangle() {
+        // ω − 1 ≤ treewidth, and degeneracy ≥ ω − 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..12 {
+            let g = generators::gnp(10, 0.4, &mut rng);
+            let omega = clique_number(&g);
+            if g.n() == 0 {
+                continue;
+            }
+            assert!(omega.saturating_sub(1) <= treewidth_exact(&g));
+            assert!(degeneracy_ordering(&g).degeneracy >= omega.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn agrees_with_chordal_shortcut() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 1..=3usize {
+            let g = generators::k_tree(13, k, &mut rng);
+            assert_eq!(Some(clique_number(&g)), chordal_max_clique(&g));
+        }
+    }
+}

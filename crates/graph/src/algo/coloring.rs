@@ -1,0 +1,209 @@
+//! Greedy colouring along a degeneracy order — the textbook dividend of
+//! the elimination structure the paper's referee recovers.
+//!
+//! A graph of degeneracy `d` is `(d + 1)`-colourable: colour vertices in
+//! the *reverse* of the removal order; each vertex sees at most `d`
+//! already-coloured neighbours. After Algorithm 4 reconstructs the
+//! topology, the referee holds exactly such an order, so a valid
+//! `(d + 1)`-colouring (frequency plan, conflict-free schedule, …) costs
+//! one linear pass — a concrete systems payoff of Theorem 5 beyond
+//! "knowing the graph". The exact chromatic number (small-n
+//! backtracking) pins the bound's slack in tests.
+
+use crate::{LabelledGraph, VertexId};
+
+/// A proper colouring: `colour[i]` ∈ `0..num_colours` for vertex `i+1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// Per-vertex colour, 0-based.
+    pub colour: Vec<u32>,
+    /// Number of distinct colours used.
+    pub num_colours: usize,
+}
+
+impl Coloring {
+    /// Check properness against `g`.
+    pub fn is_proper(&self, g: &LabelledGraph) -> bool {
+        self.colour.len() == g.n()
+            && g.edges().all(|e| {
+                self.colour[(e.0 - 1) as usize] != self.colour[(e.1 - 1) as usize]
+            })
+    }
+}
+
+/// Greedy colouring in the given order: each vertex takes the smallest
+/// colour unused by already-coloured neighbours.
+pub fn greedy_coloring(g: &LabelledGraph, order: &[VertexId]) -> Coloring {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must list every vertex exactly once");
+    let mut colour = vec![u32::MAX; n];
+    let mut max_used = 0u32;
+    let mut taken = Vec::new();
+    for &v in order {
+        taken.clear();
+        for &w in g.neighbourhood(v) {
+            let c = colour[(w - 1) as usize];
+            if c != u32::MAX {
+                taken.push(c);
+            }
+        }
+        taken.sort_unstable();
+        taken.dedup();
+        let mut pick = 0u32;
+        for &c in &taken {
+            if c == pick {
+                pick += 1;
+            } else if c > pick {
+                break;
+            }
+        }
+        colour[(v - 1) as usize] = pick;
+        max_used = max_used.max(pick + 1);
+    }
+    Coloring { colour, num_colours: max_used as usize }
+}
+
+/// Colour along the reversed degeneracy order: **at most `d + 1`
+/// colours**, where `d` is the degeneracy.
+pub fn degeneracy_coloring(g: &LabelledGraph) -> Coloring {
+    let mut order = crate::algo::degeneracy_ordering(g).order;
+    order.reverse(); // colour the last-removed first
+    greedy_coloring(g, &order)
+}
+
+/// Exact chromatic number by branch-and-bound (try k = ω, ω+1, …).
+/// Exponential; intended for n ≲ 16 cross-checks.
+pub fn chromatic_number_exact(g: &LabelledGraph) -> usize {
+    let n = g.n();
+    if n == 0 {
+        return 0;
+    }
+    if g.m() == 0 {
+        return 1;
+    }
+    let lower = crate::algo::clique_number(g);
+    let upper = degeneracy_coloring(g).num_colours;
+    for k in lower..=upper {
+        if colourable_with(g, k) {
+            return k;
+        }
+    }
+    upper
+}
+
+fn colourable_with(g: &LabelledGraph, k: usize) -> bool {
+    let n = g.n();
+    let mut colour = vec![usize::MAX; n];
+    // Order vertices by descending degree for earlier pruning.
+    let mut order: Vec<VertexId> = (1..=n as VertexId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    fn rec(
+        g: &LabelledGraph,
+        order: &[VertexId],
+        colour: &mut [usize],
+        depth: usize,
+        k: usize,
+        used_so_far: usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let v = order[depth];
+        // Symmetry breaking: allow at most one brand-new colour.
+        let limit = (used_so_far + 1).min(k);
+        'colours: for c in 0..limit {
+            for &w in g.neighbourhood(v) {
+                if colour[(w - 1) as usize] == c {
+                    continue 'colours;
+                }
+            }
+            colour[(v - 1) as usize] = c;
+            let next_used = used_so_far.max(c + 1);
+            if rec(g, order, colour, depth + 1, k, next_used) {
+                return true;
+            }
+            colour[(v - 1) as usize] = usize::MAX;
+        }
+        false
+    }
+    rec(g, &order, &mut colour, 0, k, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{degeneracy_ordering, is_bipartite};
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn degeneracy_bound_holds_across_families() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graphs = vec![
+            generators::random_tree(50, &mut rng),
+            generators::grid(6, 7),
+            generators::random_apollonian(40, &mut rng).unwrap(),
+            generators::petersen(),
+            generators::barabasi_albert(80, 3, &mut rng).unwrap(),
+            generators::complete(9),
+        ];
+        for g in graphs {
+            let d = degeneracy_ordering(&g).degeneracy;
+            let c = degeneracy_coloring(&g);
+            assert!(c.is_proper(&g), "{g:?}");
+            assert!(c.num_colours <= d + 1, "{g:?}: {} > {}", c.num_colours, d + 1);
+        }
+    }
+
+    #[test]
+    fn exact_chromatic_on_named_graphs() {
+        assert_eq!(chromatic_number_exact(&generators::complete(6)), 6);
+        assert_eq!(chromatic_number_exact(&generators::cycle(6).unwrap()), 2);
+        assert_eq!(chromatic_number_exact(&generators::cycle(7).unwrap()), 3);
+        assert_eq!(chromatic_number_exact(&generators::petersen()), 3);
+        assert_eq!(chromatic_number_exact(&generators::wheel(8).unwrap()), 4); // odd rim
+        assert_eq!(chromatic_number_exact(&generators::wheel(7).unwrap()), 3); // even rim
+        assert_eq!(chromatic_number_exact(&LabelledGraph::new(4)), 1);
+        assert_eq!(chromatic_number_exact(&LabelledGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn exact_is_sandwiched() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let g = generators::gnp(11, 0.35, &mut rng);
+            if g.m() == 0 {
+                continue;
+            }
+            let chi = chromatic_number_exact(&g);
+            let omega = crate::algo::clique_number(&g);
+            let greedy = degeneracy_coloring(&g).num_colours;
+            assert!(omega <= chi && chi <= greedy, "{g:?}: ω={omega}, χ={chi}, greedy={greedy}");
+            // bipartite ⟺ χ ≤ 2
+            assert_eq!(chi <= 2, is_bipartite(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_respects_custom_orders() {
+        let g = generators::path(5);
+        // Worst-case order on a path can use 2 colours anyway.
+        let c = greedy_coloring(&g, &[1, 3, 5, 2, 4]);
+        assert!(c.is_proper(&g));
+        assert!(c.num_colours <= 2);
+        // Crown-graph style example where a bad order wastes colours is
+        // classic; here we just pin validity on a shuffled order.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(20, 0.3, &mut rng);
+        use rand::seq::SliceRandom;
+        let mut order: Vec<u32> = (1..=20).collect();
+        order.shuffle(&mut rng);
+        assert!(greedy_coloring(&g, &order).is_proper(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "every vertex")]
+    fn rejects_partial_orders() {
+        greedy_coloring(&generators::path(4), &[1, 2]);
+    }
+}

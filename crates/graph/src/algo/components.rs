@@ -1,0 +1,119 @@
+//! Connected components and spanning forests.
+
+use crate::csr::Csr;
+use crate::dsu::Dsu;
+use crate::{Edge, LabelledGraph, VertexId};
+
+/// Component label (0-based, contiguous) per vertex: `labels[i]` is the
+/// component of vertex `i + 1`. Labels are assigned in order of first
+/// discovery by ascending vertex ID.
+pub fn components(g: &LabelledGraph) -> Vec<u32> {
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = next;
+        stack.push(s as u32);
+        while let Some(u) = stack.pop() {
+            for &v in csr.neighbours(u as usize) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn component_count(g: &LabelledGraph) -> usize {
+    components(g).iter().max().map_or(0, |&m| m as usize + 1)
+}
+
+/// The connectivity predicate of the paper's main open question (§IV).
+pub fn is_connected(g: &LabelledGraph) -> bool {
+    g.n() <= 1 || component_count(g) == 1
+}
+
+/// A spanning forest as a canonical edge list (one tree per component).
+///
+/// Uses union–find over the edge stream, so the result is exactly the
+/// edge set a referee would keep when simulating distributed component
+/// merging (see the multi-round protocol).
+pub fn spanning_forest(g: &LabelledGraph) -> Vec<Edge> {
+    let mut dsu = Dsu::new(g.n());
+    let mut forest = Vec::new();
+    for e in g.edges() {
+        if dsu.union((e.0 - 1) as usize, (e.1 - 1) as usize) {
+            forest.push(e);
+        }
+    }
+    forest
+}
+
+/// Vertices of the component containing `v` (ascending IDs).
+pub fn component_of(g: &LabelledGraph, v: VertexId) -> Vec<VertexId> {
+    let labels = components(g);
+    let target = labels[(v - 1) as usize];
+    (1..=g.n() as VertexId)
+        .filter(|&u| labels[(u - 1) as usize] == target)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_path() {
+        let g = LabelledGraph::from_edges(4, [(1, 2), (2, 3), (3, 4)]).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(component_count(&g), 1);
+        assert_eq!(spanning_forest(&g).len(), 3);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = LabelledGraph::from_edges(5, [(1, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        assert!(!is_connected(&g));
+        assert_eq!(component_count(&g), 2);
+        let labels = components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        // forest breaks the 3-cycle: 5 vertices, 2 components → 3 tree edges
+        assert_eq!(spanning_forest(&g).len(), 3);
+        assert_eq!(component_of(&g, 4), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = LabelledGraph::new(3);
+        assert_eq!(component_count(&g), 3);
+        assert!(!is_connected(&g));
+        assert!(spanning_forest(&g).is_empty());
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(is_connected(&LabelledGraph::new(0)));
+        assert!(is_connected(&LabelledGraph::new(1)));
+    }
+
+    #[test]
+    fn forest_spans_each_component() {
+        let g = LabelledGraph::from_edges(6, [(1, 2), (2, 3), (1, 3), (4, 5)]).unwrap();
+        let f = spanning_forest(&g);
+        // n - #components = 6 - 3 = 3
+        assert_eq!(f.len(), 3);
+        let fg = LabelledGraph::from_edges(6, f.iter().map(|e| (e.0, e.1))).unwrap();
+        assert_eq!(component_count(&fg), component_count(&g));
+    }
+}

@@ -1,0 +1,131 @@
+//! Acyclicity and girth.
+//!
+//! Forests are exactly the graphs of degeneracy 1 (§III.A), and the forest
+//! protocol must *detect* cycles rather than mis-reconstruct, so the
+//! substrate provides a trusted acyclicity predicate. Girth doubles as a
+//! cross-check for the triangle/square detectors (girth 3 ⟺ triangle,
+//! girth 4 ⟸ square in triangle-free graphs).
+
+use crate::csr::Csr;
+use crate::dsu::Dsu;
+use crate::LabelledGraph;
+
+/// Does `G` contain any cycle?
+pub fn has_cycle(g: &LabelledGraph) -> bool {
+    let mut dsu = Dsu::new(g.n());
+    for e in g.edges() {
+        if !dsu.union((e.0 - 1) as usize, (e.1 - 1) as usize) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is `G` a forest (acyclic)? Equivalent to degeneracy ≤ 1.
+pub fn is_forest(g: &LabelledGraph) -> bool {
+    !has_cycle(g)
+}
+
+/// Length of the shortest cycle, or `None` for forests.
+///
+/// BFS from every vertex; a non-tree edge at BFS levels `d(u)`, `d(v)`
+/// closes a cycle of length `d(u) + d(v) + 1` through the root. The
+/// minimum over all roots is the girth (standard O(n·m) method).
+pub fn girth(g: &LabelledGraph) -> Option<u32> {
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    let mut best: Option<u32> = None;
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
+    for s in 0..n {
+        dist.fill(u32::MAX);
+        parent.fill(u32::MAX);
+        queue.clear();
+        dist[s] = 0;
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            if let Some(b) = best {
+                // levels beyond b/2 cannot improve the bound from this root
+                if dist[u] * 2 >= b {
+                    break;
+                }
+            }
+            for &v in csr.neighbours(u) {
+                let vi = v as usize;
+                if dist[vi] == u32::MAX {
+                    dist[vi] = dist[u] + 1;
+                    parent[vi] = u as u32;
+                    queue.push(v);
+                } else if parent[u] != v && parent[vi] != u as u32 {
+                    let cyc = dist[u] + dist[vi] + 1;
+                    best = Some(best.map_or(cyc, |b| b.min(cyc)));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn forests_are_acyclic() {
+        let g = LabelledGraph::from_edges(5, [(1, 2), (2, 3), (1, 4), (4, 5)]).unwrap();
+        assert!(is_forest(&g));
+        assert_eq!(girth(&g), None);
+    }
+
+    #[test]
+    fn cycle_lengths() {
+        for len in 3..=9u32 {
+            let g = generators::cycle(len as usize).unwrap();
+            assert!(has_cycle(&g));
+            assert_eq!(girth(&g), Some(len), "C{len}");
+        }
+    }
+
+    #[test]
+    fn girth_of_named_graphs() {
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::complete_bipartite(2, 2)), Some(4));
+        assert_eq!(girth(&generators::petersen()), Some(5));
+        assert_eq!(girth(&generators::grid(3, 3)), Some(4));
+        assert_eq!(girth(&generators::hypercube(3)), Some(4));
+    }
+
+    #[test]
+    fn girth_consistent_with_detectors() {
+        use rand::{rngs::StdRng, SeedableRng};
+        use crate::algo::{has_square, has_triangle};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = generators::gnp(15, 0.2, &mut rng);
+            match girth(&g) {
+                Some(3) => assert!(has_triangle(&g)),
+                Some(4) => {
+                    assert!(!has_triangle(&g));
+                    assert!(has_square(&g));
+                }
+                Some(_) => {
+                    assert!(!has_triangle(&g));
+                    assert!(!has_square(&g));
+                }
+                None => assert!(is_forest(&g)),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(is_forest(&LabelledGraph::new(0)));
+        assert!(is_forest(&LabelledGraph::new(3)));
+        assert_eq!(girth(&LabelledGraph::new(3)), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Degeneracy orderings and k-cores (Definition 2 of the paper).
+//!
+//! A graph has degeneracy `k` if vertices can be removed one at a time,
+//! always picking one of degree ≤ k in what remains. The Matula–Beck
+//! bucket algorithm computes the exact degeneracy and a witness
+//! *elimination order* in O(n + m). The referee's Algorithm 4 rediscovers
+//! such an order from the messages alone — this module is the centralized
+//! ground truth it is tested against.
+
+use crate::csr::Csr;
+use crate::{LabelledGraph, VertexId};
+
+/// Output of [`degeneracy_ordering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegeneracyOrdering {
+    /// The degeneracy `k` of the graph (0 for edgeless).
+    pub degeneracy: usize,
+    /// Removal order: `order[0]` is deleted first. Matches Definition 2
+    /// *reversed* — the paper's `(r_1, …, r_n)` lists `r_n` removed first;
+    /// we store the order of removal, so `order` = `(r_n, …, r_1)`.
+    pub order: Vec<VertexId>,
+    /// `core[i]` = the largest `c` such that vertex `i + 1` lies in the
+    /// c-core.
+    pub core: Vec<u32>,
+}
+
+/// Matula–Beck smallest-last ordering. O(n + m).
+pub fn degeneracy_ordering(g: &LabelledGraph) -> DegeneracyOrdering {
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    if n == 0 {
+        return DegeneracyOrdering { degeneracy: 0, order: Vec::new(), core: Vec::new() };
+    }
+
+    // Bucket queue over current degrees.
+    let mut deg: Vec<u32> = (0..n).map(|i| csr.degree(i) as u32).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (i, &d) in deg.iter().enumerate() {
+        buckets[d as usize].push(i as u32);
+    }
+
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut core = vec![0u32; n];
+    let mut k = 0u32;
+    let mut cursor = 0usize; // lowest possibly-nonempty bucket
+
+    for _ in 0..n {
+        // Find the lowest-degree live vertex. The cursor only needs to step
+        // back by one after each removal, keeping the loop O(n + m) overall.
+        cursor = cursor.min(max_deg);
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(cand) => {
+                    let ci = cand as usize;
+                    if !removed[ci] && deg[ci] as usize == cursor {
+                        break ci;
+                    }
+                    // stale entry — skip
+                }
+                None => cursor += 1,
+            }
+        };
+        k = k.max(deg[v]);
+        core[v] = k;
+        removed[v] = true;
+        order.push((v + 1) as VertexId);
+        for &w in csr.neighbours(v) {
+            let wi = w as usize;
+            if !removed[wi] {
+                deg[wi] -= 1;
+                buckets[deg[wi] as usize].push(w);
+            }
+        }
+        cursor = cursor.saturating_sub(1);
+    }
+
+    DegeneracyOrdering { degeneracy: k as usize, order, core }
+}
+
+/// Vertices of the `k`-core (maximal induced subgraph with min degree ≥ k),
+/// ascending IDs. Empty if no such subgraph exists.
+pub fn k_cores(g: &LabelledGraph, k: u32) -> Vec<VertexId> {
+    let ord = degeneracy_ordering(g);
+    (1..=g.n() as VertexId)
+        .filter(|&v| ord.core[(v - 1) as usize] >= k)
+        .collect()
+}
+
+/// Reference implementation of Definition 2 by literal simulation:
+/// repeatedly delete *any* vertex of minimum degree, tracking the maximum
+/// degree at deletion time. O(n²) — used to cross-check Matula–Beck.
+pub fn degeneracy_brute_force(g: &LabelledGraph) -> usize {
+    let n = g.n();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut deg: Vec<usize> = (1..=n as VertexId).map(|v| g.degree(v)).collect();
+    let mut k = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&i| alive[i])
+            .min_by_key(|&i| deg[i])
+            .expect("some vertex alive");
+        k = k.max(deg[v]);
+        alive[v] = false;
+        for &w in g.neighbourhood((v + 1) as VertexId) {
+            if alive[(w - 1) as usize] {
+                deg[(w - 1) as usize] -= 1;
+            }
+        }
+    }
+    k
+}
+
+/// Verify that `order` (removal-first order) witnesses degeneracy ≤ `k`:
+/// each vertex must have ≤ k live neighbours when removed.
+pub fn verify_elimination_order(g: &LabelledGraph, order: &[VertexId], k: usize) -> bool {
+    if order.len() != g.n() {
+        return false;
+    }
+    let mut removed = vec![false; g.n()];
+    for &v in order {
+        if v == 0 || v as usize > g.n() || removed[(v - 1) as usize] {
+            return false;
+        }
+        let live = g
+            .neighbourhood(v)
+            .iter()
+            .filter(|&&w| !removed[(w - 1) as usize])
+            .count();
+        if live > k {
+            return false;
+        }
+        removed[(v - 1) as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn forest_degeneracy_one() {
+        let g = LabelledGraph::from_edges(5, [(1, 2), (2, 3), (3, 4), (3, 5)]).unwrap();
+        let ord = degeneracy_ordering(&g);
+        assert_eq!(ord.degeneracy, 1);
+        assert!(verify_elimination_order(&g, &ord.order, 1));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = generators::complete(6);
+        let ord = degeneracy_ordering(&g);
+        assert_eq!(ord.degeneracy, 5);
+        assert_eq!(degeneracy_brute_force(&g), 5);
+        assert!(verify_elimination_order(&g, &ord.order, 5));
+        assert!(!verify_elimination_order(&g, &ord.order, 4));
+    }
+
+    #[test]
+    fn cycle_degeneracy_two() {
+        let g = generators::cycle(7).unwrap();
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 2);
+        assert_eq!(degeneracy_brute_force(&g), 2);
+    }
+
+    #[test]
+    fn grid_degeneracy_two() {
+        let g = generators::grid(4, 5);
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 2);
+        assert_eq!(degeneracy_brute_force(&g), 2);
+    }
+
+    #[test]
+    fn cores_of_clique_plus_tail() {
+        // K4 on {1,2,3,4} plus pendant path 4-5-6
+        let mut g = generators::complete(4).grow(6);
+        g.add_edge(4, 5).unwrap();
+        g.add_edge(5, 6).unwrap();
+        let ord = degeneracy_ordering(&g);
+        assert_eq!(ord.degeneracy, 3);
+        assert_eq!(k_cores(&g, 3), vec![1, 2, 3, 4]);
+        assert_eq!(k_cores(&g, 1), vec![1, 2, 3, 4, 5, 6]);
+        assert!(k_cores(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let ord = degeneracy_ordering(&LabelledGraph::new(0));
+        assert_eq!(ord.degeneracy, 0);
+        let ord = degeneracy_ordering(&LabelledGraph::new(4));
+        assert_eq!(ord.degeneracy, 0);
+        assert_eq!(ord.order.len(), 4);
+    }
+
+    #[test]
+    fn matula_beck_matches_brute_force_on_random() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let g = generators::gnp(30, 0.15, &mut rng);
+            assert_eq!(
+                degeneracy_ordering(&g).degeneracy,
+                degeneracy_brute_force(&g),
+                "graph: {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let g = generators::grid(3, 3);
+        let ord = degeneracy_ordering(&g);
+        let mut sorted = ord.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=9).collect::<Vec<_>>());
+    }
+}

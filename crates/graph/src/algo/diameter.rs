@@ -1,0 +1,203 @@
+//! Exact graph diameter via all-pairs BFS.
+//!
+//! Theorem 2 of the paper shows "is diam(G) ≤ 3?" cannot be decided by a
+//! one-round frugal protocol. The gadget validation experiments (Figure 1)
+//! need exact diameters on many graphs, so the all-pairs loop reuses BFS
+//! scratch buffers and supports an early-exit threshold variant.
+
+use crate::algo::bfs::{bfs_into, UNREACHABLE};
+use crate::csr::Csr;
+use crate::LabelledGraph;
+
+/// Result of a diameter computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diameter {
+    /// Graph is connected with the given diameter.
+    Finite(u32),
+    /// Graph is disconnected (infinite diameter).
+    Infinite,
+}
+
+impl Diameter {
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<u32> {
+        match self {
+            Diameter::Finite(d) => Some(d),
+            Diameter::Infinite => None,
+        }
+    }
+}
+
+/// Exact diameter. O(n · (n + m)).
+pub fn diameter(g: &LabelledGraph) -> Diameter {
+    if g.n() == 0 {
+        return Diameter::Finite(0);
+    }
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    let mut dist = vec![0u32; n];
+    let mut queue = Vec::with_capacity(n);
+    let mut best = 0u32;
+    for s in 0..n {
+        bfs_into(&csr, s, &mut dist, &mut queue);
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return Diameter::Infinite;
+            }
+            best = best.max(d);
+        }
+    }
+    Diameter::Finite(best)
+}
+
+/// Decide `diam(G) ≤ t` — the exact predicate of Theorem 2 (with `t = 3`).
+///
+/// Early-exits as soon as one BFS exceeds `t`, so validating gadgets whose
+/// diameter is 4 is cheap.
+pub fn diameter_at_most(g: &LabelledGraph, t: u32) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    let mut dist = vec![0u32; n];
+    let mut queue = Vec::with_capacity(n);
+    for s in 0..n {
+        bfs_into(&csr, s, &mut dist, &mut queue);
+        for &d in &dist {
+            if d == UNREACHABLE || d > t {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Eccentricity of every vertex (`None` if the graph is disconnected).
+/// `result[i]` is the eccentricity of vertex `i + 1`.
+pub fn eccentricities(g: &LabelledGraph) -> Option<Vec<u32>> {
+    let csr = Csr::from_graph(g);
+    let n = csr.n();
+    let mut dist = vec![0u32; n];
+    let mut queue = Vec::with_capacity(n);
+    let mut ecc = vec![0u32; n];
+    for s in 0..n {
+        bfs_into(&csr, s, &mut dist, &mut queue);
+        let mut max = 0;
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            max = max.max(d);
+        }
+        ecc[s] = max;
+    }
+    Some(ecc)
+}
+
+/// Radius: the minimum eccentricity (`None` when disconnected). The
+/// diameter gadget analysis of Theorem 2 is at heart an eccentricity
+/// statement about the two pendant vertices; these helpers let the
+/// experiments speak that language directly.
+pub fn radius(g: &LabelledGraph) -> Option<u32> {
+    eccentricities(g).map(|e| e.into_iter().min().unwrap_or(0))
+}
+
+/// Centre: all vertices of minimum eccentricity (ascending IDs; empty for
+/// disconnected graphs).
+pub fn center(g: &LabelledGraph) -> Vec<crate::VertexId> {
+    match eccentricities(g) {
+        None => Vec::new(),
+        Some(ecc) => {
+            let r = ecc.iter().copied().min().unwrap_or(0);
+            ecc.iter()
+                .enumerate()
+                .filter(|&(_, &e)| e == r)
+                .map(|(i, _)| (i + 1) as crate::VertexId)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_diameter() {
+        let g = LabelledGraph::from_edges(5, [(1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert_eq!(diameter(&g), Diameter::Finite(4));
+        assert!(diameter_at_most(&g, 4));
+        assert!(!diameter_at_most(&g, 3));
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = generators::complete(6);
+        assert_eq!(diameter(&g), Diameter::Finite(1));
+        assert!(diameter_at_most(&g, 1));
+    }
+
+    #[test]
+    fn disconnected_is_infinite() {
+        let g = LabelledGraph::from_edges(4, [(1, 2), (3, 4)]).unwrap();
+        assert_eq!(diameter(&g), Diameter::Infinite);
+        assert_eq!(diameter(&g).finite(), None);
+        assert!(!diameter_at_most(&g, 100));
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert_eq!(diameter(&LabelledGraph::new(0)), Diameter::Finite(0));
+        assert_eq!(diameter(&LabelledGraph::new(1)), Diameter::Finite(0));
+        assert!(diameter_at_most(&LabelledGraph::new(1), 0));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = generators::cycle(8).unwrap();
+        assert_eq!(diameter(&g), Diameter::Finite(4));
+        let g = generators::cycle(9).unwrap();
+        assert_eq!(diameter(&g), Diameter::Finite(4));
+    }
+
+    #[test]
+    fn radius_and_center_of_path() {
+        let g = LabelledGraph::from_edges(5, [(1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert_eq!(radius(&g), Some(2));
+        assert_eq!(center(&g), vec![3]);
+        let ecc = eccentricities(&g).unwrap();
+        assert_eq!(ecc, vec![4, 3, 2, 3, 4]);
+    }
+
+    #[test]
+    fn center_of_even_path_has_two_vertices() {
+        let g = generators::path(6);
+        assert_eq!(center(&g), vec![3, 4]);
+        assert_eq!(radius(&g), Some(3));
+    }
+
+    #[test]
+    fn star_center() {
+        let g = generators::star(7).unwrap();
+        assert_eq!(center(&g), vec![1]);
+        assert_eq!(radius(&g), Some(1));
+        assert_eq!(diameter(&g), Diameter::Finite(2));
+    }
+
+    #[test]
+    fn disconnected_has_no_center() {
+        let g = LabelledGraph::from_edges(4, [(1, 2)]).unwrap();
+        assert_eq!(radius(&g), None);
+        assert!(center(&g).is_empty());
+        assert_eq!(eccentricities(&g), None);
+    }
+
+    #[test]
+    fn vertex_transitive_graphs_are_all_center() {
+        let g = generators::cycle(6).unwrap();
+        assert_eq!(center(&g).len(), 6);
+        assert_eq!(radius(&g), Some(3));
+    }
+}

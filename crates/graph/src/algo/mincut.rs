@@ -1,0 +1,218 @@
+//! Global minimum edge cut (Stoer–Wagner) and edge connectivity.
+//!
+//! Substrate for the k-edge-connectivity sketch extension: the referee
+//! peels `k` edge-disjoint spanning forests out of the sketches and then
+//! needs the *exact* edge connectivity of their (sparse) union, which
+//! preserves all cuts of the original graph up to size `k`. For
+//! unweighted simple graphs, edge connectivity = global min cut.
+//!
+//! The implementation is the classical Stoer–Wagner minimum-cut-phase
+//! algorithm, `O(n³)` with a plain adjacency matrix — ample for the
+//! referee-side graphs these experiments produce (unions hold at most
+//! `k(n−1)` edges).
+
+use crate::{LabelledGraph, VertexId};
+
+/// A global minimum cut: its weight (edge count) and one side of the
+/// partition (original 1-based IDs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// Number of edges crossing the cut.
+    pub weight: usize,
+    /// The vertices on one (the smaller-index-merged) side.
+    pub side: Vec<VertexId>,
+}
+
+/// Stoer–Wagner global minimum cut. Returns `None` for graphs with
+/// fewer than 2 vertices (no cut exists). Disconnected graphs yield
+/// weight 0 with one component as the side.
+pub fn global_min_cut(g: &LabelledGraph) -> Option<MinCut> {
+    let n = g.n();
+    if n < 2 {
+        return None;
+    }
+    // Adjacency weights; merged vertices accumulate.
+    let mut w = vec![vec![0i64; n]; n];
+    for e in g.edges() {
+        w[(e.0 - 1) as usize][(e.1 - 1) as usize] = 1;
+        w[(e.1 - 1) as usize][(e.0 - 1) as usize] = 1;
+    }
+    // groups[v] = original vertices currently merged into v.
+    let mut groups: Vec<Vec<VertexId>> = (1..=n as VertexId).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best: Option<MinCut> = None;
+
+    while active.len() > 1 {
+        // Minimum cut phase: maximum-adjacency order over `active`.
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0i64; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weight_to_a[v])
+                .expect("active vertex remains");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weight_to_a[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().expect("phase order nonempty");
+        let s = order[order.len() - 2];
+        let cut_of_phase = {
+            // weight_to_a[t] was frozen when t entered A; recompute:
+            active.iter().filter(|&&v| v != t).map(|&v| w[t][v]).sum::<i64>()
+        };
+        let candidate = MinCut {
+            weight: cut_of_phase as usize,
+            side: groups[t].clone(),
+        };
+        if best.as_ref().is_none_or(|b| candidate.weight < b.weight) {
+            best = Some(candidate);
+        }
+        // Merge t into s.
+        let moved = std::mem::take(&mut groups[t]);
+        groups[s].extend(moved);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    best.map(|mut b| {
+        b.side.sort_unstable();
+        b
+    })
+}
+
+/// Edge connectivity λ(G): the size of a global minimum cut. 0 for
+/// disconnected or trivial graphs.
+///
+/// ```
+/// use referee_graph::{algo, generators};
+/// assert_eq!(algo::edge_connectivity(&generators::cycle(9).unwrap()), 2);
+/// assert_eq!(algo::edge_connectivity(&generators::hypercube(4)), 4);
+/// ```
+pub fn edge_connectivity(g: &LabelledGraph) -> usize {
+    global_min_cut(g).map_or(0, |c| c.weight)
+}
+
+/// Is `g` k-edge-connected? (Requires ≥ 2 vertices and every cut ≥ k.)
+pub fn is_k_edge_connected(g: &LabelledGraph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    g.n() >= 2 && edge_connectivity(g) >= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Brute force: try all 2^(n-1) bipartitions.
+    fn brute_min_cut(g: &LabelledGraph) -> usize {
+        let n = g.n();
+        assert!(n >= 2 && n <= 16);
+        let mut best = usize::MAX;
+        for mask in 1u32..(1 << (n - 1)) {
+            // vertex n always on side B to halve the search
+            let crossing = g
+                .edges()
+                .filter(|e| {
+                    let a = e.0 as usize <= n - 1 && mask & (1 << (e.0 - 1)) != 0;
+                    let b = e.1 as usize <= n - 1 && mask & (1 << (e.1 - 1)) != 0;
+                    a != b
+                })
+                .count();
+            best = best.min(crossing);
+        }
+        best
+    }
+
+    #[test]
+    fn known_families() {
+        assert_eq!(edge_connectivity(&generators::path(6)), 1);
+        assert_eq!(edge_connectivity(&generators::cycle(8).unwrap()), 2);
+        assert_eq!(edge_connectivity(&generators::complete(6)), 5);
+        assert_eq!(edge_connectivity(&generators::complete_bipartite(3, 5)), 3);
+        assert_eq!(edge_connectivity(&generators::hypercube(3)), 3);
+        assert_eq!(edge_connectivity(&generators::hypercube(4)), 4);
+        assert_eq!(edge_connectivity(&generators::petersen()), 3);
+        assert_eq!(edge_connectivity(&generators::grid(3, 4)), 2);
+    }
+
+    #[test]
+    fn disconnected_and_trivial() {
+        assert!(global_min_cut(&LabelledGraph::new(0)).is_none());
+        assert!(global_min_cut(&LabelledGraph::new(1)).is_none());
+        assert_eq!(edge_connectivity(&LabelledGraph::new(3)), 0);
+        let g = generators::path(3).disjoint_union(&generators::path(2));
+        assert_eq!(edge_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn bridge_graph_cut_is_one_and_side_is_correct() {
+        // Two triangles joined by a bridge.
+        let g = LabelledGraph::from_edges(
+            6,
+            [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6), (3, 4)],
+        )
+        .unwrap();
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 1);
+        assert!(cut.side == vec![1, 2, 3] || cut.side == vec![4, 5, 6], "{:?}", cut.side);
+    }
+
+    #[test]
+    fn matches_brute_force_exhaustively() {
+        for g in crate::enumerate::all_graphs(5) {
+            assert_eq!(edge_connectivity(&g), brute_min_cut(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for trial in 0..25 {
+            let g = generators::gnp(10, 0.3, &mut rng);
+            assert_eq!(edge_connectivity(&g), brute_min_cut(&g), "trial {trial}: {g:?}");
+        }
+    }
+
+    #[test]
+    fn cut_side_is_a_certificate() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let g = generators::gnp(12, 0.25, &mut rng);
+            if let Some(cut) = global_min_cut(&g) {
+                let crossing = g
+                    .edges()
+                    .filter(|e| {
+                        cut.side.binary_search(&e.0).is_ok()
+                            != cut.side.binary_search(&e.1).is_ok()
+                    })
+                    .count();
+                assert_eq!(crossing, cut.weight, "side does not witness the weight");
+                assert!(!cut.side.is_empty() && cut.side.len() < g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn k_edge_connected_predicate() {
+        let c = generators::cycle(10).unwrap();
+        assert!(is_k_edge_connected(&c, 0));
+        assert!(is_k_edge_connected(&c, 1));
+        assert!(is_k_edge_connected(&c, 2));
+        assert!(!is_k_edge_connected(&c, 3));
+        assert!(!is_k_edge_connected(&LabelledGraph::new(1), 1));
+    }
+}

@@ -1,0 +1,292 @@
+//! Square (C4) detection and counting.
+//!
+//! Theorem 1: no one-round frugal protocol decides whether G contains a
+//! square, because square-free graphs are too numerous (2^Θ(n^{3/2}),
+//! Kleitman–Winston) to fit the message budget. Both the gadget validation
+//! (E3) and the counting experiment (E5) need exact square queries.
+//!
+//! Method: a C4 exists iff some vertex pair has ≥ 2 common neighbours.
+//! Enumerating length-2 paths costs O(Σ_v deg(v)²), the standard bound.
+
+use crate::{LabelledGraph, VertexId};
+use std::collections::HashMap;
+
+#[inline]
+fn pack(u: u32, w: u32) -> u64 {
+    debug_assert!(u < w);
+    ((u as u64) << 32) | w as u64
+}
+
+/// Does `G` contain a 4-cycle (not necessarily induced)?
+pub fn has_square(g: &LabelledGraph) -> bool {
+    find_square(g).is_some()
+}
+
+/// Find one square `(a, b, c, d)` (cycle order `a-b-c-d-a`), if any.
+pub fn find_square(g: &LabelledGraph) -> Option<(VertexId, VertexId, VertexId, VertexId)> {
+    // seen[(u,w)] = the first midpoint v of a path u - v - w
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    for v in 1..=g.n() as VertexId {
+        let nbrs = g.neighbourhood(v);
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                let key = pack(u.min(w), u.max(w));
+                match seen.get(&key) {
+                    Some(&mid) if mid != v => {
+                        // u - v - w and u - mid - w close a 4-cycle
+                        return Some((u, v, w, mid));
+                    }
+                    Some(_) => {}
+                    None => {
+                        seen.insert(key, v);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Exact number of 4-cycles: `Σ_{u<w} C(codeg(u,w), 2) / 2` (each square
+/// is counted once per diagonal pair).
+pub fn count_squares(g: &LabelledGraph) -> u64 {
+    let mut codeg: HashMap<u64, u32> = HashMap::new();
+    for v in 1..=g.n() as VertexId {
+        let nbrs = g.neighbourhood(v);
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                *codeg.entry(pack(u.min(w), u.max(w))).or_insert(0) += 1;
+            }
+        }
+    }
+    let twice: u64 = codeg
+        .values()
+        .map(|&c| (c as u64) * (c as u64 - 1) / 2)
+        .sum();
+    debug_assert_eq!(twice % 2, 0, "each square has exactly two diagonals");
+    twice / 2
+}
+
+/// The square-freeness predicate used by the Lemma 1 counting experiment.
+pub fn is_square_free(g: &LabelledGraph) -> bool {
+    !has_square(g)
+}
+
+/// Does `G` contain an **induced** 4-cycle (a C4 with neither chord)?
+///
+/// §II.A's closing remark: "By the same arguments we deduce that there is
+/// no frugal one-round protocol testing if the graph has a square as an
+/// induced subgraph." The gadget experiments validate that remark, which
+/// needs this exact predicate.
+pub fn has_induced_square(g: &LabelledGraph) -> bool {
+    find_induced_square(g).is_some()
+}
+
+/// Find one induced square `(a, b, c, d)` in cycle order, if any.
+///
+/// Enumerates diagonal pairs as in [`find_square`], then filters chords:
+/// the cycle `u - v - w - mid - u` is induced iff `{u, w}` and `{v, mid}`
+/// are both non-edges.
+pub fn find_induced_square(
+    g: &LabelledGraph,
+) -> Option<(VertexId, VertexId, VertexId, VertexId)> {
+    // For each non-adjacent pair (u, w), collect common neighbours; any two
+    // non-adjacent common neighbours close an induced C4.
+    let mut common: HashMap<u64, Vec<u32>> = HashMap::new();
+    for v in 1..=g.n() as VertexId {
+        let nbrs = g.neighbourhood(v);
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                if g.has_edge(u, w) {
+                    continue; // chord u-w: cannot be a diagonal of an induced C4
+                }
+                let mids = common.entry(pack(u.min(w), u.max(w))).or_default();
+                for &mid in mids.iter() {
+                    if !g.has_edge(mid, v) {
+                        return Some((u, v, w, mid));
+                    }
+                }
+                mids.push(v);
+            }
+        }
+    }
+    None
+}
+
+/// Exact number of induced 4-cycles.
+pub fn count_induced_squares(g: &LabelledGraph) -> u64 {
+    // Each induced C4 has exactly two (non-adjacent) diagonal pairs, and
+    // for each diagonal the two midpoints are non-adjacent. Count pairs of
+    // non-adjacent common neighbours per non-adjacent pair, halve.
+    let mut twice = 0u64;
+    for u in 1..=g.n() as VertexId {
+        for w in (u + 1)..=g.n() as VertexId {
+            if g.has_edge(u, w) {
+                continue;
+            }
+            let nu = g.neighbourhood(u);
+            let nw = g.neighbourhood(w);
+            // sorted intersection
+            let (mut i, mut j) = (0, 0);
+            let mut mids: Vec<u32> = Vec::new();
+            while i < nu.len() && j < nw.len() {
+                match nu[i].cmp(&nw[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        mids.push(nu[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            for (a, &x) in mids.iter().enumerate() {
+                for &y in &mids[a + 1..] {
+                    if !g.has_edge(x, y) {
+                        twice += 1;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(twice % 2, 0);
+    twice / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn c4_detected() {
+        let g = generators::cycle(4).unwrap();
+        assert!(has_square(&g));
+        assert_eq!(count_squares(&g), 1);
+        let (a, b, c, d) = find_square(&g).unwrap();
+        // verify it is a real cycle
+        assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(c, d) && g.has_edge(d, a));
+    }
+
+    #[test]
+    fn triangle_and_trees_square_free() {
+        assert!(is_square_free(&generators::cycle(3).unwrap()));
+        assert!(is_square_free(&generators::cycle(5).unwrap()));
+        let t = LabelledGraph::from_edges(5, [(1, 2), (2, 3), (3, 4), (3, 5)]).unwrap();
+        assert!(is_square_free(&t));
+        assert_eq!(count_squares(&t), 0);
+    }
+
+    #[test]
+    fn k23_counts() {
+        // K_{2,3} has C(3,2) = 3 squares
+        let g = generators::complete_bipartite(2, 3);
+        assert_eq!(count_squares(&g), 3);
+        assert!(has_square(&g));
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        // K5: 3 * C(5,4) = 15 four-cycles
+        let g = generators::complete(5);
+        assert_eq!(count_squares(&g), 15);
+    }
+
+    #[test]
+    fn count_matches_brute_force_on_random() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let g = generators::gnp(12, 0.35, &mut rng);
+            let n = g.n() as u32;
+            let mut brute = 0u64;
+            // enumerate 4-cycles a-b-c-d with canonical a = min, b < d
+            for a in 1..=n {
+                for b in 1..=n {
+                    for c in 1..=n {
+                        for d in 1..=n {
+                            if a < b && a < c && a < d && b < d
+                                && g.has_edge(a, b) && g.has_edge(b, c)
+                                && g.has_edge(c, d) && g.has_edge(d, a)
+                                && a != c && b != d
+                            {
+                                brute += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_squares(&g), brute, "graph {g:?}");
+            assert_eq!(has_square(&g), brute > 0);
+        }
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert!(!has_square(&LabelledGraph::new(0)));
+        assert!(!has_square(&LabelledGraph::new(6)));
+    }
+
+    #[test]
+    fn shared_midpoint_not_a_square() {
+        // star K_{1,3}: many pairs share ONE midpoint, no square
+        let g = generators::star(4).unwrap();
+        assert!(!has_square(&g));
+    }
+
+    #[test]
+    fn induced_square_basic() {
+        // C4 is its own induced square…
+        let c4 = generators::cycle(4).unwrap();
+        assert!(has_induced_square(&c4));
+        assert_eq!(count_induced_squares(&c4), 1);
+        let (a, b, c, d) = find_induced_square(&c4).unwrap();
+        assert!(c4.has_edge(a, b) && c4.has_edge(b, c) && c4.has_edge(c, d) && c4.has_edge(d, a));
+        assert!(!c4.has_edge(a, c) && !c4.has_edge(b, d));
+        // …but K4 contains squares only WITH chords.
+        let k4 = generators::complete(4);
+        assert!(has_square(&k4));
+        assert!(!has_induced_square(&k4));
+        assert_eq!(count_induced_squares(&k4), 0);
+    }
+
+    #[test]
+    fn induced_count_on_bipartite() {
+        // K_{2,3}: all 3 squares are induced (no edges within parts).
+        let g = generators::complete_bipartite(2, 3);
+        assert_eq!(count_induced_squares(&g), 3);
+        // K_{3,3}: C(3,2)² = 9 squares, all induced.
+        let g = generators::complete_bipartite(3, 3);
+        assert_eq!(count_induced_squares(&g), 9);
+        assert_eq!(count_squares(&g), 9);
+    }
+
+    #[test]
+    fn induced_matches_brute_force_on_random() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..10 {
+            let g = generators::gnp(10, 0.4, &mut rng);
+            let n = g.n() as u32;
+            let mut brute = 0u64;
+            for a in 1..=n {
+                for b in 1..=n {
+                    for c in 1..=n {
+                        for d in 1..=n {
+                            if a < b && a < c && a < d && b < d
+                                && g.has_edge(a, b) && g.has_edge(b, c)
+                                && g.has_edge(c, d) && g.has_edge(d, a)
+                                && !g.has_edge(a, c) && !g.has_edge(b, d)
+                                && a != c && b != d
+                            {
+                                brute += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_induced_squares(&g), brute, "graph {g:?}");
+            assert_eq!(has_induced_square(&g), brute > 0);
+        }
+    }
+}

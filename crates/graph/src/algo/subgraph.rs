@@ -1,0 +1,374 @@
+//! Generic small-pattern subgraph isomorphism (backtracking with degree
+//! and connectivity pruning).
+//!
+//! §II of the paper opens with the general question: *"given a small
+//! non-trivial graph S, does G admit S as a (not necessarily induced)
+//! subgraph?"* and observes it is "most often impossible to answer in
+//! one round". The concrete theorems instantiate S = C₄ (Theorem 1) and
+//! S = C₃ (Theorem 3); this module supplies the detector for *arbitrary*
+//! fixed S so the hardness-gadget framework (and the tests validating
+//! it) can quantify over patterns rather than hard-coding two of them.
+//!
+//! For fixed pattern size `p` the search is `O(n^p)` worst case, which
+//! is fine for the pattern sizes the paper contemplates (≤ 6); the
+//! square/triangle fast paths in [`squares`](crate::algo::squares) and
+//! [`triangles`](crate::algo::triangles) remain the production
+//! detectors, and the tests here cross-check them.
+
+use crate::{LabelledGraph, VertexId};
+
+/// Does `host` contain `pattern` as a **not necessarily induced**
+/// subgraph? (Every pattern edge must map to a host edge; pattern
+/// non-edges are unconstrained.) Pattern and host are both labelled, but
+/// the embedding may send pattern vertex `i` to any host vertex.
+///
+/// ```
+/// use referee_graph::{algo, generators};
+/// let host = generators::petersen(); // girth 5
+/// assert!(!algo::has_subgraph(&host, &generators::cycle(4).unwrap()));
+/// assert!(algo::has_subgraph(&host, &generators::cycle(5).unwrap()));
+/// ```
+pub fn has_subgraph(host: &LabelledGraph, pattern: &LabelledGraph) -> bool {
+    find_subgraph(host, pattern).is_some()
+}
+
+/// Does `host` contain `pattern` as an **induced** subgraph? (Pattern
+/// edges map to edges *and* pattern non-edges map to non-edges.)
+pub fn has_induced_subgraph(host: &LabelledGraph, pattern: &LabelledGraph) -> bool {
+    find_embedding(host, pattern, true).is_some()
+}
+
+/// Find one subgraph embedding: `result[i]` = host vertex hosting
+/// pattern vertex `i + 1`. `None` if no embedding exists.
+pub fn find_subgraph(host: &LabelledGraph, pattern: &LabelledGraph) -> Option<Vec<VertexId>> {
+    find_embedding(host, pattern, false)
+}
+
+/// Count all embeddings of `pattern` into `host` (labelled embeddings,
+/// i.e. distinct injective maps — so a triangle is counted 6 times, once
+/// per automorphism). Divide by `|Aut(pattern)|` for unlabelled counts.
+pub fn count_embeddings(host: &LabelledGraph, pattern: &LabelledGraph) -> u64 {
+    let mut count = 0;
+    enumerate_embeddings(host, pattern, false, &mut |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+/// Size of the automorphism group of `g` (embeddings of `g` into
+/// itself). Useful to convert labelled embedding counts to subgraph
+/// counts: `count_embeddings(h, p) / automorphism_count(p)`.
+pub fn automorphism_count(g: &LabelledGraph) -> u64 {
+    // An automorphism is an embedding of g into itself with the same
+    // number of edges used — for non-induced embeddings of g into g,
+    // injectivity on n vertices forces a bijection, and edge
+    // preservation both ways requires induced matching.
+    let mut count = 0;
+    enumerate_embeddings(g, g, true, &mut |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+fn find_embedding(
+    host: &LabelledGraph,
+    pattern: &LabelledGraph,
+    induced: bool,
+) -> Option<Vec<VertexId>> {
+    let mut found = None;
+    enumerate_embeddings(host, pattern, induced, &mut |emb| {
+        found = Some(emb.to_vec());
+        false // stop at the first
+    });
+    found
+}
+
+/// Core backtracking enumerator. Calls `visit` with each embedding
+/// (`emb[i]` = host vertex for pattern vertex `i+1`); `visit` returns
+/// `false` to stop the search.
+///
+/// Pattern vertices are matched in an order that keeps the frontier
+/// connected where possible, so partial assignments are pruned by
+/// adjacency early.
+fn enumerate_embeddings(
+    host: &LabelledGraph,
+    pattern: &LabelledGraph,
+    induced: bool,
+    visit: &mut impl FnMut(&[VertexId]) -> bool,
+) {
+    let p = pattern.n();
+    let n = host.n();
+    if p == 0 {
+        visit(&[]);
+        return;
+    }
+    if p > n {
+        return;
+    }
+
+    // Matching order: repeatedly take the unmatched pattern vertex with
+    // the most already-matched neighbours (ties: larger degree), so each
+    // new vertex is constrained by as many placed neighbours as
+    // possible.
+    let order = {
+        let mut order = Vec::with_capacity(p);
+        let mut placed = vec![false; p + 1];
+        for _ in 0..p {
+            let best = (1..=p as VertexId)
+                .filter(|&v| !placed[v as usize])
+                .max_by_key(|&v| {
+                    let anchored = pattern
+                        .neighbourhood(v)
+                        .iter()
+                        .filter(|&&w| placed[w as usize])
+                        .count();
+                    (anchored, pattern.degree(v))
+                })
+                .expect("unplaced vertex remains");
+            placed[best as usize] = true;
+            order.push(best);
+        }
+        order
+    };
+
+    // emb[pattern vertex] = host vertex (0 = unassigned). Recursion
+    // depth equals the pattern size, which is small by assumption.
+    let mut emb = vec![0 as VertexId; p + 1];
+    let mut used = vec![false; n + 1];
+    let mut out = vec![0 as VertexId; p];
+    recurse(host, pattern, &order, induced, 0, &mut emb, &mut used, &mut out, visit);
+}
+
+/// Recursive step of [`enumerate_embeddings`]; returns `false` once
+/// `visit` asks to stop.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    host: &LabelledGraph,
+    pattern: &LabelledGraph,
+    order: &[VertexId],
+    induced: bool,
+    depth: usize,
+    emb: &mut Vec<VertexId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<VertexId>,
+    visit: &mut impl FnMut(&[VertexId]) -> bool,
+) -> bool {
+    let p = pattern.n();
+    let pv = order[depth];
+    for hv in candidates_for(host, pattern, order, emb, depth, induced) {
+        if used[hv as usize] {
+            continue;
+        }
+        emb[pv as usize] = hv;
+        used[hv as usize] = true;
+        let keep_going = if depth + 1 == p {
+            for &q in order {
+                out[(q - 1) as usize] = emb[q as usize];
+            }
+            visit(out)
+        } else {
+            recurse(host, pattern, order, induced, depth + 1, emb, used, out, visit)
+        };
+        used[hv as usize] = false;
+        emb[pv as usize] = 0;
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Host candidates for the pattern vertex at `order[depth]`, given the
+/// partial embedding `emb`: degree-feasible host vertices adjacent to
+/// every already-placed pattern neighbour (and, for induced search,
+/// non-adjacent to every placed non-neighbour).
+fn candidates_for(
+    host: &LabelledGraph,
+    pattern: &LabelledGraph,
+    order: &[VertexId],
+    emb: &[VertexId],
+    depth: usize,
+    induced: bool,
+) -> Vec<VertexId> {
+    let pv = order[depth];
+    let pdeg = pattern.degree(pv);
+    // Anchor on a placed neighbour if one exists: candidates are its
+    // host-neighbours rather than all of V(host).
+    let anchor = pattern
+        .neighbourhood(pv)
+        .iter()
+        .copied()
+        .find(|&w| emb[w as usize] != 0);
+    let pool: Vec<VertexId> = match anchor {
+        Some(w) => host.neighbourhood(emb[w as usize]).to_vec(),
+        None => host.vertices().collect(),
+    };
+    pool.into_iter()
+        .filter(|&hv| {
+            if host.degree(hv) < pdeg {
+                return false;
+            }
+            // All placed pattern neighbours must map to host neighbours.
+            for &w in pattern.neighbourhood(pv) {
+                let hw = emb[w as usize];
+                if hw != 0 && !host.has_edge(hv, hw) {
+                    return false;
+                }
+            }
+            if induced {
+                // Placed non-neighbours must stay non-adjacent.
+                for &q in order[..depth].iter() {
+                    if q != pv && !pattern.has_edge(pv, q) {
+                        let hq = emb[q as usize];
+                        if hq != 0 && host.has_edge(hv, hq) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{count_squares, count_triangles, girth, has_square, has_triangle};
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn c(n: usize) -> LabelledGraph {
+        generators::cycle(n).unwrap()
+    }
+
+    #[test]
+    fn cross_check_triangle_detector() {
+        let tri = generators::complete(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let g = generators::gnp(12, 0.2, &mut rng);
+            assert_eq!(has_subgraph(&g, &tri), has_triangle(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn cross_check_square_detector() {
+        let sq = c(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let g = generators::gnp(11, 0.22, &mut rng);
+            assert_eq!(has_subgraph(&g, &sq), has_square(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn counts_match_specialized_counters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..15 {
+            let g = generators::gnp(9, 0.3, &mut rng);
+            // Aut(C3) = 6, Aut(C4) = 8.
+            assert_eq!(count_embeddings(&g, &generators::complete(3)) / 6, count_triangles(&g));
+            assert_eq!(count_embeddings(&g, &c(4)) / 8, count_squares(&g));
+        }
+    }
+
+    #[test]
+    fn automorphism_counts_of_named_graphs() {
+        assert_eq!(automorphism_count(&generators::complete(4)), 24);
+        assert_eq!(automorphism_count(&c(5)), 10); // dihedral D5
+        assert_eq!(automorphism_count(&generators::path(4)), 2);
+        assert_eq!(automorphism_count(&generators::petersen()), 120);
+        assert_eq!(automorphism_count(&generators::star(4).unwrap()), 6); // S3 on leaves
+    }
+
+    #[test]
+    fn longer_cycles_and_girth_agree() {
+        // girth g ⟹ contains C_g but no shorter cycle... and C_k for
+        // k < girth must be absent as a subgraph.
+        let pet = generators::petersen(); // girth 5
+        assert_eq!(girth(&pet), Some(5));
+        assert!(!has_subgraph(&pet, &c(3)));
+        assert!(!has_subgraph(&pet, &c(4)));
+        assert!(has_subgraph(&pet, &c(5)));
+        assert!(has_subgraph(&pet, &c(6))); // Petersen has 6-cycles too
+    }
+
+    #[test]
+    fn induced_vs_non_induced() {
+        let k4 = generators::complete(4);
+        // K4 contains C4 as a subgraph but NOT as an induced subgraph.
+        assert!(has_subgraph(&k4, &c(4)));
+        assert!(!has_induced_subgraph(&k4, &c(4)));
+        // P3 induced in a path but not in a triangle.
+        let p3 = generators::path(3);
+        assert!(has_induced_subgraph(&generators::path(5), &p3));
+        assert!(has_subgraph(&generators::complete(3), &p3));
+        assert!(!has_induced_subgraph(&generators::complete(3), &p3));
+    }
+
+    #[test]
+    fn embedding_is_a_witness() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pattern = c(5);
+        for _ in 0..20 {
+            let g = generators::gnp(12, 0.35, &mut rng);
+            if let Some(emb) = find_subgraph(&g, &pattern) {
+                assert_eq!(emb.len(), 5);
+                // Injective and edge-preserving.
+                let mut sorted = emb.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 5, "not injective: {emb:?}");
+                for e in pattern.edges() {
+                    assert!(
+                        g.has_edge(emb[(e.0 - 1) as usize], emb[(e.1 - 1) as usize]),
+                        "edge {e:?} not preserved by {emb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let g = generators::path(4);
+        let empty = LabelledGraph::new(0);
+        assert!(has_subgraph(&g, &empty)); // empty pattern embeds
+        assert!(!has_subgraph(&empty, &g)); // into empty host: no
+        // Pattern bigger than host.
+        assert!(!has_subgraph(&generators::path(3), &generators::path(4)));
+        // Pattern with isolated vertices: P2 + isolated vertex needs n≥3.
+        let mut p2_iso = LabelledGraph::new(3);
+        p2_iso.add_edge(1, 2).unwrap();
+        assert!(has_subgraph(&g, &p2_iso));
+        assert!(!has_subgraph(&generators::path(2), &p2_iso));
+        // Edgeless pattern embeds iff host has enough vertices.
+        assert!(has_subgraph(&g, &LabelledGraph::new(4)));
+        assert!(!has_subgraph(&g, &LabelledGraph::new(5)));
+    }
+
+    #[test]
+    fn bipartite_hosts_have_no_odd_cycles() {
+        let g = generators::complete_bipartite(4, 4);
+        assert!(!has_subgraph(&g, &c(3)));
+        assert!(!has_subgraph(&g, &c(5)));
+        assert!(has_subgraph(&g, &c(4)));
+        assert!(has_subgraph(&g, &c(6)));
+        assert!(has_subgraph(&g, &c(8)));
+    }
+
+    #[test]
+    fn grid_patterns() {
+        let g = generators::grid(4, 4);
+        assert!(has_subgraph(&g, &c(4)));
+        assert!(!has_subgraph(&g, &c(3))); // grids are bipartite
+        assert!(has_subgraph(&g, &generators::path(16))); // Hamiltonian path
+        // K_{1,3} (claw) embeds at interior vertices.
+        assert!(has_subgraph(&g, &generators::star(4).unwrap()));
+        // K_{1,5} does not (max degree 4).
+        assert!(!has_subgraph(&g, &generators::star(6).unwrap()));
+    }
+}

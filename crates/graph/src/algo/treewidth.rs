@@ -1,0 +1,545 @@
+//! Treewidth: exact computation at small `n`, elimination-order
+//! heuristics at any `n`, and tree-decomposition construction/validation.
+//!
+//! The paper leans on the chain *degeneracy ≤ treewidth* (§I.A: "the
+//! degeneracy of a graph is upper bounded by its treewidth", so the
+//! Theorem 5 protocol covers bounded-treewidth graphs). This module
+//! provides the centralized ground truth for that chain:
+//!
+//! * [`treewidth_exact`] — Held–Karp-style dynamic programming over
+//!   vertex subsets (the classic `O(2ⁿ·poly)` elimination-order DP),
+//!   feasible up to `n ≈ 20`;
+//! * [`min_degree_order`] / [`min_fill_order`] — greedy elimination
+//!   heuristics giving upper bounds with witness orders;
+//! * [`width_of_order`] — the width any fixed elimination order attains;
+//! * [`decomposition_from_order`] / [`TreeDecomposition::validate`] — turn
+//!   an elimination order into a tree decomposition and check the three
+//!   defining properties (vertex coverage, edge coverage, running
+//!   intersection).
+//!
+//! The exact DP uses the elimination-order characterization: `tw(G)` is
+//! the minimum over vertex orders of the maximum *elimination degree*,
+//! where eliminating `v` connects its not-yet-eliminated neighbours into
+//! a clique. Writing `Q(S, v)` for the number of vertices outside
+//! `S ∪ {v}` reachable from `v` through paths with all internal vertices
+//! in `S`, the DP is
+//!
+//! ```text
+//! f(∅) = 0,   f(S) = min_{v ∈ S} max( f(S \ {v}), Q(S \ {v}, v) )
+//! ```
+//!
+//! and `tw(G) = f(V)` (Bodlaender et al., "On exact algorithms for
+//! treewidth").
+
+use crate::{LabelledGraph, VertexId};
+
+/// Largest `n` accepted by [`treewidth_exact`] (the DP table is `2ⁿ`
+/// bytes and each entry costs a reachability scan).
+pub const EXACT_TREEWIDTH_MAX_N: usize = 24;
+
+/// Exact treewidth via subset DP. Panics if `g.n() > `
+/// [`EXACT_TREEWIDTH_MAX_N`]. The empty graph has treewidth 0; a single
+/// edge has treewidth 1; `K_n` has `n − 1`.
+///
+/// ```
+/// use referee_graph::{algo, generators};
+/// assert_eq!(algo::treewidth_exact(&generators::path(8)), 1);
+/// assert_eq!(algo::treewidth_exact(&generators::cycle(8).unwrap()), 2);
+/// assert_eq!(algo::treewidth_exact(&generators::grid(3, 4)), 3);
+/// // §I.A: degeneracy never exceeds treewidth.
+/// let g = generators::petersen();
+/// let deg = algo::degeneracy_ordering(&g).degeneracy;
+/// assert!(deg <= algo::treewidth_exact(&g));
+/// ```
+pub fn treewidth_exact(g: &LabelledGraph) -> usize {
+    let n = g.n();
+    assert!(
+        n <= EXACT_TREEWIDTH_MAX_N,
+        "treewidth_exact is exponential; n = {n} exceeds the {EXACT_TREEWIDTH_MAX_N} cap"
+    );
+    if n == 0 {
+        return 0;
+    }
+    // Bitmask adjacency; vertex i (0-based) ↔ bit i.
+    let adj: Vec<u64> = (1..=n as VertexId)
+        .map(|v| {
+            g.neighbourhood(v).iter().fold(0u64, |m, &w| m | (1 << (w - 1)))
+        })
+        .collect();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+
+    // Q(S, v): |{w ∉ S∪{v} : w reachable from v with internals ⊆ S}|.
+    let q = |s: u64, v: usize| -> u32 {
+        // Grow the set of reached-through-S vertices to a fixpoint, then
+        // count the frontier outside S.
+        let mut inside = 1u64 << v; // reached vertices that are in S∪{v}
+        let mut outside = adj[v] & !s & !(1 << v);
+        let mut frontier = adj[v] & s;
+        while frontier != 0 {
+            let w = frontier.trailing_zeros() as usize;
+            frontier &= frontier - 1;
+            if inside & (1 << w) != 0 {
+                continue;
+            }
+            inside |= 1 << w;
+            outside |= adj[w] & !s & !(1 << v);
+            frontier |= adj[w] & s & !inside;
+        }
+        outside.count_ones()
+    };
+
+    let mut f = vec![u8::MAX; 1usize << n];
+    f[0] = 0;
+    for s in 1u64..=full {
+        let mut best = u8::MAX;
+        let mut vs = s;
+        while vs != 0 {
+            let v = vs.trailing_zeros() as usize;
+            vs &= vs - 1;
+            let rest = s & !(1 << v);
+            let sub = f[rest as usize];
+            if sub >= best {
+                continue; // cannot improve
+            }
+            let cand = sub.max(q(rest, v).min(u8::MAX as u32) as u8);
+            if cand < best {
+                best = cand;
+            }
+        }
+        f[s as usize] = best;
+    }
+    f[full as usize] as usize
+}
+
+/// An elimination order together with the width it attains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationOrder {
+    /// Vertices in the order they are eliminated (first removed first).
+    pub order: Vec<VertexId>,
+    /// `max |N_fill(v) ∩ remaining|` over the eliminations — an upper
+    /// bound on treewidth witnessed by this order.
+    pub width: usize,
+}
+
+/// Simulate eliminating `order` on `g` with fill-in, returning the
+/// attained width. Panics if `order` is not a permutation of `1..=n`.
+pub fn width_of_order(g: &LabelledGraph, order: &[VertexId]) -> usize {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must list every vertex exactly once");
+    let mut fill = FillGraph::new(g);
+    let mut width = 0;
+    for &v in order {
+        width = width.max(fill.eliminate(v));
+    }
+    width
+}
+
+/// Greedy minimum-degree elimination: always eliminate a vertex of
+/// smallest current (fill) degree. `O(n²)`-ish; good bound on sparse
+/// graphs (on a `k`-tree it recovers width exactly `k`).
+pub fn min_degree_order(g: &LabelledGraph) -> EliminationOrder {
+    greedy_order(g, |fill, v| fill.degree(v))
+}
+
+/// Greedy minimum-fill elimination: always eliminate the vertex whose
+/// elimination adds the fewest fill edges. Usually the strongest of the
+/// classic heuristics.
+pub fn min_fill_order(g: &LabelledGraph) -> EliminationOrder {
+    greedy_order(g, |fill, v| fill.fill_in_cost(v))
+}
+
+fn greedy_order(
+    g: &LabelledGraph,
+    score: impl Fn(&FillGraph, VertexId) -> usize,
+) -> EliminationOrder {
+    let n = g.n();
+    let mut fill = FillGraph::new(g);
+    let mut remaining: Vec<VertexId> = (1..=n as VertexId).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut width = 0;
+    while !remaining.is_empty() {
+        let (idx, &best) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| (score(&fill, v), v))
+            .expect("nonempty");
+        remaining.swap_remove(idx);
+        width = width.max(fill.eliminate(best));
+        order.push(best);
+    }
+    EliminationOrder { order, width }
+}
+
+/// Working fill-in graph for elimination simulations: adjacency as
+/// per-vertex sorted vectors over *remaining* vertices.
+struct FillGraph {
+    adj: Vec<Vec<VertexId>>,
+    alive: Vec<bool>,
+}
+
+impl FillGraph {
+    fn new(g: &LabelledGraph) -> Self {
+        let adj = (1..=g.n() as VertexId).map(|v| g.neighbourhood(v).to_vec()).collect();
+        FillGraph { adj, alive: vec![true; g.n()] }
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.adj[(v - 1) as usize].len()
+    }
+
+    /// Number of fill edges eliminating `v` would create now.
+    fn fill_in_cost(&self, v: VertexId) -> usize {
+        let nbrs = &self.adj[(v - 1) as usize];
+        let mut missing = 0;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if self.adj[(a - 1) as usize].binary_search(&b).is_err() {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    fn connect(&mut self, a: VertexId, b: VertexId) {
+        let ai = (a - 1) as usize;
+        if let Err(pos) = self.adj[ai].binary_search(&b) {
+            self.adj[ai].insert(pos, b);
+            let bi = (b - 1) as usize;
+            let pos = self.adj[bi].binary_search(&a).unwrap_err();
+            self.adj[bi].insert(pos, a);
+        }
+    }
+
+    /// Eliminate `v`: clique its neighbourhood, drop it. Returns the
+    /// elimination degree `|N(v)|` at the moment of removal.
+    fn eliminate(&mut self, v: VertexId) -> usize {
+        let vi = (v - 1) as usize;
+        assert!(self.alive[vi], "vertex {v} eliminated twice");
+        self.alive[vi] = false;
+        let nbrs = std::mem::take(&mut self.adj[vi]);
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                self.connect(a, b);
+            }
+        }
+        for &w in &nbrs {
+            let wi = (w - 1) as usize;
+            if let Ok(pos) = self.adj[wi].binary_search(&v) {
+                self.adj[wi].remove(pos);
+            }
+        }
+        nbrs.len()
+    }
+}
+
+/// A tree decomposition: bags of vertices plus tree edges between bag
+/// indices. Produced by [`decomposition_from_order`]; check it with
+/// [`TreeDecomposition::validate`].
+#[derive(Debug, Clone)]
+pub struct TreeDecomposition {
+    /// One bag per original vertex; `bags[i]` is the bag created when
+    /// vertex `i + 1` was eliminated.
+    pub bags: Vec<Vec<VertexId>>,
+    /// Tree edges between bag indices (0-based).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Width: max bag size − 1 (−0 for an empty decomposition).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Check the three tree-decomposition properties against `g`:
+    /// every vertex appears in a bag; every edge of `g` lies inside some
+    /// bag; and for each vertex, the bags containing it induce a
+    /// connected subtree. Also checks the edge set forms a forest whose
+    /// trees each span the bags they touch (acyclicity + count).
+    pub fn validate(&self, g: &LabelledGraph) -> Result<(), String> {
+        let n = g.n();
+        if self.bags.len() != n {
+            return Err(format!("expected {n} bags, found {}", self.bags.len()));
+        }
+        // Tree shape: with b bags we expect b−1 edges and no cycles
+        // (single tree; we root every component at its last bag).
+        let mut dsu = crate::dsu::Dsu::new(self.bags.len());
+        for &(a, b) in &self.edges {
+            if a >= self.bags.len() || b >= self.bags.len() {
+                return Err(format!("tree edge ({a},{b}) out of range"));
+            }
+            if !dsu.union(a, b) {
+                return Err(format!("tree edge ({a},{b}) closes a cycle"));
+            }
+        }
+        if n > 0 && self.edges.len() != n - 1 {
+            return Err(format!(
+                "decomposition tree has {} edges for {n} bags (want {})",
+                self.edges.len(),
+                n - 1
+            ));
+        }
+        // Vertex coverage.
+        let mut seen = vec![false; n + 1];
+        for bag in &self.bags {
+            for &v in bag {
+                if v == 0 || v as usize > n {
+                    return Err(format!("bag vertex {v} out of range"));
+                }
+                seen[v as usize] = true;
+            }
+        }
+        if let Some(v) = (1..=n).find(|&v| !seen[v]) {
+            return Err(format!("vertex {v} appears in no bag"));
+        }
+        // Edge coverage.
+        'edges: for e in g.edges() {
+            for bag in &self.bags {
+                if bag.contains(&e.0) && bag.contains(&e.1) {
+                    continue 'edges;
+                }
+            }
+            return Err(format!("edge {{{},{}}} inside no bag", e.0, e.1));
+        }
+        // Running intersection: bags containing v must induce a subtree.
+        let mut bag_adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.edges {
+            bag_adj[a].push(b);
+            bag_adj[b].push(a);
+        }
+        for v in 1..=n as VertexId {
+            let holders: Vec<usize> =
+                (0..self.bags.len()).filter(|&i| self.bags[i].contains(&v)).collect();
+            if holders.is_empty() {
+                continue;
+            }
+            // BFS inside the holder set.
+            let in_holders: Vec<bool> = {
+                let mut f = vec![false; self.bags.len()];
+                for &h in &holders {
+                    f[h] = true;
+                }
+                f
+            };
+            let mut reached = vec![false; self.bags.len()];
+            let mut queue = vec![holders[0]];
+            reached[holders[0]] = true;
+            while let Some(b) = queue.pop() {
+                for &c in &bag_adj[b] {
+                    if in_holders[c] && !reached[c] {
+                        reached[c] = true;
+                        queue.push(c);
+                    }
+                }
+            }
+            if let Some(&h) = holders.iter().find(|&&h| !reached[h]) {
+                return Err(format!(
+                    "bags holding vertex {v} are disconnected (bag {h} unreachable)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build a tree decomposition from an elimination order: the bag of `v`
+/// is `{v} ∪ (fill-neighbours of v still remaining)`, and its parent is
+/// the bag of the earliest-eliminated remaining fill-neighbour (or the
+/// next vertex in the order, keeping one tree even across components).
+pub fn decomposition_from_order(g: &LabelledGraph, order: &[VertexId]) -> TreeDecomposition {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must list every vertex exactly once");
+    let mut position = vec![usize::MAX; n + 1];
+    for (i, &v) in order.iter().enumerate() {
+        assert!(v >= 1 && (v as usize) <= n && position[v as usize] == usize::MAX, "bad order");
+        position[v as usize] = i;
+    }
+    let mut fill = FillGraph::new(g);
+    let mut bags: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut edges = Vec::new();
+    for (i, &v) in order.iter().enumerate() {
+        let mut bag = fill.adj[(v - 1) as usize].clone();
+        // Parent: the remaining fill-neighbour eliminated soonest.
+        let parent = bag
+            .iter()
+            .copied()
+            .min_by_key(|&w| position[w as usize])
+            .map(|w| (w - 1) as usize)
+            .or_else(|| order.get(i + 1).map(|&w| (w - 1) as usize));
+        bag.push(v);
+        bag.sort_unstable();
+        bags[(v - 1) as usize] = bag;
+        if let Some(p) = parent {
+            edges.push(((v - 1) as usize, p));
+        }
+        fill.eliminate(v);
+    }
+    TreeDecomposition { bags, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::degeneracy_ordering;
+    use crate::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn exact_on_named_families() {
+        assert_eq!(treewidth_exact(&LabelledGraph::new(0)), 0);
+        assert_eq!(treewidth_exact(&LabelledGraph::new(5)), 0);
+        assert_eq!(treewidth_exact(&generators::path(8)), 1);
+        assert_eq!(treewidth_exact(&generators::star(7).unwrap()), 1);
+        assert_eq!(treewidth_exact(&generators::cycle(9).unwrap()), 2);
+        assert_eq!(treewidth_exact(&generators::complete(6)), 5);
+        assert_eq!(treewidth_exact(&generators::complete_bipartite(3, 4)), 3);
+        // r×c grid has treewidth min(r, c)
+        assert_eq!(treewidth_exact(&generators::grid(3, 4)), 3);
+        assert_eq!(treewidth_exact(&generators::grid(2, 6)), 2);
+        // Petersen graph: treewidth 4 (well-known)
+        assert_eq!(treewidth_exact(&generators::petersen()), 4);
+    }
+
+    #[test]
+    fn exact_on_k_trees() {
+        // A k-tree on n > k vertices has treewidth exactly k.
+        let mut rng = StdRng::seed_from_u64(7);
+        for k in 1..=4usize {
+            let g = generators::k_tree(10, k, &mut rng);
+            assert_eq!(treewidth_exact(&g), k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn exact_handles_disconnected() {
+        let g = generators::path(4).disjoint_union(&generators::complete(4));
+        assert_eq!(treewidth_exact(&g), 3);
+    }
+
+    #[test]
+    fn heuristics_are_upper_bounds_and_tight_on_chordal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in 1..=3usize {
+            let g = generators::k_tree(12, k, &mut rng);
+            let md = min_degree_order(&g);
+            let mf = min_fill_order(&g);
+            // Both greedy orders peel simplicial vertices of the k-tree.
+            assert_eq!(md.width, k, "min-degree on {k}-tree");
+            assert_eq!(mf.width, k, "min-fill on {k}-tree");
+            assert_eq!(width_of_order(&g, &md.order), md.width);
+            assert_eq!(width_of_order(&g, &mf.order), mf.width);
+        }
+    }
+
+    #[test]
+    fn heuristic_vs_exact_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..20 {
+            let g = generators::gnp(9, 0.3, &mut rng);
+            let exact = treewidth_exact(&g);
+            let deg = degeneracy_ordering(&g).degeneracy;
+            let mf = min_fill_order(&g).width;
+            let md = min_degree_order(&g).width;
+            assert!(deg <= exact, "trial {trial}: degeneracy {deg} > tw {exact}");
+            assert!(exact <= mf, "trial {trial}: tw {exact} > min-fill {mf}");
+            assert!(exact <= md, "trial {trial}: tw {exact} > min-degree {md}");
+        }
+    }
+
+    #[test]
+    fn width_of_order_matches_worst_and_best() {
+        // On a path, the natural end-to-start order attains width 1; the
+        // middle-out order is worse.
+        let g = generators::path(5);
+        assert_eq!(width_of_order(&g, &[1, 2, 3, 4, 5]), 1);
+        assert!(width_of_order(&g, &[3, 2, 4, 1, 5]) >= 1);
+        // On a cycle, any order attains exactly 2.
+        let c = generators::cycle(7).unwrap();
+        assert_eq!(width_of_order(&c, &[1, 2, 3, 4, 5, 6, 7]), 2);
+        assert_eq!(width_of_order(&c, &[4, 2, 6, 1, 7, 3, 5]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must list every vertex")]
+    fn width_of_order_rejects_partial_orders() {
+        width_of_order(&generators::path(4), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn decomposition_valid_on_families() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let graphs = vec![
+            generators::path(10),
+            generators::cycle(8).unwrap(),
+            generators::grid(3, 5),
+            generators::complete(5),
+            generators::petersen(),
+            generators::k_tree(12, 3, &mut rng),
+            generators::path(3).disjoint_union(&generators::complete(4)),
+            LabelledGraph::new(6),
+        ];
+        for g in graphs {
+            let mf = min_fill_order(&g);
+            let td = decomposition_from_order(&g, &mf.order);
+            td.validate(&g).unwrap_or_else(|e| panic!("{g:?}: {e}"));
+            assert_eq!(td.width(), mf.width, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn decomposition_width_bounds_exact() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let g = generators::gnp(10, 0.35, &mut rng);
+            let exact = treewidth_exact(&g);
+            let td = decomposition_from_order(&g, &min_fill_order(&g).order);
+            td.validate(&g).unwrap();
+            assert!(td.width() >= exact);
+        }
+    }
+
+    #[test]
+    fn validate_catches_broken_decompositions() {
+        let g = generators::path(3); // 1-2-3
+        let good = decomposition_from_order(&g, &[1, 2, 3]);
+        good.validate(&g).unwrap();
+
+        // Remove a vertex from every bag → coverage failure.
+        let mut missing_vertex = good.clone();
+        for bag in &mut missing_vertex.bags {
+            bag.retain(|&v| v != 1);
+        }
+        assert!(missing_vertex.validate(&g).unwrap_err().contains("no bag"));
+
+        // Break edge coverage: separate the endpoints of edge {2,3}.
+        let broken_edge = TreeDecomposition {
+            bags: vec![vec![1, 2], vec![2], vec![3]],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(broken_edge.validate(&g).unwrap_err().contains("inside no bag"));
+
+        // Break running intersection: vertex 1 in two disconnected bags.
+        let broken_ri = TreeDecomposition {
+            bags: vec![vec![1, 2], vec![2, 3], vec![1, 3]],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(broken_ri.validate(&g).unwrap_err().contains("disconnected"));
+
+        // A cycle among bags is not a tree.
+        let cyclic = TreeDecomposition {
+            bags: good.bags.clone(),
+            edges: vec![(0, 1), (1, 2), (2, 0)],
+        };
+        assert!(cyclic.validate(&g).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn degeneracy_at_most_treewidth_exhaustive_small() {
+        // The §I.A inequality, exhaustively at n = 5.
+        for g in crate::enumerate::all_graphs(5) {
+            let deg = degeneracy_ordering(&g).degeneracy;
+            let tw = treewidth_exact(&g);
+            assert!(deg <= tw, "degeneracy {deg} > treewidth {tw} on {g:?}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Triangle (K3) detection and counting.
+//!
+//! Theorem 3: no one-round frugal protocol decides triangle-freeness. The
+//! reduction's gadget `G'_{s,t}` contains a triangle iff `{s,t} ∈ E(G)`
+//! (for bipartite `G`); validating that experimentally needs fast exact
+//! triangle detection, implemented here with the standard
+//! degeneracy-ordered neighbour-intersection method, O(m · α(G)).
+
+use crate::algo::degeneracy::degeneracy_ordering;
+use crate::csr::Csr;
+use crate::{LabelledGraph, VertexId};
+
+/// Orient edges by elimination rank and intersect forward neighbourhoods.
+fn oriented_forward_lists(g: &LabelledGraph) -> Vec<Vec<u32>> {
+    let ord = degeneracy_ordering(g);
+    let n = g.n();
+    // rank[i] = position of vertex i+1 in removal order
+    let mut rank = vec![0u32; n];
+    for (pos, &v) in ord.order.iter().enumerate() {
+        rank[(v - 1) as usize] = pos as u32;
+    }
+    let csr = Csr::from_graph(g);
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for &j in csr.neighbours(i) {
+            if rank[j as usize] > rank[i] {
+                fwd[i].push(j);
+            }
+        }
+        fwd[i].sort_unstable();
+    }
+    fwd
+}
+
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Exact number of triangles in `G`.
+pub fn count_triangles(g: &LabelledGraph) -> u64 {
+    let fwd = oriented_forward_lists(g);
+    let mut count = 0u64;
+    for (i, fi) in fwd.iter().enumerate() {
+        for &j in fi {
+            count += sorted_intersection_count(fi, &fwd[j as usize]) as u64;
+        }
+        let _ = i;
+    }
+    count
+}
+
+/// Does `G` contain a triangle? Early-exits on the first witness.
+pub fn has_triangle(g: &LabelledGraph) -> bool {
+    find_triangle(g).is_some()
+}
+
+/// Find one triangle `(a, b, c)` with `a < b < c`, if any.
+pub fn find_triangle(g: &LabelledGraph) -> Option<(VertexId, VertexId, VertexId)> {
+    let fwd = oriented_forward_lists(g);
+    for (i, fi) in fwd.iter().enumerate() {
+        for &j in fi {
+            let fj = &fwd[j as usize];
+            let (mut a, mut b) = (0, 0);
+            while a < fi.len() && b < fj.len() {
+                match fi[a].cmp(&fj[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let mut tri = [(i as u32) + 1, j + 1, fi[a] + 1];
+                        tri.sort_unstable();
+                        return Some((tri[0], tri[1], tri[2]));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_detected() {
+        let g = LabelledGraph::from_edges(3, [(1, 2), (2, 3), (1, 3)]).unwrap();
+        assert!(has_triangle(&g));
+        assert_eq!(count_triangles(&g), 1);
+        assert_eq!(find_triangle(&g), Some((1, 2, 3)));
+    }
+
+    #[test]
+    fn bipartite_has_none() {
+        let g = generators::complete_bipartite(4, 5);
+        assert!(!has_triangle(&g));
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(find_triangle(&g), None);
+    }
+
+    #[test]
+    fn complete_graph_count() {
+        // K6 has C(6,3) = 20 triangles
+        let g = generators::complete(6);
+        assert_eq!(count_triangles(&g), 20);
+    }
+
+    #[test]
+    fn square_is_triangle_free() {
+        let g = generators::cycle(4).unwrap();
+        assert!(!has_triangle(&g));
+    }
+
+    #[test]
+    fn count_matches_brute_force_on_random() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let g = generators::gnp(18, 0.3, &mut rng);
+            let mut brute = 0u64;
+            for a in 1..=18u32 {
+                for b in (a + 1)..=18 {
+                    for c in (b + 1)..=18 {
+                        if g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c) {
+                            brute += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_triangles(&g), brute, "graph {g:?}");
+            assert_eq!(has_triangle(&g), brute > 0);
+        }
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert!(!has_triangle(&LabelledGraph::new(0)));
+        assert!(!has_triangle(&LabelledGraph::new(5)));
+        assert_eq!(count_triangles(&LabelledGraph::new(5)), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! A dense dynamic bitset over `u64` words.
+//!
+//! Used for neighbourhood incidence vectors (the binary vector `x` that
+//! Algorithm 3 multiplies by the power matrix `A(k, n)`), for visited sets
+//! in traversals, and as the adjacency representation inside the exhaustive
+//! enumerator. Deliberately minimal: exactly the operations the workspace
+//! needs, all branch-light.
+
+/// Fixed-capacity dense bitset (capacity chosen at construction).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of addressable bits; bits ≥ `len` are always zero.
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bitset with capacity for `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set bit `i` to 1. Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear bit `i`. Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Get bit `i` (false for `i >= len`).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set all bits in `0..len`.
+    pub fn set_all(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// Clear all bits.
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self &= !other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement (within `0..len`).
+    pub fn complement(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterate the indices of set bits, ascending.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Zero any bits at positions `>= len` (after complement / set_all).
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitSet{{")?;
+        for (i, b) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a bitset sized to the maximum index + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let idx: Vec<usize> = iter.into_iter().collect();
+        let len = idx.iter().max().map_or(0, |&m| m + 1);
+        let mut bs = BitSet::new(len);
+        for i in idx {
+            bs.set(i);
+        }
+        bs
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitSet`].
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bs = BitSet::new(130);
+        assert!(!bs.get(0));
+        bs.set(0);
+        bs.set(64);
+        bs.set(129);
+        assert!(bs.get(0) && bs.get(64) && bs.get(129));
+        assert_eq!(bs.count(), 3);
+        bs.clear(64);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitSet::new(10).set(10);
+    }
+
+    #[test]
+    fn get_out_of_range_is_false() {
+        let bs = BitSet::new(10);
+        assert!(!bs.get(100));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut bs = BitSet::new(200);
+        for i in [5usize, 0, 199, 64, 63, 65] {
+            bs.set(i);
+        }
+        let got: Vec<usize> = bs.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn empty_iter() {
+        let bs = BitSet::new(0);
+        assert_eq!(bs.iter().count(), 0);
+        assert!(bs.is_empty());
+        let bs2 = BitSet::new(100);
+        assert_eq!(bs2.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        for i in [1usize, 3, 69] {
+            a.set(i);
+        }
+        for i in [3usize, 4, 69] {
+            b.set(i);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 3, 4, 69]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 69]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(a.intersection_count(&b), 2);
+    }
+
+    #[test]
+    fn complement_respects_capacity() {
+        let mut bs = BitSet::new(67);
+        bs.set(0);
+        bs.set(66);
+        bs.complement();
+        assert!(!bs.get(0) && !bs.get(66));
+        assert!(bs.get(1) && bs.get(65));
+        assert_eq!(bs.count(), 65);
+        // Bits beyond capacity stay clear (idempotent double complement).
+        bs.complement();
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![0, 66]);
+    }
+
+    #[test]
+    fn set_all() {
+        let mut bs = BitSet::new(65);
+        bs.set_all();
+        assert_eq!(bs.count(), 65);
+        bs.clear_all();
+        assert_eq!(bs.count(), 0);
+    }
+
+    #[test]
+    fn first_set() {
+        let mut bs = BitSet::new(200);
+        assert_eq!(bs.first_set(), None);
+        bs.set(150);
+        assert_eq!(bs.first_set(), Some(150));
+        bs.set(3);
+        assert_eq!(bs.first_set(), Some(3));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bs: BitSet = [2usize, 7, 3].into_iter().collect();
+        assert_eq!(bs.len(), 8);
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![2, 3, 7]);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.len(), 0);
+    }
+}

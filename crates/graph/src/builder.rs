@@ -1,0 +1,132 @@
+//! [`GraphBuilder`]: forgiving bulk construction of [`LabelledGraph`]s.
+//!
+//! The strict `LabelledGraph::add_edge` API is right for algorithms, but
+//! generators and parsers often produce candidate edge streams with repeats
+//! (e.g. the G(n, m) sampler or the random-regular pairing model). The
+//! builder deduplicates, drops self-loops on request, and reports what it
+//! did.
+
+use crate::{GraphError, LabelledGraph, VertexId};
+
+/// Bulk graph construction with configurable leniency.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    allow_duplicates: bool,
+    allow_self_loops: bool,
+    duplicates_dropped: usize,
+    self_loops_dropped: usize,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices. Strict by default: duplicate
+    /// edges and self-loops are errors at [`GraphBuilder::build`].
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            allow_duplicates: false,
+            allow_self_loops: false,
+            duplicates_dropped: 0,
+            self_loops_dropped: 0,
+        }
+    }
+
+    /// Silently drop duplicate edges instead of erroring.
+    pub fn dedup(mut self) -> Self {
+        self.allow_duplicates = true;
+        self
+    }
+
+    /// Silently drop self-loops instead of erroring.
+    pub fn drop_self_loops(mut self) -> Self {
+        self.allow_self_loops = true;
+        self
+    }
+
+    /// Queue an edge.
+    pub fn edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Queue many edges.
+    pub fn edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Number of duplicate edges dropped so far (populated by `build`).
+    pub fn duplicates_dropped(&self) -> usize {
+        self.duplicates_dropped
+    }
+
+    /// Number of self-loops dropped so far (populated by `build`).
+    pub fn self_loops_dropped(&self) -> usize {
+        self.self_loops_dropped
+    }
+
+    /// Materialize the graph.
+    pub fn build(&mut self) -> Result<LabelledGraph, GraphError> {
+        let mut g = LabelledGraph::new(self.n);
+        for &(u, v) in &self.edges {
+            if u == v {
+                if self.allow_self_loops {
+                    self.self_loops_dropped += 1;
+                    continue;
+                }
+                return Err(GraphError::SelfLoop(u));
+            }
+            match g.add_edge(u, v) {
+                Ok(()) => {}
+                Err(GraphError::DuplicateEdge(a, b)) => {
+                    if self.allow_duplicates {
+                        self.duplicates_dropped += 1;
+                    } else {
+                        return Err(GraphError::DuplicateEdge(a, b));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_build() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(1, 2).edge(2, 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn strict_rejects_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(1, 2).edge(2, 1);
+        assert_eq!(b.build(), Err(GraphError::DuplicateEdge(1, 2)));
+    }
+
+    #[test]
+    fn lenient_drops_and_counts() {
+        let mut b = GraphBuilder::new(3).dedup().drop_self_loops();
+        b.edges([(1, 2), (2, 1), (3, 3), (1, 3)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(b.duplicates_dropped(), 1);
+        assert_eq!(b.self_loops_dropped(), 1);
+    }
+
+    #[test]
+    fn out_of_range_always_errors() {
+        let mut b = GraphBuilder::new(2).dedup().drop_self_loops();
+        b.edge(1, 9);
+        assert!(matches!(b.build(), Err(GraphError::VertexOutOfRange { .. })));
+    }
+}

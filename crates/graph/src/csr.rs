@@ -1,0 +1,90 @@
+//! [`Csr`]: an immutable compressed-sparse-row snapshot of a
+//! [`LabelledGraph`].
+//!
+//! Traversal-heavy algorithms (all-pairs BFS for diameter, triangle
+//! counting) iterate neighbourhoods millions of times; CSR packs all
+//! adjacency into two flat arrays so those scans are a single contiguous
+//! slice read. Vertices here are **0-based indices** (`id - 1`) because the
+//! algorithms index arrays with them; the public `algo` functions translate
+//! back to 1-based [`VertexId`](crate::VertexId)s at their boundaries.
+
+use crate::LabelledGraph;
+
+/// Immutable CSR adjacency. Build once with [`Csr::from_graph`], then read.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `offsets[i]..offsets[i+1]` indexes `targets` for vertex index `i`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour *indices* (0-based).
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Snapshot a graph. O(n + m).
+    pub fn from_graph(g: &LabelledGraph) -> Self {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.degree_sum());
+        offsets.push(0);
+        for v in 1..=n as u32 {
+            for &w in g.neighbourhood(v) {
+                targets.push(w - 1);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Sorted neighbour indices (0-based) of vertex index `i`.
+    #[inline]
+    pub fn neighbours(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree of vertex index `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total number of directed arcs (2m).
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Adjacency test by binary search.
+    pub fn has_arc(&self, i: usize, j: usize) -> bool {
+        self.neighbours(i).binary_search(&(j as u32)).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_graph() {
+        let g = LabelledGraph::from_edges(4, [(1, 2), (2, 3), (3, 4), (1, 4)]).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.n(), 4);
+        assert_eq!(csr.arc_count(), 8);
+        assert_eq!(csr.neighbours(0), &[1, 3]); // vertex 1 ↔ ids 2,4 ↔ idx 1,3
+        assert_eq!(csr.degree(1), 2);
+        assert!(csr.has_arc(0, 1));
+        assert!(!csr.has_arc(0, 2));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = LabelledGraph::new(3);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.arc_count(), 0);
+        assert!(csr.neighbours(1).is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+//!
+//! Substrate for spanning forests, the k-part partition connectivity
+//! protocol (§IV of the paper) and the referee-coordinated Borůvka rounds
+//! of the multi-round extension.
+
+/// Union–find over elements `0..len`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        Dsu {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the set containing `x` (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p] as usize;
+            self.parent[x] = gp as u32;
+            x = gp;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = Dsu::new(4);
+        assert_eq!(d.components(), 4);
+        assert!(!d.same(0, 1));
+        assert_eq!(d.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_reduces_components() {
+        let mut d = Dsu::new(5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2)); // already same
+        assert_eq!(d.components(), 3);
+        assert!(d.same(0, 2));
+        assert!(!d.same(0, 3));
+        assert_eq!(d.set_size(1), 3);
+    }
+
+    #[test]
+    fn full_merge() {
+        let mut d = Dsu::new(100);
+        for i in 1..100 {
+            d.union(0, i);
+        }
+        assert_eq!(d.components(), 1);
+        assert_eq!(d.set_size(57), 100);
+        for i in 0..100 {
+            assert!(d.same(i, 99 - i));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let d = Dsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.components(), 0);
+    }
+}

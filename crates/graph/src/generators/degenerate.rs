@@ -1,0 +1,160 @@
+//! Generators with a *certified* degeneracy bound — the input classes of
+//! Theorem 5.
+//!
+//! Both constructions build the graph along an explicit elimination order,
+//! so the bound holds by construction (and the tests double-check with
+//! Matula–Beck).
+
+use crate::algo::degeneracy::degeneracy_ordering;
+use crate::{LabelledGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random graph of degeneracy ≤ `k`: vertices are inserted in the order of
+/// a random permutation, each new vertex choosing up to `k` random
+/// neighbours among those already present (`density` in 0..=1 scales how
+/// many of the k slots are used on average).
+///
+/// The insertion order *reversed* is a valid elimination order with
+/// back-degree ≤ k, so the degeneracy is ≤ k by Definition 2.
+pub fn random_k_degenerate(
+    n: usize,
+    k: usize,
+    density: f64,
+    rng: &mut impl Rng,
+) -> LabelledGraph {
+    let mut order: Vec<VertexId> = (1..=n as VertexId).collect();
+    order.shuffle(rng);
+    let mut g = LabelledGraph::new(n);
+    let mut present: Vec<VertexId> = Vec::with_capacity(n);
+    for &v in &order {
+        if !present.is_empty() {
+            let want = k.min(present.len());
+            // choose `want` distinct earlier vertices, keep each w.p. density
+            let chosen: Vec<VertexId> = present
+                .choose_multiple(rng, want)
+                .copied()
+                .filter(|_| density >= 1.0 || rng.gen_bool(density.max(0.0)))
+                .collect();
+            for u in chosen {
+                g.add_edge(u, v).expect("fresh edge to earlier vertex");
+            }
+        }
+        present.push(v);
+    }
+    g
+}
+
+/// Random k-tree on `n ≥ k + 1` vertices: start from K_{k+1}, then each new
+/// vertex is joined to a uniformly random existing k-clique. k-trees have
+/// treewidth exactly `k` and degeneracy exactly `k` — the paper's
+/// "bounded treewidth" class ("graphs of treewidth k are also of
+/// degeneracy at most k").
+///
+/// Vertex IDs are randomly permuted afterwards so the elimination order is
+/// *not* revealed by the labelling (the referee must rediscover it).
+pub fn k_tree(n: usize, k: usize, rng: &mut impl Rng) -> LabelledGraph {
+    assert!(n >= k + 1, "k-tree needs n ≥ k+1 (n={n}, k={k})");
+    // Build on internal labels 0..n first.
+    let mut cliques: Vec<Vec<u32>> = vec![(0..k as u32).collect()];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for u in 0..=k as u32 {
+        for v in (u + 1)..=k as u32 {
+            edges.push((u, v));
+        }
+    }
+    // K_{k+1} contributes its k+1 sub-k-cliques as attachment points.
+    for omit in 0..=k as u32 {
+        let c: Vec<u32> = (0..=k as u32).filter(|&x| x != omit).collect();
+        if c.len() == k && !cliques.contains(&c) {
+            cliques.push(c);
+        }
+    }
+    for new in (k as u32 + 1)..n as u32 {
+        let base = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &base {
+            edges.push((u, new));
+        }
+        // new k-cliques: base with one element replaced by `new`
+        for omit in 0..base.len() {
+            let mut c = base.clone();
+            c[omit] = new;
+            c.sort_unstable();
+            cliques.push(c);
+        }
+    }
+    // Random relabelling.
+    let mut perm: Vec<VertexId> = (1..=n as VertexId).collect();
+    perm.shuffle(rng);
+    LabelledGraph::from_edges(
+        n,
+        edges.iter().map(|&(u, v)| (perm[u as usize], perm[v as usize])),
+    )
+    .expect("k-tree edges are simple")
+}
+
+/// Certify that a generated graph really has degeneracy ≤ k (debug aid and
+/// test hook).
+pub fn check_degeneracy_at_most(g: &LabelledGraph, k: usize) -> bool {
+    degeneracy_ordering(g).degeneracy <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn k_degenerate_respects_bound() {
+        let mut r = rng();
+        for k in 1..=6 {
+            let g = random_k_degenerate(60, k, 1.0, &mut r);
+            let d = degeneracy_ordering(&g).degeneracy;
+            assert!(d <= k, "k={k}, got degeneracy {d}");
+            // full density should usually achieve exactly k
+            if k <= 4 {
+                assert_eq!(d, k, "k={k} with density 1 should be tight");
+            }
+        }
+    }
+
+    #[test]
+    fn k_degenerate_density_zero_is_edgeless() {
+        let mut r = rng();
+        let g = random_k_degenerate(20, 3, 0.0, &mut r);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn k_tree_structure() {
+        let mut r = rng();
+        for k in 1..=4usize {
+            let g = k_tree(30, k, &mut r);
+            // k-tree edge count: C(k+1,2) + (n - k - 1) * k
+            let expect = (k + 1) * k / 2 + (30 - k - 1) * k;
+            assert_eq!(g.m(), expect, "k={k}");
+            assert_eq!(degeneracy_ordering(&g).degeneracy, k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn one_tree_is_a_tree() {
+        let mut r = rng();
+        let g = k_tree(25, 1, &mut r);
+        assert!(crate::algo::is_forest(&g));
+        assert!(crate::algo::is_connected(&g));
+    }
+
+    #[test]
+    fn certificate_helper() {
+        let mut r = rng();
+        let g = random_k_degenerate(40, 2, 1.0, &mut r);
+        assert!(check_degeneracy_at_most(&g, 2));
+        assert!(check_degeneracy_at_most(&g, 5));
+        assert!(!check_degeneracy_at_most(&crate::generators::complete(6), 3));
+    }
+}

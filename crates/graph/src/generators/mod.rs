@@ -1,0 +1,36 @@
+//! Graph generators: every family the paper names plus the random models
+//! the experiments sweep over.
+//!
+//! * [`structured`] — paths, cycles, stars, cliques, complete bipartite,
+//!   grids (planar, degeneracy ≤ 2… ≤ 5 families), tori, hypercubes,
+//!   Petersen.
+//! * [`random`] — G(n, p), G(n, m), random trees/forests (Prüfer),
+//!   balanced bipartite (Theorem 3's class), random regular (pairing
+//!   model), incremental square-free (Theorem 1's class).
+//! * [`degenerate`] — random k-degenerate graphs with a known elimination
+//!   order, and k-trees (treewidth exactly k), the classes of Theorem 5.
+//! * [`planar`] — planar-by-construction families (Apollonian networks,
+//!   triangulations, outerplanar, series-parallel, wheels) exercising the
+//!   §III claim "planar graphs have degeneracy 5", plus circulants and
+//!   complete binary trees as companions.
+
+pub mod degenerate;
+pub mod planar;
+pub mod preferential;
+pub mod random;
+pub mod structured;
+
+pub use degenerate::{check_degeneracy_at_most, k_tree, random_k_degenerate};
+pub use preferential::{barabasi_albert, uniform_attachment};
+pub use planar::{
+    circulant, complete_binary_tree, fan, random_apollonian, random_outerplanar, random_planar,
+    random_planar_triangulation, random_series_parallel, wheel,
+};
+pub use random::{
+    gnm, gnp, random_balanced_bipartite, random_forest, random_regular, random_square_free,
+    random_tree,
+};
+pub use structured::{
+    caterpillar, complete, complete_bipartite, cycle, grid, hypercube, icosahedron, octahedron,
+    path, petersen, star, torus,
+};

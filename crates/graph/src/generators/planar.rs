@@ -1,0 +1,397 @@
+//! Planar-family generators, **planar by construction**.
+//!
+//! §III of the paper highlights planar graphs as a headline application
+//! of the degeneracy protocol ("planar graphs have degeneracy 5"). These
+//! generators produce certified members of the planar hierarchy without
+//! needing a planarity test: each family is grown by local operations
+//! that preserve a planar embedding.
+//!
+//! * [`random_apollonian`] — random Apollonian networks (planar 3-trees):
+//!   maximal planar, degeneracy exactly 3, treewidth 3.
+//! * [`random_planar_triangulation`] — maximal planar graphs on `n ≥ 3`
+//!   vertices built by vertex insertion into faces plus random edge
+//!   flips; `m = 3n − 6`, degeneracy ≤ 5 (tight for some instances).
+//! * [`fan`] / [`random_outerplanar`] — (maximal) outerplanar graphs,
+//!   degeneracy ≤ 2, treewidth ≤ 2.
+//! * [`random_series_parallel`] — series-parallel graphs (treewidth ≤ 2)
+//!   grown by edge subdivisions and parallel-path additions on a
+//!   simple-graph invariant.
+//! * [`wheel`] — the wheel `W_n` (planar, degeneracy 3 for n ≥ 3... the
+//!   hub sees every rim vertex).
+//! * [`circulant`] / [`complete_binary_tree`] — non-planar foils and a
+//!   canonical low-degeneracy tree for the same experiments.
+
+use super::structured;
+use crate::{GraphError, LabelledGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random Apollonian network: start from a triangle, repeatedly pick a
+/// random triangular face and insert a new vertex joined to its three
+/// corners. Requires `n ≥ 3`. The result is a planar 3-tree: maximal
+/// planar, `m = 3n − 6`, degeneracy = treewidth = 3 (for `n ≥ 4`).
+pub fn random_apollonian(n: usize, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::Parse(format!("apollonian network needs n ≥ 3, got {n}")));
+    }
+    let mut g = LabelledGraph::new(n);
+    g.add_edge(1, 2)?;
+    g.add_edge(2, 3)?;
+    g.add_edge(1, 3)?;
+    // Track subdividable faces (both sides of the initial triangle).
+    let mut faces: Vec<[VertexId; 3]> = vec![[1, 2, 3], [1, 2, 3]];
+    for v in 4..=n as VertexId {
+        let idx = rng.gen_range(0..faces.len());
+        let [a, b, c] = faces[idx];
+        g.add_edge(v, a)?;
+        g.add_edge(v, b)?;
+        g.add_edge(v, c)?;
+        faces.swap_remove(idx);
+        faces.push([a, b, v]);
+        faces.push([a, c, v]);
+        faces.push([b, c, v]);
+    }
+    Ok(g)
+}
+
+/// Random maximal planar triangulation on `n ≥ 3` vertices: an
+/// Apollonian growth pass followed by `flips` random diagonal flips
+/// (each flip replaces an edge shared by two triangles with the other
+/// diagonal when that diagonal is absent — a planarity-preserving local
+/// move that walks the triangulation flip graph, de-biasing the stacked
+/// 3-tree shape). `m = 3n − 6` always.
+pub fn random_planar_triangulation(
+    n: usize,
+    flips: usize,
+    rng: &mut impl Rng,
+) -> Result<LabelledGraph, GraphError> {
+    // Grow with explicit face tracking so flips can maintain the face
+    // list (a face is an oriented triangle; we keep unoriented records
+    // and resolve incidence by search).
+    if n < 3 {
+        return Err(GraphError::Parse(format!("triangulation needs n ≥ 3, got {n}")));
+    }
+    let mut g = LabelledGraph::new(n);
+    g.add_edge(1, 2)?;
+    g.add_edge(2, 3)?;
+    g.add_edge(1, 3)?;
+    let mut faces: Vec<[VertexId; 3]> = vec![[1, 2, 3], [1, 2, 3]];
+    for v in 4..=n as VertexId {
+        let idx = rng.gen_range(0..faces.len());
+        let [a, b, c] = faces[idx];
+        g.add_edge(v, a)?;
+        g.add_edge(v, b)?;
+        g.add_edge(v, c)?;
+        faces.swap_remove(idx);
+        faces.push([a, b, v]);
+        faces.push([a, c, v]);
+        faces.push([b, c, v]);
+    }
+    // Random flips. Pick an edge {u,v}; find the two faces containing
+    // it; if their opposite corners x ≠ y are non-adjacent, replace
+    // {u,v} by {x,y} and update both faces.
+    for _ in 0..flips {
+        let edges: Vec<_> = g.edges().collect();
+        let e = edges[rng.gen_range(0..edges.len())];
+        let (u, v) = (e.0, e.1);
+        let incident: Vec<usize> = faces
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.contains(&u) && f.contains(&v))
+            .map(|(i, _)| i)
+            .collect();
+        if incident.len() != 2 {
+            continue; // boundary-ish duplicate face records; skip
+        }
+        let opposite = |f: &[VertexId; 3]| *f.iter().find(|&&w| w != u && w != v).unwrap();
+        let (x, y) = (opposite(&faces[incident[0]]), opposite(&faces[incident[1]]));
+        if x == y || g.has_edge(x, y) {
+            continue;
+        }
+        g.remove_edge(u, v)?;
+        g.add_edge(x, y)?;
+        faces[incident[0]] = [u, x, y];
+        faces[incident[1]] = [v, x, y];
+    }
+    Ok(g)
+}
+
+/// The fan `F_n`: a path on `n − 1` vertices plus a hub adjacent to all
+/// of them. Maximal outerplanar for `n ≥ 3`; degeneracy 2.
+pub fn fan(n: usize) -> Result<LabelledGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::Parse(format!("fan needs n ≥ 2, got {n}")));
+    }
+    let mut g = LabelledGraph::new(n);
+    for v in 2..=n as VertexId {
+        g.add_edge(1, v)?;
+    }
+    for v in 2..n as VertexId {
+        g.add_edge(v, v + 1)?;
+    }
+    Ok(g)
+}
+
+/// Random maximal outerplanar graph: a convex polygon `1..n` (boundary
+/// cycle) triangulated by a random fan-free recursive diagonal split.
+/// Degeneracy 2, treewidth 2, planar.
+pub fn random_outerplanar(n: usize, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::Parse(format!("outerplanar polygon needs n ≥ 3, got {n}")));
+    }
+    let mut g = structured::cycle(n)?;
+    // Triangulate the polygon: recursively split the interval [i, j]
+    // (vertices i..=j on the boundary) by a random apex k.
+    let mut stack = vec![(1 as VertexId, n as VertexId)];
+    while let Some((i, j)) = stack.pop() {
+        if j - i < 2 {
+            continue;
+        }
+        let k = rng.gen_range(i + 1..j);
+        if !g.has_edge(i, k) {
+            g.add_edge(i, k)?;
+        }
+        if !g.has_edge(k, j) {
+            g.add_edge(k, j)?;
+        }
+        stack.push((i, k));
+        stack.push((k, j));
+    }
+    Ok(g)
+}
+
+/// Random series-parallel graph on `n` vertices: start from a single
+/// edge and repeatedly either *subdivide* an edge (series) or add a
+/// vertex in *parallel* to an existing edge's endpoints. Both moves
+/// preserve series-parallelness; the result has treewidth ≤ 2 and
+/// degeneracy ≤ 2.
+pub fn random_series_parallel(n: usize, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::Parse(format!("series-parallel needs n ≥ 2, got {n}")));
+    }
+    let mut g = LabelledGraph::new(n);
+    g.add_edge(1, 2)?;
+    for v in 3..=n as VertexId {
+        let edges: Vec<_> = g.edges().collect();
+        let e = edges[rng.gen_range(0..edges.len())];
+        if rng.gen_bool(0.5) {
+            // Series: subdivide {u,w} through v.
+            g.remove_edge(e.0, e.1)?;
+            g.add_edge(e.0, v)?;
+            g.add_edge(v, e.1)?;
+        } else {
+            // Parallel: new vertex adjacent to both endpoints.
+            g.add_edge(e.0, v)?;
+            g.add_edge(e.1, v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The wheel `W_n`: a cycle on vertices `2..=n` plus hub `1` adjacent to
+/// every rim vertex. Planar; degeneracy 3 for `n ≥ 5`.
+pub fn wheel(n: usize) -> Result<LabelledGraph, GraphError> {
+    if n < 4 {
+        return Err(GraphError::Parse(format!("wheel needs n ≥ 4, got {n}")));
+    }
+    let mut g = LabelledGraph::new(n);
+    for v in 2..=n as VertexId {
+        g.add_edge(1, v)?;
+    }
+    for v in 2..n as VertexId {
+        g.add_edge(v, v + 1)?;
+    }
+    g.add_edge(n as VertexId, 2)?;
+    Ok(g)
+}
+
+/// Circulant graph `C_n(jumps)`: vertex `i` adjacent to `i ± j (mod n)`
+/// for every jump `j`. With jumps `{1, 2}` this is a (generally
+/// non-planar for large n… actually squared-cycle) 4-regular foil for
+/// the planar experiments; with jumps `{1}` it degenerates to a cycle.
+pub fn circulant(n: usize, jumps: &[usize]) -> Result<LabelledGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Parse("circulant needs n ≥ 1".into()));
+    }
+    let mut g = LabelledGraph::new(n);
+    for &j in jumps {
+        if j == 0 || j > n / 2 {
+            return Err(GraphError::Parse(format!("jump {j} out of range 1..={} for n = {n}", n / 2)));
+        }
+        for i in 0..n {
+            let u = (i + 1) as VertexId;
+            let v = ((i + j) % n + 1) as VertexId;
+            if u != v {
+                g.add_edge_if_absent(u, v)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Complete binary tree with `levels` levels (`2^levels − 1` vertices,
+/// heap-indexed: children of `i` are `2i` and `2i + 1`). Degeneracy 1.
+pub fn complete_binary_tree(levels: u32) -> LabelledGraph {
+    let n = (1usize << levels) - 1;
+    let mut g = LabelledGraph::new(n);
+    for i in 2..=n {
+        g.add_edge((i / 2) as VertexId, i as VertexId).expect("tree edge");
+    }
+    g
+}
+
+/// Random planar *subgraph* sample: a triangulation thinned by keeping
+/// each edge independently with probability `keep`. Stays planar (edge
+/// deletion preserves planarity); degeneracy ≤ 5 still holds.
+pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+    let full = random_planar_triangulation(n, 2 * n, rng)?;
+    let mut g = LabelledGraph::new(n);
+    let mut edges: Vec<_> = full.edges().collect();
+    edges.shuffle(rng);
+    for e in edges {
+        if rng.gen_bool(keep.clamp(0.0, 1.0)) {
+            g.add_edge(e.0, e.1)?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{
+        degeneracy_ordering, is_connected, treewidth_exact, Diameter,
+    };
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn apollonian_is_planar_3_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [3usize, 4, 5, 10, 50, 200] {
+            let g = random_apollonian(n, &mut rng).unwrap();
+            assert_eq!(g.m(), 3 * n - 6, "n = {n}");
+            assert!(is_connected(&g));
+            let k = degeneracy_ordering(&g).degeneracy;
+            assert_eq!(k, if n == 3 { 2 } else { 3 }, "n = {n}");
+        }
+        assert!(random_apollonian(2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn apollonian_treewidth_is_three() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_apollonian(12, &mut rng).unwrap();
+        assert_eq!(treewidth_exact(&g), 3);
+    }
+
+    #[test]
+    fn triangulation_edge_count_and_degeneracy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [4usize, 8, 30, 100] {
+            let g = random_planar_triangulation(n, 3 * n, &mut rng).unwrap();
+            assert_eq!(g.m(), 3 * n - 6, "n = {n}");
+            assert!(is_connected(&g), "n = {n}");
+            // Planar ⇒ degeneracy ≤ 5 (the paper's headline class).
+            assert!(degeneracy_ordering(&g).degeneracy <= 5, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn flips_change_the_graph_but_not_the_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_planar_triangulation(40, 0, &mut rng).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let b = random_planar_triangulation(40, 200, &mut rng2).unwrap();
+        assert_eq!(a.m(), b.m());
+        // Flips should actually perturb the edge set (same growth seed).
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fan_and_outerplanar_are_degeneracy_2() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = fan(10).unwrap();
+        assert_eq!(f.m(), 9 + 8);
+        assert_eq!(degeneracy_ordering(&f).degeneracy, 2);
+        for n in [3usize, 5, 12, 60] {
+            let g = random_outerplanar(n, &mut rng).unwrap();
+            // maximal outerplanar: 2n − 3 edges
+            assert_eq!(g.m(), 2 * n - 3, "n = {n}");
+            assert!(degeneracy_ordering(&g).degeneracy <= 2, "n = {n}");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn outerplanar_treewidth_at_most_2() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in [4usize, 7, 10] {
+            let g = random_outerplanar(n, &mut rng).unwrap();
+            assert!(treewidth_exact(&g) <= 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn series_parallel_treewidth_at_most_2() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 6, 10, 14] {
+            let g = random_series_parallel(n, &mut rng).unwrap();
+            assert!(is_connected(&g), "n = {n}");
+            assert!(treewidth_exact(&g) <= 2, "n = {n}");
+            assert!(degeneracy_ordering(&g).degeneracy <= 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(7).unwrap(); // hub + 6-cycle rim
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(1), 6);
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 3);
+        assert_eq!(treewidth_exact(&g), 3);
+        assert!(matches!(crate::algo::diameter(&g), Diameter::Finite(2)));
+        assert!(wheel(3).is_err());
+    }
+
+    #[test]
+    fn circulant_families() {
+        // C_n({1}) is the cycle.
+        let c = circulant(8, &[1]).unwrap();
+        assert_eq!(c, structured::cycle(8).unwrap());
+        // C_8({1,2}) is 4-regular.
+        let g = circulant(8, &[1, 2]).unwrap();
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 16);
+        // jump n/2 gives a perfect matching worth of edges (degree 1 each).
+        let m = circulant(6, &[3]).unwrap();
+        assert_eq!(m.m(), 3);
+        // bad jumps rejected
+        assert!(circulant(8, &[0]).is_err());
+        assert!(circulant(8, &[5]).is_err());
+    }
+
+    #[test]
+    fn binary_tree_is_a_tree() {
+        let g = complete_binary_tree(5);
+        assert_eq!(g.n(), 31);
+        assert_eq!(g.m(), 30);
+        assert!(crate::algo::is_forest(&g));
+        assert!(is_connected(&g));
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 1);
+    }
+
+    #[test]
+    fn random_planar_subgraph_stays_degenerate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_planar(60, 0.7, &mut rng).unwrap();
+        assert!(g.m() <= 3 * 60 - 6);
+        assert!(degeneracy_ordering(&g).degeneracy <= 5);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = random_apollonian(20, &mut StdRng::seed_from_u64(9)).unwrap();
+        let g2 = random_apollonian(20, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Preferential-attachment (Barabási–Albert) generators.
+//!
+//! Scale-free topologies are the realistic stress test for Theorem 5:
+//! they have hubs of *huge* degree (so the footnote-1 adjacency upload
+//! is hopeless) yet **degeneracy ≤ m by construction** — every vertex
+//! after the seed arrives with exactly `m` edges, so peeling vertices in
+//! reverse arrival order never sees degree > m. The one-round protocol
+//! therefore reconstructs internet-like graphs at `O(m² log n)` bits per
+//! node while the naive protocol pays `Θ(Δ log n) = Θ(n^{1/2} log n)` at
+//! the hubs.
+
+use crate::{GraphError, LabelledGraph, VertexId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `m + 1` seed vertices; each new vertex attaches to `m` distinct
+/// existing vertices chosen proportionally to their current degree.
+///
+/// Degeneracy is at most `m` (reverse-arrival elimination order), and
+/// exactly `m` for `n > m + 1`.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use referee_graph::{algo, generators};
+/// let g = generators::barabasi_albert(100, 2, &mut StdRng::seed_from_u64(7)).unwrap();
+/// assert_eq!(algo::degeneracy_ordering(&g).degeneracy, 2); // not Δ!
+/// assert!(g.max_degree() > 8); // hubs emerge anyway
+/// ```
+pub fn barabasi_albert(
+    n: usize,
+    m: usize,
+    rng: &mut impl Rng,
+) -> Result<LabelledGraph, GraphError> {
+    if m == 0 || n < m + 1 {
+        return Err(GraphError::Parse(format!(
+            "barabasi_albert needs m ≥ 1 and n ≥ m + 1, got n = {n}, m = {m}"
+        )));
+    }
+    let mut g = LabelledGraph::new(n);
+    // Seed clique on 1..=m+1.
+    for u in 1..=(m + 1) as VertexId {
+        for v in (u + 1)..=(m + 1) as VertexId {
+            g.add_edge(u, v)?;
+        }
+    }
+    // Degree-proportional sampling via the "repeated endpoints" trick:
+    // every edge contributes both endpoints to the urn.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * (m * n));
+    for e in g.edges() {
+        urn.push(e.0);
+        urn.push(e.1);
+    }
+    for v in (m as VertexId + 2)..=n as VertexId {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let pick = urn[rng.gen_range(0..urn.len())];
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(v, t)?;
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Uniform-attachment variant (each new vertex picks `m` *uniform*
+/// existing vertices): same degeneracy bound, exponential rather than
+/// power-law degree tail. The pair isolates what preferential choice
+/// contributes in the experiments.
+pub fn uniform_attachment(
+    n: usize,
+    m: usize,
+    rng: &mut impl Rng,
+) -> Result<LabelledGraph, GraphError> {
+    if m == 0 || n < m + 1 {
+        return Err(GraphError::Parse(format!(
+            "uniform_attachment needs m ≥ 1 and n ≥ m + 1, got n = {n}, m = {m}"
+        )));
+    }
+    let mut g = LabelledGraph::new(n);
+    for u in 1..=(m + 1) as VertexId {
+        for v in (u + 1)..=(m + 1) as VertexId {
+            g.add_edge(u, v)?;
+        }
+    }
+    for v in (m as VertexId + 2)..=n as VertexId {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let pick = rng.gen_range(1..v);
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(v, t)?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{degeneracy_ordering, is_connected};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn ba_shape_and_degeneracy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, m) in [(50usize, 1usize), (100, 2), (200, 3), (120, 5)] {
+            let g = barabasi_albert(n, m, &mut rng).unwrap();
+            assert_eq!(g.n(), n);
+            // edges: seed clique + m per newcomer
+            assert_eq!(g.m(), m * (m + 1) / 2 + m * (n - m - 1), "n={n}, m={m}");
+            assert!(is_connected(&g));
+            assert_eq!(degeneracy_ordering(&g).degeneracy, m, "n={n}, m={m}");
+        }
+    }
+
+    #[test]
+    fn ba_has_hubs() {
+        // Preferential attachment concentrates degree: the max degree
+        // should far exceed the uniform variant's at the same (n, m).
+        let mut rng = StdRng::seed_from_u64(2);
+        let ba = barabasi_albert(2000, 2, &mut rng).unwrap();
+        let ua = uniform_attachment(2000, 2, &mut rng).unwrap();
+        assert!(
+            ba.max_degree() > 2 * ua.max_degree(),
+            "BA hub {} vs uniform {}",
+            ba.max_degree(),
+            ua.max_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_attachment_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = uniform_attachment(150, 3, &mut rng).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 3);
+        assert_eq!(g.m(), 6 + 3 * (150 - 4));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(barabasi_albert(5, 0, &mut rng).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng).is_err());
+        assert!(uniform_attachment(2, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reverse_arrival_is_an_elimination_order() {
+        // The witness behind "degeneracy ≤ m": peeling n, n−1, …
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = 4;
+        let g = barabasi_albert(60, m, &mut rng).unwrap();
+        let order: Vec<u32> = (1..=60).rev().collect();
+        assert!(crate::algo::degeneracy::verify_elimination_order(&g, &order, m));
+    }
+}

@@ -1,0 +1,284 @@
+//! Random graph models.
+//!
+//! All samplers take `&mut impl Rng` so experiments control seeding and
+//! reproduce byte-identical runs.
+
+use crate::algo::squares::has_square;
+use crate::{GraphError, LabelledGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi G(n, p): each of the C(n,2) edges present independently
+/// with probability `p`.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> LabelledGraph {
+    let mut g = LabelledGraph::new(n);
+    if p <= 0.0 {
+        return g;
+    }
+    for u in 1..=n as VertexId {
+        for v in (u + 1)..=n as VertexId {
+            if p >= 1.0 || rng.gen_bool(p) {
+                g.add_edge(u, v).expect("fresh edge");
+            }
+        }
+    }
+    g
+}
+
+/// G(n, m): exactly `m` distinct edges, uniform among all such graphs.
+/// Errors if `m > C(n, 2)`.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+    let max = n * n.saturating_sub(1) / 2;
+    if m > max {
+        return Err(GraphError::Parse(format!("m = {m} exceeds C({n},2) = {max}")));
+    }
+    let mut g = LabelledGraph::new(n);
+    if m == 0 {
+        return Ok(g);
+    }
+    // Dense request: sample by shuffling all edges. Sparse: rejection.
+    if m * 3 > max {
+        let mut all: Vec<(VertexId, VertexId)> = Vec::with_capacity(max);
+        for u in 1..=n as VertexId {
+            for v in (u + 1)..=n as VertexId {
+                all.push((u, v));
+            }
+        }
+        all.shuffle(rng);
+        for &(u, v) in all.iter().take(m) {
+            g.add_edge(u, v).expect("fresh edge");
+        }
+    } else {
+        while g.m() < m {
+            let u = rng.gen_range(1..=n as VertexId);
+            let v = rng.gen_range(1..=n as VertexId);
+            if u != v {
+                g.add_edge_if_absent(u, v).expect("in range");
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Uniform random labelled tree on `n` vertices via a random Prüfer
+/// sequence. `n = 0` gives the empty graph; `n = 1` a single vertex.
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> LabelledGraph {
+    if n <= 1 {
+        return LabelledGraph::new(n);
+    }
+    let prufer: Vec<VertexId> =
+        (0..n - 2).map(|_| rng.gen_range(1..=n as VertexId)).collect();
+    tree_from_prufer(n, &prufer)
+}
+
+/// Decode a Prüfer sequence (length n − 2, entries in 1..=n) into its tree.
+pub fn tree_from_prufer(n: usize, prufer: &[VertexId]) -> LabelledGraph {
+    assert_eq!(prufer.len(), n.saturating_sub(2), "Prüfer length must be n-2");
+    let mut g = LabelledGraph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    let mut deg = vec![1u32; n + 1];
+    for &v in prufer {
+        deg[v as usize] += 1;
+    }
+    // Classic linear decode with a moving leaf pointer.
+    let mut ptr = 1usize;
+    while deg[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &v in prufer {
+        g.add_edge(leaf as VertexId, v).expect("prufer edge");
+        deg[v as usize] -= 1;
+        if deg[v as usize] == 1 && (v as usize) < ptr {
+            leaf = v as usize;
+        } else {
+            ptr += 1;
+            while deg[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    g.add_edge(leaf as VertexId, n as VertexId).expect("final prufer edge");
+    g
+}
+
+/// Random forest: a random tree with each edge independently kept with
+/// probability `keep`. `keep = 1.0` gives a tree, small `keep` a sparse
+/// forest. Degeneracy ≤ 1 always.
+pub fn random_forest(n: usize, keep: f64, rng: &mut impl Rng) -> LabelledGraph {
+    let tree = random_tree(n, rng);
+    let mut g = LabelledGraph::new(n);
+    for e in tree.edges() {
+        if keep >= 1.0 || rng.gen_bool(keep.max(0.0)) {
+            g.add_edge(e.0, e.1).expect("forest edge");
+        }
+    }
+    g
+}
+
+/// Random bipartite graph with the **fixed balanced parts of Theorem 3**:
+/// part 1 = `{1..⌈n/2⌉}`, part 2 = `{⌈n/2⌉+1..n}`; each cross pair is an
+/// edge independently with probability `p`.
+pub fn random_balanced_bipartite(n: usize, p: f64, rng: &mut impl Rng) -> LabelledGraph {
+    let half = n.div_ceil(2);
+    let mut g = LabelledGraph::new(n);
+    for u in 1..=half as VertexId {
+        for v in (half + 1) as VertexId..=n as VertexId {
+            if p >= 1.0 || (p > 0.0 && rng.gen_bool(p)) {
+                g.add_edge(u, v).expect("cross edge");
+            }
+        }
+    }
+    g
+}
+
+/// Random d-regular graph by the pairing (configuration) model with
+/// rejection of loops/multi-edges. Errors if `n·d` is odd or `d ≥ n`.
+pub fn random_regular(
+    n: usize,
+    d: usize,
+    rng: &mut impl Rng,
+) -> Result<LabelledGraph, GraphError> {
+    if n * d % 2 != 0 {
+        return Err(GraphError::Parse(format!("n·d must be even, got {n}·{d}")));
+    }
+    if d >= n && !(d == 0 && n <= 1) && n > 0 {
+        return Err(GraphError::Parse(format!("need d < n, got d={d}, n={n}")));
+    }
+    'attempt: loop {
+        let mut stubs: Vec<VertexId> = Vec::with_capacity(n * d);
+        for v in 1..=n as VertexId {
+            for _ in 0..d {
+                stubs.push(v);
+            }
+        }
+        stubs.shuffle(rng);
+        let mut g = LabelledGraph::new(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !g.add_edge_if_absent(u, v).expect("in range") {
+                continue 'attempt; // rejection: resample the whole pairing
+            }
+        }
+        return Ok(g);
+    }
+}
+
+/// Incrementally grown square-free graph: take a random edge order and add
+/// each edge iff it closes no 4-cycle. This yields dense-ish members of
+/// Theorem 1's class (the class has 2^Θ(n^{3/2}) members, matching the
+/// Θ(n^{3/2}) maximum edge count of C4-free graphs).
+pub fn random_square_free(n: usize, rng: &mut impl Rng) -> LabelledGraph {
+    let mut all: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 1..=n as VertexId {
+        for v in (u + 1)..=n as VertexId {
+            all.push((u, v));
+        }
+    }
+    all.shuffle(rng);
+    let mut g = LabelledGraph::new(n);
+    for (u, v) in all {
+        g.add_edge(u, v).expect("fresh edge");
+        if has_square(&g) {
+            g.remove_edge(u, v).expect("just added");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng();
+        assert_eq!(gnp(10, 0.0, &mut r).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut r).m(), 45);
+        let g = gnp(50, 0.5, &mut r);
+        assert!(g.m() > 400 && g.m() < 800, "m = {}", g.m());
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut r = rng();
+        for m in [0usize, 1, 10, 44, 45] {
+            assert_eq!(gnm(10, m, &mut r).unwrap().m(), m);
+        }
+        assert!(gnm(10, 46, &mut r).is_err());
+    }
+
+    #[test]
+    fn prufer_decode_known() {
+        // Prüfer (4,4) on 4 vertices → star at 4
+        let g = tree_from_prufer(4, &[4, 4]);
+        assert_eq!(g.degree(4), 3);
+        assert!(algo::is_forest(&g));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 10, 100] {
+            let g = random_tree(n, &mut r);
+            assert_eq!(g.m(), n.saturating_sub(1));
+            assert!(algo::is_forest(&g));
+            assert!(algo::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_forest_is_forest() {
+        let mut r = rng();
+        let g = random_forest(200, 0.7, &mut r);
+        assert!(algo::is_forest(&g));
+        assert!(g.m() < 199);
+    }
+
+    #[test]
+    fn balanced_bipartite_respects_split() {
+        let mut r = rng();
+        let g = random_balanced_bipartite(20, 0.4, &mut r);
+        assert!(algo::bipartite::respects_balanced_split(&g));
+        assert!(algo::is_bipartite(&g));
+        // odd n also splits correctly
+        let g = random_balanced_bipartite(9, 1.0, &mut r);
+        assert_eq!(g.m(), 5 * 4);
+    }
+
+    #[test]
+    fn regular_graph_degrees() {
+        let mut r = rng();
+        let g = random_regular(20, 3, &mut r).unwrap();
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+        assert!(random_regular(5, 3, &mut r).is_err()); // odd n·d
+        assert!(random_regular(4, 5, &mut r).is_err()); // d ≥ n
+    }
+
+    #[test]
+    fn square_free_generator() {
+        let mut r = rng();
+        let g = random_square_free(20, &mut r);
+        assert!(!algo::has_square(&g));
+        // maximal C4-free graphs on 20 vertices have ≥ 19 edges (a tree is
+        // far from maximal; this generator saturates)
+        assert!(g.m() >= 20, "m = {}", g.m());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = gnp(30, 0.3, &mut StdRng::seed_from_u64(7));
+        let g2 = gnp(30, 0.3, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Deterministic structured families.
+//!
+//! The paper's positive result covers "many graph classes such as planar
+//! graphs, bounded treewidth graphs and, more generally, bounded degeneracy
+//! graphs"; these constructors provide canonical members of each with known
+//! degeneracy for the reconstruction experiments.
+
+use crate::{GraphError, LabelledGraph, VertexId};
+
+/// Path P_n (degeneracy 1 for n ≥ 2).
+pub fn path(n: usize) -> LabelledGraph {
+    let mut g = LabelledGraph::new(n);
+    for v in 1..n as VertexId {
+        g.add_edge(v, v + 1).expect("path edge");
+    }
+    g
+}
+
+/// Cycle C_n; requires n ≥ 3 (degeneracy 2).
+pub fn cycle(n: usize) -> Result<LabelledGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::Parse(format!("cycle needs n ≥ 3, got {n}")));
+    }
+    let mut g = path(n);
+    g.add_edge(n as VertexId, 1)?;
+    Ok(g)
+}
+
+/// Star K_{1,n-1} with centre 1; requires n ≥ 1.
+pub fn star(n: usize) -> Result<LabelledGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Parse("star needs n ≥ 1".into()));
+    }
+    let mut g = LabelledGraph::new(n);
+    for v in 2..=n as VertexId {
+        g.add_edge(1, v)?;
+    }
+    Ok(g)
+}
+
+/// Complete graph K_n (degeneracy n − 1).
+pub fn complete(n: usize) -> LabelledGraph {
+    let mut g = LabelledGraph::new(n);
+    for u in 1..=n as VertexId {
+        for v in (u + 1)..=n as VertexId {
+            g.add_edge(u, v).expect("clique edge");
+        }
+    }
+    g
+}
+
+/// Complete bipartite K_{a,b}: part A = `1..=a`, part B = `a+1..=a+b`
+/// (degeneracy min(a, b)).
+pub fn complete_bipartite(a: usize, b: usize) -> LabelledGraph {
+    let mut g = LabelledGraph::new(a + b);
+    for u in 1..=a as VertexId {
+        for v in (a + 1) as VertexId..=(a + b) as VertexId {
+            g.add_edge(u, v).expect("bipartite edge");
+        }
+    }
+    g
+}
+
+/// r × c grid (planar, degeneracy 2 for r,c ≥ 2). Vertex (i, j) has ID
+/// `i*c + j + 1` (row-major).
+pub fn grid(r: usize, c: usize) -> LabelledGraph {
+    let mut g = LabelledGraph::new(r * c);
+    let id = |i: usize, j: usize| (i * c + j + 1) as VertexId;
+    for i in 0..r {
+        for j in 0..c {
+            if j + 1 < c {
+                g.add_edge(id(i, j), id(i, j + 1)).expect("grid edge");
+            }
+            if i + 1 < r {
+                g.add_edge(id(i, j), id(i + 1, j)).expect("grid edge");
+            }
+        }
+    }
+    g
+}
+
+/// r × c torus (4-regular for r,c ≥ 3; degeneracy 4).
+pub fn torus(r: usize, c: usize) -> LabelledGraph {
+    assert!(r >= 3 && c >= 3, "torus needs r, c ≥ 3 to stay simple");
+    let mut g = LabelledGraph::new(r * c);
+    let id = |i: usize, j: usize| (i * c + j + 1) as VertexId;
+    for i in 0..r {
+        for j in 0..c {
+            g.add_edge_if_absent(id(i, j), id(i, (j + 1) % c)).expect("torus edge");
+            g.add_edge_if_absent(id(i, j), id((i + 1) % r, j)).expect("torus edge");
+        }
+    }
+    g
+}
+
+/// d-dimensional hypercube Q_d on 2^d vertices (d-regular, degeneracy d).
+/// Vertex ID = binary label + 1.
+pub fn hypercube(d: u32) -> LabelledGraph {
+    let n = 1usize << d;
+    let mut g = LabelledGraph::new(n);
+    for x in 0..n {
+        for bit in 0..d {
+            let y = x ^ (1 << bit);
+            if y > x {
+                g.add_edge((x + 1) as VertexId, (y + 1) as VertexId).expect("cube edge");
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (3-regular, girth 5, degeneracy 3). Outer cycle
+/// 1..5, inner pentagram 6..10.
+pub fn petersen() -> LabelledGraph {
+    let outer = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)];
+    let spokes = [(1, 6), (2, 7), (3, 8), (4, 9), (5, 10)];
+    let inner = [(6, 8), (8, 10), (10, 7), (7, 9), (9, 6)];
+    LabelledGraph::from_edges(10, outer.into_iter().chain(spokes).chain(inner))
+        .expect("petersen edges are valid")
+}
+
+/// The octahedron K_{2,2,2} (4-regular planar; degeneracy exactly 4).
+/// Antipodal pairs: (1,2), (3,4), (5,6).
+pub fn octahedron() -> LabelledGraph {
+    let mut g = LabelledGraph::new(6);
+    for u in 1..=6u32 {
+        for v in (u + 1)..=6 {
+            // skip the three antipodal non-edges
+            let antipodal = (u, v) == (1, 2) || (u, v) == (3, 4) || (u, v) == (5, 6);
+            if !antipodal {
+                g.add_edge(u, v).expect("octahedron edge");
+            }
+        }
+    }
+    g
+}
+
+/// The icosahedron (5-regular planar; degeneracy exactly 5 — a *tight*
+/// witness for the paper's "planar graphs are of degeneracy at most 5").
+pub fn icosahedron() -> LabelledGraph {
+    // Standard construction: top apex 1, upper pentagon 2..6, lower
+    // pentagon 7..11, bottom apex 12.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(30);
+    for i in 0..5u32 {
+        let up = 2 + i;
+        let up_next = 2 + (i + 1) % 5;
+        let low = 7 + i;
+        let low_next = 7 + (i + 1) % 5;
+        edges.push((1, up)); // apex to upper ring
+        edges.push((up, up_next)); // upper ring
+        edges.push((low, low_next)); // lower ring
+        edges.push((12, low)); // bottom apex to lower ring
+        // antiprism band between rings
+        edges.push((up, low));
+        edges.push((up_next, low));
+    }
+    LabelledGraph::from_edges(12, edges).expect("icosahedron edges are simple")
+}
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves (a tree — degeneracy 1 — with high max degree, which separates
+/// "bounded degree" from "bounded degeneracy": footnote 1 of the paper).
+pub fn caterpillar(spine: usize, legs: usize) -> LabelledGraph {
+    let n = spine + spine * legs;
+    let mut g = LabelledGraph::new(n);
+    for s in 1..spine as VertexId {
+        g.add_edge(s, s + 1).expect("spine edge");
+    }
+    let mut next = (spine + 1) as VertexId;
+    for s in 1..=spine as VertexId {
+        for _ in 0..legs {
+            g.add_edge(s, next).expect("leg edge");
+            next += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn path_props() {
+        let g = path(6);
+        assert_eq!(g.m(), 5);
+        assert!(algo::is_forest(&g));
+        assert_eq!(algo::diameter(&g).finite(), Some(5));
+        assert_eq!(path(0).n(), 0);
+        assert_eq!(path(1).m(), 0);
+    }
+
+    #[test]
+    fn cycle_props() {
+        assert!(cycle(2).is_err());
+        let g = cycle(5).unwrap();
+        assert_eq!(g.m(), 5);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_props() {
+        let g = star(5).unwrap();
+        assert_eq!(g.degree(1), 4);
+        assert_eq!(g.m(), 4);
+        assert!(algo::is_forest(&g));
+        assert!(star(0).is_err());
+        assert_eq!(star(1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn complete_props() {
+        let g = complete(7);
+        assert_eq!(g.m(), 21);
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(algo::diameter(&g).finite(), Some(1));
+    }
+
+    #[test]
+    fn complete_bipartite_props() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(algo::degeneracy_ordering(&g).degeneracy, 3);
+    }
+
+    #[test]
+    fn grid_props() {
+        let g = grid(4, 6);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 4 * 5 + 3 * 6); // horizontal + vertical
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(algo::degeneracy_ordering(&g).degeneracy, 2);
+    }
+
+    #[test]
+    fn torus_props() {
+        let g = torus(4, 5);
+        assert_eq!(g.n(), 20);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_props() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(algo::diameter(&g).finite(), Some(4));
+    }
+
+    #[test]
+    fn petersen_props() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+        assert_eq!(algo::diameter(&g).finite(), Some(2));
+        assert!(!algo::is_bipartite(&g));
+    }
+
+    #[test]
+    fn octahedron_props() {
+        let g = octahedron();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 12);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(algo::degeneracy_ordering(&g).degeneracy, 4);
+        assert_eq!(algo::diameter(&g).finite(), Some(2));
+        // the three antipodal pairs are the only non-edges
+        assert!(!g.has_edge(1, 2) && !g.has_edge(3, 4) && !g.has_edge(5, 6));
+    }
+
+    #[test]
+    fn icosahedron_props() {
+        let g = icosahedron();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 30); // V - E + F = 2 with F = 20 triangles
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+        // tight witness: planar AND degeneracy exactly 5
+        assert_eq!(algo::degeneracy_ordering(&g).degeneracy, 5);
+        assert_eq!(algo::diameter(&g).finite(), Some(3));
+        assert_eq!(algo::girth(&g), Some(3));
+        // 20 triangular faces (every triangle is a face in the icosahedron)
+        assert_eq!(algo::count_triangles(&g), 20);
+    }
+
+    #[test]
+    fn caterpillar_props() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.n(), 16);
+        assert!(algo::is_forest(&g));
+        assert_eq!(g.max_degree(), 5); // interior spine: 2 spine + 3 legs
+        assert_eq!(algo::degeneracy_ordering(&g).degeneracy, 1);
+    }
+}

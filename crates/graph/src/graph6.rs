@@ -1,0 +1,175 @@
+//! graph6 interchange codec (McKay's format).
+//!
+//! Lets experiment outputs name concrete witness graphs compactly (e.g.
+//! the collision pairs found by the Lemma 1 pigeonhole experiment) and
+//! allows cross-checking against external tools like `nauty`.
+//!
+//! Format: `N(n)` — one byte `n + 63` for `n ≤ 62`, or `126` followed by
+//! three bytes for `n ≤ 258047` — then the upper triangle of the adjacency
+//! matrix in column-major order `(0,1), (0,2), (1,2), (0,3), …`, packed
+//! 6 bits per byte (MSB first), each byte offset by 63.
+
+use crate::{GraphError, LabelledGraph};
+
+/// Encode a graph as a graph6 string.
+pub fn to_graph6(g: &LabelledGraph) -> String {
+    let n = g.n();
+    let mut out = Vec::new();
+    if n <= 62 {
+        out.push((n + 63) as u8);
+    } else {
+        assert!(n <= 258_047, "graph6 3-byte size limit");
+        out.push(126);
+        out.push(((n >> 12) & 0x3f) as u8 + 63);
+        out.push(((n >> 6) & 0x3f) as u8 + 63);
+        out.push((n & 0x3f) as u8 + 63);
+    }
+    // upper triangle, column-major: for j in 1..n, for i in 0..j
+    let mut acc = 0u8;
+    let mut nbits = 0;
+    for j in 1..n {
+        for i in 0..j {
+            acc <<= 1;
+            if g.has_edge((i + 1) as u32, (j + 1) as u32) {
+                acc |= 1;
+            }
+            nbits += 1;
+            if nbits == 6 {
+                out.push(acc + 63);
+                acc = 0;
+                nbits = 0;
+            }
+        }
+    }
+    if nbits > 0 {
+        acc <<= 6 - nbits;
+        out.push(acc + 63);
+    }
+    String::from_utf8(out).expect("graph6 bytes are ASCII")
+}
+
+/// Decode a graph6 string.
+pub fn from_graph6(s: &str) -> Result<LabelledGraph, GraphError> {
+    let bytes = s.trim().as_bytes();
+    if bytes.is_empty() {
+        return Err(GraphError::Parse("empty graph6 string".into()));
+    }
+    let (n, pos) = if bytes[0] == 126 {
+        if bytes.len() < 4 {
+            return Err(GraphError::Parse("truncated graph6 size".into()));
+        }
+        let n = (((bytes[1] - 63) as usize) << 12)
+            | (((bytes[2] - 63) as usize) << 6)
+            | ((bytes[3] - 63) as usize);
+        (n, 4)
+    } else {
+        if bytes[0] < 63 || bytes[0] > 125 {
+            return Err(GraphError::Parse(format!("bad size byte {}", bytes[0])));
+        }
+        ((bytes[0] - 63) as usize, 1)
+    };
+    let nbits = n * n.saturating_sub(1) / 2;
+    let nbytes = nbits.div_ceil(6);
+    if bytes.len() - pos < nbytes {
+        return Err(GraphError::Parse(format!(
+            "need {nbytes} data bytes for n={n}, got {}",
+            bytes.len() - pos
+        )));
+    }
+    let mut g = LabelledGraph::new(n);
+    let mut bit_idx = 0usize;
+    'outer: for j in 1..n {
+        for i in 0..j {
+            let byte = bytes[pos + bit_idx / 6];
+            if !(63..=126).contains(&byte) {
+                return Err(GraphError::Parse(format!("bad data byte {byte}")));
+            }
+            let bit = (byte - 63) >> (5 - (bit_idx % 6)) & 1;
+            if bit == 1 {
+                g.add_edge((i + 1) as u32, (j + 1) as u32)?;
+            }
+            bit_idx += 1;
+            if bit_idx >= nbits {
+                break 'outer;
+            }
+        }
+    }
+    let _ = pos; // consumed via indexing
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn known_encodings() {
+        // K3 is "Bw" in standard graph6.
+        assert_eq!(to_graph6(&generators::complete(3)), "Bw");
+        // P3 as 1-2-3: bits for slots (1,2),(1,3),(2,3) are 1,0,1 → 'g'.
+        let p3 = LabelledGraph::from_edges(3, [(1, 2), (2, 3)]).unwrap();
+        assert_eq!(to_graph6(&p3), "Bg");
+        // The null graph on 0 vertices is "?".
+        assert_eq!(to_graph6(&LabelledGraph::new(0)), "?");
+        // K4 is "C~".
+        assert_eq!(to_graph6(&generators::complete(4)), "C~");
+    }
+
+    #[test]
+    fn round_trip_families() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let graphs = vec![
+            LabelledGraph::new(0),
+            LabelledGraph::new(1),
+            LabelledGraph::new(13),
+            generators::petersen(),
+            generators::grid(5, 7),
+            generators::gnp(40, 0.3, &mut rng),
+            generators::complete(10),
+        ];
+        for g in graphs {
+            let enc = to_graph6(&g);
+            let dec = from_graph6(&enc).unwrap();
+            assert_eq!(dec, g, "round trip failed for {enc}");
+        }
+    }
+
+    #[test]
+    fn large_n_three_byte_header() {
+        let g = LabelledGraph::from_edges(100, [(1, 100), (50, 51)]).unwrap();
+        let enc = to_graph6(&g);
+        assert_eq!(from_graph6(&enc).unwrap(), g);
+        // n = 100 > 62 would need long form? No: 100 > 62 yes → long form.
+        assert_eq!(enc.as_bytes()[0], 126);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(from_graph6("").is_err());
+        assert!(from_graph6("~").is_err()); // 126 with no size bytes
+        assert!(from_graph6("D").is_err()); // n=5 but no data bytes
+        assert!(from_graph6("B\u{1}").is_err()); // bad data byte
+    }
+
+    #[test]
+    fn trailing_whitespace_tolerated() {
+        let g = generators::complete(3);
+        assert_eq!(from_graph6("Bw\n").unwrap(), g);
+    }
+
+    #[test]
+    fn size_boundary_62_63() {
+        // n = 62 is the largest short-form size; n = 63 switches to the
+        // 126-prefixed long form.
+        let g62 = LabelledGraph::from_edges(62, [(1, 62)]).unwrap();
+        let e62 = to_graph6(&g62);
+        assert_eq!(e62.as_bytes()[0], 62 + 63);
+        assert_eq!(from_graph6(&e62).unwrap(), g62);
+        let g63 = LabelledGraph::from_edges(63, [(1, 63)]).unwrap();
+        let e63 = to_graph6(&g63);
+        assert_eq!(e63.as_bytes()[0], 126);
+        assert_eq!(from_graph6(&e63).unwrap(), g63);
+    }
+}

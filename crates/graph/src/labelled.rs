@@ -1,0 +1,408 @@
+//! [`LabelledGraph`]: the simple undirected labelled graph of the paper's
+//! model (§I.B), with 1-based vertex IDs `1..=n`.
+//!
+//! Storage is a sorted adjacency vector per vertex, which keeps memory
+//! `O(n + m)` (the forest experiments run at `n = 10^5`) while still giving
+//! `O(log deg)` adjacency tests and cache-friendly neighbour scans.
+
+use crate::{BitSet, GraphError, VertexId};
+
+/// An undirected edge, stored with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(pub VertexId, pub VertexId);
+
+impl Edge {
+    /// Canonical form: endpoints sorted ascending.
+    pub fn new(u: VertexId, v: VertexId) -> Self {
+        if u <= v {
+            Edge(u, v)
+        } else {
+            Edge(v, u)
+        }
+    }
+}
+
+/// A simple undirected labelled graph on vertices `1..=n`.
+///
+/// This is the `G = (V, E)` of the paper: each node of the interconnection
+/// network knows its own ID, the set of its neighbours' IDs, and `n`.
+/// [`LabelledGraph::neighbourhood`] returns exactly that knowledge.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LabelledGraph {
+    n: usize,
+    /// `adj[i]` = sorted neighbour IDs of vertex `i + 1`.
+    adj: Vec<Vec<VertexId>>,
+    m: usize,
+}
+
+impl LabelledGraph {
+    /// The empty graph on `n` vertices (IDs `1..=n`).
+    pub fn new(n: usize) -> Self {
+        LabelledGraph { n, adj: vec![Vec::new(); n], m: 0 }
+    }
+
+    /// Build from an edge list; duplicate edges are an error.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = LabelledGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `m = |E|`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Iterate all vertex IDs `1..=n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (1..=self.n as VertexId).into_iter()
+    }
+
+    fn check(&self, v: VertexId) -> Result<usize, GraphError> {
+        if v == 0 || v as usize > self.n {
+            Err(GraphError::VertexOutOfRange { id: v, n: self.n })
+        } else {
+            Ok((v - 1) as usize)
+        }
+    }
+
+    /// Add edge `{u, v}`. Errors on self-loops, out-of-range IDs and
+    /// duplicates (the model's graphs are simple).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let (ui, vi) = (self.check(u)?, self.check(v)?);
+        match self.adj[ui].binary_search(&v) {
+            Ok(_) => return Err(GraphError::DuplicateEdge(u.min(v), u.max(v))),
+            Err(pos) => self.adj[ui].insert(pos, v),
+        }
+        let pos = self.adj[vi].binary_search(&u).unwrap_err();
+        self.adj[vi].insert(pos, u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Add edge `{u, v}` if absent; returns whether it was inserted.
+    pub fn add_edge_if_absent(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge(..)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove edge `{u, v}`; returns whether it was present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        let (ui, vi) = (self.check(u)?, self.check(v)?);
+        match self.adj[ui].binary_search(&v) {
+            Ok(pos) => {
+                self.adj[ui].remove(pos);
+                let pos2 = self.adj[vi].binary_search(&u).expect("symmetric adjacency");
+                self.adj[vi].remove(pos2);
+                self.m -= 1;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Adjacency test.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == 0 || v == 0 || u as usize > self.n || v as usize > self.n {
+            return false;
+        }
+        self.adj[(u - 1) as usize].binary_search(&v).is_ok()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[(v - 1) as usize].len()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sorted neighbour IDs of `v` — precisely the local knowledge
+    /// `{ID(y) | y ∈ N_G(v)}` each node holds in the model.
+    pub fn neighbourhood(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[(v - 1) as usize]
+    }
+
+    /// Neighbourhood as an incidence [`BitSet`] over bit positions
+    /// `id - 1` for `id ∈ 1..=n` (the vector `x` of Algorithm 3).
+    pub fn neighbourhood_bitset(&self, v: VertexId) -> BitSet {
+        let mut bs = BitSet::new(self.n);
+        for &w in self.neighbourhood(v) {
+            bs.set((w - 1) as usize);
+        }
+        bs
+    }
+
+    /// Iterate all edges in canonical `(u < v)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(i, nbrs)| {
+            let u = (i + 1) as VertexId;
+            nbrs.iter().copied().filter(move |&v| v > u).map(move |v| Edge(u, v))
+        })
+    }
+
+    /// The complement graph (used by the generalized-degeneracy protocol,
+    /// §III's closing remark).
+    pub fn complement(&self) -> LabelledGraph {
+        let mut g = LabelledGraph::new(self.n);
+        for u in 1..=self.n as VertexId {
+            let nbrs = &self.adj[(u - 1) as usize];
+            let mut it = nbrs.iter().copied().peekable();
+            for v in (u + 1)..=self.n as VertexId {
+                while it.peek().is_some_and(|&w| w < v) {
+                    it.next();
+                }
+                if it.peek() != Some(&v) {
+                    g.add_edge(u, v).expect("complement edge valid");
+                }
+            }
+        }
+        g
+    }
+
+    /// The subgraph induced by `keep` (IDs are *relabelled* to `1..=k`
+    /// following the ascending order of `keep`). Returns the mapping
+    /// `new_id -> old_id` alongside.
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> (LabelledGraph, Vec<VertexId>) {
+        let mut ids: Vec<VertexId> = keep.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut index = vec![0u32; self.n + 1]; // old id -> new id (0 = absent)
+        for (new0, &old) in ids.iter().enumerate() {
+            index[old as usize] = (new0 + 1) as VertexId;
+        }
+        let mut g = LabelledGraph::new(ids.len());
+        for &old_u in &ids {
+            for &old_v in self.neighbourhood(old_u) {
+                if old_v > old_u && index[old_v as usize] != 0 {
+                    g.add_edge(index[old_u as usize], index[old_v as usize])
+                        .expect("induced edge valid");
+                }
+            }
+        }
+        (g, ids)
+    }
+
+    /// Disjoint union: vertices of `other` are shifted by `self.n()`.
+    pub fn disjoint_union(&self, other: &LabelledGraph) -> LabelledGraph {
+        let shift = self.n as VertexId;
+        let mut g = LabelledGraph::new(self.n + other.n);
+        for e in self.edges() {
+            g.add_edge(e.0, e.1).expect("left edges valid");
+        }
+        for e in other.edges() {
+            g.add_edge(e.0 + shift, e.1 + shift).expect("right edges valid");
+        }
+        g
+    }
+
+    /// Grow the vertex set to `new_n ≥ n`, keeping all edges (the gadget
+    /// constructions of §II add fresh vertices `n+1, n+2, …`).
+    pub fn grow(&self, new_n: usize) -> LabelledGraph {
+        assert!(new_n >= self.n, "grow cannot shrink");
+        let mut g = self.clone();
+        g.n = new_n;
+        g.adj.resize(new_n, Vec::new());
+        g
+    }
+
+    /// Total degree sum (= 2m); sanity handle for the handshake lemma.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Relabel vertices: `perm[i]` is the **new** ID of old vertex `i + 1`
+    /// (`perm` must be a permutation of `1..=n`).
+    ///
+    /// In this model "graph" always means *labelled* graph — protocols
+    /// genuinely depend on IDs (power sums change under relabelling!), so
+    /// relabelling is the natural way to test that dependence.
+    pub fn relabel(&self, perm: &[VertexId]) -> LabelledGraph {
+        assert_eq!(perm.len(), self.n, "permutation size mismatch");
+        let mut seen = vec![false; self.n + 1];
+        for &p in perm {
+            assert!(p >= 1 && p as usize <= self.n && !seen[p as usize], "not a permutation");
+            seen[p as usize] = true;
+        }
+        let mut g = LabelledGraph::new(self.n);
+        for e in self.edges() {
+            g.add_edge(perm[(e.0 - 1) as usize], perm[(e.1 - 1) as usize])
+                .expect("permuted edge valid");
+        }
+        g
+    }
+}
+
+impl std::fmt::Debug for LabelledGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LabelledGraph(n={}, m={}, edges=[", self.n, self.m)?;
+        for (i, e) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}-{}", e.0, e.1)?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> LabelledGraph {
+        LabelledGraph::from_edges(4, [(1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabelledGraph::new(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let g = path4();
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 1)); // out-of-range is just "no edge"
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbourhood(2), &[1, 3]);
+        assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn rejects_self_loop_and_out_of_range() {
+        let mut g = LabelledGraph::new(3);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+        assert!(matches!(g.add_edge(1, 4), Err(GraphError::VertexOutOfRange { id: 4, n: 3 })));
+        assert!(matches!(g.add_edge(0, 1), Err(GraphError::VertexOutOfRange { id: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_duplicates_strictly() {
+        let mut g = LabelledGraph::new(3);
+        g.add_edge(1, 2).unwrap();
+        assert_eq!(g.add_edge(2, 1), Err(GraphError::DuplicateEdge(1, 2)));
+        assert_eq!(g.add_edge_if_absent(2, 1), Ok(false));
+        assert_eq!(g.add_edge_if_absent(2, 3), Ok(true));
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = path4();
+        assert_eq!(g.remove_edge(2, 3), Ok(true));
+        assert_eq!(g.remove_edge(2, 3), Ok(false));
+        assert_eq!(g.m(), 2);
+        assert!(!g.has_edge(2, 3));
+        assert_eq!(g.neighbourhood(2), &[1]);
+    }
+
+    #[test]
+    fn edges_canonical_order() {
+        let g = LabelledGraph::from_edges(4, [(3, 1), (4, 2), (2, 1)]).unwrap();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges, vec![Edge(1, 2), Edge(1, 3), Edge(2, 4)]);
+    }
+
+    #[test]
+    fn neighbourhood_bitset_matches() {
+        let g = path4();
+        let bs = g.neighbourhood_bitset(2);
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![0, 2]); // ids 1 and 3
+        assert_eq!(bs.len(), 4);
+    }
+
+    #[test]
+    fn complement_of_path() {
+        let g = path4();
+        let c = g.complement();
+        assert_eq!(c.m(), 6 - 3);
+        assert!(c.has_edge(1, 3) && c.has_edge(1, 4) && c.has_edge(2, 4));
+        assert!(!c.has_edge(1, 2));
+        // complement is an involution
+        assert_eq!(c.complement(), g);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = path4();
+        let (sub, map) = g.induced_subgraph(&[4, 2, 3]);
+        assert_eq!(map, vec![2, 3, 4]);
+        assert_eq!(sub.n(), 3);
+        // old edges 2-3 and 3-4 become 1-2 and 2-3
+        assert!(sub.has_edge(1, 2) && sub.has_edge(2, 3));
+        assert_eq!(sub.m(), 2);
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let g = path4();
+        let h = LabelledGraph::from_edges(2, [(1, 2)]).unwrap();
+        let u = g.disjoint_union(&h);
+        assert_eq!(u.n(), 6);
+        assert_eq!(u.m(), 4);
+        assert!(u.has_edge(5, 6));
+        assert!(!u.has_edge(4, 5));
+    }
+
+    #[test]
+    fn grow_adds_isolated_vertices() {
+        let g = path4().grow(7);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(7), 0);
+        assert!(!g.has_edge(4, 5));
+    }
+
+    #[test]
+    fn edge_canonical_constructor() {
+        assert_eq!(Edge::new(5, 2), Edge(2, 5));
+        assert_eq!(Edge::new(2, 5), Edge(2, 5));
+    }
+
+    #[test]
+    fn relabel_permutes_edges() {
+        let g = path4(); // 1-2-3-4
+        let h = g.relabel(&[4, 3, 2, 1]); // reverse labels
+        assert_eq!(h.m(), 3);
+        assert!(h.has_edge(4, 3) && h.has_edge(3, 2) && h.has_edge(2, 1));
+        // reversing a path yields the same labelled graph here (palindrome)
+        assert_eq!(h, g);
+        // a non-palindromic permutation changes the labelled graph
+        let h2 = g.relabel(&[2, 1, 3, 4]);
+        assert_ne!(h2, g);
+        assert!(h2.has_edge(1, 3));
+        // double application of an involution restores the original
+        assert_eq!(h2.relabel(&[2, 1, 3, 4]), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        path4().relabel(&[1, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+//! Labelled-graph substrate for the `referee-one-round` workspace
+//! (reproduction of Becker et al., *Adding a referee to an interconnection
+//! network*, IPDPS 2011).
+//!
+//! The paper's model works on simple undirected **labelled** graphs: the
+//! vertex set is `{1, …, n}` and identities matter (protocols depend on the
+//! actual IDs, and "graph" always means "labelled graph" in the paper). This
+//! crate provides:
+//!
+//! * [`LabelledGraph`] — sorted-adjacency storage with 1-based [`VertexId`]s,
+//! * [`BitSet`] — dense neighbourhood/incidence vectors (the `x` of
+//!   Algorithm 3),
+//! * [`csr::Csr`] — an immutable compressed-sparse-row view for traversals,
+//! * [`dsu::Dsu`] — union–find, used by spanning-forest and multi-round
+//!   connectivity code,
+//! * [`generators`] — every graph family the paper names (forests, planar
+//!   grids, bounded treewidth/degeneracy, bipartite, …) plus random models,
+//! * [`algo`] — BFS, components, diameter, bipartiteness, degeneracy
+//!   orderings/cores, triangle/square detection and counting, girth,
+//! * [`enumerate`] — exhaustive labelled-graph enumeration at small `n`
+//!   (the engine of the Lemma 1 counting experiments),
+//! * [`graph6`] — the standard graph6 interchange codec.
+//!
+//! Vertex IDs are **1-based** (`1..=n`), matching the paper; internal
+//! storage is 0-based and the conversion happens at the API boundary.
+
+pub mod algo;
+mod bitset;
+mod builder;
+pub mod csr;
+pub mod dsu;
+pub mod enumerate;
+pub mod generators;
+pub mod graph6;
+mod labelled;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use labelled::{Edge, LabelledGraph};
+
+/// A vertex identifier. **1-based**: valid IDs on an `n`-vertex graph are
+/// `1..=n`, exactly as in the paper ("each node has a unique identifier
+/// between 1 and n").
+pub type VertexId = u32;
+
+/// Errors from graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex ID outside `1..=n`.
+    VertexOutOfRange {
+        /// The offending ID.
+        id: VertexId,
+        /// The graph size it was checked against.
+        n: usize,
+    },
+    /// A self-loop was requested (the model uses simple graphs).
+    SelfLoop(VertexId),
+    /// An edge that already exists was added via the strict API.
+    DuplicateEdge(VertexId, VertexId),
+    /// Input string was not valid graph6 (or similar parse failure).
+    Parse(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { id, n } => {
+                write!(f, "vertex {id} out of range 1..={n}")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v} not allowed"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge {{{u},{v}}} already present"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_actionable() {
+        // These strings are user-facing API; pin the load-bearing parts.
+        let e = GraphError::VertexOutOfRange { id: 9, n: 4 };
+        assert!(e.to_string().contains("9") && e.to_string().contains("4"));
+        assert!(GraphError::SelfLoop(3).to_string().contains("3"));
+        assert!(GraphError::DuplicateEdge(1, 2).to_string().contains("{1,2}"));
+        assert!(GraphError::Parse("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Statistical sanity of the random generators (fixed seeds, so these are
+//! deterministic regression tests, not flaky hypothesis tests).
+
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::{algo, enumerate, generators};
+use std::collections::HashMap;
+
+/// Prüfer sampling is uniform over labelled trees: on n = 4 there are
+/// 4^2 = 16 trees; 3200 samples should hit each ≈ 200 times.
+#[test]
+fn prufer_trees_are_uniform() {
+    let mut rng = StdRng::seed_from_u64(1000);
+    let slots = enumerate::slot_edges(4);
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let samples = 3200;
+    for _ in 0..samples {
+        let t = generators::random_tree(4, &mut rng);
+        *counts.entry(enumerate::mask_from_graph(&t, &slots)).or_insert(0) += 1;
+    }
+    assert_eq!(counts.len(), 16, "every labelled tree must appear");
+    let expected = samples as f64 / 16.0;
+    for (&mask, &c) in &counts {
+        assert!(
+            (c as f64 - expected).abs() < expected * 0.35,
+            "tree {mask:#x} sampled {c} times (expected ≈ {expected})"
+        );
+    }
+}
+
+/// G(n, m) produces exactly m edges and, across samples, touches many
+/// distinct graphs (it is not collapsing onto a few outcomes).
+#[test]
+fn gnm_spreads_over_the_family() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let slots = enumerate::slot_edges(6);
+    let mut seen = HashMap::new();
+    for _ in 0..300 {
+        let g = generators::gnm(6, 7, &mut rng).unwrap();
+        assert_eq!(g.m(), 7);
+        *seen.entry(enumerate::mask_from_graph(&g, &slots)).or_insert(0u32) += 1;
+    }
+    // C(15,7) = 6435 possible graphs; 300 samples should rarely repeat.
+    assert!(seen.len() > 250, "only {} distinct G(6,7) draws", seen.len());
+}
+
+/// G(n, p) edge count concentrates around p·C(n,2).
+#[test]
+fn gnp_edge_count_concentrates() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let n = 100;
+    let p = 0.3;
+    let trials = 30;
+    let total: usize = (0..trials).map(|_| generators::gnp(n, p, &mut rng).m()).sum();
+    let mean = total as f64 / trials as f64;
+    let expect = p * (n * (n - 1) / 2) as f64;
+    assert!(
+        (mean - expect).abs() < expect * 0.05,
+        "mean {mean} vs expected {expect}"
+    );
+}
+
+/// The k-degenerate generator with density 1 concentrates near the
+/// maximum edge count k·n − k(k+1)/2.
+#[test]
+fn k_degenerate_density_one_is_near_maximal() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    for k in [2usize, 4] {
+        let n = 100;
+        let g = generators::random_k_degenerate(n, k, 1.0, &mut rng);
+        let max_edges = k * n - k * (k + 1) / 2;
+        assert_eq!(g.m(), max_edges, "k={k}: density 1 fills every slot");
+        assert_eq!(algo::degeneracy_ordering(&g).degeneracy, k);
+    }
+}
+
+/// Random regular graphs are uniform enough to usually be connected at
+/// d = 3 (a.a.s. property; deterministic under seed).
+#[test]
+fn random_cubic_graphs_usually_connected() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let connected = (0..20)
+        .filter(|_| {
+            let g = generators::random_regular(40, 3, &mut rng).unwrap();
+            algo::is_connected(&g)
+        })
+        .count();
+    assert!(connected >= 18, "only {connected}/20 cubic graphs connected");
+}
+
+/// Square-free generator saturates: the output is maximal (no edge can be
+/// added without creating a C4).
+#[test]
+fn square_free_output_is_maximal() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let mut g = generators::random_square_free(14, &mut rng);
+    assert!(!algo::has_square(&g));
+    for u in 1..=14u32 {
+        for v in (u + 1)..=14 {
+            if !g.has_edge(u, v) {
+                g.add_edge(u, v).unwrap();
+                assert!(
+                    algo::has_square(&g),
+                    "edge {u}-{v} could have been added — not maximal"
+                );
+                g.remove_edge(u, v).unwrap();
+            }
+        }
+    }
+}

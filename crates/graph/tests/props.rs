@@ -1,0 +1,330 @@
+//! Property tests for the graph substrate: algorithm cross-checks against
+//! independent reference implementations on random graphs.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::{algo, enumerate, generators, graph6, LabelledGraph};
+
+/// Strategy: a random G(n, p) with its seed, shrinkable via the seed.
+fn arb_gnp(max_n: usize) -> impl Strategy<Value = LabelledGraph> {
+    (2usize..=max_n, 0u64..1000, 0u32..=10).prop_map(|(n, seed, p10)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::gnp(n, p10 as f64 / 10.0, &mut rng)
+    })
+}
+
+/// Floyd–Warshall reference for diameter.
+fn diameter_reference(g: &LabelledGraph) -> Option<u32> {
+    let n = g.n();
+    const INF: u32 = u32::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for i in 0..n {
+        d[i][i] = 0;
+    }
+    for e in g.edges() {
+        d[(e.0 - 1) as usize][(e.1 - 1) as usize] = 1;
+        d[(e.1 - 1) as usize][(e.0 - 1) as usize] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k].saturating_add(d[k][j]);
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    let mut max = 0;
+    for i in 0..n {
+        for j in 0..n {
+            if d[i][j] >= INF {
+                return None;
+            }
+            max = max.max(d[i][j]);
+        }
+    }
+    Some(max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diameter_matches_floyd_warshall(g in arb_gnp(14)) {
+        prop_assert_eq!(algo::diameter(&g).finite(), diameter_reference(&g));
+    }
+
+    #[test]
+    fn degeneracy_matches_brute_force(g in arb_gnp(16)) {
+        prop_assert_eq!(
+            algo::degeneracy_ordering(&g).degeneracy,
+            algo::degeneracy_brute_force(&g)
+        );
+    }
+
+    #[test]
+    fn degeneracy_order_is_valid_witness(g in arb_gnp(20)) {
+        let ord = algo::degeneracy_ordering(&g);
+        prop_assert!(algo::degeneracy::verify_elimination_order(
+            &g, &ord.order, ord.degeneracy
+        ));
+    }
+
+    #[test]
+    fn bipartite_iff_no_odd_cycle(g in arb_gnp(10)) {
+        // reference: try all 2-colourings (n ≤ 10 ⇒ ≤ 1024)
+        let n = g.n();
+        let mut colourable = false;
+        'outer: for mask in 0u32..(1 << n) {
+            for e in g.edges() {
+                let cu = (mask >> (e.0 - 1)) & 1;
+                let cv = (mask >> (e.1 - 1)) & 1;
+                if cu == cv {
+                    continue 'outer;
+                }
+            }
+            colourable = true;
+            break;
+        }
+        prop_assert_eq!(algo::is_bipartite(&g), colourable);
+    }
+
+    #[test]
+    fn complement_involution_and_edge_sum(g in arb_gnp(20)) {
+        let c = g.complement();
+        prop_assert_eq!(c.m() + g.m(), g.n() * (g.n() - 1) / 2);
+        prop_assert_eq!(c.complement(), g);
+    }
+
+    #[test]
+    fn graph6_round_trip(g in arb_gnp(30)) {
+        let enc = graph6::to_graph6(&g);
+        prop_assert_eq!(graph6::from_graph6(&enc).unwrap(), g);
+    }
+
+    #[test]
+    fn spanning_forest_preserves_components(g in arb_gnp(20)) {
+        let f = algo::spanning_forest(&g);
+        prop_assert_eq!(f.len(), g.n() - algo::component_count(&g));
+        let fg = LabelledGraph::from_edges(g.n(), f.iter().map(|e| (e.0, e.1))).unwrap();
+        prop_assert_eq!(algo::components(&fg), algo::components(&g));
+        prop_assert!(algo::is_forest(&fg));
+    }
+
+    #[test]
+    fn mask_round_trip(n in 2usize..7, mask_seed in any::<u64>()) {
+        let slots = enumerate::slot_edges(n);
+        let bits = enumerate::edge_slots(n);
+        let mask = mask_seed & ((1u64 << bits) - 1);
+        let g = enumerate::graph_from_mask(n, mask, &slots);
+        prop_assert_eq!(enumerate::mask_from_graph(&g, &slots), mask);
+        prop_assert_eq!(g.m() as u32, mask.count_ones());
+    }
+
+    #[test]
+    fn neighbourhood_bitset_consistent(g in arb_gnp(25)) {
+        for v in g.vertices() {
+            let bs = g.neighbourhood_bitset(v);
+            let ids: Vec<u32> = bs.iter().map(|i| (i + 1) as u32).collect();
+            prop_assert_eq!(ids.as_slice(), g.neighbourhood(v));
+            prop_assert_eq!(bs.count(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn girth_3_iff_triangle(g in arb_gnp(12)) {
+        prop_assert_eq!(algo::girth(&g) == Some(3), algo::has_triangle(&g));
+    }
+
+    #[test]
+    fn eccentricity_radius_diameter_coherent(g in arb_gnp(14)) {
+        match algo::eccentricities(&g) {
+            None => prop_assert!(!algo::is_connected(&g)),
+            Some(ecc) => {
+                prop_assert!(algo::is_connected(&g));
+                let max = ecc.iter().copied().max().unwrap();
+                let min = ecc.iter().copied().min().unwrap();
+                prop_assert_eq!(algo::diameter(&g).finite(), Some(max));
+                prop_assert_eq!(algo::radius(&g), Some(min));
+                // radius ≤ diameter ≤ 2·radius
+                prop_assert!(min <= max && max <= 2 * min);
+                // center vertices achieve the radius
+                for c in algo::center(&g) {
+                    prop_assert_eq!(ecc[(c - 1) as usize], min);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_invariants(g in arb_gnp(16), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (1..=g.n() as u32).collect();
+        perm.shuffle(&mut rng);
+        let h = g.relabel(&perm);
+        prop_assert_eq!(h.m(), g.m());
+        prop_assert_eq!(algo::component_count(&h), algo::component_count(&g));
+        prop_assert_eq!(algo::diameter(&h), algo::diameter(&g));
+        prop_assert_eq!(
+            algo::degeneracy_ordering(&h).degeneracy,
+            algo::degeneracy_ordering(&g).degeneracy
+        );
+        prop_assert_eq!(algo::count_triangles(&h), algo::count_triangles(&g));
+        prop_assert_eq!(algo::is_bipartite(&h), algo::is_bipartite(&g));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension-layer properties: treewidth, connectivity trio, patterns
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §I.A chain with heuristic sandwich: degeneracy ≤ tw ≤ min-fill,
+    /// min-degree; and the produced decompositions validate.
+    #[test]
+    fn treewidth_chain_and_decomposition(g in arb_gnp(9)) {
+        let deg = algo::degeneracy_ordering(&g).degeneracy;
+        let tw = algo::treewidth_exact(&g);
+        let mf = algo::min_fill_order(&g);
+        let md = algo::min_degree_order(&g);
+        prop_assert!(deg <= tw);
+        prop_assert!(tw <= mf.width && tw <= md.width);
+        let td = algo::decomposition_from_order(&g, &mf.order);
+        prop_assert!(td.validate(&g).is_ok());
+        prop_assert_eq!(td.width(), mf.width);
+        // any permutation's width also bounds tw
+        prop_assert!(tw <= algo::width_of_order(&g, &mf.order));
+    }
+
+    /// Whitney inequalities κ ≤ λ ≤ δ on connected graphs, and the
+    /// bridge/articulation characterizations of the low end.
+    #[test]
+    fn connectivity_trio_consistent(g in arb_gnp(10)) {
+        if algo::is_connected(&g) && g.n() >= 3 {
+            let kappa = algo::vertex_connectivity(&g);
+            let lambda = algo::edge_connectivity(&g);
+            let delta = g.vertices().map(|v| g.degree(v)).min().unwrap();
+            prop_assert!(kappa <= lambda && lambda <= delta);
+            prop_assert_eq!(lambda == 1, !algo::bridges(&g).is_empty());
+            prop_assert_eq!(kappa == 1, !algo::articulation_points(&g).is_empty());
+        }
+    }
+
+    /// Deleting a bridge splits exactly one component in two; deleting a
+    /// non-bridge never changes the count.
+    #[test]
+    fn bridge_deletion_semantics(g in arb_gnp(12)) {
+        let base = algo::component_count(&g);
+        let b = algo::biconnectivity(&g);
+        for e in g.edges() {
+            let mut h = g.clone();
+            h.remove_edge(e.0, e.1).unwrap();
+            let after = algo::component_count(&h);
+            if b.is_bridge(e.0, e.1) {
+                prop_assert_eq!(after, base + 1);
+            } else {
+                prop_assert_eq!(after, base);
+            }
+        }
+    }
+
+    /// Subgraph-isomorphism sanity: every graph embeds into itself, into
+    /// its supergraphs, and any found embedding is a valid witness.
+    #[test]
+    fn subgraph_embedding_properties(g in arb_gnp(8)) {
+        prop_assert!(algo::has_subgraph(&g, &g));
+        // adding edges preserves containment of the original pattern
+        let mut super_g = g.grow(g.n() + 1);
+        super_g.add_edge(1, g.n() as u32 + 1).unwrap();
+        prop_assert!(algo::has_subgraph(&super_g, &g));
+        // witness validity for a fixed small pattern
+        let p3 = generators::path(3);
+        if let Some(emb) = algo::find_subgraph(&g, &p3) {
+            prop_assert_eq!(emb.len(), 3);
+            prop_assert!(g.has_edge(emb[0], emb[1]) && g.has_edge(emb[1], emb[2]));
+            prop_assert!(emb[0] != emb[2]);
+        }
+        // induced ⊆ non-induced
+        let c4 = generators::cycle(4).unwrap();
+        if algo::has_induced_subgraph(&g, &c4) {
+            prop_assert!(algo::has_subgraph(&g, &c4));
+        }
+    }
+
+    /// Generic embedding counter agrees with the specialized triangle
+    /// counter (÷ |Aut(K3)| = 6).
+    #[test]
+    fn embedding_counts_cross_check(g in arb_gnp(8)) {
+        prop_assert_eq!(
+            algo::count_embeddings(&g, &generators::complete(3)) / 6,
+            algo::count_triangles(&g)
+        );
+    }
+
+    /// Planar-by-construction families really keep their promises, for
+    /// arbitrary seeds.
+    #[test]
+    fn planar_generators_promises(seed in any::<u64>(), n in 4usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ap = generators::random_apollonian(n, &mut rng).unwrap();
+        prop_assert_eq!(ap.m(), 3 * n - 6);
+        prop_assert!(algo::degeneracy_ordering(&ap).degeneracy <= 3);
+
+        let op = generators::random_outerplanar(n, &mut rng).unwrap();
+        prop_assert_eq!(op.m(), 2 * n - 3);
+        prop_assert!(algo::degeneracy_ordering(&op).degeneracy <= 2);
+
+        let sp = generators::random_series_parallel(n, &mut rng).unwrap();
+        prop_assert!(algo::degeneracy_ordering(&sp).degeneracy <= 2);
+        prop_assert!(algo::is_connected(&sp));
+
+        let tri = generators::random_planar_triangulation(n, n, &mut rng).unwrap();
+        prop_assert_eq!(tri.m(), 3 * n - 6);
+        prop_assert!(algo::degeneracy_ordering(&tri).degeneracy <= 5);
+    }
+
+    /// Preferential attachment: degeneracy exactly m, connected, and the
+    /// edge count is deterministic.
+    #[test]
+    fn ba_generator_promises(seed in any::<u64>(), n in 8usize..60, m in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, m, &mut rng).unwrap();
+        prop_assert_eq!(g.m(), m * (m + 1) / 2 + m * (n - m - 1));
+        prop_assert!(algo::is_connected(&g));
+        prop_assert_eq!(algo::degeneracy_ordering(&g).degeneracy, m);
+    }
+
+    /// Stoer–Wagner min cut: the returned side is a certificate, and
+    /// the weight matches a brute-force bipartition scan.
+    #[test]
+    fn mincut_certificate_and_brute(g in arb_gnp(8)) {
+        if let Some(cut) = algo::global_min_cut(&g) {
+            let crossing = g
+                .edges()
+                .filter(|e| {
+                    cut.side.binary_search(&e.0).is_ok() != cut.side.binary_search(&e.1).is_ok()
+                })
+                .count();
+            prop_assert_eq!(crossing, cut.weight);
+            // brute force over bipartitions
+            let n = g.n();
+            let mut best = usize::MAX;
+            for mask in 1u32..(1 << (n - 1)) {
+                let cross = g
+                    .edges()
+                    .filter(|e| {
+                        let a = mask & (1 << (e.0 - 1)) != 0;
+                        let b = mask & (1 << (e.1 - 1)) != 0;
+                        a != b
+                    })
+                    .count();
+                best = best.min(cross);
+            }
+            prop_assert_eq!(cut.weight, best);
+        }
+    }
+}

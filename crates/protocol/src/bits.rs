@@ -1,0 +1,244 @@
+//! Bit-exact serialization.
+//!
+//! The paper's bounds are stated in *bits* ("each vertex is allowed to send
+//! only O(log n) bits"), so message sizes here are tracked to the bit, not
+//! the byte. [`BitWriter`] appends MSB-first into a byte buffer;
+//! [`BitReader`] consumes the same layout and fails loudly on truncation.
+//!
+//! Besides fixed-width fields the writer offers Elias gamma coding for
+//! length prefixes whose magnitude is data-dependent (used by the
+//! variable-size power-sum sketches).
+
+use crate::DecodeError;
+
+/// MSB-first bit appender.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in `bytes` (the last byte may be partial).
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Append the low `width` bits of `value`, MSB first. `width ≤ 64`;
+    /// panics if `value` does not fit (a protocol bug, not a data error).
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Append a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let off = self.len_bits % 8;
+        if off == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            *self.bytes.last_mut().unwrap() |= 1 << (7 - off);
+        }
+        self.len_bits += 1;
+    }
+
+    /// Elias gamma code for `value ≥ 1`: `⌊log₂ v⌋` zeros, then the binary
+    /// representation of `v`. Encodes `v` in `2⌊log₂ v⌋ + 1` bits.
+    pub fn write_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "gamma code requires value ≥ 1");
+        let bits = 64 - value.leading_zeros();
+        for _ in 0..bits - 1 {
+            self.push_bit(false);
+        }
+        self.write_bits(value, bits);
+    }
+
+    /// Finish, returning the byte buffer and exact bit length.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.len_bits)
+    }
+}
+
+/// MSB-first bit consumer over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    len_bits: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `bytes`, of which only the first `len_bits` bits are valid.
+    pub fn new(bytes: &'a [u8], len_bits: usize) -> Self {
+        debug_assert!(len_bits <= bytes.len() * 8);
+        BitReader { bytes, len_bits, pos: 0 }
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.len_bits - self.pos
+    }
+
+    /// Whether every valid bit has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
+        if self.pos >= self.len_bits {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Read `width ≤ 64` bits as an MSB-first unsigned value.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, DecodeError> {
+        assert!(width <= 64, "width {width} > 64");
+        if self.remaining() < width as usize {
+            return Err(DecodeError::Truncated);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Read an Elias gamma code (inverse of [`BitWriter::write_gamma`]).
+    pub fn read_gamma(&mut self) -> Result<u64, DecodeError> {
+        let mut zeros = 0u32;
+        while !self.read_bit()? {
+            zeros += 1;
+            if zeros >= 64 {
+                return Err(DecodeError::OutOfRange("gamma prefix too long".into()));
+            }
+        }
+        // We consumed the leading 1 of the binary part already.
+        let rest = self.read_bits(zeros)?;
+        Ok((1u64 << zeros) | rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_field_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 4);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn multi_field_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(5, 3);
+        w.write_bits(0, 1);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(1234567, 21);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 3 + 1 + 64 + 21);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(3).unwrap(), 5);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(21).unwrap(), 1234567);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(7, 3);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(2).unwrap(), 3);
+        assert_eq!(r.read_bits(2), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn partial_final_byte_is_bounded() {
+        // The writer emits 3 bits; the reader must not see phantom bits
+        // from the rest of the final byte.
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let (bytes, len) = w.finish();
+        assert_eq!(bytes.len(), 1);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bit(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_is_a_bug() {
+        BitWriter::new().write_bits(8, 3);
+    }
+
+    #[test]
+    fn gamma_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [1u64, 2, 3, 4, 7, 8, 1000, u32::MAX as u64];
+        for &v in &values {
+            w.write_gamma(v);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &v in &values {
+            assert_eq!(r.read_gamma().unwrap(), v);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn gamma_length_formula() {
+        for v in [1u64, 2, 4, 9, 100] {
+            let mut w = BitWriter::new();
+            w.write_gamma(v);
+            let bits = 64 - v.leading_zeros();
+            assert_eq!(w.len_bits() as u32, 2 * bits - 1, "gamma({v})");
+        }
+    }
+
+    #[test]
+    fn gamma_truncation() {
+        let (bytes, _) = {
+            let mut w = BitWriter::new();
+            w.write_gamma(100);
+            w.finish()
+        };
+        // chop the stream mid-prefix
+        let mut r = BitReader::new(&bytes, 3);
+        assert_eq!(r.read_gamma(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn empty_reader() {
+        let mut r = BitReader::new(&[], 0);
+        assert!(r.is_exhausted());
+        assert_eq!(r.read_bit(), Err(DecodeError::Truncated));
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The **positive boundary**: properties that *are* frugally decidable
+//! in one round.
+//!
+//! The paper's title asks "what can(not) be computed in one round"; §II
+//! and §III chart the negative and reconstruction sides. This module
+//! charts the easy positive side the paper leaves implicit: any property
+//! that is a function of *locally computable `O(log n)`-bit statistics*
+//! is one-round decidable — each node ships the statistic, the referee
+//! aggregates. Examples, each with exact bit accounting:
+//!
+//! | protocol | message | referee learns |
+//! |----------|---------|----------------|
+//! | [`EdgeCountProtocol`] | `deg(v)` | `m` (handshake lemma) |
+//! | [`DegreeSequenceProtocol`] | `deg(v)` | the full degree multiset |
+//! | [`DegreeExtremesProtocol`] | `deg(v)` | `δ(G)`, `Δ(G)`, regularity, isolated vertices |
+//! | [`NeighbourhoodSumProtocol`] | `deg(v), Σ ID(w)` | §III.A's forest sketch prefix — enough to *verify* a claimed edge list |
+//! | [`EulerianDegreeProtocol`] | `deg(v) mod 2` (1 bit!) | the degree-parity condition for Eulerian circuits |
+//!
+//! All of these sit strictly below the `O(log n)` budget, several at
+//! `O(1)` bits. Contrast with §II: the *existence of a single edge
+//! between two specific classes of nodes* (squares, triangles, short
+//! diameter) is already out of reach — degree statistics survive
+//! aggregation, adjacency structure does not.
+
+use crate::model::{NodeView, OneRoundProtocol};
+use crate::{bits_for, BitWriter, DecodeError, Message};
+
+/// Shared local function: a bare degree field of `bits_for(n−1)` bits.
+fn degree_message(view: NodeView<'_>) -> Message {
+    let mut w = BitWriter::new();
+    w.write_bits(view.degree() as u64, bits_for(view.n.saturating_sub(1)));
+    Message::from_writer(w)
+}
+
+/// Parse a degree vector sent by [`degree_message`] nodes.
+fn parse_degrees(n: usize, messages: &[Message]) -> Result<Vec<usize>, DecodeError> {
+    if messages.len() != n {
+        return Err(DecodeError::Inconsistent(format!(
+            "expected {n} messages, got {}",
+            messages.len()
+        )));
+    }
+    let width = bits_for(n.saturating_sub(1));
+    let mut degrees = Vec::with_capacity(n);
+    for (i, m) in messages.iter().enumerate() {
+        let mut r = m.reader();
+        let d = r.read_bits(width)? as usize;
+        if d >= n.max(1) {
+            return Err(DecodeError::OutOfRange(format!("degree {d} ≥ n at node {}", i + 1)));
+        }
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid(format!("trailing bits at node {}", i + 1)));
+        }
+        degrees.push(d);
+    }
+    // Handshake lemma: a spoofed degree vector with odd sum is
+    // detectably inconsistent.
+    if degrees.iter().sum::<usize>() % 2 != 0 {
+        return Err(DecodeError::Inconsistent("odd degree sum (handshake lemma)".into()));
+    }
+    Ok(degrees)
+}
+
+/// One-round frugal edge counting: `⌈log₂ n⌉` bits per node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeCountProtocol;
+
+impl OneRoundProtocol for EdgeCountProtocol {
+    /// `Ok(m)`, the number of edges.
+    type Output = Result<usize, DecodeError>;
+
+    fn name(&self) -> String {
+        "edge count (handshake)".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        degree_message(view)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        Ok(parse_degrees(n, messages)?.iter().sum::<usize>() / 2)
+    }
+}
+
+/// One-round frugal degree sequence: the referee recovers the exact
+/// degree of every node (and hence any degree-sequence property:
+/// graphicality, regularity, degeneracy *lower bounds*, …).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeSequenceProtocol;
+
+impl OneRoundProtocol for DegreeSequenceProtocol {
+    /// `Ok(degrees)`, indexed by node (position `i` = node `i + 1`).
+    type Output = Result<Vec<usize>, DecodeError>;
+
+    fn name(&self) -> String {
+        "degree sequence".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        degree_message(view)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        parse_degrees(n, messages)
+    }
+}
+
+/// Aggregate answers of [`DegreeExtremesProtocol`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeExtremes {
+    /// Minimum degree δ(G).
+    pub min_degree: usize,
+    /// Maximum degree Δ(G).
+    pub max_degree: usize,
+    /// Is the graph d-regular (δ = Δ)?
+    pub regular: bool,
+    /// Nodes of degree 0.
+    pub isolated: Vec<u32>,
+}
+
+/// One-round min/max-degree, regularity and isolated-vertex report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeExtremesProtocol;
+
+impl OneRoundProtocol for DegreeExtremesProtocol {
+    /// Aggregate degree statistics.
+    type Output = Result<DegreeExtremes, DecodeError>;
+
+    fn name(&self) -> String {
+        "degree extremes / regularity".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        degree_message(view)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        let degrees = parse_degrees(n, messages)?;
+        let min_degree = degrees.iter().copied().min().unwrap_or(0);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        Ok(DegreeExtremes {
+            min_degree,
+            max_degree,
+            regular: min_degree == max_degree,
+            isolated: degrees
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d == 0)
+                .map(|(i, _)| (i + 1) as u32)
+                .collect(),
+        })
+    }
+}
+
+/// One-round degree-parity (Eulerian condition): **one bit** per node.
+/// The referee learns whether every degree is even — together with
+/// connectivity (which one round conjecturally cannot decide!) this is
+/// the Eulerian circuit condition. A sharp example of the boundary: the
+/// parity half is 1-bit easy, the connectivity half is the paper's open
+/// question.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EulerianDegreeProtocol;
+
+impl OneRoundProtocol for EulerianDegreeProtocol {
+    /// `Ok(all degrees even?)`.
+    type Output = Result<bool, DecodeError>;
+
+    fn name(&self) -> String {
+        "degree parity (Eulerian condition)".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let mut w = BitWriter::new();
+        w.write_bits((view.degree() % 2) as u64, 1);
+        Message::from_writer(w)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        let mut odd = 0usize;
+        for m in messages {
+            let mut r = m.reader();
+            odd += r.read_bits(1)? as usize;
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing bits".into()));
+            }
+        }
+        if odd % 2 != 0 {
+            return Err(DecodeError::Inconsistent("odd number of odd degrees".into()));
+        }
+        Ok(odd == 0)
+    }
+}
+
+/// One-round `(deg, Σ neighbour IDs)` verification sketch — the §III.A
+/// forest message *without* the pruning decoder. The referee cannot in
+/// general reconstruct from it (Lemma 1 forbids it beyond forests), but
+/// it can **verify** any claimed graph `H`: if `H` matches every node's
+/// `(deg, Σ)` it is consistent with the messages. Used by the
+/// soundness-hardening layer and as the cheapest useful "fingerprint" of
+/// a topology (≈ 3 log₂ n bits).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighbourhoodSumProtocol;
+
+/// Output of [`NeighbourhoodSumProtocol`]: per-node `(degree, id-sum)`.
+pub type NeighbourhoodSums = Vec<(usize, u64)>;
+
+impl OneRoundProtocol for NeighbourhoodSumProtocol {
+    /// `Ok(per-node (deg, Σ ID))`.
+    type Output = Result<NeighbourhoodSums, DecodeError>;
+
+    fn name(&self) -> String {
+        "neighbourhood-sum fingerprint".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let n = view.n;
+        let mut w = BitWriter::new();
+        w.write_bits(view.degree() as u64, bits_for(n.saturating_sub(1)));
+        // Σ ID(w) ≤ (n−1)·n < n², so 2·bits_for(n) bits always fit.
+        let sum: u64 = view.neighbours.iter().map(|&v| v as u64).sum();
+        w.write_bits(sum, 2 * bits_for(n));
+        Message::from_writer(w)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        let dwidth = bits_for(n.saturating_sub(1));
+        let swidth = 2 * bits_for(n);
+        let mut out = Vec::with_capacity(n);
+        for m in messages {
+            let mut r = m.reader();
+            let d = r.read_bits(dwidth)? as usize;
+            let s = r.read_bits(swidth)?;
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing bits".into()));
+            }
+            out.push((d, s));
+        }
+        Ok(out)
+    }
+}
+
+/// Check a claimed topology `h` against the fingerprints collected by
+/// [`NeighbourhoodSumProtocol`]: every node's degree and neighbour-ID
+/// sum must match. Sound (a lying `h` on any single vertex's
+/// neighbourhood *sum* is caught); not complete as identification
+/// (different graphs can share all fingerprints — that is Lemma 1's
+/// whole point, exhibited by `reductions::collision`).
+pub fn verify_against_sums(h: &referee_graph::LabelledGraph, sums: &NeighbourhoodSums) -> bool {
+    if h.n() != sums.len() {
+        return false;
+    }
+    h.vertices().all(|v| {
+        let (d, s) = sums[(v - 1) as usize];
+        h.degree(v) == d
+            && h.neighbourhood(v).iter().map(|&w| w as u64).sum::<u64>() == s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::referee::run_protocol;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::{generators, LabelledGraph};
+
+    #[test]
+    fn edge_count_exact_across_families() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in [
+            generators::path(20),
+            generators::complete(12),
+            generators::gnp(30, 0.2, &mut rng),
+            LabelledGraph::new(7),
+        ] {
+            let out = run_protocol(&EdgeCountProtocol, &g);
+            assert_eq!(out.output.unwrap(), g.m(), "{g:?}");
+            // strictly frugal: one field of ⌈log₂(n−1+1)⌉ bits
+            assert!(out.stats.max_message_bits <= bits_for(g.n()) as usize);
+        }
+    }
+
+    #[test]
+    fn degree_sequence_matches_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp(25, 0.3, &mut rng);
+        let seq = run_protocol(&DegreeSequenceProtocol, &g).output.unwrap();
+        for v in g.vertices() {
+            assert_eq!(seq[(v - 1) as usize], g.degree(v));
+        }
+    }
+
+    #[test]
+    fn extremes_and_regularity() {
+        let cyc = generators::cycle(11).unwrap();
+        let e = run_protocol(&DegreeExtremesProtocol, &cyc).output.unwrap();
+        assert_eq!(e, DegreeExtremes { min_degree: 2, max_degree: 2, regular: true, isolated: vec![] });
+
+        let star = generators::star(6).unwrap();
+        let e = run_protocol(&DegreeExtremesProtocol, &star).output.unwrap();
+        assert_eq!((e.min_degree, e.max_degree, e.regular), (1, 5, false));
+
+        let mut with_isolated = generators::path(3).grow(5);
+        with_isolated.add_edge(4, 5).unwrap(); // leave nobody isolated
+        let e = run_protocol(&DegreeExtremesProtocol, &with_isolated).output.unwrap();
+        assert!(e.isolated.is_empty());
+        let lonely = generators::path(3).grow(5);
+        let e = run_protocol(&DegreeExtremesProtocol, &lonely).output.unwrap();
+        assert_eq!(e.isolated, vec![4, 5]);
+    }
+
+    #[test]
+    fn eulerian_parity_one_bit() {
+        let cyc = generators::cycle(9).unwrap(); // all even
+        let out = run_protocol(&EulerianDegreeProtocol, &cyc);
+        assert!(out.output.unwrap());
+        assert_eq!(out.stats.max_message_bits, 1);
+        let path = generators::path(9); // two odd endpoints
+        assert!(!run_protocol(&EulerianDegreeProtocol, &path).output.unwrap());
+    }
+
+    #[test]
+    fn fingerprint_verifies_truth_and_catches_lies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(18, 0.25, &mut rng);
+        let sums = run_protocol(&NeighbourhoodSumProtocol, &g).output.unwrap();
+        assert!(verify_against_sums(&g, &sums));
+        // A graph with one edge moved fails the check.
+        let mut lie = g.clone();
+        let e = lie.edges().next().unwrap();
+        lie.remove_edge(e.0, e.1).unwrap();
+        let mut other = (1..=18u32).filter(|&v| v != e.0 && v != e.1 && !lie.has_edge(e.0, v));
+        let w = other.next().unwrap();
+        lie.add_edge(e.0, w).unwrap();
+        assert!(!verify_against_sums(&lie, &sums));
+        // Wrong size fails fast.
+        assert!(!verify_against_sums(&generators::path(4), &sums));
+    }
+
+    #[test]
+    fn malformed_vectors_rejected_not_guessed() {
+        // Spoofed degree vector with odd sum: caught by the handshake.
+        let n = 4;
+        let width = bits_for(n - 1);
+        let spoof = |d: u64| {
+            let mut w = BitWriter::new();
+            w.write_bits(d, width);
+            Message::from_writer(w)
+        };
+        let msgs = vec![spoof(1), spoof(1), spoof(1), spoof(0)];
+        assert!(EdgeCountProtocol.global(n, &msgs).is_err());
+        // Degree ≥ n: out of range.
+        let msgs = vec![spoof(3), spoof(3), spoof(3), spoof(3)];
+        assert!(EdgeCountProtocol.global(n, &msgs).is_ok());
+        // wrong message count
+        assert!(EdgeCountProtocol.global(5, &[Message::empty()]).is_err());
+        assert!(EulerianDegreeProtocol.global(3, &[Message::empty(); 1].to_vec()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = LabelledGraph::new(0);
+        assert_eq!(run_protocol(&EdgeCountProtocol, &g).output.unwrap(), 0);
+        assert!(run_protocol(&EulerianDegreeProtocol, &g).output.unwrap());
+        assert!(run_protocol(&DegreeSequenceProtocol, &g).output.unwrap().is_empty());
+    }
+}

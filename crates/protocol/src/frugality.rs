@@ -1,0 +1,133 @@
+//! Empirical frugality audits.
+//!
+//! A protocol is frugal if `max_G |Γ^l(G)| = O(log n)`. No finite run can
+//! prove an asymptotic bound, but an audit across a family sweep exposes
+//! the empirical constant `c(n) = max-bits(n) / log₂(n)`: for a frugal
+//! protocol it stays bounded as `n` grows, for a non-frugal one (e.g. the
+//! adjacency baseline on cliques) it diverges. The experiment binaries
+//! print these tables (E15/E16).
+
+use crate::model::OneRoundProtocol;
+use crate::referee::local_phase;
+use referee_graph::LabelledGraph;
+
+/// One row of a frugality sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrugalityRow {
+    /// Graph size.
+    pub n: usize,
+    /// Max message bits observed at this size.
+    pub max_bits: usize,
+    /// Mean message bits at this size.
+    pub mean_bits: f64,
+    /// `max_bits / log₂ n`.
+    pub ratio: f64,
+}
+
+/// Result of [`FrugalityAudit::run`].
+#[derive(Debug, Clone)]
+pub struct FrugalityReport {
+    /// Protocol name audited.
+    pub protocol: String,
+    /// Per-size measurements, ascending `n`.
+    pub rows: Vec<FrugalityRow>,
+}
+
+impl FrugalityReport {
+    /// Largest observed ratio `max_bits / log₂ n`.
+    pub fn worst_ratio(&self) -> f64 {
+        self.rows.iter().map(|r| r.ratio).fold(0.0, f64::max)
+    }
+
+    /// Heuristic divergence test: does the ratio grow monotonically by
+    /// more than `tolerance` per doubling across the sweep? A frugal
+    /// protocol's ratio flattens; the adjacency baseline on cliques grows
+    /// linearly in `n / log n`.
+    pub fn ratio_diverges(&self, tolerance: f64) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[1].ratio > w[0].ratio + tolerance)
+            && self.rows.len() >= 2
+    }
+
+    /// Render as an aligned text table (used by `exp_message_size`).
+    pub fn to_table(&self) -> String {
+        let mut s = format!("# frugality audit: {}\n", self.protocol);
+        s.push_str("n\tmax_bits\tmean_bits\tmax_bits/log2(n)\n");
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{}\t{}\t{:.1}\t{:.3}\n",
+                r.n, r.max_bits, r.mean_bits, r.ratio
+            ));
+        }
+        s
+    }
+}
+
+/// Sweep driver: measures message sizes of a protocol across a graph
+/// family indexed by `n`.
+pub struct FrugalityAudit<'a, P> {
+    protocol: &'a P,
+    sizes: Vec<usize>,
+}
+
+impl<'a, P: OneRoundProtocol + Sync> FrugalityAudit<'a, P> {
+    /// Audit `protocol` at each size in `sizes`.
+    pub fn new(protocol: &'a P, sizes: impl IntoIterator<Item = usize>) -> Self {
+        FrugalityAudit { protocol, sizes: sizes.into_iter().collect() }
+    }
+
+    /// Generate a graph per size with `family` and measure the local phase.
+    pub fn run(&self, mut family: impl FnMut(usize) -> LabelledGraph) -> FrugalityReport {
+        let mut rows = Vec::with_capacity(self.sizes.len());
+        for &n in &self.sizes {
+            let g = family(n);
+            assert_eq!(g.n(), n, "family produced wrong size");
+            let msgs = local_phase(self.protocol, &g);
+            let max_bits = msgs.iter().map(|m| m.len_bits()).max().unwrap_or(0);
+            let mean_bits = if n == 0 {
+                0.0
+            } else {
+                msgs.iter().map(|m| m.len_bits()).sum::<usize>() as f64 / n as f64
+            };
+            let ratio = if n > 1 { max_bits as f64 / (n as f64).log2() } else { 0.0 };
+            rows.push(FrugalityRow { n, max_bits, mean_bits, ratio });
+        }
+        FrugalityReport { protocol: self.protocol.name(), rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::AdjacencyListProtocol;
+    use referee_graph::generators;
+
+    #[test]
+    fn adjacency_on_paths_is_flat() {
+        // Path graphs have Δ = 2, so the adjacency protocol uses
+        // O(log n) bits and the ratio stays near-constant.
+        let p = AdjacencyListProtocol;
+        let report = FrugalityAudit::new(&p, [64, 256, 1024, 4096]).run(generators::path);
+        assert!(report.worst_ratio() < 5.0, "ratio {}", report.worst_ratio());
+        assert!(!report.ratio_diverges(0.05));
+    }
+
+    #[test]
+    fn adjacency_on_cliques_diverges() {
+        let p = AdjacencyListProtocol;
+        let report = FrugalityAudit::new(&p, [16, 32, 64, 128]).run(generators::complete);
+        // each message lists n-1 neighbours ⇒ ratio ~ n
+        assert!(report.worst_ratio() > 50.0);
+        assert!(report.ratio_diverges(0.5));
+    }
+
+    #[test]
+    fn table_renders() {
+        let p = AdjacencyListProtocol;
+        let report = FrugalityAudit::new(&p, [8, 16]).run(generators::path);
+        let t = report.to_table();
+        assert!(t.contains("max_bits"));
+        assert!(t.lines().count() >= 4);
+    }
+}

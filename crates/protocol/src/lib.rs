@@ -1,0 +1,102 @@
+#![warn(missing_docs)]
+//! The computation model of Becker et al. (IPDPS 2011): an interconnection
+//! network `G` plus a *referee* — a universal node `v₀` adjacent to every
+//! vertex — where each node sends one message per round and a protocol is
+//! **frugal** if every message is `O(log n)` bits.
+//!
+//! This crate implements the model itself, independent of any particular
+//! protocol:
+//!
+//! * [`bits`] — bit-exact message serialization ([`BitWriter`]/[`BitReader`];
+//!   message sizes are counted in bits, because the paper's bounds are).
+//! * [`message`] — [`Message`] and per-run accounting.
+//! * [`model`] — [`OneRoundProtocol`], the pair `(Γ^l_n, Γ^g_n)` of
+//!   Definition 1, and [`NodeView`], exactly the local knowledge a node has
+//!   (its ID, its neighbours' IDs, and `n`).
+//! * [`referee`] — the simulator: runs the local phase (in parallel) and
+//!   the global phase, collecting [`RunStats`].
+//! * [`frugality`] — empirical audits of the `O(log n)` bound across
+//!   family sweeps.
+//! * [`baseline`] — the naive adjacency-list protocol (frugal only for
+//!   bounded degree, footnote 1 of the paper).
+//! * [`multiround`] — the CONGEST-with-referee extension (§IV "more
+//!   rounds"), with an `O(log n)`-round connectivity protocol.
+//! * [`easy`] — the positive boundary: degree-statistic properties that
+//!   *are* one-round frugally decidable (edge count, degree sequence,
+//!   extremes/regularity, Eulerian parity, fingerprint verification).
+
+pub mod baseline;
+pub mod bits;
+pub mod easy;
+pub mod frugality;
+pub mod message;
+pub mod model;
+pub mod multiround;
+pub mod referee;
+
+pub use bits::{BitReader, BitWriter};
+pub use frugality::{FrugalityAudit, FrugalityReport};
+pub use message::Message;
+pub use model::{NodeView, OneRoundProtocol};
+pub use referee::{run_protocol, RunOutcome, RunStats};
+
+/// Errors surfaced while decoding messages at the referee.
+///
+/// A production decoder must *reject* malformed or inconsistent message
+/// vectors (failure injection tests feed it corrupted bits) — silently
+/// producing a wrong graph would invalidate every experiment built on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Bit stream ended prematurely or a length prefix was inconsistent.
+    Truncated,
+    /// A field held a value outside its documented range.
+    OutOfRange(String),
+    /// Messages are individually well-formed but mutually inconsistent
+    /// (e.g. vertex degrees violate the handshake lemma).
+    Inconsistent(String),
+    /// The decoded object failed a protocol-specific invariant.
+    Invalid(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::OutOfRange(s) => write!(f, "value out of range: {s}"),
+            DecodeError::Inconsistent(s) => write!(f, "inconsistent messages: {s}"),
+            DecodeError::Invalid(s) => write!(f, "invalid decode: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// `⌈log₂(n + 1)⌉`: the bit width that stores any value in `0..=n`.
+/// This is the unit in which all frugality bounds are expressed.
+pub fn bits_for(n: usize) -> u32 {
+    (usize::BITS - n.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn bits_for_covers_range() {
+        for n in [0usize, 1, 5, 100, 1023, 1024] {
+            let w = bits_for(n);
+            assert!((1u128 << w) > n as u128, "width {w} must cover {n}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! [`OneRoundProtocol`]: Definition 1 of the paper.
+//!
+//! > A one-round protocol Γ is a family (Γ^l_n, Γ^g_n), where
+//! > Γ^l_n : {1..n} × P({1..n}) → {0,1}^* is the local function and
+//! > Γ^g_n : ({0,1}^*)^n → {0,1}^* is the global function.
+//!
+//! Two properties of the definition shape this trait:
+//!
+//! 1. **The local function is total on (id, neighbourhood) pairs**: "Γ^l_n
+//!    can be evaluated in any pair (i, N)". The reduction protocols of §II
+//!    rely on this — the referee *synthesizes* messages for vertices of the
+//!    gadget graph `G'_{s,t}` that do not exist in `G`. Hence `local` takes
+//!    an arbitrary [`NodeView`], not a handle into a concrete graph.
+//! 2. **No computability constraints**: "we do not care about the
+//!    complexity of Γ^l_n and Γ^g_n". Implementations may be as expensive
+//!    as they like; the simulator reports wall time separately from
+//!    message bits.
+
+use crate::Message;
+use referee_graph::VertexId;
+
+/// The exact local knowledge of a node (§I.B): its identifier, the set of
+/// identifiers of its neighbours, and the total number of nodes `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    /// Total number of nodes in the graph (known to every node).
+    pub n: usize,
+    /// This node's identifier, in `1..=n`.
+    pub id: VertexId,
+    /// Sorted identifiers of this node's neighbours.
+    pub neighbours: &'a [VertexId],
+}
+
+impl<'a> NodeView<'a> {
+    /// Construct a view; validates the invariants a real node would enjoy.
+    pub fn new(n: usize, id: VertexId, neighbours: &'a [VertexId]) -> Self {
+        debug_assert!(id >= 1 && id as usize <= n, "id {id} not in 1..={n}");
+        debug_assert!(
+            neighbours.windows(2).all(|w| w[0] < w[1]),
+            "neighbours must be strictly sorted"
+        );
+        debug_assert!(
+            neighbours.iter().all(|&v| v >= 1 && v as usize <= n && v != id),
+            "neighbours must be in 1..={n} and exclude id"
+        );
+        NodeView { n, id, neighbours }
+    }
+
+    /// The node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbours.len()
+    }
+}
+
+/// A one-round protocol `Γ = (Γ^l, Γ^g)` with typed referee output.
+///
+/// `Output` is the referee's answer: a boolean for decision protocols, a
+/// reconstructed graph for reconstruction protocols, etc.
+pub trait OneRoundProtocol {
+    /// The referee's result type.
+    type Output;
+
+    /// Human-readable protocol name (used in reports and benches).
+    fn name(&self) -> String;
+
+    /// The local function `Γ^l_n(i, N)`: compute the message node `i`
+    /// sends to the referee, given only the node's local view.
+    fn local(&self, view: NodeView<'_>) -> Message;
+
+    /// The global function `Γ^g_n`: the referee's computation from the
+    /// message vector (`messages[i]` is from the node with ID `i + 1`).
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output;
+}
+
+/// Blanket impl so `&P` is a protocol wherever `P` is (lets the reductions
+/// borrow an inner protocol without cloning it).
+impl<P: OneRoundProtocol + ?Sized> OneRoundProtocol for &P {
+    type Output = P::Output;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        (**self).local(view)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        (**self).global(n, messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    /// Toy protocol: every node reports its degree; the referee sums them
+    /// (and halves, by the handshake lemma, recovering |E|).
+    struct EdgeCount;
+
+    impl OneRoundProtocol for EdgeCount {
+        type Output = usize;
+
+        fn name(&self) -> String {
+            "edge-count".into()
+        }
+
+        fn local(&self, view: NodeView<'_>) -> Message {
+            let mut w = BitWriter::new();
+            w.write_bits(view.degree() as u64, crate::bits_for(view.n));
+            Message::from_writer(w)
+        }
+
+        fn global(&self, n: usize, messages: &[Message]) -> usize {
+            let width = crate::bits_for(n);
+            let total: u64 = messages
+                .iter()
+                .map(|m| m.reader().read_bits(width).expect("degree field"))
+                .sum();
+            (total / 2) as usize
+        }
+    }
+
+    #[test]
+    fn toy_protocol_counts_edges() {
+        let g = referee_graph::generators::complete(5);
+        let views: Vec<Vec<u32>> =
+            g.vertices().map(|v| g.neighbourhood(v).to_vec()).collect();
+        let msgs: Vec<Message> = g
+            .vertices()
+            .map(|v| {
+                EdgeCount.local(NodeView::new(5, v, &views[(v - 1) as usize]))
+            })
+            .collect();
+        assert_eq!(EdgeCount.global(5, &msgs), 10);
+    }
+
+    #[test]
+    fn local_function_total_on_arbitrary_views() {
+        // Evaluate Γ^l on a (id, N) pair that belongs to NO concrete graph
+        // we constructed — the reductions do exactly this.
+        let synthetic = NodeView::new(10, 7, &[1, 2, 9]);
+        let m = EdgeCount.local(synthetic);
+        assert_eq!(m.reader().read_bits(crate::bits_for(10)).unwrap(), 3);
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        let p = EdgeCount;
+        let r = &p;
+        assert_eq!(r.name(), "edge-count");
+        fn takes_protocol<P: OneRoundProtocol<Output = usize>>(p: P) -> String {
+            p.name()
+        }
+        assert_eq!(takes_protocol(&p), "edge-count");
+    }
+}

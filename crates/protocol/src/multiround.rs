@@ -1,0 +1,539 @@
+//! Multi-round extension of the model (§IV: "it would be interesting to
+//! investigate properties that can(not) be decided by a frugal protocol
+//! with fixed number of rounds").
+//!
+//! The interconnection network is `G` **plus** the referee `v₀` adjacent to
+//! everything, under CONGEST semantics: in each round every node may send
+//! one `O(log n)`-bit message *per incident link* — so a node talks to its
+//! graph neighbours and to the referee, and the referee talks back to every
+//! node, each link carrying its own message.
+//!
+//! Round timing (matching §I.B "perform a local computation … then send and
+//! receive one message to (from) each of its neighbors"):
+//!
+//! 1. every node computes its outgoing messages from its current state;
+//! 2. the referee consumes the uplinks and either finishes or emits one
+//!    downlink per node;
+//! 3. every node ingests its neighbours' messages and its downlink.
+//!
+//! [`BoruvkaConnectivity`] instantiates this for the paper's main open
+//! question — connectivity — showing `O(log n)` rounds suffice even though
+//! one round is (conjecturally) not enough: nodes flood component labels to
+//! their neighbours, propose crossing edges to the referee, and the referee
+//! merges them in a union–find, Borůvka style.
+
+use crate::model::NodeView;
+use crate::Message;
+use referee_graph::dsu::Dsu;
+use referee_graph::{LabelledGraph, VertexId};
+
+/// What the referee does after a round.
+pub enum RefereeStep<O> {
+    /// Send these downlinks (index `i` goes to node `i + 1`) and continue.
+    Continue(Vec<Message>),
+    /// Terminate with an output.
+    Done(O),
+}
+
+/// A multi-round protocol in the CONGEST-with-referee model.
+pub trait MultiRoundProtocol {
+    /// Referee's final answer.
+    type Output;
+    /// Per-node local memory.
+    type NodeState;
+    /// Referee's memory.
+    type RefereeState;
+
+    /// Protocol name for reports.
+    fn name(&self) -> String;
+
+    /// Initial node state (round 0, before any communication).
+    fn node_init(&self, view: NodeView<'_>) -> Self::NodeState;
+
+    /// Initial referee state; the referee knows only `n`.
+    fn referee_init(&self, n: usize) -> Self::RefereeState;
+
+    /// Node send step: messages to chosen graph neighbours and the uplink
+    /// to the referee. Unlisted neighbours receive [`Message::empty`].
+    fn node_send(
+        &self,
+        state: &Self::NodeState,
+        view: NodeView<'_>,
+        round: usize,
+    ) -> (Vec<(VertexId, Message)>, Message);
+
+    /// Referee step on the uplink vector (`uplinks[i]` from node `i + 1`).
+    fn referee_step(
+        &self,
+        state: &mut Self::RefereeState,
+        n: usize,
+        round: usize,
+        uplinks: &[Message],
+    ) -> RefereeStep<Self::Output>;
+
+    /// Node receive step: neighbour messages from this round (sorted by
+    /// sender ID; empty messages included) plus the referee's downlink.
+    fn node_receive(
+        &self,
+        state: &mut Self::NodeState,
+        view: NodeView<'_>,
+        round: usize,
+        from_neighbours: &[(VertexId, Message)],
+        from_referee: &Message,
+    );
+}
+
+/// Per-run measurements of a multi-round execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRoundStats {
+    /// Graph size.
+    pub n: usize,
+    /// Rounds executed (referee steps taken).
+    pub rounds: usize,
+    /// Max uplink size over all rounds/nodes, bits.
+    pub max_uplink_bits: usize,
+    /// Max downlink size over all rounds/nodes, bits.
+    pub max_downlink_bits: usize,
+    /// Max node→node message size, bits.
+    pub max_link_bits: usize,
+}
+
+impl MultiRoundStats {
+    /// The largest message anywhere divided by log₂ n.
+    pub fn frugality_ratio(&self) -> f64 {
+        if self.n <= 1 {
+            return f64::INFINITY;
+        }
+        let max = self.max_uplink_bits.max(self.max_downlink_bits).max(self.max_link_bits);
+        max as f64 / (self.n as f64).log2()
+    }
+}
+
+/// Execute a multi-round protocol on `g`, up to `max_rounds` (safety stop).
+/// Returns `None` as output if the referee never finished.
+pub fn run_multiround<P: MultiRoundProtocol>(
+    protocol: &P,
+    g: &LabelledGraph,
+    max_rounds: usize,
+) -> (Option<P::Output>, MultiRoundStats) {
+    let n = g.n();
+    let mut node_states: Vec<P::NodeState> = (1..=n as u32)
+        .map(|v| protocol.node_init(NodeView::new(n, v, g.neighbourhood(v))))
+        .collect();
+    let mut referee_state = protocol.referee_init(n);
+    let mut stats = MultiRoundStats {
+        n,
+        rounds: 0,
+        max_uplink_bits: 0,
+        max_downlink_bits: 0,
+        max_link_bits: 0,
+    };
+
+    for round in 1..=max_rounds {
+        stats.rounds = round;
+        // Phase 1: sends.
+        let mut uplinks: Vec<Message> = Vec::with_capacity(n);
+        // inbox[i] = messages arriving at node i+1 this round
+        let mut inbox: Vec<Vec<(VertexId, Message)>> = vec![Vec::new(); n];
+        for v in 1..=n as u32 {
+            let view = NodeView::new(n, v, g.neighbourhood(v));
+            let (to_nbrs, up) = protocol.node_send(&node_states[(v - 1) as usize], view, round);
+            stats.max_uplink_bits = stats.max_uplink_bits.max(up.len_bits());
+            uplinks.push(up);
+            for (target, msg) in to_nbrs {
+                assert!(
+                    g.has_edge(v, target),
+                    "node {v} tried to message non-neighbour {target}"
+                );
+                stats.max_link_bits = stats.max_link_bits.max(msg.len_bits());
+                inbox[(target - 1) as usize].push((v, msg));
+            }
+        }
+        // Phase 2: referee.
+        let downlinks = match protocol.referee_step(&mut referee_state, n, round, &uplinks) {
+            RefereeStep::Done(out) => return (Some(out), stats),
+            RefereeStep::Continue(d) => {
+                assert_eq!(d.len(), n, "referee must answer every node");
+                d
+            }
+        };
+        for d in &downlinks {
+            stats.max_downlink_bits = stats.max_downlink_bits.max(d.len_bits());
+        }
+        // Phase 3: receives.
+        for v in 1..=n as u32 {
+            let i = (v - 1) as usize;
+            inbox[i].sort_by_key(|&(from, _)| from);
+            let view = NodeView::new(n, v, g.neighbourhood(v));
+            protocol.node_receive(&mut node_states[i], view, round, &inbox[i], &downlinks[i]);
+        }
+    }
+    (None, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Borůvka-style connectivity in O(log n) rounds
+// ---------------------------------------------------------------------------
+
+/// Node state for [`BoruvkaConnectivity`].
+#[derive(Debug, Clone)]
+pub struct BoruvkaNodeState {
+    /// Current component label (a vertex ID, from the referee's DSU).
+    label: VertexId,
+    /// Last labels heard from each neighbour (parallel to the sorted
+    /// neighbour list; 0 = not heard yet).
+    heard: Vec<VertexId>,
+}
+
+/// Referee state for [`BoruvkaConnectivity`].
+#[derive(Debug)]
+pub struct BoruvkaRefereeState {
+    dsu: Dsu,
+    /// Consecutive rounds without a successful merge.
+    quiet_rounds: usize,
+}
+
+/// `O(log n)`-round frugal connectivity (§IV "more rounds" extension).
+///
+/// Every message anywhere is ≤ `1 + ⌈log₂(n+1)⌉` bits. Termination: two
+/// consecutive merge-free rounds prove the union–find components equal the
+/// true components (label staleness is at most one round, so the second
+/// quiet round runs on fully current labels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoruvkaConnectivity;
+
+impl MultiRoundProtocol for BoruvkaConnectivity {
+    type Output = bool;
+    type NodeState = BoruvkaNodeState;
+    type RefereeState = BoruvkaRefereeState;
+
+    fn name(&self) -> String {
+        "Borůvka connectivity (multi-round)".into()
+    }
+
+    fn node_init(&self, view: NodeView<'_>) -> BoruvkaNodeState {
+        BoruvkaNodeState { label: view.id, heard: vec![0; view.degree()] }
+    }
+
+    fn referee_init(&self, n: usize) -> BoruvkaRefereeState {
+        BoruvkaRefereeState { dsu: Dsu::new(n), quiet_rounds: 0 }
+    }
+
+    fn node_send(
+        &self,
+        state: &BoruvkaNodeState,
+        view: NodeView<'_>,
+        _round: usize,
+    ) -> (Vec<(VertexId, Message)>, Message) {
+        let width = crate::bits_for(view.n);
+        // Broadcast my label to every neighbour.
+        let label_msg = {
+            let mut w = crate::BitWriter::new();
+            w.write_bits(state.label as u64, width);
+            Message::from_writer(w)
+        };
+        let to_nbrs: Vec<(VertexId, Message)> =
+            view.neighbours.iter().map(|&nb| (nb, label_msg.clone())).collect();
+        // Uplink: propose one neighbour whose heard label differs from mine.
+        let mut w = crate::BitWriter::new();
+        let proposal = view
+            .neighbours
+            .iter()
+            .zip(&state.heard)
+            .find(|&(_, &h)| h != 0 && h != state.label)
+            .map(|(&nb, _)| nb);
+        match proposal {
+            Some(nb) => {
+                w.push_bit(true);
+                w.write_bits(nb as u64, width);
+            }
+            None => w.push_bit(false),
+        }
+        (to_nbrs, Message::from_writer(w))
+    }
+
+    fn referee_step(
+        &self,
+        state: &mut BoruvkaRefereeState,
+        n: usize,
+        _round: usize,
+        uplinks: &[Message],
+    ) -> RefereeStep<bool> {
+        let width = crate::bits_for(n);
+        let mut merged_any = false;
+        for (i, up) in uplinks.iter().enumerate() {
+            let mut r = up.reader();
+            if r.read_bit().expect("proposal flag") {
+                let nb = r.read_bits(width).expect("proposal id") as usize;
+                assert!(nb >= 1 && nb <= n, "referee received invalid proposal");
+                if state.dsu.union(i, nb - 1) {
+                    merged_any = true;
+                }
+            }
+        }
+        if merged_any {
+            state.quiet_rounds = 0;
+        } else {
+            state.quiet_rounds += 1;
+        }
+        if state.quiet_rounds >= 2 {
+            return RefereeStep::Done(state.dsu.components() <= 1);
+        }
+        // Downlink: each node's fresh component label.
+        let downlinks = (0..n)
+            .map(|i| {
+                let label = (state.dsu.find(i) + 1) as u64;
+                let mut w = crate::BitWriter::new();
+                w.write_bits(label, width);
+                Message::from_writer(w)
+            })
+            .collect();
+        RefereeStep::Continue(downlinks)
+    }
+
+    fn node_receive(
+        &self,
+        state: &mut BoruvkaNodeState,
+        view: NodeView<'_>,
+        _round: usize,
+        from_neighbours: &[(VertexId, Message)],
+        from_referee: &Message,
+    ) {
+        let width = crate::bits_for(view.n);
+        for (from, msg) in from_neighbours {
+            let label = msg.reader().read_bits(width).expect("label field") as VertexId;
+            let idx = view
+                .neighbours
+                .binary_search(from)
+                .expect("message only from neighbours");
+            state.heard[idx] = label;
+        }
+        state.label = from_referee.reader().read_bits(width).expect("downlink label") as VertexId;
+    }
+}
+
+/// Convenience: decide connectivity of `g`, returning `(answer, stats)`.
+/// The round cap `4·log₂(n) + 8` is comfortably above the worst case.
+pub fn boruvka_connectivity(g: &LabelledGraph) -> (bool, MultiRoundStats) {
+    let cap = 4 * (usize::BITS - g.n().leading_zeros()) as usize + 8;
+    let (out, stats) = run_multiround(&BoruvkaConnectivity, g, cap);
+    (out.expect("Borůvka terminates within the round cap"), stats)
+}
+
+// ---------------------------------------------------------------------------
+// Spanning-forest variant: same rounds, richer output
+// ---------------------------------------------------------------------------
+
+/// Referee state for [`BoruvkaSpanningForest`].
+#[derive(Debug)]
+pub struct ForestRefereeState {
+    inner: BoruvkaRefereeState,
+    forest: Vec<(VertexId, VertexId)>,
+}
+
+/// The same Borůvka rounds as [`BoruvkaConnectivity`], but the referee
+/// additionally records each merging edge, so the output is a full
+/// spanning forest of `G` — demonstrating that the multi-round model
+/// yields *certificates*, not just bits (a natural step beyond the §IV
+/// decision question).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoruvkaSpanningForest;
+
+impl MultiRoundProtocol for BoruvkaSpanningForest {
+    /// Spanning forest edges (canonical `u < v`, sorted).
+    type Output = Vec<(VertexId, VertexId)>;
+    type NodeState = BoruvkaNodeState;
+    type RefereeState = ForestRefereeState;
+
+    fn name(&self) -> String {
+        "Borůvka spanning forest (multi-round)".into()
+    }
+
+    fn node_init(&self, view: NodeView<'_>) -> BoruvkaNodeState {
+        BoruvkaConnectivity.node_init(view)
+    }
+
+    fn referee_init(&self, n: usize) -> ForestRefereeState {
+        ForestRefereeState {
+            inner: BoruvkaConnectivity.referee_init(n),
+            forest: Vec::new(),
+        }
+    }
+
+    fn node_send(
+        &self,
+        state: &BoruvkaNodeState,
+        view: NodeView<'_>,
+        round: usize,
+    ) -> (Vec<(VertexId, Message)>, Message) {
+        BoruvkaConnectivity.node_send(state, view, round)
+    }
+
+    fn referee_step(
+        &self,
+        state: &mut ForestRefereeState,
+        n: usize,
+        _round: usize,
+        uplinks: &[Message],
+    ) -> RefereeStep<Self::Output> {
+        let width = crate::bits_for(n);
+        let mut merged_any = false;
+        for (i, up) in uplinks.iter().enumerate() {
+            let mut r = up.reader();
+            if r.read_bit().expect("proposal flag") {
+                let nb = r.read_bits(width).expect("proposal id") as usize;
+                assert!(nb >= 1 && nb <= n, "invalid proposal");
+                if state.inner.dsu.union(i, nb - 1) {
+                    merged_any = true;
+                    let (u, v) = ((i + 1) as VertexId, nb as VertexId);
+                    state.forest.push((u.min(v), u.max(v)));
+                }
+            }
+        }
+        if merged_any {
+            state.inner.quiet_rounds = 0;
+        } else {
+            state.inner.quiet_rounds += 1;
+        }
+        if state.inner.quiet_rounds >= 2 {
+            let mut forest = std::mem::take(&mut state.forest);
+            forest.sort_unstable();
+            return RefereeStep::Done(forest);
+        }
+        let downlinks = (0..n)
+            .map(|i| {
+                let label = (state.inner.dsu.find(i) + 1) as u64;
+                let mut w = crate::BitWriter::new();
+                w.write_bits(label, width);
+                Message::from_writer(w)
+            })
+            .collect();
+        RefereeStep::Continue(downlinks)
+    }
+
+    fn node_receive(
+        &self,
+        state: &mut BoruvkaNodeState,
+        view: NodeView<'_>,
+        round: usize,
+        from_neighbours: &[(VertexId, Message)],
+        from_referee: &Message,
+    ) {
+        BoruvkaConnectivity.node_receive(state, view, round, from_neighbours, from_referee);
+    }
+}
+
+/// Compute a spanning forest via the multi-round protocol.
+pub fn boruvka_spanning_forest(
+    g: &LabelledGraph,
+) -> (Vec<(VertexId, VertexId)>, MultiRoundStats) {
+    let cap = 4 * (usize::BITS - g.n().leading_zeros()) as usize + 8;
+    let (out, stats) = run_multiround(&BoruvkaSpanningForest, g, cap);
+    (out.expect("terminates within the round cap"), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use referee_graph::{algo, generators};
+
+    #[test]
+    fn connected_graphs_accepted() {
+        for g in [
+            generators::path(50),
+            generators::cycle(33).unwrap(),
+            generators::petersen(),
+            generators::complete(20),
+            generators::grid(6, 7),
+        ] {
+            let (ans, stats) = boruvka_connectivity(&g);
+            assert!(ans, "connected graph rejected");
+            assert!(stats.frugality_ratio() < 3.0, "ratio {}", stats.frugality_ratio());
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_rejected() {
+        let g = generators::path(10).disjoint_union(&generators::path(7));
+        let (ans, _) = boruvka_connectivity(&g);
+        assert!(!ans);
+        let iso = LabelledGraph::new(5);
+        let (ans, _) = boruvka_connectivity(&iso);
+        assert!(!ans);
+    }
+
+    #[test]
+    fn matches_centralized_on_random() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..25 {
+            let g = generators::gnp(40, 0.06, &mut rng);
+            let (ans, _) = boruvka_connectivity(&g);
+            assert_eq!(ans, algo::is_connected(&g), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_logarithmic() {
+        // A path is the slowest topology for label flooding per merge
+        // round; rounds must stay well under the 4·log₂(n) + 8 cap and
+        // grow sublinearly.
+        let (_, s256) = boruvka_connectivity(&generators::path(256));
+        let (_, s4096) = boruvka_connectivity(&generators::path(4096));
+        assert!(s256.rounds <= 40, "rounds {}", s256.rounds);
+        assert!(s4096.rounds <= 60, "rounds {}", s4096.rounds);
+        // doubling n four times adds only a few rounds
+        assert!(s4096.rounds <= s256.rounds + 20);
+    }
+
+    #[test]
+    fn all_messages_are_frugal() {
+        let g = generators::complete(64); // high degree stresses link count
+        let (ans, stats) = boruvka_connectivity(&g);
+        assert!(ans);
+        let logn = 64f64.log2();
+        assert!(stats.max_uplink_bits as f64 <= 2.0 * logn);
+        assert!(stats.max_downlink_bits as f64 <= 2.0 * logn);
+        assert!(stats.max_link_bits as f64 <= 2.0 * logn);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let (ans, _) = boruvka_connectivity(&LabelledGraph::new(1));
+        assert!(ans);
+        let (ans, _) = boruvka_connectivity(&LabelledGraph::new(2));
+        assert!(!ans);
+    }
+
+    #[test]
+    fn spanning_forest_is_valid() {
+        use referee_graph::dsu::Dsu;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(88);
+        for _ in 0..10 {
+            let g = generators::gnp(50, 0.06, &mut rng);
+            let (forest, stats) = boruvka_spanning_forest(&g);
+            // all forest edges are real edges
+            for &(u, v) in &forest {
+                assert!(g.has_edge(u, v), "phantom edge {u}-{v}");
+            }
+            // acyclic and component-preserving
+            let mut dsu = Dsu::new(g.n());
+            for &(u, v) in &forest {
+                assert!(dsu.union((u - 1) as usize, (v - 1) as usize), "cycle in forest");
+            }
+            assert_eq!(dsu.components(), algo::component_count(&g));
+            assert_eq!(forest.len(), g.n() - algo::component_count(&g));
+            assert!(stats.frugality_ratio() < 3.0);
+        }
+    }
+
+    #[test]
+    fn spanning_forest_of_tree_is_the_tree() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let t = generators::random_tree(40, &mut StdRng::seed_from_u64(89));
+        let (forest, _) = boruvka_spanning_forest(&t);
+        let expect: Vec<(u32, u32)> = t.edges().map(|e| (e.0, e.1)).collect();
+        assert_eq!(forest, expect);
+    }
+}

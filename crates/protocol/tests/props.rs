@@ -1,0 +1,112 @@
+//! Property tests for the model crate: bit-stream round-trips, simulator
+//! invariants, and multi-round protocols against centralized truth.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::{algo, generators};
+use referee_protocol::baseline::AdjacencyListProtocol;
+use referee_protocol::multiround::{boruvka_connectivity, boruvka_spanning_forest};
+use referee_protocol::{run_protocol, BitWriter, Message};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bit_fields_round_trip(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..20)) {
+        let mut w = BitWriter::new();
+        let mut masked = Vec::new();
+        for &(v, width) in &fields {
+            let m = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            w.write_bits(m, width);
+            masked.push((m, width));
+        }
+        let expect_len: usize = fields.iter().map(|&(_, w)| w as usize).sum();
+        let msg = Message::from_writer(w);
+        prop_assert_eq!(msg.len_bits(), expect_len);
+        let mut r = msg.reader();
+        for (m, width) in masked {
+            prop_assert_eq!(r.read_bits(width).unwrap(), m);
+        }
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn gamma_codes_round_trip(values in proptest::collection::vec(1u64.., 0..50)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_gamma(v);
+        }
+        let msg = Message::from_writer(w);
+        let mut r = msg.reader();
+        for &v in &values {
+            prop_assert_eq!(r.read_gamma().unwrap(), v);
+        }
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn mixed_fields_and_gammas(pairs in proptest::collection::vec((1u64..1_000_000, 0u64..256), 0..30)) {
+        let mut w = BitWriter::new();
+        for &(g, f) in &pairs {
+            w.write_gamma(g);
+            w.write_bits(f, 8);
+        }
+        let msg = Message::from_writer(w);
+        let mut r = msg.reader();
+        for &(g, f) in &pairs {
+            prop_assert_eq!(r.read_gamma().unwrap(), g);
+            prop_assert_eq!(r.read_bits(8).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn reader_never_reads_past_end(len in 0usize..64, ask in 0u32..=64) {
+        let w = {
+            let mut w = BitWriter::new();
+            for i in 0..len {
+                w.push_bit(i % 2 == 0);
+            }
+            w
+        };
+        let msg = Message::from_writer(w);
+        let mut r = msg.reader();
+        if (ask as usize) <= len {
+            prop_assert!(r.read_bits(ask).is_ok());
+        } else {
+            prop_assert!(r.read_bits(ask).is_err());
+        }
+    }
+
+    #[test]
+    fn adjacency_baseline_round_trips(n in 1usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.25, &mut rng);
+        let out = run_protocol(&AdjacencyListProtocol, &g);
+        prop_assert_eq!(out.output.unwrap(), g.clone());
+        // max message = (Δ + 1) · width exactly
+        let width = referee_protocol::bits_for(n) as usize;
+        prop_assert_eq!(out.stats.max_message_bits, (g.max_degree() + 1) * width);
+    }
+
+    #[test]
+    fn boruvka_matches_centralized(n in 2usize..60, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 2.0 / n as f64, &mut rng);
+        let (ans, stats) = boruvka_connectivity(&g);
+        prop_assert_eq!(ans, algo::is_connected(&g));
+        prop_assert!(stats.rounds <= 4 * referee_protocol::bits_for(n) as usize + 8);
+    }
+
+    #[test]
+    fn spanning_forest_invariants(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.1, &mut rng);
+        let (forest, _) = boruvka_spanning_forest(&g);
+        prop_assert_eq!(forest.len(), n - algo::component_count(&g));
+        for &(u, v) in &forest {
+            prop_assert!(g.has_edge(u, v));
+        }
+        // sorted canonical output
+        prop_assert!(forest.windows(2).all(|w| w[0] < w[1]));
+    }
+}

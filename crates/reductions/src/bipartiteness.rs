@@ -1,0 +1,202 @@
+//! §IV "ongoing work": *a frugal one-round protocol for bipartiteness
+//! implies a frugal one-round protocol deciding if a bipartite graph is
+//! connected.*
+//!
+//! The paper states this without a construction; the one implemented here
+//! is the natural parity-probe argument, in the same one-round style as
+//! Theorems 1–3:
+//!
+//! For a **bipartite** `G` and vertices `s, t`:
+//!
+//! * the *even probe* `G⁺²_{s,t}` adds one vertex adjacent to `s` and `t`
+//!   (a length-2 path). If `s, t` are in the same component at odd
+//!   distance, every `s–t` path is odd, so closing it with an even path
+//!   creates an odd cycle ⇒ non-bipartite. Otherwise the 2-colouring
+//!   extends ⇒ bipartite.
+//! * the *odd probe* `G⁺³_{s,t}` adds a length-3 path `s—a—b—t`;
+//!   symmetrically it is non-bipartite iff `s, t` are connected at even
+//!   distance.
+//!
+//! Hence `same-component(s, t) ⟺ ¬bip(G⁺²) ∨ ¬bip(G⁺³)`, and `G` is
+//! connected iff all pairs are same-component. Each original vertex has at
+//! most 5 possible neighbourhood forms across all probes, so one round
+//! suffices; `Δ`'s messages are 5 bundled `Γ` messages — still frugal.
+
+use crate::util::{bundle, unbundle};
+use referee_graph::dsu::Dsu;
+use referee_graph::VertexId;
+use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// `Δ`: connectivity of (promised bipartite) graphs, from a bipartiteness
+/// decider `Γ`.
+#[derive(Debug, Clone, Copy)]
+pub struct BipartiteConnectivityReduction<P> {
+    inner: P,
+}
+
+impl<P> BipartiteConnectivityReduction<P> {
+    /// Wrap a bipartiteness-decision protocol.
+    pub fn new(inner: P) -> Self {
+        BipartiteConnectivityReduction { inner }
+    }
+}
+
+impl<P> OneRoundProtocol for BipartiteConnectivityReduction<P>
+where
+    P: OneRoundProtocol<Output = bool> + Sync,
+{
+    type Output = Result<bool, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("Δ: bipartite connectivity via [{}] (§IV)", self.inner.name())
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let n = view.n;
+        let with = |extra: &[VertexId], size: usize| {
+            let mut nbrs = Vec::with_capacity(view.degree() + extra.len());
+            nbrs.extend_from_slice(view.neighbours);
+            nbrs.extend_from_slice(extra); // extras are > n ≥ all of N
+            self.inner.local(NodeView::new(size, view.id, &nbrs))
+        };
+        let a1 = (n + 1) as VertexId;
+        let a2 = (n + 2) as VertexId;
+        // even probe lives on n+1 vertices; odd probe on n+2.
+        let e_plain = with(&[], n + 1);
+        let e_role = with(&[a1], n + 1);
+        let o_plain = with(&[], n + 2);
+        let o_s = with(&[a1], n + 2);
+        let o_t = with(&[a2], n + 2);
+        bundle(&[e_plain, e_role, o_plain, o_s, o_t])
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Result<bool, DecodeError> {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        if n <= 1 {
+            return Ok(true);
+        }
+        let mut parts: Vec<Vec<Message>> = Vec::with_capacity(n);
+        for msg in messages {
+            parts.push(unbundle(msg, 5)?);
+        }
+        let a1 = (n + 1) as VertexId;
+        let a2 = (n + 2) as VertexId;
+        let mut dsu = Dsu::new(n);
+        for s in 1..=n as VertexId {
+            for t in (s + 1)..=n as VertexId {
+                if dsu.same((s - 1) as usize, (t - 1) as usize) {
+                    continue; // transitivity saves Γ queries
+                }
+                // Even probe, size n+1: vertex n+1 adjacent to {s, t}.
+                let mut even: Vec<Message> = Vec::with_capacity(n + 1);
+                for i in 1..=n as VertexId {
+                    let p = &parts[(i - 1) as usize];
+                    even.push(if i == s || i == t { p[1].clone() } else { p[0].clone() });
+                }
+                even.push(self.inner.local(NodeView::new(n + 1, a1, &[s, t])));
+                let even_bip = self.inner.global(n + 1, &even);
+
+                let same = if !even_bip {
+                    true
+                } else {
+                    // Odd probe, size n+2: path s — (n+1) — (n+2) — t.
+                    let mut odd: Vec<Message> = Vec::with_capacity(n + 2);
+                    for i in 1..=n as VertexId {
+                        let p = &parts[(i - 1) as usize];
+                        odd.push(if i == s {
+                            p[3].clone()
+                        } else if i == t {
+                            p[4].clone()
+                        } else {
+                            p[2].clone()
+                        });
+                    }
+                    odd.push(self.inner.local(NodeView::new(n + 2, a1, &[s, a2])));
+                    odd.push(self.inner.local(NodeView::new(n + 2, a2, &[t, a1])));
+                    !self.inner.global(n + 2, &odd)
+                };
+                if same {
+                    dsu.union((s - 1) as usize, (t - 1) as usize);
+                }
+            }
+        }
+        Ok(dsu.components() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BipartitenessOracle;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::{algo, generators, LabelledGraph};
+    use referee_protocol::run_protocol;
+
+    fn decide(g: &LabelledGraph) -> bool {
+        assert!(algo::is_bipartite(g), "reduction promises bipartite input");
+        run_protocol(&BipartiteConnectivityReduction::new(BipartitenessOracle), g)
+            .output
+            .unwrap()
+    }
+
+    #[test]
+    fn connected_bipartite_accepted() {
+        assert!(decide(&generators::path(12)));
+        assert!(decide(&generators::complete_bipartite(4, 5)));
+        assert!(decide(&generators::grid(4, 5)));
+        assert!(decide(&generators::cycle(8).unwrap()));
+        assert!(decide(&generators::hypercube(3)));
+    }
+
+    #[test]
+    fn disconnected_bipartite_rejected() {
+        let g = generators::path(5).disjoint_union(&generators::path(4));
+        assert!(!decide(&g));
+        assert!(!decide(&LabelledGraph::new(3)));
+        // a connected grid plus one isolated vertex
+        let g = generators::grid(3, 3).grow(10);
+        assert!(!decide(&g));
+    }
+
+    #[test]
+    fn matches_centralized_on_random_bipartite() {
+        let mut rng = StdRng::seed_from_u64(70);
+        for _ in 0..10 {
+            let g = generators::random_balanced_bipartite(12, 0.18, &mut rng);
+            assert_eq!(decide(&g), algo::is_connected(&g), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn random_forests_match() {
+        // Forests are bipartite; connectivity = being a single tree.
+        let mut rng = StdRng::seed_from_u64(71);
+        for keep in [1.0, 0.9] {
+            let g = generators::random_forest(14, keep, &mut rng);
+            assert_eq!(decide(&g), algo::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn message_is_five_bundled_parts() {
+        let g = generators::path(6);
+        let delta = BipartiteConnectivityReduction::new(BipartitenessOracle);
+        let msgs = referee_protocol::referee::local_phase(&delta, &g);
+        for m in &msgs {
+            assert_eq!(unbundle(m, 5).unwrap().len(), 5);
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(decide(&LabelledGraph::new(1)));
+        let two = LabelledGraph::from_edges(2, [(1, 2)]).unwrap();
+        assert!(decide(&two));
+        assert!(!decide(&LabelledGraph::new(2)));
+    }
+}

@@ -1,0 +1,229 @@
+//! The pigeonhole of Lemma 1, made concrete (E6).
+//!
+//! Lemma 1 says a too-small message budget forces two distinct graphs onto
+//! the same message vector — after which *no* global function can tell
+//! them apart. This module makes both halves of that argument executable:
+//!
+//! * [`find_collision`] searches a family for two graphs with identical
+//!   message vectors under a concrete protocol — an explicit witness;
+//! * [`guaranteed_collision_n`] computes, for a given per-message bit
+//!   count, the `n` at which the pigeonhole *guarantees* a collision on
+//!   the all-graphs family (`2^{bits·n} < 2^{C(n,2)}`), even when the
+//!   witness itself is beyond enumeration.
+//!
+//! A finding worth recording: the §III.A sketch `(deg, Σ neighbour IDs)`
+//! ([`DegreeSumSketch`]) is collision-free on **all** graphs up to at
+//! least `n = 5` — small-n enumeration cannot refute it. Lemma 1 is what
+//! does: at `n = 40` the sketch offers `16·40 = 640` bits against
+//! `C(40,2) = 780` edge bits, so two indistinguishable graphs must exist.
+//! The explicit small-`n` witnesses below instead use the coarser
+//! [`ModularSumSketch`].
+
+use referee_graph::LabelledGraph;
+use referee_protocol::{bits_for, BitWriter, Message, NodeView, OneRoundProtocol};
+use std::collections::HashMap;
+
+/// Search `graphs` for two members with identical message vectors under
+/// `protocol`. Returns the first collision found, if any.
+///
+/// Any two such graphs are indistinguishable to the referee **whatever**
+/// its global function is — a constructive impossibility witness.
+pub fn find_collision<P: OneRoundProtocol>(
+    protocol: &P,
+    graphs: impl Iterator<Item = LabelledGraph>,
+) -> Option<(LabelledGraph, LabelledGraph)> {
+    let mut seen: HashMap<Vec<Message>, LabelledGraph> = HashMap::new();
+    for g in graphs {
+        let n = g.n();
+        let vector: Vec<Message> = (1..=n as u32)
+            .map(|v| protocol.local(NodeView::new(n, v, g.neighbourhood(v))))
+            .collect();
+        match seen.get(&vector) {
+            Some(prev) if prev != &g => return Some((prev.clone(), g)),
+            _ => {
+                seen.insert(vector, g);
+            }
+        }
+    }
+    None
+}
+
+/// Count distinct message vectors over a family (the left side of the
+/// pigeonhole: `#vectors < #graphs` forces a collision). Returns
+/// `(distinct, total)`.
+pub fn distinct_vectors<P: OneRoundProtocol>(
+    protocol: &P,
+    graphs: impl Iterator<Item = LabelledGraph>,
+) -> (usize, usize) {
+    let mut seen: HashMap<Vec<Message>, ()> = HashMap::new();
+    let mut total = 0usize;
+    for g in graphs {
+        total += 1;
+        let n = g.n();
+        let vector: Vec<Message> = (1..=n as u32)
+            .map(|v| protocol.local(NodeView::new(n, v, g.neighbourhood(v))))
+            .collect();
+        seen.insert(vector, ());
+    }
+    (seen.len(), total)
+}
+
+/// Smallest `n` at which a protocol spending `bits_per_message(n)` bits
+/// per node is *guaranteed* (by Lemma 1's pigeonhole on the all-graphs
+/// family) to collide: the first `n` with
+/// `n · bits_per_message(n) < C(n, 2)`.
+pub fn guaranteed_collision_n(mut bits_per_message: impl FnMut(usize) -> usize) -> usize {
+    (2..)
+        .find(|&n| n * bits_per_message(n) < n * (n - 1) / 2)
+        .expect("quadratic beats n·log n eventually")
+}
+
+/// The §III.A sketch `(deg, Σ neighbour IDs)` as a general-graph protocol.
+/// Frugal (< 3 log n bits); injective on forests (that is §III.A's
+/// correctness) and, empirically, on all tiny graphs — but pigeonholed
+/// into collisions at `n ≈ 40` (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeSumSketch;
+
+impl DegreeSumSketch {
+    /// Exact message size in bits at size `n`.
+    pub fn message_bits(n: usize) -> usize {
+        (bits_for(n.saturating_sub(1)) + bits_for(n * (n + 1) / 2)) as usize
+    }
+}
+
+impl OneRoundProtocol for DegreeSumSketch {
+    /// This sketch carries no global decision; collisions are about the
+    /// *local* map only, so the output is the raw vector length.
+    type Output = usize;
+
+    fn name(&self) -> String {
+        "degree+sum sketch (§III.A triple outside forests)".into()
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let mut w = BitWriter::new();
+        w.write_bits(view.degree() as u64, bits_for(view.n.saturating_sub(1)));
+        let sum: u64 = view.neighbours.iter().map(|&x| x as u64).sum();
+        w.write_bits(sum, bits_for(view.n * (view.n + 1) / 2));
+        Message::from_writer(w)
+    }
+
+    fn global(&self, _n: usize, messages: &[Message]) -> usize {
+        messages.len()
+    }
+}
+
+/// A deliberately coarse sketch: `Σ neighbour IDs mod 2^bits`, in `bits`
+/// bits — constant-size, hence frugal with constant 0·log n + O(1). Its
+/// collisions are reachable by exhaustive search at `n = 4`: adding an
+/// edge `{u, v}` where `2^bits | u` and `2^bits | v` changes no message.
+#[derive(Debug, Clone, Copy)]
+pub struct ModularSumSketch {
+    /// Field width; the sum is reduced mod `2^bits`.
+    pub bits: u32,
+}
+
+impl OneRoundProtocol for ModularSumSketch {
+    type Output = usize;
+
+    fn name(&self) -> String {
+        format!("modular sum sketch (mod 2^{})", self.bits)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let sum: u64 = view.neighbours.iter().map(|&x| x as u64).sum();
+        let mut w = BitWriter::new();
+        w.write_bits(sum & ((1 << self.bits) - 1), self.bits);
+        Message::from_writer(w)
+    }
+
+    fn global(&self, _n: usize, messages: &[Message]) -> usize {
+        messages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use referee_graph::{algo, enumerate};
+
+    #[test]
+    fn degree_sum_injective_on_forests() {
+        // §III.A's correctness, pigeonhole-style: on its intended class
+        // the sketch vector determines the forest.
+        for n in 2..=6usize {
+            let forests = enumerate::all_graphs(n).filter(algo::is_forest);
+            assert!(
+                find_collision(&DegreeSumSketch, forests).is_none(),
+                "forest family must be collision-free at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_sum_injective_at_tiny_n() {
+        // Perhaps surprising: on ALL graphs with ≤ 5 vertices the
+        // (deg, sum) sketch never collides — small cases cannot witness
+        // Lemma 1; the counting bound below is what settles it.
+        for n in 2..=5usize {
+            assert!(
+                find_collision(&DegreeSumSketch, enumerate::all_graphs(n)).is_none(),
+                "unexpected tiny-n collision at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_sum_pigeonholed_by_lemma1() {
+        // Lemma 1 on the all-graphs family: the sketch spends
+        // n·message_bits(n) bits total; once C(n,2) exceeds that, two
+        // graphs must share a message vector.
+        let n0 = guaranteed_collision_n(DegreeSumSketch::message_bits);
+        assert!(n0 <= 40, "collision must be guaranteed by n = 40, got {n0}");
+        // and at that n the arithmetic really does cross over:
+        assert!(n0 * DegreeSumSketch::message_bits(n0) < n0 * (n0 - 1) / 2);
+        // …while just below the bound it does not (first crossing).
+        let m = n0 - 1;
+        assert!(m * DegreeSumSketch::message_bits(m) >= m * (m - 1) / 2);
+    }
+
+    #[test]
+    fn modular_sketch_collides_explicitly() {
+        // mod-2 sum: adding the edge {2, 4} changes both endpoint sums by
+        // an even amount — invisible. Exhaustive search finds a witness.
+        let (a, b) = find_collision(&ModularSumSketch { bits: 1 }, enumerate::all_graphs(4))
+            .expect("collision at n = 4");
+        assert_ne!(a, b);
+        // Verify indistinguishability directly.
+        for v in 1..=4u32 {
+            let sa: u32 = a.neighbourhood(v).iter().sum();
+            let sb: u32 = b.neighbourhood(v).iter().sum();
+            assert_eq!(sa % 2, sb % 2, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn modular_sketch_collides_on_square_free() {
+        // Theorem 1's family: even restricted to square-free graphs the
+        // coarse sketch collides.
+        let square_free = enumerate::all_graphs(5).filter(|g| !algo::has_square(g));
+        assert!(find_collision(&ModularSumSketch { bits: 2 }, square_free).is_some());
+    }
+
+    #[test]
+    fn vector_counting_pigeonhole() {
+        let (distinct, total) =
+            distinct_vectors(&ModularSumSketch { bits: 1 }, enumerate::all_graphs(4));
+        assert!(distinct < total, "{distinct} vectors for {total} graphs");
+        // 4 one-bit messages can label at most 16 vectors
+        assert!(distinct <= 16);
+    }
+
+    #[test]
+    fn full_adjacency_never_collides() {
+        use referee_protocol::baseline::AdjacencyListProtocol;
+        // A lossless (non-frugal) local map cannot collide anywhere.
+        assert!(find_collision(&AdjacencyListProtocol, enumerate::all_graphs(4)).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Lemma 1, quantitatively.
+//!
+//! > If there is a frugal one-round protocol for reconstructing graphs in
+//! > G, then log g(n) = O(n log n).
+//!
+//! The proof is a pigeonhole count: a referee receiving at most
+//! `c·log n` bits from each of `n` nodes can distinguish at most
+//! `2^{c·n·log n}` message vectors, so a family with more members *cannot*
+//! be reconstructed. This module computes both sides exactly:
+//!
+//! * budgets `2^{c·n·⌈log₂ n⌉}` as [`UBig`]s,
+//! * family sizes — closed-form for *all graphs* (`2^{C(n,2)}`) and
+//!   *balanced bipartite* (`2^{⌈n/2⌉·⌊n/2⌋}`), exhaustive for
+//!   *square-free* at small `n` (Kleitman–Winston: `2^{Θ(n^{3/2})}`
+//!   asymptotically, which is what makes Theorem 1 go through).
+
+use referee_graph::{algo, enumerate};
+use referee_wideint::UBig;
+
+/// `2^{c·n·⌈log₂(n+1)⌉}` — the number of distinguishable message vectors
+/// of a protocol sending at most `c·⌈log₂(n+1)⌉` bits per node.
+pub fn message_vector_budget(n: usize, c: usize) -> UBig {
+    UBig::one().shl(c * n * referee_protocol::bits_for(n) as usize)
+}
+
+/// Exponent of the budget: `c·n·⌈log₂(n+1)⌉`.
+pub fn budget_log2(n: usize, c: usize) -> usize {
+    c * n * referee_protocol::bits_for(n) as usize
+}
+
+/// `g(n)` for the family of **all** labelled graphs: `2^{C(n,2)}`.
+pub fn count_all_graphs(n: usize) -> UBig {
+    UBig::one().shl(n * n.saturating_sub(1) / 2)
+}
+
+/// `g(n)` for Theorem 3's family, balanced bipartite graphs with fixed
+/// parts: `2^{⌈n/2⌉·⌊n/2⌋}`.
+pub fn count_balanced_bipartite(n: usize) -> UBig {
+    UBig::one().shl(n.div_ceil(2) * (n / 2))
+}
+
+/// Exact `g(n)` for Theorem 1's family, square-free labelled graphs, by
+/// exhaustive enumeration. Feasible for `n ≤ 7` (2^21 graphs); panics on
+/// larger `n` to avoid silent day-long loops.
+pub fn count_square_free_exact(n: usize) -> u64 {
+    assert!(n <= 7, "exhaustive square-free count infeasible beyond n = 7");
+    let (matching, _) = enumerate::count_graphs(n, |g| !algo::has_square(g));
+    matching
+}
+
+/// Exact `g(n)` for labelled forests (a family the positive side *can*
+/// reconstruct — its count is `O(n log n)`-compatible). Exhaustive.
+pub fn count_forests_exact(n: usize) -> u64 {
+    assert!(n <= 7, "exhaustive forest count infeasible beyond n = 7");
+    let (matching, _) = enumerate::count_graphs(n, algo::is_forest);
+    matching
+}
+
+/// Cayley's formula: the number of labelled **trees** on `n` vertices is
+/// `n^{n-2}`. Since `log₂ n^{n-2} = (n−2)·log₂ n = Θ(n log n)`, trees sit
+/// *exactly at* Lemma 1's boundary — which is why the forest protocol of
+/// §III.A can exist with Θ(log n)-bit messages and nothing smaller can.
+pub fn cayley_trees(n: usize) -> UBig {
+    match n {
+        0 => UBig::zero(),
+        1 | 2 => UBig::one(),
+        _ => UBig::from(n as u64).pow((n - 2) as u32),
+    }
+}
+
+/// The Kleitman–Winston reference exponent `n^{3/2}/2`, the leading term
+/// of `log₂` of the square-free count — the curve the measured exact
+/// counts are compared against in E5.
+pub fn kleitman_winston_exponent(n: usize) -> f64 {
+    0.5 * (n as f64).powf(1.5)
+}
+
+/// One row of the Lemma 1 comparison table (E5).
+#[derive(Debug, Clone)]
+pub struct CountingRow {
+    /// Graph size.
+    pub n: usize,
+    /// `log₂ g(n)` of the family.
+    pub family_log2: f64,
+    /// `log₂` of the message-vector budget at constant `c`.
+    pub budget_log2: usize,
+    /// Pigeonhole verdict: family too big for the budget ⇒ reconstruction
+    /// impossible at this `(n, c)`.
+    pub impossible: bool,
+}
+
+/// Build the Lemma 1 table for a family given by its `log₂ g(n)`.
+pub fn lemma1_rows(
+    ns: &[usize],
+    c: usize,
+    mut family_log2: impl FnMut(usize) -> f64,
+) -> Vec<CountingRow> {
+    ns.iter()
+        .map(|&n| {
+            let fl = family_log2(n);
+            let bl = budget_log2(n, c);
+            CountingRow { n, family_log2: fl, budget_log2: bl, impossible: fl > bl as f64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_formula() {
+        // n = 8 → bits_for(8) = 4 → budget = 2^(c·32)
+        assert_eq!(message_vector_budget(8, 1), UBig::one().shl(32));
+        assert_eq!(message_vector_budget(8, 3), UBig::one().shl(96));
+        assert_eq!(budget_log2(8, 3), 96);
+    }
+
+    #[test]
+    fn all_graph_counts() {
+        assert_eq!(count_all_graphs(0), UBig::one());
+        assert_eq!(count_all_graphs(4), UBig::from(64u64));
+        assert_eq!(count_all_graphs(7).log2(), 21.0);
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        assert_eq!(count_balanced_bipartite(4), UBig::from(16u64));
+        // n = 5: parts of size 3 and 2 → 2^6
+        assert_eq!(count_balanced_bipartite(5), UBig::from(64u64));
+    }
+
+    #[test]
+    fn square_free_exact_small() {
+        // n ≤ 3: no graph has 4 vertices to form a C4.
+        assert_eq!(count_square_free_exact(3), 8);
+        // n = 4: 64 − 10 supergraphs of a C4 (see enumerate tests).
+        assert_eq!(count_square_free_exact(4), 54);
+        // monotone under n (as raw counts): more vertices, more graphs
+        assert!(count_square_free_exact(5) > 54);
+    }
+
+    #[test]
+    fn forests_exact_small() {
+        // labelled forests: 1, 1, 2, 7, 38, 291, 2932 … (OEIS A001858)
+        assert_eq!(count_forests_exact(1), 1);
+        assert_eq!(count_forests_exact(2), 2);
+        assert_eq!(count_forests_exact(3), 7);
+        assert_eq!(count_forests_exact(4), 38);
+        assert_eq!(count_forests_exact(5), 291);
+    }
+
+    #[test]
+    fn cayley_matches_enumeration() {
+        use referee_graph::{algo, enumerate};
+        // trees = connected forests; Cayley says n^{n-2}
+        for n in 2..=6usize {
+            let (trees, _) = enumerate::count_graphs(n, |g| {
+                algo::is_forest(g) && algo::is_connected(g)
+            });
+            assert_eq!(UBig::from(trees), cayley_trees(n), "n={n}");
+        }
+        assert_eq!(cayley_trees(5), UBig::from(125u64));
+        assert_eq!(cayley_trees(0), UBig::zero());
+        assert_eq!(cayley_trees(1), UBig::one());
+    }
+
+    #[test]
+    fn trees_sit_at_the_lemma1_boundary() {
+        // log₂(n^{n-2}) = (n−2) log₂ n ≤ budget c·n·⌈log₂(n+1)⌉ for any
+        // c ≥ 1 — trees never violate Lemma 1 (consistent with Theorem 5).
+        for n in [8usize, 64, 512, 4096] {
+            let trees_log2 = cayley_trees(n).log2();
+            assert!(trees_log2 <= budget_log2(n, 1) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lemma1_rows_verdicts() {
+        // All-graphs family: log2 g(n) = C(n,2) = Θ(n²) must eventually
+        // exceed any c·n·log n budget. With c = 1 the crossover is small.
+        let ns = [4usize, 8, 16, 32, 64];
+        let rows = lemma1_rows(&ns, 1, |n| (n * (n - 1) / 2) as f64);
+        assert!(!rows[0].impossible); // 6 ≤ 12
+        assert!(rows.last().unwrap().impossible); // 2016 > 448
+        // and the verdict is monotone once triggered
+        let first_imp = rows.iter().position(|r| r.impossible).unwrap();
+        assert!(rows[first_imp..].iter().all(|r| r.impossible));
+    }
+
+    #[test]
+    fn kw_exponent_shape() {
+        assert!(kleitman_winston_exponent(100) > kleitman_winston_exponent(50) * 2.0);
+        assert_eq!(kleitman_winston_exponent(4), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn square_free_guard() {
+        count_square_free_exact(12);
+    }
+}

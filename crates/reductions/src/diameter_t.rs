@@ -1,0 +1,305 @@
+//! Extension of Theorem 2 to **every** diameter threshold `t ≥ 3`:
+//! no frugal one-round protocol decides "diam(G) ≤ t", for any fixed
+//! `t ≥ 3`.
+//!
+//! The paper proves the case `t = 3` (Figure 1) and its technique
+//! generalizes: replace the single pendant on `s` by a pendant *path* of
+//! length `t − 2` ([`gadgets::diameter_t_gadget`]). The neighbourhood of
+//! an original vertex still takes only three forms as `(s, t)` ranges
+//! over pairs, so a hypothetical `Γ` deciding "diam ≤ t" in one round
+//! yields a one-round `Δ` reconstructing *arbitrary* graphs with a 3×
+//! message blow-up — contradicting Lemma 1 exactly as in the paper.
+//!
+//! Note the blow-up in the *graph size* grows with the threshold
+//! (`Γ` is invoked at size `n + t` instead of `n + 3`), but the
+//! *message* blow-up stays 3: frugality is preserved for every fixed
+//! `t`, so each threshold gives its own impossibility theorem.
+
+use crate::util::{bundle, unbundle};
+use referee_graph::{algo, LabelledGraph, VertexId};
+use referee_protocol::baseline::AdjacencyListProtocol;
+use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// A non-frugal oracle deciding "diam(G) ≤ t" exactly (adjacency upload
+/// + centralized all-pairs BFS), used to validate [`DiameterTReduction`]
+/// as a faithful simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct DiameterTOracle {
+    /// The diameter threshold this oracle decides.
+    pub thresh: u32,
+}
+
+impl OneRoundProtocol for DiameterTOracle {
+    type Output = bool;
+
+    fn name(&self) -> String {
+        format!("diameter≤{} oracle", self.thresh)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        AdjacencyListProtocol.local(view)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> bool {
+        match AdjacencyListProtocol.global(n, messages) {
+            Ok(g) => algo::diameter_at_most(&g, self.thresh),
+            Err(_) => false,
+        }
+    }
+}
+
+/// The reconstruction protocol `Δ` built from any "diam ≤ t" decider
+/// `Γ`. Reconstructs **arbitrary** graphs; correct for every `t ≥ 3`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiameterTReduction<P> {
+    inner: P,
+    thresh: u32,
+}
+
+impl<P> DiameterTReduction<P> {
+    /// Wrap a "diam ≤ thresh" decision protocol (`thresh ≥ 3`).
+    pub fn new(inner: P, thresh: u32) -> Self {
+        assert!(thresh >= 3, "reduction needs thresh ≥ 3, got {thresh}");
+        DiameterTReduction { inner, thresh }
+    }
+
+    /// Number of gadget vertices appended to `G`: the pendant path
+    /// (`t − 2`), the pendant on `t`, and the universal vertex — `t` in
+    /// total (3 in the paper's `t = 3` case).
+    pub fn extra_vertices(&self) -> usize {
+        self.thresh as usize
+    }
+}
+
+impl<P> OneRoundProtocol for DiameterTReduction<P>
+where
+    P: OneRoundProtocol<Output = bool> + Sync,
+{
+    type Output = Result<LabelledGraph, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("Δ: full reconstruction via [{}] (diam≤{} gadget)", self.inner.name(), self.thresh)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let n = view.n;
+        let big = n + self.extra_vertices();
+        let ell = (self.thresh - 2) as usize;
+        let p1 = (n + 1) as VertexId;
+        let b = (n + ell + 1) as VertexId;
+        let u = (n + ell + 2) as VertexId;
+        // Form 0: untouched original vertex, N ∪ {u}.
+        let mut base = Vec::with_capacity(view.degree() + 2);
+        base.extend_from_slice(view.neighbours);
+        base.push(u);
+        let m0 = self.inner.local(NodeView::new(big, view.id, &base));
+        // Form s: N ∪ {p₁, u}.
+        let mut with_p = Vec::with_capacity(view.degree() + 2);
+        with_p.extend_from_slice(view.neighbours);
+        with_p.push(p1);
+        with_p.push(u);
+        let ms = self.inner.local(NodeView::new(big, view.id, &with_p));
+        // Form t: N ∪ {b, u}.
+        let mut with_b = Vec::with_capacity(view.degree() + 2);
+        with_b.extend_from_slice(view.neighbours);
+        with_b.push(b);
+        with_b.push(u);
+        let mt = self.inner.local(NodeView::new(big, view.id, &with_b));
+        bundle(&[m0, ms, mt])
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Result<LabelledGraph, DecodeError> {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        let mut g = LabelledGraph::new(n);
+        if n < 2 {
+            return Ok(g);
+        }
+        let big = n + self.extra_vertices();
+        let ell = (self.thresh - 2) as usize;
+        let p = |i: usize| (n + i) as VertexId;
+        let b = p(ell + 1);
+        let u = p(ell + 2);
+
+        let mut m0 = Vec::with_capacity(n);
+        let mut ms = Vec::with_capacity(n);
+        let mut mt = Vec::with_capacity(n);
+        for msg in messages {
+            let parts = unbundle(msg, 3)?;
+            let mut it = parts.into_iter();
+            m0.push(it.next().expect("3 parts"));
+            ms.push(it.next().expect("3 parts"));
+            mt.push(it.next().expect("3 parts"));
+        }
+        // Gadget-vertex messages that do not depend on (s, t): the
+        // universal vertex and the interior of the pendant path.
+        let all: Vec<VertexId> = (1..=n as VertexId).collect();
+        let m_univ = self.inner.local(NodeView::new(big, u, &all));
+        // Interior path vertices p_2 … p_{L-1} see {p_{i−1}, p_{i+1}};
+        // p_L sees {p_{L−1}} (or {s} when L = 1 — handled per pair).
+        let m_interior: Vec<Message> = (2..ell)
+            .map(|i| self.inner.local(NodeView::new(big, p(i), &[p(i - 1), p(i + 1)])))
+            .collect();
+        let m_tail = if ell >= 2 {
+            Some(self.inner.local(NodeView::new(big, p(ell), &[p(ell - 1)])))
+        } else {
+            None
+        };
+
+        for s in 1..=n as VertexId {
+            for t in (s + 1)..=n as VertexId {
+                let mut vec: Vec<Message> = Vec::with_capacity(big);
+                for i in 1..=n as VertexId {
+                    let idx = (i - 1) as usize;
+                    vec.push(if i == s {
+                        ms[idx].clone()
+                    } else if i == t {
+                        mt[idx].clone()
+                    } else {
+                        m0[idx].clone()
+                    });
+                }
+                // p₁ sees {s} (L = 1) or {s, p₂}.
+                if ell == 1 {
+                    vec.push(self.inner.local(NodeView::new(big, p(1), &[s])));
+                } else {
+                    let mut nbrs = [s, p(2)];
+                    nbrs.sort_unstable();
+                    vec.push(self.inner.local(NodeView::new(big, p(1), &nbrs)));
+                    for m in &m_interior {
+                        vec.push(m.clone());
+                    }
+                    vec.push(m_tail.clone().expect("tail exists for L ≥ 2"));
+                }
+                vec.push(self.inner.local(NodeView::new(big, b, &[t])));
+                vec.push(m_univ.clone());
+                debug_assert_eq!(vec.len(), big);
+                if self.inner.global(big, &vec) {
+                    g.add_edge(s, t).expect("each pair probed once");
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::{diameter_gadget, diameter_t_gadget};
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::{enumerate, generators};
+    use referee_protocol::run_protocol;
+
+    #[test]
+    fn gadget_iff_exhaustive_for_small_thresholds() {
+        for thresh in 3..=6u32 {
+            for n in 2..=4usize {
+                for g in enumerate::all_graphs(n) {
+                    for s in 1..=n as u32 {
+                        for t in (s + 1)..=n as u32 {
+                            let gadget = diameter_t_gadget(&g, s, t, thresh);
+                            assert_eq!(
+                                algo::diameter_at_most(&gadget, thresh),
+                                g.has_edge(s, t),
+                                "thresh={thresh}, n={n}, g={g:?}, s={s}, t={t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gadget_iff_random_large() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for thresh in [3u32, 4, 7, 12] {
+            let g = generators::gnp(30, 0.15, &mut rng);
+            for (s, t) in [(1u32, 2u32), (5, 17), (29, 30), (3, 28)] {
+                let gadget = diameter_t_gadget(&g, s, t, thresh);
+                assert_eq!(
+                    algo::diameter_at_most(&gadget, thresh),
+                    g.has_edge(s, t),
+                    "thresh={thresh}, s={s}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thresh_3_matches_paper_gadget() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = generators::gnp(9, 0.3, &mut rng);
+        assert_eq!(diameter_t_gadget(&g, 2, 7, 3), diameter_gadget(&g, 2, 7));
+    }
+
+    #[test]
+    fn gadget_diameter_is_exactly_thresh_or_thresh_plus_1() {
+        // The proof's accounting: the critical pair realises the diameter.
+        let mut rng = StdRng::seed_from_u64(62);
+        let g = generators::gnp(12, 0.25, &mut rng);
+        for thresh in 3..=8u32 {
+            for (s, t) in [(1u32, 2u32), (4, 9)] {
+                let gadget = diameter_t_gadget(&g, s, t, thresh);
+                let d = algo::diameter(&gadget).finite().expect("gadget connected");
+                let expect = if g.has_edge(s, t) { thresh } else { thresh + 1 };
+                assert_eq!(d, expect, "thresh={thresh}, s={s}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_exhaustive() {
+        for thresh in [3u32, 4, 5] {
+            let delta = DiameterTReduction::new(DiameterTOracle { thresh }, thresh);
+            for n in 2..=4usize {
+                for g in enumerate::all_graphs(n) {
+                    let out = run_protocol(&delta, &g);
+                    assert_eq!(out.output.unwrap(), g, "thresh={thresh}, n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(63);
+        for thresh in [3u32, 5, 9] {
+            let g = generators::gnp(12, 0.4, &mut rng);
+            let delta = DiameterTReduction::new(DiameterTOracle { thresh }, thresh);
+            assert_eq!(run_protocol(&delta, &g).output.unwrap(), g, "thresh={thresh}");
+        }
+    }
+
+    #[test]
+    fn blowup_is_three_independent_of_thresh() {
+        // The paper's §II closing remark, extended: 3·k(n + t − 1) bits.
+        let g = generators::path(8);
+        for thresh in [3u32, 6, 10] {
+            let delta = DiameterTReduction::new(DiameterTOracle { thresh }, thresh);
+            let msgs = referee_protocol::referee::local_phase(&delta, &g);
+            for m in &msgs {
+                let parts = unbundle(m, 3).unwrap();
+                assert_eq!(parts.len(), 3, "thresh={thresh}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thresh ≥ 3")]
+    fn rejects_thresh_below_3() {
+        let _ = DiameterTReduction::new(DiameterTOracle { thresh: 2 }, 2);
+    }
+
+    #[test]
+    fn oracle_decides_correctly() {
+        let p = generators::path(6); // diam 5
+        assert!(run_protocol(&DiameterTOracle { thresh: 5 }, &p).output);
+        assert!(!run_protocol(&DiameterTOracle { thresh: 4 }, &p).output);
+    }
+}

@@ -1,0 +1,291 @@
+//! The auxiliary graphs `G'_{s,t}` of §II.
+//!
+//! Each negative result hinges on a gadget whose *decidable property*
+//! encodes adjacency of `(s, t)` in the original graph:
+//!
+//! | Theorem | gadget | property ⟺ `{s,t} ∈ E(G)` | precondition on `G` |
+//! |---------|--------|---------------------------|---------------------|
+//! | Thm 1 | [`square_gadget`] (2n vertices) | contains a C4 | square-free |
+//! | Thm 2 | [`diameter_gadget`] (n+3, Figure 1) | diameter ≤ 3 | connected-ness not required; works for all G |
+//! | Thm 3 | [`triangle_gadget`] (n+1, Figure 2) | contains a K3 | triangle-free (e.g. bipartite) |
+//!
+//! The crucial structural feature (why the reductions stay one-round): the
+//! neighbourhood of each *original* vertex in `G'_{s,t}` takes at most a
+//! constant number of forms as `(s, t)` ranges over all pairs — exactly
+//! one form for squares, three for diameter, two for triangles — so the
+//! nodes can send messages for every form in one round.
+
+use referee_graph::{LabelledGraph, VertexId};
+
+/// Theorem 1's gadget: `G` plus `n` pendant mirror vertices (`i ↔ n+i`)
+/// plus the probe edge `{n+s, n+t}`.
+///
+/// `G'_{s,t}` contains a square iff `{s, t} ∈ E(G)`, provided `G` itself
+/// is square-free: the only candidate C4 is `s — t — (n+t) — (n+s) — s`.
+pub fn square_gadget(g: &LabelledGraph, s: VertexId, t: VertexId) -> LabelledGraph {
+    let n = g.n();
+    assert!(s != t && s >= 1 && t >= 1 && s as usize <= n && t as usize <= n);
+    let mut g2 = g.grow(2 * n);
+    for i in 1..=n as VertexId {
+        g2.add_edge(i, i + n as VertexId).expect("pendant edge");
+    }
+    g2.add_edge(s + n as VertexId, t + n as VertexId).expect("probe edge");
+    g2
+}
+
+/// Theorem 2's gadget (Figure 1): `G` plus three vertices — `n+1` pendant
+/// on `s`, `n+2` pendant on `t`, and `n+3` universal over `{1..n}`.
+///
+/// Diameter ≤ 3 iff `{s, t} ∈ E(G)`: all original vertices are within 2
+/// of each other through `n+3`; the critical pair is `(n+1, n+2)`, at
+/// distance 3 iff `s` and `t` are adjacent (else 4).
+pub fn diameter_gadget(g: &LabelledGraph, s: VertexId, t: VertexId) -> LabelledGraph {
+    let n = g.n();
+    assert!(s != t && s >= 1 && t >= 1 && s as usize <= n && t as usize <= n);
+    let mut g2 = g.grow(n + 3);
+    let (a, b, u) = ((n + 1) as VertexId, (n + 2) as VertexId, (n + 3) as VertexId);
+    g2.add_edge(s, a).expect("pendant on s");
+    g2.add_edge(t, b).expect("pendant on t");
+    for v in 1..=n as VertexId {
+        g2.add_edge(v, u).expect("universal edge");
+    }
+    g2
+}
+
+/// Theorem 3's gadget (Figure 2): `G` plus one vertex `n+1` adjacent to
+/// `s` and `t`.
+///
+/// Contains a triangle iff `{s, t} ∈ E(G)`, provided `G` is triangle-free
+/// (the paper uses bipartite `G`): the only candidate K3 is `{s, t, n+1}`.
+pub fn triangle_gadget(g: &LabelledGraph, s: VertexId, t: VertexId) -> LabelledGraph {
+    let n = g.n();
+    assert!(s != t && s >= 1 && t >= 1 && s as usize <= n && t as usize <= n);
+    let mut g2 = g.grow(n + 1);
+    let a = (n + 1) as VertexId;
+    g2.add_edge(s, a).expect("probe edge s");
+    g2.add_edge(t, a).expect("probe edge t");
+    g2
+}
+
+/// Generalization of Theorem 2's gadget to an arbitrary threshold
+/// `thresh ≥ 3` (our extension; `thresh = 3` is exactly Figure 1).
+///
+/// Construction: a pendant *path* `s — p₁ — … — p_L` with
+/// `L = thresh − 2` fresh vertices (`pᵢ = n + i`), one pendant
+/// `b = n + L + 1` on `t`, and a universal vertex `u = n + L + 2`
+/// adjacent to all of `{1..n}`.
+///
+/// **Claim**: `diam(G'_{s,t}) ≤ thresh ⟺ {s, t} ∈ E(G)`, for every
+/// graph `G` (connected or not) and every `thresh ≥ 3`.
+///
+/// *Proof.* All original vertices are within 2 of each other via `u`,
+/// and `d(pᵢ, ·) ≤ i + 2 ≤ L + 2 = thresh` for every target reachable
+/// from `s` within 2, which covers everything except `b`. The critical
+/// pair is `(p_L, b)`: the pendant path forces any `p_L`–`b` walk
+/// through `s`, and `b`'s only neighbour is `t`, so
+/// `d(p_L, b) = L + d(s, t) + 1`, which is `thresh` when `s ∼ t`
+/// (`d(s,t) = 1`) and `thresh + 1` otherwise (`d(s,t) = 2` via `u`). ∎
+///
+/// The neighbourhood of an original vertex still takes only **three**
+/// forms as `(s, t)` varies — `N ∪ {u}`, `N ∪ {p₁, u}`, `N ∪ {b, u}` —
+/// so the reduction remains one-round with a 3× message blow-up,
+/// independent of `thresh`.
+pub fn diameter_t_gadget(
+    g: &LabelledGraph,
+    s: VertexId,
+    t: VertexId,
+    thresh: u32,
+) -> LabelledGraph {
+    let n = g.n();
+    assert!(thresh >= 3, "the construction needs thresh ≥ 3, got {thresh}");
+    assert!(s != t && s >= 1 && t >= 1 && s as usize <= n && t as usize <= n);
+    let ell = (thresh - 2) as usize;
+    let mut g2 = g.grow(n + ell + 2);
+    // Pendant path p_1 … p_L hanging off s.
+    let p = |i: usize| (n + i) as VertexId;
+    g2.add_edge(s, p(1)).expect("path root");
+    for i in 1..ell {
+        g2.add_edge(p(i), p(i + 1)).expect("path link");
+    }
+    let b = p(ell + 1);
+    let u = p(ell + 2);
+    g2.add_edge(t, b).expect("pendant on t");
+    for v in 1..=n as VertexId {
+        g2.add_edge(v, u).expect("universal edge");
+    }
+    g2
+}
+
+/// §IV bipartiteness reduction, even-parity probe: one fresh vertex
+/// `n+1` adjacent to both `s` and `t` (a path of length 2 between them).
+///
+/// For bipartite `G`: the gadget is non-bipartite iff `s` and `t` are in
+/// the same component at *odd* distance.
+pub fn parity_even_gadget(g: &LabelledGraph, s: VertexId, t: VertexId) -> LabelledGraph {
+    triangle_gadget(g, s, t) // structurally identical; property used differs
+}
+
+/// §IV bipartiteness reduction, odd-parity probe: fresh path
+/// `s — n+1 — n+2 — t` of length 3.
+///
+/// For bipartite `G`: non-bipartite iff `s` and `t` are in the same
+/// component at *even* distance.
+pub fn parity_odd_gadget(g: &LabelledGraph, s: VertexId, t: VertexId) -> LabelledGraph {
+    let n = g.n();
+    assert!(s != t && s >= 1 && t >= 1 && s as usize <= n && t as usize <= n);
+    let mut g2 = g.grow(n + 2);
+    let (a, b) = ((n + 1) as VertexId, (n + 2) as VertexId);
+    g2.add_edge(s, a).expect("path edge");
+    g2.add_edge(a, b).expect("path edge");
+    g2.add_edge(b, t).expect("path edge");
+    g2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::{algo, enumerate, generators};
+
+    /// E3: exhaustive iff check for the square gadget over all square-free
+    /// graphs on ≤ 5 vertices and all pairs.
+    #[test]
+    fn square_gadget_iff_exhaustive() {
+        for n in 2..=5usize {
+            for g in enumerate::all_graphs(n) {
+                if algo::has_square(&g) {
+                    continue;
+                }
+                for s in 1..=n as u32 {
+                    for t in (s + 1)..=n as u32 {
+                        let gadget = square_gadget(&g, s, t);
+                        assert_eq!(
+                            algo::has_square(&gadget),
+                            g.has_edge(s, t),
+                            "n={n}, g={g:?}, s={s}, t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// E1: exhaustive iff check for the diameter gadget (Figure 1) over
+    /// ALL graphs on ≤ 5 vertices.
+    #[test]
+    fn diameter_gadget_iff_exhaustive() {
+        for n in 2..=5usize {
+            for g in enumerate::all_graphs(n) {
+                for s in 1..=n as u32 {
+                    for t in (s + 1)..=n as u32 {
+                        let gadget = diameter_gadget(&g, s, t);
+                        assert_eq!(
+                            algo::diameter_at_most(&gadget, 3),
+                            g.has_edge(s, t),
+                            "n={n}, g={g:?}, s={s}, t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// E2: exhaustive iff check for the triangle gadget (Figure 2) over
+    /// all balanced bipartite graphs on ≤ 6 vertices.
+    #[test]
+    fn triangle_gadget_iff_exhaustive_bipartite() {
+        for n in 2..=6usize {
+            for g in enumerate::all_balanced_bipartite(n) {
+                for s in 1..=n as u32 {
+                    for t in (s + 1)..=n as u32 {
+                        let gadget = triangle_gadget(&g, s, t);
+                        assert_eq!(
+                            algo::has_triangle(&gadget),
+                            g.has_edge(s, t),
+                            "n={n}, g={g:?}, s={s}, t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_gadget_longest_path_is_8_to_9() {
+        // Figure 1's caption: "in both cases, the longest path goes from 8
+        // to 9" (the two pendants). Check on a random graph.
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = generators::gnp(7, 0.3, &mut rng);
+        let gadget = diameter_gadget(&g, 1, 7);
+        let n = g.n();
+        let d_pend = algo::bfs_distances(&gadget, (n + 1) as u32)[n + 1]; // dist n+1 → n+2
+        let expect = if g.has_edge(1, 7) { 3 } else { 4 };
+        assert_eq!(d_pend, expect);
+    }
+
+    #[test]
+    fn square_gadget_iff_random() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::random_square_free(25, &mut rng);
+        for s in 1..=25u32 {
+            for t in (s + 1)..=25 {
+                assert_eq!(
+                    algo::has_square(&square_gadget(&g, s, t)),
+                    g.has_edge(s, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_gadgets_encode_same_component() {
+        // On a bipartite graph with two components, the pair (even, odd)
+        // probes detect exactly same-component pairs.
+        let g = LabelledGraph::from_edges(
+            6,
+            [(1, 4), (4, 2), (3, 6)], // comp {1,2,4}, comp {3,6}, isolated 5
+        )
+        .unwrap();
+        let comps = algo::components(&g);
+        for s in 1..=6u32 {
+            for t in (s + 1)..=6 {
+                let same = comps[(s - 1) as usize] == comps[(t - 1) as usize];
+                let even_nb = !algo::is_bipartite(&parity_even_gadget(&g, s, t));
+                let odd_nb = !algo::is_bipartite(&parity_odd_gadget(&g, s, t));
+                assert_eq!(even_nb || odd_nb, same, "s={s}, t={t}");
+                // and never both (distance has one parity)
+                assert!(!(even_nb && odd_nb), "s={s}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gadget_sizes() {
+        let g = generators::path(4);
+        assert_eq!(square_gadget(&g, 1, 3).n(), 8);
+        assert_eq!(diameter_gadget(&g, 1, 3).n(), 7);
+        assert_eq!(triangle_gadget(&g, 1, 3).n(), 5);
+        assert_eq!(parity_odd_gadget(&g, 1, 3).n(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gadget_rejects_s_equals_t() {
+        let g = generators::path(4);
+        let _ = triangle_gadget(&g, 2, 2);
+    }
+
+    #[test]
+    fn original_vertex_neighbourhoods_are_stable() {
+        // The one-round trick of Theorem 1: in the square gadget the
+        // neighbourhood of every original vertex is N_G(i) ∪ {i+n},
+        // independent of (s, t).
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = generators::gnp(8, 0.3, &mut rng);
+        let g12 = square_gadget(&g, 1, 2);
+        let g78 = square_gadget(&g, 7, 8);
+        for i in 1..=8u32 {
+            assert_eq!(g12.neighbourhood(i), g78.neighbourhood(i));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: gadget iffs on random graphs and reduction round-trips
+//! with oracle inner protocols.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::{algo, generators};
+use referee_protocol::run_protocol;
+use referee_reductions::{
+    gadgets, BipartiteConnectivityReduction, DiameterReduction, SquareReduction,
+    TriangleReduction,
+};
+use referee_reductions::oracle::{
+    BipartitenessOracle, DiameterOracle, SquareOracle, TriangleOracle,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn diameter_gadget_iff_random(n in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.35, &mut rng);
+        for s in 1..=n as u32 {
+            for t in (s + 1)..=n as u32 {
+                prop_assert_eq!(
+                    algo::diameter_at_most(&gadgets::diameter_gadget(&g, s, t), 3),
+                    g.has_edge(s, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_gadget_iff_on_triangle_free(n in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_balanced_bipartite(n, 0.4, &mut rng);
+        for s in 1..=n as u32 {
+            for t in (s + 1)..=n as u32 {
+                prop_assert_eq!(
+                    algo::has_triangle(&gadgets::triangle_gadget(&g, s, t)),
+                    g.has_edge(s, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_reduction_round_trips(n in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_square_free(n, &mut rng);
+        let delta = SquareReduction::new(SquareOracle);
+        prop_assert_eq!(run_protocol(&delta, &g).output, g);
+    }
+
+    #[test]
+    fn diameter_reduction_round_trips_on_anything(n in 2usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.5, &mut rng);
+        let delta = DiameterReduction::new(DiameterOracle);
+        prop_assert_eq!(run_protocol(&delta, &g).output.unwrap(), g);
+    }
+
+    #[test]
+    fn triangle_reduction_round_trips(n in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_balanced_bipartite(n, 0.4, &mut rng);
+        let delta = TriangleReduction::new(TriangleOracle);
+        prop_assert_eq!(run_protocol(&delta, &g).output.unwrap(), g);
+    }
+
+    #[test]
+    fn bipartite_connectivity_matches(n in 2usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_balanced_bipartite(n, 0.3, &mut rng);
+        let delta = BipartiteConnectivityReduction::new(BipartitenessOracle);
+        prop_assert_eq!(
+            run_protocol(&delta, &g).output.unwrap(),
+            algo::is_connected(&g)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension-layer properties: the generalized diameter-t reduction
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The generalized gadget's iff, over random graphs, pairs and
+    /// thresholds simultaneously.
+    #[test]
+    fn diameter_t_gadget_iff(n in 2usize..11, seed in any::<u64>(), t in 3u32..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.35, &mut rng);
+        for s in 1..=n as u32 {
+            for u in (s + 1)..=n as u32 {
+                let gadget = gadgets::diameter_t_gadget(&g, s, u, t);
+                prop_assert_eq!(
+                    algo::diameter_at_most(&gadget, t),
+                    g.has_edge(s, u)
+                );
+            }
+        }
+    }
+
+    /// Δ built from the diam≤t oracle reconstructs arbitrary graphs for
+    /// every threshold.
+    #[test]
+    fn diameter_t_reduction_round_trip(n in 2usize..9, seed in any::<u64>(), t in 3u32..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.4, &mut rng);
+        let delta = referee_reductions::DiameterTReduction::new(
+            referee_reductions::DiameterTOracle { thresh: t }, t);
+        prop_assert_eq!(run_protocol(&delta, &g).output.unwrap(), g);
+    }
+}

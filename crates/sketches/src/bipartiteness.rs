@@ -1,0 +1,302 @@
+//! One-round public-coin **bipartiteness** via the bipartite double
+//! cover (extension E18 — the other half of the paper's §IV discussion).
+//!
+//! §IV of the paper: *"Another natural question is whether one can find
+//! a frugal one-round protocol deciding if a graph is bipartite. As
+//! ongoing work, we have proved that the existence of a frugal one-round
+//! protocol for bipartiteness implies the existence of a frugal one-round
+//! protocol deciding if a bipartite graph is connected."* — i.e.
+//! bipartiteness is at least as hard as (bipartite) connectivity in this
+//! model. This module shows the public-coin counterpart: bipartiteness
+//! reduces to connectivity *sketching* through the **bipartite double
+//! cover** `B(G)`, so with shared randomness both problems sit at
+//! `O(log³ n)` bits — reinforcing that the deterministic conjecture is
+//! about determinism, not information.
+//!
+//! The double cover has vertices `v⁺ (= v)` and `v⁻ (= v + n)` and, for
+//! every edge `{u, v}` of `G`, the two edges `{u⁺, v⁻}` and `{u⁻, v⁺}`.
+//! A classical fact: a connected component `C` of `G` lifts to **two**
+//! components of `B(G)` iff `C` is bipartite, and to **one** otherwise.
+//! Hence `G` is bipartite ⟺ `cc(B(G)) = 2·cc(G)`.
+//!
+//! Crucially for the model, node `v` can compute the incidence vectors
+//! of *both* of its cover copies from its local view alone (it knows its
+//! neighbour IDs), so a single round suffices: each node ships
+//! `phases × 3` sketches (its `G` vector plus its `v⁺` and `v⁻` cover
+//! vectors) and the referee runs sketch-Borůvka on both graphs and
+//! compares component counts. Error is Monte-Carlo two-sided (sampler
+//! misses inflate either count), measured > 95% in the tests; every
+//! *sampled* edge is genuine, so counts never undershoot.
+
+use crate::boruvka::boruvka_components;
+use crate::l0::{EdgeSlot, L0Sampler};
+use referee_graph::{LabelledGraph, VertexId};
+use referee_protocol::{BitWriter, DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// The public-coin one-round bipartiteness protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchBipartitenessProtocol {
+    /// Shared seed (public coins); nodes and referee must agree.
+    pub seed: u64,
+}
+
+/// Distinct key streams for the base-graph and cover sketches, so the
+/// two Borůvka runs are independent.
+const BASE_STREAM_SALT: u64 = 0x5eed_0000;
+const COVER_STREAM_SALT: u64 = 0xc07e_0000;
+
+impl SketchBipartitenessProtocol {
+    /// Protocol with the given public coins.
+    pub fn new(seed: u64) -> Self {
+        SketchBipartitenessProtocol { seed }
+    }
+
+    /// Borůvka phase budget for the cover graph on `2n` vertices.
+    ///
+    /// `⌈log₂ 2n⌉` phases suffice when every sample lands; the equality
+    /// test `cc(B) = 2·cc(G)` is sensitive to a *single* miss (it
+    /// inflates one count), so four slack phases are budgeted — a miss
+    /// only delays a merge, and each later phase retries with fresh
+    /// keys, so the residual failure probability decays geometrically.
+    pub fn phases_for(n: usize) -> u32 {
+        (usize::BITS - (2 * n).max(1).leading_zeros()) + 4
+    }
+
+    /// Exact per-node message size in bits.
+    pub fn message_bits(n: usize) -> usize {
+        let phases = Self::phases_for(n) as usize;
+        let base = L0Sampler::levels_for(n) as usize * 3 * 64;
+        let cover = L0Sampler::levels_for(2 * n) as usize * 3 * 64;
+        phases * (base + 2 * cover)
+    }
+
+    fn base_sketch(&self, view: NodeView<'_>, phase: u64) -> L0Sampler {
+        let n = view.n;
+        let mut sk = L0Sampler::new(n, self.seed, BASE_STREAM_SALT + phase);
+        for &w in view.neighbours {
+            let (a, b) = (view.id.min(w), view.id.max(w));
+            let sign = if view.id == a { 1 } else { -1 };
+            sk.update(EdgeSlot::encode(a, b), sign);
+        }
+        sk
+    }
+
+    /// Sketch of cover copy `v⁺` (`plus = true`) or `v⁻` of node `v`.
+    /// Copy IDs: `v⁺ = v`, `v⁻ = v + n`, over a `2n` universe.
+    fn cover_sketch(&self, view: NodeView<'_>, plus: bool, phase: u64) -> L0Sampler {
+        let n = view.n;
+        let mut sk = L0Sampler::new(2 * n, self.seed, COVER_STREAM_SALT + phase);
+        let me = if plus { view.id } else { view.id + n as VertexId };
+        for &w in view.neighbours {
+            // v⁺ ~ w⁻ and v⁻ ~ w⁺.
+            let other = if plus { w + n as VertexId } else { w };
+            let (a, b) = (me.min(other), me.max(other));
+            let sign = if me == a { 1 } else { -1 };
+            sk.update(EdgeSlot::encode(a, b), sign);
+        }
+        sk
+    }
+}
+
+impl OneRoundProtocol for SketchBipartitenessProtocol {
+    /// `Ok(bipartite?)`, or a decode error on malformed messages.
+    type Output = Result<bool, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("public-coin double-cover bipartiteness (seed {})", self.seed)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let mut w = BitWriter::new();
+        for phase in 0..Self::phases_for(view.n) as u64 {
+            self.base_sketch(view, phase).write(&mut w);
+            self.cover_sketch(view, true, phase).write(&mut w);
+            self.cover_sketch(view, false, phase).write(&mut w);
+        }
+        Message::from_writer(w)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        if n == 0 {
+            return Ok(true); // vacuously bipartite
+        }
+        let phases = Self::phases_for(n) as usize;
+        let mut base: Vec<Vec<L0Sampler>> = vec![Vec::with_capacity(phases); n];
+        let mut cover: Vec<Vec<L0Sampler>> = vec![Vec::with_capacity(phases); 2 * n];
+        for (i, msg) in messages.iter().enumerate() {
+            let mut r = msg.reader();
+            for phase in 0..phases as u64 {
+                base[i].push(L0Sampler::read(&mut r, n, self.seed, BASE_STREAM_SALT + phase)?);
+                cover[i].push(L0Sampler::read(
+                    &mut r,
+                    2 * n,
+                    self.seed,
+                    COVER_STREAM_SALT + phase,
+                )?);
+                cover[i + n].push(L0Sampler::read(
+                    &mut r,
+                    2 * n,
+                    self.seed,
+                    COVER_STREAM_SALT + phase,
+                )?);
+            }
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing sketch bits".into()));
+            }
+        }
+        let cc_g = boruvka_components(n, &base, phases).components;
+        let cc_cover = boruvka_components(2 * n, &cover, phases).components;
+        Ok(cc_cover == 2 * cc_g)
+    }
+}
+
+/// Convenience: run the protocol on a graph with the given seed.
+///
+/// ```
+/// use referee_graph::generators;
+/// use referee_sketches::sketch_bipartiteness;
+/// assert!(sketch_bipartiteness(&generators::grid(4, 5), 2011));
+/// assert!(!sketch_bipartiteness(&generators::cycle(7).unwrap(), 2011));
+/// ```
+pub fn sketch_bipartiteness(g: &LabelledGraph, seed: u64) -> bool {
+    referee_protocol::run_protocol(&SketchBipartitenessProtocol::new(seed), g)
+        .output
+        .expect("honest messages decode")
+}
+
+/// Build the bipartite double cover centrally (ground truth for tests
+/// and the experiment tables): vertices `1..=2n`, with `v⁺ = v` and
+/// `v⁻ = v + n`.
+pub fn double_cover(g: &LabelledGraph) -> LabelledGraph {
+    let n = g.n();
+    let mut b = LabelledGraph::new(2 * n);
+    for e in g.edges() {
+        b.add_edge(e.0, e.1 + n as VertexId).expect("cover edge");
+        b.add_edge(e.1, e.0 + n as VertexId).expect("cover edge");
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use referee_graph::{algo, generators};
+
+    #[test]
+    fn double_cover_component_identity_exhaustive() {
+        // cc(B(G)) = 2·cc(G) ⟺ bipartite, exhaustively at n = 5.
+        for g in referee_graph::enumerate::all_graphs(5) {
+            let b = double_cover(&g);
+            let lifted = algo::component_count(&b);
+            let baseline = algo::component_count(&g);
+            assert_eq!(
+                lifted == 2 * baseline,
+                algo::is_bipartite(&g),
+                "{g:?}: cc(B)={lifted}, cc(G)={baseline}"
+            );
+        }
+    }
+
+    #[test]
+    fn bipartite_families_accepted() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let graphs = vec![
+            generators::path(30),
+            generators::cycle(16).unwrap(),
+            generators::complete_bipartite(5, 7),
+            generators::grid(5, 6),
+            generators::random_tree(40, &mut rng),
+            generators::hypercube(4),
+        ];
+        for g in graphs {
+            assert!(sketch_bipartiteness(&g, 2011), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn non_bipartite_families_rejected() {
+        let graphs = vec![
+            generators::cycle(9).unwrap(),
+            generators::complete(6),
+            generators::petersen(),
+            generators::wheel(8).unwrap(),
+        ];
+        for g in graphs {
+            assert!(!sketch_bipartiteness(&g, 2011), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn odd_cycle_planted_in_bipartite_bulk() {
+        // A large bipartite graph with one odd cycle spliced in.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = generators::random_balanced_bipartite(40, 0.15, &mut rng);
+        assert!(algo::is_bipartite(&g));
+        // plant a triangle inside the left part
+        g.add_edge_if_absent(1, 2).unwrap();
+        g.add_edge_if_absent(2, 3).unwrap();
+        g.add_edge_if_absent(1, 3).unwrap();
+        assert!(!algo::is_bipartite(&g));
+        assert!(!sketch_bipartiteness(&g, 77));
+    }
+
+    #[test]
+    fn agreement_rate_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut total = 0;
+        let mut agree = 0;
+        for seed in 0..40u64 {
+            let n = 24 + rng.gen_range(0..12);
+            let p = [0.04, 0.08, 0.15][rng.gen_range(0..3)];
+            let g = generators::gnp(n, p, &mut rng);
+            total += 1;
+            if sketch_bipartiteness(&g, 3000 + seed) == algo::is_bipartite(&g) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 100 >= total * 95, "agreement {agree}/{total} below 95%");
+    }
+
+    #[test]
+    fn disconnected_bipartite_and_mixed() {
+        // Two bipartite components: still bipartite.
+        let g = generators::path(8).disjoint_union(&generators::cycle(6).unwrap());
+        assert!(sketch_bipartiteness(&g, 5));
+        // Bipartite ⊎ odd cycle: not bipartite.
+        let h = generators::path(8).disjoint_union(&generators::cycle(5).unwrap());
+        assert!(!sketch_bipartiteness(&h, 5));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(sketch_bipartiteness(&LabelledGraph::new(0), 1));
+        assert!(sketch_bipartiteness(&LabelledGraph::new(1), 1));
+        assert!(sketch_bipartiteness(&LabelledGraph::new(4), 1)); // edgeless
+    }
+
+    #[test]
+    fn message_size_polylog() {
+        // Bits grow polylog in n: 64× more vertices < 4× more bits.
+        let growth = SketchBipartitenessProtocol::message_bits(4096) as f64
+            / SketchBipartitenessProtocol::message_bits(64) as f64;
+        assert!(growth < 4.0, "growth {growth}");
+        // and ~3× the plain connectivity message (base + two cover copies)
+        let ratio = SketchBipartitenessProtocol::message_bits(1024) as f64
+            / crate::connectivity::SketchConnectivityProtocol::message_bits(1024) as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        let p = SketchBipartitenessProtocol::new(3);
+        assert!(p.global(4, &vec![Message::empty(); 4]).is_err());
+        assert!(p.global(4, &vec![Message::empty(); 2]).is_err());
+    }
+}

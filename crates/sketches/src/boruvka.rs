@@ -1,0 +1,175 @@
+//! Sketch-space Borůvka, factored out of the connectivity protocol so
+//! the bipartiteness (double cover), spanning-forest and
+//! k-edge-connectivity protocols can reuse it.
+//!
+//! Input: for each of `V` logical vertices, one [`L0Sampler`] per phase
+//! (fresh keys per phase). The driver sums each phase's sketches over
+//! the current components (linearity ⇒ a boundary sketch), samples one
+//! crossing edge per component, merges, and records the edge. Every
+//! component with outgoing edges shrinks by at least half per successful
+//! phase, so `⌈log₂ V⌉ + 1` phases suffice when no sample fails;
+//! failures only *delay* merges and can only leave the final component
+//! count too **high**, never too low (every verified sample is a real
+//! edge — a wrong edge needs a 2⁻⁶⁴ fingerprint collision).
+
+use crate::l0::{EdgeSlot, L0Sampler};
+use referee_graph::dsu::Dsu;
+
+/// Outcome of a sketch-Borůvka run.
+#[derive(Debug, Clone)]
+pub struct BoruvkaOutcome {
+    /// Final union–find component count (≥ the true count w.h.p.; equal
+    /// when `boundary_clear`).
+    pub components: usize,
+    /// The merge edges discovered, as `(u, v)` with 1-based vertex ids
+    /// in the sketch universe. These form a forest.
+    pub forest: Vec<(u32, u32)>,
+    /// Phases in which at least one sample failed on a nonzero sketch
+    /// candidate (diagnostic; misses may still be recovered later).
+    pub stalled_phases: usize,
+    /// Post-hoc certificate: every final component's summed sketch is
+    /// zero in **every** phase — i.e. no component has a crossing edge
+    /// left, so the partition (and forest) is exact up to the
+    /// per-phase zero-test error (a nonzero vector sketching to zero in
+    /// all ~log n independent phases).
+    pub boundary_clear: bool,
+}
+
+/// Run Borůvka on per-vertex, per-phase sketches.
+///
+/// `sketches[v][p]` is vertex `v + 1`'s phase-`p` sketch. All sketches
+/// of a phase must share keys (stream = phase). The slot universe is
+/// `C(universe_n, 2)` edge slots over `universe_n` vertices.
+pub fn boruvka_components(
+    universe_n: usize,
+    sketches: &[Vec<L0Sampler>],
+    phases: usize,
+) -> BoruvkaOutcome {
+    let v_count = sketches.len();
+    let mut dsu = Dsu::new(v_count);
+    let mut forest = Vec::new();
+    let mut stalled_phases = 0;
+    for phase in 0..phases {
+        if dsu.components() == 1 {
+            break;
+        }
+        let mut comp_sketch: std::collections::HashMap<usize, L0Sampler> =
+            std::collections::HashMap::new();
+        for v in 0..v_count {
+            let root = dsu.find(v);
+            comp_sketch
+                .entry(root)
+                .and_modify(|s| s.merge(&sketches[v][phase]))
+                .or_insert_with(|| sketches[v][phase].clone());
+        }
+        let mut progressed = false;
+        let mut any_nonzero_missed = false;
+        for (_root, sk) in comp_sketch {
+            match sk.sample() {
+                Some(slot) => {
+                    // Range-check before decoding: corrupted sketches
+                    // must not feed garbage into the slot inversion.
+                    if slot.0 >= EdgeSlot::universe(universe_n) {
+                        continue;
+                    }
+                    let (u, v) = slot.decode();
+                    if u as usize > v_count || v as usize > v_count {
+                        continue;
+                    }
+                    if dsu.union((u - 1) as usize, (v - 1) as usize) {
+                        forest.push((u, v));
+                        progressed = true;
+                    }
+                }
+                None => {
+                    if !sk.is_zero() {
+                        any_nonzero_missed = true;
+                    }
+                }
+            }
+        }
+        if !progressed && any_nonzero_missed {
+            stalled_phases += 1;
+        }
+    }
+    // Final-boundary certificate: sum every phase's sketches over the
+    // final partition; any nonzero component sketch witnesses a missed
+    // crossing edge.
+    let mut boundary_clear = true;
+    'check: for phase in 0..phases {
+        let mut comp_sketch: std::collections::HashMap<usize, L0Sampler> =
+            std::collections::HashMap::new();
+        for v in 0..v_count {
+            let root = dsu.find(v);
+            comp_sketch
+                .entry(root)
+                .and_modify(|s| s.merge(&sketches[v][phase]))
+                .or_insert_with(|| sketches[v][phase].clone());
+        }
+        if comp_sketch.values().any(|s| !s.is_zero()) {
+            boundary_clear = false;
+            break 'check;
+        }
+    }
+    BoruvkaOutcome { components: dsu.components(), forest, stalled_phases, boundary_clear }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use referee_graph::{generators, LabelledGraph, VertexId};
+
+    fn sketch_graph(g: &LabelledGraph, seed: u64, phases: usize) -> Vec<Vec<L0Sampler>> {
+        let n = g.n();
+        (1..=n as VertexId)
+            .map(|v| {
+                (0..phases)
+                    .map(|p| {
+                        let mut sk = L0Sampler::new(n, seed, p as u64);
+                        for &w in g.neighbourhood(v) {
+                            let (a, b) = (v.min(w), v.max(w));
+                            let sign = if v == a { 1 } else { -1 };
+                            sk.update(EdgeSlot::encode(a, b), sign);
+                        }
+                        sk
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_components_of_multi_component_graphs() {
+        let g = generators::path(10)
+            .disjoint_union(&generators::cycle(7).unwrap())
+            .disjoint_union(&generators::complete(5));
+        let phases = 7;
+        let sketches = sketch_graph(&g, 99, phases);
+        let out = boruvka_components(g.n(), &sketches, phases);
+        assert_eq!(out.components, 3);
+        // Forest has n − #components edges when everything merged.
+        assert_eq!(out.forest.len(), g.n() - 3);
+    }
+
+    #[test]
+    fn forest_edges_are_real_edges() {
+        let g = generators::grid(5, 5);
+        let phases = 7;
+        let sketches = sketch_graph(&g, 1234, phases);
+        let out = boruvka_components(g.n(), &sketches, phases);
+        for &(u, v) in &out.forest {
+            assert!(g.has_edge(u, v), "sampled non-edge ({u},{v})");
+        }
+        assert_eq!(out.components, 1);
+    }
+
+    #[test]
+    fn empty_graph_all_isolated() {
+        let g = LabelledGraph::new(6);
+        let sketches = sketch_graph(&g, 7, 4);
+        let out = boruvka_components(6, &sketches, 4);
+        assert_eq!(out.components, 6);
+        assert!(out.forest.is_empty());
+        assert_eq!(out.stalled_phases, 0);
+    }
+}

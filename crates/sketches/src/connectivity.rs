@@ -1,0 +1,287 @@
+//! One-round connectivity with public coins (E17).
+//!
+//! Protocol: every node sends, for each Borůvka phase `p < P ≈ log₂ n`,
+//! an independent ℓ₀-sketch of its signed edge-incidence vector (fresh
+//! hash keys per phase keep the post-conditioning distribution honest).
+//! The referee maintains components in a union–find; in phase `p` it sums
+//! the phase-`p` sketches over each component (linearity ⇒ a sketch of
+//! that component's boundary), samples one boundary edge per component,
+//! and merges. Every component with any outgoing edge acquires one, so
+//! non-isolated components at least halve per phase and `P = ⌈log₂ n⌉ + 1`
+//! phases suffice — **one round of communication, ~log n phases of pure
+//! referee computation**.
+//!
+//! Message size: `P · L · 192` bits with `L ≈ 2 log₂ n + 2` levels, i.e.
+//! `O(log² n)` words = `O(log³ n)` bits. Not frugal in the paper's strict
+//! `O(log n)` sense — but exponentially below the `Ω(n)`-bit cost of
+//! shipping neighbourhoods, which is the point of the commentary: the
+//! open question's difficulty is determinism, not one-roundedness.
+//!
+//! The protocol is Monte-Carlo: each per-component sample can fail
+//! (probability bounded by the ℓ₀-sampler's miss rate); failures only
+//! *delay* merges, and a wrong final answer requires every phase to miss
+//! some component's boundary — the `success_rate` test below measures it
+//! empirically at > 95% with the default parameters, and failures are
+//! one-sided (a connected graph may be declared disconnected; the reverse
+//! needs a fingerprint collision, probability ≤ 2⁻⁶⁴ per sample — every
+//! verified sample is a genuine boundary edge otherwise).
+
+use crate::l0::{EdgeSlot, L0Sampler};
+use referee_graph::dsu::Dsu;
+use referee_graph::LabelledGraph;
+use referee_protocol::{BitWriter, DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// The public-coin one-round connectivity protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchConnectivityProtocol {
+    /// Shared seed — the public randomness. Nodes and referee must agree.
+    pub seed: u64,
+}
+
+impl SketchConnectivityProtocol {
+    /// Protocol with the given public coins.
+    pub fn new(seed: u64) -> Self {
+        SketchConnectivityProtocol { seed }
+    }
+
+    /// Borůvka phase budget for an n-node graph.
+    pub fn phases_for(n: usize) -> u32 {
+        (usize::BITS - n.max(1).leading_zeros()) + 1
+    }
+
+    /// Per-message size in bits at size `n` (exact, all messages equal).
+    pub fn message_bits(n: usize) -> usize {
+        Self::phases_for(n) as usize * L0Sampler::levels_for(n) as usize * 3 * 64
+    }
+
+    fn node_sketches(&self, view: NodeView<'_>) -> Vec<L0Sampler> {
+        let n = view.n;
+        (0..Self::phases_for(n))
+            .map(|phase| {
+                let mut sk = L0Sampler::new(n, self.seed, phase as u64);
+                for &nb in view.neighbours {
+                    let (u, v) = (view.id.min(nb), view.id.max(nb));
+                    let sign = if view.id == u { 1 } else { -1 };
+                    sk.update(EdgeSlot::encode(u, v), sign);
+                }
+                sk
+            })
+            .collect()
+    }
+}
+
+impl OneRoundProtocol for SketchConnectivityProtocol {
+    /// `Ok(connected?)`, or a decode error on malformed messages.
+    type Output = Result<bool, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("public-coin sketch connectivity (seed {})", self.seed)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let mut w = BitWriter::new();
+        for sk in self.node_sketches(view) {
+            sk.write(&mut w);
+        }
+        Message::from_writer(w)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        if n <= 1 {
+            return Ok(true);
+        }
+        let phases = Self::phases_for(n);
+        // Parse: sketches[v][phase]
+        let mut sketches: Vec<Vec<L0Sampler>> = Vec::with_capacity(n);
+        for msg in messages {
+            let mut r = msg.reader();
+            let mut per_node = Vec::with_capacity(phases as usize);
+            for phase in 0..phases {
+                per_node.push(L0Sampler::read(&mut r, n, self.seed, phase as u64)?);
+            }
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing sketch bits".into()));
+            }
+            sketches.push(per_node);
+        }
+
+        let mut dsu = Dsu::new(n);
+        for phase in 0..phases as usize {
+            if dsu.components() == 1 {
+                break;
+            }
+            // Sum this phase's sketches per component.
+            let mut comp_sketch: std::collections::HashMap<usize, L0Sampler> =
+                std::collections::HashMap::new();
+            for v in 0..n {
+                let root = dsu.find(v);
+                comp_sketch
+                    .entry(root)
+                    .and_modify(|s| s.merge(&sketches[v][phase]))
+                    .or_insert_with(|| sketches[v][phase].clone());
+            }
+            // Sample one boundary edge per component and merge. Range-
+            // check the slot BEFORE decoding: a corrupted sketch that
+            // slipped past the fingerprint must not feed garbage into the
+            // triangular-number inversion.
+            for (_root, sk) in comp_sketch {
+                if let Some(slot) = sk.sample() {
+                    if slot.0 >= EdgeSlot::universe(n) {
+                        continue;
+                    }
+                    let (u, v) = slot.decode();
+                    dsu.union((u - 1) as usize, (v - 1) as usize);
+                }
+            }
+        }
+        Ok(dsu.components() == 1)
+    }
+}
+
+/// Measurements comparing the sketch protocol against exact baselines.
+#[derive(Debug, Clone)]
+pub struct SketchStats {
+    /// Graph size.
+    pub n: usize,
+    /// Per-node message bits of the sketch protocol.
+    pub sketch_bits: usize,
+    /// Per-node bits of the naive adjacency upload for this graph.
+    pub adjacency_bits: usize,
+    /// `sketch_bits / log₂(n)` — how far above strict frugality.
+    pub ratio_to_log: f64,
+}
+
+/// Compute the message-size comparison for a given graph.
+pub fn compare_sizes(g: &LabelledGraph) -> SketchStats {
+    let n = g.n();
+    let sketch_bits = SketchConnectivityProtocol::message_bits(n);
+    let width = referee_protocol::bits_for(n) as usize;
+    let adjacency_bits = (g.max_degree() + 1) * width;
+    SketchStats {
+        n,
+        sketch_bits,
+        adjacency_bits,
+        ratio_to_log: sketch_bits as f64 / (n.max(2) as f64).log2(),
+    }
+}
+
+/// Convenience: run the protocol on a graph with the given seed.
+pub fn sketch_connectivity(g: &LabelledGraph, seed: u64) -> bool {
+    referee_protocol::run_protocol(&SketchConnectivityProtocol::new(seed), g)
+        .output
+        .expect("honest messages decode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::{algo, generators};
+
+    #[test]
+    fn connected_families_accepted() {
+        for g in [
+            generators::path(64),
+            generators::cycle(65).unwrap(),
+            generators::complete(32),
+            generators::grid(8, 8),
+            generators::petersen(),
+        ] {
+            assert!(sketch_connectivity(&g, 2011), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_rejected_always() {
+        // One-sided error: disconnected graphs can never be accepted
+        // (sampled edges are real edges, so unions never cross true
+        // components).
+        let g = generators::path(20).disjoint_union(&generators::cycle(9).unwrap());
+        for seed in 0..20u64 {
+            assert!(!sketch_connectivity(&g, seed), "seed {seed}");
+        }
+        assert!(!sketch_connectivity(&LabelledGraph::new(5), 0));
+    }
+
+    #[test]
+    fn success_rate_on_connected_random() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut trials = 0;
+        let mut correct = 0;
+        for seed in 0..30u64 {
+            let g = generators::gnp(48, 0.12, &mut rng);
+            if !algo::is_connected(&g) {
+                continue;
+            }
+            trials += 1;
+            if sketch_connectivity(&g, seed) {
+                correct += 1;
+            }
+        }
+        assert!(trials >= 10, "want enough connected samples, got {trials}");
+        assert!(
+            correct * 100 >= trials * 95,
+            "success {correct}/{trials} below 95%"
+        );
+    }
+
+    #[test]
+    fn message_size_polylog_not_linear() {
+        // The punchline: sketch bits grow polylog in n while the dense-
+        // graph adjacency upload grows as n·log n; the crossover sits
+        // around n ≈ 2^13 and widens exponentially beyond it.
+        let adj_bits = |n: usize| n * referee_protocol::bits_for(n) as usize; // Δ = n−1
+        for n in [1 << 13, 1 << 16, 1 << 20] {
+            let sketch = SketchConnectivityProtocol::message_bits(n);
+            assert!(
+                sketch < adj_bits(n),
+                "n={n}: sketch {sketch} vs adjacency {}",
+                adj_bits(n)
+            );
+        }
+        // growth from n=64 to n=4096 (64×) is only a small constant
+        let growth = SketchConnectivityProtocol::message_bits(4096) as f64
+            / SketchConnectivityProtocol::message_bits(64) as f64;
+        assert!(growth < 4.0, "growth {growth}");
+        // and compare_sizes agrees with the formula on a concrete graph
+        let s = compare_sizes(&generators::complete(64));
+        assert_eq!(s.sketch_bits, SketchConnectivityProtocol::message_bits(64));
+        assert_eq!(s.adjacency_bits, 64 * 7);
+    }
+
+    #[test]
+    fn agrees_with_centralized_across_densities() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mismatches = 0;
+        let mut total = 0;
+        for seed in 0..24u64 {
+            let g = generators::gnp(40, 0.08, &mut rng);
+            total += 1;
+            if sketch_connectivity(&g, 1000 + seed) != algo::is_connected(&g) {
+                mismatches += 1;
+            }
+        }
+        // Monte-Carlo: allow a rare one-sided miss.
+        assert!(mismatches <= total / 10, "{mismatches}/{total} mismatches");
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(sketch_connectivity(&LabelledGraph::new(0), 1));
+        assert!(sketch_connectivity(&LabelledGraph::new(1), 1));
+        assert!(!sketch_connectivity(&LabelledGraph::new(2), 1));
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        let p = SketchConnectivityProtocol::new(3);
+        let msgs = vec![Message::empty(); 4];
+        assert!(p.global(4, &msgs).is_err());
+    }
+}

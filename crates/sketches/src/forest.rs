@@ -1,0 +1,208 @@
+//! One-round public-coin **spanning forest** recovery.
+//!
+//! [`crate::connectivity`] answers the yes/no question; this protocol
+//! returns the *witness*: an explicit spanning forest of `G`, one tree
+//! per connected component. The messages are identical to the
+//! connectivity protocol's (per-phase ℓ₀-sketches); only the referee's
+//! output differs — it keeps the edges the sketch-Borůvka run sampled.
+//!
+//! Guarantees (Monte-Carlo):
+//!
+//! * every returned edge is a genuine edge of `G` (a fake edge needs a
+//!   2⁻⁶⁴ fingerprint collision), so the output is always a sub-forest;
+//! * w.h.p. the forest is *spanning*: `n − c(G)` edges. Sampler misses
+//!   can only leave it short, never wrong — and the referee **knows**
+//!   when it may be short ([`ForestResult::complete`] is false only if
+//!   some component's boundary sketch missed in every phase).
+//!
+//! This is the one-round analogue of the multi-round
+//! `BoruvkaSpanningForest` in `referee-protocol`, and the engine behind
+//! the k-edge-connectivity peeling of [`crate::kconn`].
+
+use crate::boruvka::boruvka_components;
+use crate::connectivity::SketchConnectivityProtocol;
+use crate::l0::L0Sampler;
+use referee_graph::{Edge, LabelledGraph};
+use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// Referee output of [`SketchSpanningForestProtocol`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestResult {
+    /// The recovered forest edges (canonical order).
+    pub edges: Vec<Edge>,
+    /// Number of components the referee's union–find ended with (=
+    /// `c(G)` when `complete`).
+    pub components: usize,
+    /// True when every Borůvka phase ended without an unresolved
+    /// boundary — the forest is then spanning with certainty up to
+    /// fingerprint collisions.
+    pub complete: bool,
+}
+
+/// One-round spanning-forest protocol: same messages as
+/// [`SketchConnectivityProtocol`], richer referee output.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchSpanningForestProtocol {
+    /// Shared seed (public coins).
+    pub seed: u64,
+}
+
+impl SketchSpanningForestProtocol {
+    /// Protocol with the given public coins.
+    pub fn new(seed: u64) -> Self {
+        SketchSpanningForestProtocol { seed }
+    }
+}
+
+impl OneRoundProtocol for SketchSpanningForestProtocol {
+    /// The recovered forest, or a decode error.
+    type Output = Result<ForestResult, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("public-coin spanning forest (seed {})", self.seed)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        // Bit-identical to the connectivity protocol: reuse it.
+        SketchConnectivityProtocol::new(self.seed).local(view)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        if n == 0 {
+            return Ok(ForestResult { edges: Vec::new(), components: 0, complete: true });
+        }
+        let phases = SketchConnectivityProtocol::phases_for(n);
+        let mut sketches: Vec<Vec<L0Sampler>> = Vec::with_capacity(n);
+        for msg in messages {
+            let mut r = msg.reader();
+            let mut per_node = Vec::with_capacity(phases as usize);
+            for phase in 0..phases {
+                per_node.push(L0Sampler::read(&mut r, n, self.seed, phase as u64)?);
+            }
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing sketch bits".into()));
+            }
+            sketches.push(per_node);
+        }
+        let outcome = boruvka_components(n, &sketches, phases as usize);
+        let mut edges: Vec<Edge> =
+            outcome.forest.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        edges.sort_unstable();
+        Ok(ForestResult {
+            edges,
+            components: outcome.components,
+            complete: outcome.boundary_clear,
+        })
+    }
+}
+
+/// Convenience: recover a spanning forest of `g`.
+pub fn sketch_spanning_forest(g: &LabelledGraph, seed: u64) -> ForestResult {
+    referee_protocol::run_protocol(&SketchSpanningForestProtocol::new(seed), g)
+        .output
+        .expect("honest messages decode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::{algo, generators};
+
+    fn check_is_spanning_forest(g: &LabelledGraph, r: &ForestResult) {
+        // Sub-forest of G…
+        let f = LabelledGraph::from_edges(g.n(), r.edges.iter().map(|e| (e.0, e.1)))
+            .expect("forest edges are simple");
+        assert!(algo::is_forest(&f), "returned edges contain a cycle");
+        for e in &r.edges {
+            assert!(g.has_edge(e.0, e.1), "fake edge {e:?}");
+        }
+        // …spanning when complete: same component structure.
+        if r.complete {
+            assert_eq!(r.components, algo::component_count(g));
+            assert_eq!(r.edges.len(), g.n() - r.components);
+            let gc = algo::components(g);
+            let fc = algo::components(&f);
+            for u in 0..g.n() {
+                for v in 0..g.n() {
+                    assert_eq!(gc[u] == gc[v], fc[u] == fc[v], "{u} vs {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_forests_of_structured_graphs() {
+        for g in [
+            generators::path(40),
+            generators::cycle(33).unwrap(),
+            generators::grid(6, 7),
+            generators::complete(20),
+            generators::petersen(),
+        ] {
+            let r = sketch_spanning_forest(&g, 2011);
+            assert!(r.complete, "{g:?} stalled");
+            check_is_spanning_forest(&g, &r);
+        }
+    }
+
+    #[test]
+    fn multi_component_graphs() {
+        let g = generators::path(11)
+            .disjoint_union(&generators::cycle(8).unwrap())
+            .disjoint_union(&LabelledGraph::new(3)); // 3 isolated
+        let r = sketch_spanning_forest(&g, 5);
+        assert!(r.complete);
+        assert_eq!(r.components, 5);
+        check_is_spanning_forest(&g, &r);
+    }
+
+    #[test]
+    fn random_graphs_high_success() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut complete_runs = 0;
+        for seed in 0..25u64 {
+            let g = generators::gnp(40, 0.1, &mut rng);
+            let r = sketch_spanning_forest(&g, 6000 + seed);
+            check_is_spanning_forest(&g, &r);
+            if r.complete {
+                complete_runs += 1;
+            }
+        }
+        assert!(complete_runs >= 23, "only {complete_runs}/25 complete");
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        let r = sketch_spanning_forest(&LabelledGraph::new(0), 1);
+        assert_eq!(r, ForestResult { edges: vec![], components: 0, complete: true });
+        let r = sketch_spanning_forest(&LabelledGraph::new(4), 1);
+        assert_eq!(r.components, 4);
+        assert!(r.edges.is_empty() && r.complete);
+    }
+
+    #[test]
+    fn agrees_with_multiround_boruvka() {
+        // The one-round sketch forest and the multi-round CONGEST forest
+        // must induce the same component structure (edges may differ).
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = generators::gnp(30, 0.09, &mut rng);
+        let one_round = sketch_spanning_forest(&g, 9);
+        let (mr_edges, _) = referee_protocol::multiround::boruvka_spanning_forest(&g);
+        if one_round.complete {
+            assert_eq!(one_round.edges.len(), mr_edges.len());
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let p = SketchSpanningForestProtocol::new(1);
+        assert!(p.global(3, &vec![Message::empty(); 3]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic hashing for the public-coin sketches.
+//!
+//! The "public coins" of the model are realized as a shared 64-bit seed:
+//! every node and the referee derive identical hash functions from it, so
+//! the protocol stays one-round (no coordination needed beyond the seed,
+//! which is part of the protocol description).
+
+/// SplitMix64 finalizer: a fast 64-bit mixer with full avalanche.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A keyed hash function `h : u64 → u64` derived from `(seed, stream)`.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyedHash {
+    key: u64,
+}
+
+impl KeyedHash {
+    /// Derive an independent-looking hash for a labelled stream.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        KeyedHash { key: splitmix64(seed ^ splitmix64(stream)) }
+    }
+
+    /// Hash a value.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        splitmix64(self.key ^ x.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
+
+    /// Sampling predicate: is `x` retained at level `l`? Retains with
+    /// probability `2^{-l}` (level 0 retains everything).
+    #[inline]
+    pub fn retained_at(&self, x: u64, level: u32) -> bool {
+        level == 0 || self.hash(x).trailing_zeros() >= level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let h1 = KeyedHash::new(7, 3);
+        let h2 = KeyedHash::new(7, 3);
+        assert_eq!(h1.hash(12345), h2.hash(12345));
+        assert_ne!(KeyedHash::new(7, 4).hash(12345), h1.hash(12345));
+    }
+
+    #[test]
+    fn level_zero_retains_all() {
+        let h = KeyedHash::new(1, 1);
+        for x in 0..100u64 {
+            assert!(h.retained_at(x, 0));
+        }
+    }
+
+    #[test]
+    fn retention_halves_per_level() {
+        let h = KeyedHash::new(99, 0);
+        let n = 100_000u64;
+        for level in [1u32, 3, 6] {
+            let kept = (0..n).filter(|&x| h.retained_at(x, level)).count() as f64;
+            let expect = n as f64 / 2f64.powi(level as i32);
+            assert!(
+                (kept - expect).abs() < expect * 0.15 + 50.0,
+                "level {level}: kept {kept}, expected ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn retention_is_nested() {
+        // retained at level l+1 ⇒ retained at level l
+        let h = KeyedHash::new(5, 2);
+        for x in 0..10_000u64 {
+            for l in 0..10u32 {
+                if h.retained_at(x, l + 1) {
+                    assert!(h.retained_at(x, l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avalanche_sanity() {
+        // flipping one input bit flips ~half the output bits on average
+        let mut total = 0u32;
+        let samples = 200u64;
+        for x in 0..samples {
+            let a = splitmix64(x);
+            let b = splitmix64(x ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((20.0..44.0).contains(&avg), "avg flipped bits {avg}");
+    }
+}

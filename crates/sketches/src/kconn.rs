@@ -1,0 +1,261 @@
+//! One-round public-coin **k-edge-connectivity** by forest peeling
+//! (extension E19).
+//!
+//! Ahn–Guha–McGregor's second trick: linearity lets the referee *edit*
+//! the sketched graph after the round is over. Each node ships `k`
+//! independent groups of connectivity sketches. The referee:
+//!
+//! 1. extracts a spanning forest `F₁` from group 1 (sketch-Borůvka);
+//! 2. **subtracts** `F₁`'s edges from group 2's sketches — it knows the
+//!    public hash keys, so it can compute each deleted edge's
+//!    contribution to both endpoint sketches and cancel it — and
+//!    extracts `F₂`, a spanning forest of `G − F₁`;
+//! 3. … and so on through `F_k`.
+//!
+//! The union `H = F₁ ∪ … ∪ F_k` (≤ `k(n−1)` edges) preserves every cut
+//! of `G` up to size `k`: a cut of size `c ≤ k` loses at most one edge
+//! to each forest that crosses it, and a forest only fails to cross when
+//! previous forests already exhausted the cut — so
+//! `min(λ(H), k) = min(λ(G), k)`. The referee finishes with an exact
+//! Stoer–Wagner min cut on the sparse `H`.
+//!
+//! One round, `O(k · log³ n)` bits per node, Monte-Carlo (sampler misses
+//! can truncate a forest, which can only *under*-merge and therefore
+//! under-report connectivity — never over-report it, because every
+//! sampled edge is genuine).
+
+use crate::boruvka::boruvka_components;
+use crate::l0::{EdgeSlot, L0Sampler};
+use referee_graph::{algo, LabelledGraph, VertexId};
+use referee_protocol::{BitWriter, DecodeError, Message, NodeView, OneRoundProtocol};
+
+/// Stream salt for the k-connectivity sketch groups.
+const KCONN_SALT: u64 = 0xface_0000;
+
+/// The public-coin one-round k-edge-connectivity protocol: the referee
+/// learns `min(λ(G), k)` from one `O(k log³ n)`-bit message per node.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchKConnectivityProtocol {
+    /// Shared seed (public coins).
+    pub seed: u64,
+    /// Connectivity threshold: the answer is `min(λ(G), k)`.
+    pub k: usize,
+}
+
+impl SketchKConnectivityProtocol {
+    /// Protocol deciding connectivity up to threshold `k ≥ 1`.
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k >= 1, "threshold must be ≥ 1");
+        SketchKConnectivityProtocol { seed, k }
+    }
+
+    /// Borůvka phase budget (with slack for sampler misses).
+    pub fn phases_for(n: usize) -> u32 {
+        (usize::BITS - n.max(1).leading_zeros()) + 4
+    }
+
+    /// Exact per-node message bits: `k` groups × phases × sketch size.
+    pub fn message_bits(&self, n: usize) -> usize {
+        self.k
+            * Self::phases_for(n) as usize
+            * L0Sampler::levels_for(n) as usize
+            * 3
+            * 64
+    }
+
+    fn stream(&self, group: usize, phase: u32, n: usize) -> u64 {
+        KCONN_SALT + (group as u64) * Self::phases_for(n) as u64 + phase as u64
+    }
+}
+
+impl OneRoundProtocol for SketchKConnectivityProtocol {
+    /// `Ok(min(λ(G), k))`, or a decode error on malformed messages.
+    type Output = Result<usize, DecodeError>;
+
+    fn name(&self) -> String {
+        format!("public-coin {}-edge-connectivity (seed {})", self.k, self.seed)
+    }
+
+    fn local(&self, view: NodeView<'_>) -> Message {
+        let n = view.n;
+        let mut w = BitWriter::new();
+        for group in 0..self.k {
+            for phase in 0..Self::phases_for(n) {
+                let mut sk = L0Sampler::new(n, self.seed, self.stream(group, phase, n));
+                for &nb in view.neighbours {
+                    let (u, v) = (view.id.min(nb), view.id.max(nb));
+                    let sign = if view.id == u { 1 } else { -1 };
+                    sk.update(EdgeSlot::encode(u, v), sign);
+                }
+                sk.write(&mut w);
+            }
+        }
+        Message::from_writer(w)
+    }
+
+    fn global(&self, n: usize, messages: &[Message]) -> Self::Output {
+        if messages.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "expected {n} messages, got {}",
+                messages.len()
+            )));
+        }
+        if n < 2 {
+            return Ok(0);
+        }
+        let phases = Self::phases_for(n) as usize;
+        // groups[g][v][p]
+        let mut groups: Vec<Vec<Vec<L0Sampler>>> =
+            vec![vec![Vec::with_capacity(phases); n]; self.k];
+        for (v, msg) in messages.iter().enumerate() {
+            let mut r = msg.reader();
+            for (g, group) in groups.iter_mut().enumerate() {
+                for phase in 0..phases as u32 {
+                    group[v].push(L0Sampler::read(
+                        &mut r,
+                        n,
+                        self.seed,
+                        self.stream(g, phase, n),
+                    )?);
+                }
+            }
+            if !r.is_exhausted() {
+                return Err(DecodeError::Invalid("trailing sketch bits".into()));
+            }
+        }
+
+        // Peel k forests, editing later groups as edges are removed.
+        let mut union = LabelledGraph::new(n);
+        let mut removed: Vec<(VertexId, VertexId)> = Vec::new();
+        for g in 0..self.k {
+            // Subtract previously removed edges from this group.
+            for &(u, v) in &removed {
+                let slot = EdgeSlot::encode(u, v);
+                for sk in groups[g][(u - 1) as usize].iter_mut() {
+                    sk.update(slot, -1);
+                }
+                for sk in groups[g][(v - 1) as usize].iter_mut() {
+                    sk.update(slot, 1);
+                }
+            }
+            let outcome = boruvka_components(n, &groups[g], phases);
+            if outcome.forest.is_empty() {
+                break; // nothing left to peel
+            }
+            for &(u, v) in &outcome.forest {
+                union.add_edge_if_absent(u, v).map_err(|e| {
+                    DecodeError::Inconsistent(format!("peeled edge invalid: {e}"))
+                })?;
+                removed.push((u.min(v), u.max(v)));
+            }
+        }
+        Ok(algo::edge_connectivity(&union).min(self.k))
+    }
+}
+
+/// Convenience: run the protocol, returning `min(λ(G), k)`.
+///
+/// ```
+/// use referee_graph::generators;
+/// use referee_sketches::kconn::sketch_edge_connectivity;
+/// let cube = generators::hypercube(3); // λ = 3
+/// assert_eq!(sketch_edge_connectivity(&cube, 2011, 2), 2); // capped
+/// assert_eq!(sketch_edge_connectivity(&cube, 2011, 4), 3); // exact
+/// ```
+pub fn sketch_edge_connectivity(g: &LabelledGraph, seed: u64, k: usize) -> usize {
+    referee_protocol::run_protocol(&SketchKConnectivityProtocol::new(seed, k), g)
+        .output
+        .expect("honest messages decode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use referee_graph::generators;
+
+    #[test]
+    fn known_families_at_various_thresholds() {
+        let cases: Vec<(LabelledGraph, usize)> = vec![
+            (generators::path(12), 1),
+            (generators::cycle(12).unwrap(), 2),
+            (generators::complete(7), 6),
+            (generators::hypercube(3), 3),
+            (generators::complete_bipartite(3, 4), 3),
+        ];
+        for (g, lambda) in cases {
+            for k in 1..=4usize {
+                let got = sketch_edge_connectivity(&g, 2011, k);
+                assert_eq!(got, lambda.min(k), "{g:?} at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_reports_zero() {
+        let g = generators::path(6).disjoint_union(&generators::cycle(5).unwrap());
+        for k in 1..=3usize {
+            assert_eq!(sketch_edge_connectivity(&g, 3, k), 0, "k={k}");
+        }
+        assert_eq!(sketch_edge_connectivity(&LabelledGraph::new(4), 1, 2), 0);
+        assert_eq!(sketch_edge_connectivity(&LabelledGraph::new(1), 1, 2), 0);
+    }
+
+    #[test]
+    fn bridge_detected_as_lambda_one() {
+        // Two K4s joined by one bridge: λ = 1 even though both sides are
+        // 3-edge-connected.
+        let mut g = generators::complete(4).disjoint_union(&generators::complete(4));
+        g.add_edge(4, 5).unwrap();
+        assert_eq!(sketch_edge_connectivity(&g, 7, 3), 1);
+    }
+
+    #[test]
+    fn agreement_with_centralized_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut total = 0;
+        let mut agree = 0;
+        for seed in 0..25u64 {
+            let g = generators::gnp(20, 0.25, &mut rng);
+            let truth = algo::edge_connectivity(&g);
+            let k = 3;
+            total += 1;
+            if sketch_edge_connectivity(&g, 4000 + seed, k) == truth.min(k) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 100 >= total * 90, "agreement {agree}/{total} below 90%");
+    }
+
+    #[test]
+    fn never_over_reports() {
+        // One-sided error direction: sampled edges are genuine, so the
+        // peeled union is a subgraph of G and λ(H) ≤ λ(G).
+        let mut rng = StdRng::seed_from_u64(12);
+        for seed in 0..20u64 {
+            let g = generators::gnp(16, 0.3, &mut rng);
+            let truth = algo::edge_connectivity(&g);
+            let got = sketch_edge_connectivity(&g, 5000 + seed, 4);
+            assert!(got <= truth.min(4), "over-reported: {got} > {truth}");
+        }
+    }
+
+    #[test]
+    fn message_bits_linear_in_k() {
+        let p1 = SketchKConnectivityProtocol::new(1, 1);
+        let p4 = SketchKConnectivityProtocol::new(1, 4);
+        assert_eq!(p4.message_bits(256), 4 * p1.message_bits(256));
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        let p = SketchKConnectivityProtocol::new(3, 2);
+        assert!(p.global(4, &vec![Message::empty(); 4]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be ≥ 1")]
+    fn zero_threshold_rejected() {
+        let _ = SketchKConnectivityProtocol::new(1, 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! A **linear** ℓ₀-sampler over the edge-slot universe.
+//!
+//! The signed edge-incidence vector of vertex `w` has, for each incident
+//! edge `{u, v}` (`u < v`), entry `+1` at slot `(u,v)` if `w = u` and `-1`
+//! if `w = v`. Adding the vectors of all vertices in a set `S` cancels
+//! every edge with both endpoints in `S`, leaving exactly the boundary
+//! `∂S` with ±1 entries — the identity that lets the referee run Borůvka
+//! on sums of sketches.
+//!
+//! The sampler keeps, per sampling level `l` (retaining slots w.p. 2⁻ˡ),
+//! three wrapping-u64 linear accumulators: `Σ sign`, `Σ sign·slot`,
+//! `Σ sign·fp(slot)`. A level holding exactly one nonzero entry is
+//! recognized by `Σ sign = ±1` plus a fingerprint check (false positive
+//! probability 2⁻⁶⁴ per level); the slot id is then recovered exactly.
+
+use crate::hash::KeyedHash;
+use referee_graph::VertexId;
+use referee_protocol::{BitReader, BitWriter, DecodeError};
+
+/// A canonical edge slot: the pair `(u, v)`, `u < v`, as a linear index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeSlot(pub u64);
+
+impl EdgeSlot {
+    /// Encode `(u, v)` with `u < v` (1-based IDs) in colex order.
+    pub fn encode(u: VertexId, v: VertexId) -> Self {
+        assert!(0 < u && u < v, "need 0 < u < v, got ({u}, {v})");
+        let v64 = v as u64;
+        EdgeSlot((v64 - 1) * (v64 - 2) / 2 + (u as u64 - 1))
+    }
+
+    /// Decode back to `(u, v)`, `u < v`.
+    pub fn decode(self) -> (VertexId, VertexId) {
+        // find v: largest v with (v-1)(v-2)/2 <= slot
+        let s = self.0;
+        // solve (v-1)(v-2)/2 ≤ s < v(v-1)/2 by sqrt then fix up
+        let mut v = ((2.0 * s as f64).sqrt() as u64) + 1;
+        while (v - 1) * v / 2 <= s {
+            v += 1;
+        }
+        while (v - 2) * (v - 1) / 2 > s {
+            v -= 1;
+        }
+        let u = s - (v - 1) * (v - 2) / 2 + 1;
+        (u as VertexId, v as VertexId)
+    }
+
+    /// Number of slots for an n-vertex graph: C(n, 2).
+    pub fn universe(n: usize) -> u64 {
+        let n = n as u64;
+        n * n.saturating_sub(1) / 2
+    }
+}
+
+/// One level's linear accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Level {
+    count: u64,  // Σ sign (wrapping)
+    id_sum: u64, // Σ sign·slot (wrapping)
+    fp_sum: u64, // Σ sign·fp(slot) (wrapping)
+}
+
+/// A linear ℓ₀-sampling sketch. All operations are linear, so
+/// [`L0Sampler::merge`] of the sketches of two vertex sets is the sketch
+/// of their symmetric-difference boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L0Sampler {
+    levels: Vec<Level>,
+    seed: u64,
+    stream: u64,
+}
+
+impl L0Sampler {
+    /// Number of levels for an n-vertex universe: enough that the top
+    /// level is empty w.h.p. even for boundaries of size C(n,2).
+    pub fn levels_for(n: usize) -> u32 {
+        64 - EdgeSlot::universe(n).max(1).leading_zeros() + 2
+    }
+
+    /// Fresh empty sketch keyed by `(seed, stream)` — nodes and referee
+    /// must use identical keys (the public coins).
+    pub fn new(n: usize, seed: u64, stream: u64) -> Self {
+        L0Sampler {
+            levels: vec![Level::default(); Self::levels_for(n) as usize],
+            seed,
+            stream,
+        }
+    }
+
+    fn retain_hash(&self) -> KeyedHash {
+        KeyedHash::new(self.seed, self.stream.wrapping_mul(2))
+    }
+
+    fn fp_hash(&self) -> KeyedHash {
+        KeyedHash::new(self.seed, self.stream.wrapping_mul(2) + 1)
+    }
+
+    /// Add `sign · e_slot` to the sketched vector (`sign` = ±1).
+    pub fn update(&mut self, slot: EdgeSlot, sign: i64) {
+        debug_assert!(sign == 1 || sign == -1);
+        let retain = self.retain_hash();
+        let fp = self.fp_hash().hash(slot.0);
+        let s = sign as u64; // wrapping two's complement works out
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            if retain.retained_at(slot.0, l as u32) {
+                level.count = level.count.wrapping_add(s);
+                level.id_sum = level.id_sum.wrapping_add(s.wrapping_mul(slot.0));
+                level.fp_sum = level.fp_sum.wrapping_add(s.wrapping_mul(fp));
+            } else {
+                break; // retention is nested: deeper levels also exclude
+            }
+        }
+    }
+
+    /// Linear merge: `self += other`. Panics on key mismatch (that would
+    /// silently corrupt the linearity).
+    pub fn merge(&mut self, other: &L0Sampler) {
+        assert_eq!(self.seed, other.seed, "sketch key mismatch");
+        assert_eq!(self.stream, other.stream, "sketch stream mismatch");
+        assert_eq!(self.levels.len(), other.levels.len());
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.count = a.count.wrapping_add(b.count);
+            a.id_sum = a.id_sum.wrapping_add(b.id_sum);
+            a.fp_sum = a.fp_sum.wrapping_add(b.fp_sum);
+        }
+    }
+
+    /// Try to recover one nonzero coordinate of the sketched vector.
+    ///
+    /// Scans levels for a verified singleton. Returns `None` when no
+    /// level isolates a single slot (possible for awkward vector sizes —
+    /// the connectivity protocol compensates with independent copies).
+    pub fn sample(&self) -> Option<EdgeSlot> {
+        let fp = self.fp_hash();
+        let retain = self.retain_hash();
+        for (l, level) in self.levels.iter().enumerate() {
+            let (sign, slot) = if level.count == 1 {
+                (1u64, level.id_sum)
+            } else if level.count == u64::MAX {
+                (u64::MAX, level.id_sum.wrapping_neg())
+            } else {
+                continue;
+            };
+            // Verify: fingerprint and level membership must cohere.
+            if level.fp_sum == sign.wrapping_mul(fp.hash(slot))
+                && retain.retained_at(slot, l as u32)
+            {
+                return Some(EdgeSlot(slot));
+            }
+        }
+        None
+    }
+
+    /// True iff every accumulator is zero (a zero vector sketches to
+    /// zero; the converse holds w.h.p.).
+    pub fn is_zero(&self) -> bool {
+        self.levels.iter().all(|l| *l == Level::default())
+    }
+
+    /// Serialized size in bits.
+    pub fn serialized_bits(&self) -> usize {
+        self.levels.len() * 3 * 64
+    }
+
+    /// Append to a bit stream (fixed layout: 3 × 64 bits per level).
+    pub fn write(&self, w: &mut BitWriter) {
+        for l in &self.levels {
+            w.write_bits(l.count, 64);
+            w.write_bits(l.id_sum, 64);
+            w.write_bits(l.fp_sum, 64);
+        }
+    }
+
+    /// Read back a sketch written by [`L0Sampler::write`].
+    pub fn read(
+        r: &mut BitReader<'_>,
+        n: usize,
+        seed: u64,
+        stream: u64,
+    ) -> Result<Self, DecodeError> {
+        let mut s = L0Sampler::new(n, seed, stream);
+        for l in s.levels.iter_mut() {
+            l.count = r.read_bits(64)?;
+            l.id_sum = r.read_bits(64)?;
+            l.fp_sum = r.read_bits(64)?;
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_slot_round_trip() {
+        for v in 2..=50u32 {
+            for u in 1..v {
+                let slot = EdgeSlot::encode(u, v);
+                assert_eq!(slot.decode(), (u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(EdgeSlot::encode(1, 2).0, 0);
+        assert_eq!(EdgeSlot::universe(4), 6);
+    }
+
+    #[test]
+    fn singleton_always_recovered() {
+        for x in [0u64, 1, 5, 1000, 123_456] {
+            let mut s = L0Sampler::new(1000, 42, 0);
+            s.update(EdgeSlot(x), 1);
+            assert_eq!(s.sample(), Some(EdgeSlot(x)), "slot {x}");
+            let mut neg = L0Sampler::new(1000, 42, 0);
+            neg.update(EdgeSlot(x), -1);
+            assert_eq!(neg.sample(), Some(EdgeSlot(x)), "negative slot {x}");
+        }
+    }
+
+    #[test]
+    fn cancellation_gives_zero() {
+        let mut a = L0Sampler::new(100, 7, 3);
+        let mut b = L0Sampler::new(100, 7, 3);
+        for x in [3u64, 17, 99, 2048] {
+            a.update(EdgeSlot(x), 1);
+            b.update(EdgeSlot(x), -1);
+        }
+        a.merge(&b);
+        assert!(a.is_zero());
+        assert_eq!(a.sample(), None);
+    }
+
+    #[test]
+    fn merge_equals_bulk_update() {
+        let mut bulk = L0Sampler::new(500, 9, 1);
+        let mut a = L0Sampler::new(500, 9, 1);
+        let mut b = L0Sampler::new(500, 9, 1);
+        for x in 0..200u64 {
+            let sign = if x % 3 == 0 { -1 } else { 1 };
+            bulk.update(EdgeSlot(x), sign);
+            if x % 2 == 0 {
+                a.update(EdgeSlot(x), sign);
+            } else {
+                b.update(EdgeSlot(x), sign);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, bulk);
+    }
+
+    #[test]
+    fn sampling_success_rate_on_sparse_vectors() {
+        // With many slots the top non-empty level usually isolates one;
+        // measure the success rate across streams.
+        let mut hits = 0;
+        let trials = 200;
+        for stream in 0..trials {
+            let mut s = L0Sampler::new(2000, 1234, stream);
+            for x in 0..50u64 {
+                s.update(EdgeSlot(x * 37 + stream), 1);
+            }
+            if let Some(slot) = s.sample() {
+                assert!((0..50).any(|x| x * 37 + stream == slot.0), "bogus sample");
+                hits += 1;
+            }
+        }
+        assert!(hits * 10 >= trials * 7, "success {hits}/{trials} too low");
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut s = L0Sampler::new(300, 5, 8);
+        for x in [1u64, 2, 3, 500] {
+            s.update(EdgeSlot(x), if x % 2 == 0 { -1 } else { 1 });
+        }
+        let mut w = BitWriter::new();
+        s.write(&mut w);
+        let msg = referee_protocol::Message::from_writer(w);
+        assert_eq!(msg.len_bits(), s.serialized_bits());
+        let back = L0Sampler::read(&mut msg.reader(), 300, 5, 8).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.sample(), s.sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "key mismatch")]
+    fn merge_rejects_key_mismatch() {
+        let mut a = L0Sampler::new(10, 1, 0);
+        let b = L0Sampler::new(10, 2, 0);
+        a.merge(&b);
+    }
+}

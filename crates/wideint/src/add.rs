@@ -1,0 +1,184 @@
+//! Addition and subtraction for [`UBig`].
+//!
+//! Subtraction panics on underflow in the `Sub` operator (matching the
+//! standard library's unsigned semantics) and offers `checked_sub` /
+//! `abs_diff` for the decoders, which must *detect* inconsistent sketches
+//! rather than crash on them (failure injection tests rely on this).
+
+use crate::limb::{adc, sbb};
+use crate::UBig;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+impl UBig {
+    /// `self + other`, never overflows.
+    pub fn add_ref(&self, other: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s, c) = adc(long[i], b, carry);
+            out.push(s);
+            carry = c;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// `self - other` if non-negative, else `None`.
+    pub fn checked_sub(&self, other: &UBig) -> Option<UBig> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d, br) = sbb(self.limbs[i], b, borrow);
+            out.push(d);
+            borrow = br;
+        }
+        debug_assert_eq!(borrow, 0, "cmp guard should have caught underflow");
+        Some(UBig::from_limbs(out))
+    }
+
+    /// `|self - other|`.
+    pub fn abs_diff(&self, other: &UBig) -> UBig {
+        if self >= other {
+            self.checked_sub(other).expect("self >= other")
+        } else {
+            other.checked_sub(self).expect("other > self")
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign_ref(&mut self, other: &UBig) {
+        if other.limbs.len() > self.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s, c) = adc(self.limbs[i], b, carry);
+            self.limbs[i] = s;
+            carry = c;
+            if carry == 0 && i >= other.limbs.len() {
+                return; // no further change possible
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+}
+
+impl Add for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        self.add_ref(rhs)
+    }
+}
+
+impl Add for UBig {
+    type Output = UBig;
+    fn add(self, rhs: UBig) -> UBig {
+        self.add_ref(&rhs)
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub for &UBig {
+    type Output = UBig;
+    /// Panics if the result would be negative; use [`UBig::checked_sub`]
+    /// when the inputs are untrusted (e.g. decoding corrupted messages).
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub(rhs)
+            .expect("UBig subtraction underflow (use checked_sub)")
+    }
+}
+
+impl Sub for UBig {
+    type Output = UBig;
+    fn sub(self, rhs: UBig) -> UBig {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        *self = &*self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> UBig {
+        UBig::from(v)
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(ub(2) + ub(3), ub(5));
+        assert_eq!(ub(0) + ub(0), ub(0));
+        assert_eq!(ub(u64::MAX as u128) + ub(1), ub(1u128 << 64));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = ub(u128::MAX);
+        let b = ub(1);
+        let sum = &a + &b;
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+        assert_eq!(sum.bit_len(), 129);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = ub(u128::MAX - 5);
+        a += &ub(123);
+        assert_eq!(a, ub(u128::MAX - 5) + ub(123));
+        // no-growth fast path
+        let mut b = ub(10);
+        b += &ub(1);
+        assert_eq!(b, ub(11));
+    }
+
+    #[test]
+    fn sub_basic() {
+        assert_eq!(ub(5) - ub(3), ub(2));
+        assert_eq!(ub(5) - ub(5), ub(0));
+        assert_eq!(ub(1u128 << 64) - ub(1), ub(u64::MAX as u128));
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        assert_eq!(ub(3).checked_sub(&ub(5)), None);
+        assert_eq!(ub(3).checked_sub(&ub(3)), Some(ub(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = ub(1) - ub(2);
+    }
+
+    #[test]
+    fn abs_diff_symmetric() {
+        assert_eq!(ub(10).abs_diff(&ub(3)), ub(7));
+        assert_eq!(ub(3).abs_diff(&ub(10)), ub(7));
+        assert_eq!(ub(7).abs_diff(&ub(7)), ub(0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Division for [`UBig`]: single-limb short division plus Knuth's
+//! Algorithm D for multi-limb divisors.
+//!
+//! Short division drives decimal formatting (repeated division by 10^19) and
+//! Newton's identities (exact division of `Σ (-1)^i p_i e_{j-i}` by `j`).
+//! Algorithm D is used by the counting experiments when comparing
+//! information budgets, e.g. `2^(n²/2) / 2^(c·n·log n)`.
+
+use crate::limb::div2by1;
+use crate::{UBig, WideError};
+use std::ops::{Div, Rem};
+
+impl UBig {
+    /// Divide by a single limb: `(quotient, remainder)`.
+    pub fn divrem_small(&self, d: u64) -> Result<(UBig, u64), WideError> {
+        if d == 0 {
+            return Err(WideError::DivideByZero);
+        }
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let (qi, r) = div2by1(rem, self.limbs[i], d);
+            q[i] = qi;
+            rem = r;
+        }
+        Ok((UBig::from_limbs(q), rem))
+    }
+
+    /// Full division: `(self / other, self % other)`.
+    ///
+    /// Knuth TAOCP Vol. 2, Algorithm 4.3.1 D, with the classic two-limb
+    /// quotient estimation and at most two downward corrections.
+    pub fn divrem(&self, other: &UBig) -> Result<(UBig, UBig), WideError> {
+        if other.is_zero() {
+            return Err(WideError::DivideByZero);
+        }
+        if self < other {
+            return Ok((UBig::zero(), self.clone()));
+        }
+        if other.limbs.len() == 1 {
+            let (q, r) = self.divrem_small(other.limbs[0])?;
+            return Ok((q, UBig::from(r)));
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = other.limbs.last().unwrap().leading_zeros() as usize;
+        let u_big = self.shl(shift);
+        let v = other.shl(shift);
+        let n = v.limbs.len();
+        let mut u = u_big.limbs.clone();
+        u.push(0); // extra scratch limb u[m+n]
+        let m = u.len() - n - 1;
+        let v_top = v.limbs[n - 1];
+        let v_sub = v.limbs[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs of the current remainder.
+            let top = ((u[j + n] as u128) << 64) | (u[j + n - 1] as u128);
+            let mut qhat = top / (v_top as u128);
+            let mut rhat = top % (v_top as u128);
+            // Correct while the two-limb test shows overestimation.
+            while qhat >> 64 != 0
+                || qhat * (v_sub as u128) > ((rhat << 64) | (u[j + n - 2] as u128))
+            {
+                qhat -= 1;
+                rhat += v_top as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract u[j..j+n] -= q̂ · v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * (v.limbs[i] as u128) + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - ((p as u64) as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+
+            if sub < 0 {
+                // q̂ was one too large (rare): add v back.
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let (s, c2) = crate::limb::adc(u[j + i], v.limbs[i], c);
+                    u[j + i] = s;
+                    c = c2;
+                }
+                u[j + n] = u[j + n].wrapping_add(c);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let rem = UBig::from_limbs(u[..n].to_vec()).shr(shift);
+        Ok((UBig::from_limbs(q), rem))
+    }
+}
+
+impl Div for &UBig {
+    type Output = UBig;
+    fn div(self, rhs: &UBig) -> UBig {
+        self.divrem(rhs).expect("division by zero").0
+    }
+}
+
+impl Rem for &UBig {
+    type Output = UBig;
+    fn rem(self, rhs: &UBig) -> UBig {
+        self.divrem(rhs).expect("division by zero").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> UBig {
+        UBig::from(v)
+    }
+
+    #[test]
+    fn small_division() {
+        let (q, r) = ub(100).divrem_small(7).unwrap();
+        assert_eq!((q, r), (ub(14), 2));
+        let (q, r) = ub(0).divrem_small(7).unwrap();
+        assert_eq!((q, r), (ub(0), 0));
+    }
+
+    #[test]
+    fn divide_by_zero_is_error() {
+        assert_eq!(ub(1).divrem_small(0), Err(WideError::DivideByZero));
+        assert!(ub(1).divrem(&UBig::zero()).is_err());
+    }
+
+    #[test]
+    fn divrem_matches_u128() {
+        let vals = [
+            1u128,
+            2,
+            7,
+            u64::MAX as u128,
+            (u64::MAX as u128) + 1,
+            u128::MAX / 3,
+            u128::MAX,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let (q, r) = ub(a).divrem(&ub(b)).unwrap();
+                assert_eq!(q, ub(a / b), "{a} / {b}");
+                assert_eq!(r, ub(a % b), "{a} % {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn divrem_reconstructs() {
+        // q*b + r == a and r < b, on multi-limb values.
+        let a = UBig::from_limbs(vec![0xdead_beef, 0xfeed_face, 0x1234_5678, 0x9abc]);
+        let b = UBig::from_limbs(vec![0xffff_0001, 0x7fff]);
+        let (q, r) = a.divrem(&b).unwrap();
+        assert!(r < b);
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = ub(3).divrem(&ub(u128::MAX)).unwrap();
+        assert_eq!(q, UBig::zero());
+        assert_eq!(r, ub(3));
+    }
+
+    #[test]
+    fn correction_step_exercised() {
+        // Divisor with small second limb triggers the qhat adjustment loop.
+        let a = UBig::from_limbs(vec![0, 0, 1, u64::MAX]);
+        let b = UBig::from_limbs(vec![1, 1 << 63]);
+        let (q, r) = a.divrem(&b).unwrap();
+        assert!(r < b);
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn power_of_two_division() {
+        let big = UBig::from(1u64).shl(500);
+        let (q, r) = big.divrem(&UBig::from(1u64).shl(123)).unwrap();
+        assert_eq!(q, UBig::from(1u64).shl(377));
+        assert!(r.is_zero());
+    }
+}

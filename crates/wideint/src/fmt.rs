@@ -1,0 +1,166 @@
+//! Formatting and parsing for [`UBig`].
+//!
+//! Decimal output repeatedly divides by 10^19 (the largest power of ten in a
+//! limb); hex output is a direct limb dump. Parsing accepts decimal and,
+//! with a `0x` prefix, hexadecimal.
+
+use crate::{UBig, WideError};
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest power of ten that fits in a limb: 10^19.
+const DEC_CHUNK: u64 = 10_000_000_000_000_000_000;
+const DEC_CHUNK_DIGITS: usize = 19;
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_small(DEC_CHUNK).expect("nonzero divisor");
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:0DEC_CHUNK_DIGITS$}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({self})")
+    }
+}
+
+impl fmt::LowerHex for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl FromStr for UBig {
+    type Err = WideError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            return parse_radix(hex, 16);
+        }
+        parse_radix(s, 10)
+    }
+}
+
+fn parse_radix(s: &str, radix: u64) -> Result<UBig, WideError> {
+    if s.is_empty() {
+        return Err(WideError::InvalidDigit);
+    }
+    let mut acc = UBig::zero();
+    for ch in s.chars() {
+        if ch == '_' {
+            continue;
+        }
+        let d = ch.to_digit(radix as u32).ok_or(WideError::InvalidDigit)? as u64;
+        acc = acc.mul_small(radix).add_ref(&UBig::from(d));
+    }
+    Ok(acc)
+}
+
+impl UBig {
+    /// Approximate base-2 logarithm as an `f64` (useful for the Lemma 1
+    /// budget plots where counts like 2^(n²/2) must be compared on a log
+    /// scale). Exact for powers of two; error < 1e-10 relative otherwise.
+    pub fn log2(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            _ => {
+                let bits = self.bit_len();
+                // Take the top 64 bits as a mantissa.
+                let top = if bits <= 64 {
+                    self.limbs[self.limbs.len() - 1] as f64
+                } else {
+                    let shifted = self.shr(bits - 64);
+                    shifted.limbs[0] as f64
+                };
+                let top_bits = if bits <= 64 { bits } else { 64 };
+                top.log2() + (bits - top_bits) as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(UBig::from(7u64).to_string(), "7");
+        assert_eq!(UBig::from(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(UBig::from(u128::MAX).to_string(), u128::MAX.to_string());
+    }
+
+    #[test]
+    fn display_pads_interior_chunks() {
+        // 10^19 exactly: second chunk is 1, first chunk must print 19 zeros.
+        let v = UBig::from(DEC_CHUNK);
+        assert_eq!(v.to_string(), "10000000000000000000");
+        let v2 = v.mul_small(10).add_ref(&UBig::from(5u64));
+        assert_eq!(v2.to_string(), "100000000000000000005");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455"] {
+            assert_eq!(UBig::from_str(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_hex_and_separators() {
+        assert_eq!(UBig::from_str("0xff").unwrap(), UBig::from(255u64));
+        assert_eq!(UBig::from_str("1_000").unwrap(), UBig::from(1000u64));
+        assert_eq!(
+            UBig::from_str("0x1_0000_0000_0000_0000").unwrap(),
+            UBig::from(1u128 << 64)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(UBig::from_str("").is_err());
+        assert!(UBig::from_str("12a").is_err());
+        assert!(UBig::from_str("0x").is_err());
+        assert!(UBig::from_str("-5").is_err());
+    }
+
+    #[test]
+    fn hex_format() {
+        assert_eq!(format!("{:x}", UBig::zero()), "0");
+        assert_eq!(format!("{:x}", UBig::from(0xdead_beefu64)), "deadbeef");
+        let v = UBig::from(1u128 << 64).add_ref(&UBig::from(0xabu64));
+        assert_eq!(format!("{v:x}"), "100000000000000ab");
+    }
+
+    #[test]
+    fn log2_sanity() {
+        assert_eq!(UBig::from(1u64).log2(), 0.0);
+        assert_eq!(UBig::from(1024u64).log2(), 10.0);
+        let v = UBig::from(2u64).pow(777);
+        assert!((v.log2() - 777.0).abs() < 1e-9);
+        let v3 = UBig::from(3u64).pow(100);
+        assert!((v3.log2() - 100.0 * 3f64.log2()).abs() < 1e-6);
+    }
+}

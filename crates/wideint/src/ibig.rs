@@ -1,0 +1,294 @@
+//! [`IBig`]: signed arbitrary-precision integer (sign–magnitude over
+//! [`UBig`]).
+//!
+//! Needed by the Newton-identity decoder: the recurrence
+//! `j·e_j = Σ_{i=1}^{j} (-1)^{i-1} e_{j-i} p_i` alternates signs even though
+//! the inputs (power sums) and outputs (elementary symmetric polynomials of
+//! positive IDs) are non-negative, and polynomial evaluation at candidate
+//! roots swings negative between roots.
+
+use crate::{UBig, WideError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of an [`IBig`]. Zero is always [`Sign::Positive`] (normalized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// ≥ 0.
+    Positive,
+    /// < 0 (magnitude is then non-zero).
+    Negative,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+}
+
+/// Signed arbitrary-precision integer.
+///
+/// Invariant: zero always carries [`Sign::Positive`], so `==` is structural.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IBig {
+    sign: Sign,
+    mag: UBig,
+}
+
+impl IBig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        IBig { sign: Sign::Positive, mag: UBig::zero() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        IBig { sign: Sign::Positive, mag: UBig::one() }
+    }
+
+    /// Build from a sign and magnitude (normalizing zero).
+    pub fn from_sign_mag(sign: Sign, mag: UBig) -> Self {
+        if mag.is_zero() {
+            IBig::zero()
+        } else {
+            IBig { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &UBig {
+        &self.mag
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// True iff the value is < 0.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Convert to a non-negative [`UBig`], failing on negatives.
+    pub fn to_ubig(&self) -> Result<UBig, WideError> {
+        match self.sign {
+            Sign::Positive => Ok(self.mag.clone()),
+            Sign::Negative => Err(WideError::NegativeToUnsigned),
+        }
+    }
+
+    /// Exact division by a small positive integer; `None` if not divisible.
+    ///
+    /// Newton's identities divide by the index `j`; divisibility is
+    /// guaranteed for consistent sketches and *checked* here so corrupted
+    /// messages surface as decode failures instead of wrong graphs.
+    pub fn exact_div_small(&self, d: u64) -> Option<IBig> {
+        let (q, r) = self.mag.divrem_small(d).ok()?;
+        if r != 0 {
+            return None;
+        }
+        Some(IBig::from_sign_mag(self.sign, q))
+    }
+}
+
+impl From<&UBig> for IBig {
+    fn from(u: &UBig) -> Self {
+        IBig::from_sign_mag(Sign::Positive, u.clone())
+    }
+}
+
+impl From<UBig> for IBig {
+    fn from(u: UBig) -> Self {
+        IBig::from_sign_mag(Sign::Positive, u)
+    }
+}
+
+impl From<i64> for IBig {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            IBig::from_sign_mag(Sign::Negative, UBig::from(v.unsigned_abs()))
+        } else {
+            IBig::from_sign_mag(Sign::Positive, UBig::from(v as u64))
+        }
+    }
+}
+
+impl Neg for IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        IBig::from_sign_mag(self.sign.flip(), self.mag)
+    }
+}
+
+impl Neg for &IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        IBig::from_sign_mag(self.sign.flip(), self.mag.clone())
+    }
+}
+
+impl Add for &IBig {
+    type Output = IBig;
+    fn add(self, rhs: &IBig) -> IBig {
+        if self.sign == rhs.sign {
+            return IBig::from_sign_mag(self.sign, self.mag.add_ref(&rhs.mag));
+        }
+        // Opposite signs: subtract the smaller magnitude from the larger.
+        match self.mag.cmp(&rhs.mag) {
+            Ordering::Equal => IBig::zero(),
+            Ordering::Greater => {
+                IBig::from_sign_mag(self.sign, self.mag.checked_sub(&rhs.mag).unwrap())
+            }
+            Ordering::Less => {
+                IBig::from_sign_mag(rhs.sign, rhs.mag.checked_sub(&self.mag).unwrap())
+            }
+        }
+    }
+}
+
+impl Add for IBig {
+    type Output = IBig;
+    fn add(self, rhs: IBig) -> IBig {
+        &self + &rhs
+    }
+}
+
+impl Sub for &IBig {
+    type Output = IBig;
+    fn sub(self, rhs: &IBig) -> IBig {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for IBig {
+    type Output = IBig;
+    fn sub(self, rhs: IBig) -> IBig {
+        &self - &rhs
+    }
+}
+
+impl Mul for &IBig {
+    type Output = IBig;
+    fn mul(self, rhs: &IBig) -> IBig {
+        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        IBig::from_sign_mag(sign, self.mag.mul_ref(&rhs.mag))
+    }
+}
+
+impl Mul for IBig {
+    type Output = IBig;
+    fn mul(self, rhs: IBig) -> IBig {
+        &self * &rhs
+    }
+}
+
+impl Ord for IBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Positive, Sign::Negative) => Ordering::Greater,
+            (Sign::Negative, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.mag.cmp(&other.mag),
+            (Sign::Negative, Sign::Negative) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for IBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IBig({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib(v: i64) -> IBig {
+        IBig::from(v)
+    }
+
+    #[test]
+    fn zero_is_positive() {
+        assert_eq!(ib(0).sign(), Sign::Positive);
+        assert_eq!(-ib(0), ib(0));
+        assert_eq!(ib(5) + ib(-5), ib(0));
+    }
+
+    #[test]
+    fn add_matches_i64() {
+        let vals = [-100i64, -1, 0, 1, 7, 100, i32::MAX as i64];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(ib(a) + ib(b), ib(a + b), "{a} + {b}");
+                assert_eq!(ib(a) - ib(b), ib(a - b), "{a} - {b}");
+                assert_eq!(ib(a) * ib(b), ib(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64() {
+        let vals = [-100i64, -1, 0, 1, 100];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(ib(a).cmp(&ib(b)), a.cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(ib(-42).to_string(), "-42");
+        assert_eq!(ib(0).to_string(), "0");
+    }
+
+    #[test]
+    fn to_ubig() {
+        assert_eq!(ib(5).to_ubig().unwrap(), UBig::from(5u64));
+        assert!(ib(-5).to_ubig().is_err());
+        assert_eq!(ib(0).to_ubig().unwrap(), UBig::zero());
+    }
+
+    #[test]
+    fn exact_div() {
+        assert_eq!(ib(12).exact_div_small(3), Some(ib(4)));
+        assert_eq!(ib(-12).exact_div_small(3), Some(ib(-4)));
+        assert_eq!(ib(13).exact_div_small(3), None);
+        assert_eq!(ib(0).exact_div_small(7), Some(ib(0)));
+        assert_eq!(ib(5).exact_div_small(0), None);
+    }
+
+    #[test]
+    fn large_magnitude_ops() {
+        let big = IBig::from(UBig::from(2u64).pow(200));
+        let neg = -big.clone();
+        assert_eq!(&big + &neg, IBig::zero());
+        assert!((&neg - &IBig::one()).is_negative());
+        assert_eq!(&big * &neg, -IBig::from(UBig::from(2u64).pow(400)));
+    }
+}

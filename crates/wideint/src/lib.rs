@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! Exact arbitrary-precision integer arithmetic.
+//!
+//! This crate is the numeric substrate of the `referee-one-round` workspace,
+//! the Rust reproduction of Becker et al., *Adding a referee to an
+//! interconnection network* (IPDPS 2011).
+//!
+//! Why a bespoke bignum? The positive result of the paper (Theorem 5) has
+//! every vertex `v` send the power sums `b_p(v) = Σ_{w ∈ N(v)} ID(w)^p` for
+//! `p = 1..k` (Algorithm 3). With `n` vertices these sums reach `n^{k+1}`,
+//! which overflows `u128` as soon as `(k+1)·log2(n) > 128` (e.g. `k = 8`,
+//! `n = 10^5`). Decoding via Newton's identities additionally needs exact
+//! *signed* arithmetic on elementary symmetric polynomials. Both are small,
+//! well-specified needs, so we implement them directly instead of pulling a
+//! general bignum dependency.
+//!
+//! Two types are exported:
+//!
+//! * [`UBig`] — unsigned, little-endian `u64` limbs, always normalized
+//!   (no trailing zero limbs; zero is the empty limb vector).
+//! * [`IBig`] — sign–magnitude wrapper over [`UBig`].
+//!
+//! All operations are exact; there is no silent wrap-around anywhere.
+//!
+//! # Example
+//!
+//! ```
+//! use referee_wideint::UBig;
+//!
+//! // 10^40 does not fit in u128 but is exact here.
+//! let big = UBig::from(10u64).pow(40);
+//! assert_eq!(big.to_string(), "1".to_string() + &"0".repeat(40));
+//! assert_eq!(big.bit_len(), 133);
+//! ```
+
+mod add;
+mod div;
+mod fmt;
+mod ibig;
+mod limb;
+mod mul;
+mod pow;
+mod ubig;
+
+pub use ibig::{IBig, Sign};
+pub use ubig::UBig;
+
+/// Errors produced when parsing or converting wide integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WideError {
+    /// The input string was empty or contained an invalid digit.
+    InvalidDigit,
+    /// Conversion to a narrower type would lose information.
+    Overflow,
+    /// Division by zero.
+    DivideByZero,
+    /// A negative result where an unsigned value was required.
+    NegativeToUnsigned,
+}
+
+impl std::fmt::Display for WideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WideError::InvalidDigit => write!(f, "invalid digit in input"),
+            WideError::Overflow => write!(f, "value does not fit in target type"),
+            WideError::DivideByZero => write!(f, "division by zero"),
+            WideError::NegativeToUnsigned => {
+                write!(f, "negative value cannot convert to unsigned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WideError {}

@@ -1,0 +1,89 @@
+//! Low-level single-limb primitives shared by the multi-limb algorithms.
+//!
+//! A *limb* is a `u64`. All multi-limb routines in this crate are built from
+//! the three carry/borrow primitives below plus the widening multiply. They
+//! are kept `#[inline]` and branch-free where possible: the encoder of
+//! Algorithm 3 calls them in a tight loop over every vertex of the graph.
+
+/// Add with carry: returns `(sum, carry_out)` for `a + b + carry_in`.
+///
+/// `carry_in` must be 0 or 1; `carry_out` is 0 or 1.
+#[inline]
+pub(crate) fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    debug_assert!(carry <= 1);
+    let (s1, c1) = a.overflowing_add(b);
+    let (s2, c2) = s1.overflowing_add(carry);
+    (s2, u64::from(c1) + u64::from(c2))
+}
+
+/// Subtract with borrow: returns `(diff, borrow_out)` for `a - b - borrow_in`.
+///
+/// `borrow_in` must be 0 or 1; `borrow_out` is 0 or 1.
+#[inline]
+pub(crate) fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    debug_assert!(borrow <= 1);
+    let (d1, b1) = a.overflowing_sub(b);
+    let (d2, b2) = d1.overflowing_sub(borrow);
+    (d2, u64::from(b1) + u64::from(b2))
+}
+
+/// Widening multiply-accumulate: `a * b + acc + carry` as `(low, high)`.
+///
+/// The result cannot overflow 128 bits: `(2^64-1)^2 + 2*(2^64-1) < 2^128`.
+#[inline]
+pub(crate) fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128) + (acc as u128) + (carry as u128);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Divide the two-limb value `(hi, lo)` by a single limb `d`, returning
+/// `(quotient, remainder)`. Requires `hi < d` so the quotient fits one limb.
+#[inline]
+pub(crate) fn div2by1(hi: u64, lo: u64, d: u64) -> (u64, u64) {
+    debug_assert!(d != 0);
+    debug_assert!(hi < d, "quotient would overflow a limb");
+    let num = ((hi as u128) << 64) | (lo as u128);
+    ((num / d as u128) as u64, (num % d as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_basic() {
+        assert_eq!(adc(1, 2, 0), (3, 0));
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(u64::MAX, 0, 1), (0, 1));
+    }
+
+    #[test]
+    fn sbb_basic() {
+        assert_eq!(sbb(3, 2, 0), (1, 0));
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+        assert_eq!(sbb(0, u64::MAX, 1), (0, 1));
+    }
+
+    #[test]
+    fn mac_basic() {
+        assert_eq!(mac(0, 0, 0, 0), (0, 0));
+        assert_eq!(mac(5, 2, 3, 7), (18, 0));
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let (lo, hi) = mac(0, u64::MAX, u64::MAX, 0);
+        assert_eq!(lo, 1);
+        assert_eq!(hi, u64::MAX - 1);
+        // max everything still fits
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!((hi, lo), (u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn div2by1_basic() {
+        assert_eq!(div2by1(0, 10, 3), (3, 1));
+        // (1 << 64 | 0) / 2 = 1 << 63
+        assert_eq!(div2by1(1, 0, 2), (1 << 63, 0));
+        assert_eq!(div2by1(2, 5, 7), ((((2u128 << 64) + 5) / 7) as u64, (((2u128 << 64) + 5) % 7) as u64));
+    }
+}

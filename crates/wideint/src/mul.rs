@@ -1,0 +1,218 @@
+//! Multiplication for [`UBig`]: schoolbook below a threshold, Karatsuba
+//! above it.
+//!
+//! The power-sum encoder multiplies numbers of at most a few limbs, so the
+//! schoolbook path is the hot one and is written allocation-minimal. The
+//! Karatsuba path exists for the counting experiments (Lemma 1), which
+//! manipulate counts like 2^(n²/2) with thousands of bits.
+
+use crate::limb::mac;
+use crate::UBig;
+use std::ops::{Mul, MulAssign};
+
+/// Limb-count threshold below which schoolbook multiplication is used.
+/// Chosen empirically; the crossover is flat between 16 and 48 limbs.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product of two limb slices into `out` (which must be zeroed
+/// and have length `a.len() + b.len()`).
+fn mul_schoolbook(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert!(out.iter().all(|&w| w == 0));
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = mac(out[i + j], ai, bj, carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// Add `b` into `a[offset..]` with carry propagation. `a` must be long
+/// enough that the carry never falls off the end.
+fn add_into(a: &mut [u64], offset: usize, b: &[u64]) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < b.len() || carry != 0 {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (s, c) = crate::limb::adc(a[offset + i], bi, carry);
+        a[offset + i] = s;
+        carry = c;
+        i += 1;
+    }
+}
+
+/// Subtract `b` from `a[offset..]`; the difference must be non-negative.
+fn sub_from(a: &mut [u64], offset: usize, b: &[u64]) {
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < b.len() || borrow != 0 {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d, br) = crate::limb::sbb(a[offset + i], bi, borrow);
+        a[offset + i] = d;
+        borrow = br;
+        i += 1;
+    }
+}
+
+/// Karatsuba: split at `m = max/2`, three recursive products.
+fn mul_karatsuba(a: &[u64], b: &[u64], out: &mut [u64]) {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        mul_schoolbook(a, b, out);
+        return;
+    }
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = b.split_at(m.min(b.len()));
+
+    // z0 = a0*b0 placed at out[0..], z2 = a1*b1 placed at out[2m..]
+    let mut z0 = vec![0u64; a0.len() + b0.len()];
+    mul_karatsuba(a0, b0, &mut z0);
+    let mut z2 = vec![0u64; a1.len() + b1.len()];
+    if !a1.is_empty() && !b1.is_empty() {
+        mul_karatsuba(a1, b1, &mut z2);
+    }
+
+    // z1 = (a0+a1)(b0+b1) - z0 - z2
+    let asum = UBig::from_limbs(a0.to_vec()).add_ref(&UBig::from_limbs(a1.to_vec()));
+    let bsum = UBig::from_limbs(b0.to_vec()).add_ref(&UBig::from_limbs(b1.to_vec()));
+    let mut z1 = vec![0u64; asum.limbs.len() + bsum.limbs.len()];
+    mul_karatsuba(&asum.limbs, &bsum.limbs, &mut z1);
+
+    out[..z0.len()].copy_from_slice(&z0);
+    add_into(out, 2 * m, &z2);
+    add_into(out, m, &z1);
+    sub_from(out, m, &z0);
+    sub_from(out, m, &z2);
+}
+
+impl UBig {
+    /// `self * other`, exact.
+    pub fn mul_ref(&self, other: &UBig) -> UBig {
+        if self.is_zero() || other.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        if self.limbs.len().min(other.limbs.len()) < KARATSUBA_THRESHOLD {
+            mul_schoolbook(&self.limbs, &other.limbs, &mut out);
+        } else {
+            mul_karatsuba(&self.limbs, &other.limbs, &mut out);
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Multiply in place by a single limb (hot path of the encoder).
+    pub fn mul_small(&self, m: u64) -> UBig {
+        if m == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &w in &self.limbs {
+            let (lo, hi) = mac(0, w, m, carry);
+            out.push(lo);
+            carry = hi;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Mul for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: UBig) -> UBig {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl MulAssign<&UBig> for UBig {
+    fn mul_assign(&mut self, rhs: &UBig) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> UBig {
+        UBig::from(v)
+    }
+
+    #[test]
+    fn mul_small_values() {
+        assert_eq!(ub(6) * ub(7), ub(42));
+        assert_eq!(ub(0) * ub(7), ub(0));
+        assert_eq!(ub(1) * ub(7), ub(7));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let vals = [0u128, 1, 2, 0xffff_ffff, u64::MAX as u128, (u64::MAX as u128) + 1];
+        for &a in &vals {
+            for &b in &vals {
+                if let Some(p) = a.checked_mul(b) {
+                    assert_eq!(ub(a) * ub(b), ub(p), "{a} * {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_small_matches_mul() {
+        let a = ub(u128::MAX / 3);
+        for m in [0u64, 1, 2, 12345, u64::MAX] {
+            assert_eq!(a.mul_small(m), a.mul_ref(&UBig::from(m)));
+        }
+    }
+
+    #[test]
+    fn mul_big_square() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = ub(u128::MAX);
+        let sq = &a * &a;
+        let expect = UBig::from(1u64).shl(256).checked_sub(&UBig::from(1u64).shl(129)).unwrap()
+            + UBig::from(1u64);
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Deterministic pseudo-random limbs, big enough to cross the threshold.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let a = UBig::from_limbs((0..100).map(|_| next()).collect());
+        let b = UBig::from_limbs((0..80).map(|_| next()).collect());
+        let mut school = vec![0u64; a.limbs().len() + b.limbs().len()];
+        mul_schoolbook(a.limbs(), b.limbs(), &mut school);
+        assert_eq!(a.mul_ref(&b), UBig::from_limbs(school));
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let a = UBig::from_limbs(vec![3, 5, 7]);
+        let b = UBig::from_limbs(vec![11, 13]);
+        let c = UBig::from_limbs(vec![17, 19, 23, 29]);
+        assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+        assert_eq!(a.mul_ref(&b).mul_ref(&c), a.mul_ref(&b.mul_ref(&c)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Exponentiation for [`UBig`].
+
+use crate::UBig;
+
+impl UBig {
+    /// `self^exp` by binary exponentiation. `0^0 == 1` by convention.
+    pub fn pow(&self, mut exp: u32) -> UBig {
+        let mut base = self.clone();
+        let mut acc = UBig::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// `b^p` for limb-sized base: the encoder's `ID(w)^p` (Algorithm 3).
+    ///
+    /// Stays in `u128` while it fits and only spills into multi-limb
+    /// arithmetic beyond that, which keeps the common parameter ranges of
+    /// the paper (`k ≤ 5`, `n ≤ 10^5`) allocation-free per step.
+    pub fn pow_of(base: u64, p: u32) -> UBig {
+        // Fits in u128 iff p * bit_len(base) <= 127.
+        let bits = 64 - base.leading_zeros();
+        if bits == 0 {
+            return if p == 0 { UBig::one() } else { UBig::zero() };
+        }
+        if (bits as u64) * (p as u64) <= 127 {
+            let mut acc: u128 = 1;
+            for _ in 0..p {
+                acc *= base as u128;
+            }
+            UBig::from(acc)
+        } else {
+            UBig::from(base).pow(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(UBig::from(2u64).pow(10), UBig::from(1024u64));
+        assert_eq!(UBig::from(3u64).pow(0), UBig::one());
+        assert_eq!(UBig::zero().pow(0), UBig::one());
+        assert_eq!(UBig::zero().pow(5), UBig::zero());
+        assert_eq!(UBig::one().pow(1_000_000), UBig::one());
+    }
+
+    #[test]
+    fn pow_large_bitlen() {
+        assert_eq!(UBig::from(2u64).pow(200).bit_len(), 201);
+        assert_eq!(UBig::from(2u64).pow(200).shr(200), UBig::one());
+    }
+
+    #[test]
+    fn pow_of_matches_pow() {
+        for base in [0u64, 1, 2, 3, 10, 65535, u32::MAX as u64, u64::MAX] {
+            for p in [0u32, 1, 2, 3, 7, 20] {
+                assert_eq!(UBig::pow_of(base, p), UBig::from(base).pow(p), "{base}^{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_of_spills_correctly() {
+        // 3^100 needs ~159 bits — exercises the multi-limb branch.
+        let v = UBig::pow_of(3, 100);
+        assert_eq!(v, UBig::from(3u64).pow(100));
+        assert!(v.bit_len() > 128);
+    }
+}

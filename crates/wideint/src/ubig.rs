@@ -1,0 +1,240 @@
+//! [`UBig`]: unsigned arbitrary-precision integer.
+//!
+//! Representation: little-endian `Vec<u64>` limbs with the *normalization
+//! invariant* that the most significant limb is non-zero; zero is the empty
+//! vector. Every constructor and arithmetic routine restores this invariant,
+//! so `==` and `cmp` are plain limb comparisons.
+
+use crate::WideError;
+
+/// Unsigned arbitrary-precision integer (little-endian `u64` limbs).
+///
+/// See the [crate docs](crate) for why this exists. The API is deliberately
+/// small: exactly what the power-sum encoder (Algorithm 3 of the paper), the
+/// Newton-identity decoder and the counting experiments (Lemma 1) need.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct UBig {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Construct from raw little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Borrow the little-endian limbs (normalized; empty means zero).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of bits in the binary representation (0 for zero).
+    ///
+    /// This is the quantity Lemma 2 of the paper bounds: a power sum
+    /// `b_p ≤ n^{p+1}` has `bit_len ≤ (p+1)·log2(n) + 1`.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |w| (w >> off) & 1 == 1)
+    }
+
+    /// Convert to `u64` if it fits.
+    pub fn to_u64(&self) -> Result<u64, WideError> {
+        match self.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(self.limbs[0]),
+            _ => Err(WideError::Overflow),
+        }
+    }
+
+    /// Convert to `u128` if it fits.
+    pub fn to_u128(&self) -> Result<u128, WideError> {
+        match self.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(self.limbs[0] as u128),
+            2 => Ok((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => Err(WideError::Overflow),
+        }
+    }
+
+    /// Left shift by `sh` bits.
+    pub fn shl(&self, sh: usize) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        let (limb_sh, bit_sh) = (sh / 64, sh % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_sh + 1];
+        for (i, &w) in self.limbs.iter().enumerate() {
+            if bit_sh == 0 {
+                out[i + limb_sh] |= w;
+            } else {
+                out[i + limb_sh] |= w << bit_sh;
+                out[i + limb_sh + 1] |= w >> (64 - bit_sh);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Right shift by `sh` bits (towards zero).
+    pub fn shr(&self, sh: usize) -> UBig {
+        let (limb_sh, bit_sh) = (sh / 64, sh % 64);
+        if limb_sh >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_sh);
+        for i in limb_sh..self.limbs.len() {
+            let mut w = self.limbs[i] >> bit_sh;
+            if bit_sh != 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    w |= next << (64 - bit_sh);
+                }
+            }
+            out.push(w);
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            UBig::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for UBig {
+    fn from(v: u32) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl From<usize> for UBig {
+    fn from(v: usize) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Normalized ⇒ longer limb vector means strictly larger value.
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::from(0u64), UBig::zero());
+        assert_eq!(UBig::from_limbs(vec![0, 0, 0]), UBig::zero());
+        assert_eq!(UBig::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn bit_len_matches_u128() {
+        for v in [1u128, 2, 3, 255, 256, u64::MAX as u128, 1 << 100, u128::MAX] {
+            assert_eq!(UBig::from(v).bit_len(), (128 - v.leading_zeros()) as usize);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_u128() {
+        let vals = [0u128, 1, 2, u64::MAX as u128, 1 << 64, (1 << 64) + 1, u128::MAX];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(UBig::from(a).cmp(&UBig::from(b)), a.cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_u128() {
+        for v in [0u128, 1, 12345, u64::MAX as u128 + 17, u128::MAX] {
+            assert_eq!(UBig::from(v).to_u128().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn to_u64_overflow() {
+        assert_eq!(UBig::from(u128::MAX).to_u64(), Err(WideError::Overflow));
+        assert_eq!(UBig::from(42u64).to_u64(), Ok(42));
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = 0x0123_4567_89ab_cdefu128 | (0xfeed_u128 << 64);
+        for sh in [0usize, 1, 7, 63, 64, 65, 100] {
+            if sh < 128 && (v << sh) >> sh == v {
+                assert_eq!(UBig::from(v).shl(sh).to_u128().unwrap(), v << sh, "shl {sh}");
+            }
+            assert_eq!(UBig::from(v).shr(sh).to_u128().unwrap(), v >> sh.min(127), "shr {sh}");
+        }
+        assert_eq!(UBig::zero().shl(1000), UBig::zero());
+        assert_eq!(UBig::from(1u64).shr(1), UBig::zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = UBig::from(0b1010u64);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(64 * 3)); // out of range is false
+        let big = UBig::from(1u64).shl(200);
+        assert!(big.bit(200));
+        assert!(!big.bit(199));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for `referee-wideint`, using `u128` as the reference
+//! oracle where results fit, plus algebraic-law checks beyond 128 bits.
+
+use proptest::prelude::*;
+use referee_wideint::{IBig, UBig};
+
+fn ub(v: u128) -> UBig {
+    UBig::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0..u128::MAX / 2, b in 0..u128::MAX / 2) {
+        prop_assert_eq!(ub(a) + ub(b), ub(a + b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(ub(hi) - ub(lo), ub(hi - lo));
+        prop_assert_eq!(ub(lo).checked_sub(&ub(hi)).is_none(), hi > lo);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(ub(a as u128) * ub(b as u128), ub(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = ub(a).divrem(&ub(b)).unwrap();
+        prop_assert_eq!(q, ub(a / b));
+        prop_assert_eq!(r, ub(a % b));
+    }
+
+    #[test]
+    fn divrem_reconstructs_large(
+        a in proptest::collection::vec(any::<u64>(), 1..12),
+        b in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let a = UBig::from_limbs(a);
+        let b = UBig::from_limbs(b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        a in proptest::collection::vec(any::<u64>(), 0..8),
+        b in proptest::collection::vec(any::<u64>(), 0..8),
+        c in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let (a, b, c) = (UBig::from_limbs(a), UBig::from_limbs(b), UBig::from_limbs(c));
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in proptest::collection::vec(any::<u64>(), 0..6), sh in 0usize..300) {
+        let a = UBig::from_limbs(a);
+        prop_assert_eq!(a.shl(sh).shr(sh), a);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let a = UBig::from_limbs(a);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<UBig>().unwrap(), a);
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul(base in 0u64..1000, exp in 0u32..12) {
+        let mut acc = UBig::one();
+        for _ in 0..exp {
+            acc = acc.mul_small(base);
+        }
+        prop_assert_eq!(UBig::from(base).pow(exp), acc.clone());
+        prop_assert_eq!(UBig::pow_of(base, exp), acc);
+    }
+
+    #[test]
+    fn ibig_matches_i128(a in -(1i128 << 62)..(1i128 << 62), b in -(1i128 << 62)..(1i128 << 62)) {
+        let ia = IBig::from(a as i64);
+        let ib_ = IBig::from(b as i64);
+        let to_ibig = |v: i128| {
+            if v < 0 {
+                -IBig::from(UBig::from(v.unsigned_abs()))
+            } else {
+                IBig::from(UBig::from(v as u128))
+            }
+        };
+        prop_assert_eq!(&ia + &ib_, to_ibig(a + b));
+        prop_assert_eq!(&ia - &ib_, to_ibig(a - b));
+        prop_assert_eq!(&ia * &ib_, to_ibig(a * b));
+        prop_assert_eq!(ia.cmp(&ib_), a.cmp(&b));
+    }
+
+    #[test]
+    fn bit_len_bounds_value(a in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let a = UBig::from_limbs(a);
+        prop_assume!(!a.is_zero());
+        let bl = a.bit_len();
+        // 2^(bl-1) <= a < 2^bl
+        prop_assert!(a >= UBig::one().shl(bl - 1));
+        prop_assert!(a < UBig::one().shl(bl));
+    }
+}

@@ -1,0 +1,78 @@
+//! The negative results of §II, live: the gadget constructions of
+//! Theorems 1–3 (Figures 1 and 2) and the executable reductions Δ that
+//! turn any decision protocol Γ into a reconstruction protocol.
+//!
+//! Run with: `cargo run --release --example hardness_gadgets`
+
+use rand::{rngs::StdRng, SeedableRng};
+use referee_one_round::prelude::*;
+use referee_one_round::reductions::gadgets;
+use referee_one_round::reductions::oracle::{DiameterOracle, SquareOracle, TriangleOracle};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2011);
+
+    // ---- Figure 1: the diameter gadget -----------------------------------
+    println!("== Theorem 2 / Figure 1: diameter gadget ==");
+    let g = generators::gnp(7, 0.35, &mut rng);
+    println!("G on 7 vertices: {g:?}");
+    for (s, t) in [(1u32, 7u32), (2, 5)] {
+        let gadget = gadgets::diameter_gadget(&g, s, t);
+        println!(
+            "  G'_{{{s},{t}}}: 10 vertices, diam ≤ 3? {}  — {{{s},{t}}} ∈ E? {}",
+            algo::diameter_at_most(&gadget, 3),
+            g.has_edge(s, t),
+        );
+        assert_eq!(algo::diameter_at_most(&gadget, 3), g.has_edge(s, t));
+    }
+
+    // ---- Figure 2: the triangle gadget ------------------------------------
+    println!("\n== Theorem 3 / Figure 2: triangle gadget ==");
+    let bip = generators::random_balanced_bipartite(8, 0.4, &mut rng);
+    for (s, t) in [(2u32, 7u32), (1, 5)] {
+        let gadget = gadgets::triangle_gadget(&bip, s, t);
+        println!(
+            "  G'_{{{s},{t}}}: triangle? {}  — {{{s},{t}}} ∈ E? {}",
+            algo::has_triangle(&gadget),
+            bip.has_edge(s, t),
+        );
+        assert_eq!(algo::has_triangle(&gadget), bip.has_edge(s, t));
+    }
+
+    // ---- The reductions Δ, end to end --------------------------------------
+    // Instantiate Γ with (non-frugal) oracles; Δ must reconstruct exactly.
+    println!("\n== Executable reductions Δ (Algorithms 1–2, Thm 3) ==");
+
+    let sq_free = generators::random_square_free(14, &mut rng);
+    let delta1 = SquareReduction::new(SquareOracle);
+    let out1 = run_protocol(&delta1, &sq_free);
+    assert_eq!(out1.output, sq_free);
+    println!(
+        "Δ₁ (squares):  reconstructed a 14-vertex square-free graph, {} bits/msg",
+        out1.stats.max_message_bits
+    );
+
+    let any = generators::gnp(12, 0.5, &mut rng);
+    let delta2 = DiameterReduction::new(DiameterOracle);
+    let out2 = run_protocol(&delta2, &any);
+    assert_eq!(out2.output.unwrap(), any);
+    println!(
+        "Δ₂ (diameter): reconstructed an ARBITRARY 12-vertex graph, {} bits/msg (3 bundled Γ messages)",
+        out2.stats.max_message_bits
+    );
+
+    let delta3 = TriangleReduction::new(TriangleOracle);
+    let out3 = run_protocol(&delta3, &bip);
+    assert_eq!(out3.output.unwrap(), bip);
+    println!(
+        "Δ₃ (triangle): reconstructed an 8-vertex bipartite graph, {} bits/msg (2 bundled Γ messages)",
+        out3.stats.max_message_bits
+    );
+
+    println!(
+        "\nConclusion (Lemma 1): since Δ reconstructs families of size \
+         2^Θ(n^{{3/2}}) or 2^Θ(n²) from n messages, no frugal Γ can exist — \
+         a frugal Γ would make Δ frugal, but frugal protocols distinguish \
+         only 2^O(n log n) graphs."
+    );
+}

@@ -1,0 +1,113 @@
+//! A systems-flavoured scenario: central monitoring of a sparse
+//! interconnection network — the motivation of the paper's introduction
+//! ("which properties of a distributed network can be computed from a few
+//! amount of local information provided by its nodes?").
+//!
+//! A monitoring service (the referee) is attached to every switch of a
+//! datacenter-like sparse fabric. Once, at boot, each switch uploads an
+//! O(log n)-bit sketch; from then on the monitor answers topology queries
+//! centrally, detects class violations, and — for the one property a
+//! single round (conjecturally) cannot give, arbitrary-graph connectivity
+//! under failures — falls back to the O(log n)-round protocol of §IV.
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use rand::{rngs::StdRng, SeedableRng};
+use referee_one_round::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Fabric: a 3-degenerate random topology on 500 switches (think
+    // "planar-ish wiring with a few shortcut links").
+    let n = 500;
+    let fabric = generators::random_k_degenerate(n, 3, 0.95, &mut rng);
+    println!(
+        "fabric: {n} switches, {} links, max degree {}",
+        fabric.m(),
+        fabric.max_degree()
+    );
+
+    // --- One round: topology upload -----------------------------------------
+    let protocol = DegeneracyProtocol::new(3);
+    let outcome = run_protocol(&protocol, &fabric);
+    let stats = &outcome.stats;
+    println!(
+        "upload: {} bits per switch ({:.1}×log₂ n); referee decode took {:.1} ms",
+        stats.max_message_bits,
+        stats.frugality_ratio(),
+        stats.global_seconds * 1e3
+    );
+    let topo = match outcome.output.unwrap() {
+        Reconstruction::Graph(g) => g,
+        Reconstruction::NotInClass => unreachable!("fabric is 3-degenerate by construction"),
+    };
+    assert_eq!(topo, fabric);
+
+    // --- Central queries, free after reconstruction -------------------------
+    println!(
+        "monitor: connected={} components={} diameter={:?}",
+        algo::is_connected(&topo),
+        algo::component_count(&topo),
+        algo::diameter(&topo).finite()
+    );
+
+    // --- Contrast: what the naive baseline would cost -----------------------
+    let naive = run_protocol(
+        &referee_one_round::protocol::baseline::AdjacencyListProtocol,
+        &fabric,
+    );
+    println!(
+        "baseline (footnote 1, full adjacency): {} bits/switch vs sketch's {} — {}× saving at Δ = {}",
+        naive.stats.max_message_bits,
+        stats.max_message_bits,
+        naive.stats.max_message_bits / stats.max_message_bits.max(1),
+        fabric.max_degree()
+    );
+
+    // --- Failure drill: links die, is the fabric still connected? ----------
+    // Connectivity of an *arbitrary* damaged graph in one round is the
+    // paper's open question; with a few rounds it is easy (§IV). Simulate
+    // random link failures and run the Borůvka multi-round protocol.
+    let mut damaged = fabric.clone();
+    let edges: Vec<Edge> = damaged.edges().collect();
+    for (i, e) in edges.iter().enumerate() {
+        if i % 3 == 0 {
+            damaged.remove_edge(e.0, e.1).unwrap();
+        }
+    }
+    let (alive, mstats) = boruvka_connectivity(&damaged);
+    println!(
+        "failure drill: dropped {} links → connected={alive} \
+         (decided in {} rounds, ≤{} bits per message, vs ⌈log₂ n⌉ = {})",
+        edges.len() / 3 + 1,
+        mstats.rounds,
+        mstats.max_uplink_bits.max(mstats.max_downlink_bits).max(mstats.max_link_bits),
+        bits_for(n),
+    );
+    assert_eq!(alive, algo::is_connected(&damaged));
+
+    // --- Alternative: one round, public coins (AGM sketches) ---------------
+    // If the switches share a random seed, connectivity is decidable in a
+    // single round at polylog bits — the E17 extension probing the paper's
+    // open question.
+    let sk_ans = sketch_connectivity(&damaged, 0xC0FFEE);
+    println!(
+        "sketch protocol: one round, {} bits/switch → connected={sk_ans}{}",
+        SketchConnectivityProtocol::message_bits(n),
+        if sk_ans == alive { " (agrees)" } else { " (Monte-Carlo miss)" },
+    );
+
+    // --- Alternative: partition the fleet into racks ------------------------
+    // §IV's remark: if switches within a rack can gossip freely, k racks
+    // decide connectivity in ONE round with O(k log n) bits per switch.
+    for racks in [4usize, 16] {
+        let out = partition_connectivity(&damaged, racks);
+        assert_eq!(out.connected, algo::is_connected(&damaged));
+        println!(
+            "rack-partition protocol: {racks:>2} racks → one round, \
+             {} bits/switch (bound {})",
+            out.max_message_bits, out.bound_bits
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Randomized one-round monitoring: what **public coins** buy on the
+//! paper's open questions (§IV).
+//!
+//! The paper conjectures no *deterministic* frugal one-round protocol
+//! decides connectivity, and asks the same about bipartiteness. This
+//! example runs the public-coin suite on a small datacenter-style
+//! topology and its failure modes: connectivity (E17), bipartiteness via
+//! the double cover (E18), and k-edge-connectivity by forest peeling
+//! (E19) — all in ONE round of polylog-bit messages.
+//!
+//! Run with: `cargo run --release --example randomized_monitoring`
+
+use referee_one_round::prelude::*;
+
+fn report(label: &str, g: &LabelledGraph, seed: u64) {
+    let n = g.n();
+    let connected = sketch_connectivity(g, seed);
+    let bipartite = sketch_bipartiteness(g, seed);
+    let lambda3 = sketch_edge_connectivity(g, seed, 3);
+    println!(
+        "{label:<28} n={n:<4} m={:<5} connected={connected:<5} bipartite={bipartite:<5} min(λ,3)={lambda3}",
+        g.m()
+    );
+    // Cross-check against centralized ground truth.
+    assert_eq!(connected, algo::is_connected(g), "{label}: connectivity");
+    assert_eq!(bipartite, algo::is_bipartite(g), "{label}: bipartiteness");
+    assert_eq!(lambda3, algo::edge_connectivity(g).min(3), "{label}: λ");
+}
+
+fn main() {
+    let seed = 2011; // the public coins — all nodes and the referee share it
+
+    println!("one-round public-coin monitoring (seed = {seed})\n");
+
+    // A healthy fat-tree-ish fabric: 4-dimensional hypercube (λ = 4).
+    let fabric = generators::hypercube(4);
+    report("hypercube fabric", &fabric, seed);
+
+    // Degrade it: cut links until a bottleneck appears.
+    let mut degraded = fabric.clone();
+    degraded.remove_edge(1, 2).unwrap();
+    degraded.remove_edge(1, 3).unwrap();
+    degraded.remove_edge(1, 5).unwrap();
+    report("… 3 links down at node 1", &degraded, seed);
+
+    // Sever the last link of node 1: the fabric splits.
+    degraded.remove_edge(1, 9).unwrap();
+    report("… node 1 fully cut off", &degraded, seed);
+
+    // A leaf-spine bipartite fabric stays 2-colourable…
+    let leaf_spine = generators::complete_bipartite(4, 12);
+    report("leaf-spine (K(4,12))", &leaf_spine, seed);
+
+    // …until someone patches a crosslink between two spines.
+    let mut patched = leaf_spine.clone();
+    patched.add_edge(1, 2).unwrap();
+    report("… + spine-to-spine patch", &patched, seed);
+
+    // Message-size accounting: the sketches are polylog-bit, so they
+    // cross below the Θ(n log n) adjacency upload as fabrics grow.
+    println!("\nper-node message sizes (bits) vs the naive adjacency upload:");
+    println!(
+        "  {:>9} {:>12} {:>13} {:>13} {:>15}",
+        "n", "connectivity", "bipartiteness", "3-edge-conn", "naive adjacency"
+    );
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        println!(
+            "  {:>9} {:>12} {:>13} {:>13} {:>15}",
+            n,
+            SketchConnectivityProtocol::message_bits(n),
+            SketchBipartitenessProtocol::message_bits(n),
+            SketchKConnectivityProtocol::new(seed, 3).message_bits(n),
+            n * bits_for(n) as usize
+        );
+    }
+    println!(
+        "\nthe paper's §IV conjecture is about *deterministic* protocols —\n\
+         with shared randomness, one round and polylog bits settle all three."
+    );
+}

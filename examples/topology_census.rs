@@ -1,0 +1,69 @@
+//! A topology census: reconstruct a zoo of network families with the
+//! *adaptive* driver (doubling k until the recognition protocol accepts)
+//! and tabulate the frugality cost of each.
+//!
+//! This is the practical face of the paper's recognition remark: the
+//! referee never needs to be told what kind of network it is talking to —
+//! it discovers the sparsity class and the exact topology together.
+//!
+//! Run with: `cargo run --release --example topology_census`
+
+use rand::{rngs::StdRng, SeedableRng};
+use referee_one_round::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let n = 256usize;
+
+    let zoo: Vec<(&str, LabelledGraph)> = vec![
+        ("random tree", generators::random_tree(n, &mut rng)),
+        ("caterpillar (high Δ, sparse)", generators::caterpillar(64, 3)),
+        ("16×16 grid (planar)", generators::grid(16, 16)),
+        ("torus 16×16", generators::torus(16, 16)),
+        ("hypercube Q8", generators::hypercube(8)),
+        ("3-tree (treewidth 3)", generators::k_tree(n, 3, &mut rng)),
+        ("random 5-degenerate", generators::random_k_degenerate(n, 5, 0.9, &mut rng)),
+        ("random 3-regular", generators::random_regular(n, 3, &mut rng).unwrap()),
+        ("scale-free BA (m = 3)", generators::barabasi_albert(n, 3, &mut rng).unwrap()),
+        ("apollonian (maximal planar)", generators::random_apollonian(n, &mut rng).unwrap()),
+        ("outerplanar polygon", generators::random_outerplanar(n, &mut rng).unwrap()),
+        ("series-parallel", generators::random_series_parallel(n, &mut rng).unwrap()),
+        ("G(n, 1/2) — dense, out of class", generators::gnp(n, 0.5, &mut rng)),
+    ];
+
+    println!(
+        "{:<34} {:>5} {:>7} {:>9} {:>9} {:>11} {:>10}",
+        "family", "m", "Δ", "true k", "found k", "bits/node", "attempts"
+    );
+    for (name, g) in zoo {
+        let truth = algo::degeneracy_ordering(&g).degeneracy;
+        let report = reconstruct_adaptive(&g, 16).expect("honest messages");
+        let found = report
+            .k_used
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "> 16 (reject)".into());
+        println!(
+            "{:<34} {:>5} {:>7} {:>9} {:>9} {:>11} {:>10}",
+            name,
+            g.m(),
+            g.max_degree(),
+            truth,
+            found,
+            report.report.stats.max_message_bits,
+            format!("{:?}", report.attempts),
+        );
+        if let Some(k) = report.k_used {
+            assert!(report.report.reconstructed(&g));
+            assert!(k < 2 * truth.max(1), "doubling overshoots by < 2×");
+        } else {
+            assert!(truth > 16);
+        }
+    }
+
+    println!(
+        "\nEvery in-class family was reconstructed exactly; the dense graph was\n\
+         rejected rather than guessed — the recognition test of §III in action.\n\
+         Note the caterpillar: max degree 5 but degeneracy 1, so the sketch costs\n\
+         tree-rate bits where the naive adjacency upload would pay for Δ."
+    );
+}
