@@ -48,11 +48,9 @@ fn bench_diameter(c: &mut Criterion) {
     group.sample_size(10);
     for side in [16usize, 32] {
         let g = generators::grid(side, side);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side),
-            &g,
-            |b, g| b.iter(|| algo::diameter(g).finite()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
+            b.iter(|| algo::diameter(g).finite())
+        });
     }
     group.finish();
 }

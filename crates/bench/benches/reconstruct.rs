@@ -65,11 +65,7 @@ fn bench_generalized(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(12);
         let dense = generators::random_k_degenerate(n, 2, 1.0, &mut rng).complement();
         group.bench_with_input(BenchmarkId::from_parameter(n), &dense, |b, g| {
-            b.iter(|| {
-                run_protocol(&GeneralizedDegeneracyProtocol::new(2), g)
-                    .output
-                    .unwrap()
-            })
+            b.iter(|| run_protocol(&GeneralizedDegeneracyProtocol::new(2), g).output.unwrap())
         });
     }
     group.finish();

@@ -79,7 +79,8 @@ fn main() {
     }
 
     section("E20: adaptive unknown-k degeneracy");
-    for (name, d, rounds, predicted, k_final, total, one_round) in extensions::adaptive_sweep() {
+    for (name, d, rounds, predicted, k_final, total, one_round) in extensions::adaptive_sweep()
+    {
         println!("{name}: d={d}, rounds={rounds} (predicted {predicted}), k_final={k_final}, {total} bits (one-shot {one_round})");
         assert_eq!(rounds, predicted);
     }

@@ -13,7 +13,10 @@ fn main() {
     println!("{}", render_table(&counting::to_table(&rows)));
 
     section("the asymptotic race (exponents; Kleitman–Winston for square-free)");
-    println!("{}", render_table(&counting::asymptotic_rows(&[16, 64, 256, 1024, 4096, 65536, 1 << 20], 8)));
+    println!(
+        "{}",
+        render_table(&counting::asymptotic_rows(&[16, 64, 256, 1024, 4096, 65536, 1 << 20], 8))
+    );
     println!(
         "shape check: families 2^Θ(n^1.5)/2^Θ(n²) overtake every 2^O(n log n) budget ⇒\n\
          Lemma 1 forbids frugal reconstruction of square-free / bipartite / all graphs,\n\

@@ -8,17 +8,18 @@ use referee_bench::{render_table, section};
 
 fn main() {
     println!("# E7/E8/E10/E11: one-round frugal reconstruction (§III)");
-    println!("# expectation: verdict 'exact' for in-class graphs, 'rejected' for out-of-class;");
-    println!("# bits/msg == Lemma 2 bound (deterministic widths), growing as log n for fixed k.");
+    println!(
+        "# expectation: verdict 'exact' for in-class graphs, 'rejected' for out-of-class;"
+    );
+    println!(
+        "# bits/msg == Lemma 2 bound (deterministic widths), growing as log n for fixed k."
+    );
 
     for n in [100usize, 400, 1600] {
         section(&format!("base size n = {n}"));
         let rows = degeneracy::run_grid(n, 42);
         println!("{}", render_table(&degeneracy::to_table(&rows)));
-        assert!(
-            rows.iter().all(|r| r.verdict != "WRONG"),
-            "reconstruction error at n = {n}"
-        );
+        assert!(rows.iter().all(|r| r.verdict != "WRONG"), "reconstruction error at n = {n}");
     }
     println!("all classes reconstructed / rejected correctly ✓");
 }

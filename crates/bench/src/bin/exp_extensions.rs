@@ -28,16 +28,18 @@ fn main() {
 
     section("E19b — k-edge-connectivity agreement on G(n, 4/n), k = 3");
     println!("n\tk\tbits/node\tagreements\truns");
-    for (n, k, bits, agree, total) in
-        extensions::kconn_agreement_sweep(&[16, 24, 32], 3, 10)
-    {
+    for (n, k, bits, agree, total) in extensions::kconn_agreement_sweep(&[16, 24, 32], 3, 10) {
         println!("{n}\t{k}\t{bits}\t{agree}\t{total}");
     }
-    println!("→ sketch linearity lets the referee delete recovered forests after the round\n\
-              and keep sampling: one round certifies cuts up to k.");
+    println!(
+        "→ sketch linearity lets the referee delete recovered forests after the round\n\
+              and keep sampling: one round certifies cuts up to k."
+    );
 
     section("E20 — adaptive degeneracy reconstruction with UNKNOWN k (doubling rounds)");
-    println!("family\td\trounds\t⌈log₂d⌉+1\tk_final\ttotal bits/node\tone-shot bits at k_final");
+    println!(
+        "family\td\trounds\t⌈log₂d⌉+1\tk_final\ttotal bits/node\tone-shot bits at k_final"
+    );
     for (name, d, rounds, predicted, k_final, total, one_round) in extensions::adaptive_sweep()
     {
         println!("{name}\t{d}\t{rounds}\t{predicted}\t{k_final}\t{total}\t{one_round}");
@@ -51,23 +53,28 @@ fn main() {
 
     section("E21 — diameter ≤ t is hard for EVERY t ≥ 3 (generalized Figure 1)");
     println!("t\tn\tpairs\tiff holds\tΔ reconstructs");
-    for (t, n, pairs, iff_ok, recon_ok) in
-        extensions::diameter_t_sweep(&[3, 4, 5, 6, 8], 9, 3)
+    for (t, n, pairs, iff_ok, recon_ok) in extensions::diameter_t_sweep(&[3, 4, 5, 6, 8], 9, 3)
     {
         println!("{t}\t{n}\t{pairs}\t{iff_ok}\t{recon_ok}");
         assert!(iff_ok && recon_ok);
     }
-    println!("→ the pendant-path gadget keeps the 3-form neighbourhood property, so the\n\
-              3× one-round reduction applies verbatim at every threshold.");
+    println!(
+        "→ the pendant-path gadget keeps the 3-form neighbourhood property, so the\n\
+              3× one-round reduction applies verbatim at every threshold."
+    );
 
-    section("E22 — the §I.A chain: degeneracy ≤ treewidth ≤ min-fill, across the planar hierarchy");
+    section(
+        "E22 — the §I.A chain: degeneracy ≤ treewidth ≤ min-fill, across the planar hierarchy",
+    );
     println!("family\tdegeneracy\ttreewidth\tmin-fill width\tThm 5 protocol at k=degeneracy");
     for (name, d, tw, mf, ok) in extensions::treewidth_chain() {
         println!("{name}\t{d}\t{tw}\t{mf}\t{ok}");
         assert!(d <= tw && tw <= mf && ok);
     }
-    println!("→ every family the paper names reconstructs at k = its degeneracy, which the\n\
-              measured treewidth chain upper-bounds exactly as §I.A claims.");
+    println!(
+        "→ every family the paper names reconstructs at k = its degeneracy, which the\n\
+              measured treewidth chain upper-bounds exactly as §I.A claims."
+    );
 
     section("E23 — the positive boundary: degree-statistic protocols ARE one-round frugal (n = 500)");
     println!("protocol\tbits/node\tverdict");
@@ -75,19 +82,22 @@ fn main() {
         println!("{name}\t{bits}\t{verdict}");
         assert!(bits <= 3 * referee_protocol::bits_for(500) as usize);
     }
-    println!("→ any aggregate of locally computable O(log n)-bit statistics is decidable;\n\
-              §II shows adjacency STRUCTURE is not — that is the boundary.");
+    println!(
+        "→ any aggregate of locally computable O(log n)-bit statistics is decidable;\n\
+              §II shows adjacency STRUCTURE is not — that is the boundary."
+    );
 
     section("E24 — scale-free topologies (Barabási–Albert, m = 3): hubs vs Theorem 5");
     println!("n\thub Δ\tThm5 bits (k=3)\tnaive hub bits\texact");
-    for (n, _m, hub, thm5, naive, ok) in
-        extensions::scale_free_sweep(&[200, 800, 3200], 3, 17)
+    for (n, _m, hub, thm5, naive, ok) in extensions::scale_free_sweep(&[200, 800, 3200], 3, 17)
     {
         println!("{n}\t{hub}\t{thm5}\t{naive}\t{ok}");
         assert!(ok && thm5 < naive);
     }
-    println!("→ degeneracy stays m while hubs grow ~√n: the power-sum sketch beats the\n\
-              footnote-1 adjacency upload by a widening factor on realistic topologies.");
+    println!(
+        "→ degeneracy stays m while hubs grow ~√n: the power-sum sketch beats the\n\
+              footnote-1 adjacency upload by a widening factor on realistic topologies."
+    );
 
     section("E25 — the width triangle and the colouring payoff");
     println!("family\tω−1\tdegeneracy d\ttreewidth\tgreedy colours\tχ exact");
@@ -96,6 +106,8 @@ fn main() {
         assert!(omega1 <= d && d <= tw, "{name}: width chain broken");
         assert!(chi <= greedy && greedy <= d + 1, "{name}: colouring chain broken");
     }
-    println!("→ ω−1 ≤ degeneracy ≤ treewidth on every family; the elimination order the\n\
-              referee recovers colours the network with ≤ d+1 colours in one pass.");
+    println!(
+        "→ ω−1 ≤ degeneracy ≤ treewidth on every family; the elimination order the\n\
+              referee recovers colours the network with ≤ d+1 colours in one pass."
+    );
 }

@@ -18,6 +18,9 @@ fn main() {
 
     println!("{}", render_table(&gv::to_table(&rows)));
     let bad: u64 = rows.iter().map(|r| r.violations).sum();
-    println!("total violations: {bad} {}", if bad == 0 { "✓" } else { "✗ REPRODUCTION BROKEN" });
+    println!(
+        "total violations: {bad} {}",
+        if bad == 0 { "✓" } else { "✗ REPRODUCTION BROKEN" }
+    );
     std::process::exit(if bad == 0 { 0 } else { 1 });
 }

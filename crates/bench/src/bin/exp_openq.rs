@@ -8,7 +8,9 @@ use referee_bench::experiments::openq;
 use referee_bench::section;
 
 fn main() {
-    println!("# §IV: why the hardness technique fails for connectivity, and what more rounds buy");
+    println!(
+        "# §IV: why the hardness technique fails for connectivity, and what more rounds buy"
+    );
 
     section("E12 — k-part partition connectivity: O(k log n) bits/node (n = 300)");
     println!("k\tbits/node\tbound 2(k+1)⌈log n⌉+⌈log n⌉\tcorrect");
@@ -28,8 +30,7 @@ fn main() {
 
     section("E14 — multi-round extension: Borůvka connectivity rounds vs ⌈log₂ n⌉ (paths)");
     println!("n\trounds\t⌈log₂ n⌉\tmax bits anywhere\tconnected");
-    for (n, rounds, logn, bits, ans) in
-        openq::boruvka_sweep(&[16, 64, 256, 1024, 4096, 16384])
+    for (n, rounds, logn, bits, ans) in openq::boruvka_sweep(&[16, 64, 256, 1024, 4096, 16384])
     {
         println!("{n}\t{rounds}\t{logn}\t{bits}\t{ans}");
         assert!(ans && bits <= 2 * logn as usize);
@@ -45,7 +46,9 @@ fn main() {
     for (n, sketch, adj, agree, total) in openq::sketch_sweep(&[32, 64, 128, 256], 8) {
         println!("{n}\t{sketch}\t{adj}\t{agree}\t{total}");
     }
-    println!("\n(size formulas at scale — sketch O(log³n) vs adjacency n·⌈log n⌉ on dense graphs)");
+    println!(
+        "\n(size formulas at scale — sketch O(log³n) vs adjacency n·⌈log n⌉ on dense graphs)"
+    );
     println!("n\tsketch bits/node\tadjacency bits/node (Δ=n−1)");
     for n in [1 << 13, 1 << 16, 1 << 20] {
         use referee_sketches::SketchConnectivityProtocol;

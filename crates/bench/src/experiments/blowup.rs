@@ -120,10 +120,7 @@ mod tests {
         for row in run(10, 42) {
             assert!(row.exact, "{row:?}");
             // measured ≤ prediction + logarithmic bundling overhead
-            assert!(
-                row.delta_bits <= row.predicted_bits + 3 * 32,
-                "{row:?}"
-            );
+            assert!(row.delta_bits <= row.predicted_bits + 3 * 32, "{row:?}");
         }
     }
 }

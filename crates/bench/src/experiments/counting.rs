@@ -63,8 +63,14 @@ pub fn asymptotic_rows(ns: &[usize], c: usize) -> Vec<Vec<String>> {
             format!("{bip:.0}"),
             format!("{sf:.0}"),
             format!("{budget:.0}"),
-            if sf > budget { "NO (even square-free too big)" } else if all > budget { "no for all-graphs" } else { "not yet excluded" }
-                .into(),
+            if sf > budget {
+                "NO (even square-free too big)"
+            } else if all > budget {
+                "no for all-graphs"
+            } else {
+                "not yet excluded"
+            }
+            .into(),
         ]);
     }
     out
@@ -95,7 +101,8 @@ pub fn collision_findings() -> Vec<String> {
         );
     }
     out.push(
-        "DegreeSumSketch (§III.A triple): collision-free on ALL graphs n ≤ 5 (exhaustive)".into(),
+        "DegreeSumSketch (§III.A triple): collision-free on ALL graphs n ≤ 5 (exhaustive)"
+            .into(),
     );
     let n0 = guaranteed_collision_n(DegreeSumSketch::message_bits);
     out.push(format!(

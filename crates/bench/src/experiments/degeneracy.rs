@@ -73,7 +73,7 @@ pub fn run_grid(n: usize, seed: u64) -> Vec<ReconRow> {
     let f = generators::random_forest(n, 0.9, &mut rng);
     rows.push(run_case(
         "E7",
-        format!("random forest"),
+        "random forest".to_string(),
         1,
         forest_message_bits(n),
         &ForestProtocol,
@@ -189,10 +189,7 @@ mod tests {
         for n in [49usize, 50, 64, 70] {
             let g = grid_of(n);
             assert_eq!(g.n(), n);
-            assert!(
-                referee_graph::algo::degeneracy_ordering(&g).degeneracy <= 2,
-                "n={n}"
-            );
+            assert!(referee_graph::algo::degeneracy_ordering(&g).degeneracy <= 2, "n={n}");
         }
     }
 }

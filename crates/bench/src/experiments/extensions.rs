@@ -74,7 +74,11 @@ pub fn kconn_named_families(k: usize) -> Vec<(String, usize, usize, usize)> {
 }
 
 /// E19 agreement rows: `(n, k, bits/node, agreements, runs)`.
-pub fn kconn_agreement_sweep(ns: &[usize], k: usize, seeds: u64) -> Vec<(usize, usize, usize, u64, u64)> {
+pub fn kconn_agreement_sweep(
+    ns: &[usize],
+    k: usize,
+    seeds: u64,
+) -> Vec<(usize, usize, usize, u64, u64)> {
     ns.iter()
         .map(|&n| {
             let mut agree = 0u64;
@@ -88,8 +92,7 @@ pub fn kconn_agreement_sweep(ns: &[usize], k: usize, seeds: u64) -> Vec<(usize, 
                     agree += 1;
                 }
             }
-            let bits =
-                referee_sketches::SketchKConnectivityProtocol::new(0, k).message_bits(n);
+            let bits = referee_sketches::SketchKConnectivityProtocol::new(0, k).message_bits(n);
             (n, k, bits, agree, total)
         })
         .collect()
@@ -130,7 +133,11 @@ pub fn adaptive_sweep() -> Vec<(String, usize, usize, usize, usize, usize, usize
 }
 
 /// E21 rows: `(thresh, n, pairs, iff holds, Δ reconstructs)`.
-pub fn diameter_t_sweep(threshs: &[u32], n: usize, seeds: u64) -> Vec<(u32, usize, u64, bool, bool)> {
+pub fn diameter_t_sweep(
+    threshs: &[u32],
+    n: usize,
+    seeds: u64,
+) -> Vec<(u32, usize, u64, bool, bool)> {
     threshs
         .iter()
         .map(|&thresh| {
@@ -163,7 +170,10 @@ pub fn treewidth_chain() -> Vec<(String, usize, usize, usize, bool)> {
         ("path(14)".into(), generators::path(14)),
         ("cycle(14)".into(), generators::cycle(14).unwrap()),
         ("outerplanar(14)".into(), generators::random_outerplanar(14, &mut rng).unwrap()),
-        ("series-parallel(14)".into(), generators::random_series_parallel(14, &mut rng).unwrap()),
+        (
+            "series-parallel(14)".into(),
+            generators::random_series_parallel(14, &mut rng).unwrap(),
+        ),
         ("apollonian(14)".into(), generators::random_apollonian(14, &mut rng).unwrap()),
         ("grid(3,5)".into(), generators::grid(3, 5)),
         ("planar-triangulation(14)".into(), {
@@ -185,6 +195,109 @@ pub fn treewidth_chain() -> Vec<(String, usize, usize, usize, bool)> {
                 .graph()
                 .is_some_and(|h| h == g);
             (name, d, tw, mf, ok)
+        })
+        .collect()
+}
+
+/// E23 rows — the positive boundary: `(protocol, n, bits/node, verdict)`
+/// for the degree-statistic protocols that ARE one-round frugal.
+pub fn easy_protocol_table(n: usize, seed: u64) -> Vec<(String, usize, usize, String)> {
+    use referee_protocol::easy::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::gnp(n, 3.0 / n as f64, &mut rng);
+    let mut rows = Vec::new();
+
+    let out = run_protocol(&EdgeCountProtocol, &g);
+    rows.push((
+        "edge count".into(),
+        n,
+        out.stats.max_message_bits,
+        format!("m = {} (true {})", out.output.expect("honest"), g.m()),
+    ));
+
+    let out = run_protocol(&DegreeSequenceProtocol, &g);
+    let seq = out.output.expect("honest");
+    rows.push((
+        "degree sequence".into(),
+        n,
+        out.stats.max_message_bits,
+        format!("max deg {} (true {})", seq.iter().max().unwrap(), g.max_degree()),
+    ));
+
+    let out = run_protocol(&DegreeExtremesProtocol, &g);
+    let e = out.output.expect("honest");
+    rows.push((
+        "extremes/regularity".into(),
+        n,
+        out.stats.max_message_bits,
+        format!("δ={} Δ={} regular={}", e.min_degree, e.max_degree, e.regular),
+    ));
+
+    let out = run_protocol(&EulerianDegreeProtocol, &g);
+    rows.push((
+        "Eulerian parity".into(),
+        n,
+        out.stats.max_message_bits,
+        format!("all-even = {}", out.output.expect("honest")),
+    ));
+
+    let out = run_protocol(&NeighbourhoodSumProtocol, &g);
+    let sums = out.output.expect("honest");
+    rows.push((
+        "(deg, ΣID) fingerprint".into(),
+        n,
+        out.stats.max_message_bits,
+        format!("verifies G: {}", verify_against_sums(&g, &sums)),
+    ));
+    rows
+}
+
+/// E24 rows — scale-free (Barabási–Albert) reconstruction:
+/// `(n, m, hub degree Δ, Thm 5 bits at k=m, naive adjacency bits at the
+/// hub, reconstructed exactly)`.
+pub fn scale_free_sweep(
+    ns: &[usize],
+    m: usize,
+    seed: u64,
+) -> Vec<(usize, usize, usize, usize, usize, bool)> {
+    ns.iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::barabasi_albert(n, m, &mut rng).unwrap();
+            let hub = g.max_degree();
+            let proto = DegeneracyProtocol::new(m);
+            let out = run_protocol(&proto, &g);
+            let ok = out.output.expect("honest").graph().is_some_and(|h| h == g);
+            let thm5_bits = out.stats.max_message_bits;
+            let naive_bits = (hub + 1) * referee_protocol::bits_for(n) as usize;
+            (n, m, hub, thm5_bits, naive_bits, ok)
+        })
+        .collect()
+}
+
+/// E25 rows — the width triangle + colouring payoff:
+/// `(family, ω−1, degeneracy d, treewidth, greedy colours (≤ d+1), χ)`.
+pub fn width_triangle() -> Vec<(String, usize, usize, usize, usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(71);
+    let cases: Vec<(String, LabelledGraph)> = vec![
+        ("cycle(11)".into(), generators::cycle(11).unwrap()),
+        ("petersen".into(), generators::petersen()),
+        ("grid(3,4)".into(), generators::grid(3, 4)),
+        ("apollonian(13)".into(), generators::random_apollonian(13, &mut rng).unwrap()),
+        ("k_tree(13,3)".into(), generators::k_tree(13, 3, &mut rng)),
+        ("BA(14,2)".into(), generators::barabasi_albert(14, 2, &mut rng).unwrap()),
+        ("gnp(12,.35)".into(), generators::gnp(12, 0.35, &mut rng)),
+        ("wheel(9)".into(), generators::wheel(9).unwrap()),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, g)| {
+            let omega1 = algo::clique_number(&g).saturating_sub(1);
+            let d = algo::degeneracy_ordering(&g).degeneracy;
+            let tw = algo::treewidth_exact(&g);
+            let greedy = algo::degeneracy_coloring(&g).num_colours;
+            let chi = algo::chromatic_number_exact(&g);
+            (name, omega1, d, tw, greedy, chi)
         })
         .collect()
 }
@@ -247,103 +360,4 @@ mod tests {
             assert!(agree * 100 >= total * 80);
         }
     }
-}
-
-/// E23 rows — the positive boundary: `(protocol, n, bits/node, verdict)`
-/// for the degree-statistic protocols that ARE one-round frugal.
-pub fn easy_protocol_table(n: usize, seed: u64) -> Vec<(String, usize, usize, String)> {
-    use referee_protocol::easy::*;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let g = generators::gnp(n, 3.0 / n as f64, &mut rng);
-    let mut rows = Vec::new();
-
-    let out = run_protocol(&EdgeCountProtocol, &g);
-    rows.push((
-        "edge count".into(),
-        n,
-        out.stats.max_message_bits,
-        format!("m = {} (true {})", out.output.expect("honest"), g.m()),
-    ));
-
-    let out = run_protocol(&DegreeSequenceProtocol, &g);
-    let seq = out.output.expect("honest");
-    rows.push((
-        "degree sequence".into(),
-        n,
-        out.stats.max_message_bits,
-        format!("max deg {} (true {})", seq.iter().max().unwrap(), g.max_degree()),
-    ));
-
-    let out = run_protocol(&DegreeExtremesProtocol, &g);
-    let e = out.output.expect("honest");
-    rows.push((
-        "extremes/regularity".into(),
-        n,
-        out.stats.max_message_bits,
-        format!("δ={} Δ={} regular={}", e.min_degree, e.max_degree, e.regular),
-    ));
-
-    let out = run_protocol(&EulerianDegreeProtocol, &g);
-    rows.push((
-        "Eulerian parity".into(),
-        n,
-        out.stats.max_message_bits,
-        format!("all-even = {}", out.output.expect("honest")),
-    ));
-
-    let out = run_protocol(&NeighbourhoodSumProtocol, &g);
-    let sums = out.output.expect("honest");
-    rows.push((
-        "(deg, ΣID) fingerprint".into(),
-        n,
-        out.stats.max_message_bits,
-        format!("verifies G: {}", verify_against_sums(&g, &sums)),
-    ));
-    rows
-}
-
-/// E24 rows — scale-free (Barabási–Albert) reconstruction:
-/// `(n, m, hub degree Δ, Thm 5 bits at k=m, naive adjacency bits at the
-/// hub, reconstructed exactly)`.
-pub fn scale_free_sweep(ns: &[usize], m: usize, seed: u64) -> Vec<(usize, usize, usize, usize, usize, bool)> {
-    ns.iter()
-        .map(|&n| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::barabasi_albert(n, m, &mut rng).unwrap();
-            let hub = g.max_degree();
-            let proto = DegeneracyProtocol::new(m);
-            let out = run_protocol(&proto, &g);
-            let ok = out.output.expect("honest").graph().is_some_and(|h| h == g);
-            let thm5_bits = out.stats.max_message_bits;
-            let naive_bits = (hub + 1) * referee_protocol::bits_for(n) as usize;
-            (n, m, hub, thm5_bits, naive_bits, ok)
-        })
-        .collect()
-}
-
-/// E25 rows — the width triangle + colouring payoff:
-/// `(family, ω−1, degeneracy d, treewidth, greedy colours (≤ d+1), χ)`.
-pub fn width_triangle() -> Vec<(String, usize, usize, usize, usize, usize)> {
-    let mut rng = StdRng::seed_from_u64(71);
-    let cases: Vec<(String, LabelledGraph)> = vec![
-        ("cycle(11)".into(), generators::cycle(11).unwrap()),
-        ("petersen".into(), generators::petersen()),
-        ("grid(3,4)".into(), generators::grid(3, 4)),
-        ("apollonian(13)".into(), generators::random_apollonian(13, &mut rng).unwrap()),
-        ("k_tree(13,3)".into(), generators::k_tree(13, 3, &mut rng)),
-        ("BA(14,2)".into(), generators::barabasi_albert(14, 2, &mut rng).unwrap()),
-        ("gnp(12,.35)".into(), generators::gnp(12, 0.35, &mut rng)),
-        ("wheel(9)".into(), generators::wheel(9).unwrap()),
-    ];
-    cases
-        .into_iter()
-        .map(|(name, g)| {
-            let omega1 = algo::clique_number(&g).saturating_sub(1);
-            let d = algo::degeneracy_ordering(&g).degeneracy;
-            let tw = algo::treewidth_exact(&g);
-            let greedy = algo::degeneracy_coloring(&g).num_colours;
-            let chi = algo::chromatic_number_exact(&g);
-            (name, omega1, d, tw, greedy, chi)
-        })
-        .collect()
 }

@@ -139,9 +139,8 @@ pub fn validate_square(n_max: usize, random_n: usize, seeds: u64) -> Vec<GadgetR
     for seed in 0..seeds {
         let mut rng = StdRng::seed_from_u64(200 + seed);
         let g = generators::random_square_free(random_n, &mut rng);
-        let (p, v) = check_all_pairs(&g, |g, s, t| {
-            algo::has_square(&gadgets::square_gadget(g, s, t))
-        });
+        let (p, v) =
+            check_all_pairs(&g, |g, s, t| algo::has_square(&gadgets::square_gadget(g, s, t)));
         probes += p;
         violations += v;
     }
@@ -156,12 +155,8 @@ pub fn validate_square(n_max: usize, random_n: usize, seeds: u64) -> Vec<GadgetR
 
 /// Render any list of gadget rows.
 pub fn to_table(rows: &[GadgetRow]) -> Vec<Vec<String>> {
-    let mut out = vec![vec![
-        "exp".into(),
-        "family".into(),
-        "probes".into(),
-        "violations".into(),
-    ]];
+    let mut out =
+        vec![vec!["exp".into(), "family".into(), "probes".into(), "violations".into()]];
     for r in rows {
         out.push(vec![
             r.experiment.into(),
@@ -179,11 +174,9 @@ mod tests {
 
     #[test]
     fn small_sweeps_have_zero_violations() {
-        for rows in [
-            validate_diameter(4, 8, 2),
-            validate_triangle(4, 8, 2),
-            validate_square(4, 8, 2),
-        ] {
+        for rows in
+            [validate_diameter(4, 8, 2), validate_triangle(4, 8, 2), validate_square(4, 8, 2)]
+        {
             for r in &rows {
                 assert_eq!(r.violations, 0, "{r:?}");
                 assert!(r.probes > 0);

@@ -43,8 +43,7 @@ pub fn baseline_vs_degree(sizes: &[usize], legs: usize) -> FrugalityReport {
 /// E15 (divergent side): adjacency baseline on stars (Δ = n − 1).
 pub fn baseline_on_stars(sizes: &[usize]) -> FrugalityReport {
     let p = AdjacencyListProtocol;
-    FrugalityAudit::new(&p, sizes.iter().copied())
-        .run(|n| generators::star(n).expect("n ≥ 1"))
+    FrugalityAudit::new(&p, sizes.iter().copied()).run(|n| generators::star(n).expect("n ≥ 1"))
 }
 
 #[cfg(test)]

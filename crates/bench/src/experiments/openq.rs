@@ -33,10 +33,7 @@ pub fn partition_sweep(n: usize, ks: &[usize], seeds: u64) -> Vec<(usize, usize,
 }
 
 /// E13 rows: (n, density, reduction answer == truth over all seeds).
-pub fn bipartite_connectivity_sweep(
-    ns: &[usize],
-    seeds: u64,
-) -> Vec<(usize, u64, u64)> {
+pub fn bipartite_connectivity_sweep(ns: &[usize], seeds: u64) -> Vec<(usize, u64, u64)> {
     let delta = BipartiteConnectivityReduction::new(BipartitenessOracle);
     ns.iter()
         .map(|&n| {
@@ -89,10 +86,8 @@ pub fn boruvka_sweep(ns: &[usize]) -> Vec<(usize, usize, u32, usize, bool)> {
             // Path graphs are the adversarial case for label flooding.
             let g = generators::path(n);
             let (ans, stats) = boruvka_connectivity(&g);
-            let max_bits = stats
-                .max_uplink_bits
-                .max(stats.max_downlink_bits)
-                .max(stats.max_link_bits);
+            let max_bits =
+                stats.max_uplink_bits.max(stats.max_downlink_bits).max(stats.max_link_bits);
             (n, stats.rounds, referee_protocol::bits_for(n), max_bits, ans)
         })
         .collect()

@@ -9,7 +9,10 @@ use referee_degeneracy::{
     lemma2_bound_bits, DegeneracyProtocol, ForestProtocol, Reconstruction,
 };
 use referee_graph::LabelledGraph;
-use referee_protocol::{run_protocol, DecodeError, RunStats};
+use referee_protocol::{DecodeError, RunStats};
+// All high-level runs execute on the simnet session runtime; property
+// tests pin its perfect-transport path to the legacy simulator.
+use referee_simnet::run_protocol;
 
 /// Outcome of a high-level reconstruction call.
 #[derive(Debug, Clone)]

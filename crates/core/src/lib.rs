@@ -28,6 +28,7 @@
 //! | [`referee_graph`] | labelled graphs, generators, algorithms, enumeration |
 //! | [`referee_protocol`] | the model: messages, `OneRoundProtocol`, simulator, frugality audits, multi-round extension |
 //! | [`referee_degeneracy`] | Theorem 5 (+ forests §III.A, generalized degeneracy) |
+//! | [`referee_simnet`] | sans-I/O session runtime: pluggable transports, fault injection, concurrent scheduler |
 //! | [`referee_reductions`] | Theorems 1–3 as executable reductions, Lemma 1 counting, collision witnesses, §IV bipartiteness reduction |
 //! | this crate | prelude, high-level helpers, §IV partition-connectivity |
 
@@ -38,30 +39,38 @@ pub use referee_degeneracy as degeneracy;
 pub use referee_graph as graph;
 pub use referee_protocol as protocol;
 pub use referee_reductions as reductions;
+pub use referee_simnet as simnet;
 pub use referee_sketches as sketches;
 pub use referee_wideint as wideint;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use crate::api::{
-        reconstruct_adaptive, reconstruct_bounded_degeneracy, reconstruct_forest, sketch_census,
-        AdaptiveReport, ReconstructionReport, SketchCensus,
+        reconstruct_adaptive, reconstruct_bounded_degeneracy, reconstruct_forest,
+        sketch_census, AdaptiveReport, ReconstructionReport, SketchCensus,
     };
     pub use crate::partition::{partition_connectivity, PartitionOutcome};
     pub use referee_degeneracy::{
         adaptive_reconstruct, AdaptiveDegeneracyProtocol, DecoderKind, DegeneracyProtocol,
         ForestProtocol, GeneralizedDegeneracyProtocol, Reconstruction,
     };
-    pub use referee_graph::{algo, generators, BitSet, Edge, GraphError, LabelledGraph, VertexId};
+    pub use referee_graph::{
+        algo, generators, BitSet, Edge, GraphError, LabelledGraph, VertexId,
+    };
     pub use referee_protocol::multiround::boruvka_connectivity;
     pub use referee_protocol::{
-        bits_for, run_protocol, DecodeError, FrugalityAudit, Message, NodeView, OneRoundProtocol,
-        RunOutcome, RunStats,
+        bits_for, DecodeError, FrugalityAudit, Message, NodeView, OneRoundProtocol, RunOutcome,
+        RunStats,
     };
+    // The facade's `run_protocol` executes through the simnet session
+    // runtime (a pinned bit-for-bit equivalent of the legacy
+    // `referee_protocol::run_protocol`, which remains available for
+    // direct use as the reference simulator).
     pub use referee_reductions::{
         DiameterReduction, DiameterTOracle, DiameterTReduction, SquareReduction,
         TriangleReduction,
     };
+    pub use referee_simnet::{run_protocol, FaultConfig, Scheduler};
     pub use referee_sketches::connectivity::sketch_connectivity;
     pub use referee_sketches::kconn::sketch_edge_connectivity;
     pub use referee_sketches::{

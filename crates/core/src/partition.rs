@@ -59,10 +59,10 @@ pub fn partition_connectivity(g: &LabelledGraph, k: usize) -> PartitionOutcome {
     for (p, forest) in part_forests.iter_mut().enumerate() {
         let mut dsu = Dsu::new(n);
         for e in g.edges() {
-            if part_of(e.0) == p || part_of(e.1) == p {
-                if dsu.union((e.0 - 1) as usize, (e.1 - 1) as usize) {
-                    forest.push(e);
-                }
+            if (part_of(e.0) == p || part_of(e.1) == p)
+                && dsu.union((e.0 - 1) as usize, (e.1 - 1) as usize)
+            {
+                forest.push(e);
             }
         }
     }
@@ -73,8 +73,7 @@ pub fn partition_connectivity(g: &LabelledGraph, k: usize) -> PartitionOutcome {
     let mut max_bits = 0usize;
     let mut all_edges: Vec<Edge> = Vec::new();
     for (p, forest) in part_forests.iter().enumerate() {
-        let members: Vec<u32> =
-            (1..=n as u32).filter(|&v| part_of(v) == p).collect();
+        let members: Vec<u32> = (1..=n as u32).filter(|&v| part_of(v) == p).collect();
         if members.is_empty() {
             assert!(forest.is_empty(), "empty part cannot know edges");
             continue;

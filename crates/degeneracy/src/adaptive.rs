@@ -67,7 +67,7 @@ impl MultiRoundProtocol for AdaptiveDegeneracyProtocol {
         "adaptive degeneracy reconstruction (unknown k, doubling rounds)".into()
     }
 
-    fn node_init(&self, _view: NodeView<'_>) -> () {}
+    fn node_init(&self, _view: NodeView<'_>) {}
 
     fn referee_init(&self, _n: usize) -> AdaptiveRefereeState {
         AdaptiveRefereeState::default()

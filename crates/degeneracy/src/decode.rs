@@ -190,8 +190,7 @@ mod tests {
         let table = TableDecoder::new(n, k).unwrap();
         // all subsets of {1..9} of size ≤ 3
         for mask in 0u32..(1 << n) {
-            let ids: Vec<u32> =
-                (1..=n as u32).filter(|&i| mask >> (i - 1) & 1 == 1).collect();
+            let ids: Vec<u32> = (1..=n as u32).filter(|&i| mask >> (i - 1) & 1 == 1).collect();
             if ids.len() > k {
                 continue;
             }

@@ -118,7 +118,9 @@ pub struct SketchWidths {
 impl SketchWidths {
     /// Total message size in bits.
     pub fn total(&self) -> usize {
-        self.id as usize + self.degree as usize + self.sums.iter().map(|&w| w as usize).sum::<usize>()
+        self.id as usize
+            + self.degree as usize
+            + self.sums.iter().map(|&w| w as usize).sum::<usize>()
     }
 }
 
@@ -230,7 +232,8 @@ mod tests {
     #[test]
     fn message_round_trip() {
         for (n, k) in [(10usize, 1usize), (100, 3), (1000, 5), (70000, 8)] {
-            let nbrs: Vec<u32> = (1..=k as u32).map(|i| i * (n as u32 / (k as u32 + 1))).collect();
+            let nbrs: Vec<u32> =
+                (1..=k as u32).map(|i| i * (n as u32 / (k as u32 + 1))).collect();
             let nbrs: Vec<u32> = nbrs.into_iter().filter(|&v| v >= 1).collect();
             let s = PowerSumSketch::compute(n, (n / 2) as u32, &nbrs, k);
             let m = s.to_message(n, k);

@@ -162,15 +162,9 @@ mod tests {
     fn reconstructs_trees_and_stars() {
         let mut rng = StdRng::seed_from_u64(11);
         let t = generators::random_tree(200, &mut rng);
-        assert_eq!(
-            run_protocol(&ForestProtocol, &t).output.unwrap(),
-            Reconstruction::Graph(t)
-        );
+        assert_eq!(run_protocol(&ForestProtocol, &t).output.unwrap(), Reconstruction::Graph(t));
         let s = generators::star(50).unwrap();
-        assert_eq!(
-            run_protocol(&ForestProtocol, &s).output.unwrap(),
-            Reconstruction::Graph(s)
-        );
+        assert_eq!(run_protocol(&ForestProtocol, &s).output.unwrap(), Reconstruction::Graph(s));
     }
 
     #[test]
@@ -195,10 +189,7 @@ mod tests {
     fn message_under_4_log_n() {
         for n in [16usize, 256, 4096, 65536] {
             let bits = forest_message_bits(n);
-            assert!(
-                (bits as f64) < 4.0 * (n as f64).log2(),
-                "n={n}: {bits} bits ≥ 4 log n"
-            );
+            assert!((bits as f64) < 4.0 * (n as f64).log2(), "n={n}: {bits} bits ≥ 4 log n");
         }
     }
 
@@ -237,9 +228,6 @@ mod tests {
     #[test]
     fn two_vertex_edge() {
         let g = LabelledGraph::from_edges(2, [(1, 2)]).unwrap();
-        assert_eq!(
-            run_protocol(&ForestProtocol, &g).output.unwrap(),
-            Reconstruction::Graph(g)
-        );
+        assert_eq!(run_protocol(&ForestProtocol, &g).output.unwrap(), Reconstruction::Graph(g));
     }
 }

@@ -201,9 +201,7 @@ mod tests {
     use referee_protocol::run_protocol;
 
     fn reconstruct(k: usize, g: &LabelledGraph) -> Reconstruction {
-        run_protocol(&GeneralizedDegeneracyProtocol::new(k), g)
-            .output
-            .expect("decode ok")
+        run_protocol(&GeneralizedDegeneracyProtocol::new(k), g).output.expect("decode ok")
     }
 
     #[test]
@@ -279,8 +277,8 @@ mod tests {
         // including flips that push the claimed degree past the live-peer
         // count (the co-degree underflow path).
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-        let dense = referee_graph::generators::random_k_degenerate(8, 2, 1.0, &mut rng)
-            .complement();
+        let dense =
+            referee_graph::generators::random_k_degenerate(8, 2, 1.0, &mut rng).complement();
         let p = GeneralizedDegeneracyProtocol::new(2);
         let n = dense.n();
         let msgs: Vec<Message> = dense

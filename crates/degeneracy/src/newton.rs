@@ -41,7 +41,9 @@ pub fn power_sums_to_elementary(p: &[UBig], d: usize) -> Result<Vec<IBig>, Decod
             }
         }
         let ej = acc.exact_div_small(j as u64).ok_or_else(|| {
-            DecodeError::Inconsistent(format!("Newton identity for e_{j} is not divisible by {j}"))
+            DecodeError::Inconsistent(format!(
+                "Newton identity for e_{j} is not divisible by {j}"
+            ))
         })?;
         if ej.is_negative() {
             return Err(DecodeError::Inconsistent(format!(
@@ -62,11 +64,8 @@ pub fn integer_roots(e: &[IBig], n: usize) -> Result<Vec<VertexId>, DecodeError>
         return Ok(Vec::new());
     }
     // coeffs[i] = (-1)^i e_i, for x^{d-i}
-    let mut coeffs: Vec<IBig> = e
-        .iter()
-        .enumerate()
-        .map(|(i, ei)| if i % 2 == 0 { ei.clone() } else { -ei })
-        .collect();
+    let mut coeffs: Vec<IBig> =
+        e.iter().enumerate().map(|(i, ei)| if i % 2 == 0 { ei.clone() } else { -ei }).collect();
     let mut roots: Vec<VertexId> = Vec::with_capacity(d);
 
     for cand in 1..=n as u64 {

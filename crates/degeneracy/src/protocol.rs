@@ -50,7 +50,10 @@ pub(crate) fn parse_sketches(
     n: usize,
     k: usize,
 ) -> Result<Vec<PowerSumSketch>, DecodeError> {
-    const PARALLEL_THRESHOLD: usize = 4096;
+    // Twice the simulator threshold: referee-side parsing is cheaper per
+    // message than local-phase encoding. The shared knob lets batch
+    // drivers (simnet) disable nested fan-out entirely.
+    let parallel_threshold = referee_protocol::referee::parallel_threshold().saturating_mul(2);
     let parse_one = |i: usize, m: &Message| -> Result<PowerSumSketch, DecodeError> {
         let s = PowerSumSketch::from_message(m, n, k)?;
         if s.id as usize != i + 1 {
@@ -62,29 +65,27 @@ pub(crate) fn parse_sketches(
         }
         Ok(s)
     };
-    if messages.len() < PARALLEL_THRESHOLD {
+    if messages.len() < parallel_threshold {
         return messages.iter().enumerate().map(|(i, m)| parse_one(i, m)).collect();
     }
     let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(32);
     let chunk = messages.len().div_ceil(threads);
-    let results: Vec<Result<Vec<PowerSumSketch>, DecodeError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = messages
-                .chunks(chunk)
-                .enumerate()
-                .map(|(t, slice)| {
-                    scope.spawn(move |_| {
-                        slice
-                            .iter()
-                            .enumerate()
-                            .map(|(off, m)| parse_one(t * chunk + off, m))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
+    let results: Vec<Result<Vec<PowerSumSketch>, DecodeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = messages
+            .chunks(chunk)
+            .enumerate()
+            .map(|(t, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(off, m)| parse_one(t * chunk + off, m))
+                        .collect::<Result<Vec<_>, _>>()
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("parse worker")).collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parse worker")).collect()
+    });
     let mut out = Vec::with_capacity(messages.len());
     for r in results {
         out.extend(r?);
@@ -137,7 +138,7 @@ impl DegeneracyProtocol {
 
         // Handshake lemma sanity check before any work.
         let degree_sum: usize = sketches.iter().map(|s| s.degree).sum();
-        if degree_sum % 2 != 0 {
+        if !degree_sum.is_multiple_of(2) {
             return Err(DecodeError::Inconsistent(
                 "degree sum is odd (handshake lemma violated)".into(),
             ));
@@ -289,10 +290,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = generators::random_k_degenerate(12, 2, 1.0, &mut rng);
         let newton = run_protocol(&DegeneracyProtocol::new(2), &g).output.unwrap();
-        let table =
-            run_protocol(&DegeneracyProtocol::with_decoder(2, DecoderKind::Table), &g)
-                .output
-                .unwrap();
+        let table = run_protocol(&DegeneracyProtocol::with_decoder(2, DecoderKind::Table), &g)
+            .output
+            .unwrap();
         assert_eq!(newton, table);
         assert_eq!(newton, Reconstruction::Graph(g));
     }
@@ -301,10 +301,7 @@ mod tests {
     fn message_sizes_match_lemma2() {
         let g = generators::grid(10, 10);
         let out = run_protocol(&DegeneracyProtocol::new(2), &g);
-        assert_eq!(
-            out.stats.max_message_bits,
-            crate::encode::lemma2_bound_bits(100, 2)
-        );
+        assert_eq!(out.stats.max_message_bits, crate::encode::lemma2_bound_bits(100, 2));
     }
 
     #[test]
@@ -313,14 +310,9 @@ mod tests {
         // never return a different graph.
         let g = generators::grid(3, 3);
         let p = DegeneracyProtocol::new(2);
-        let msgs: Vec<Message> = g
-            .vertices()
-            .map(|v| p.local(NodeView::new(9, v, g.neighbourhood(v))))
-            .collect();
-        assert_eq!(
-            p.global(9, &msgs).unwrap(),
-            Reconstruction::Graph(g.clone())
-        );
+        let msgs: Vec<Message> =
+            g.vertices().map(|v| p.local(NodeView::new(9, v, g.neighbourhood(v)))).collect();
+        assert_eq!(p.global(9, &msgs).unwrap(), Reconstruction::Graph(g.clone()));
         let original = msgs[4].clone();
         let mut msgs = msgs;
         for bit in 0..original.len_bits() {

@@ -4,11 +4,11 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
+use referee_degeneracy::protocol::Reconstruction;
 use referee_degeneracy::{
     newton, DecoderKind, DegeneracyProtocol, ForestProtocol, GeneralizedDegeneracyProtocol,
     NeighbourhoodDecoder, NewtonDecoder, TableDecoder,
 };
-use referee_degeneracy::protocol::Reconstruction;
 use referee_graph::generators;
 use referee_protocol::run_protocol;
 use referee_wideint::UBig;

@@ -120,13 +120,13 @@ pub fn biconnectivity(g: &LabelledGraph) -> Biconnectivity {
     let mut label = vec![u32::MAX; n];
     let mut next = 0u32;
     let mut two_edge_component = vec![0u32; n];
-    for v in 0..n {
+    for (v, slot) in two_edge_component.iter_mut().enumerate() {
         let root = dsu.find(v);
         if label[root] == u32::MAX {
             label[root] = next;
             next += 1;
         }
-        two_edge_component[v] = label[root];
+        *slot = label[root];
     }
 
     Biconnectivity { articulation_points, bridges, two_edge_component }

@@ -150,9 +150,7 @@ mod tests {
     /// Reference: chordal iff no induced cycle of length ≥ 4. At the
     /// test sizes, checking C4..C7 suffices.
     fn brute_chordal(g: &LabelledGraph) -> bool {
-        (4..=g.n().min(7)).all(|k| {
-            !has_induced_subgraph(g, &generators::cycle(k).unwrap())
-        })
+        (4..=g.n().min(7)).all(|k| !has_induced_subgraph(g, &generators::cycle(k).unwrap()))
     }
 
     #[test]

@@ -94,9 +94,10 @@ mod tests {
             let members: Vec<VertexId> =
                 (1..=n as VertexId).filter(|v| mask & (1 << (v - 1)) != 0).collect();
             if members.len() > best
-                && members.iter().enumerate().all(|(i, &u)| {
-                    members[i + 1..].iter().all(|&w| g.has_edge(u, w))
-                })
+                && members
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &u)| members[i + 1..].iter().all(|&w| g.has_edge(u, w)))
             {
                 best = members.len();
             }

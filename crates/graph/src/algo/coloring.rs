@@ -25,9 +25,8 @@ impl Coloring {
     /// Check properness against `g`.
     pub fn is_proper(&self, g: &LabelledGraph) -> bool {
         self.colour.len() == g.n()
-            && g.edges().all(|e| {
-                self.colour[(e.0 - 1) as usize] != self.colour[(e.1 - 1) as usize]
-            })
+            && g.edges()
+                .all(|e| self.colour[(e.0 - 1) as usize] != self.colour[(e.1 - 1) as usize])
     }
 }
 
@@ -178,7 +177,10 @@ mod tests {
             let chi = chromatic_number_exact(&g);
             let omega = crate::algo::clique_number(&g);
             let greedy = degeneracy_coloring(&g).num_colours;
-            assert!(omega <= chi && chi <= greedy, "{g:?}: ω={omega}, χ={chi}, greedy={greedy}");
+            assert!(
+                omega <= chi && chi <= greedy,
+                "{g:?}: ω={omega}, χ={chi}, greedy={greedy}"
+            );
             // bipartite ⟺ χ ≤ 2
             assert_eq!(chi <= 2, is_bipartite(&g), "{g:?}");
         }

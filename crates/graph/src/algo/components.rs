@@ -62,9 +62,7 @@ pub fn spanning_forest(g: &LabelledGraph) -> Vec<Edge> {
 pub fn component_of(g: &LabelledGraph, v: VertexId) -> Vec<VertexId> {
     let labels = components(g);
     let target = labels[(v - 1) as usize];
-    (1..=g.n() as VertexId)
-        .filter(|&u| labels[(u - 1) as usize] == target)
-        .collect()
+    (1..=g.n() as VertexId).filter(|&u| labels[(u - 1) as usize] == target).collect()
 }
 
 #[cfg(test)]

@@ -102,8 +102,8 @@ mod tests {
 
     #[test]
     fn girth_consistent_with_detectors() {
-        use rand::{rngs::StdRng, SeedableRng};
         use crate::algo::{has_square, has_triangle};
+        use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
             let g = generators::gnp(15, 0.2, &mut rng);

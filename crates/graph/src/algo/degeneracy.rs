@@ -83,9 +83,7 @@ pub fn degeneracy_ordering(g: &LabelledGraph) -> DegeneracyOrdering {
 /// ascending IDs. Empty if no such subgraph exists.
 pub fn k_cores(g: &LabelledGraph, k: u32) -> Vec<VertexId> {
     let ord = degeneracy_ordering(g);
-    (1..=g.n() as VertexId)
-        .filter(|&v| ord.core[(v - 1) as usize] >= k)
-        .collect()
+    (1..=g.n() as VertexId).filter(|&v| ord.core[(v - 1) as usize] >= k).collect()
 }
 
 /// Reference implementation of Definition 2 by literal simulation:
@@ -97,10 +95,8 @@ pub fn degeneracy_brute_force(g: &LabelledGraph) -> usize {
     let mut deg: Vec<usize> = (1..=n as VertexId).map(|v| g.degree(v)).collect();
     let mut k = 0;
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&i| alive[i])
-            .min_by_key(|&i| deg[i])
-            .expect("some vertex alive");
+        let v =
+            (0..n).filter(|&i| alive[i]).min_by_key(|&i| deg[i]).expect("some vertex alive");
         k = k.max(deg[v]);
         alive[v] = false;
         for &w in g.neighbourhood((v + 1) as VertexId) {
@@ -123,11 +119,7 @@ pub fn verify_elimination_order(g: &LabelledGraph, order: &[VertexId], k: usize)
         if v == 0 || v as usize > g.n() || removed[(v - 1) as usize] {
             return false;
         }
-        let live = g
-            .neighbourhood(v)
-            .iter()
-            .filter(|&&w| !removed[(w - 1) as usize])
-            .count();
+        let live = g.neighbourhood(v).iter().filter(|&&w| !removed[(w - 1) as usize]).count();
         if live > k {
             return false;
         }

@@ -81,7 +81,7 @@ pub fn eccentricities(g: &LabelledGraph) -> Option<Vec<u32>> {
     let mut dist = vec![0u32; n];
     let mut queue = Vec::with_capacity(n);
     let mut ecc = vec![0u32; n];
-    for s in 0..n {
+    for (s, e) in ecc.iter_mut().enumerate() {
         bfs_into(&csr, s, &mut dist, &mut queue);
         let mut max = 0;
         for &d in &dist {
@@ -90,7 +90,7 @@ pub fn eccentricities(g: &LabelledGraph) -> Option<Vec<u32>> {
             }
             max = max.max(d);
         }
-        ecc[s] = max;
+        *e = max;
     }
     Some(ecc)
 }

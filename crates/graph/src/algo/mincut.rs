@@ -67,10 +67,7 @@ pub fn global_min_cut(g: &LabelledGraph) -> Option<MinCut> {
             // weight_to_a[t] was frozen when t entered A; recompute:
             active.iter().filter(|&&v| v != t).map(|&v| w[t][v]).sum::<i64>()
         };
-        let candidate = MinCut {
-            weight: cut_of_phase as usize,
-            side: groups[t].clone(),
-        };
+        let candidate = MinCut { weight: cut_of_phase as usize, side: groups[t].clone() };
         if best.as_ref().is_none_or(|b| candidate.weight < b.weight) {
             best = Some(candidate);
         }
@@ -120,15 +117,15 @@ mod tests {
     /// Brute force: try all 2^(n-1) bipartitions.
     fn brute_min_cut(g: &LabelledGraph) -> usize {
         let n = g.n();
-        assert!(n >= 2 && n <= 16);
+        assert!((2..=16).contains(&n));
         let mut best = usize::MAX;
         for mask in 1u32..(1 << (n - 1)) {
             // vertex n always on side B to halve the search
             let crossing = g
                 .edges()
                 .filter(|e| {
-                    let a = e.0 as usize <= n - 1 && mask & (1 << (e.0 - 1)) != 0;
-                    let b = e.1 as usize <= n - 1 && mask & (1 << (e.1 - 1)) != 0;
+                    let a = (e.0 as usize) < n && mask & (1 << (e.0 - 1)) != 0;
+                    let b = (e.1 as usize) < n && mask & (1 << (e.1 - 1)) != 0;
                     a != b
                 })
                 .count();

@@ -48,20 +48,24 @@ pub mod mincut;
 pub mod squares;
 pub mod subgraph;
 pub mod treewidth;
-pub mod vertex_connectivity;
 pub mod triangles;
+pub mod vertex_connectivity;
 
 pub use bfs::{bfs_distances, eccentricity};
 pub use biconnectivity::{
     articulation_points, biconnectivity, bridges, is_two_edge_connected, Biconnectivity,
 };
 pub use bipartite::{bipartition, is_bipartite, Bipartition};
-pub use chordal::{chordal_max_clique, chordal_treewidth, is_chordal, lex_bfs, perfect_elimination_order};
+pub use chordal::{
+    chordal_max_clique, chordal_treewidth, is_chordal, lex_bfs, perfect_elimination_order,
+};
 pub use clique::{clique_number, max_clique};
 pub use coloring::{chromatic_number_exact, degeneracy_coloring, greedy_coloring, Coloring};
 pub use components::{component_count, components, is_connected, spanning_forest};
 pub use cycles::{girth, has_cycle, is_forest};
-pub use degeneracy::{degeneracy_brute_force, degeneracy_ordering, k_cores, DegeneracyOrdering};
+pub use degeneracy::{
+    degeneracy_brute_force, degeneracy_ordering, k_cores, DegeneracyOrdering,
+};
 pub use diameter::{center, diameter, diameter_at_most, eccentricities, radius, Diameter};
 pub use mincut::{edge_connectivity, global_min_cut, is_k_edge_connected, MinCut};
 pub use squares::{
@@ -71,8 +75,10 @@ pub use subgraph::{
     automorphism_count, count_embeddings, find_subgraph, has_induced_subgraph, has_subgraph,
 };
 pub use treewidth::{
-    decomposition_from_order, min_degree_order, min_fill_order, treewidth_exact, width_of_order,
-    EliminationOrder, TreeDecomposition,
+    decomposition_from_order, min_degree_order, min_fill_order, treewidth_exact,
+    width_of_order, EliminationOrder, TreeDecomposition,
 };
 pub use triangles::{count_triangles, has_triangle};
-pub use vertex_connectivity::{is_k_vertex_connected, vertex_connectivity, vertex_disjoint_paths};
+pub use vertex_connectivity::{
+    is_k_vertex_connected, vertex_connectivity, vertex_disjoint_paths,
+};

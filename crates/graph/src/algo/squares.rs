@@ -59,10 +59,7 @@ pub fn count_squares(g: &LabelledGraph) -> u64 {
             }
         }
     }
-    let twice: u64 = codeg
-        .values()
-        .map(|&c| (c as u64) * (c as u64 - 1) / 2)
-        .sum();
+    let twice: u64 = codeg.values().map(|&c| (c as u64) * (c as u64 - 1) / 2).sum();
     debug_assert_eq!(twice % 2, 0, "each square has exactly two diagonals");
     twice / 2
 }
@@ -205,10 +202,16 @@ mod tests {
                 for b in 1..=n {
                     for c in 1..=n {
                         for d in 1..=n {
-                            if a < b && a < c && a < d && b < d
-                                && g.has_edge(a, b) && g.has_edge(b, c)
-                                && g.has_edge(c, d) && g.has_edge(d, a)
-                                && a != c && b != d
+                            if a < b
+                                && a < c
+                                && a < d
+                                && b < d
+                                && g.has_edge(a, b)
+                                && g.has_edge(b, c)
+                                && g.has_edge(c, d)
+                                && g.has_edge(d, a)
+                                && a != c
+                                && b != d
                             {
                                 brute += 1;
                             }
@@ -241,7 +244,9 @@ mod tests {
         assert!(has_induced_square(&c4));
         assert_eq!(count_induced_squares(&c4), 1);
         let (a, b, c, d) = find_induced_square(&c4).unwrap();
-        assert!(c4.has_edge(a, b) && c4.has_edge(b, c) && c4.has_edge(c, d) && c4.has_edge(d, a));
+        assert!(
+            c4.has_edge(a, b) && c4.has_edge(b, c) && c4.has_edge(c, d) && c4.has_edge(d, a)
+        );
         assert!(!c4.has_edge(a, c) && !c4.has_edge(b, d));
         // …but K4 contains squares only WITH chords.
         let k4 = generators::complete(4);
@@ -273,11 +278,18 @@ mod tests {
                 for b in 1..=n {
                     for c in 1..=n {
                         for d in 1..=n {
-                            if a < b && a < c && a < d && b < d
-                                && g.has_edge(a, b) && g.has_edge(b, c)
-                                && g.has_edge(c, d) && g.has_edge(d, a)
-                                && !g.has_edge(a, c) && !g.has_edge(b, d)
-                                && a != c && b != d
+                            if a < b
+                                && a < c
+                                && a < d
+                                && b < d
+                                && g.has_edge(a, b)
+                                && g.has_edge(b, c)
+                                && g.has_edge(c, d)
+                                && g.has_edge(d, a)
+                                && !g.has_edge(a, c)
+                                && !g.has_edge(b, d)
+                                && a != c
+                                && b != d
                             {
                                 brute += 1;
                             }

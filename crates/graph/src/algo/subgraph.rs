@@ -196,11 +196,7 @@ fn candidates_for(
     let pdeg = pattern.degree(pv);
     // Anchor on a placed neighbour if one exists: candidates are its
     // host-neighbours rather than all of V(host).
-    let anchor = pattern
-        .neighbourhood(pv)
-        .iter()
-        .copied()
-        .find(|&w| emb[w as usize] != 0);
+    let anchor = pattern.neighbourhood(pv).iter().copied().find(|&w| emb[w as usize] != 0);
     let pool: Vec<VertexId> = match anchor {
         Some(w) => host.neighbourhood(emb[w as usize]).to_vec(),
         None => host.vertices().collect(),
@@ -338,7 +334,7 @@ mod tests {
         let empty = LabelledGraph::new(0);
         assert!(has_subgraph(&g, &empty)); // empty pattern embeds
         assert!(!has_subgraph(&empty, &g)); // into empty host: no
-        // Pattern bigger than host.
+                                            // Pattern bigger than host.
         assert!(!has_subgraph(&generators::path(3), &generators::path(4)));
         // Pattern with isolated vertices: P2 + isolated vertex needs n≥3.
         let mut p2_iso = LabelledGraph::new(3);
@@ -366,7 +362,7 @@ mod tests {
         assert!(has_subgraph(&g, &c(4)));
         assert!(!has_subgraph(&g, &c(3))); // grids are bipartite
         assert!(has_subgraph(&g, &generators::path(16))); // Hamiltonian path
-        // K_{1,3} (claw) embeds at interior vertices.
+                                                          // K_{1,3} (claw) embeds at interior vertices.
         assert!(has_subgraph(&g, &generators::star(4).unwrap()));
         // K_{1,5} does not (max degree 4).
         assert!(!has_subgraph(&g, &generators::star(6).unwrap()));

@@ -62,9 +62,7 @@ pub fn treewidth_exact(g: &LabelledGraph) -> usize {
     }
     // Bitmask adjacency; vertex i (0-based) ↔ bit i.
     let adj: Vec<u64> = (1..=n as VertexId)
-        .map(|v| {
-            g.neighbourhood(v).iter().fold(0u64, |m, &w| m | (1 << (w - 1)))
-        })
+        .map(|v| g.neighbourhood(v).iter().fold(0u64, |m, &w| m | (1 << (w - 1))))
         .collect();
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
 
@@ -526,10 +524,8 @@ mod tests {
         assert!(broken_ri.validate(&g).unwrap_err().contains("disconnected"));
 
         // A cycle among bags is not a tree.
-        let cyclic = TreeDecomposition {
-            bags: good.bags.clone(),
-            edges: vec![(0, 1), (1, 2), (2, 0)],
-        };
+        let cyclic =
+            TreeDecomposition { bags: good.bags.clone(), edges: vec![(0, 1), (1, 2), (2, 0)] };
         assert!(cyclic.validate(&g).unwrap_err().contains("cycle"));
     }
 

@@ -117,8 +117,8 @@ pub fn vertex_connectivity(g: &LabelledGraph) -> usize {
         return 0;
     }
     let mut best = n - 1; // complete-graph convention
-    // κ = min over non-adjacent pairs; fixing s in a minimum cut's
-    // complement is guaranteed by scanning all pairs (reference-grade).
+                          // κ = min over non-adjacent pairs; fixing s in a minimum cut's
+                          // complement is guaranteed by scanning all pairs (reference-grade).
     for s in 1..=n as VertexId {
         for t in (s + 1)..=n as VertexId {
             if !g.has_edge(s, t) {

@@ -105,11 +105,7 @@ impl BitSet {
     /// Size of the intersection without materializing it.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Index of the lowest set bit, if any.
@@ -124,7 +120,11 @@ impl BitSet {
 
     /// Iterate the indices of set bits, ascending.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Zero any bits at positions `>= len` (after complement / set_all).

@@ -15,11 +15,7 @@ pub struct Dsu {
 impl Dsu {
     /// `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        Dsu {
-            parent: (0..len as u32).collect(),
-            size: vec![1; len],
-            components: len,
-        }
+        Dsu { parent: (0..len as u32).collect(), size: vec![1; len], components: len }
     }
 
     /// Number of elements.

@@ -54,7 +54,7 @@ pub fn random_k_degenerate(
 /// Vertex IDs are randomly permuted afterwards so the elimination order is
 /// *not* revealed by the labelling (the referee must rediscover it).
 pub fn k_tree(n: usize, k: usize, rng: &mut impl Rng) -> LabelledGraph {
-    assert!(n >= k + 1, "k-tree needs n ≥ k+1 (n={n}, k={k})");
+    assert!(n > k, "k-tree needs n ≥ k+1 (n={n}, k={k})");
     // Build on internal labels 0..n first.
     let mut cliques: Vec<Vec<u32>> = vec![(0..k as u32).collect()];
     let mut edges: Vec<(u32, u32)> = Vec::new();

@@ -21,11 +21,11 @@ pub mod random;
 pub mod structured;
 
 pub use degenerate::{check_degeneracy_at_most, k_tree, random_k_degenerate};
-pub use preferential::{barabasi_albert, uniform_attachment};
 pub use planar::{
     circulant, complete_binary_tree, fan, random_apollonian, random_outerplanar, random_planar,
     random_planar_triangulation, random_series_parallel, wheel,
 };
+pub use preferential::{barabasi_albert, uniform_attachment};
 pub use random::{
     gnm, gnp, random_balanced_bipartite, random_forest, random_regular, random_square_free,
     random_tree,

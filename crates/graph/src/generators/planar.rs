@@ -165,7 +165,10 @@ pub fn random_outerplanar(n: usize, rng: &mut impl Rng) -> Result<LabelledGraph,
 /// vertex in *parallel* to an existing edge's endpoints. Both moves
 /// preserve series-parallelness; the result has treewidth ≤ 2 and
 /// degeneracy ≤ 2.
-pub fn random_series_parallel(n: usize, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+pub fn random_series_parallel(
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<LabelledGraph, GraphError> {
     if n < 2 {
         return Err(GraphError::Parse(format!("series-parallel needs n ≥ 2, got {n}")));
     }
@@ -216,7 +219,10 @@ pub fn circulant(n: usize, jumps: &[usize]) -> Result<LabelledGraph, GraphError>
     let mut g = LabelledGraph::new(n);
     for &j in jumps {
         if j == 0 || j > n / 2 {
-            return Err(GraphError::Parse(format!("jump {j} out of range 1..={} for n = {n}", n / 2)));
+            return Err(GraphError::Parse(format!(
+                "jump {j} out of range 1..={} for n = {n}",
+                n / 2
+            )));
         }
         for i in 0..n {
             let u = (i + 1) as VertexId;
@@ -243,7 +249,11 @@ pub fn complete_binary_tree(levels: u32) -> LabelledGraph {
 /// Random planar *subgraph* sample: a triangulation thinned by keeping
 /// each edge independently with probability `keep`. Stays planar (edge
 /// deletion preserves planarity); degeneracy ≤ 5 still holds.
-pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> Result<LabelledGraph, GraphError> {
+pub fn random_planar(
+    n: usize,
+    keep: f64,
+    rng: &mut impl Rng,
+) -> Result<LabelledGraph, GraphError> {
     let full = random_planar_triangulation(n, 2 * n, rng)?;
     let mut g = LabelledGraph::new(n);
     let mut edges: Vec<_> = full.edges().collect();
@@ -259,9 +269,7 @@ pub fn random_planar(n: usize, keep: f64, rng: &mut impl Rng) -> Result<Labelled
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algo::{
-        degeneracy_ordering, is_connected, treewidth_exact, Diameter,
-    };
+    use crate::algo::{degeneracy_ordering, is_connected, treewidth_exact, Diameter};
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]

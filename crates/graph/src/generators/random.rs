@@ -66,8 +66,7 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> LabelledGraph {
     if n <= 1 {
         return LabelledGraph::new(n);
     }
-    let prufer: Vec<VertexId> =
-        (0..n - 2).map(|_| rng.gen_range(1..=n as VertexId)).collect();
+    let prufer: Vec<VertexId> = (0..n - 2).map(|_| rng.gen_range(1..=n as VertexId)).collect();
     tree_from_prufer(n, &prufer)
 }
 
@@ -142,7 +141,7 @@ pub fn random_regular(
     d: usize,
     rng: &mut impl Rng,
 ) -> Result<LabelledGraph, GraphError> {
-    if n * d % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::Parse(format!("n·d must be even, got {n}·{d}")));
     }
     if d >= n && !(d == 0 && n <= 1) && n > 0 {

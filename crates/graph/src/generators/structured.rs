@@ -150,7 +150,7 @@ pub fn icosahedron() -> LabelledGraph {
         edges.push((up, up_next)); // upper ring
         edges.push((low, low_next)); // lower ring
         edges.push((12, low)); // bottom apex to lower ring
-        // antiprism band between rings
+                               // antiprism band between rings
         edges.push((up, low));
         edges.push((up_next, low));
     }

@@ -65,7 +65,7 @@ impl LabelledGraph {
 
     /// Iterate all vertex IDs `1..=n`.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (1..=self.n as VertexId).into_iter()
+        1..=self.n as VertexId
     }
 
     fn check(&self, v: VertexId) -> Result<usize, GraphError> {

@@ -53,10 +53,7 @@ fn gnp_edge_count_concentrates() {
     let total: usize = (0..trials).map(|_| generators::gnp(n, p, &mut rng).m()).sum();
     let mean = total as f64 / trials as f64;
     let expect = p * (n * (n - 1) / 2) as f64;
-    assert!(
-        (mean - expect).abs() < expect * 0.05,
-        "mean {mean} vs expected {expect}"
-    );
+    assert!((mean - expect).abs() < expect * 0.05, "mean {mean} vs expected {expect}");
 }
 
 /// The k-degenerate generator with density 1 concentrates near the

@@ -18,8 +18,8 @@ fn diameter_reference(g: &LabelledGraph) -> Option<u32> {
     let n = g.n();
     const INF: u32 = u32::MAX / 4;
     let mut d = vec![vec![INF; n]; n];
-    for i in 0..n {
-        d[i][i] = 0;
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
     }
     for e in g.edges() {
         d[(e.0 - 1) as usize][(e.1 - 1) as usize] = 1;
@@ -36,12 +36,12 @@ fn diameter_reference(g: &LabelledGraph) -> Option<u32> {
         }
     }
     let mut max = 0;
-    for i in 0..n {
-        for j in 0..n {
-            if d[i][j] >= INF {
+    for row in &d {
+        for &dist in row {
+            if dist >= INF {
                 return None;
             }
-            max = max.max(d[i][j]);
+            max = max.max(dist);
         }
     }
     Some(max)

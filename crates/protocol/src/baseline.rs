@@ -88,7 +88,7 @@ impl OneRoundProtocol for AdjacencyListProtocol {
         for (i, nbrs) in lists.iter().enumerate() {
             let u = (i + 1) as VertexId;
             for &v in nbrs {
-                if !lists[(v - 1) as usize].binary_search(&u).is_ok() {
+                if lists[(v - 1) as usize].binary_search(&u).is_err() {
                     return Err(DecodeError::Inconsistent(format!(
                         "{u} lists {v} but {v} does not list {u}"
                     )));

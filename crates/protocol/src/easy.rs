@@ -190,7 +190,7 @@ impl OneRoundProtocol for EulerianDegreeProtocol {
                 return Err(DecodeError::Invalid("trailing bits".into()));
             }
         }
-        if odd % 2 != 0 {
+        if !odd.is_multiple_of(2) {
             return Err(DecodeError::Inconsistent("odd number of odd degrees".into()));
         }
         Ok(odd == 0)
@@ -263,8 +263,7 @@ pub fn verify_against_sums(h: &referee_graph::LabelledGraph, sums: &Neighbourhoo
     }
     h.vertices().all(|v| {
         let (d, s) = sums[(v - 1) as usize];
-        h.degree(v) == d
-            && h.neighbourhood(v).iter().map(|&w| w as u64).sum::<u64>() == s
+        h.degree(v) == d && h.neighbourhood(v).iter().map(|&w| w as u64).sum::<u64>() == s
     })
 }
 
@@ -305,7 +304,10 @@ mod tests {
     fn extremes_and_regularity() {
         let cyc = generators::cycle(11).unwrap();
         let e = run_protocol(&DegreeExtremesProtocol, &cyc).output.unwrap();
-        assert_eq!(e, DegreeExtremes { min_degree: 2, max_degree: 2, regular: true, isolated: vec![] });
+        assert_eq!(
+            e,
+            DegreeExtremes { min_degree: 2, max_degree: 2, regular: true, isolated: vec![] }
+        );
 
         let star = generators::star(6).unwrap();
         let e = run_protocol(&DegreeExtremesProtocol, &star).output.unwrap();
@@ -365,7 +367,7 @@ mod tests {
         assert!(EdgeCountProtocol.global(n, &msgs).is_ok());
         // wrong message count
         assert!(EdgeCountProtocol.global(5, &[Message::empty()]).is_err());
-        assert!(EulerianDegreeProtocol.global(3, &[Message::empty(); 1].to_vec()).is_err());
+        assert!(EulerianDegreeProtocol.global(3, [Message::empty(); 1].as_ref()).is_err());
     }
 
     #[test]

@@ -44,9 +44,7 @@ impl FrugalityReport {
     /// protocol's ratio flattens; the adjacency baseline on cliques grows
     /// linearly in `n / log n`.
     pub fn ratio_diverges(&self, tolerance: f64) -> bool {
-        self.rows
-            .windows(2)
-            .all(|w| w[1].ratio > w[0].ratio + tolerance)
+        self.rows.windows(2).all(|w| w[1].ratio > w[0].ratio + tolerance)
             && self.rows.len() >= 2
     }
 

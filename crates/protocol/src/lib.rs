@@ -38,7 +38,9 @@ pub use bits::{BitReader, BitWriter};
 pub use frugality::{FrugalityAudit, FrugalityReport};
 pub use message::Message;
 pub use model::{NodeView, OneRoundProtocol};
-pub use referee::{run_protocol, RunOutcome, RunStats};
+pub use referee::{
+    parallel_threshold, run_protocol, set_parallel_threshold, RunOutcome, RunStats,
+};
 
 /// Errors surfaced while decoding messages at the referee.
 ///

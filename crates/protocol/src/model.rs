@@ -125,13 +125,10 @@ mod tests {
     #[test]
     fn toy_protocol_counts_edges() {
         let g = referee_graph::generators::complete(5);
-        let views: Vec<Vec<u32>> =
-            g.vertices().map(|v| g.neighbourhood(v).to_vec()).collect();
+        let views: Vec<Vec<u32>> = g.vertices().map(|v| g.neighbourhood(v).to_vec()).collect();
         let msgs: Vec<Message> = g
             .vertices()
-            .map(|v| {
-                EdgeCount.local(NodeView::new(5, v, &views[(v - 1) as usize]))
-            })
+            .map(|v| EdgeCount.local(NodeView::new(5, v, &views[(v - 1) as usize])))
             .collect();
         assert_eq!(EdgeCount.global(5, &msgs), 10);
     }

@@ -195,15 +195,101 @@ pub struct BoruvkaRefereeState {
 
 /// `O(log n)`-round frugal connectivity (§IV "more rounds" extension).
 ///
-/// Every message anywhere is ≤ `1 + ⌈log₂(n+1)⌉` bits. Termination: two
-/// consecutive merge-free rounds prove the union–find components equal the
-/// true components (label staleness is at most one round, so the second
-/// quiet round runs on fully current labels).
+/// Every message anywhere is ≤ `5 + ⌈log₂(n+1)⌉` bits (a proposal uplink
+/// carries flag + id + a 4-bit checksum). Termination: two consecutive
+/// merge-free rounds prove the union–find components equal the true
+/// components (label staleness is at most one round, so the second quiet
+/// round runs on fully current labels).
+///
+/// The referee *validates* every uplink instead of trusting it: a
+/// malformed frame (truncated, trailing bits, out-of-range proposal,
+/// checksum mismatch) terminates the run with a [`DecodeError`] rather
+/// than panicking or silently merging garbage. The XOR-fold checksum
+/// makes every **single-bit** uplink corruption detectable — flag flips
+/// break the length check, id flips break the checksum, checksum flips
+/// break themselves — the property the failure-injection tests pin.
+/// Honest runs never produce `Err`; use [`boruvka_connectivity`] for the
+/// unwrapped convenience form.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BoruvkaConnectivity;
 
+/// Checksum width for proposal uplinks.
+const PROPOSAL_CHECK_BITS: u32 = 4;
+
+/// XOR-fold a proposal id to [`PROPOSAL_CHECK_BITS`] bits. Each id bit
+/// feeds exactly one checksum bit, so any single-bit id flip flips
+/// exactly one checksum bit.
+fn proposal_checksum(id: u64) -> u64 {
+    let mut x = id;
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x ^= x >> 4;
+    x & 0xF
+}
+
+/// Append a checksummed proposal (or the 1-bit "no proposal") to `w`.
+fn write_proposal(w: &mut crate::BitWriter, proposal: Option<VertexId>, width: u32) {
+    match proposal {
+        Some(nb) => {
+            w.push_bit(true);
+            w.write_bits(nb as u64, width);
+            w.write_bits(proposal_checksum(nb as u64), PROPOSAL_CHECK_BITS);
+        }
+        None => w.push_bit(false),
+    }
+}
+
+/// Decode and validate one Borůvka uplink frame: `0` (no proposal) or
+/// `1·id·checksum` with `id ∈ 1..=n`, bit-exact length, `id ≠ self`.
+fn decode_proposal(
+    up: &Message,
+    sender: usize,
+    n: usize,
+) -> Result<Option<usize>, crate::DecodeError> {
+    use crate::DecodeError;
+    let width = crate::bits_for(n);
+    let mut r = up.reader();
+    let flag = r.read_bit()?;
+    if !flag {
+        if up.len_bits() != 1 {
+            return Err(DecodeError::Invalid(format!(
+                "node {} sent {} trailing bits after empty proposal",
+                sender + 1,
+                up.len_bits() - 1
+            )));
+        }
+        return Ok(None);
+    }
+    let raw = r.read_bits(width)?;
+    let check = r.read_bits(PROPOSAL_CHECK_BITS)?;
+    if up.len_bits() != 1 + (width + PROPOSAL_CHECK_BITS) as usize {
+        return Err(DecodeError::Invalid(format!(
+            "node {} proposal frame has wrong length",
+            sender + 1
+        )));
+    }
+    if check != proposal_checksum(raw) {
+        return Err(DecodeError::Inconsistent(format!(
+            "node {} proposal failed its checksum",
+            sender + 1
+        )));
+    }
+    let nb = raw as usize;
+    if nb < 1 || nb > n {
+        return Err(DecodeError::OutOfRange(format!(
+            "node {} proposed out-of-range neighbour {nb} (n = {n})",
+            sender + 1
+        )));
+    }
+    if nb == sender + 1 {
+        return Err(DecodeError::Invalid(format!("node {nb} proposed itself")));
+    }
+    Ok(Some(nb))
+}
+
 impl MultiRoundProtocol for BoruvkaConnectivity {
-    type Output = bool;
+    type Output = Result<bool, crate::DecodeError>;
     type NodeState = BoruvkaNodeState;
     type RefereeState = BoruvkaRefereeState;
 
@@ -242,13 +328,7 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
             .zip(&state.heard)
             .find(|&(_, &h)| h != 0 && h != state.label)
             .map(|(&nb, _)| nb);
-        match proposal {
-            Some(nb) => {
-                w.push_bit(true);
-                w.write_bits(nb as u64, width);
-            }
-            None => w.push_bit(false),
-        }
+        write_proposal(&mut w, proposal, width);
         (to_nbrs, Message::from_writer(w))
     }
 
@@ -258,16 +338,17 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
         n: usize,
         _round: usize,
         uplinks: &[Message],
-    ) -> RefereeStep<bool> {
+    ) -> RefereeStep<Result<bool, crate::DecodeError>> {
         let width = crate::bits_for(n);
         let mut merged_any = false;
         for (i, up) in uplinks.iter().enumerate() {
-            let mut r = up.reader();
-            if r.read_bit().expect("proposal flag") {
-                let nb = r.read_bits(width).expect("proposal id") as usize;
-                assert!(nb >= 1 && nb <= n, "referee received invalid proposal");
-                if state.dsu.union(i, nb - 1) {
-                    merged_any = true;
+            match decode_proposal(up, i, n) {
+                Err(e) => return RefereeStep::Done(Err(e)),
+                Ok(None) => {}
+                Ok(Some(nb)) => {
+                    if state.dsu.union(i, nb - 1) {
+                        merged_any = true;
+                    }
                 }
             }
         }
@@ -277,7 +358,7 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
             state.quiet_rounds += 1;
         }
         if state.quiet_rounds >= 2 {
-            return RefereeStep::Done(state.dsu.components() <= 1);
+            return RefereeStep::Done(Ok(state.dsu.components() <= 1));
         }
         // Downlink: each node's fresh component label.
         let downlinks = (0..n)
@@ -302,13 +383,12 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
         let width = crate::bits_for(view.n);
         for (from, msg) in from_neighbours {
             let label = msg.reader().read_bits(width).expect("label field") as VertexId;
-            let idx = view
-                .neighbours
-                .binary_search(from)
-                .expect("message only from neighbours");
+            let idx =
+                view.neighbours.binary_search(from).expect("message only from neighbours");
             state.heard[idx] = label;
         }
-        state.label = from_referee.reader().read_bits(width).expect("downlink label") as VertexId;
+        state.label =
+            from_referee.reader().read_bits(width).expect("downlink label") as VertexId;
     }
 }
 
@@ -317,7 +397,10 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
 pub fn boruvka_connectivity(g: &LabelledGraph) -> (bool, MultiRoundStats) {
     let cap = 4 * (usize::BITS - g.n().leading_zeros()) as usize + 8;
     let (out, stats) = run_multiround(&BoruvkaConnectivity, g, cap);
-    (out.expect("Borůvka terminates within the round cap"), stats)
+    let verdict = out
+        .expect("Borůvka terminates within the round cap")
+        .expect("honest uplinks always decode");
+    (verdict, stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -340,8 +423,9 @@ pub struct ForestRefereeState {
 pub struct BoruvkaSpanningForest;
 
 impl MultiRoundProtocol for BoruvkaSpanningForest {
-    /// Spanning forest edges (canonical `u < v`, sorted).
-    type Output = Vec<(VertexId, VertexId)>;
+    /// Spanning forest edges (canonical `u < v`, sorted), or the decode
+    /// failure that aborted the run.
+    type Output = Result<Vec<(VertexId, VertexId)>, crate::DecodeError>;
     type NodeState = BoruvkaNodeState;
     type RefereeState = ForestRefereeState;
 
@@ -354,10 +438,7 @@ impl MultiRoundProtocol for BoruvkaSpanningForest {
     }
 
     fn referee_init(&self, n: usize) -> ForestRefereeState {
-        ForestRefereeState {
-            inner: BoruvkaConnectivity.referee_init(n),
-            forest: Vec::new(),
-        }
+        ForestRefereeState { inner: BoruvkaConnectivity.referee_init(n), forest: Vec::new() }
     }
 
     fn node_send(
@@ -379,14 +460,15 @@ impl MultiRoundProtocol for BoruvkaSpanningForest {
         let width = crate::bits_for(n);
         let mut merged_any = false;
         for (i, up) in uplinks.iter().enumerate() {
-            let mut r = up.reader();
-            if r.read_bit().expect("proposal flag") {
-                let nb = r.read_bits(width).expect("proposal id") as usize;
-                assert!(nb >= 1 && nb <= n, "invalid proposal");
-                if state.inner.dsu.union(i, nb - 1) {
-                    merged_any = true;
-                    let (u, v) = ((i + 1) as VertexId, nb as VertexId);
-                    state.forest.push((u.min(v), u.max(v)));
+            match decode_proposal(up, i, n) {
+                Err(e) => return RefereeStep::Done(Err(e)),
+                Ok(None) => {}
+                Ok(Some(nb)) => {
+                    if state.inner.dsu.union(i, nb - 1) {
+                        merged_any = true;
+                        let (u, v) = ((i + 1) as VertexId, nb as VertexId);
+                        state.forest.push((u.min(v), u.max(v)));
+                    }
                 }
             }
         }
@@ -398,7 +480,7 @@ impl MultiRoundProtocol for BoruvkaSpanningForest {
         if state.inner.quiet_rounds >= 2 {
             let mut forest = std::mem::take(&mut state.forest);
             forest.sort_unstable();
-            return RefereeStep::Done(forest);
+            return RefereeStep::Done(Ok(forest));
         }
         let downlinks = (0..n)
             .map(|i| {
@@ -429,7 +511,9 @@ pub fn boruvka_spanning_forest(
 ) -> (Vec<(VertexId, VertexId)>, MultiRoundStats) {
     let cap = 4 * (usize::BITS - g.n().leading_zeros()) as usize + 8;
     let (out, stats) = run_multiround(&BoruvkaSpanningForest, g, cap);
-    (out.expect("terminates within the round cap"), stats)
+    let forest =
+        out.expect("terminates within the round cap").expect("honest uplinks always decode");
+    (forest, stats)
 }
 
 #[cfg(test)]
@@ -507,8 +591,8 @@ mod tests {
 
     #[test]
     fn spanning_forest_is_valid() {
-        use referee_graph::dsu::Dsu;
         use rand::{rngs::StdRng, SeedableRng};
+        use referee_graph::dsu::Dsu;
         let mut rng = StdRng::seed_from_u64(88);
         for _ in 0..10 {
             let g = generators::gnp(50, 0.06, &mut rng);

@@ -8,16 +8,51 @@
 //!
 //! The local phase is embarrassingly parallel (each node computes from its
 //! own view only — the model guarantees it), so it fans out across threads
-//! with `crossbeam::scope` when the graph is large enough to pay for it.
+//! with `std::thread::scope` when the graph is large enough to pay for it.
 
 use crate::model::{NodeView, OneRoundProtocol};
 use crate::Message;
 use referee_graph::LabelledGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Below this many vertices the local phase runs sequentially (thread
 /// spawn overhead dominates under ~10k cheap local calls).
-const PARALLEL_THRESHOLD: usize = 2048;
+const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
+
+/// 0 = "not yet initialised from the environment".
+static PARALLEL_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+
+/// The current local-phase parallelism threshold: simulators fan the
+/// local phase out across threads only for graphs with at least this
+/// many vertices.
+///
+/// Resolution order: the last [`set_parallel_threshold`] call, else the
+/// `REFEREE_PARALLEL_THRESHOLD` environment variable, else 2048. Callers
+/// that drive *many* protocol runs concurrently (e.g. the `simnet`
+/// scheduler) set this to `usize::MAX` so per-run parallelism does not
+/// oversubscribe their worker pool.
+pub fn parallel_threshold() -> usize {
+    match PARALLEL_THRESHOLD.load(Ordering::Relaxed) {
+        0 => {
+            let v = std::env::var("REFEREE_PARALLEL_THRESHOLD")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
+                .max(1);
+            PARALLEL_THRESHOLD.store(v, Ordering::Relaxed);
+            v
+        }
+        v => v,
+    }
+}
+
+/// Override the local-phase parallelism threshold process-wide.
+/// `usize::MAX` disables nested parallelism entirely; values are clamped
+/// to at least 1 (0 would mean "re-read the environment").
+pub fn set_parallel_threshold(threshold: usize) {
+    PARALLEL_THRESHOLD.store(threshold.max(1), Ordering::Relaxed);
+}
 
 /// Measurements from one protocol run.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +95,7 @@ where
     P: OneRoundProtocol + Sync,
 {
     let n = g.n();
-    if n < PARALLEL_THRESHOLD {
+    if n < parallel_threshold() {
         return (1..=n as u32)
             .map(|v| protocol.local(NodeView::new(n, v, g.neighbourhood(v))))
             .collect();
@@ -68,18 +103,17 @@ where
     let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(32);
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Message> = vec![Message::empty(); n];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
             let start = t * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, m) in slot.iter_mut().enumerate() {
                     let v = (start + off + 1) as u32;
                     *m = protocol.local(NodeView::new(n, v, g.neighbourhood(v)));
                 }
             });
         }
-    })
-    .expect("local phase worker panicked");
+    });
     out
 }
 
@@ -103,7 +137,13 @@ where
 
     RunOutcome {
         output,
-        stats: RunStats { n, max_message_bits, total_message_bits, local_seconds, global_seconds },
+        stats: RunStats {
+            n,
+            max_message_bits,
+            total_message_bits,
+            local_seconds,
+            global_seconds,
+        },
     }
 }
 
@@ -160,9 +200,7 @@ where
 {
     let n = g.n();
     let messages = local_phase(protocol, g);
-    let arrivals = order
-        .iter()
-        .map(|&v| (v, messages[(v - 1) as usize].clone()));
+    let arrivals = order.iter().map(|&v| (v, messages[(v - 1) as usize].clone()));
     let assembled = assemble_from_arrivals(n, arrivals)?;
     Ok(protocol.global(n, &assembled))
 }
@@ -191,10 +229,7 @@ mod tests {
         }
 
         fn global(&self, n: usize, messages: &[Message]) -> Vec<u64> {
-            messages
-                .iter()
-                .map(|m| m.reader().read_bits(bits_for(n)).unwrap())
-                .collect()
+            messages.iter().map(|m| m.reader().read_bits(bits_for(n)).unwrap()).collect()
         }
     }
 

@@ -155,9 +155,8 @@ mod tests {
         use referee_graph::{algo, enumerate};
         // trees = connected forests; Cayley says n^{n-2}
         for n in 2..=6usize {
-            let (trees, _) = enumerate::count_graphs(n, |g| {
-                algo::is_forest(g) && algo::is_connected(g)
-            });
+            let (trees, _) =
+                enumerate::count_graphs(n, |g| algo::is_forest(g) && algo::is_connected(g));
             assert_eq!(UBig::from(trees), cayley_trees(n), "n={n}");
         }
         assert_eq!(cayley_trees(5), UBig::from(125u64));
@@ -183,7 +182,7 @@ mod tests {
         let rows = lemma1_rows(&ns, 1, |n| (n * (n - 1) / 2) as f64);
         assert!(!rows[0].impossible); // 6 ≤ 12
         assert!(rows.last().unwrap().impossible); // 2016 > 448
-        // and the verdict is monotone once triggered
+                                                  // and the verdict is monotone once triggered
         let first_imp = rows.iter().position(|r| r.impossible).unwrap();
         assert!(rows[first_imp..].iter().all(|r| r.impossible));
     }

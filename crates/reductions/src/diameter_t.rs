@@ -21,8 +21,8 @@ use referee_protocol::baseline::AdjacencyListProtocol;
 use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
 
 /// A non-frugal oracle deciding "diam(G) ≤ t" exactly (adjacency upload
-/// + centralized all-pairs BFS), used to validate [`DiameterTReduction`]
-/// as a faithful simulation.
+/// plus centralized all-pairs BFS), used to validate
+/// [`DiameterTReduction`] as a faithful simulation.
 #[derive(Debug, Clone, Copy)]
 pub struct DiameterTOracle {
     /// The diameter threshold this oracle decides.
@@ -78,7 +78,11 @@ where
     type Output = Result<LabelledGraph, DecodeError>;
 
     fn name(&self) -> String {
-        format!("Δ: full reconstruction via [{}] (diam≤{} gadget)", self.inner.name(), self.thresh)
+        format!(
+            "Δ: full reconstruction via [{}] (diam≤{} gadget)",
+            self.inner.name(),
+            self.thresh
+        )
     }
 
     fn local(&self, view: NodeView<'_>) -> Message {

@@ -229,10 +229,7 @@ mod tests {
         let g = generators::random_square_free(25, &mut rng);
         for s in 1..=25u32 {
             for t in (s + 1)..=25 {
-                assert_eq!(
-                    algo::has_square(&square_gadget(&g, s, t)),
-                    g.has_edge(s, t)
-                );
+                assert_eq!(algo::has_square(&square_gadget(&g, s, t)), g.has_edge(s, t));
             }
         }
     }

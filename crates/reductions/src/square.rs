@@ -9,7 +9,7 @@
 //! the messages of the `n` mirror vertices (these depend only on `Γ`, `s`,
 //! `t`, not on `G`), asks `Γ^g_{2n}` whether `G'_{s,t}` has a square, and
 //! records the edge accordingly. The `O(n²)` probe loop is parallelized
-//! over `s` with crossbeam.
+//! over `s` with scoped threads.
 
 use crate::gadgets;
 use referee_graph::{LabelledGraph, VertexId};
@@ -60,19 +60,16 @@ where
         // Template mirror messages: m_j = Γ^l_{2n}(j, {j − n}); these do
         // not depend on G or on (s, t) except at the two probe mirrors.
         let template: Vec<Message> = ((n + 1)..=n2)
-            .map(|j| {
-                self.inner
-                    .local(NodeView::new(n2, j as VertexId, &[(j - n) as VertexId]))
-            })
+            .map(|j| self.inner.local(NodeView::new(n2, j as VertexId, &[(j - n) as VertexId])))
             .collect();
 
         let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
-        let rows: Vec<(VertexId, Vec<VertexId>)> = crossbeam::thread::scope(|scope| {
+        let rows: Vec<(VertexId, Vec<VertexId>)> = std::thread::scope(|scope| {
             let template = &template;
             let inner = &self.inner;
             let mut handles = Vec::new();
             for tid in 0..threads {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut local_rows = Vec::new();
                     let mut probe: Vec<Message> = Vec::with_capacity(n2);
                     let mut s = (tid + 1) as VertexId;
@@ -99,8 +96,7 @@ where
                 }));
             }
             handles.into_iter().flat_map(|h| h.join().expect("probe worker")).collect()
-        })
-        .expect("crossbeam scope");
+        });
 
         let mut g = LabelledGraph::new(n);
         for (s, adjacent) in rows {

@@ -46,7 +46,11 @@ pub fn unbundle(msg: &Message, count: usize) -> Result<Vec<Message>, DecodeError
 }
 
 /// Copy a reader's remaining bits (test helper for reassembling messages).
-pub fn copy_bits(r: &mut BitReader<'_>, w: &mut BitWriter, count: usize) -> Result<(), DecodeError> {
+pub fn copy_bits(
+    r: &mut BitReader<'_>,
+    w: &mut BitWriter,
+    count: usize,
+) -> Result<(), DecodeError> {
     for _ in 0..count {
         w.push_bit(r.read_bit()?);
     }

@@ -5,12 +5,12 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use referee_graph::{algo, generators};
 use referee_protocol::run_protocol;
+use referee_reductions::oracle::{
+    BipartitenessOracle, DiameterOracle, SquareOracle, TriangleOracle,
+};
 use referee_reductions::{
     gadgets, BipartiteConnectivityReduction, DiameterReduction, SquareReduction,
     TriangleReduction,
-};
-use referee_reductions::oracle::{
-    BipartitenessOracle, DiameterOracle, SquareOracle, TriangleOracle,
 };
 
 proptest! {

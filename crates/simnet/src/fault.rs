@@ -1,0 +1,270 @@
+//! Seeded fault injection: a [`Transport`] decorator that loses,
+//! duplicates, reorders and corrupts traffic.
+//!
+//! Corruption flips payload bits, so corrupted transmissions flow into
+//! the *existing* decoder rejection paths
+//! ([`DecodeError`](referee_protocol::DecodeError)) — the runtime adds no
+//! side channel that real messages would not have. All randomness comes
+//! from one seeded [`StdRng`], so every adversarial schedule is exactly
+//! reproducible.
+
+use crate::metrics::TransportCounters;
+use crate::transport::{Envelope, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-envelope fault probabilities (all in `[0, 1]`).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// RNG seed; two transports with equal configs behave identically.
+    pub seed: u64,
+    /// P(envelope is destroyed in transit).
+    pub loss: f64,
+    /// P(an extra copy of the envelope is created).
+    pub duplication: f64,
+    /// P(envelope is held back and released out of order, possibly
+    /// rounds later).
+    pub reorder: f64,
+    /// P(at least one payload bit is flipped).
+    pub corruption: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all: the decorated transport must behave bit-for-bit
+    /// like its inner transport (pinned by property tests).
+    pub fn lossless(seed: u64) -> Self {
+        FaultConfig { seed, loss: 0.0, duplication: 0.0, reorder: 0.0, corruption: 0.0 }
+    }
+
+    /// A mildly hostile network: a little of everything.
+    pub fn noisy(seed: u64) -> Self {
+        FaultConfig { seed, loss: 0.02, duplication: 0.05, reorder: 0.15, corruption: 0.02 }
+    }
+
+    /// Corruption only — the configuration the failure-injection tests
+    /// use to prove decoders reject flipped bits.
+    pub fn corrupting(seed: u64, corruption: f64) -> Self {
+        FaultConfig { seed, loss: 0.0, duplication: 0.0, reorder: 0.0, corruption }
+    }
+
+    /// True when every probability is zero.
+    pub fn is_lossless(&self) -> bool {
+        self.loss == 0.0
+            && self.duplication == 0.0
+            && self.reorder == 0.0
+            && self.corruption == 0.0
+    }
+}
+
+/// Decorator injecting [`FaultConfig`] faults around any inner transport.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    cfg: FaultConfig,
+    rng: StdRng,
+    /// Reorder buffer: envelopes held out of the inner FIFO, released at
+    /// random points in the future (possibly across round boundaries).
+    holdback: Vec<Envelope>,
+    counters: TransportCounters,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap `inner` with fault injection.
+    pub fn new(inner: T, cfg: FaultConfig) -> Self {
+        FaultyTransport {
+            inner,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            holdback: Vec::new(),
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn corrupt(&mut self, env: &mut Envelope) {
+        let bits = env.payload.len_bits();
+        if bits == 0 {
+            return; // nothing to flip in an empty message
+        }
+        // Exactly one flipped bit per corruption event: the payload is
+        // guaranteed altered (keeping the `corrupted` counter honest),
+        // and single-bit errors are the class that parity-style frame
+        // checksums (e.g. the Borůvka proposal fold) provably detect.
+        // Burst corruption, which can defeat short checksums, is a
+        // deliberate non-goal of this adversary.
+        self.counters.corrupted += 1;
+        let idx = self.rng.gen_range(0..bits);
+        env.payload = env.payload.with_bit_flipped(idx);
+    }
+
+    fn admit(&mut self, mut env: Envelope) {
+        if self.cfg.corruption > 0.0 && self.rng.gen_bool(self.cfg.corruption) {
+            self.corrupt(&mut env);
+        }
+        if self.cfg.reorder > 0.0 && self.rng.gen_bool(self.cfg.reorder) {
+            self.counters.reordered += 1;
+            self.holdback.push(env);
+        } else {
+            self.inner.send(env);
+        }
+    }
+
+    fn release_holdback(&mut self) -> Option<Envelope> {
+        if self.holdback.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..self.holdback.len());
+        Some(self.holdback.swap_remove(idx))
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, env: Envelope) {
+        self.counters.sent += 1;
+        if self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss) {
+            self.counters.dropped += 1;
+            return;
+        }
+        if self.cfg.duplication > 0.0 && self.rng.gen_bool(self.cfg.duplication) {
+            self.counters.duplicated += 1;
+            let copy = env.clone();
+            self.admit(copy);
+        }
+        self.admit(env);
+    }
+
+    fn recv(&mut self) -> Option<Envelope> {
+        // Occasionally release a held-back envelope even while the inner
+        // queue still has traffic — that is what makes reordering visible.
+        if !self.holdback.is_empty() && self.rng.gen_bool(0.33) {
+            self.counters.delivered += 1;
+            return self.release_holdback();
+        }
+        if let Some(env) = self.inner.recv() {
+            self.counters.delivered += 1;
+            return Some(env);
+        }
+        // Inner empty: drain the reorder buffer so nothing is lost.
+        if self.holdback.is_empty() {
+            return None;
+        }
+        self.counters.delivered += 1;
+        self.release_holdback()
+    }
+
+    fn counters(&self) -> TransportCounters {
+        // `sent`/`delivered`/fault counters are tracked here; the inner
+        // transport's own counters describe the post-fault stream and are
+        // intentionally not merged (they would double-count).
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{PerfectTransport, REFEREE};
+    use referee_protocol::{BitWriter, Message};
+
+    fn env(round: u32, from: u32, value: u64) -> Envelope {
+        let mut w = BitWriter::new();
+        w.write_bits(value, 32);
+        Envelope { round, from, to: REFEREE, payload: Message::from_writer(w) }
+    }
+
+    #[test]
+    fn lossless_is_transparent() {
+        let mut t = FaultyTransport::new(PerfectTransport::new(), FaultConfig::lossless(1));
+        for i in 0..50 {
+            t.send(env(1, i + 1, i as u64));
+        }
+        for i in 0..50 {
+            let e = t.recv().expect("delivered");
+            assert_eq!(e.from, i + 1, "order preserved");
+            assert_eq!(e.payload.reader().read_bits(32).unwrap(), i as u64);
+        }
+        assert!(t.recv().is_none());
+        let c = t.counters();
+        assert_eq!((c.dropped, c.duplicated, c.corrupted, c.reordered), (0, 0, 0, 0));
+        assert_eq!((c.sent, c.delivered), (50, 50));
+    }
+
+    #[test]
+    fn loss_drops_and_counts() {
+        let mut t = FaultyTransport::new(
+            PerfectTransport::new(),
+            FaultConfig { seed: 2, loss: 0.5, duplication: 0.0, reorder: 0.0, corruption: 0.0 },
+        );
+        for i in 0..200 {
+            t.send(env(1, i % 30 + 1, i as u64));
+        }
+        let mut got = 0;
+        while t.recv().is_some() {
+            got += 1;
+        }
+        let c = t.counters();
+        assert_eq!(c.sent, 200);
+        assert_eq!(c.dropped + c.delivered, 200);
+        assert_eq!(got as u64, c.delivered);
+        assert!((50..150).contains(&c.dropped), "dropped {}", c.dropped);
+    }
+
+    #[test]
+    fn duplication_creates_identical_copies() {
+        let mut t = FaultyTransport::new(
+            PerfectTransport::new(),
+            FaultConfig { seed: 3, loss: 0.0, duplication: 1.0, reorder: 0.0, corruption: 0.0 },
+        );
+        t.send(env(1, 7, 99));
+        let a = t.recv().unwrap();
+        let b = t.recv().unwrap();
+        assert_eq!(a, b);
+        assert!(t.recv().is_none());
+        assert_eq!(t.counters().duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_changes_bits_but_not_length() {
+        let mut t =
+            FaultyTransport::new(PerfectTransport::new(), FaultConfig::corrupting(4, 1.0));
+        let original = env(1, 1, 0xdeadbeef);
+        t.send(original.clone());
+        let got = t.recv().unwrap();
+        assert_eq!(got.payload.len_bits(), original.payload.len_bits());
+        assert_ne!(got.payload, original.payload, "at least one flip expected");
+        assert_eq!(t.counters().corrupted, 1);
+    }
+
+    #[test]
+    fn empty_payloads_are_never_corrupted() {
+        let mut t =
+            FaultyTransport::new(PerfectTransport::new(), FaultConfig::corrupting(5, 1.0));
+        t.send(Envelope { round: 1, from: 1, to: REFEREE, payload: Message::empty() });
+        assert_eq!(t.recv().unwrap().payload, Message::empty());
+        assert_eq!(t.counters().corrupted, 0);
+    }
+
+    #[test]
+    fn reorder_delivers_everything_eventually() {
+        let mut t = FaultyTransport::new(
+            PerfectTransport::new(),
+            FaultConfig { seed: 6, loss: 0.0, duplication: 0.0, reorder: 0.9, corruption: 0.0 },
+        );
+        for i in 0..100 {
+            t.send(env(1, i % 20 + 1, i as u64));
+        }
+        let mut seen = Vec::new();
+        while let Some(e) = t.recv() {
+            seen.push(e.payload.reader().read_bits(32).unwrap());
+        }
+        assert_eq!(seen.len(), 100, "no envelope may vanish");
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(seen, sorted, "with 90% holdback, FIFO order must break");
+    }
+}

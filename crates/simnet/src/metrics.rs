@@ -1,0 +1,195 @@
+//! Per-session and aggregate measurements.
+//!
+//! [`SessionMetrics`] embeds the legacy [`RunStats`] (so everything built
+//! on the synchronous simulator keeps working) and adds what a *runtime*
+//! can see and a *simulator* cannot: transport-level delivery counters and
+//! per-round latencies. [`AggregateMetrics`] folds thousands of sessions
+//! into one report for the scheduler.
+
+use referee_protocol::RunStats;
+
+/// Delivery accounting for one transport (or a merged fleet of them).
+///
+/// `sent` counts caller-submitted envelopes only; fault-injected copies
+/// count under `duplicated` (and are never themselves lost), so the
+/// bookkeeping identity once a transport drains is
+/// `delivered == sent - dropped + duplicated` — under duplication,
+/// `delivered` legitimately exceeds `sent`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Envelopes handed to `send` by the caller (excludes injected
+    /// duplicate copies).
+    pub sent: u64,
+    /// Envelopes handed back out of `recv` (includes injected duplicate
+    /// copies).
+    pub delivered: u64,
+    /// Envelopes destroyed by fault injection.
+    pub dropped: u64,
+    /// Extra copies created by fault injection.
+    pub duplicated: u64,
+    /// Envelopes whose payload had at least one bit flipped.
+    pub corrupted: u64,
+    /// Envelopes released out of FIFO order.
+    pub reordered: u64,
+    /// Envelopes a session discarded as duplicates of already-processed
+    /// traffic (at-least-once delivery made idempotent).
+    pub stale: u64,
+}
+
+impl TransportCounters {
+    /// Fold `other` into `self` (fleet aggregation).
+    pub fn merge(&mut self, other: &TransportCounters) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.corrupted += other.corrupted;
+        self.reordered += other.reordered;
+        self.stale += other.stale;
+    }
+}
+
+/// Everything measured about one session.
+#[derive(Debug, Clone)]
+pub struct SessionMetrics {
+    /// Legacy-compatible stats: `n`, max/total message bits (as *sent* by
+    /// nodes — what the frugality definition bounds, independent of what
+    /// the transport later did to them), and phase wall times.
+    pub stats: RunStats,
+    /// Rounds executed (1 for one-round protocols).
+    pub rounds: usize,
+    /// Wall time of each round, seconds.
+    pub round_seconds: Vec<f64>,
+    /// Transport counters observed by this session's transport.
+    pub transport: TransportCounters,
+}
+
+impl SessionMetrics {
+    pub(crate) fn new(n: usize) -> Self {
+        SessionMetrics {
+            stats: RunStats {
+                n,
+                max_message_bits: 0,
+                total_message_bits: 0,
+                local_seconds: 0.0,
+                global_seconds: 0.0,
+            },
+            rounds: 0,
+            round_seconds: Vec::new(),
+            transport: TransportCounters::default(),
+        }
+    }
+}
+
+/// A fleet-level rollup of many [`SessionMetrics`].
+#[derive(Debug, Clone, Default)]
+pub struct AggregateMetrics {
+    /// Sessions observed.
+    pub sessions: usize,
+    /// Sessions whose outcome was usable. By default this is the
+    /// *session-level* verdict (delivery completed); decoder-level
+    /// rejections carried inside a protocol's own `Result` output are
+    /// invisible to the generic runtime — fold them in with
+    /// `SweepReport::reclassify_ok` when the concrete type is known.
+    pub ok: usize,
+    /// Sessions that ended in a detected failure (by default
+    /// session-level: loss, conflicting duplicates, misaddressing — the
+    /// runtime's misbehaviour evidence).
+    pub rejected: usize,
+    /// Σ total_message_bits over sessions.
+    pub total_message_bits: u128,
+    /// max over sessions of max_message_bits.
+    pub max_message_bits: usize,
+    /// Worst empirical frugality ratio seen.
+    pub max_frugality_ratio: f64,
+    /// Σ rounds.
+    pub total_rounds: u64,
+    /// Merged transport counters.
+    pub transport: TransportCounters,
+    /// Wall time of the whole sweep (set by the scheduler).
+    pub wall_seconds: f64,
+}
+
+impl AggregateMetrics {
+    /// Fold one finished session in. `ok` is whether its outcome was
+    /// usable (no decode error).
+    pub fn absorb(&mut self, m: &SessionMetrics, ok: bool) {
+        self.sessions += 1;
+        if ok {
+            self.ok += 1;
+        } else {
+            self.rejected += 1;
+        }
+        self.total_message_bits += m.stats.total_message_bits as u128;
+        self.max_message_bits = self.max_message_bits.max(m.stats.max_message_bits);
+        let ratio = m.stats.frugality_ratio();
+        if ratio.is_finite() && ratio > self.max_frugality_ratio {
+            self.max_frugality_ratio = ratio;
+        }
+        self.total_rounds += m.rounds as u64;
+        self.transport.merge(&m.transport);
+    }
+
+    /// Merge another aggregate (e.g. per-worker partials).
+    pub fn merge(&mut self, other: &AggregateMetrics) {
+        self.sessions += other.sessions;
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.total_message_bits += other.total_message_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.max_frugality_ratio = self.max_frugality_ratio.max(other.max_frugality_ratio);
+        self.total_rounds += other.total_rounds;
+        self.transport.merge(&other.transport);
+    }
+
+    /// Mean rounds per session.
+    pub fn mean_rounds(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.total_rounds as f64 / self.sessions as f64
+        }
+    }
+
+    /// Sessions per second over the sweep wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sessions as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_merge() {
+        let mut m = SessionMetrics::new(16);
+        m.stats.max_message_bits = 40;
+        m.stats.total_message_bits = 600;
+        m.rounds = 3;
+        m.transport.sent = 10;
+        m.transport.dropped = 2;
+
+        let mut a = AggregateMetrics::default();
+        a.absorb(&m, true);
+        a.absorb(&m, false);
+        assert_eq!(a.sessions, 2);
+        assert_eq!(a.ok, 1);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.total_message_bits, 1200);
+        assert_eq!(a.max_message_bits, 40);
+        assert_eq!(a.total_rounds, 6);
+        assert_eq!(a.transport.dropped, 4);
+        assert!((a.max_frugality_ratio - 10.0).abs() < 1e-9); // 40 / log2(16)
+
+        let mut b = AggregateMetrics::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.sessions, 4);
+        assert_eq!(b.mean_rounds(), 3.0);
+    }
+}

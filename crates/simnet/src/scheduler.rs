@@ -1,0 +1,337 @@
+//! The concurrency layer: run thousands of independent sessions on a
+//! fixed worker pool.
+//!
+//! Work distribution is claim-based batching over scoped threads: a
+//! shared atomic cursor hands each idle worker the next contiguous batch
+//! of session indices, so fast workers steal the tail from slow ones
+//! without any channel or lock on the hot path. Within a batch, sessions
+//! are *interleaved* — each gets one `step()` per sweep of the batch —
+//! exercising the poll-style API exactly the way an async reactor would.
+//!
+//! While a sweep runs, the per-run nested parallelism of the legacy
+//! simulator ([`referee_protocol::parallel_threshold`]) is disabled:
+//! with every core already driving sessions, a per-session fan-out would
+//! only oversubscribe the machine.
+
+use crate::fault::{FaultConfig, FaultyTransport};
+use crate::metrics::AggregateMetrics;
+use crate::session::{
+    MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step,
+};
+use crate::transport::PerfectTransport;
+use referee_graph::LabelledGraph;
+use referee_protocol::multiround::MultiRoundProtocol;
+use referee_protocol::OneRoundProtocol;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runs batches of sessions across a scoped worker pool.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Worker threads (defaults to available parallelism, capped at 64).
+    pub workers: usize,
+    /// Sessions claimed per cursor fetch.
+    pub batch: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(64);
+        Scheduler { workers, batch: 32 }
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with explicit worker and batch sizes (both clamped to
+    /// at least 1).
+    pub fn new(workers: usize, batch: usize) -> Self {
+        Scheduler { workers: workers.max(1), batch: batch.max(1) }
+    }
+
+    /// Generic claim-based parallel map: `run(i)` for every `i` in
+    /// `0..jobs`, results in index order.
+    pub fn run_indexed<R, F>(&self, jobs: usize, run: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_batched(jobs, |lo, hi| (lo..hi).map(&run).collect())
+    }
+
+    /// The one claim-based worker loop everything above builds on: idle
+    /// workers fetch-add the next contiguous `[lo, hi)` batch off a
+    /// shared cursor, run `drive_batch` on it, and results are
+    /// reassembled in input order.
+    fn run_batched<R, F>(&self, jobs: usize, drive_batch: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> Vec<R> + Sync,
+    {
+        // Clamp at the point of use: the fields are public, and
+        // `batch = 0` would spin the cursor forever while `workers = 0`
+        // would silently run nothing.
+        let batch = self.batch.max(1);
+        let workers = self.workers.clamp(1, jobs.max(1));
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let drive_batch = &drive_batch;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let lo = cursor.fetch_add(batch, Ordering::Relaxed);
+                            if lo >= jobs {
+                                break;
+                            }
+                            let hi = (lo + batch).min(jobs);
+                            mine.push((lo, drive_batch(lo, hi)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+        tagged.sort_by_key(|(lo, _)| *lo);
+        tagged.into_iter().flat_map(|(_, rs)| rs).collect()
+    }
+
+    /// Run `protocol` once per graph, each session on its own transport
+    /// (faulty when `faults` is given, perfect otherwise), interleaving
+    /// sessions within each claimed batch.
+    pub fn sweep_one_round<P>(
+        &self,
+        protocol: &P,
+        graphs: &[LabelledGraph],
+        faults: Option<FaultConfig>,
+    ) -> SweepReport<OneRoundReport<P::Output>>
+    where
+        P: OneRoundProtocol + Sync,
+        P::Output: Send,
+    {
+        self.sweep(graphs.len(), |lo, hi| {
+            let mut lanes: Vec<Option<_>> = (lo..hi)
+                .map(|i| {
+                    let transport = session_transport(faults, i);
+                    Some((OneRoundSession::new(protocol, &graphs[i]), transport))
+                })
+                .collect();
+            drive_interleaved(&mut lanes, |s, t| s.step(t), |s, t| s.into_report(t))
+        })
+    }
+
+    /// Multi-round analogue of [`sweep_one_round`](Self::sweep_one_round).
+    pub fn sweep_multi_round<P>(
+        &self,
+        protocol: &P,
+        graphs: &[LabelledGraph],
+        max_rounds: usize,
+        faults: Option<FaultConfig>,
+    ) -> SweepReport<MultiRoundReport<P::Output>>
+    where
+        P: MultiRoundProtocol + Sync,
+        P::Output: Send,
+        P::NodeState: Send,
+        P::RefereeState: Send,
+    {
+        self.sweep(graphs.len(), |lo, hi| {
+            let mut lanes: Vec<Option<_>> = (lo..hi)
+                .map(|i| {
+                    let transport = session_transport(faults, i);
+                    Some((MultiRoundSession::new(protocol, &graphs[i], max_rounds), transport))
+                })
+                .collect();
+            drive_interleaved(&mut lanes, |s, t| s.step(t), |s, t| s.into_report(t))
+        })
+    }
+
+    /// Shared sweep driver: claim batches, run them, aggregate.
+    fn sweep<R: Report + Send>(
+        &self,
+        jobs: usize,
+        drive_batch: impl Fn(usize, usize) -> Vec<R> + Sync,
+    ) -> SweepReport<R> {
+        // Sessions already saturate the pool; nested per-run parallelism
+        // would oversubscribe it. The guard is reference-counted (nested
+        // or concurrent sweeps restore only when the last one exits) and
+        // restores on unwind if a worker panics.
+        let _guard = NestedParallelismGuard::enter();
+
+        let t0 = Instant::now();
+        let reports = self.run_batched(jobs, drive_batch);
+        let mut aggregate = AggregateMetrics::default();
+        for r in &reports {
+            aggregate.absorb(r.metrics(), r.is_ok());
+        }
+        aggregate.wall_seconds = t0.elapsed().as_secs_f64();
+        SweepReport { reports, aggregate }
+    }
+}
+
+/// Process-wide, reference-counted suspension of the legacy simulators'
+/// nested parallelism. Save/suspend and restore both happen under one
+/// mutex, so overlapping sweeps can never observe `usize::MAX` as the
+/// "previous" value, the last sweep out restores, and a panicking sweep
+/// still restores on unwind (poisoned locks are ridden through — the
+/// state stays valid).
+struct NestedParallelismGuard;
+
+/// `(active_sweeps, saved_threshold)`.
+static SWEEP_STATE: Mutex<(usize, usize)> = Mutex::new((0, 0));
+
+fn sweep_state() -> std::sync::MutexGuard<'static, (usize, usize)> {
+    SWEEP_STATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl NestedParallelismGuard {
+    fn enter() -> Self {
+        let mut state = sweep_state();
+        if state.0 == 0 {
+            state.1 = referee_protocol::parallel_threshold();
+            referee_protocol::set_parallel_threshold(usize::MAX);
+        }
+        state.0 += 1;
+        NestedParallelismGuard
+    }
+}
+
+impl Drop for NestedParallelismGuard {
+    fn drop(&mut self) {
+        let mut state = sweep_state();
+        state.0 -= 1;
+        if state.0 == 0 {
+            referee_protocol::set_parallel_threshold(state.1);
+        }
+    }
+}
+
+/// The transport every scheduler lane uses: fault-injecting when
+/// configured, a transparent lossless decorator otherwise. Per-lane seeds
+/// are derived by splitmix-style mixing so lanes are decorrelated.
+fn session_transport(
+    faults: Option<FaultConfig>,
+    lane: usize,
+) -> FaultyTransport<PerfectTransport> {
+    let mut cfg = faults.unwrap_or(FaultConfig::lossless(0));
+    cfg.seed = cfg
+        .seed
+        .wrapping_add((lane as u64).wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add(0xd1b54a32d192ed03);
+    FaultyTransport::new(PerfectTransport::new(), cfg)
+}
+
+/// Round-robin step every live lane until all complete.
+fn drive_interleaved<S, T, R>(
+    lanes: &mut [Option<(S, T)>],
+    mut step: impl FnMut(&mut S, &mut T) -> Step,
+    mut finish: impl FnMut(S, &T) -> R,
+) -> Vec<R> {
+    let mut done: Vec<Option<R>> = (0..lanes.len()).map(|_| None).collect();
+    let mut remaining = lanes.len();
+    while remaining > 0 {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            if let Some((mut session, mut transport)) = lane.take() {
+                if step(&mut session, &mut transport) == Step::Done {
+                    done[i] = Some(finish(session, &transport));
+                    remaining -= 1;
+                } else {
+                    *lane = Some((session, transport));
+                }
+            }
+        }
+    }
+    done.into_iter().map(|r| r.expect("lane finished")).collect()
+}
+
+/// A whole sweep: per-session reports plus the fleet rollup.
+#[derive(Debug)]
+pub struct SweepReport<R> {
+    /// One report per input graph, in input order.
+    pub reports: Vec<R>,
+    /// The rollup (including sweep wall time). `ok`/`rejected` here
+    /// count *session-level* outcomes (did delivery complete?); see
+    /// [`SweepReport::reclassify_ok`] for protocol-aware counting.
+    pub aggregate: AggregateMetrics,
+}
+
+impl<R> SweepReport<R> {
+    /// Recompute `aggregate.ok` / `aggregate.rejected` with a
+    /// caller-supplied notion of "usable outcome".
+    ///
+    /// The generic runtime can only see whether a session *delivered*;
+    /// protocols whose `Output` is itself a `Result` (the degeneracy
+    /// family, checked Borůvka) report decoder-level rejections inside
+    /// that output, invisible at this layer. Callers that know the
+    /// concrete type pass a classifier to fold those in.
+    pub fn reclassify_ok(&mut self, usable: impl Fn(&R) -> bool) {
+        self.aggregate.ok = 0;
+        self.aggregate.rejected = 0;
+        for r in &self.reports {
+            if usable(r) {
+                self.aggregate.ok += 1;
+            } else {
+                self.aggregate.rejected += 1;
+            }
+        }
+    }
+}
+
+/// Internal: lets the shared sweep driver aggregate either report type.
+pub trait Report {
+    /// Session metrics for aggregation.
+    fn metrics(&self) -> &crate::metrics::SessionMetrics;
+    /// Whether the session produced a usable outcome.
+    fn is_ok(&self) -> bool;
+}
+
+impl<O> Report for OneRoundReport<O> {
+    fn metrics(&self) -> &crate::metrics::SessionMetrics {
+        &self.metrics
+    }
+    fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+impl<O> Report for MultiRoundReport<O> {
+    fn metrics(&self) -> &crate::metrics::SessionMetrics {
+        &self.metrics
+    }
+    fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_is_ordered_and_complete() {
+        let s = Scheduler::new(8, 3);
+        let out = s.run_indexed(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn run_indexed_zero_jobs() {
+        let s = Scheduler::default();
+        let out: Vec<u8> = s.run_indexed(0, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn degenerate_public_fields_are_clamped() {
+        // The fields are public; zero values must neither hang (batch)
+        // nor silently drop work (workers).
+        let s = Scheduler { workers: 0, batch: 0 };
+        let out = s.run_indexed(10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+}

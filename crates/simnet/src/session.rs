@@ -1,0 +1,626 @@
+//! Session state machines: protocol executions as explicit, pollable
+//! state, with all I/O abstracted behind a [`Transport`].
+//!
+//! A session owns *both* sides of the referee model — the nodes' local
+//! computations and the referee's global computation — but routes every
+//! message between them through the transport. `step()` advances the
+//! machine as far as currently-deliverable traffic allows and returns;
+//! the caller (a scheduler, a test, an eventual async reactor) decides
+//! when to poll again. Nothing here blocks, sleeps, or spawns.
+//!
+//! Delivery semantics (the same for both machines):
+//!
+//! * **Out-of-order arrivals** are fine: envelopes are round-stamped and
+//!   buffered until their consumer phase runs (the early-message cache).
+//! * **Duplicates** are fine *if identical*: at-least-once delivery is
+//!   made idempotent by content comparison; the copy is counted as
+//!   `stale`. A duplicate that *differs* from the recorded original
+//!   **and arrives while its round is still open** is evidence of
+//!   tampering and fails the session with
+//!   [`DecodeError::Inconsistent`]; duplicates straggling in after
+//!   their round committed are dropped uncompared (the original was
+//!   already consumed, so they can no longer influence any outcome).
+//! * **Loss** is detected when the transport reports itself empty while
+//!   the session still expects traffic — a session never hangs.
+//! * **Corruption** is *not* detected here. Flipped bits flow unchanged
+//!   into the protocol decoders, whose existing [`DecodeError`] rejection
+//!   paths are the system's integrity layer.
+
+use crate::metrics::SessionMetrics;
+use crate::transport::{Envelope, Transport, REFEREE};
+use referee_graph::{LabelledGraph, VertexId};
+use referee_protocol::multiround::{MultiRoundProtocol, MultiRoundStats, RefereeStep};
+use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Result of one [`step`](OneRoundSession::step) call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// More work remains; poll again.
+    Running,
+    /// The session has an outcome.
+    Done,
+}
+
+/// Nodes computed per `step()` call in the local phase — small enough
+/// that a scheduler interleaving thousands of sessions stays responsive,
+/// large enough to amortise the call overhead.
+const LOCAL_BATCH: usize = 64;
+
+// ---------------------------------------------------------------------------
+// One-round sessions
+// ---------------------------------------------------------------------------
+
+enum OneRoundPhase {
+    /// Computing and transmitting local messages; `next` is the first
+    /// node that has not sent yet.
+    Local {
+        next: u32,
+    },
+    /// Waiting for the referee's mailbox to fill.
+    Collect,
+    Finished,
+}
+
+/// A single execution of a [`OneRoundProtocol`] as a state machine.
+pub struct OneRoundSession<'a, P: OneRoundProtocol> {
+    protocol: &'a P,
+    graph: &'a LabelledGraph,
+    phase: OneRoundPhase,
+    slots: Vec<Option<Message>>,
+    filled: usize,
+    started: Instant,
+    outcome: Option<Result<P::Output, DecodeError>>,
+    metrics: SessionMetrics,
+}
+
+impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
+    /// A fresh session for `protocol` on `graph`.
+    pub fn new(protocol: &'a P, graph: &'a LabelledGraph) -> Self {
+        let n = graph.n();
+        OneRoundSession {
+            protocol,
+            graph,
+            phase: OneRoundPhase::Local { next: 1 },
+            slots: vec![None; n],
+            filled: 0,
+            started: Instant::now(),
+            outcome: None,
+            metrics: SessionMetrics::new(n),
+        }
+    }
+
+    /// Advance as far as deliverable traffic allows.
+    pub fn step(&mut self, transport: &mut impl Transport) -> Step {
+        match self.phase {
+            OneRoundPhase::Local { next } => self.step_local(next, transport),
+            OneRoundPhase::Collect => self.step_collect(transport),
+            OneRoundPhase::Finished => Step::Done,
+        }
+    }
+
+    /// Drive to completion on `transport`.
+    pub fn run(mut self, transport: &mut impl Transport) -> OneRoundReport<P::Output> {
+        while self.step(transport) == Step::Running {}
+        self.into_report(transport)
+    }
+
+    /// The outcome and metrics; call after `step` returns [`Step::Done`].
+    pub fn into_report(mut self, transport: &impl Transport) -> OneRoundReport<P::Output> {
+        let outcome = self.outcome.take().expect("session not finished");
+        self.metrics.transport.merge(&transport.counters());
+        OneRoundReport { outcome, metrics: self.metrics }
+    }
+
+    fn step_local(&mut self, next: u32, transport: &mut impl Transport) -> Step {
+        let n = self.graph.n();
+        let t0 = Instant::now();
+        // Large standalone runs keep the legacy simulator's thread
+        // fan-out for the embarrassingly-parallel local phase (a
+        // scheduler sweep sets the threshold to MAX, so its sessions
+        // always take the incremental path below and stay interleavable).
+        if next == 1 && n >= referee_protocol::parallel_threshold() {
+            let messages = referee_protocol::referee::local_phase(self.protocol, self.graph);
+            for (i, payload) in messages.into_iter().enumerate() {
+                self.metrics.stats.max_message_bits =
+                    self.metrics.stats.max_message_bits.max(payload.len_bits());
+                self.metrics.stats.total_message_bits += payload.len_bits();
+                transport.send(Envelope {
+                    round: 1,
+                    from: (i + 1) as u32,
+                    to: REFEREE,
+                    payload,
+                });
+            }
+            self.metrics.stats.local_seconds += t0.elapsed().as_secs_f64();
+            self.phase = OneRoundPhase::Collect;
+            return Step::Running;
+        }
+        let last = (next as usize + LOCAL_BATCH - 1).min(n) as u32;
+        for v in next..=last {
+            let view = NodeView::new(n, v, self.graph.neighbourhood(v));
+            let payload = self.protocol.local(view);
+            self.metrics.stats.max_message_bits =
+                self.metrics.stats.max_message_bits.max(payload.len_bits());
+            self.metrics.stats.total_message_bits += payload.len_bits();
+            transport.send(Envelope { round: 1, from: v, to: REFEREE, payload });
+        }
+        self.metrics.stats.local_seconds += t0.elapsed().as_secs_f64();
+        self.phase = if (last as usize) >= n {
+            OneRoundPhase::Collect
+        } else {
+            OneRoundPhase::Local { next: last + 1 }
+        };
+        Step::Running
+    }
+
+    fn step_collect(&mut self, transport: &mut impl Transport) -> Step {
+        let n = self.graph.n();
+        while self.filled < n {
+            let Some(env) = transport.recv() else {
+                let missing = n - self.filled;
+                return self.finish(Err(DecodeError::Inconsistent(format!(
+                    "transport drained with {missing} of {n} messages missing"
+                ))));
+            };
+            if env.to != REFEREE || env.round != 1 {
+                return self.finish(Err(DecodeError::Invalid(format!(
+                    "unexpected round-{} envelope from node {} to {} in a one-round session",
+                    env.round, env.from, env.to
+                ))));
+            }
+            if env.from == REFEREE || env.from as usize > n {
+                return self.finish(Err(DecodeError::OutOfRange(format!(
+                    "message from unknown node {} (n = {n})",
+                    env.from
+                ))));
+            }
+            let slot = &mut self.slots[(env.from - 1) as usize];
+            match slot {
+                None => {
+                    *slot = Some(env.payload);
+                    self.filled += 1;
+                }
+                Some(existing) if *existing == env.payload => {
+                    // At-least-once delivery made idempotent.
+                    self.metrics.transport.stale += 1;
+                }
+                Some(_) => {
+                    return self.finish(Err(DecodeError::Inconsistent(format!(
+                        "conflicting duplicate message from node {}",
+                        env.from
+                    ))));
+                }
+            }
+        }
+        let messages: Vec<Message> =
+            self.slots.drain(..).map(|s| s.expect("all slots filled")).collect();
+        let t0 = Instant::now();
+        let output = self.protocol.global(n, &messages);
+        self.metrics.stats.global_seconds = t0.elapsed().as_secs_f64();
+        self.finish(Ok(output))
+    }
+
+    fn finish(&mut self, outcome: Result<P::Output, DecodeError>) -> Step {
+        self.metrics.rounds = 1;
+        self.metrics.round_seconds = vec![self.started.elapsed().as_secs_f64()];
+        self.outcome = Some(outcome);
+        self.phase = OneRoundPhase::Finished;
+        Step::Done
+    }
+}
+
+/// Outcome of a one-round session.
+#[derive(Debug)]
+pub struct OneRoundReport<O> {
+    /// The referee's output, or the decode/delivery failure that ended
+    /// the session.
+    pub outcome: Result<O, DecodeError>,
+    /// Everything measured along the way.
+    pub metrics: SessionMetrics,
+}
+
+// ---------------------------------------------------------------------------
+// Multi-round sessions
+// ---------------------------------------------------------------------------
+
+/// Per-round mailboxes. Envelopes for *future* rounds land here too —
+/// that is the early-message cache that makes reordering across round
+/// boundaries harmless.
+struct RoundBuf {
+    uplinks: Vec<Option<Message>>,
+    uplinks_filled: usize,
+    downlinks: Vec<Option<Message>>,
+    downlinks_filled: usize,
+    inbox: Vec<Vec<(VertexId, Message)>>,
+    inbox_count: usize,
+}
+
+impl RoundBuf {
+    fn new(n: usize) -> Self {
+        RoundBuf {
+            uplinks: vec![None; n],
+            uplinks_filled: 0,
+            downlinks: vec![None; n],
+            downlinks_filled: 0,
+            inbox: vec![Vec::new(); n],
+            inbox_count: 0,
+        }
+    }
+}
+
+enum MultiRoundPhase {
+    NodeSend,
+    AwaitUplinks,
+    AwaitReceive,
+    Finished,
+}
+
+/// A single execution of a [`MultiRoundProtocol`] as a state machine.
+pub struct MultiRoundSession<'a, P: MultiRoundProtocol> {
+    protocol: &'a P,
+    graph: &'a LabelledGraph,
+    max_rounds: usize,
+    node_states: Vec<P::NodeState>,
+    referee_state: P::RefereeState,
+    round: u32,
+    phase: MultiRoundPhase,
+    bufs: BTreeMap<u32, RoundBuf>,
+    /// Node→node envelopes sent this round (recorded at send time: the
+    /// session knows the ground truth of what was transmitted, so loss is
+    /// distinguishable from "that neighbour simply did not send").
+    links_expected: usize,
+    /// Per-(node, round) duplicate-target detection in O(1) per send:
+    /// `link_seen[target] == link_epoch` means this sender already
+    /// messaged `target` in the current round.
+    link_seen: Vec<u64>,
+    link_epoch: u64,
+    round_started: Instant,
+    outcome: Option<Result<Option<P::Output>, DecodeError>>,
+    metrics: SessionMetrics,
+    mr_stats: MultiRoundStats,
+}
+
+impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
+    /// A fresh session; `max_rounds` is the safety stop, mirroring
+    /// [`referee_protocol::multiround::run_multiround`].
+    pub fn new(protocol: &'a P, graph: &'a LabelledGraph, max_rounds: usize) -> Self {
+        let n = graph.n();
+        let node_states: Vec<P::NodeState> = (1..=n as u32)
+            .map(|v| protocol.node_init(NodeView::new(n, v, graph.neighbourhood(v))))
+            .collect();
+        let referee_state = protocol.referee_init(n);
+        MultiRoundSession {
+            protocol,
+            graph,
+            max_rounds,
+            node_states,
+            referee_state,
+            round: 1,
+            phase: MultiRoundPhase::NodeSend,
+            bufs: BTreeMap::new(),
+            links_expected: 0,
+            link_seen: vec![0; n + 1],
+            link_epoch: 0,
+            round_started: Instant::now(),
+            outcome: None,
+            metrics: SessionMetrics::new(n),
+            mr_stats: MultiRoundStats {
+                n,
+                rounds: 0,
+                max_uplink_bits: 0,
+                max_downlink_bits: 0,
+                max_link_bits: 0,
+            },
+        }
+    }
+
+    /// Advance as far as deliverable traffic allows.
+    pub fn step(&mut self, transport: &mut impl Transport) -> Step {
+        match self.phase {
+            MultiRoundPhase::NodeSend => self.step_send(transport),
+            MultiRoundPhase::AwaitUplinks => self.step_uplinks(transport),
+            MultiRoundPhase::AwaitReceive => self.step_receive(transport),
+            MultiRoundPhase::Finished => Step::Done,
+        }
+    }
+
+    /// Drive to completion on `transport`.
+    pub fn run(mut self, transport: &mut impl Transport) -> MultiRoundReport<P::Output> {
+        while self.step(transport) == Step::Running {}
+        self.into_report(transport)
+    }
+
+    /// The outcome, metrics and multi-round stats; call after `step`
+    /// returns [`Step::Done`].
+    pub fn into_report(mut self, transport: &impl Transport) -> MultiRoundReport<P::Output> {
+        let outcome = self.outcome.take().expect("session not finished");
+        self.metrics.transport.merge(&transport.counters());
+        MultiRoundReport { outcome, metrics: self.metrics, stats: self.mr_stats }
+    }
+
+    fn buf(bufs: &mut BTreeMap<u32, RoundBuf>, n: usize, round: u32) -> &mut RoundBuf {
+        bufs.entry(round).or_insert_with(|| RoundBuf::new(n))
+    }
+
+    /// Classify one arrival into its round buffer. Rounds older than the
+    /// current one are committed history: their traffic is counted stale
+    /// and dropped (idempotent at-least-once delivery).
+    fn classify(&mut self, env: Envelope) -> Result<(), DecodeError> {
+        let n = self.graph.n();
+        if env.round < self.round {
+            self.metrics.transport.stale += 1;
+            return Ok(());
+        }
+        if env.from == REFEREE {
+            // Downlink.
+            if env.to == REFEREE || env.to as usize > n {
+                return Err(DecodeError::OutOfRange(format!(
+                    "downlink to unknown node {}",
+                    env.to
+                )));
+            }
+            let buf = Self::buf(&mut self.bufs, n, env.round);
+            let slot = &mut buf.downlinks[(env.to - 1) as usize];
+            match slot {
+                None => {
+                    *slot = Some(env.payload);
+                    buf.downlinks_filled += 1;
+                }
+                Some(existing) if *existing == env.payload => self.metrics.transport.stale += 1,
+                Some(_) => {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "conflicting duplicate downlink for node {}",
+                        env.to
+                    )))
+                }
+            }
+            return Ok(());
+        }
+        if env.from as usize > n {
+            return Err(DecodeError::OutOfRange(format!(
+                "message from unknown node {} (n = {n})",
+                env.from
+            )));
+        }
+        if env.to == REFEREE {
+            // Uplink.
+            let buf = Self::buf(&mut self.bufs, n, env.round);
+            let slot = &mut buf.uplinks[(env.from - 1) as usize];
+            match slot {
+                None => {
+                    *slot = Some(env.payload);
+                    buf.uplinks_filled += 1;
+                }
+                Some(existing) if *existing == env.payload => self.metrics.transport.stale += 1,
+                Some(_) => {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "conflicting duplicate uplink from node {}",
+                        env.from
+                    )))
+                }
+            }
+            return Ok(());
+        }
+        // Node → node link message.
+        if env.to as usize > n {
+            return Err(DecodeError::OutOfRange(format!("message to unknown node {}", env.to)));
+        }
+        if !self.graph.has_edge(env.from, env.to) {
+            return Err(DecodeError::Invalid(format!(
+                "link message along non-edge {} → {}",
+                env.from, env.to
+            )));
+        }
+        let buf = Self::buf(&mut self.bufs, n, env.round);
+        let inbox = &mut buf.inbox[(env.to - 1) as usize];
+        match inbox.iter().find(|(from, _)| *from == env.from) {
+            Some((_, existing)) if *existing == env.payload => {
+                self.metrics.transport.stale += 1
+            }
+            Some(_) => {
+                return Err(DecodeError::Inconsistent(format!(
+                    "conflicting duplicate link message {} → {}",
+                    env.from, env.to
+                )))
+            }
+            None => {
+                inbox.push((env.from, env.payload));
+                buf.inbox_count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull envelopes until `ready` holds or the transport drains.
+    /// Returns `Ok(true)` when ready, `Ok(false)` on starvation.
+    fn pump(
+        &mut self,
+        transport: &mut impl Transport,
+        ready: impl Fn(&RoundBuf, usize) -> bool,
+    ) -> Result<bool, DecodeError> {
+        let n = self.graph.n();
+        loop {
+            {
+                let buf = Self::buf(&mut self.bufs, n, self.round);
+                if ready(buf, self.links_expected) {
+                    return Ok(true);
+                }
+            }
+            let Some(env) = transport.recv() else {
+                return Ok(false);
+            };
+            self.classify(env)?;
+        }
+    }
+
+    fn step_send(&mut self, transport: &mut impl Transport) -> Step {
+        let n = self.graph.n();
+        if self.mr_stats.rounds >= self.max_rounds {
+            return self.finish(Ok(None)); // round cap: referee never finished
+        }
+        self.round_started = Instant::now();
+        self.mr_stats.rounds += 1;
+        self.links_expected = 0;
+        for v in 1..=n as u32 {
+            let view = NodeView::new(n, v, self.graph.neighbourhood(v));
+            let (to_nbrs, uplink) = self.protocol.node_send(
+                &self.node_states[(v - 1) as usize],
+                view,
+                self.round as usize,
+            );
+            self.mr_stats.max_uplink_bits =
+                self.mr_stats.max_uplink_bits.max(uplink.len_bits());
+            self.metrics.stats.total_message_bits += uplink.len_bits();
+            transport.send(Envelope {
+                round: self.round,
+                from: v,
+                to: REFEREE,
+                payload: uplink,
+            });
+            self.link_epoch += 1;
+            for (target, payload) in to_nbrs {
+                if !self.graph.has_edge(v, target) {
+                    return self.finish(Err(DecodeError::Invalid(format!(
+                        "node {v} tried to message non-neighbour {target}"
+                    ))));
+                }
+                // CONGEST carries one message per link per round; a
+                // second send to the same target would be inseparable
+                // from a transport duplicate at the receiver, so it is
+                // rejected here rather than mis-accounted later.
+                if self.link_seen[target as usize] == self.link_epoch {
+                    return self.finish(Err(DecodeError::Invalid(format!(
+                        "node {v} sent two messages to {target} in round {} \
+                         (one message per link per round)",
+                        self.round
+                    ))));
+                }
+                self.link_seen[target as usize] = self.link_epoch;
+                self.mr_stats.max_link_bits =
+                    self.mr_stats.max_link_bits.max(payload.len_bits());
+                self.metrics.stats.total_message_bits += payload.len_bits();
+                self.links_expected += 1;
+                transport.send(Envelope { round: self.round, from: v, to: target, payload });
+            }
+        }
+        self.metrics.stats.local_seconds += self.round_started.elapsed().as_secs_f64();
+        self.phase = MultiRoundPhase::AwaitUplinks;
+        Step::Running
+    }
+
+    fn step_uplinks(&mut self, transport: &mut impl Transport) -> Step {
+        let n = self.graph.n();
+        match self.pump(transport, |buf, _| buf.uplinks_filled == buf.uplinks.len()) {
+            Err(e) => return self.finish(Err(e)),
+            Ok(false) => {
+                return self.finish(Err(DecodeError::Inconsistent(format!(
+                    "transport drained while referee awaited round-{} uplinks",
+                    self.round
+                ))))
+            }
+            Ok(true) => {}
+        }
+        let uplinks: Vec<Message> = {
+            let buf = self.bufs.get_mut(&self.round).expect("buffer exists once ready");
+            buf.uplinks.iter().map(|s| s.clone().expect("uplink present")).collect()
+        };
+        let t0 = Instant::now();
+        let step = self.protocol.referee_step(
+            &mut self.referee_state,
+            n,
+            self.round as usize,
+            &uplinks,
+        );
+        self.metrics.stats.global_seconds += t0.elapsed().as_secs_f64();
+        match step {
+            RefereeStep::Done(out) => self.finish(Ok(Some(out))),
+            RefereeStep::Continue(downlinks) => {
+                if downlinks.len() != n {
+                    return self.finish(Err(DecodeError::Inconsistent(format!(
+                        "referee produced {} downlinks for {n} nodes",
+                        downlinks.len()
+                    ))));
+                }
+                for (i, payload) in downlinks.into_iter().enumerate() {
+                    self.mr_stats.max_downlink_bits =
+                        self.mr_stats.max_downlink_bits.max(payload.len_bits());
+                    self.metrics.stats.total_message_bits += payload.len_bits();
+                    transport.send(Envelope {
+                        round: self.round,
+                        from: REFEREE,
+                        to: (i + 1) as u32,
+                        payload,
+                    });
+                }
+                self.phase = MultiRoundPhase::AwaitReceive;
+                Step::Running
+            }
+        }
+    }
+
+    fn step_receive(&mut self, transport: &mut impl Transport) -> Step {
+        let n = self.graph.n();
+        match self.pump(transport, |buf, links| {
+            buf.downlinks_filled == buf.downlinks.len() && buf.inbox_count == links
+        }) {
+            Err(e) => return self.finish(Err(e)),
+            Ok(false) => {
+                return self.finish(Err(DecodeError::Inconsistent(format!(
+                    "transport drained while nodes awaited round-{} deliveries",
+                    self.round
+                ))))
+            }
+            Ok(true) => {}
+        }
+        let mut buf = self.bufs.remove(&self.round).expect("buffer exists once ready");
+        let t0 = Instant::now();
+        for v in 1..=n as u32 {
+            let i = (v - 1) as usize;
+            buf.inbox[i].sort_by_key(|&(from, _)| from);
+            let view = NodeView::new(n, v, self.graph.neighbourhood(v));
+            let downlink = buf.downlinks[i].take().expect("downlink present");
+            self.protocol.node_receive(
+                &mut self.node_states[i],
+                view,
+                self.round as usize,
+                &buf.inbox[i],
+                &downlink,
+            );
+        }
+        self.metrics.stats.local_seconds += t0.elapsed().as_secs_f64();
+        self.metrics.round_seconds.push(self.round_started.elapsed().as_secs_f64());
+        self.round += 1;
+        self.phase = MultiRoundPhase::NodeSend;
+        Step::Running
+    }
+
+    fn finish(&mut self, outcome: Result<Option<P::Output>, DecodeError>) -> Step {
+        // Close out the round timer if the session ended mid-round.
+        if self.metrics.round_seconds.len() < self.mr_stats.rounds {
+            self.metrics.round_seconds.push(self.round_started.elapsed().as_secs_f64());
+        }
+        self.metrics.rounds = self.mr_stats.rounds;
+        self.metrics.stats.max_message_bits = self
+            .mr_stats
+            .max_uplink_bits
+            .max(self.mr_stats.max_downlink_bits)
+            .max(self.mr_stats.max_link_bits);
+        self.outcome = Some(outcome);
+        self.phase = MultiRoundPhase::Finished;
+        Step::Done
+    }
+}
+
+/// Outcome of a multi-round session.
+#[derive(Debug)]
+pub struct MultiRoundReport<O> {
+    /// `Ok(Some(out))` when the referee finished, `Ok(None)` when the
+    /// round cap was hit, `Err` on decode/delivery failure.
+    pub outcome: Result<Option<O>, DecodeError>,
+    /// Runtime metrics.
+    pub metrics: SessionMetrics,
+    /// Legacy-compatible per-link-class message-size stats.
+    pub stats: MultiRoundStats,
+}

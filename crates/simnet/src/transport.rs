@@ -1,0 +1,107 @@
+//! The sans-I/O transport boundary.
+//!
+//! A [`Transport`] is a mailbox between a session's two sides (nodes and
+//! referee): the session *pushes* every message it produces with
+//! [`Transport::send`] and *pulls* whatever the network chose to deliver
+//! with [`Transport::recv`]. No threads, sockets or clocks live here —
+//! which is exactly what makes the runtime testable: a perfect FIFO
+//! ([`PerfectTransport`]), a seeded adversary
+//! ([`FaultyTransport`](crate::FaultyTransport)), or some future async
+//! backend all plug into the same session state machines.
+
+use crate::metrics::TransportCounters;
+use referee_graph::VertexId;
+use referee_protocol::Message;
+use std::collections::VecDeque;
+
+/// The referee's address (vertex IDs are `1..=n`, so 0 is free).
+pub const REFEREE: VertexId = 0;
+
+/// One transmission: a round-stamped, addressed [`Message`].
+///
+/// `from`/`to` use vertex IDs with [`REFEREE`] (0) for the referee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Protocol round the payload belongs to (1-based).
+    pub round: u32,
+    /// Sender.
+    pub from: VertexId,
+    /// Recipient.
+    pub to: VertexId,
+    /// The message bits.
+    pub payload: Message,
+}
+
+/// A pluggable, polled message channel.
+pub trait Transport {
+    /// Accept an outbound envelope.
+    fn send(&mut self, env: Envelope);
+
+    /// Deliver the next envelope, if any is currently deliverable.
+    ///
+    /// `None` means the channel is *empty* — every envelope ever sent has
+    /// been delivered or destroyed. Sessions treat `None` while still
+    /// expecting traffic as evidence of loss.
+    fn recv(&mut self) -> Option<Envelope>;
+
+    /// Delivery accounting so far.
+    fn counters(&self) -> TransportCounters;
+}
+
+/// Lossless, orderly, in-memory FIFO transport.
+#[derive(Debug, Default)]
+pub struct PerfectTransport {
+    queue: VecDeque<Envelope>,
+    counters: TransportCounters,
+}
+
+impl PerfectTransport {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Envelopes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Transport for PerfectTransport {
+    fn send(&mut self, env: Envelope) {
+        self.counters.sent += 1;
+        self.queue.push_back(env);
+    }
+
+    fn recv(&mut self) -> Option<Envelope> {
+        let env = self.queue.pop_front()?;
+        self.counters.delivered += 1;
+        Some(env)
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(round: u32, from: VertexId, to: VertexId) -> Envelope {
+        Envelope { round, from, to, payload: Message::empty() }
+    }
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut t = PerfectTransport::new();
+        t.send(env(1, 1, REFEREE));
+        t.send(env(1, 2, REFEREE));
+        assert_eq!(t.in_flight(), 2);
+        assert_eq!(t.recv().unwrap().from, 1);
+        assert_eq!(t.recv().unwrap().from, 2);
+        assert!(t.recv().is_none());
+        let c = t.counters();
+        assert_eq!((c.sent, c.delivered, c.dropped), (2, 2, 0));
+    }
+}

@@ -55,12 +55,12 @@ pub fn boruvka_components(
         }
         let mut comp_sketch: std::collections::HashMap<usize, L0Sampler> =
             std::collections::HashMap::new();
-        for v in 0..v_count {
+        for (v, node_sketches) in sketches.iter().enumerate() {
             let root = dsu.find(v);
             comp_sketch
                 .entry(root)
-                .and_modify(|s| s.merge(&sketches[v][phase]))
-                .or_insert_with(|| sketches[v][phase].clone());
+                .and_modify(|s| s.merge(&node_sketches[phase]))
+                .or_insert_with(|| node_sketches[phase].clone());
         }
         let mut progressed = false;
         let mut any_nonzero_missed = false;
@@ -99,12 +99,12 @@ pub fn boruvka_components(
     'check: for phase in 0..phases {
         let mut comp_sketch: std::collections::HashMap<usize, L0Sampler> =
             std::collections::HashMap::new();
-        for v in 0..v_count {
+        for (v, node_sketches) in sketches.iter().enumerate() {
             let root = dsu.find(v);
             comp_sketch
                 .entry(root)
-                .and_modify(|s| s.merge(&sketches[v][phase]))
-                .or_insert_with(|| sketches[v][phase].clone());
+                .and_modify(|s| s.merge(&node_sketches[phase]))
+                .or_insert_with(|| node_sketches[phase].clone());
         }
         if comp_sketch.values().any(|s| !s.is_zero()) {
             boundary_clear = false;

@@ -119,12 +119,12 @@ impl OneRoundProtocol for SketchConnectivityProtocol {
             // Sum this phase's sketches per component.
             let mut comp_sketch: std::collections::HashMap<usize, L0Sampler> =
                 std::collections::HashMap::new();
-            for v in 0..n {
+            for (v, node_sketches) in sketches.iter().enumerate() {
                 let root = dsu.find(v);
                 comp_sketch
                     .entry(root)
-                    .and_modify(|s| s.merge(&sketches[v][phase]))
-                    .or_insert_with(|| sketches[v][phase].clone());
+                    .and_modify(|s| s.merge(&node_sketches[phase]))
+                    .or_insert_with(|| node_sketches[phase].clone());
             }
             // Sample one boundary edge per component and merge. Range-
             // check the slot BEFORE decoding: a corrupted sketch that
@@ -225,10 +225,7 @@ mod tests {
             }
         }
         assert!(trials >= 10, "want enough connected samples, got {trials}");
-        assert!(
-            correct * 100 >= trials * 95,
-            "success {correct}/{trials} below 95%"
-        );
+        assert!(correct * 100 >= trials * 95, "success {correct}/{trials} below 95%");
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl SketchKConnectivityProtocol {
 
     /// Exact per-node message bits: `k` groups × phases × sketch size.
     pub fn message_bits(&self, n: usize) -> usize {
-        self.k
-            * Self::phases_for(n) as usize
-            * L0Sampler::levels_for(n) as usize
-            * 3
-            * 64
+        self.k * Self::phases_for(n) as usize * L0Sampler::levels_for(n) as usize * 3 * 64
     }
 
     fn stream(&self, group: usize, phase: u32, n: usize) -> u64 {
@@ -127,18 +123,18 @@ impl OneRoundProtocol for SketchKConnectivityProtocol {
         // Peel k forests, editing later groups as edges are removed.
         let mut union = LabelledGraph::new(n);
         let mut removed: Vec<(VertexId, VertexId)> = Vec::new();
-        for g in 0..self.k {
+        for group in groups.iter_mut().take(self.k) {
             // Subtract previously removed edges from this group.
             for &(u, v) in &removed {
                 let slot = EdgeSlot::encode(u, v);
-                for sk in groups[g][(u - 1) as usize].iter_mut() {
+                for sk in group[(u - 1) as usize].iter_mut() {
                     sk.update(slot, -1);
                 }
-                for sk in groups[g][(v - 1) as usize].iter_mut() {
+                for sk in group[(v - 1) as usize].iter_mut() {
                     sk.update(slot, 1);
                 }
             }
-            let outcome = boruvka_components(n, &groups[g], phases);
+            let outcome = boruvka_components(n, group, phases);
             if outcome.forest.is_empty() {
                 break; // nothing left to peel
             }

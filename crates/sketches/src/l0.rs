@@ -80,11 +80,7 @@ impl L0Sampler {
     /// Fresh empty sketch keyed by `(seed, stream)` — nodes and referee
     /// must use identical keys (the public coins).
     pub fn new(n: usize, seed: u64, stream: u64) -> Self {
-        L0Sampler {
-            levels: vec![Level::default(); Self::levels_for(n) as usize],
-            seed,
-            stream,
-        }
+        L0Sampler { levels: vec![Level::default(); Self::levels_for(n) as usize], seed, stream }
     }
 
     fn retain_hash(&self) -> KeyedHash {

@@ -19,9 +19,9 @@ impl UBig {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s, c) = adc(long[i], b, carry);
+            let (s, c) = adc(a, b, carry);
             out.push(s);
             carry = c;
         }
@@ -103,8 +103,7 @@ impl Sub for &UBig {
     /// Panics if the result would be negative; use [`UBig::checked_sub`]
     /// when the inputs are untrusted (e.g. decoding corrupted messages).
     fn sub(self, rhs: &UBig) -> UBig {
-        self.checked_sub(rhs)
-            .expect("UBig subtraction underflow (use checked_sub)")
+        self.checked_sub(rhs).expect("UBig subtraction underflow (use checked_sub)")
     }
 }
 

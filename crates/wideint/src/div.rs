@@ -139,15 +139,8 @@ mod tests {
 
     #[test]
     fn divrem_matches_u128() {
-        let vals = [
-            1u128,
-            2,
-            7,
-            u64::MAX as u128,
-            (u64::MAX as u128) + 1,
-            u128::MAX / 3,
-            u128::MAX,
-        ];
+        let vals =
+            [1u128, 2, 7, u64::MAX as u128, (u64::MAX as u128) + 1, u128::MAX / 3, u128::MAX];
         for &a in &vals {
             for &b in &vals {
                 let (q, r) = ub(a).divrem(&ub(b)).unwrap();

@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455"] {
+        for s in
+            ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455"]
+        {
             assert_eq!(UBig::from_str(s).unwrap().to_string(), s);
         }
     }
@@ -132,10 +134,7 @@ mod tests {
     fn parse_hex_and_separators() {
         assert_eq!(UBig::from_str("0xff").unwrap(), UBig::from(255u64));
         assert_eq!(UBig::from_str("1_000").unwrap(), UBig::from(1000u64));
-        assert_eq!(
-            UBig::from_str("0x1_0000_0000_0000_0000").unwrap(),
-            UBig::from(1u128 << 64)
-        );
+        assert_eq!(UBig::from_str("0x1_0000_0000_0000_0000").unwrap(), UBig::from(1u128 << 64));
     }
 
     #[test]

@@ -84,6 +84,9 @@ mod tests {
         assert_eq!(div2by1(0, 10, 3), (3, 1));
         // (1 << 64 | 0) / 2 = 1 << 63
         assert_eq!(div2by1(1, 0, 2), (1 << 63, 0));
-        assert_eq!(div2by1(2, 5, 7), ((((2u128 << 64) + 5) / 7) as u64, (((2u128 << 64) + 5) % 7) as u64));
+        assert_eq!(
+            div2by1(2, 5, 7),
+            ((((2u128 << 64) + 5) / 7) as u64, (((2u128 << 64) + 5) % 7) as u64)
+        );
     }
 }

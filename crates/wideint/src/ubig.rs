@@ -66,7 +66,7 @@ impl UBig {
     /// Test bit `i` (little-endian bit order).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |w| (w >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|w| (w >> off) & 1 == 1)
     }
 
     /// Convert to `u64` if it fits.

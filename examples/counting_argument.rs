@@ -3,15 +3,18 @@
 //!
 //! Run with: `cargo run --release --example counting_argument`
 
+use referee_one_round::graph::{enumerate, graph6};
 use referee_one_round::reductions::collision::{
     find_collision, DegreeSumSketch, ModularSumSketch,
 };
 use referee_one_round::reductions::counting;
-use referee_one_round::graph::{enumerate, graph6};
 
 fn main() {
     println!("== Lemma 1: log₂ g(n) vs the c·n·log₂(n) budget ==\n");
-    println!("{:>3} {:>14} {:>14} {:>14} {:>12} {:>12}", "n", "all graphs", "bipartite", "square-free", "budget c=2", "budget c=8");
+    println!(
+        "{:>3} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "n", "all graphs", "bipartite", "square-free", "budget c=2", "budget c=8"
+    );
     for n in 2..=7usize {
         let all = counting::count_all_graphs(n).log2();
         let bip = counting::count_balanced_bipartite(n).log2();
@@ -27,7 +30,9 @@ fn main() {
         );
     }
     println!("\n(at small n the budget dominates; asymptotically the families win:");
-    println!(" all graphs ~ n²/2, square-free ~ n^1.5/2 [Kleitman–Winston], budget ~ c·n·log n)");
+    println!(
+        " all graphs ~ n²/2, square-free ~ n^1.5/2 [Kleitman–Winston], budget ~ c·n·log n)"
+    );
     for n in [64usize, 256, 1024, 4096] {
         println!(
             "  n = {n:>5}: n²/2 = {:>9.0}   n^1.5/2 = {:>8.0}   8·n·log₂n = {:>8}",
@@ -47,7 +52,9 @@ fn main() {
         graph6::to_graph6(&b)
     );
     println!("  {a:?}\n  {b:?}");
-    println!("  ⇒ NO global function, however clever, can decide anything that differs on them.");
+    println!(
+        "  ⇒ NO global function, however clever, can decide anything that differs on them."
+    );
 
     // The honest §III.A sketch is injective at tiny n…
     for n in 2..=5 {

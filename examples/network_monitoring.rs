@@ -22,11 +22,7 @@ fn main() {
     // "planar-ish wiring with a few shortcut links").
     let n = 500;
     let fabric = generators::random_k_degenerate(n, 3, 0.95, &mut rng);
-    println!(
-        "fabric: {n} switches, {} links, max degree {}",
-        fabric.m(),
-        fabric.max_degree()
-    );
+    println!("fabric: {n} switches, {} links, max degree {}", fabric.m(), fabric.max_degree());
 
     // --- One round: topology upload -----------------------------------------
     let protocol = DegeneracyProtocol::new(3);
@@ -53,10 +49,8 @@ fn main() {
     );
 
     // --- Contrast: what the naive baseline would cost -----------------------
-    let naive = run_protocol(
-        &referee_one_round::protocol::baseline::AdjacencyListProtocol,
-        &fabric,
-    );
+    let naive =
+        run_protocol(&referee_one_round::protocol::baseline::AdjacencyListProtocol, &fabric);
     println!(
         "baseline (footnote 1, full adjacency): {} bits/switch vs sketch's {} — {}× saving at Δ = {}",
         naive.stats.max_message_bits,

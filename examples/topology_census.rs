@@ -38,10 +38,8 @@ fn main() {
     for (name, g) in zoo {
         let truth = algo::degeneracy_ordering(&g).degeneracy;
         let report = reconstruct_adaptive(&g, 16).expect("honest messages");
-        let found = report
-            .k_used
-            .map(|k| k.to_string())
-            .unwrap_or_else(|| "> 16 (reject)".into());
+        let found =
+            report.k_used.map(|k| k.to_string()).unwrap_or_else(|| "> 16 (reject)".into());
         println!(
             "{:<34} {:>5} {:>7} {:>9} {:>9} {:>11} {:>10}",
             name,

@@ -15,9 +15,7 @@
 //! Run with: `cargo run --release --example what_can_be_computed`
 
 use referee_one_round::prelude::*;
-use referee_one_round::protocol::easy::{
-    EdgeCountProtocol, EulerianDegreeProtocol,
-};
+use referee_one_round::protocol::easy::{EdgeCountProtocol, EulerianDegreeProtocol};
 use referee_one_round::reductions::{collision, counting};
 
 fn main() {

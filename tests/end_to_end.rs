@@ -43,10 +43,7 @@ fn sketch_beats_adjacency_baseline_on_stars() {
     let star = generators::star(2000).unwrap();
     let sketch = run_protocol(&DegeneracyProtocol::new(1), &star);
     let naive = run_protocol(&AdjacencyListProtocol, &star);
-    assert_eq!(
-        sketch.output.unwrap(),
-        Reconstruction::Graph(star.clone())
-    );
+    assert_eq!(sketch.output.unwrap(), Reconstruction::Graph(star.clone()));
     assert_eq!(naive.output.unwrap(), star);
     assert!(
         naive.stats.max_message_bits > 50 * sketch.stats.max_message_bits,
@@ -61,22 +58,15 @@ fn sketch_beats_adjacency_baseline_on_stars() {
 fn all_three_reductions_round_trip() {
     let mut rng = StdRng::seed_from_u64(2);
     let sq_free = generators::random_square_free(12, &mut rng);
-    assert_eq!(
-        run_protocol(&SquareReduction::new(SquareOracle), &sq_free).output,
-        sq_free
-    );
+    assert_eq!(run_protocol(&SquareReduction::new(SquareOracle), &sq_free).output, sq_free);
     let arbitrary = generators::gnp(10, 0.5, &mut rng);
     assert_eq!(
-        run_protocol(&DiameterReduction::new(DiameterOracle), &arbitrary)
-            .output
-            .unwrap(),
+        run_protocol(&DiameterReduction::new(DiameterOracle), &arbitrary).output.unwrap(),
         arbitrary
     );
     let bip = generators::random_balanced_bipartite(12, 0.4, &mut rng);
     assert_eq!(
-        run_protocol(&TriangleReduction::new(TriangleOracle), &bip)
-            .output
-            .unwrap(),
+        run_protocol(&TriangleReduction::new(TriangleOracle), &bip).output.unwrap(),
         bip
     );
 }
@@ -106,10 +96,7 @@ fn reduction_accepts_any_gamma_implementation() {
     }
     let mut rng = StdRng::seed_from_u64(3);
     let g = generators::gnp(9, 0.4, &mut rng);
-    assert_eq!(
-        run_protocol(&DiameterReduction::new(MyGamma), &g).output.unwrap(),
-        g
-    );
+    assert_eq!(run_protocol(&DiameterReduction::new(MyGamma), &g).output.unwrap(), g);
 }
 
 /// Multi-round and partition answers agree with each other and with the

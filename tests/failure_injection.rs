@@ -163,6 +163,113 @@ fn kconn_sketch_sweep_never_panics() {
     assert!(p.global(8, &vec![Message::empty(); 8]).is_err());
 }
 
+/// A transport that flips one chosen bit of one chosen uplink — the
+/// multi-round, in-flight analogue of [`flip_sweep`].
+struct FlipOneUplink {
+    inner: referee_simnet::PerfectTransport,
+    round: u32,
+    from: u32,
+    bit: usize,
+}
+
+impl referee_simnet::Transport for FlipOneUplink {
+    fn send(&mut self, mut env: referee_simnet::Envelope) {
+        if env.round == self.round
+            && env.from == self.from
+            && env.to == referee_simnet::REFEREE
+            && self.bit < env.payload.len_bits()
+        {
+            env.payload = env.payload.with_bit_flipped(self.bit);
+        }
+        self.inner.send(env);
+    }
+
+    fn recv(&mut self) -> Option<referee_simnet::Envelope> {
+        self.inner.recv()
+    }
+
+    fn counters(&self) -> referee_simnet::TransportCounters {
+        self.inner.counters()
+    }
+}
+
+#[test]
+fn boruvka_uplink_flip_sweep_always_decode_error() {
+    // The multi-round path: BoruvkaConnectivity ships checksummed
+    // proposal uplinks, so EVERY single-bit corruption of an uplink must
+    // end the run in a DecodeError — never a wrong verdict, never a
+    // panic. Round 1 uplinks are 1-bit "no proposal" frames; round 2
+    // carries real proposals (labels have been heard by then). Sweep
+    // every bit of every node's uplink in both rounds.
+    use referee_one_round::protocol::multiround::BoruvkaConnectivity;
+
+    let g = generators::path(6);
+    let n = g.n();
+    let max_frame_bits = 1 + (bits_for(n) + 4) as usize; // flag + id + checksum
+    for round in [1u32, 2] {
+        for victim in 1..=n as u32 {
+            for bit in 0..max_frame_bits {
+                let mut transport = FlipOneUplink {
+                    inner: referee_simnet::PerfectTransport::new(),
+                    round,
+                    from: victim,
+                    bit,
+                };
+                let report =
+                    referee_simnet::MultiRoundSession::new(&BoruvkaConnectivity, &g, 64)
+                        .run(&mut transport);
+                match report.outcome.expect("perfect delivery") {
+                    Some(Err(_)) => {} // corruption detected: the required outcome
+                    Some(Ok(verdict)) => {
+                        // The flip landed past the frame end (shorter
+                        // no-proposal frame): nothing was corrupted, so
+                        // the honest verdict must hold.
+                        assert!(
+                            verdict,
+                            "corrupted run produced a wrong verdict \
+                             (round {round}, node {victim}, bit {bit})"
+                        );
+                    }
+                    None => panic!("corrupted run stalled to the round cap"),
+                }
+            }
+        }
+    }
+    // Sanity: the honest run accepts.
+    let mut honest = referee_simnet::PerfectTransport::new();
+    let report =
+        referee_simnet::MultiRoundSession::new(&BoruvkaConnectivity, &g, 64).run(&mut honest);
+    assert!(report.outcome.unwrap().unwrap().unwrap());
+}
+
+#[test]
+fn multiround_adaptive_corrupting_transport_never_fabricates() {
+    // Transport-level corruption on the adaptive multi-round protocol:
+    // flipped sketch bits must surface as DecodeError (or an honest
+    // reconstruction when the flip was benign) — never a different graph.
+    use referee_simnet::{FaultConfig, FaultyTransport, MultiRoundSession, PerfectTransport};
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut corrupted_runs = 0usize;
+    for trial in 0..40u64 {
+        let g = generators::random_tree(12, &mut rng);
+        let mut transport =
+            FaultyTransport::new(PerfectTransport::new(), FaultConfig::corrupting(trial, 0.4));
+        let report =
+            MultiRoundSession::new(&AdaptiveDegeneracyProtocol, &g, 64).run(&mut transport);
+        if report.metrics.transport.corrupted > 0 {
+            corrupted_runs += 1;
+        }
+        match report.outcome {
+            Err(_) => {}           // session-level rejection
+            Ok(None) => {}         // stalled to the cap: acceptable, not a lie
+            Ok(Some(Err(_))) => {} // decoder-level rejection
+            Ok(Some(Ok(h))) => assert_eq!(h, g, "fabricated graph under corruption"),
+        }
+    }
+    assert!(corrupted_runs > 30, "corruption config never fired");
+}
+
 #[test]
 fn adaptive_protocol_rejects_corrupt_first_round() {
     use referee_one_round::protocol::multiround::{MultiRoundProtocol, RefereeStep};
@@ -179,7 +286,9 @@ fn adaptive_protocol_rejects_corrupt_first_round() {
     let mut state = p.referee_init(10);
     match p.referee_step(&mut state, 10, 1, &uplinks) {
         RefereeStep::Done(Ok(h)) => assert_eq!(h, g),
-        other => panic!("expected Done(Ok), got {:?}", matches!(other, RefereeStep::Continue(_))),
+        other => {
+            panic!("expected Done(Ok), got {:?}", matches!(other, RefereeStep::Continue(_)))
+        }
     }
     // Truncated message ⇒ decode error, never a wrong graph.
     uplinks[4] = Message::empty();

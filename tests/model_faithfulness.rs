@@ -44,10 +44,7 @@ fn lemma2_exact_widths() {
             let logn = (n as f64 + 1.0).log2().ceil();
             // sums: Σ_{p=1..k} ⌈(p+1) log⌉ ≤ (k(k+1)/2 + k)(log+1); plus id+deg.
             let upper = ((k * (k + 1) / 2 + k) as f64 + 2.0) * (logn + 1.0);
-            assert!(
-                (bound as f64) <= upper,
-                "n={n}, k={k}: {bound} > {upper}"
-            );
+            assert!((bound as f64) <= upper, "n={n}, k={k}: {bound} > {upper}");
             // and the encoding really is that size on a worst-case vertex
             let nbrs: Vec<u32> = ((n - k.min(n) + 1)..=n).map(|x| x as u32).collect();
             let msg = PowerSumSketch::compute(n, 1, &nbrs, k).to_message(n, k);
@@ -170,8 +167,7 @@ fn extension_protocols_frugality_contrast() {
     assert!(!report.ratio_diverges(0.05));
 
     // Sketch connectivity: ratio grows ~log² n — diverges by design.
-    let report =
-        FrugalityAudit::new(&SketchConnectivityProtocol::new(1), sizes).run(family);
+    let report = FrugalityAudit::new(&SketchConnectivityProtocol::new(1), sizes).run(family);
     assert!(report.ratio_diverges(0.0), "sketches should NOT look frugal");
 
     // Theorem 5 at fixed k stays flat even on scale-free graphs.

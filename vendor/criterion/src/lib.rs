@@ -1,0 +1,189 @@
+//! Offline shim for the subset of `criterion` used by the workspace's
+//! benches: benchmark groups, `bench_with_input`/`bench_function`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are rudimentary (mean over an adaptive iteration count,
+//! printed to stdout) — enough to compare orders of magnitude offline,
+//! not a replacement for real Criterion reports.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to measurement closures; `iter` runs and times the payload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly (adaptive count, ≥ 10 iterations or ~20 ms).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let budget = Duration::from_millis(20);
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).clamp(9, 10_000) as u64
+        };
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.total = t1.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related measurements.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Record the per-iteration workload size.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 1 };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Measure `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 1 };
+        f(&mut b);
+        self.report(&id.into().label, &b);
+        self
+    }
+
+    /// Flush the group (printing is eager; provided for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let ns = b.total.as_nanos() as f64 / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) if ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", e as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(by)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", by as f64 / ns * 1e3 / 1.048_576)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {:.1} ns/iter{rate}", self.name, ns);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self, throughput: None }
+    }
+
+    /// Measure a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

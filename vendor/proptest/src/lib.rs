@@ -1,0 +1,468 @@
+//! Offline shim for the subset of `proptest` used by this workspace.
+//!
+//! Supports the `proptest! { #![proptest_config(...)] #[test] fn f(x in
+//! strategy, ..) { .. } }` macro form, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, integer range strategies (`a..b`, `a..=b`, `a..`),
+//! tuples, `proptest::collection::vec`, `any::<T>()`, and
+//! `Strategy::prop_map`.
+//!
+//! **No shrinking**: on failure the offending inputs are printed verbatim.
+//! Case generation is deterministic per test name (override the count
+//! with `ProptestConfig::with_cases` or the `PROPTEST_CASES` env var).
+
+pub mod collection;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Config and runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (only the `cases` knob is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Drives one `proptest!`-generated test function.
+pub struct TestRunner {
+    rng: StdRng,
+    config: ProptestConfig,
+    passed: u32,
+    rejected: u32,
+}
+
+impl TestRunner {
+    /// Seeded deterministically from the test name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRunner { rng: StdRng::seed_from_u64(seed), config, passed: 0, rejected: 0 }
+    }
+
+    /// Should another case be generated?
+    pub fn more_cases(&self) -> bool {
+        self.passed < self.config.cases
+    }
+
+    /// The case-generation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Record one executed case (possibly a caught panic), aborting the
+    /// test with context on failure.
+    pub fn record_catch(
+        &mut self,
+        case: String,
+        result: std::thread::Result<Result<(), TestCaseError>>,
+    ) {
+        match result {
+            Ok(Ok(())) => self.passed += 1,
+            Ok(Err(TestCaseError::Reject)) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected < 65_536,
+                    "proptest: too many prop_assume! rejections ({} passed)",
+                    self.passed
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest case failed: {msg}\n  inputs: {case}")
+            }
+            Err(payload) => {
+                eprintln!("proptest case panicked\n  inputs: {case}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of random values (shim: generation only, no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter generated values (cases failing `f` are rejected and
+    /// retried, with a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive candidates");
+    }
+}
+
+/// Uniform draw helpers (62 draws a raw word; width-reduced by modulo —
+/// the bias is < 2⁻¹¹ for every range in this workspace).
+macro_rules! impl_int_strategies {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                self.start.wrapping_add((raw_wide(rng) as $wide % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // full domain
+                    return lo.wrapping_add(raw_wide(rng) as $t);
+                }
+                lo.wrapping_add((raw_wide(rng) as $wide % span) as $t)
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let lo = self.start;
+                let span = (<$t>::MAX as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    return lo.wrapping_add(raw_wide(rng) as $t);
+                }
+                lo.wrapping_add((raw_wide(rng) as $wide % span) as $t)
+            }
+        }
+    )*};
+}
+
+fn raw_wide(rng: &mut StdRng) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+impl_int_strategies!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128, u128 => u128,
+    i8 => u128, i16 => u128, i32 => u128, i64 => u128, isize => u128, i128 => u128
+);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(A.0, B.1, C.2, D.3, E.4));
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draw one value uniformly from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                raw_wide(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// The main entry point: wraps property functions into `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __runner = $crate::TestRunner::new(__config, stringify!($name));
+                while __runner.more_cases() {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __runner.rng());)+
+                    let mut __case = String::new();
+                    $(__case.push_str(&format!(
+                        concat!(stringify!($arg), " = {:?}; "), &$arg
+                    ));)+
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                Ok(())
+                            }
+                        )
+                    );
+                    __runner.record_catch(__case, __result);
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failing inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+            __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Reject the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_respected(a in 3u32..17, b in 5usize..=9, c in 1u64..) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!(c >= 1);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((any::<u64>(), 1u32..=64), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for &(_, w) in &v {
+                prop_assert!((1..=64).contains(&w));
+            }
+        }
+
+        #[test]
+        fn maps_and_assume(n in (2usize..50).prop_map(|x| x * 2)) {
+            prop_assume!(n != 4);
+            prop_assert!(n % 2 == 0 && n != 4);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("inputs: x ="), "message: {msg}");
+    }
+
+    #[test]
+    fn signed_full_domain() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let s = -(1i128 << 62)..(1i128 << 62);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((-(1i128 << 62)..(1i128 << 62)).contains(&v));
+        }
+    }
+}

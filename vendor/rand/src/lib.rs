@@ -1,0 +1,192 @@
+//! Offline shim for the subset of the `rand` 0.8 API used by this
+//! workspace: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`, `choose_multiple`).
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for the real dependency. The generator is xoshiro256++ seeded via
+//! SplitMix64 — high-quality and deterministic, but **not** the same
+//! stream as the real `rand::rngs::StdRng` (ChaCha12). Seeded tests in
+//! the workspace assert structural properties, not exact draws, so the
+//! difference is invisible to them.
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed (SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from a bounded range (shim for
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draw from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let span = (hi as u128)
+                    .wrapping_sub(lo as u128)
+                    .wrapping_add(inclusive as u128);
+                if span == 0 {
+                    // full u128 domain (only reachable for u128/i128)
+                    return lo.wrapping_add(raw as $t);
+                }
+                lo.wrapping_add((raw % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: f64,
+        hi: f64,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Ranges convertible into a uniform draw (shim for
+/// `rand::distributions::uniform::SampleRange`). The single generic impl
+/// per range shape is what lets integer-literal inference unify the range
+/// element type with the call site's expected type, exactly as in the
+/// real crate.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// User-facing random-value methods (blanket-implemented for every
+/// [`RngCore`], like the real crate).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Convenience free function: one draw from a fresh, OS-entropy-free
+/// generator (deterministic per process-lifetime counter).
+pub fn random_u64() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CTR: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
+    let x = CTR.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+    rngs::splitmix64(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let z: i64 = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.gen_range(1u64..=u64::MAX);
+    }
+}

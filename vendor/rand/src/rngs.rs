@@ -1,0 +1,48 @@
+//! Generator implementations: [`StdRng`] (xoshiro256++ here, not ChaCha12).
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step — used to expand 64-bit seeds into full state.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard seeded generator: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = [0u64; 4];
+        let mut x = seed;
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            *slot = splitmix64(x);
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for API compatibility with call sites that pick the small
+/// generator explicitly.
+pub type SmallRng = StdRng;

@@ -1,0 +1,97 @@
+//! Slice helpers: shim for `rand::seq::SliceRandom`.
+
+use crate::RngCore;
+
+/// Random slice operations (shuffle, sampling).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element (`None` on an empty slice).
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them if
+    /// `amount >= len`). Returned as an iterator of references, matching
+    /// the real API closely enough for `.copied()` / `.cloned()` chains.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx[..amount].iter().map(|&i| &self[i]).collect::<Vec<_>>().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v: Vec<u32> = (0..50).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut s = picked.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10, "duplicates in sample");
+        // amount > len returns everything
+        assert_eq!(v.choose_multiple(&mut rng, 99).count(), 50);
+    }
+
+    #[test]
+    fn choose_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v: [u8; 0] = [];
+        assert!(v.choose(&mut rng).is_none());
+    }
+}
