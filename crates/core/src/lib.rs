@@ -29,6 +29,7 @@
 //! | [`referee_protocol`] | the model: messages, `OneRoundProtocol`, simulator, frugality audits, multi-round extension |
 //! | [`referee_degeneracy`] | Theorem 5 (+ forests §III.A, generalized degeneracy) |
 //! | [`referee_simnet`] | sans-I/O session runtime: pluggable transports, fault injection, concurrent scheduler |
+//! | [`referee_wirenet`] | real-socket reactor: multiplexed, MAC-authenticated wire frames for simnet fleets |
 //! | [`referee_reductions`] | Theorems 1–3 as executable reductions, Lemma 1 counting, collision witnesses, §IV bipartiteness reduction |
 //! | this crate | prelude, high-level helpers, §IV partition-connectivity |
 
@@ -42,6 +43,7 @@ pub use referee_reductions as reductions;
 pub use referee_simnet as simnet;
 pub use referee_sketches as sketches;
 pub use referee_wideint as wideint;
+pub use referee_wirenet as wirenet;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {

@@ -2,7 +2,7 @@
 //! max-flow (internally-vertex-disjoint path counting).
 //!
 //! Completes the connectivity substrate around the paper's §IV open
-//! question: [`components`](crate::algo::components) answers *whether*
+//! question: [`components`](crate::algo::components()) answers *whether*
 //! the network is connected, [`mincut`](crate::algo::mincut) how many
 //! **links** must fail to split it, and this module how many **nodes**
 //! must fail — with the Whitney chain `κ ≤ λ ≤ δ` as the cross-check

@@ -21,6 +21,9 @@
 //!   bounded degree, footnote 1 of the paper).
 //! * [`multiround`] — the CONGEST-with-referee extension (§IV "more
 //!   rounds"), with an `O(log n)`-round connectivity protocol.
+//! * [`mac`] — the workspace's keyed-MAC primitive (hand-rolled
+//!   SipHash-2-4), shared by the Borůvka proposal uplinks here and the
+//!   `wirenet` frame authentication layer.
 //! * [`easy`] — the positive boundary: degree-statistic properties that
 //!   *are* one-round frugally decidable (edge count, degree sequence,
 //!   extremes/regularity, Eulerian parity, fingerprint verification).
@@ -29,6 +32,7 @@ pub mod baseline;
 pub mod bits;
 pub mod easy;
 pub mod frugality;
+pub mod mac;
 pub mod message;
 pub mod model;
 pub mod multiround;
@@ -36,6 +40,7 @@ pub mod referee;
 
 pub use bits::{BitReader, BitWriter};
 pub use frugality::{FrugalityAudit, FrugalityReport};
+pub use mac::{siphash24, siphash24_truncated, MacKey};
 pub use message::Message;
 pub use model::{NodeView, OneRoundProtocol};
 pub use referee::{

@@ -1,0 +1,192 @@
+//! Keyed message authentication: a hand-rolled SipHash-2-4.
+//!
+//! The offline build cannot pull a crypto crate, so the workspace carries
+//! its own implementation of SipHash-2-4 (Aumasson & Bernstein, 2012) —
+//! a 128-bit-keyed pseudorandom function with a 64-bit output, designed
+//! precisely for short-input authentication. It is the *one* MAC
+//! primitive in the workspace:
+//!
+//! * `wirenet` appends the full 64-bit tag to every wire frame
+//!   (`wirenet::auth` builds the frame layer on top of this module);
+//! * the Borůvka proposal uplinks
+//!   ([`multiround`](crate::multiround)) truncate the tag to the 4-bit
+//!   budget the frugality bound leaves them.
+//!
+//! Truncation trades detection probability for bits: a `t`-bit truncated
+//! tag misses a corruption with probability `2⁻ᵗ` per attempt — `2⁻⁶⁴`
+//! on wire frames, `2⁻⁴` on proposal uplinks — *independent of how many
+//! bits were flipped*. That is the difference from the XOR-fold checksum
+//! this replaced, which guaranteed single-bit detection but was blind to
+//! a quarter of all 2-bit patterns (any pair of id bits four apart).
+//!
+//! Reference vectors from the SipHash paper are pinned in the tests.
+
+/// A 128-bit SipHash key.
+///
+/// Key distribution is out of scope for the protocol layer: callers
+/// either derive keys per connection (`wirenet`) or use a fixed,
+/// domain-separated constant where both endpoints live in one process
+/// (the in-memory Borůvka runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacKey(pub [u8; 16]);
+
+impl MacKey {
+    /// The two 64-bit key halves, little-endian (the SipHash convention).
+    fn halves(&self) -> (u64, u64) {
+        let k0 = u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"));
+        let k1 = u64::from_le_bytes(self.0[8..].try_into().expect("8 bytes"));
+        (k0, k1)
+    }
+
+    /// Derive a related key by mixing `tweak` into this key — cheap
+    /// domain separation (per-connection keys from one master key).
+    pub fn derive(&self, tweak: u64) -> MacKey {
+        let tag = siphash24(self, &tweak.to_le_bytes());
+        let mut out = self.0;
+        for (i, b) in tag.to_le_bytes().iter().enumerate() {
+            out[i + 8] ^= b;
+            out[i] = out[i].rotate_left(3) ^ b.wrapping_mul(0x9d);
+        }
+        MacKey(out)
+    }
+}
+
+#[inline]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// SipHash-2-4 of `data` under `key`: 2 compression rounds per 8-byte
+/// block, 4 finalization rounds, 64-bit tag.
+pub fn siphash24(key: &MacKey, data: &[u8]) -> u64 {
+    let (k0, k1) = key.halves();
+    let mut v = [
+        k0 ^ 0x736f6d6570736575,
+        k1 ^ 0x646f72616e646f6d,
+        k0 ^ 0x6c7967656e657261,
+        k1 ^ 0x7465646279746573,
+    ];
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+    }
+
+    // Final block: remaining bytes little-endian, length in the top byte.
+    let rest = chunks.remainder();
+    let mut last = (data.len() as u64 & 0xff) << 56;
+    for (i, &b) in rest.iter().enumerate() {
+        last |= (b as u64) << (8 * i);
+    }
+    v[3] ^= last;
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^= last;
+
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+/// The low `bits` bits of the SipHash-2-4 tag (`1 ≤ bits ≤ 64`) — the
+/// truncated-tag form used where the message budget is smaller than a
+/// full tag. Detection probability degrades to `1 − 2⁻ᵇⁱᵗˢ`.
+pub fn siphash24_truncated(key: &MacKey, data: &[u8], bits: u32) -> u64 {
+    assert!((1..=64).contains(&bits), "tag width {bits} out of range");
+    let tag = siphash24(key, data);
+    if bits == 64 {
+        tag
+    } else {
+        tag & ((1u64 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The key from Appendix A of the SipHash paper:
+    /// `00 01 02 ... 0f`.
+    fn paper_key() -> MacKey {
+        let mut k = [0u8; 16];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        MacKey(k)
+    }
+
+    #[test]
+    fn paper_test_vector() {
+        // Appendix A of the SipHash paper: the 15-byte message
+        // 00 01 ... 0e under the paper key hashes to a129ca6149be45e5.
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24(&paper_key(), &msg), 0xa129ca6149be45e5);
+    }
+
+    #[test]
+    fn reference_vectors_first_eight() {
+        // First entries of the reference `vectors` table in the SipHash
+        // distribution (siphash24.c): tag of the i-byte prefix of
+        // 00 01 02 ... under the paper key.
+        let expect: [u64; 8] = [
+            0x726fdb47dd0e0e31,
+            0x74f839c593dc67fd,
+            0x0d6c8009d9a94f5a,
+            0x85676696d7fb7e2d,
+            0xcf2794e0277187b7,
+            0x18765564cd99a68d,
+            0xcbc9466e58fee3ce,
+            0xab0200f58b01d137,
+        ];
+        let key = paper_key();
+        for (len, want) in expect.iter().enumerate() {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(siphash24(&key, &msg), *want, "prefix length {len}");
+        }
+    }
+
+    #[test]
+    fn keys_matter() {
+        let a = MacKey([0; 16]);
+        let b = MacKey([1; 16]);
+        assert_ne!(siphash24(&a, b"hello"), siphash24(&b, b"hello"));
+    }
+
+    #[test]
+    fn truncation_is_low_bits() {
+        let key = paper_key();
+        let full = siphash24(&key, b"frame");
+        assert_eq!(siphash24_truncated(&key, b"frame", 64), full);
+        assert_eq!(siphash24_truncated(&key, b"frame", 4), full & 0xF);
+        assert_eq!(siphash24_truncated(&key, b"frame", 1), full & 1);
+    }
+
+    #[test]
+    fn derive_changes_key() {
+        let k = paper_key();
+        let d0 = k.derive(0);
+        let d1 = k.derive(1);
+        assert_ne!(d0, k);
+        assert_ne!(d0, d1);
+        assert_eq!(d0, k.derive(0), "derivation is deterministic");
+    }
+}

@@ -1,6 +1,7 @@
 //! [`Message`]: one node-to-referee (or referee-to-node) transmission.
 
 use crate::bits::{BitReader, BitWriter};
+use crate::DecodeError;
 
 /// An immutable bit string with exact length accounting.
 ///
@@ -22,6 +23,35 @@ impl Message {
     pub fn from_writer(w: BitWriter) -> Self {
         let (bytes, len_bits) = w.finish();
         Message { bytes, len_bits }
+    }
+
+    /// Rebuild a message from its raw byte serialization (the inverse of
+    /// [`Message::as_bytes`] + [`Message::len_bits`]) — the hook wire
+    /// codecs use to deserialize payloads received off a socket.
+    ///
+    /// The representation must be **canonical**: exactly
+    /// `⌈len_bits / 8⌉` bytes, with every padding bit of the final
+    /// partial byte zero. Anything else is rejected, because two
+    /// non-canonical copies of the same bit string would defeat the
+    /// content-based equality the session runtime's duplicate detection
+    /// relies on.
+    pub fn from_bits(bytes: Vec<u8>, len_bits: usize) -> Result<Message, DecodeError> {
+        if bytes.len() != len_bits.div_ceil(8) {
+            return Err(DecodeError::Invalid(format!(
+                "{} payload bytes cannot carry exactly {len_bits} bits",
+                bytes.len()
+            )));
+        }
+        if !len_bits.is_multiple_of(8) {
+            let pad_mask = 0xffu8 >> (len_bits % 8);
+            let last = *bytes.last().expect("len_bits > 0 implies a final byte");
+            if last & pad_mask != 0 {
+                return Err(DecodeError::Invalid(
+                    "non-canonical payload: padding bits set".into(),
+                ));
+            }
+        }
+        Ok(Message { bytes, len_bits })
     }
 
     /// Exact size in bits.
@@ -91,5 +121,33 @@ mod tests {
     fn equality_is_content_based() {
         assert_eq!(msg(5, 3), msg(5, 3));
         assert_ne!(msg(5, 3), msg(5, 4));
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        for (value, width) in [(0u64, 1u32), (0b101, 3), (0xdead, 16), (0x1ffff, 17)] {
+            let m = msg(value, width);
+            let back = Message::from_bits(m.as_bytes().to_vec(), m.len_bits()).unwrap();
+            assert_eq!(back, m);
+        }
+        assert_eq!(Message::from_bits(Vec::new(), 0).unwrap(), Message::empty());
+    }
+
+    #[test]
+    fn from_bits_rejects_wrong_byte_count() {
+        assert!(Message::from_bits(vec![0, 0], 3).is_err());
+        assert!(Message::from_bits(vec![], 1).is_err());
+        assert!(Message::from_bits(vec![0], 9).is_err());
+        assert!(Message::from_bits(vec![0], 0).is_err());
+    }
+
+    #[test]
+    fn from_bits_rejects_noncanonical_padding() {
+        // 3 valid bits but a padding bit set: two distinct byte strings
+        // would alias the same logical message.
+        assert!(Message::from_bits(vec![0b1010_0001], 3).is_err());
+        assert!(Message::from_bits(vec![0b1010_0000], 3).is_ok());
+        // full final byte: no padding to police
+        assert!(Message::from_bits(vec![0xff], 8).is_ok());
     }
 }

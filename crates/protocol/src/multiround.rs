@@ -196,56 +196,75 @@ pub struct BoruvkaRefereeState {
 /// `O(log n)`-round frugal connectivity (§IV "more rounds" extension).
 ///
 /// Every message anywhere is ≤ `5 + ⌈log₂(n+1)⌉` bits (a proposal uplink
-/// carries flag + id + a 4-bit checksum). Termination: two consecutive
+/// carries flag + id + a 4-bit MAC tag). Termination: two consecutive
 /// merge-free rounds prove the union–find components equal the true
 /// components (label staleness is at most one round, so the second quiet
 /// round runs on fully current labels).
 ///
 /// The referee *validates* every uplink instead of trusting it: a
-/// malformed frame (truncated, trailing bits, out-of-range proposal,
-/// checksum mismatch) terminates the run with a [`DecodeError`] rather
-/// than panicking or silently merging garbage. The XOR-fold checksum
-/// makes every **single-bit** uplink corruption detectable — flag flips
-/// break the length check, id flips break the checksum, checksum flips
-/// break themselves — the property the failure-injection tests pin.
-/// Honest runs never produce `Err`; use [`boruvka_connectivity`] for the
-/// unwrapped convenience form.
+/// malformed frame (truncated, trailing bits, out-of-range proposal, MAC
+/// mismatch) terminates the run with a [`DecodeError`](crate::DecodeError)
+/// rather than panicking or silently merging garbage. The tag is a keyed
+/// SipHash-2-4 ([`crate::mac`]) over `(round, sender, id)`, truncated to
+/// the [`PROPOSAL_TAG_BITS`]-bit uplink budget: *any* corruption of the
+/// id — single-bit or burst — slips through with probability at most
+/// `2⁻⁴` per uplink, where the XOR-fold checksum this replaced was blind
+/// to whole classes of multi-bit patterns (any pair of id bits four
+/// apart). Flag flips still break the length check, and tag flips break
+/// themselves, so those remain detected with certainty. Honest runs
+/// never produce `Err`; use [`boruvka_connectivity`] for the unwrapped
+/// convenience form.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BoruvkaConnectivity;
 
-/// Checksum width for proposal uplinks.
-const PROPOSAL_CHECK_BITS: u32 = 4;
+/// MAC-tag width for proposal uplinks — the bits left in the frugality
+/// budget after flag and id.
+pub const PROPOSAL_TAG_BITS: u32 = 4;
 
-/// XOR-fold a proposal id to [`PROPOSAL_CHECK_BITS`] bits. Each id bit
-/// feeds exactly one checksum bit, so any single-bit id flip flips
-/// exactly one checksum bit.
-fn proposal_checksum(id: u64) -> u64 {
-    let mut x = id;
-    x ^= x >> 32;
-    x ^= x >> 16;
-    x ^= x >> 8;
-    x ^= x >> 4;
-    x & 0xF
+/// Fixed, domain-separated MAC key for proposal uplinks. Nodes and the
+/// referee live in one process here, so there is no key-exchange problem
+/// to solve; a deployment that separates them provisions per-session
+/// keys at the transport layer (`wirenet` does exactly that for whole
+/// frames, with the full 64-bit tag).
+const UPLINK_MAC_KEY: crate::MacKey = crate::MacKey(*b"boruvka-uplink-k");
+
+/// The truncated keyed tag authenticating one proposal: binds the
+/// proposed id to its sender *and* round, so a tag is never valid for
+/// any other position in the run.
+fn proposal_tag(round: usize, sender_1based: usize, id: u64) -> u64 {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&(round as u64).to_le_bytes());
+    buf[8..16].copy_from_slice(&(sender_1based as u64).to_le_bytes());
+    buf[16..].copy_from_slice(&id.to_le_bytes());
+    crate::siphash24_truncated(&UPLINK_MAC_KEY, &buf, PROPOSAL_TAG_BITS)
 }
 
-/// Append a checksummed proposal (or the 1-bit "no proposal") to `w`.
-fn write_proposal(w: &mut crate::BitWriter, proposal: Option<VertexId>, width: u32) {
+/// Append a MAC-tagged proposal (or the 1-bit "no proposal") to `w`.
+fn write_proposal(
+    w: &mut crate::BitWriter,
+    proposal: Option<VertexId>,
+    width: u32,
+    round: usize,
+    sender_1based: usize,
+) {
     match proposal {
         Some(nb) => {
             w.push_bit(true);
             w.write_bits(nb as u64, width);
-            w.write_bits(proposal_checksum(nb as u64), PROPOSAL_CHECK_BITS);
+            w.write_bits(proposal_tag(round, sender_1based, nb as u64), PROPOSAL_TAG_BITS);
         }
         None => w.push_bit(false),
     }
 }
 
 /// Decode and validate one Borůvka uplink frame: `0` (no proposal) or
-/// `1·id·checksum` with `id ∈ 1..=n`, bit-exact length, `id ≠ self`.
+/// `1·id·tag` with `id ∈ 1..=n`, bit-exact length, `id ≠ self`, and a
+/// verifying MAC tag.
 fn decode_proposal(
     up: &Message,
     sender: usize,
     n: usize,
+    round: usize,
 ) -> Result<Option<usize>, crate::DecodeError> {
     use crate::DecodeError;
     let width = crate::bits_for(n);
@@ -262,16 +281,16 @@ fn decode_proposal(
         return Ok(None);
     }
     let raw = r.read_bits(width)?;
-    let check = r.read_bits(PROPOSAL_CHECK_BITS)?;
-    if up.len_bits() != 1 + (width + PROPOSAL_CHECK_BITS) as usize {
+    let tag = r.read_bits(PROPOSAL_TAG_BITS)?;
+    if up.len_bits() != 1 + (width + PROPOSAL_TAG_BITS) as usize {
         return Err(DecodeError::Invalid(format!(
             "node {} proposal frame has wrong length",
             sender + 1
         )));
     }
-    if check != proposal_checksum(raw) {
+    if tag != proposal_tag(round, sender + 1, raw) {
         return Err(DecodeError::Inconsistent(format!(
-            "node {} proposal failed its checksum",
+            "node {} proposal failed MAC verification",
             sender + 1
         )));
     }
@@ -309,7 +328,7 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
         &self,
         state: &BoruvkaNodeState,
         view: NodeView<'_>,
-        _round: usize,
+        round: usize,
     ) -> (Vec<(VertexId, Message)>, Message) {
         let width = crate::bits_for(view.n);
         // Broadcast my label to every neighbour.
@@ -328,7 +347,7 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
             .zip(&state.heard)
             .find(|&(_, &h)| h != 0 && h != state.label)
             .map(|(&nb, _)| nb);
-        write_proposal(&mut w, proposal, width);
+        write_proposal(&mut w, proposal, width, round, view.id as usize);
         (to_nbrs, Message::from_writer(w))
     }
 
@@ -336,13 +355,13 @@ impl MultiRoundProtocol for BoruvkaConnectivity {
         &self,
         state: &mut BoruvkaRefereeState,
         n: usize,
-        _round: usize,
+        round: usize,
         uplinks: &[Message],
     ) -> RefereeStep<Result<bool, crate::DecodeError>> {
         let width = crate::bits_for(n);
         let mut merged_any = false;
         for (i, up) in uplinks.iter().enumerate() {
-            match decode_proposal(up, i, n) {
+            match decode_proposal(up, i, n, round) {
                 Err(e) => return RefereeStep::Done(Err(e)),
                 Ok(None) => {}
                 Ok(Some(nb)) => {
@@ -454,13 +473,13 @@ impl MultiRoundProtocol for BoruvkaSpanningForest {
         &self,
         state: &mut ForestRefereeState,
         n: usize,
-        _round: usize,
+        round: usize,
         uplinks: &[Message],
     ) -> RefereeStep<Self::Output> {
         let width = crate::bits_for(n);
         let mut merged_any = false;
         for (i, up) in uplinks.iter().enumerate() {
-            match decode_proposal(up, i, n) {
+            match decode_proposal(up, i, n, round) {
                 Err(e) => return RefereeStep::Done(Err(e)),
                 Ok(None) => {}
                 Ok(Some(nb)) => {

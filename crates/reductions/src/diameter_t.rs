@@ -4,7 +4,7 @@
 //!
 //! The paper proves the case `t = 3` (Figure 1) and its technique
 //! generalizes: replace the single pendant on `s` by a pendant *path* of
-//! length `t − 2` ([`gadgets::diameter_t_gadget`]). The neighbourhood of
+//! length `t − 2` ([`crate::gadgets::diameter_t_gadget`]). The neighbourhood of
 //! an original vertex still takes only three forms as `(s, t)` ranges
 //! over pairs, so a hypothetical `Γ` deciding "diam ≤ t" in one round
 //! yields a one-round `Δ` reconstructing *arbitrary* graphs with a 3×

@@ -1,0 +1,125 @@
+//! Injectable time: the [`Clock`] trait and its two implementations.
+//!
+//! Sessions stamp round latencies
+//! ([`SessionMetrics::round_seconds`](crate::SessionMetrics::round_seconds)
+//! and the phase wall times inside `RunStats`) from a clock they are
+//! *given*, not from
+//! `std::time::Instant` directly. The default [`RealClock`] keeps the old
+//! behaviour bit-for-bit; a [`ManualClock`] makes latency metrics exactly
+//! reproducible in tests, and lets an I/O reactor (`wirenet`) stamp
+//! latencies from its own poll loop instead of per-session syscalls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A monotonic time source measured in seconds from an arbitrary epoch.
+///
+/// Only *differences* of [`Clock::now`] values are ever used, so the
+/// epoch is free; implementations must be monotone non-decreasing.
+pub trait Clock: Send + Sync {
+    /// Seconds elapsed since the clock's epoch.
+    fn now(&self) -> f64;
+}
+
+/// A shareable clock handle, cheap to clone into thousands of sessions.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Wall-clock time (monotonic, from a process-wide epoch).
+#[derive(Debug, Default)]
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn now(&self) -> f64 {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+    }
+}
+
+/// The process-wide default clock handle (a shared [`RealClock`]).
+pub fn real_clock() -> SharedClock {
+    static REAL: OnceLock<SharedClock> = OnceLock::new();
+    REAL.get_or_init(|| Arc::new(RealClock)).clone()
+}
+
+/// A clock that only moves when told to — deterministic latency metrics
+/// for tests, and poll-loop-stamped latencies for reactors.
+///
+/// Stores the current time as `f64` bits in an atomic, so one
+/// `Arc<ManualClock>` can be advanced by a driver thread while sessions
+/// read it.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `t = 0`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock::default())
+    }
+
+    /// Advance by `dt` seconds (`dt ≥ 0`; a monotonicity violation is a
+    /// driver bug, not a data error). Safe under concurrent advancers:
+    /// the read-modify-write is a CAS loop, so no tick is ever lost.
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "clock must not run backwards (dt = {dt})");
+        self.bits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |bits| {
+                Some((f64::from_bits(bits) + dt).to_bits())
+            })
+            .expect("fetch_update closure never returns None");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = real_clock();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        c.advance(0.25);
+        assert_eq!(c.now(), 1.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "run backwards")]
+    fn manual_clock_rejects_negative_steps() {
+        ManualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn manual_clock_concurrent_advances_lose_nothing() {
+        // Dyadic step: 0.25 × 4000 is exact in f64, so any lost update
+        // shows up as a hard inequality.
+        let c = ManualClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(0.25);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), 1000.0);
+    }
+}

@@ -15,9 +15,14 @@
 //!   [`step()`](OneRoundSession::step) API. No threads, sockets or clocks
 //!   are baked in; every message crosses a [`Transport`].
 //! * [`transport`] — the [`Transport`] trait and the in-memory
-//!   [`PerfectTransport`]. Envelopes are round-stamped and addressed
-//!   (vertex IDs, with [`REFEREE`] = 0), so sessions tolerate arbitrary
-//!   delivery order by buffering early traffic per round.
+//!   [`PerfectTransport`]. Envelopes are session-tagged ([`SessionId`]
+//!   — the multiplexing key `wirenet` uses to carry whole fleets over a
+//!   few sockets), round-stamped and addressed (vertex IDs, with
+//!   [`REFEREE`] = 0), so sessions tolerate arbitrary delivery order by
+//!   buffering early traffic per round.
+//! * [`clock`] — injectable time ([`Clock`]): latency metrics come from
+//!   a [`SharedClock`] (real by default, [`ManualClock`] for
+//!   deterministic tests and reactor-stamped latencies).
 //! * [`fault`] — [`FaultyTransport`], a seeded decorator injecting
 //!   message loss, duplication, cross-round reordering and bit
 //!   corruption. Corruption feeds the *existing*
@@ -66,24 +71,27 @@
 //!
 //! Under *corruption* (one flipped bit per corrupted envelope), the
 //! guarantee is exactly the decoders': protocols with validating
-//! decoders (the degeneracy family, the checksummed Borůvka proposal
-//! uplinks) reject the flip with a [`DecodeError`], while fields
+//! decoders (the degeneracy family, the MAC-tagged Borůvka proposal
+//! uplinks) reject the flip with a
+//! [`DecodeError`](referee_protocol::DecodeError), while fields
 //! without redundancy — the degree counts above, or Borůvka's
 //! node-to-node label floods — can decode to a plausible wrong value.
 //! That is the same trust model as the paper's, now observable per
 //! message.
 
+pub mod clock;
 pub mod fault;
 pub mod metrics;
 pub mod scheduler;
 pub mod session;
 pub mod transport;
 
+pub use clock::{real_clock, Clock, ManualClock, RealClock, SharedClock};
 pub use fault::{FaultConfig, FaultyTransport};
 pub use metrics::{AggregateMetrics, SessionMetrics, TransportCounters};
 pub use scheduler::{Scheduler, SweepReport};
 pub use session::{MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step};
-pub use transport::{Envelope, PerfectTransport, Transport, REFEREE};
+pub use transport::{Envelope, PerfectTransport, SessionId, Transport, REFEREE};
 
 use referee_graph::LabelledGraph;
 use referee_protocol::multiround::{MultiRoundProtocol, MultiRoundStats};

@@ -24,15 +24,21 @@
 //!   the session still expects traffic — a session never hangs.
 //! * **Corruption** is *not* detected here. Flipped bits flow unchanged
 //!   into the protocol decoders, whose existing [`DecodeError`] rejection
-//!   paths are the system's integrity layer.
+//!   paths are the system's integrity layer. (Transports that cross real
+//!   sockets add their own frame MACs — `wirenet` — but that happens
+//!   below this boundary.)
+//! * **Cross-session traffic** is a demux fault: an inbound envelope
+//!   whose [`SessionId`] differs from the session's own fails the run
+//!   with [`DecodeError::Invalid`] rather than being silently absorbed
+//!   into the wrong protocol state.
 
+use crate::clock::{real_clock, SharedClock};
 use crate::metrics::SessionMetrics;
-use crate::transport::{Envelope, Transport, REFEREE};
+use crate::transport::{Envelope, SessionId, Transport, REFEREE};
 use referee_graph::{LabelledGraph, VertexId};
 use referee_protocol::multiround::{MultiRoundProtocol, MultiRoundStats, RefereeStep};
 use referee_protocol::{DecodeError, Message, NodeView, OneRoundProtocol};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// Result of one [`step`](OneRoundSession::step) call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,10 +73,12 @@ enum OneRoundPhase {
 pub struct OneRoundSession<'a, P: OneRoundProtocol> {
     protocol: &'a P,
     graph: &'a LabelledGraph,
+    session: SessionId,
+    clock: SharedClock,
     phase: OneRoundPhase,
     slots: Vec<Option<Message>>,
     filled: usize,
-    started: Instant,
+    started: f64,
     outcome: Option<Result<P::Output, DecodeError>>,
     metrics: SessionMetrics,
 }
@@ -79,16 +87,34 @@ impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
     /// A fresh session for `protocol` on `graph`.
     pub fn new(protocol: &'a P, graph: &'a LabelledGraph) -> Self {
         let n = graph.n();
+        let clock = real_clock();
         OneRoundSession {
             protocol,
             graph,
+            session: SessionId::default(),
+            started: clock.now(),
+            clock,
             phase: OneRoundPhase::Local { next: 1 },
             slots: vec![None; n],
             filled: 0,
-            started: Instant::now(),
             outcome: None,
             metrics: SessionMetrics::new(n),
         }
+    }
+
+    /// Tag this session's envelopes with `id` (multiplexing). Inbound
+    /// envelopes carrying any *other* session id fail the run — they are
+    /// evidence of a demultiplexing fault in the transport layer.
+    pub fn with_session(mut self, id: SessionId) -> Self {
+        self.session = id;
+        self
+    }
+
+    /// Stamp latency metrics from `clock` instead of wall time.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.started = clock.now();
+        self.clock = clock;
+        self
     }
 
     /// Advance as far as deliverable traffic allows.
@@ -115,7 +141,7 @@ impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
 
     fn step_local(&mut self, next: u32, transport: &mut impl Transport) -> Step {
         let n = self.graph.n();
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         // Large standalone runs keep the legacy simulator's thread
         // fan-out for the embarrassingly-parallel local phase (a
         // scheduler sweep sets the threshold to MAX, so its sessions
@@ -127,13 +153,14 @@ impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
                     self.metrics.stats.max_message_bits.max(payload.len_bits());
                 self.metrics.stats.total_message_bits += payload.len_bits();
                 transport.send(Envelope {
+                    session: self.session,
                     round: 1,
                     from: (i + 1) as u32,
                     to: REFEREE,
                     payload,
                 });
             }
-            self.metrics.stats.local_seconds += t0.elapsed().as_secs_f64();
+            self.metrics.stats.local_seconds += self.clock.now() - t0;
             self.phase = OneRoundPhase::Collect;
             return Step::Running;
         }
@@ -144,9 +171,15 @@ impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
             self.metrics.stats.max_message_bits =
                 self.metrics.stats.max_message_bits.max(payload.len_bits());
             self.metrics.stats.total_message_bits += payload.len_bits();
-            transport.send(Envelope { round: 1, from: v, to: REFEREE, payload });
+            transport.send(Envelope {
+                session: self.session,
+                round: 1,
+                from: v,
+                to: REFEREE,
+                payload,
+            });
         }
-        self.metrics.stats.local_seconds += t0.elapsed().as_secs_f64();
+        self.metrics.stats.local_seconds += self.clock.now() - t0;
         self.phase = if (last as usize) >= n {
             OneRoundPhase::Collect
         } else {
@@ -164,6 +197,12 @@ impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
                     "transport drained with {missing} of {n} messages missing"
                 ))));
             };
+            if env.session != self.session {
+                return self.finish(Err(DecodeError::Invalid(format!(
+                    "envelope for session {} delivered to session {} (demux fault)",
+                    env.session, self.session
+                ))));
+            }
             if env.to != REFEREE || env.round != 1 {
                 return self.finish(Err(DecodeError::Invalid(format!(
                     "unexpected round-{} envelope from node {} to {} in a one-round session",
@@ -196,15 +235,15 @@ impl<'a, P: OneRoundProtocol + Sync> OneRoundSession<'a, P> {
         }
         let messages: Vec<Message> =
             self.slots.drain(..).map(|s| s.expect("all slots filled")).collect();
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         let output = self.protocol.global(n, &messages);
-        self.metrics.stats.global_seconds = t0.elapsed().as_secs_f64();
+        self.metrics.stats.global_seconds = self.clock.now() - t0;
         self.finish(Ok(output))
     }
 
     fn finish(&mut self, outcome: Result<P::Output, DecodeError>) -> Step {
         self.metrics.rounds = 1;
-        self.metrics.round_seconds = vec![self.started.elapsed().as_secs_f64()];
+        self.metrics.round_seconds = vec![self.clock.now() - self.started];
         self.outcome = Some(outcome);
         self.phase = OneRoundPhase::Finished;
         Step::Done
@@ -261,6 +300,8 @@ enum MultiRoundPhase {
 pub struct MultiRoundSession<'a, P: MultiRoundProtocol> {
     protocol: &'a P,
     graph: &'a LabelledGraph,
+    session: SessionId,
+    clock: SharedClock,
     max_rounds: usize,
     node_states: Vec<P::NodeState>,
     referee_state: P::RefereeState,
@@ -276,7 +317,7 @@ pub struct MultiRoundSession<'a, P: MultiRoundProtocol> {
     /// messaged `target` in the current round.
     link_seen: Vec<u64>,
     link_epoch: u64,
-    round_started: Instant,
+    round_started: f64,
     outcome: Option<Result<Option<P::Output>, DecodeError>>,
     metrics: SessionMetrics,
     mr_stats: MultiRoundStats,
@@ -291,9 +332,13 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
             .map(|v| protocol.node_init(NodeView::new(n, v, graph.neighbourhood(v))))
             .collect();
         let referee_state = protocol.referee_init(n);
+        let clock = real_clock();
         MultiRoundSession {
             protocol,
             graph,
+            session: SessionId::default(),
+            round_started: clock.now(),
+            clock,
             max_rounds,
             node_states,
             referee_state,
@@ -303,7 +348,6 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
             links_expected: 0,
             link_seen: vec![0; n + 1],
             link_epoch: 0,
-            round_started: Instant::now(),
             outcome: None,
             metrics: SessionMetrics::new(n),
             mr_stats: MultiRoundStats {
@@ -314,6 +358,21 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
                 max_link_bits: 0,
             },
         }
+    }
+
+    /// Tag this session's envelopes with `id` (multiplexing). Inbound
+    /// envelopes carrying any *other* session id fail the run — they are
+    /// evidence of a demultiplexing fault in the transport layer.
+    pub fn with_session(mut self, id: SessionId) -> Self {
+        self.session = id;
+        self
+    }
+
+    /// Stamp latency metrics from `clock` instead of wall time.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.round_started = clock.now();
+        self.clock = clock;
+        self
     }
 
     /// Advance as far as deliverable traffic allows.
@@ -349,6 +408,12 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
     /// and dropped (idempotent at-least-once delivery).
     fn classify(&mut self, env: Envelope) -> Result<(), DecodeError> {
         let n = self.graph.n();
+        if env.session != self.session {
+            return Err(DecodeError::Invalid(format!(
+                "envelope for session {} delivered to session {} (demux fault)",
+                env.session, self.session
+            )));
+        }
         if env.round < self.round {
             self.metrics.transport.stale += 1;
             return Ok(());
@@ -460,7 +525,7 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
         if self.mr_stats.rounds >= self.max_rounds {
             return self.finish(Ok(None)); // round cap: referee never finished
         }
-        self.round_started = Instant::now();
+        self.round_started = self.clock.now();
         self.mr_stats.rounds += 1;
         self.links_expected = 0;
         for v in 1..=n as u32 {
@@ -474,6 +539,7 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
                 self.mr_stats.max_uplink_bits.max(uplink.len_bits());
             self.metrics.stats.total_message_bits += uplink.len_bits();
             transport.send(Envelope {
+                session: self.session,
                 round: self.round,
                 from: v,
                 to: REFEREE,
@@ -502,10 +568,16 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
                     self.mr_stats.max_link_bits.max(payload.len_bits());
                 self.metrics.stats.total_message_bits += payload.len_bits();
                 self.links_expected += 1;
-                transport.send(Envelope { round: self.round, from: v, to: target, payload });
+                transport.send(Envelope {
+                    session: self.session,
+                    round: self.round,
+                    from: v,
+                    to: target,
+                    payload,
+                });
             }
         }
-        self.metrics.stats.local_seconds += self.round_started.elapsed().as_secs_f64();
+        self.metrics.stats.local_seconds += self.clock.now() - self.round_started;
         self.phase = MultiRoundPhase::AwaitUplinks;
         Step::Running
     }
@@ -526,14 +598,14 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
             let buf = self.bufs.get_mut(&self.round).expect("buffer exists once ready");
             buf.uplinks.iter().map(|s| s.clone().expect("uplink present")).collect()
         };
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         let step = self.protocol.referee_step(
             &mut self.referee_state,
             n,
             self.round as usize,
             &uplinks,
         );
-        self.metrics.stats.global_seconds += t0.elapsed().as_secs_f64();
+        self.metrics.stats.global_seconds += self.clock.now() - t0;
         match step {
             RefereeStep::Done(out) => self.finish(Ok(Some(out))),
             RefereeStep::Continue(downlinks) => {
@@ -548,6 +620,7 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
                         self.mr_stats.max_downlink_bits.max(payload.len_bits());
                     self.metrics.stats.total_message_bits += payload.len_bits();
                     transport.send(Envelope {
+                        session: self.session,
                         round: self.round,
                         from: REFEREE,
                         to: (i + 1) as u32,
@@ -575,7 +648,7 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
             Ok(true) => {}
         }
         let mut buf = self.bufs.remove(&self.round).expect("buffer exists once ready");
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         for v in 1..=n as u32 {
             let i = (v - 1) as usize;
             buf.inbox[i].sort_by_key(|&(from, _)| from);
@@ -589,8 +662,8 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
                 &downlink,
             );
         }
-        self.metrics.stats.local_seconds += t0.elapsed().as_secs_f64();
-        self.metrics.round_seconds.push(self.round_started.elapsed().as_secs_f64());
+        self.metrics.stats.local_seconds += self.clock.now() - t0;
+        self.metrics.round_seconds.push(self.clock.now() - self.round_started);
         self.round += 1;
         self.phase = MultiRoundPhase::NodeSend;
         Step::Running
@@ -599,7 +672,7 @@ impl<'a, P: MultiRoundProtocol> MultiRoundSession<'a, P> {
     fn finish(&mut self, outcome: Result<Option<P::Output>, DecodeError>) -> Step {
         // Close out the round timer if the session ended mid-round.
         if self.metrics.round_seconds.len() < self.mr_stats.rounds {
-            self.metrics.round_seconds.push(self.round_started.elapsed().as_secs_f64());
+            self.metrics.round_seconds.push(self.clock.now() - self.round_started);
         }
         self.metrics.rounds = self.mr_stats.rounds;
         self.metrics.stats.max_message_bits = self

@@ -6,8 +6,9 @@
 //! with [`Transport::recv`]. No threads, sockets or clocks live here —
 //! which is exactly what makes the runtime testable: a perfect FIFO
 //! ([`PerfectTransport`]), a seeded adversary
-//! ([`FaultyTransport`](crate::FaultyTransport)), or some future async
-//! backend all plug into the same session state machines.
+//! ([`FaultyTransport`](crate::FaultyTransport)), and the real-socket
+//! `wirenet::SocketTransport` (MAC-authenticated frames multiplexed over
+//! nonblocking TCP) all plug into the same session state machines.
 
 use crate::metrics::TransportCounters;
 use referee_graph::VertexId;
@@ -17,11 +18,29 @@ use std::collections::VecDeque;
 /// The referee's address (vertex IDs are `1..=n`, so 0 is free).
 pub const REFEREE: VertexId = 0;
 
-/// One transmission: a round-stamped, addressed [`Message`].
+/// Identifies one session on a shared transport, so a single connection
+/// can carry a whole fleet's envelopes (cross-session multiplexing).
+///
+/// In-memory transports are usually dedicated to one session, where the
+/// default id `0` is fine; multiplexing transports (`wirenet`) assign a
+/// distinct id per session and demultiplex inbound traffic by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One transmission: a session-tagged, round-stamped, addressed
+/// [`Message`].
 ///
 /// `from`/`to` use vertex IDs with [`REFEREE`] (0) for the referee.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
+    /// The session this envelope belongs to (multiplexing key).
+    pub session: SessionId,
     /// Protocol round the payload belongs to (1-based).
     pub round: u32,
     /// Sender.
@@ -89,7 +108,7 @@ mod tests {
     use super::*;
 
     fn env(round: u32, from: VertexId, to: VertexId) -> Envelope {
-        Envelope { round, from, to, payload: Message::empty() }
+        Envelope { session: SessionId::default(), round, from, to, payload: Message::empty() }
     }
 
     #[test]

@@ -221,6 +221,53 @@ fn thousand_sessions_survive_hostile_network() {
     }
 }
 
+/// With an injected [`ManualClock`] advanced only *between* steps (the
+/// way a reactor poll loop stamps time), latency metrics are exact,
+/// reproducible numbers instead of wall-clock noise.
+#[test]
+fn manual_clock_makes_latency_metrics_deterministic() {
+    use referee_simnet::{ManualClock, Step};
+
+    // One-round: the single round spans every step but the first.
+    let g = generators::path(8);
+    let clock = ManualClock::new();
+    let mut transport = PerfectTransport::new();
+    let mut session = OneRoundSession::new(&EdgeCountProtocol, &g).with_clock(clock.clone());
+    let mut steps = 0usize;
+    while session.step(&mut transport) == Step::Running {
+        clock.advance(0.25);
+        steps += 1;
+    }
+    let report = session.into_report(&transport);
+    assert_eq!(report.outcome.unwrap().unwrap(), g.m());
+    assert_eq!(report.metrics.round_seconds, vec![steps as f64 * 0.25]);
+    // No advance happened *inside* a step, so phase times are exactly 0.
+    assert_eq!(report.metrics.stats.local_seconds, 0.0);
+    assert_eq!(report.metrics.stats.global_seconds, 0.0);
+
+    // Multi-round: each full round is exactly 3 steps (send, uplinks,
+    // receive) with the clock advanced after each, except the last
+    // (which terminates during its uplink step).
+    let clock = ManualClock::new();
+    let mut transport = PerfectTransport::new();
+    let mut session =
+        MultiRoundSession::new(&BoruvkaConnectivity, &g, 64).with_clock(clock.clone());
+    while session.step(&mut transport) == Step::Running {
+        clock.advance(0.25);
+    }
+    let report = session.into_report(&transport);
+    assert!(report.outcome.unwrap().unwrap().unwrap(), "path is connected");
+    let rounds = report.metrics.rounds;
+    assert!(rounds >= 3, "Borůvka needs rounds on a path");
+    assert_eq!(report.metrics.round_seconds.len(), rounds);
+    for (r, &secs) in report.metrics.round_seconds.iter().enumerate() {
+        let expect = if r + 1 < rounds { 0.5 } else { 0.25 };
+        assert_eq!(secs, expect, "round {r} latency");
+    }
+    assert_eq!(report.metrics.stats.local_seconds, 0.0);
+    assert_eq!(report.metrics.stats.global_seconds, 0.0);
+}
+
 /// Multi-round sweep: a thousand Borůvka sessions, mixed topologies,
 /// perfect transport — verdicts match centralized connectivity.
 #[test]

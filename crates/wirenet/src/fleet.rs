@@ -1,0 +1,498 @@
+//! The fleet layer: a referee-side acceptor ([`FleetServer`]) and a
+//! node-side connection pool ([`FleetClient`]) whose [`SocketTransport`]
+//! drives unchanged `simnet` sessions over real TCP.
+//!
+//! # Architecture
+//!
+//! A `simnet` session owns *both* sides of the referee model and treats
+//! its [`Transport`] as the network between them. `wirenet` makes that
+//! network real: every envelope a session sends is framed, MAC-tagged
+//! and written to a TCP connection; the server authenticates, decodes,
+//! re-encodes and sends it back; the client demultiplexes returning
+//! frames into per-session queues where `recv` picks them up. The
+//! server is therefore the *wire mailbox* of the fleet — every message
+//! of every session crosses OS sockets twice — while protocol logic
+//! runs unchanged on the session state machines.
+//!
+//! Multiplexing: each session is bound round-robin to one of a handful
+//! of connections and tagged with its [`SessionId`]; a thousand sessions
+//! share ≤ 8 sockets. Per-connection TCP ordering plus per-session
+//! queues preserve FIFO delivery per session, which is exactly
+//! [`PerfectTransport`](referee_simnet::PerfectTransport) semantics —
+//! so outcomes are bit-for-bit identical to in-memory runs (pinned by
+//! the loopback tests).
+//!
+//! Failure model: any MAC or decode failure poisons its connection on
+//! the spot (a length-prefixed stream cannot resynchronize, and a
+//! tampering peer must not keep talking). Sessions bound to a poisoned
+//! connection starve, observe an empty transport, and reject with the
+//! *existing* `DecodeError` delivery-failure paths — no new failure
+//! oracle is introduced.
+//!
+//! Backpressure: client senders stall (and count the stall) whenever a
+//! connection's write buffer exceeds the reactor's high-water mark, and
+//! pump the reactor until it drains; the server stops *reading* from any
+//! connection whose echo buffer is over the mark, letting TCP push back
+//! on the peer — so memory stays bounded on both ends no matter how
+//! bursty (or slow-reading) the fleet is.
+//!
+//! Lifecycle: dropping a [`SocketTransport`] retires its session's
+//! demux lane; echoes still in flight are counted as `orphan_frames`
+//! and discarded, and the session id becomes reusable.
+
+use crate::auth::AuthKey;
+use crate::frame::{encode_frame, WireError};
+use crate::metrics::{WireMetrics, WireSnapshot};
+use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
+use referee_simnet::{Envelope, SessionId, Transport, TransportCounters};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Sleep between pump sweeps that made no progress.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The referee-side acceptor: authenticates, validates and echoes every
+/// frame back to its connection, serving as the fleet's wire mailbox.
+///
+/// Runs on its own thread over nonblocking accept + connection pumps;
+/// [`FleetServer::stop`] (or drop) shuts it down and joins.
+#[derive(Debug)]
+pub struct FleetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<WireMetrics>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FleetServer {
+    /// Bind a loopback listener on an ephemeral port and start serving.
+    pub fn spawn(key: AuthKey) -> io::Result<FleetServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(WireMetrics::default());
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            thread::Builder::new()
+                .name("wirenet-server".into())
+                .spawn(move || run_server(listener, key, &shutdown, &metrics))?
+        };
+        Ok(FleetServer { addr, shutdown, metrics, thread: Some(thread) })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server-side wire metrics.
+    pub fn metrics(&self) -> WireSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Shut down, join the server thread, and return its final metrics.
+    pub fn stop(mut self) -> WireSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for FleetServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_server(
+    listener: TcpListener,
+    key: AuthKey,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut progress = false;
+        // Accept whatever is waiting (an Err is WouldBlock or a
+        // transient failure: try again next sweep).
+        while let Ok((stream, _)) = listener.accept() {
+            if let Ok(conn) = Conn::new(stream) {
+                metrics.connections(1);
+                conns.push(conn);
+                progress = true;
+            }
+        }
+        // Pump every connection: flush echoes, read frames, validate,
+        // echo back.
+        for conn in &mut conns {
+            progress |= conn.flush() > 0;
+            // Backpressure: a peer that writes but never reads would
+            // otherwise grow our echo buffer without bound. Stop
+            // reading until the buffer drains — TCP then pushes back on
+            // the peer's sends. Counted once per episode (latched), not
+            // once per 50 µs sweep.
+            if conn.pending_write() > WRITE_BACKPRESSURE_BYTES {
+                if !conn.stalled {
+                    conn.stalled = true;
+                    metrics.backpressure_stalls(1);
+                }
+                continue;
+            }
+            conn.stalled = false;
+            let got = conn.fill(&mut scratch);
+            metrics.bytes_received(got as u64);
+            progress |= got > 0;
+            loop {
+                match conn.next_frame_raw(&key) {
+                    Ok(None) => break,
+                    Ok(Some((_env, raw))) => {
+                        metrics.frames_received(1);
+                        // Echo the authenticated bytes verbatim: the
+                        // codec is canonical, so this is the re-encoding
+                        // without paying the MAC twice.
+                        metrics.frames_sent(1);
+                        metrics.bytes_sent(raw.len() as u64);
+                        conn.queue(&raw);
+                        progress = true;
+                    }
+                    Err(WireError::BadMac) => {
+                        // Tamper-evident fail-fast: a connection that
+                        // carried one corrupted frame is dead to us.
+                        metrics.mac_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                    Err(_) => {
+                        metrics.decode_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                }
+            }
+        }
+        conns.retain(Conn::is_open);
+        if !progress {
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Deliberate wire-level fault injection: flip one deterministic bit in
+/// the MAC-covered region of every `flip_every`-th outbound frame.
+///
+/// This is the adversary the acceptance criterion aims at: since the
+/// flip lands *after* the MAC was computed, every tampered frame must be
+/// rejected by the receiver's MAC verification — zero undetected.
+#[derive(Debug, Clone, Copy)]
+pub struct TamperConfig {
+    /// Corrupt every n-th frame (`1` = every frame).
+    pub flip_every: u64,
+}
+
+/// One session's demultiplexing lane on the client.
+#[derive(Debug, Default)]
+struct Lane {
+    conn: usize,
+    inbound: VecDeque<Envelope>,
+    in_flight: u64,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    conns: Vec<Conn>,
+    lanes: HashMap<u64, Lane>,
+    next_conn: usize,
+    tamper: Option<TamperConfig>,
+    tamper_counter: u64,
+    scratch: Vec<u8>,
+}
+
+/// Shared connection-pool state behind every [`SocketTransport`].
+#[derive(Debug)]
+pub(crate) struct FleetCore {
+    key: AuthKey,
+    state: Mutex<CoreState>,
+    metrics: Arc<WireMetrics>,
+}
+
+impl FleetCore {
+    fn lock(&self) -> MutexGuard<'_, CoreState> {
+        // A panicked holder leaves consistent state (buffers are either
+        // queued or not); ride through poisoning.
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// One nonblocking sweep over every connection: flush writes, read
+    /// sockets, demultiplex complete frames into lanes. Returns whether
+    /// anything moved.
+    fn pump(&self, st: &mut CoreState) -> bool {
+        let CoreState { conns, lanes, scratch, .. } = st;
+        let mut progress = false;
+        for conn in conns.iter_mut() {
+            if !conn.is_open() {
+                continue;
+            }
+            progress |= conn.flush() > 0;
+            let got = conn.fill(scratch);
+            self.metrics.bytes_received(got as u64);
+            progress |= got > 0;
+            loop {
+                match conn.next_frame(&self.key) {
+                    Ok(None) => break,
+                    Ok(Some(env)) => {
+                        self.metrics.frames_received(1);
+                        match lanes.get_mut(&env.session.0) {
+                            Some(lane) => {
+                                lane.in_flight = lane.in_flight.saturating_sub(1);
+                                lane.inbound.push_back(env);
+                            }
+                            None => {
+                                // A late echo for a lane already retired
+                                // (the transport was dropped with frames
+                                // still in flight) — count and discard.
+                                self.metrics.orphan_frames(1);
+                            }
+                        }
+                        progress = true;
+                    }
+                    Err(WireError::BadMac) => {
+                        self.metrics.mac_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                    Err(_) => {
+                        self.metrics.decode_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    /// Frame and queue one envelope. `false` means the session's
+    /// connection is dead and the envelope was destroyed.
+    fn send(&self, env: &Envelope) -> bool {
+        let mut st = self.lock();
+        let ci = st.lanes.get(&env.session.0).expect("session registered").conn;
+        // Backpressure: never let a write buffer grow unboundedly.
+        if st.conns[ci].pending_write() > WRITE_BACKPRESSURE_BYTES {
+            self.metrics.backpressure_stalls(1);
+            loop {
+                self.pump(&mut st);
+                if st.conns[ci].pending_write() <= WRITE_BACKPRESSURE_BYTES
+                    || !st.conns[ci].is_open()
+                {
+                    break;
+                }
+                drop(st);
+                thread::sleep(IDLE_SLEEP);
+                st = self.lock();
+            }
+        }
+        if !st.conns[ci].is_open() {
+            return false;
+        }
+        let mut bytes = encode_frame(&self.key, env);
+        if let Some(tamper) = st.tamper {
+            st.tamper_counter += 1;
+            if st.tamper_counter.is_multiple_of(tamper.flip_every.max(1)) {
+                // Deterministic bit position inside the MAC-covered
+                // body — never the length prefix, so the stream stays
+                // framed and the corruption reaches MAC verification.
+                let body_bits = (bytes.len() - 4) * 8;
+                let bit = (st.tamper_counter.wrapping_mul(0x9e3779b97f4a7c15)
+                    % body_bits as u64) as usize;
+                bytes[4 + bit / 8] ^= 1 << (7 - bit % 8);
+                self.metrics.tampered(1);
+            }
+        }
+        self.metrics.frames_sent(1);
+        self.metrics.bytes_sent(bytes.len() as u64);
+        st.lanes.get_mut(&env.session.0).expect("session registered").in_flight += 1;
+        let conn = &mut st.conns[ci];
+        conn.queue(&bytes);
+        conn.flush();
+        true
+    }
+
+    /// Deliver the next envelope for `session`, pumping the reactor
+    /// while frames are still in flight. `None` means the lane is truly
+    /// drained: nothing queued, nothing in flight (or the connection
+    /// died, destroying whatever was in flight).
+    fn recv(&self, session: SessionId) -> Option<Envelope> {
+        loop {
+            let mut st = self.lock();
+            // Fast path: deliver already-demultiplexed traffic without
+            // touching any socket (send() flushes eagerly, so skipping
+            // the pump here delays nothing).
+            let lane = st.lanes.get_mut(&session.0).expect("session registered");
+            if let Some(env) = lane.inbound.pop_front() {
+                return Some(env);
+            }
+            self.pump(&mut st);
+            let lane = st.lanes.get_mut(&session.0).expect("session registered");
+            if let Some(env) = lane.inbound.pop_front() {
+                return Some(env);
+            }
+            if lane.in_flight == 0 {
+                return None;
+            }
+            let ci = lane.conn;
+            if !st.conns[ci].is_open() {
+                return None; // in-flight frames died with the connection
+            }
+            drop(st);
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+
+    /// Retire a session's lane (called when its transport is dropped).
+    /// Echoes still in flight surface later as `orphan_frames`.
+    fn release(&self, session: SessionId) {
+        self.lock().lanes.remove(&session.0);
+    }
+}
+
+/// A node-side pool of ≤ a-handful of TCP connections multiplexing a
+/// whole fleet of sessions.
+#[derive(Debug)]
+pub struct FleetClient {
+    core: Arc<FleetCore>,
+}
+
+impl FleetClient {
+    /// Open `conns` connections to a [`FleetServer`] at `addr`. Both
+    /// ends must hold the same `key`.
+    pub fn connect(addr: SocketAddr, conns: usize, key: AuthKey) -> io::Result<FleetClient> {
+        assert!(conns >= 1, "a fleet needs at least one connection");
+        let metrics = Arc::new(WireMetrics::default());
+        let mut pool = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            pool.push(Conn::new(TcpStream::connect(addr)?)?);
+            metrics.connections(1);
+        }
+        Ok(FleetClient {
+            core: Arc::new(FleetCore {
+                key,
+                state: Mutex::new(CoreState {
+                    conns: pool,
+                    lanes: HashMap::new(),
+                    next_conn: 0,
+                    tamper: None,
+                    tamper_counter: 0,
+                    scratch: vec![0u8; SCRATCH_BYTES],
+                }),
+                metrics,
+            }),
+        })
+    }
+
+    /// Enable wire-level fault injection on every outbound frame.
+    pub fn with_tamper(self, tamper: TamperConfig) -> FleetClient {
+        self.core.lock().tamper = Some(tamper);
+        self
+    }
+
+    /// Register `session` (round-robin across the pool) and return the
+    /// transport that carries it. Drive it with a session built with
+    /// [`with_session`](referee_simnet::OneRoundSession::with_session)
+    /// on the same id — inbound envelopes are demultiplexed by that tag.
+    ///
+    /// Panics if the session id is already held by a *live* transport
+    /// (ids must be unique among concurrent sessions). Dropping the
+    /// transport retires the id; late echoes of a retired session are
+    /// counted as `orphan_frames` and discarded, so reuse an id only
+    /// once its traffic has drained.
+    pub fn transport(&self, session: SessionId) -> SocketTransport {
+        let mut st = self.core.lock();
+        let conn = st.next_conn % st.conns.len();
+        st.next_conn += 1;
+        let prev = st.lanes.insert(session.0, Lane { conn, ..Lane::default() });
+        assert!(prev.is_none(), "session {session} registered twice");
+        SocketTransport {
+            core: Arc::clone(&self.core),
+            session,
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// Live client-side wire metrics.
+    pub fn metrics(&self) -> WireSnapshot {
+        self.core.metrics.snapshot()
+    }
+}
+
+/// A [`Transport`] handle binding one session to the shared pool: sends
+/// stamp the session id and frame the envelope onto the session's
+/// connection; receives pump the reactor and deliver only this
+/// session's traffic.
+///
+/// `recv` honours the `Transport` contract exactly: it returns `None`
+/// only when every envelope ever sent has been delivered or destroyed —
+/// while frames are in flight it pumps the reactor until they return,
+/// so sessions never mistake wire latency for loss.
+#[derive(Debug)]
+pub struct SocketTransport {
+    core: Arc<FleetCore>,
+    session: SessionId,
+    counters: TransportCounters,
+}
+
+impl SocketTransport {
+    /// The session this transport is bound to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // Retire the lane so long-lived clients neither leak one lane
+        // per finished session nor forbid id reuse.
+        self.core.release(self.session);
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&mut self, mut env: Envelope) {
+        env.session = self.session;
+        self.counters.sent += 1;
+        if !self.core.send(&env) {
+            // Connection dead: the envelope was destroyed in transit.
+            self.counters.dropped += 1;
+        }
+    }
+
+    fn recv(&mut self) -> Option<Envelope> {
+        let env = self.core.recv(self.session)?;
+        self.counters.delivered += 1;
+        Some(env)
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+}

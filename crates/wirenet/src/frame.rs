@@ -1,0 +1,321 @@
+//! The wire codec: length-prefixed, versioned, MAC-authenticated binary
+//! framing of [`Envelope`]s.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//!  4 bytes  1     8       4      4     4      4      ⌈bits/8⌉     8
+//! ┌────────┬────┬────────┬──────┬─────┬─────┬────────┬──────────┬─────────┐
+//! │ length │ver │session │round │from │ to  │len_bits│ payload  │ MAC tag │
+//! └────────┴────┴────────┴──────┴─────┴─────┴────────┴──────────┴─────────┘
+//!          └────────────── MAC-covered (SipHash-2-4, 64-bit) ─────────────┘
+//! ```
+//!
+//! `length` counts every byte after itself (the *body*). The session id
+//! is the multiplexing key: one connection carries frames of a whole
+//! fleet, demultiplexed by the receiver. The payload is the
+//! [`Message`]'s canonical byte serialization plus its exact bit length,
+//! so `decode ∘ encode` is the identity on envelopes (pinned by
+//! proptests).
+//!
+//! Decoding is *streaming*: [`decode_frame`] consumes a prefix of a byte
+//! buffer and returns [`None`] while the frame is still incomplete.
+//! Every malformed input — truncation that can never complete, version
+//! or length lies, MAC mismatch, non-canonical payload padding — returns
+//! a [`WireError`]; nothing panics on wire bytes. The MAC is verified
+//! *before* any body field is interpreted (authenticate, then parse).
+
+use crate::auth::AuthKey;
+use referee_protocol::{DecodeError, Message};
+use referee_simnet::{Envelope, SessionId};
+
+/// Wire protocol version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes of header inside the body: version, session, round, from, to,
+/// payload bit length.
+pub const HEADER_BYTES: usize = 1 + 8 + 4 + 4 + 4 + 4;
+
+/// Bytes of MAC tag at the end of the body.
+pub const TAG_BYTES: usize = 8;
+
+/// Hard cap on a frame body — frugal protocols ship tiny messages, so
+/// anything near this is an attack or a desynchronized stream, not data.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Why a frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// The length prefix is out of bounds or disagrees with the
+    /// payload-size field.
+    BadLength(String),
+    /// MAC verification failed: the frame was corrupted or forged.
+    BadMac,
+    /// The MAC verified but the payload serialization is not canonical
+    /// (a peer bug, not line noise).
+    BadPayload(DecodeError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadVersion(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            WireError::BadLength(s) => write!(f, "bad frame length: {s}"),
+            WireError::BadMac => write!(f, "frame failed MAC verification"),
+            WireError::BadPayload(e) => write!(f, "authenticated frame has bad payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for DecodeError {
+    /// Surface wire-layer rejections through the protocol stack's
+    /// existing rejection paths.
+    fn from(e: WireError) -> DecodeError {
+        match e {
+            WireError::BadMac => {
+                DecodeError::Inconsistent("wire frame failed MAC verification".into())
+            }
+            WireError::BadPayload(inner) => inner,
+            other => DecodeError::Invalid(other.to_string()),
+        }
+    }
+}
+
+/// One successfully decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFrame {
+    /// Bytes consumed from the front of the buffer (prefix + body).
+    pub consumed: usize,
+    /// The decoded envelope (its `session` field is the wire session id).
+    pub envelope: Envelope,
+}
+
+/// Serialize `env` into one authenticated wire frame.
+///
+/// Panics if the payload exceeds [`MAX_BODY_BYTES`] — frugal protocols
+/// never get near it, so an oversized payload is a caller bug.
+pub fn encode_frame(key: &AuthKey, env: &Envelope) -> Vec<u8> {
+    let payload = env.payload.as_bytes();
+    let body_len = HEADER_BYTES + payload.len() + TAG_BYTES;
+    assert!(body_len <= MAX_BODY_BYTES, "payload of {} bytes exceeds frame cap", payload.len());
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&env.session.0.to_be_bytes());
+    out.extend_from_slice(&env.round.to_be_bytes());
+    out.extend_from_slice(&env.from.to_be_bytes());
+    out.extend_from_slice(&env.to.to_be_bytes());
+    out.extend_from_slice(&(env.payload.len_bits() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    let tag = key.tag(&out[4..]);
+    out.extend_from_slice(&tag.to_be_bytes());
+    out
+}
+
+fn be_u32(bytes: &[u8]) -> u32 {
+    u32::from_be_bytes(bytes.try_into().expect("4 bytes"))
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// * `Ok(None)` — the buffer holds an incomplete (but so far plausible)
+///   frame; read more bytes and retry.
+/// * `Ok(Some(frame))` — a frame was authenticated and decoded;
+///   `frame.consumed` bytes of `buf` are spent.
+/// * `Err(_)` — the stream is bad. There is no way to resynchronize a
+///   corrupted length-prefixed stream, so callers must drop the
+///   connection.
+pub fn decode_frame(key: &AuthKey, buf: &[u8]) -> Result<Option<DecodedFrame>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = be_u32(&buf[..4]) as usize;
+    if !(HEADER_BYTES + TAG_BYTES..=MAX_BODY_BYTES).contains(&body_len) {
+        return Err(WireError::BadLength(format!("body of {body_len} bytes out of bounds")));
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    let body = &buf[4..4 + body_len];
+
+    // Authenticate before interpreting any field.
+    let tag = u64::from_be_bytes(body[body_len - TAG_BYTES..].try_into().expect("8 bytes"));
+    if !key.verify(&body[..body_len - TAG_BYTES], tag) {
+        return Err(WireError::BadMac);
+    }
+
+    if body[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion(body[0]));
+    }
+    let session = SessionId(u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")));
+    let round = be_u32(&body[9..13]);
+    let from = be_u32(&body[13..17]);
+    let to = be_u32(&body[17..21]);
+    let len_bits = be_u32(&body[21..25]) as usize;
+
+    let payload_bytes = len_bits.div_ceil(8);
+    if HEADER_BYTES + payload_bytes + TAG_BYTES != body_len {
+        return Err(WireError::BadLength(format!(
+            "length field {body_len} disagrees with {len_bits}-bit payload"
+        )));
+    }
+    let payload =
+        Message::from_bits(body[HEADER_BYTES..HEADER_BYTES + payload_bytes].to_vec(), len_bits)
+            .map_err(WireError::BadPayload)?;
+    Ok(Some(DecodedFrame {
+        consumed: 4 + body_len,
+        envelope: Envelope { session, round, from, to, payload },
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use referee_protocol::BitWriter;
+
+    fn key() -> AuthKey {
+        AuthKey::from_seed(42)
+    }
+
+    fn env(session: u64, round: u32, from: u32, to: u32, value: u64, width: u32) -> Envelope {
+        let mut w = BitWriter::new();
+        w.write_bits(value, width);
+        Envelope {
+            session: SessionId(session),
+            round,
+            from,
+            to,
+            payload: Message::from_writer(w),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let e = env(7, 3, 12, 0, 0xdead, 16);
+        let bytes = encode_frame(&key(), &e);
+        let d = decode_frame(&key(), &bytes).unwrap().unwrap();
+        assert_eq!(d.consumed, bytes.len());
+        assert_eq!(d.envelope, e);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let e = Envelope {
+            session: SessionId(u64::MAX),
+            round: u32::MAX,
+            from: 0,
+            to: 9,
+            payload: Message::empty(),
+        };
+        let bytes = encode_frame(&key(), &e);
+        assert_eq!(bytes.len(), 4 + HEADER_BYTES + TAG_BYTES);
+        assert_eq!(decode_frame(&key(), &bytes).unwrap().unwrap().envelope, e);
+    }
+
+    #[test]
+    fn streaming_prefixes_are_incomplete_not_errors() {
+        let bytes = encode_frame(&key(), &env(1, 1, 1, 0, 0b101, 3));
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&key(), &bytes[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_for_the_next_frame() {
+        let a = env(1, 1, 1, 0, 5, 4);
+        let b = env(2, 9, 3, 4, 6, 4);
+        let mut stream = encode_frame(&key(), &a);
+        let first_len = stream.len();
+        stream.extend_from_slice(&encode_frame(&key(), &b));
+        let d1 = decode_frame(&key(), &stream).unwrap().unwrap();
+        assert_eq!(d1.consumed, first_len);
+        assert_eq!(d1.envelope, a);
+        let d2 = decode_frame(&key(), &stream[d1.consumed..]).unwrap().unwrap();
+        assert_eq!(d2.envelope, b);
+    }
+
+    #[test]
+    fn every_body_bit_flip_is_rejected() {
+        let bytes = encode_frame(&key(), &env(3, 2, 5, 0, 0xabc, 12));
+        for bit in (4 * 8)..(bytes.len() * 8) {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (7 - bit % 8);
+            match decode_frame(&key(), &bad) {
+                Err(WireError::BadMac) => {}
+                other => panic!("body bit {bit}: expected BadMac, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let bytes = encode_frame(&key(), &env(3, 2, 5, 0, 0xabc, 12));
+        assert_eq!(decode_frame(&AuthKey::from_seed(43), &bytes), Err(WireError::BadMac));
+    }
+
+    #[test]
+    fn length_lies_are_rejected_or_stall() {
+        let bytes = encode_frame(&key(), &env(1, 1, 2, 0, 1, 1));
+        // Too-small and too-large length prefixes are structural errors.
+        for lie in [0u32, 1, (HEADER_BYTES + TAG_BYTES - 1) as u32, (MAX_BODY_BYTES + 1) as u32]
+        {
+            let mut bad = bytes.clone();
+            bad[..4].copy_from_slice(&lie.to_be_bytes());
+            assert!(
+                matches!(decode_frame(&key(), &bad), Err(WireError::BadLength(_))),
+                "lie {lie}"
+            );
+        }
+        // A plausible but wrong length either stalls (waiting for bytes
+        // that never come) or fails the MAC over the wrong span — never
+        // yields a frame.
+        for delta in [-8i64, -1, 1, 8] {
+            let truth = (bytes.len() - 4) as i64;
+            let lie = (truth + delta) as u32;
+            let mut bad = bytes.clone();
+            bad[..4].copy_from_slice(&lie.to_be_bytes());
+            match decode_frame(&key(), &bad) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(f)) => panic!("length lie {delta:+} produced a frame: {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn noncanonical_padding_is_rejected_after_authentication() {
+        // Build a frame whose padding bit is set, with a *valid* MAC —
+        // i.e. a buggy peer, not line noise. 3-bit payload, pad bit set.
+        let mut body = vec![WIRE_VERSION];
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&1u32.to_be_bytes());
+        body.extend_from_slice(&1u32.to_be_bytes());
+        body.extend_from_slice(&0u32.to_be_bytes());
+        body.extend_from_slice(&3u32.to_be_bytes());
+        body.push(0b1010_0001); // 3 payload bits + a set padding bit
+        let tag = key().tag(&body);
+        body.extend_from_slice(&tag.to_be_bytes());
+        let mut frame = ((body.len() as u32).to_be_bytes()).to_vec();
+        frame.extend_from_slice(&body);
+        assert!(matches!(decode_frame(&key(), &frame), Err(WireError::BadPayload(_))));
+    }
+
+    #[test]
+    fn wire_errors_map_into_decode_errors() {
+        assert!(matches!(DecodeError::from(WireError::BadMac), DecodeError::Inconsistent(_)));
+        assert!(matches!(DecodeError::from(WireError::BadVersion(9)), DecodeError::Invalid(_)));
+        assert_eq!(
+            DecodeError::from(WireError::BadPayload(DecodeError::Truncated)),
+            DecodeError::Truncated
+        );
+    }
+}

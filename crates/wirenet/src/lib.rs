@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! `referee-wirenet` — a real-socket reactor that drives `simnet`
+//! sessions over multiplexed, MAC-authenticated wire frames.
+//!
+//! PR 1 built the session runtime sans-I/O on purpose: protocol
+//! executions are pollable state machines behind a pluggable
+//! [`Transport`](referee_simnet::Transport). This crate is the payoff —
+//! the backend that puts *real OS sockets* under those unchanged state
+//! machines, turning the referee model into a system that ships bytes:
+//!
+//! * [`frame`] — the wire codec: length-prefixed, versioned binary
+//!   framing of [`Envelope`](referee_simnet::Envelope)s, carrying the
+//!   [`SessionId`](referee_simnet::SessionId) that lets one connection
+//!   multiplex a whole fleet.
+//! * [`auth`] — the authentication layer: a keyed 64-bit SipHash-2-4
+//!   tag on every frame; verification failures surface through the
+//!   existing `DecodeError` rejection paths.
+//! * [`reactor`] — nonblocking `std::net` connections with explicit
+//!   read/write buffers, advanced by readiness-polling pump sweeps.
+//! * [`fleet`] — the referee-side acceptor ([`FleetServer`]) and
+//!   node-side pool ([`FleetClient`]) whose [`SocketTransport`] runs
+//!   1000+ sessions over a handful of TCP connections with wire-level
+//!   metrics ([`WireSnapshot`]): frames, bytes, MAC rejects,
+//!   backpressure stalls.
+//!
+//! # Frame layout
+//!
+//! ```text
+//!  4 bytes  1     8       4      4     4      4      ⌈bits/8⌉     8
+//! ┌────────┬────┬────────┬──────┬─────┬─────┬────────┬──────────┬─────────┐
+//! │ length │ver │session │round │from │ to  │len_bits│ payload  │ MAC tag │
+//! └────────┴────┴────────┴──────┴─────┴─────┴────────┴──────────┴─────────┘
+//!          └────────────── MAC-covered (SipHash-2-4, 64-bit) ─────────────┘
+//! ```
+//!
+//! # Threat model (summary — details in [`auth`])
+//!
+//! Any modification of the MAC-covered region is detected except with
+//! probability `2⁻⁶⁴` per frame; length-prefix lies are caught
+//! structurally or fail the tag over the wrong span. Replays are
+//! absorbed by the session runtime's idempotent duplicate handling.
+//! Confidentiality and key distribution are out of scope. A connection
+//! that carries one bad frame is poisoned immediately; its sessions
+//! starve and reject through the ordinary delivery-failure paths.
+//!
+//! # Example: a fleet over loopback TCP
+//!
+//! ```
+//! use referee_wirenet::{AuthKey, FleetClient, FleetServer};
+//! use referee_simnet::{OneRoundSession, SessionId};
+//! use referee_graph::generators;
+//! use referee_protocol::easy::EdgeCountProtocol;
+//!
+//! let key = AuthKey::from_seed(7);
+//! let server = FleetServer::spawn(key).unwrap();
+//! let client = FleetClient::connect(server.addr(), 2, key).unwrap();
+//!
+//! let g = generators::grid(3, 4);
+//! let id = SessionId(1);
+//! let mut transport = client.transport(id);
+//! let report =
+//!     OneRoundSession::new(&EdgeCountProtocol, &g).with_session(id).run(&mut transport);
+//! assert_eq!(report.outcome.unwrap().unwrap(), g.m());
+//!
+//! let stats = server.stop();
+//! assert_eq!(stats.mac_rejects, 0);
+//! assert_eq!(stats.frames_received as usize, g.n());
+//! ```
+
+pub mod auth;
+pub mod fleet;
+pub mod frame;
+pub mod metrics;
+pub mod reactor;
+
+pub use auth::AuthKey;
+pub use fleet::{FleetClient, FleetServer, SocketTransport, TamperConfig};
+pub use frame::{decode_frame, encode_frame, DecodedFrame, WireError, WIRE_VERSION};
+pub use metrics::{WireMetrics, WireSnapshot};

@@ -1,0 +1,280 @@
+//! The reactor substrate: nonblocking connections with explicit
+//! read/write buffers, pumped by readiness polling.
+//!
+//! `std` exposes no `poll(2)`/`epoll` wrapper, so readiness is probed
+//! the portable way: every connection is `O_NONBLOCK`, and a *pump*
+//! sweep attempts to flush each write buffer and drain each socket into
+//! its read buffer, reporting whether anything moved. Callers
+//! (the server loop, [`FleetClient`](crate::FleetClient) transports)
+//! sleep briefly only when a whole sweep made no progress — with a
+//! handful of connections per endpoint the sweep itself is a few
+//! syscalls, so this behaves like a poll loop without the API.
+//!
+//! Frame extraction (`Conn::next_frame`) runs the streaming decoder
+//! over the read buffer; a decode or MAC failure poisons the connection
+//! (a corrupted length-prefixed stream cannot be resynchronized), which
+//! the fleet layer converts into session-level
+//! [`DecodeError`](referee_protocol::DecodeError) rejections.
+
+use crate::auth::AuthKey;
+use crate::frame::{decode_frame, WireError};
+use referee_simnet::Envelope;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Size of the stack-free read scratch buffer.
+pub(crate) const SCRATCH_BYTES: usize = 64 * 1024;
+
+/// Write-buffer occupancy above which senders stall (backpressure).
+pub(crate) const WRITE_BACKPRESSURE_BYTES: usize = 256 * 1024;
+
+/// One nonblocking connection with its buffers.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Bytes read off the socket, not yet consumed by the decoder.
+    rbuf: Vec<u8>,
+    /// Consumed prefix of `rbuf` (compacted lazily).
+    rpos: usize,
+    /// Bytes queued for transmission, not yet written.
+    wbuf: Vec<u8>,
+    /// Written prefix of `wbuf` (compacted lazily).
+    wpos: usize,
+    open: bool,
+    /// Latch for episode-counted backpressure: set while the peer is
+    /// being throttled, so a stall episode is counted once, not once
+    /// per poll sweep.
+    pub(crate) stalled: bool,
+}
+
+impl Conn {
+    /// Adopt `stream` into the reactor: nonblocking, Nagle off (frames
+    /// are latency-sensitive and tiny).
+    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            open: true,
+            stalled: false,
+        })
+    }
+
+    /// Whether the connection is still usable.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Poison the connection (decode failure, peer misbehaviour).
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Queue frame bytes for transmission (actual writing happens in
+    /// [`Conn::flush`] sweeps).
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Write as much queued data as the socket accepts right now.
+    /// Returns bytes written.
+    pub fn flush(&mut self) -> usize {
+        let mut written = 0;
+        while self.open && self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => self.open = false,
+                Ok(k) => {
+                    self.wpos += k;
+                    written += k;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.open = false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > SCRATCH_BYTES {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        written
+    }
+
+    /// Read whatever the socket has ready into the read buffer.
+    /// Returns bytes read (0 on would-block; EOF closes the connection).
+    pub fn fill(&mut self, scratch: &mut [u8]) -> usize {
+        let mut read = 0;
+        while self.open {
+            match self.stream.read(scratch) {
+                Ok(0) => self.open = false, // EOF
+                Ok(k) => {
+                    self.rbuf.extend_from_slice(&scratch[..k]);
+                    read += k;
+                    if k < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.open = false,
+            }
+        }
+        read
+    }
+
+    /// Decode the next complete frame out of the read buffer, if any.
+    ///
+    /// An `Err` is terminal: the caller must [`Conn::close`] (this
+    /// method does not, so the caller can count the rejection first).
+    pub fn next_frame(&mut self, key: &AuthKey) -> Result<Option<Envelope>, WireError> {
+        match decode_frame(key, &self.rbuf[self.rpos..])? {
+            None => {
+                self.note_drained();
+                Ok(None)
+            }
+            Some(decoded) => {
+                self.consume(decoded.consumed);
+                Ok(Some(decoded.envelope))
+            }
+        }
+    }
+
+    /// Like `next_frame`, but also hands back a copy of the raw wire
+    /// bytes of the frame (length prefix included). An echoing peer can
+    /// forward those bytes verbatim — the codec is canonical
+    /// (`decode ∘ encode = id`), so re-encoding would reproduce them
+    /// bit-for-bit while paying the MAC a second time. Receivers that
+    /// only want the envelope use `next_frame` and skip the copy.
+    pub fn next_frame_raw(
+        &mut self,
+        key: &AuthKey,
+    ) -> Result<Option<(Envelope, Vec<u8>)>, WireError> {
+        match decode_frame(key, &self.rbuf[self.rpos..])? {
+            None => {
+                self.note_drained();
+                Ok(None)
+            }
+            Some(decoded) => {
+                let raw = self.rbuf[self.rpos..self.rpos + decoded.consumed].to_vec();
+                self.consume(decoded.consumed);
+                Ok(Some((decoded.envelope, raw)))
+            }
+        }
+    }
+
+    /// The read buffer holds no complete frame: reclaim it if fully
+    /// consumed.
+    fn note_drained(&mut self) {
+        if self.rpos > 0 && self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        }
+    }
+
+    /// Mark `n` buffered bytes as decoded, compacting lazily.
+    fn consume(&mut self, n: usize) {
+        self.rpos += n;
+        if self.rpos > SCRATCH_BYTES {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field("open", &self.open)
+            .field("unread", &(self.rbuf.len() - self.rpos))
+            .field("unwritten", &self.pending_write())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+    use referee_protocol::Message;
+    use referee_simnet::SessionId;
+    use std::net::TcpListener;
+
+    fn pair() -> (Conn, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (Conn::new(a).unwrap(), Conn::new(b).unwrap())
+    }
+
+    fn env(session: u64, round: u32) -> Envelope {
+        Envelope {
+            session: SessionId(session),
+            round,
+            from: 1,
+            to: 0,
+            payload: Message::empty(),
+        }
+    }
+
+    #[test]
+    fn frames_cross_a_socket_pair() {
+        let key = AuthKey::from_seed(5);
+        let (mut a, mut b) = pair();
+        for i in 0..100u64 {
+            a.queue(&encode_frame(&key, &env(i, i as u32 + 1)));
+        }
+        let mut scratch = vec![0u8; SCRATCH_BYTES];
+        let mut got = Vec::new();
+        let mut spins = 0;
+        while got.len() < 100 {
+            a.flush();
+            b.fill(&mut scratch);
+            while let Some(e) = b.next_frame(&key).unwrap() {
+                got.push(e);
+            }
+            spins += 1;
+            assert!(spins < 10_000, "socket pair never delivered");
+        }
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.session, SessionId(i as u64), "FIFO order preserved");
+        }
+    }
+
+    #[test]
+    fn corrupted_stream_errors_and_conn_closes() {
+        let key = AuthKey::from_seed(6);
+        let (mut a, mut b) = pair();
+        let mut bytes = encode_frame(&key, &env(1, 1));
+        let len = bytes.len();
+        bytes[len - 1] ^= 0x01; // corrupt inside the MAC tag
+        a.queue(&bytes);
+        let mut scratch = vec![0u8; SCRATCH_BYTES];
+        let mut spins = 0;
+        loop {
+            a.flush();
+            b.fill(&mut scratch);
+            match b.next_frame(&key) {
+                Ok(None) => {
+                    spins += 1;
+                    assert!(spins < 10_000, "corruption never surfaced");
+                }
+                Ok(Some(e)) => panic!("corrupted frame decoded: {e:?}"),
+                Err(WireError::BadMac) => break,
+                Err(other) => panic!("expected BadMac, got {other}"),
+            }
+        }
+        b.close();
+        assert!(!b.is_open());
+    }
+}

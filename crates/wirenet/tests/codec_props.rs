@@ -1,0 +1,152 @@
+//! Wire-codec properties: `decode ∘ encode = id` on arbitrary
+//! envelopes, and a fuzz-style sweep proving that mangled frames always
+//! come back as an error (or "incomplete") — never a bogus frame, never
+//! a panic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use referee_protocol::{BitWriter, Message};
+use referee_simnet::{Envelope, SessionId};
+use referee_wirenet::frame::{HEADER_BYTES, MAX_BODY_BYTES, TAG_BYTES};
+use referee_wirenet::{decode_frame, encode_frame, AuthKey, WireError};
+
+/// An arbitrary payload from (value-seed, bit-width ≤ 96).
+fn payload(seed: u64, bits: usize) -> Message {
+    let mut w = BitWriter::new();
+    let mut x = seed;
+    let mut left = bits;
+    while left > 0 {
+        let chunk = left.min(32) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = if chunk == 64 { x } else { x & ((1u64 << chunk) - 1) };
+        w.write_bits(v, chunk);
+        left -= chunk as usize;
+    }
+    Message::from_writer(w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode = id, with exact byte accounting, under any key.
+    #[test]
+    fn round_trip_is_identity(
+        session in any::<u64>(),
+        round in any::<u32>(),
+        from in any::<u32>(),
+        to in any::<u32>(),
+        bits in 0usize..96,
+        value_seed in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let env = Envelope {
+            session: SessionId(session),
+            round,
+            from,
+            to,
+            payload: payload(value_seed, bits),
+        };
+        let key = AuthKey::from_seed(key_seed);
+        let bytes = encode_frame(&key, &env);
+        prop_assert_eq!(bytes.len(), 4 + HEADER_BYTES + bits.div_ceil(8) + TAG_BYTES);
+        let decoded = decode_frame(&key, &bytes).unwrap().unwrap();
+        prop_assert_eq!(decoded.consumed, bytes.len());
+        prop_assert_eq!(decoded.envelope, env);
+    }
+
+    /// Every strict prefix of a frame is "incomplete", not an error and
+    /// not a frame — a streaming decoder must wait, never guess.
+    #[test]
+    fn truncation_never_yields_a_frame(
+        bits in 0usize..64,
+        value_seed in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let env = Envelope {
+            session: SessionId(9),
+            round: 4,
+            from: 2,
+            to: 0,
+            payload: payload(value_seed, bits),
+        };
+        let key = AuthKey::from_seed(key_seed);
+        let bytes = encode_frame(&key, &env);
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode_frame(&key, &bytes[..cut]).unwrap(), None);
+        }
+    }
+}
+
+#[test]
+fn bit_flip_sweep_every_position_rejected() {
+    // Flip every single bit of several frames; the body region must be
+    // a MAC reject, the length prefix must be a structural error or a
+    // stall — never a decoded frame, never a panic.
+    let key = AuthKey::from_seed(2024);
+    for (bits, seed) in [(0usize, 1u64), (1, 2), (13, 3), (64, 4)] {
+        let env = Envelope {
+            session: SessionId(77),
+            round: 6,
+            from: 5,
+            to: 1,
+            payload: payload(seed, bits),
+        };
+        let bytes = encode_frame(&key, &env);
+        for bit in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (7 - bit % 8);
+            match decode_frame(&key, &bad) {
+                Ok(Some(frame)) => {
+                    panic!("bit {bit} flip yielded a frame: {frame:?} (payload {bits} bits)")
+                }
+                // A length-prefix flip may stall (larger lie), fail
+                // structurally (out of bounds), or fail the MAC over the
+                // wrong span (smaller lie) — anything but a frame.
+                Ok(None) => {
+                    assert!(bit < 32, "only a length-prefix flip may stall, bit {bit} must not")
+                }
+                Err(WireError::BadMac) => {}
+                Err(_) => assert!(bit < 32, "body flip at bit {bit} must be a MAC reject"),
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_and_never_authenticates() {
+    // Feed raw noise to the decoder: any outcome except a decoded frame
+    // is acceptable; panics are not. 2⁻⁶⁴ forgery probability makes an
+    // authenticated frame from noise effectively impossible.
+    let key = AuthKey::from_seed(99);
+    let mut rng = StdRng::seed_from_u64(1234);
+    for len in 0..512usize {
+        let buf: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+        if let Ok(Some(frame)) = decode_frame(&key, &buf) {
+            panic!("random garbage authenticated as {frame:?}");
+        }
+    }
+}
+
+#[test]
+fn length_lying_frames_never_yield_a_frame() {
+    // Overwrite the length prefix with every value in a wide sweep
+    // around the truth plus the structural extremes.
+    let key = AuthKey::from_seed(5);
+    let env =
+        Envelope { session: SessionId(3), round: 2, from: 1, to: 0, payload: payload(11, 24) };
+    let bytes = encode_frame(&key, &env);
+    let truth = bytes.len() - 4;
+    let mut lies: Vec<u64> = (0..=(truth as u64 + 64)).collect();
+    lies.extend([MAX_BODY_BYTES as u64, MAX_BODY_BYTES as u64 + 1, u32::MAX as u64]);
+    for lie in lies {
+        if lie as usize == truth {
+            continue;
+        }
+        let mut bad = bytes.clone();
+        bad[..4].copy_from_slice(&(lie as u32).to_be_bytes());
+        if let Ok(Some(frame)) = decode_frame(&key, &bad) {
+            panic!("length lie {lie} produced {frame:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Real-socket integration: fleets of `simnet` sessions driven over
+//! loopback TCP, pinned bit-for-bit against in-memory runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use referee_graph::{algo, generators, LabelledGraph};
+use referee_protocol::easy::EdgeCountProtocol;
+use referee_protocol::multiround::BoruvkaConnectivity;
+use referee_simnet::{
+    MultiRoundSession, OneRoundSession, PerfectTransport, Scheduler, SessionId,
+};
+use referee_wirenet::{AuthKey, FleetClient, FleetServer, TamperConfig};
+
+fn graphs(count: usize, seed: u64) -> Vec<LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generators::gnp(8 + i % 20, 0.25, &mut rng)).collect()
+}
+
+/// One-round sessions multiplexed over 3 connections, driven from the
+/// multi-threaded scheduler, must produce exactly the outcomes of
+/// in-memory perfect-transport runs — and the server must have seen
+/// every envelope, rejecting nothing.
+#[test]
+fn one_round_fleet_matches_in_memory() {
+    let key = AuthKey::from_seed(11);
+    let server = FleetServer::spawn(key).unwrap();
+    let client = FleetClient::connect(server.addr(), 3, key).unwrap();
+    let fleet = graphs(96, 42);
+
+    let wire: Vec<_> = Scheduler::new(8, 4).run_indexed(fleet.len(), |i| {
+        let id = SessionId(i as u64);
+        let mut transport = client.transport(id);
+        OneRoundSession::new(&EdgeCountProtocol, &fleet[i]).with_session(id).run(&mut transport)
+    });
+
+    let mut expected_frames = 0u64;
+    for (i, (report, g)) in wire.iter().zip(&fleet).enumerate() {
+        let mut perfect = PerfectTransport::new();
+        let memory = OneRoundSession::new(&EdgeCountProtocol, g).run(&mut perfect);
+        assert_eq!(
+            report.outcome.as_ref().unwrap().as_ref().unwrap(),
+            memory.outcome.as_ref().unwrap().as_ref().unwrap(),
+            "session {i} disagrees with the in-memory run"
+        );
+        assert_eq!(
+            report.metrics.stats.total_message_bits,
+            memory.metrics.stats.total_message_bits
+        );
+        expected_frames += g.n() as u64;
+    }
+
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert_eq!(server_stats.frames_received, expected_frames, "server missed envelopes");
+    assert_eq!(server_stats.frames_sent, expected_frames, "server echoed short");
+    assert_eq!(server_stats.mac_rejects, 0);
+    assert_eq!(server_stats.decode_rejects, 0);
+    assert_eq!(server_stats.connections, 3);
+    assert_eq!(client_stats.frames_sent, expected_frames);
+    assert_eq!(client_stats.frames_received, expected_frames);
+    assert_eq!(client_stats.mac_rejects, 0);
+}
+
+/// Multi-round Borůvka over the wire: verdicts, round counts and
+/// message-size stats all match the in-memory session, and match the
+/// centralized truth.
+#[test]
+fn multi_round_fleet_matches_in_memory() {
+    let key = AuthKey::from_seed(12);
+    let server = FleetServer::spawn(key).unwrap();
+    let client = FleetClient::connect(server.addr(), 2, key).unwrap();
+    let fleet = graphs(24, 77);
+
+    let wire: Vec<_> = Scheduler::new(4, 2).run_indexed(fleet.len(), |i| {
+        let id = SessionId(i as u64);
+        let mut transport = client.transport(id);
+        MultiRoundSession::new(&BoruvkaConnectivity, &fleet[i], 64)
+            .with_session(id)
+            .run(&mut transport)
+    });
+
+    for (i, (report, g)) in wire.iter().zip(&fleet).enumerate() {
+        let mut perfect = PerfectTransport::new();
+        let memory = MultiRoundSession::new(&BoruvkaConnectivity, g, 64).run(&mut perfect);
+        let wire_verdict = report.outcome.as_ref().unwrap().as_ref().unwrap().as_ref().unwrap();
+        let memory_verdict =
+            memory.outcome.as_ref().unwrap().as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(wire_verdict, memory_verdict, "session {i}");
+        assert_eq!(*wire_verdict, algo::is_connected(g), "session {i} vs centralized");
+        assert_eq!(report.stats, memory.stats, "session {i} stats");
+    }
+
+    let server_stats = server.stop();
+    assert_eq!(server_stats.mac_rejects, 0);
+    assert!(server_stats.frames_received > 0);
+}
+
+/// Deliberate wire corruption: with one session per connection and every
+/// third frame tampered, every session's first tampered frame reaches
+/// the server while its connection is alive and MUST be caught by MAC
+/// verification (poisoning the connection); every session then fails
+/// cleanly — no corrupted frame is ever accepted, nothing hangs.
+#[test]
+fn tampered_frames_are_all_mac_rejected() {
+    let key = AuthKey::from_seed(13);
+    let server = FleetServer::spawn(key).unwrap();
+    let sessions = 8usize;
+    let client = FleetClient::connect(server.addr(), sessions, key)
+        .unwrap()
+        .with_tamper(TamperConfig { flip_every: 3 });
+    let fleet = graphs(sessions, 3);
+
+    for (i, g) in fleet.iter().enumerate() {
+        let id = SessionId(i as u64);
+        let mut transport = client.transport(id);
+        let report =
+            OneRoundSession::new(&EdgeCountProtocol, g).with_session(id).run(&mut transport);
+        assert!(
+            report.outcome.is_err(),
+            "session {i} survived a poisoned connection: {:?}",
+            report.outcome
+        );
+    }
+
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert!(client_stats.tampered >= sessions as u64, "tamper hook never fired");
+    // Exactly one MAC reject per connection: the first tampered frame is
+    // caught, the connection is poisoned, nothing after it is read.
+    assert_eq!(server_stats.mac_rejects, sessions as u64);
+    assert_eq!(server_stats.decode_rejects, 0);
+    // Every frame the server *did* accept was untampered and echoed.
+    assert_eq!(server_stats.frames_received, server_stats.frames_sent);
+}
+
+/// A key mismatch between the two ends is total: the very first frame
+/// poisons the connection, and the session rejects instead of hanging.
+#[test]
+fn key_mismatch_fails_closed() {
+    let server = FleetServer::spawn(AuthKey::from_seed(14)).unwrap();
+    let client = FleetClient::connect(server.addr(), 1, AuthKey::from_seed(15)).unwrap();
+    let g = generators::grid(3, 3);
+    let id = SessionId(0);
+    let mut transport = client.transport(id);
+    let report =
+        OneRoundSession::new(&EdgeCountProtocol, &g).with_session(id).run(&mut transport);
+    assert!(report.outcome.is_err(), "mismatched keys must fail the session");
+    let server_stats = server.stop();
+    assert_eq!(server_stats.mac_rejects, 1);
+    assert_eq!(server_stats.frames_sent, 0, "nothing may be echoed unauthenticated");
+}
+
+/// Dropping a transport retires its demux lane: the session id becomes
+/// reusable, so a long-lived client neither leaks lanes nor panics on
+/// reuse.
+#[test]
+fn session_ids_are_reusable_after_transport_drop() {
+    let key = AuthKey::from_seed(17);
+    let server = FleetServer::spawn(key).unwrap();
+    let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+    let g = generators::grid(2, 4);
+    for run in 0..3 {
+        let id = SessionId(42);
+        let mut transport = client.transport(id); // would panic if the lane leaked
+        let report =
+            OneRoundSession::new(&EdgeCountProtocol, &g).with_session(id).run(&mut transport);
+        assert_eq!(report.outcome.unwrap().unwrap(), g.m(), "run {run}");
+    }
+    assert_eq!(server.stop().mac_rejects, 0);
+}
+
+/// A session driven over the wire with a mismatched session id on its
+/// transport rejects as a demux fault (the session-id validation in the
+/// runtime), rather than absorbing another session's traffic.
+#[test]
+fn cross_session_delivery_is_rejected() {
+    let key = AuthKey::from_seed(16);
+    let server = FleetServer::spawn(key).unwrap();
+    let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+    let g = generators::grid(2, 3);
+    // Session believes it is id 5; transport is bound to id 9, so every
+    // envelope comes back stamped 9 and the session must reject it.
+    let mut transport = client.transport(SessionId(9));
+    let report = OneRoundSession::new(&EdgeCountProtocol, &g)
+        .with_session(SessionId(5))
+        .run(&mut transport);
+    let err = report.outcome.unwrap_err();
+    assert!(format!("{err}").contains("demux"), "unexpected error: {err}");
+    server.stop();
+}

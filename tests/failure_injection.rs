@@ -163,23 +163,28 @@ fn kconn_sketch_sweep_never_panics() {
     assert!(p.global(8, &vec![Message::empty(); 8]).is_err());
 }
 
-/// A transport that flips one chosen bit of one chosen uplink — the
-/// multi-round, in-flight analogue of [`flip_sweep`].
-struct FlipOneUplink {
+/// A transport that flips a chosen set of bits of one chosen uplink —
+/// the multi-round, in-flight analogue of [`flip_sweep`]. Bits beyond
+/// the frame length are ignored (the shorter "no proposal" frames).
+struct FlipUplinkBits {
     inner: referee_simnet::PerfectTransport,
     round: u32,
     from: u32,
-    bit: usize,
+    bits: Vec<usize>,
+    /// Bits that actually landed inside the victim frame.
+    applied: usize,
 }
 
-impl referee_simnet::Transport for FlipOneUplink {
+impl referee_simnet::Transport for FlipUplinkBits {
     fn send(&mut self, mut env: referee_simnet::Envelope) {
-        if env.round == self.round
-            && env.from == self.from
-            && env.to == referee_simnet::REFEREE
-            && self.bit < env.payload.len_bits()
+        if env.round == self.round && env.from == self.from && env.to == referee_simnet::REFEREE
         {
-            env.payload = env.payload.with_bit_flipped(self.bit);
+            for &bit in &self.bits {
+                if bit < env.payload.len_bits() {
+                    env.payload = env.payload.with_bit_flipped(bit);
+                    self.applied += 1;
+                }
+            }
         }
         self.inner.send(env);
     }
@@ -193,53 +198,228 @@ impl referee_simnet::Transport for FlipOneUplink {
     }
 }
 
+/// How one corrupted Borůvka run ended (stalls and panics are ruled out
+/// by the helper itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CorruptOutcome {
+    /// The referee rejected the run with a `DecodeError`.
+    Detected,
+    /// The run finished with this connectivity verdict (either the flips
+    /// were no-ops past the frame end, or a tag collision let a
+    /// corrupted proposal through).
+    Verdict(bool),
+}
+
+/// Corrupt one uplink of a Borůvka run on `g` and classify the outcome.
+/// Returns `(applied, outcome)`: how many requested flips landed inside
+/// the frame, and how the run ended. Panics on the outcomes an
+/// authenticated uplink must rule out unconditionally: a stall or a
+/// crash.
+fn corrupt_boruvka_uplink(
+    g: &LabelledGraph,
+    round: u32,
+    victim: u32,
+    bits: &[usize],
+) -> (usize, CorruptOutcome) {
+    use referee_one_round::protocol::multiround::BoruvkaConnectivity;
+    let mut transport = FlipUplinkBits {
+        inner: referee_simnet::PerfectTransport::new(),
+        round,
+        from: victim,
+        bits: bits.to_vec(),
+        applied: 0,
+    };
+    let report =
+        referee_simnet::MultiRoundSession::new(&BoruvkaConnectivity, g, 64).run(&mut transport);
+    let outcome = match report.outcome.expect("perfect delivery") {
+        Some(Err(_)) => CorruptOutcome::Detected,
+        Some(Ok(verdict)) => CorruptOutcome::Verdict(verdict),
+        None => panic!("corrupted run stalled to the round cap"),
+    };
+    (transport.applied, outcome)
+}
+
+/// Connected-graph specialization: a spurious merge can only ever *join*
+/// components, so the verdict must stay `true`; anything else is a bug.
+/// Returns whether the corruption was detected.
+fn corrupt_connected_boruvka(
+    g: &LabelledGraph,
+    round: u32,
+    victim: u32,
+    bits: &[usize],
+) -> (usize, bool) {
+    let (applied, outcome) = corrupt_boruvka_uplink(g, round, victim, bits);
+    match outcome {
+        CorruptOutcome::Detected => (applied, true),
+        CorruptOutcome::Verdict(v) => {
+            assert!(
+                v,
+                "corrupted run produced a wrong verdict (round {round}, node {victim}, bits {bits:?})"
+            );
+            (applied, false)
+        }
+    }
+}
+
 #[test]
-fn boruvka_uplink_flip_sweep_always_decode_error() {
-    // The multi-round path: BoruvkaConnectivity ships checksummed
-    // proposal uplinks, so EVERY single-bit corruption of an uplink must
-    // end the run in a DecodeError — never a wrong verdict, never a
-    // panic. Round 1 uplinks are 1-bit "no proposal" frames; round 2
-    // carries real proposals (labels have been heard by then). Sweep
-    // every bit of every node's uplink in both rounds.
+fn boruvka_uplink_single_bit_sweep() {
+    // BoruvkaConnectivity ships MAC-tagged proposal uplinks (keyed
+    // SipHash-2-4 truncated to 4 bits). Detection guarantees by frame
+    // region:
+    //   * flag bit — certain (the frame length stops matching);
+    //   * tag bits — certain (the id is unchanged, so its tag is fixed
+    //     and any tag flip mismatches it);
+    //   * id bits — all but a 2⁻⁴ collision slice, and an undetected
+    //     flip can at worst inject a spurious merge, which on a
+    //     connected graph cannot change the verdict.
+    // Round 1 uplinks are 1-bit "no proposal" frames; round 2 carries
+    // real proposals. Sweep every bit of every node's uplink in both.
     use referee_one_round::protocol::multiround::BoruvkaConnectivity;
 
     let g = generators::path(6);
     let n = g.n();
-    let max_frame_bits = 1 + (bits_for(n) + 4) as usize; // flag + id + checksum
+    let width = bits_for(n) as usize;
+    let max_frame_bits = 1 + width + 4; // flag + id + tag
+    let (mut id_cases, mut id_detected) = (0usize, 0usize);
     for round in [1u32, 2] {
         for victim in 1..=n as u32 {
             for bit in 0..max_frame_bits {
-                let mut transport = FlipOneUplink {
-                    inner: referee_simnet::PerfectTransport::new(),
-                    round,
-                    from: victim,
-                    bit,
-                };
-                let report =
-                    referee_simnet::MultiRoundSession::new(&BoruvkaConnectivity, &g, 64)
-                        .run(&mut transport);
-                match report.outcome.expect("perfect delivery") {
-                    Some(Err(_)) => {} // corruption detected: the required outcome
-                    Some(Ok(verdict)) => {
-                        // The flip landed past the frame end (shorter
-                        // no-proposal frame): nothing was corrupted, so
-                        // the honest verdict must hold.
-                        assert!(
-                            verdict,
-                            "corrupted run produced a wrong verdict \
-                             (round {round}, node {victim}, bit {bit})"
-                        );
-                    }
-                    None => panic!("corrupted run stalled to the round cap"),
+                let (applied, detected) = corrupt_connected_boruvka(&g, round, victim, &[bit]);
+                if applied == 0 {
+                    continue; // flip fell past a short no-proposal frame
+                }
+                if bit == 0 || bit > width {
+                    // Flag and tag flips: detection is unconditional.
+                    assert!(
+                        detected,
+                        "undetected flag/tag flip (round {round}, node {victim}, bit {bit})"
+                    );
+                } else {
+                    id_cases += 1;
+                    id_detected += detected as usize;
                 }
             }
         }
     }
+    // Id flips: expected miss rate 2⁻⁴; demand detection well above the
+    // fold's multi-bit blind spots without flaking on the odd collision.
+    assert!(id_cases > 0, "sweep never hit an id bit");
+    assert!(
+        id_detected * 4 >= id_cases * 3,
+        "id-bit detection too weak: {id_detected}/{id_cases}"
+    );
     // Sanity: the honest run accepts.
     let mut honest = referee_simnet::PerfectTransport::new();
     let report =
         referee_simnet::MultiRoundSession::new(&BoruvkaConnectivity, &g, 64).run(&mut honest);
     assert!(report.outcome.unwrap().unwrap().unwrap());
+}
+
+#[test]
+fn boruvka_uplink_multibit_sweep_covers_fold_blind_patterns() {
+    // The old 4-bit XOR-fold checksum was *linear*: a corruption pattern
+    // passed verification iff the fold of the id-delta equalled the
+    // tag-delta. Two whole families of multi-bit corruptions were thus
+    // structurally invisible to it:
+    //   1. flip id value-bit v together with tag value-bit (v mod 4)
+    //      (the fold of a single id bit IS that tag bit);
+    //   2. flip two id bits four apart (their folds cancel; needs
+    //      width ≥ 5, hence n = 20 here).
+    // The keyed MAC has no linear structure: each such pattern now
+    // slips through only on a 2⁻⁴ tag collision. Sweep every
+    // fold-blind pattern for every node's round-2 proposal and demand a
+    // detection rate far above zero — plus the usual hard guarantees
+    // (no panic, no wrong verdict, no stall), which
+    // `corrupt_connected_boruvka` asserts on every single run.
+    let g = generators::path(20);
+    let n = g.n();
+    let width = bits_for(n) as usize; // 5
+    assert!(width >= 5, "need width ≥ 5 for the id-pair blind spot");
+
+    // Frame bit positions (MSB-first): bit 0 = flag, bits 1..=width = id
+    // (MSB first), bits width+1..width+4 = tag (MSB first).
+    let id_bit = |v: usize| 1 + (width - 1 - v); // id value-bit v
+    let tag_bit = |t: usize| 1 + width + (3 - t); // tag value-bit t
+
+    let mut patterns: Vec<Vec<usize>> = Vec::new();
+    // Family 1: id value-bit v + tag value-bit (v mod 4).
+    for v in 0..width {
+        patterns.push(vec![id_bit(v), tag_bit(v % 4)]);
+    }
+    // Family 2: id value-bits v and v + 4.
+    for v in 0..width.saturating_sub(4) {
+        patterns.push(vec![id_bit(v), id_bit(v + 4)]);
+    }
+
+    let (mut cases, mut detected_cases) = (0usize, 0usize);
+    for victim in 1..=n as u32 {
+        for bits in &patterns {
+            let (applied, detected) = corrupt_connected_boruvka(&g, 2, victim, bits);
+            if applied < bits.len() {
+                continue; // that node sent no proposal in round 2
+            }
+            cases += 1;
+            detected_cases += detected as usize;
+        }
+    }
+    assert!(cases >= 40, "too few fold-blind patterns exercised ({cases})");
+    // Expected misses: cases/16. Demand ≥ 3/4 detected — impossible for
+    // the old fold (0 detected by construction), robust for the MAC.
+    assert!(
+        detected_cases * 4 >= cases * 3,
+        "fold-blind detection too weak: {detected_cases}/{cases}"
+    );
+}
+
+#[test]
+fn boruvka_disconnected_graph_corruption_window_is_bounded() {
+    // The truncated 4-bit MAC leaves an honest, *quantified* window: a
+    // corrupted proposal id slips through on a 2⁻⁴ tag collision, and on
+    // a DISCONNECTED graph an undetected in-range proposal can union two
+    // true components and flip the verdict to "connected". (The old XOR
+    // fold detected every single-bit flip with certainty but passed
+    // whole multi-bit classes with the same wrong-verdict consequence —
+    // neither 4-bit scheme eliminates the window; the MAC bounds every
+    // pattern uniformly.) Sweep all 1- and 2-bit corruptions of every
+    // round-2 uplink on a disconnected graph and pin that window: every
+    // run terminates without panicking, the accounting is exhaustive,
+    // detection dominates, and wrong verdicts stay a small fraction.
+    let g = generators::path(10).disjoint_union(&generators::path(9));
+    let n = g.n();
+    let honest_verdict = false;
+    let frame_bits = 1 + bits_for(n) as usize + 4;
+
+    let mut patterns: Vec<Vec<usize>> = (0..frame_bits).map(|b| vec![b]).collect();
+    for a in 0..frame_bits {
+        for b in a + 1..frame_bits {
+            patterns.push(vec![a, b]);
+        }
+    }
+
+    let (mut cases, mut detected, mut honest, mut wrong) = (0usize, 0usize, 0usize, 0usize);
+    for victim in 1..=n as u32 {
+        for bits in &patterns {
+            let (applied, outcome) = corrupt_boruvka_uplink(&g, 2, victim, bits);
+            if applied < bits.len() {
+                continue;
+            }
+            cases += 1;
+            match outcome {
+                CorruptOutcome::Detected => detected += 1,
+                CorruptOutcome::Verdict(v) if v == honest_verdict => honest += 1,
+                CorruptOutcome::Verdict(_) => wrong += 1,
+            }
+        }
+    }
+    assert_eq!(detected + honest + wrong, cases, "every run classified");
+    assert!(cases > 500, "sweep too small ({cases})");
+    assert!(detected * 2 >= cases, "detection must dominate: {detected}/{cases}");
+    // The window: strictly bounded, far below the fold's blind classes.
+    // Expected ≈ (in-range, cross-component collisions)/16 of cases.
+    assert!(
+        wrong * 8 <= cases,
+        "wrong-verdict window too large: {wrong}/{cases} (detected {detected}, honest {honest})"
+    );
 }
 
 #[test]

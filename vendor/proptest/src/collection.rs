@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::RngCore;
 use std::ops::{Range, RangeInclusive};
 
-/// Length distribution for [`vec`].
+/// Length distribution for [`vec()`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug)]
 pub struct VecStrategy<S> {
     element: S,
