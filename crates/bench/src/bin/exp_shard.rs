@@ -1,0 +1,127 @@
+//! E28 (systems side): the sharded referee — 1/2/4/8 shards swept
+//! through both backends.
+//!
+//! * **simnet**: `Scheduler::sweep_one_round_sharded` — per-session
+//!   shard states exchanging serialized partials through the transport;
+//!   outcomes pinned against the monolithic sweep, exchange overhead
+//!   accounted in bits.
+//! * **wirenet**: `FleetServer::spawn_sharded` — the server-side shard
+//!   workers verifying 1000-session fleets, with cross-shard partial
+//!   frames and verdict digests counted on the wire.
+//!
+//! Run: `cargo run --release -p referee-bench --bin exp_shard`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use referee_bench::{render_table, section};
+use referee_graph::{generators, LabelledGraph};
+use referee_protocol::easy::EdgeCountProtocol;
+use referee_protocol::referee::local_phase;
+use referee_simnet::{Scheduler, SessionId};
+use referee_wirenet::{vector_digest, AuthKey, FleetClient, FleetServer};
+use std::time::Instant;
+
+fn fleet(count: usize, seed: u64) -> Vec<LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generators::gnp(12 + i % 20, 0.2, &mut rng)).collect()
+}
+
+fn main() {
+    println!("# E28: sharded referee — mergeable partial states, in-memory and on the wire");
+    println!("# expectation: outcomes identical at every shard count (merge is commutative");
+    println!("# and associative); exchange overhead grows with k; verification throughput");
+    println!("# stays in the same order of magnitude as the echo fleet.");
+
+    let sessions = 1000usize;
+    let graphs = fleet(sessions, 2028);
+    let scheduler = Scheduler::new(8, 8);
+
+    // ---- simnet: sharded sweeps vs the monolithic sweep ---------------
+    section(&format!("simnet: {sessions} EdgeCount sessions, scheduler 8×8"));
+    let t0 = Instant::now();
+    let mono = scheduler.sweep_one_round(&EdgeCountProtocol, &graphs, None);
+    let mono_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(mono.aggregate.ok, sessions);
+
+    let mut rows = vec![["shards", "ok", "rejected", "exchange KiB", "sess/s"]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>()];
+    rows.push(vec![
+        "1 (monolithic)".into(),
+        mono.aggregate.ok.to_string(),
+        mono.aggregate.rejected.to_string(),
+        "-".into(),
+        format!("{:.0}", sessions as f64 / mono_wall),
+    ]);
+    for shards in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let sweep =
+            scheduler.sweep_one_round_sharded(&EdgeCountProtocol, &graphs, shards, None);
+        let wall = t0.elapsed().as_secs_f64();
+        let exchange_bits: usize = sweep.reports.iter().map(|r| r.exchange_bits).sum();
+        for (s, m) in sweep.reports.iter().zip(&mono.reports) {
+            assert_eq!(
+                s.outcome.as_ref().unwrap(),
+                m.outcome.as_ref().unwrap(),
+                "sharded outcome diverged at k={shards}"
+            );
+        }
+        rows.push(vec![
+            shards.to_string(),
+            sweep.aggregate.ok.to_string(),
+            sweep.aggregate.rejected.to_string(),
+            format!("{:.0}", exchange_bits as f64 / 8.0 / 1024.0),
+            format!("{:.0}", sessions as f64 / wall),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // ---- wirenet: the sharded referee service -------------------------
+    section(&format!("wirenet: {sessions}-session fleets verified by sharded servers"));
+    let key = AuthKey::from_seed(28);
+    let truth: Vec<u64> = graphs
+        .iter()
+        .map(|g| vector_digest(&key, &local_phase(&EdgeCountProtocol, g)))
+        .collect();
+    let mut rows =
+        vec![["shards", "conns", "sess/s", "partials", "verdicts", "wire KiB", "mac-rej"]
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>()];
+    for shards in [1usize, 2, 4, 8] {
+        let server = FleetServer::spawn_sharded(key, shards).expect("bind");
+        let conns = 8usize;
+        let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
+        let t0 = Instant::now();
+        let digests: Vec<u64> = scheduler.run_indexed(sessions, |i| {
+            let g = &graphs[i];
+            let arrivals = local_phase(&EdgeCountProtocol, g)
+                .into_iter()
+                .enumerate()
+                .map(|(j, m)| (j as u32 + 1, m));
+            client
+                .verify_session(SessionId(i as u64), g.n(), arrivals)
+                .expect("honest session verifies")
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(digests, truth, "verdict digests must pin the sent vectors");
+        let c = client.metrics();
+        let s = server.stop();
+        assert_eq!(s.mac_rejects, 0);
+        assert_eq!(s.verdict_frames as usize, sessions);
+        assert_eq!(s.partial_frames as usize, sessions * (shards - 1));
+        rows.push(vec![
+            shards.to_string(),
+            conns.to_string(),
+            format!("{:.0}", sessions as f64 / wall),
+            s.partial_frames.to_string(),
+            s.verdict_frames.to_string(),
+            format!("{:.0}", (c.bytes_sent + c.bytes_received) as f64 / 1024.0),
+            s.mac_rejects.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    println!("\nsharded-referee experiments completed ✓");
+}

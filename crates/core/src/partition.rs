@@ -21,7 +21,7 @@
 
 use referee_graph::dsu::Dsu;
 use referee_graph::{algo, Edge, LabelledGraph};
-use referee_protocol::{bits_for, BitWriter, Message};
+use referee_protocol::{bits_for, shard_of, BitWriter, Message};
 
 /// Result of a partition-connectivity run.
 #[derive(Debug, Clone)]
@@ -50,8 +50,11 @@ pub fn partition_connectivity(g: &LabelledGraph, k: usize) -> PartitionOutcome {
     let k = k.min(n);
     let width = bits_for(n);
 
-    // Balanced contiguous parts: vertex v belongs to part (v-1)·k / n.
-    let part_of = |v: u32| ((v as usize - 1) * k) / n;
+    // Balanced contiguous parts: vertex v belongs to part ⌊(v−1)·k/n⌋ —
+    // the same partition arithmetic the sharded referee routes arrivals
+    // with (`referee_protocol::shard`), so "a part of the §IV argument"
+    // and "a referee shard" own identical ID ranges by construction.
+    let part_of = |v: u32| shard_of(n, k, v);
 
     // Phase 1 (inside each part): spanning forest of the edges the part
     // knows, i.e. those with ≥ 1 endpoint in the part.
@@ -176,6 +179,27 @@ mod tests {
         assert!(out.connected);
         let logn = (100f64).log2();
         assert!((out.max_message_bits as f64) < 5.0 * logn);
+    }
+
+    #[test]
+    fn parts_coincide_with_referee_shards() {
+        // The §IV parts and the sharded referee's ID ranges are the same
+        // partition: `shard_range` is the exact preimage of the part
+        // assignment used here.
+        for n in [1usize, 7, 60, 256] {
+            for k in [1usize, 2, 4, 8] {
+                for i in 0..k.min(n) {
+                    let r = referee_protocol::shard_range(n, k.min(n), i);
+                    for v in 1..=n as u32 {
+                        assert_eq!(
+                            r.contains(v),
+                            shard_of(n, k.min(n), v) == i,
+                            "n={n} k={k} i={i} v={v}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   (its ID, its neighbours' IDs, and `n`).
 //! * [`referee`] — the simulator: runs the local phase (in parallel) and
 //!   the global phase, collecting [`RunStats`].
+//! * [`shard`] — the sharded referee: mergeable [`PartialState`]
+//!   assembly over balanced ID ranges, so the §I.B "wait for one message
+//!   per vertex" scales out across shard workers (the monolithic
+//!   [`referee::assemble_from_arrivals`] is a one-shard run of it).
 //! * [`frugality`] — empirical audits of the `O(log n)` bound across
 //!   family sweeps.
 //! * [`baseline`] — the naive adjacency-list protocol (frugal only for
@@ -37,6 +41,7 @@ pub mod message;
 pub mod model;
 pub mod multiround;
 pub mod referee;
+pub mod shard;
 
 pub use bits::{BitReader, BitWriter};
 pub use frugality::{FrugalityAudit, FrugalityReport};
@@ -45,6 +50,9 @@ pub use message::Message;
 pub use model::{NodeView, OneRoundProtocol};
 pub use referee::{
     parallel_threshold, run_protocol, set_parallel_threshold, RunOutcome, RunStats,
+};
+pub use shard::{
+    route_arrival, shard_of, shard_range, Arrival, PartialState, RefereeShard, ShardRange,
 };
 
 /// Errors surfaced while decoding messages at the referee.

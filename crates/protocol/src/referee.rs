@@ -156,34 +156,34 @@ where
 /// it accepts `(sender, message)` pairs in *any* order and produces the
 /// ID-indexed vector `Γ^l(G)`, rejecting duplicates, unknown senders and
 /// missing nodes.
+///
+/// Since the sharded-referee refactor this is literally a one-shard run
+/// of [`crate::shard::RefereeShard`] — splitting the same arrivals
+/// across any shard count and merging the
+/// [`PartialState`](crate::shard::PartialState)s in any order reproduces
+/// this function's result bit for bit (pinned by property tests). The
+/// error verdict is therefore **canonical** (independent of arrival
+/// order): smallest out-of-range sender, else smallest duplicated
+/// sender, else smallest missing node. Canonicality is bought by
+/// ingesting the *whole* stream before judging (the old code failed on
+/// the first fault in arrival order, which no sharded assembly can
+/// reproduce); faulty streams cost a full pass, honest ones an ordered
+/// map instead of a flat vector — both invisible next to the protocol
+/// work they feed.
 pub fn assemble_from_arrivals(
     n: usize,
     arrivals: impl IntoIterator<Item = (referee_graph::VertexId, Message)>,
 ) -> Result<Vec<Message>, crate::DecodeError> {
-    let mut slots: Vec<Option<Message>> = vec![None; n];
+    let mut shard = crate::shard::RefereeShard::new(n, 1, 0);
     for (sender, msg) in arrivals {
-        if sender == 0 || sender as usize > n {
-            return Err(crate::DecodeError::OutOfRange(format!(
-                "message from unknown node {sender} (n = {n})"
-            )));
+        // A single shard owns every ID, so ingest cannot see a routing
+        // fault; any duplicate — identical or not — is rejected, which
+        // is the referee's contract (exactly one message per node).
+        if let crate::shard::Arrival::Duplicate { .. } = shard.ingest(sender, msg)? {
+            shard.note_duplicate(sender);
         }
-        let slot = &mut slots[(sender - 1) as usize];
-        if slot.is_some() {
-            return Err(crate::DecodeError::Inconsistent(format!(
-                "duplicate message from node {sender}"
-            )));
-        }
-        *slot = Some(msg);
     }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            s.ok_or_else(|| {
-                crate::DecodeError::Inconsistent(format!("no message from node {}", i + 1))
-            })
-        })
-        .collect()
+    shard.into_partial().finish()
 }
 
 /// Run a protocol with messages delivered in an arbitrary order

@@ -1,0 +1,182 @@
+//! Shard-merge equivalence, pinned: for arbitrary arrival multisets
+//! (duplicates, missing nodes, unknown senders), arbitrary arrival
+//! orders, any shard count in `1..=8`, and arbitrary merge shapes, the
+//! sharded referee's output and error verdicts equal the monolithic
+//! [`assemble_from_arrivals`] **exactly** — same message vector, same
+//! `DecodeError` variant and text.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use referee_protocol::referee::assemble_from_arrivals;
+use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
+use referee_protocol::{BitWriter, DecodeError, Message};
+
+fn msg(value: u64, width: u32) -> Message {
+    let mut w = BitWriter::new();
+    w.write_bits(value & ((1u64 << width) - 1), width);
+    Message::from_writer(w)
+}
+
+/// An arrival multiset for a size-`n` network: mostly one message per
+/// node, mutated with drops, identical + conflicting duplicates and
+/// out-of-range senders, in a shuffled order.
+fn arrivals(n: usize, seed: u64) -> Vec<(u32, Message)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(u32, Message)> = Vec::new();
+    for v in 1..=n as u32 {
+        if rng.gen_bool(0.1) {
+            continue; // missing node
+        }
+        let m = msg(rng.gen_range(0..=u64::MAX >> 16), 31);
+        out.push((v, m.clone()));
+        if rng.gen_bool(0.1) {
+            out.push((v, m)); // identical duplicate
+        } else if rng.gen_bool(0.07) {
+            out.push((v, msg(rng.gen_range(0..1 << 20), 31))); // conflicting duplicate
+        }
+    }
+    if rng.gen_bool(0.2) {
+        let stray =
+            if rng.gen_bool(0.3) { 0 } else { n as u32 + rng.gen_range(1..20u64) as u32 };
+        out.push((stray, msg(3, 5)));
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Run the sharded path: route every arrival to its shard, ingest with
+/// the monolithic duplicate policy, then merge the partial states in a
+/// seeded order, either as a left fold or as a pairwise tree.
+fn sharded_assembly(
+    n: usize,
+    k: usize,
+    arrivals: &[(u32, Message)],
+    seed: u64,
+    pairwise: bool,
+) -> Result<Vec<Message>, DecodeError> {
+    let mut shards: Vec<RefereeShard> = (0..k).map(|i| RefereeShard::new(n, k, i)).collect();
+    for (sender, m) in arrivals {
+        let shard = &mut shards[route_arrival(n, k, *sender)];
+        if let Arrival::Duplicate { .. } = shard.ingest(*sender, m.clone()).expect("routed") {
+            shard.note_duplicate(*sender);
+        }
+    }
+    let mut partials: Vec<PartialState> =
+        shards.into_iter().map(RefereeShard::into_partial).collect();
+    partials.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5eed));
+    if pairwise {
+        // Merge as a tree: repeatedly merge adjacent pairs.
+        while partials.len() > 1 {
+            let mut next = Vec::new();
+            let mut it = partials.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge(b).expect("same n");
+                }
+                next.push(a);
+            }
+            partials = next;
+        }
+        partials.pop().expect("k >= 1").finish()
+    } else {
+        let mut acc = PartialState::new(n);
+        for p in partials {
+            acc.merge(p).expect("same n");
+        }
+        acc.finish()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Any shard count, any arrival interleaving, any merge shape —
+    /// identical `Result` (messages or verdict) to the monolithic path.
+    #[test]
+    fn sharded_equals_monolithic(
+        n in 0usize..48,
+        k in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let arr = arrivals(n, seed);
+        let mono = assemble_from_arrivals(n, arr.iter().cloned());
+        let fold = sharded_assembly(n, k, &arr, seed, false);
+        let tree = sharded_assembly(n, k, &arr, seed.wrapping_add(1), true);
+        prop_assert_eq!(&fold, &mono, "left-fold merge diverged (n={}, k={})", n, k);
+        prop_assert_eq!(&tree, &mono, "pairwise-tree merge diverged (n={}, k={})", n, k);
+    }
+
+    /// Partial states survive their wire serialization: shard, encode,
+    /// decode, merge the *decoded* copies — still the monolithic result.
+    #[test]
+    fn encoded_partials_still_merge_exactly(
+        n in 0usize..32,
+        k in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let arr = arrivals(n, seed);
+        let mono = assemble_from_arrivals(n, arr.iter().cloned());
+        let mut shards: Vec<RefereeShard> =
+            (0..k).map(|i| RefereeShard::new(n, k, i)).collect();
+        for (sender, m) in &arr {
+            let shard = &mut shards[route_arrival(n, k, *sender)];
+            if let Arrival::Duplicate { .. } =
+                shard.ingest(*sender, m.clone()).expect("routed")
+            {
+                shard.note_duplicate(*sender);
+            }
+        }
+        let mut acc = PartialState::new(n);
+        for s in shards {
+            let p = s.into_partial();
+            let wire = p.encode();
+            let decoded = PartialState::decode(n, &wire).expect("own encoding decodes");
+            prop_assert_eq!(&decoded, &p);
+            acc.merge(decoded).expect("same n");
+        }
+        prop_assert_eq!(acc.finish(), mono);
+    }
+}
+
+/// Cross-shard sender collisions (impossible under honest routing, but
+/// exactly what a duplicated exchange or a buggy router would produce)
+/// surface as the canonical duplicate verdict after merge.
+#[test]
+fn merge_collision_is_a_duplicate_verdict() {
+    let build = |payload: u64| {
+        let mut s = RefereeShard::new(4, 1, 0);
+        for v in 1..=4u32 {
+            s.ingest(v, msg(payload + v as u64, 8)).unwrap();
+        }
+        s.into_partial()
+    };
+    let mut a = build(0);
+    a.merge(build(100)).unwrap();
+    match a.finish() {
+        Err(DecodeError::Inconsistent(m)) => {
+            assert!(m.contains("duplicate message from node 1"), "{m}")
+        }
+        other => panic!("expected duplicate verdict, got {other:?}"),
+    }
+}
+
+/// The monolithic wrapper still rejects exactly what it used to.
+#[test]
+fn monolithic_rejections_unchanged() {
+    let m = Message::empty();
+    assert!(matches!(
+        assemble_from_arrivals(2, [(1, m.clone()), (1, m.clone())]),
+        Err(DecodeError::Inconsistent(_))
+    ));
+    assert!(matches!(
+        assemble_from_arrivals(2, [(1, m.clone())]),
+        Err(DecodeError::Inconsistent(_))
+    ));
+    assert!(matches!(
+        assemble_from_arrivals(2, [(1, m.clone()), (3, m.clone())]),
+        Err(DecodeError::OutOfRange(_))
+    ));
+    assert_eq!(assemble_from_arrivals(2, [(2, m.clone()), (1, m)]).unwrap().len(), 2);
+}

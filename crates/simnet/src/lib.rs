@@ -28,6 +28,11 @@
 //!   corruption. Corruption feeds the *existing*
 //!   [`DecodeError`](referee_protocol::DecodeError) rejection paths:
 //!   the decoders are the integrity layer, the runtime adds no oracle.
+//! * [`shard`] — [`ShardedOneRoundSession`]: the referee's mailbox split
+//!   across mergeable [`RefereeShard`](referee_protocol::shard::RefereeShard)s
+//!   whose [`PartialState`](referee_protocol::shard::PartialState)
+//!   summaries cross the transport in a seeded exchange phase —
+//!   bit-for-bit equivalent to the unsharded session (pinned by tests).
 //! * [`scheduler`] — a claim-based batching worker pool ([`Scheduler`])
 //!   that drives many sessions concurrently (interleaving their `step`s
 //!   within a batch) and disables the legacy simulator's nested
@@ -84,6 +89,7 @@ pub mod fault;
 pub mod metrics;
 pub mod scheduler;
 pub mod session;
+pub mod shard;
 pub mod transport;
 
 pub use clock::{real_clock, Clock, ManualClock, RealClock, SharedClock};
@@ -91,6 +97,7 @@ pub use fault::{FaultConfig, FaultyTransport};
 pub use metrics::{AggregateMetrics, SessionMetrics, TransportCounters};
 pub use scheduler::{Scheduler, SweepReport};
 pub use session::{MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step};
+pub use shard::{ShardedOneRoundSession, ShardedReport};
 pub use transport::{Envelope, PerfectTransport, SessionId, Transport, REFEREE};
 
 use referee_graph::LabelledGraph;

@@ -18,6 +18,7 @@ use crate::metrics::AggregateMetrics;
 use crate::session::{
     MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step,
 };
+use crate::shard::{ShardedOneRoundSession, ShardedReport};
 use crate::transport::PerfectTransport;
 use referee_graph::LabelledGraph;
 use referee_protocol::multiround::MultiRoundProtocol;
@@ -123,6 +124,35 @@ impl Scheduler {
         })
     }
 
+    /// Like [`sweep_one_round`](Self::sweep_one_round), but every
+    /// session's referee runs as `shards` mergeable shards with a
+    /// cross-shard exchange phase. Exchange orders are scrambled with a
+    /// per-lane seed (decorrelated the same way transport fault seeds
+    /// are), so a sweep exercises many interleavings at once.
+    pub fn sweep_one_round_sharded<P>(
+        &self,
+        protocol: &P,
+        graphs: &[LabelledGraph],
+        shards: usize,
+        faults: Option<FaultConfig>,
+    ) -> SweepReport<ShardedReport<P::Output>>
+    where
+        P: OneRoundProtocol + Sync,
+        P::Output: Send,
+    {
+        self.sweep(graphs.len(), |lo, hi| {
+            let mut lanes: Vec<Option<_>> = (lo..hi)
+                .map(|i| {
+                    let transport = session_transport(faults, i);
+                    let session = ShardedOneRoundSession::new(protocol, &graphs[i], shards)
+                        .with_exchange_seed(lane_seed(0x9aa2_d1b5, i));
+                    Some((session, transport))
+                })
+                .collect();
+            drive_interleaved(&mut lanes, |s, t| s.step(t), |s, t| s.into_report(t))
+        })
+    }
+
     /// Multi-round analogue of [`sweep_one_round`](Self::sweep_one_round).
     pub fn sweep_multi_round<P>(
         &self,
@@ -216,11 +246,14 @@ fn session_transport(
     lane: usize,
 ) -> FaultyTransport<PerfectTransport> {
     let mut cfg = faults.unwrap_or(FaultConfig::lossless(0));
-    cfg.seed = cfg
-        .seed
-        .wrapping_add((lane as u64).wrapping_mul(0x9e3779b97f4a7c15))
-        .wrapping_add(0xd1b54a32d192ed03);
+    cfg.seed = lane_seed(cfg.seed, lane);
     FaultyTransport::new(PerfectTransport::new(), cfg)
+}
+
+/// Splitmix-style per-lane seed derivation (decorrelates lanes).
+fn lane_seed(base: u64, lane: usize) -> u64 {
+    base.wrapping_add((lane as u64).wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add(0xd1b54a32d192ed03)
 }
 
 /// Round-robin step every live lane until all complete.
@@ -257,25 +290,31 @@ pub struct SweepReport<R> {
     pub aggregate: AggregateMetrics,
 }
 
-impl<R> SweepReport<R> {
-    /// Recompute `aggregate.ok` / `aggregate.rejected` with a
-    /// caller-supplied notion of "usable outcome".
+impl<R: Report> SweepReport<R> {
+    /// Reclassify every session with a caller-supplied notion of
+    /// "usable outcome" and **rebuild the whole fleet rollup** from the
+    /// per-session reports under that classification.
     ///
     /// The generic runtime can only see whether a session *delivered*;
     /// protocols whose `Output` is itself a `Result` (the degeneracy
     /// family, checked Borůvka) report decoder-level rejections inside
     /// that output, invisible at this layer. Callers that know the
     /// concrete type pass a classifier to fold those in.
+    ///
+    /// Rebuilding (rather than patching `ok`/`rejected` in place)
+    /// guarantees no counter can be left stale relative to the reports —
+    /// every tally, including the session counts, message-bit totals and
+    /// merged transport counters, is recomputed; only the measured
+    /// `wall_seconds` of the sweep is preserved. The method is
+    /// idempotent.
     pub fn reclassify_ok(&mut self, usable: impl Fn(&R) -> bool) {
-        self.aggregate.ok = 0;
-        self.aggregate.rejected = 0;
+        let wall_seconds = self.aggregate.wall_seconds;
+        let mut fresh = AggregateMetrics::default();
         for r in &self.reports {
-            if usable(r) {
-                self.aggregate.ok += 1;
-            } else {
-                self.aggregate.rejected += 1;
-            }
+            fresh.absorb(r.metrics(), usable(r));
         }
+        fresh.wall_seconds = wall_seconds;
+        self.aggregate = fresh;
     }
 }
 
@@ -305,6 +344,15 @@ impl<O> Report for MultiRoundReport<O> {
     }
 }
 
+impl<O> Report for ShardedReport<O> {
+    fn metrics(&self) -> &crate::metrics::SessionMetrics {
+        &self.metrics
+    }
+    fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +372,64 @@ mod tests {
         let s = Scheduler::default();
         let out: Vec<u8> = s.run_indexed(0, |_| unreachable!("no jobs"));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reclassify_rebuilds_every_fleet_counter() {
+        use referee_protocol::easy::EdgeCountProtocol;
+        let graphs: Vec<_> =
+            (0..12).map(|i| referee_graph::generators::grid(2, 2 + i % 3)).collect();
+        let mut sweep = Scheduler::new(4, 3).sweep_one_round(&EdgeCountProtocol, &graphs, None);
+        assert_eq!(sweep.aggregate.ok, 12);
+        let wall = sweep.aggregate.wall_seconds;
+
+        // Simulate the stale-tally bug: a caller (or a buggy merge) has
+        // clobbered fleet counters. Reclassifying must restore every
+        // field from the reports, not just patch ok/rejected.
+        sweep.aggregate.ok = 999;
+        sweep.aggregate.sessions = 0;
+        sweep.aggregate.total_message_bits = 0;
+        sweep.aggregate.total_rounds = 77;
+        sweep.aggregate.transport = crate::metrics::TransportCounters::default();
+
+        // Classify sessions on even-sized graphs as failures.
+        sweep.reclassify_ok(|r| r.metrics.stats.n % 2 == 1);
+        let expected_ok = graphs.iter().filter(|g| g.n() % 2 == 1).count();
+        assert_eq!(sweep.aggregate.ok, expected_ok);
+        assert_eq!(sweep.aggregate.rejected, 12 - expected_ok);
+        assert_eq!(sweep.aggregate.sessions, 12);
+        assert_eq!(sweep.aggregate.total_rounds, 12);
+        let bits: u128 =
+            sweep.reports.iter().map(|r| r.metrics.stats.total_message_bits as u128).sum();
+        assert_eq!(sweep.aggregate.total_message_bits, bits);
+        let sent: u64 = sweep.reports.iter().map(|r| r.metrics.transport.sent).sum();
+        assert_eq!(sweep.aggregate.transport.sent, sent);
+        assert_eq!(sweep.aggregate.wall_seconds, wall, "measured wall time preserved");
+
+        // Idempotent: a second identical reclassification is a no-op.
+        let before = format!("{:?}", sweep.aggregate);
+        sweep.reclassify_ok(|r| r.metrics.stats.n % 2 == 1);
+        assert_eq!(format!("{:?}", sweep.aggregate), before);
+    }
+
+    #[test]
+    fn sharded_sweep_matches_unsharded() {
+        use referee_protocol::easy::EdgeCountProtocol;
+        let graphs: Vec<_> =
+            (0..40).map(|i| referee_graph::generators::grid(2 + i % 3, 3 + i % 4)).collect();
+        let s = Scheduler::new(4, 4);
+        let mono = s.sweep_one_round(&EdgeCountProtocol, &graphs, None);
+        for k in [1usize, 2, 5, 8] {
+            let sharded = s.sweep_one_round_sharded(&EdgeCountProtocol, &graphs, k, None);
+            assert_eq!(sharded.aggregate.ok, graphs.len());
+            for (a, b) in sharded.reports.iter().zip(&mono.reports) {
+                assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap(), "k={k}");
+                assert_eq!(
+                    a.metrics.stats.total_message_bits,
+                    b.metrics.stats.total_message_bits
+                );
+            }
+        }
     }
 
     #[test]

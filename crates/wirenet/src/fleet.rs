@@ -7,12 +7,30 @@
 //! A `simnet` session owns *both* sides of the referee model and treats
 //! its [`Transport`] as the network between them. `wirenet` makes that
 //! network real: every envelope a session sends is framed, MAC-tagged
-//! and written to a TCP connection; the server authenticates, decodes,
-//! re-encodes and sends it back; the client demultiplexes returning
-//! frames into per-session queues where `recv` picks them up. The
-//! server is therefore the *wire mailbox* of the fleet — every message
-//! of every session crosses OS sockets twice — while protocol logic
-//! runs unchanged on the session state machines.
+//! and written to a TCP connection; the server authenticates frames and
+//! serves one of two roles:
+//!
+//! * **Echo mailbox** (the default, [`FleetServer::spawn`]): every
+//!   authenticated frame is sent straight back; the client demultiplexes
+//!   returning frames into per-session queues where `recv` picks them
+//!   up. Protocol logic runs unchanged on the client's session state
+//!   machines, every message crossing OS sockets twice.
+//! * **Sharded referee service** ([`FleetServer::spawn_sharded`]): the
+//!   server performs the referee's assembly itself, split across shard
+//!   workers that exchange [`PartialState`](referee_protocol::shard::PartialState)
+//!   frames and reply with verdicts — see [`crate::shard`] and
+//!   [`FleetClient::verify_session`].
+//!
+//! # Per-connection keys
+//!
+//! At accept time the server assigns every connection an id and sends a
+//! [`Hello`](crate::frame::FrameKind::Hello) frame (MAC'd with the
+//! fleet's base key) carrying it; both ends then switch the connection
+//! to `base.derive(id)`. A leaked per-connection key therefore forges
+//! nothing on sibling connections (pinned by a loopback test). Clients
+//! send nothing before the Hello arrives, so no frame ever crosses under
+//! the wrong key; a client whose base key mismatches the server's fails
+//! at [`FleetClient::connect`] — closed before any data flows.
 //!
 //! Multiplexing: each session is bound round-robin to one of a handful
 //! of connections and tagged with its [`SessionId`]; a thousand sessions
@@ -32,8 +50,8 @@
 //! Backpressure: client senders stall (and count the stall) whenever a
 //! connection's write buffer exceeds the reactor's high-water mark, and
 //! pump the reactor until it drains; the server stops *reading* from any
-//! connection whose echo buffer is over the mark, letting TCP push back
-//! on the peer — so memory stays bounded on both ends no matter how
+//! connection whose outbound buffer is over the mark, letting TCP push
+//! back on the peer — so memory stays bounded on both ends no matter how
 //! bursty (or slow-reading) the fleet is.
 //!
 //! Lifecycle: dropping a [`SocketTransport`] retires its session's
@@ -41,9 +59,11 @@
 //! and discarded, and the session id becomes reusable.
 
 use crate::auth::AuthKey;
-use crate::frame::{encode_frame, WireError};
+use crate::frame::{FrameKind, WireError};
 use crate::metrics::{WireMetrics, WireSnapshot};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
+use crate::shard::{decode_verdict, run_sharded_server};
+use referee_protocol::{BitWriter, DecodeError, Message};
 use referee_simnet::{Envelope, SessionId, Transport, TransportCounters};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -51,17 +71,33 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sleep between pump sweeps that made no progress.
-const IDLE_SLEEP: Duration = Duration::from_micros(50);
+pub(crate) const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// How long a connecting client waits for the server's Hello.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a client waits for a sharded referee's verdict after
+/// streaming a complete session. The server judges in microseconds per
+/// session; this bound only exists so a server-side fault (a dead shard
+/// worker, a dropped verdict) surfaces as an error instead of a hang.
+const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Environment variable overriding the server bind address
+/// (`ip:port`, e.g. `0.0.0.0:7431` for cross-host fleets).
+pub const BIND_ENV: &str = "REFEREE_WIRENET_BIND";
+
+/// The default bind address: loopback, ephemeral port.
+const DEFAULT_BIND: &str = "127.0.0.1:0";
 
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
-/// The referee-side acceptor: authenticates, validates and echoes every
-/// frame back to its connection, serving as the fleet's wire mailbox.
+/// The referee-side acceptor: either an authenticated echo mailbox or a
+/// sharded referee service (see the module docs).
 ///
 /// Runs on its own thread over nonblocking accept + connection pumps;
 /// [`FleetServer::stop`] (or drop) shuts it down and joins.
@@ -73,22 +109,92 @@ pub struct FleetServer {
     thread: Option<JoinHandle<()>>,
 }
 
-impl FleetServer {
-    /// Bind a loopback listener on an ephemeral port and start serving.
-    pub fn spawn(key: AuthKey) -> io::Result<FleetServer> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+/// Configures a [`FleetServer`] before spawning: bind address (builder,
+/// else [`BIND_ENV`], else loopback-ephemeral) and referee mode.
+#[derive(Debug)]
+pub struct FleetServerBuilder {
+    key: AuthKey,
+    shards: usize,
+    bind: Option<SocketAddr>,
+}
+
+impl FleetServerBuilder {
+    /// Run as a sharded referee service with `shards` shard workers
+    /// (clamped to at least 1). Without this call the server is the
+    /// echo mailbox.
+    pub fn shards(mut self, shards: usize) -> FleetServerBuilder {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Bind to `addr` instead of the default. For cross-host fleets
+    /// bind a routable address (e.g. `0.0.0.0:7431`) and point clients
+    /// at it; the [`BIND_ENV`] environment variable does the same
+    /// without code changes.
+    pub fn bind(mut self, addr: SocketAddr) -> FleetServerBuilder {
+        self.bind = Some(addr);
+        self
+    }
+
+    /// Bind, spawn the server thread(s) and start serving.
+    pub fn spawn(self) -> io::Result<FleetServer> {
+        let addr = resolve_bind(self.bind, std::env::var(BIND_ENV).ok().as_deref())?;
+        let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(WireMetrics::default());
+        let key = self.key;
+        let shards = self.shards;
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
-            thread::Builder::new()
-                .name("wirenet-server".into())
-                .spawn(move || run_server(listener, key, &shutdown, &metrics))?
+            thread::Builder::new().name("wirenet-server".into()).spawn(move || {
+                if shards == 0 {
+                    run_server(listener, key, &shutdown, &metrics)
+                } else {
+                    run_sharded_server(listener, key, shards, &shutdown, &metrics)
+                }
+            })?
         };
         Ok(FleetServer { addr, shutdown, metrics, thread: Some(thread) })
+    }
+}
+
+/// Bind-address precedence: explicit builder address, else the
+/// [`BIND_ENV`] environment value, else loopback-ephemeral. Split out
+/// (with the env value as a parameter) so it is unit-testable without
+/// mutating the process environment.
+fn resolve_bind(explicit: Option<SocketAddr>, env: Option<&str>) -> io::Result<SocketAddr> {
+    if let Some(addr) = explicit {
+        return Ok(addr);
+    }
+    match env {
+        Some(s) => s.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{BIND_ENV}={s} is not an ip:port address: {e}"),
+            )
+        }),
+        None => Ok(DEFAULT_BIND.parse().expect("constant address parses")),
+    }
+}
+
+impl FleetServer {
+    /// Configure a server before spawning (bind address, sharded mode).
+    pub fn builder(key: AuthKey) -> FleetServerBuilder {
+        FleetServerBuilder { key, shards: 0, bind: None }
+    }
+
+    /// Spawn the echo mailbox on the default bind address.
+    pub fn spawn(key: AuthKey) -> io::Result<FleetServer> {
+        FleetServer::builder(key).spawn()
+    }
+
+    /// Spawn the sharded referee service with `shards` shard workers on
+    /// the default bind address.
+    pub fn spawn_sharded(key: AuthKey, shards: usize) -> io::Result<FleetServer> {
+        FleetServer::builder(key).shards(shards).spawn()
     }
 
     /// The address clients connect to.
@@ -120,6 +226,34 @@ impl Drop for FleetServer {
     }
 }
 
+/// Accept one pending connection, if any: assign the next connection
+/// id, queue the Hello (MAC'd with the base key — the only frame that
+/// ever crosses under it), and switch the connection to its derived
+/// key. Hello frames are handshake overhead and deliberately absent
+/// from the frame metrics.
+pub(crate) fn accept_conn(
+    listener: &TcpListener,
+    base: &AuthKey,
+    next_id: &mut u32,
+) -> Option<(u32, Conn)> {
+    let (stream, _) = listener.accept().ok()?;
+    let mut conn = Conn::new(stream, *base).ok()?;
+    let id = *next_id;
+    *next_id += 1;
+    conn.queue_frame(
+        FrameKind::Hello,
+        &Envelope {
+            session: SessionId(0),
+            round: 0,
+            from: id,
+            to: 0,
+            payload: Message::empty(),
+        },
+    );
+    conn.set_key(base.derive(id as u64));
+    Some((id, conn))
+}
+
 fn run_server(
     listener: TcpListener,
     key: AuthKey,
@@ -127,17 +261,16 @@ fn run_server(
     metrics: &WireMetrics,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
+    let mut next_id: u32 = 1;
     let mut scratch = vec![0u8; SCRATCH_BYTES];
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
         // Accept whatever is waiting (an Err is WouldBlock or a
         // transient failure: try again next sweep).
-        while let Ok((stream, _)) = listener.accept() {
-            if let Ok(conn) = Conn::new(stream) {
-                metrics.connections(1);
-                conns.push(conn);
-                progress = true;
-            }
+        while let Some((_, conn)) = accept_conn(&listener, &key, &mut next_id) {
+            metrics.connections(1);
+            conns.push(conn);
+            progress = true;
         }
         // Pump every connection: flush echoes, read frames, validate,
         // echo back.
@@ -160,9 +293,9 @@ fn run_server(
             metrics.bytes_received(got as u64);
             progress |= got > 0;
             loop {
-                match conn.next_frame_raw(&key) {
+                match conn.next_frame_raw() {
                     Ok(None) => break,
-                    Ok(Some((_env, raw))) => {
+                    Ok(Some((FrameKind::Data, _env, raw))) => {
                         metrics.frames_received(1);
                         // Echo the authenticated bytes verbatim: the
                         // codec is canonical, so this is the re-encoding
@@ -171,6 +304,15 @@ fn run_server(
                         metrics.bytes_sent(raw.len() as u64);
                         conn.queue(&raw);
                         progress = true;
+                    }
+                    Ok(Some((kind, ..))) => {
+                        // Control frames have no business at an echo
+                        // mailbox; a peer sending them is confused or
+                        // hostile.
+                        let _ = kind;
+                        metrics.decode_rejects(1);
+                        conn.close();
+                        break;
                     }
                     Err(WireError::BadMac) => {
                         // Tamper-evident fail-fast: a connection that
@@ -216,6 +358,8 @@ struct Lane {
     conn: usize,
     inbound: VecDeque<Envelope>,
     in_flight: u64,
+    /// The sharded referee's verdict payload, once it arrives.
+    verdict: Option<Message>,
 }
 
 #[derive(Debug)]
@@ -231,7 +375,6 @@ struct CoreState {
 /// Shared connection-pool state behind every [`SocketTransport`].
 #[derive(Debug)]
 pub(crate) struct FleetCore {
-    key: AuthKey,
     state: Mutex<CoreState>,
     metrics: Arc<WireMetrics>,
 }
@@ -258,9 +401,9 @@ impl FleetCore {
             self.metrics.bytes_received(got as u64);
             progress |= got > 0;
             loop {
-                match conn.next_frame(&self.key) {
+                match conn.next_frame() {
                     Ok(None) => break,
-                    Ok(Some(env)) => {
+                    Ok(Some((FrameKind::Data, env))) => {
                         self.metrics.frames_received(1);
                         match lanes.get_mut(&env.session.0) {
                             Some(lane) => {
@@ -275,6 +418,21 @@ impl FleetCore {
                             }
                         }
                         progress = true;
+                    }
+                    Ok(Some((FrameKind::Verdict, env))) => {
+                        self.metrics.frames_received(1);
+                        match lanes.get_mut(&env.session.0) {
+                            Some(lane) => lane.verdict = Some(env.payload),
+                            None => self.metrics.orphan_frames(1),
+                        }
+                        progress = true;
+                    }
+                    Ok(Some((_, _))) => {
+                        // Hello was consumed at connect; Announce and
+                        // Partial never flow server → client.
+                        self.metrics.decode_rejects(1);
+                        conn.close();
+                        break;
                     }
                     Err(WireError::BadMac) => {
                         self.metrics.mac_rejects(1);
@@ -292,9 +450,9 @@ impl FleetCore {
         progress
     }
 
-    /// Frame and queue one envelope. `false` means the session's
-    /// connection is dead and the envelope was destroyed.
-    fn send(&self, env: &Envelope) -> bool {
+    /// Frame and queue one envelope of `kind`. `false` means the
+    /// session's connection is dead and the envelope was destroyed.
+    fn send_kind(&self, kind: FrameKind, env: &Envelope) -> bool {
         let mut st = self.lock();
         let ci = st.lanes.get(&env.session.0).expect("session registered").conn;
         // Backpressure: never let a write buffer grow unboundedly.
@@ -315,7 +473,7 @@ impl FleetCore {
         if !st.conns[ci].is_open() {
             return false;
         }
-        let mut bytes = encode_frame(&self.key, env);
+        let mut bytes = crate::frame::encode_wire_frame(st.conns[ci].key(), kind, env);
         if let Some(tamper) = st.tamper {
             st.tamper_counter += 1;
             if st.tamper_counter.is_multiple_of(tamper.flip_every.max(1)) {
@@ -331,11 +489,17 @@ impl FleetCore {
         }
         self.metrics.frames_sent(1);
         self.metrics.bytes_sent(bytes.len() as u64);
-        st.lanes.get_mut(&env.session.0).expect("session registered").in_flight += 1;
+        if kind == FrameKind::Data {
+            st.lanes.get_mut(&env.session.0).expect("session registered").in_flight += 1;
+        }
         let conn = &mut st.conns[ci];
         conn.queue(&bytes);
         conn.flush();
         true
+    }
+
+    fn send(&self, env: &Envelope) -> bool {
+        self.send_kind(FrameKind::Data, env)
     }
 
     /// Deliver the next envelope for `session`, pumping the reactor
@@ -369,6 +533,43 @@ impl FleetCore {
         }
     }
 
+    /// Block until the sharded referee's verdict for `session` arrives,
+    /// its connection dies, or [`VERDICT_TIMEOUT`] elapses.
+    fn await_verdict(&self, session: SessionId) -> Result<Message, DecodeError> {
+        let deadline = Instant::now() + VERDICT_TIMEOUT;
+        loop {
+            let mut st = self.lock();
+            self.pump(&mut st);
+            let lane = st.lanes.get_mut(&session.0).expect("session registered");
+            if let Some(v) = lane.verdict.take() {
+                return Ok(v);
+            }
+            let ci = lane.conn;
+            if !st.conns[ci].is_open() {
+                return Err(DecodeError::Inconsistent(
+                    "connection poisoned while awaiting the shard verdict".into(),
+                ));
+            }
+            drop(st);
+            if Instant::now() > deadline {
+                return Err(DecodeError::Inconsistent(
+                    "no verdict from the sharded referee within the deadline".into(),
+                ));
+            }
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+
+    /// Register `session` on the next connection (round-robin).
+    fn register(&self, session: SessionId) -> usize {
+        let mut st = self.lock();
+        let conn = st.next_conn % st.conns.len();
+        st.next_conn += 1;
+        let prev = st.lanes.insert(session.0, Lane { conn, ..Lane::default() });
+        assert!(prev.is_none(), "session {session} registered twice");
+        conn
+    }
+
     /// Retire a session's lane (called when its transport is dropped).
     /// Echoes still in flight surface later as `orphan_frames`.
     fn release(&self, session: SessionId) {
@@ -384,26 +585,31 @@ pub struct FleetClient {
 }
 
 impl FleetClient {
-    /// Open `conns` connections to a [`FleetServer`] at `addr`. Both
-    /// ends must hold the same `key`.
+    /// Open `conns` connections to a [`FleetServer`] at `addr` and
+    /// complete the per-connection key handshake on each. Both ends must
+    /// hold the same base `key`; a mismatch fails here (the server's
+    /// Hello does not authenticate), before any data is sent.
     pub fn connect(addr: SocketAddr, conns: usize, key: AuthKey) -> io::Result<FleetClient> {
         assert!(conns >= 1, "a fleet needs at least one connection");
         let metrics = Arc::new(WireMetrics::default());
+        let mut scratch = vec![0u8; SCRATCH_BYTES];
         let mut pool = Vec::with_capacity(conns);
         for _ in 0..conns {
-            pool.push(Conn::new(TcpStream::connect(addr)?)?);
+            let mut conn = Conn::new(TcpStream::connect(addr)?, key)?;
+            let id = await_hello(&mut conn, &mut scratch)?;
+            conn.set_key(key.derive(id as u64));
             metrics.connections(1);
+            pool.push(conn);
         }
         Ok(FleetClient {
             core: Arc::new(FleetCore {
-                key,
                 state: Mutex::new(CoreState {
                     conns: pool,
                     lanes: HashMap::new(),
                     next_conn: 0,
                     tamper: None,
                     tamper_counter: 0,
-                    scratch: vec![0u8; SCRATCH_BYTES],
+                    scratch,
                 }),
                 metrics,
             }),
@@ -427,11 +633,7 @@ impl FleetClient {
     /// counted as `orphan_frames` and discarded, so reuse an id only
     /// once its traffic has drained.
     pub fn transport(&self, session: SessionId) -> SocketTransport {
-        let mut st = self.core.lock();
-        let conn = st.next_conn % st.conns.len();
-        st.next_conn += 1;
-        let prev = st.lanes.insert(session.0, Lane { conn, ..Lane::default() });
-        assert!(prev.is_none(), "session {session} registered twice");
+        self.core.register(session);
         SocketTransport {
             core: Arc::clone(&self.core),
             session,
@@ -439,9 +641,119 @@ impl FleetClient {
         }
     }
 
+    /// Have a **sharded** [`FleetServer`] assemble and verify one
+    /// session: announce the network size, stream the `(sender,
+    /// message)` arrivals, and block for the referee's verdict.
+    ///
+    /// `Ok(digest)` is the server's keyed digest of the assembled
+    /// message vector (compare against
+    /// [`vector_digest`](crate::shard::vector_digest) of the locally
+    /// known vector to rule out any silent reordering or substitution);
+    /// `Err` carries the canonical rejection verdict, or the delivery
+    /// failure if the connection died first. Faulty sessions fail
+    /// *fast*: a duplicate or out-of-range sender fixes the verdict's
+    /// `Err` shape, so the server judges without waiting for the rest
+    /// of the vector, and supplying anything other than exactly `n`
+    /// arrivals errors client-side before a single frame is sent (so an
+    /// aborted call leaves no session state behind). Panics if `session` is already
+    /// registered, like [`transport`](FleetClient::transport); once the
+    /// verdict returns, the id is reusable — the server retires judged
+    /// sessions from every shard worker.
+    pub fn verify_session(
+        &self,
+        session: SessionId,
+        n: usize,
+        arrivals: impl IntoIterator<Item = (u32, Message)>,
+    ) -> Result<u64, DecodeError> {
+        self.core.register(session);
+        let result = self.verify_inner(session, n, arrivals);
+        self.core.release(session);
+        result
+    }
+
+    fn verify_inner(
+        &self,
+        session: SessionId,
+        n: usize,
+        arrivals: impl IntoIterator<Item = (u32, Message)>,
+    ) -> Result<u64, DecodeError> {
+        // Validate the arrival count *before* announcing: fewer than n
+        // can never complete every shard (§I.B: the referee waits for
+        // one message per vertex), more than n necessarily contains a
+        // duplicate or stray — and a trailing extra could race the
+        // verdict. Rejecting up front means an aborted call leaves no
+        // wedged session state on the server.
+        let arrivals: Vec<(u32, Message)> = arrivals.into_iter().collect();
+        if arrivals.len() != n {
+            return Err(DecodeError::Inconsistent(format!(
+                "a size-{n} session needs exactly {n} arrivals, got {}",
+                arrivals.len()
+            )));
+        }
+        let mut w = BitWriter::new();
+        w.write_bits(n as u64, 32);
+        let announce =
+            Envelope { session, round: 0, from: 0, to: 0, payload: Message::from_writer(w) };
+        if !self.core.send_kind(FrameKind::Announce, &announce) {
+            return Err(DecodeError::Inconsistent(
+                "connection died announcing the session".into(),
+            ));
+        }
+        for (sender, payload) in arrivals {
+            let env = Envelope { session, round: 1, from: sender, to: 0, payload };
+            if !self.core.send_kind(FrameKind::Data, &env) {
+                return Err(DecodeError::Inconsistent(format!(
+                    "connection died sending the message of node {sender}"
+                )));
+            }
+        }
+        decode_verdict(&self.core.await_verdict(session)?)
+    }
+
     /// Live client-side wire metrics.
     pub fn metrics(&self) -> WireSnapshot {
         self.core.metrics.snapshot()
+    }
+}
+
+/// Pump `conn` until the server's Hello arrives, returning the assigned
+/// connection id. The Hello is the only frame keyed with the base key,
+/// so a key mismatch surfaces here as an authentication failure.
+fn await_hello(conn: &mut Conn, scratch: &mut [u8]) -> io::Result<u32> {
+    let deadline = Instant::now() + HELLO_TIMEOUT;
+    loop {
+        conn.flush();
+        conn.fill(scratch);
+        match conn.next_frame() {
+            Ok(Some((FrameKind::Hello, env))) => return Ok(env.from),
+            Ok(Some((kind, _))) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Hello, server sent a {kind:?} frame"),
+                ))
+            }
+            Ok(None) => {
+                if !conn.is_open() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "server closed before Hello",
+                    ));
+                }
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no Hello from server (is it a referee fleet server?)",
+                    ));
+                }
+                thread::sleep(IDLE_SLEEP);
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("handshake failed: {e} (key mismatch?)"),
+                ))
+            }
+        }
     }
 }
 
@@ -494,5 +806,27 @@ impl Transport for SocketTransport {
 
     fn counters(&self) -> TransportCounters {
         self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_resolution_precedence() {
+        // Explicit beats env beats default; the env value is passed as
+        // a parameter so no test ever mutates the process environment.
+        let explicit: SocketAddr = "10.0.0.1:7431".parse().unwrap();
+        assert_eq!(resolve_bind(Some(explicit), Some("0.0.0.0:9999")).unwrap(), explicit);
+        assert_eq!(
+            resolve_bind(None, Some("0.0.0.0:9999")).unwrap(),
+            "0.0.0.0:9999".parse::<SocketAddr>().unwrap()
+        );
+        let default = resolve_bind(None, None).unwrap();
+        assert!(default.ip().is_loopback());
+        assert_eq!(default.port(), 0);
+        let err = resolve_bind(None, Some("not-an-address")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

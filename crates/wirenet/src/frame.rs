@@ -1,22 +1,27 @@
-//! The wire codec: length-prefixed, versioned, MAC-authenticated binary
-//! framing of [`Envelope`]s.
+//! The wire codec: length-prefixed, versioned, typed, MAC-authenticated
+//! binary framing of [`Envelope`]s.
 //!
 //! Layout (all integers big-endian):
 //!
 //! ```text
-//!  4 bytes  1     8       4      4     4      4      ⌈bits/8⌉     8
-//! ┌────────┬────┬────────┬──────┬─────┬─────┬────────┬──────────┬─────────┐
-//! │ length │ver │session │round │from │ to  │len_bits│ payload  │ MAC tag │
-//! └────────┴────┴────────┴──────┴─────┴─────┴────────┴──────────┴─────────┘
-//!          └────────────── MAC-covered (SipHash-2-4, 64-bit) ─────────────┘
+//!  4 bytes  1    1      8       4      4     4      4      ⌈bits/8⌉     8
+//! ┌────────┬────┬─────┬────────┬──────┬─────┬─────┬────────┬──────────┬─────────┐
+//! │ length │ver │kind │session │round │from │ to  │len_bits│ payload  │ MAC tag │
+//! └────────┴────┴─────┴────────┴──────┴─────┴─────┴────────┴──────────┴─────────┘
+//!          └──────────────── MAC-covered (SipHash-2-4, 64-bit) ────────────────┘
 //! ```
 //!
 //! `length` counts every byte after itself (the *body*). The session id
 //! is the multiplexing key: one connection carries frames of a whole
-//! fleet, demultiplexed by the receiver. The payload is the
-//! [`Message`]'s canonical byte serialization plus its exact bit length,
-//! so `decode ∘ encode` is the identity on envelopes (pinned by
-//! proptests).
+//! fleet, demultiplexed by the receiver. The [`FrameKind`] byte types
+//! the frame: [`Data`](FrameKind::Data) carries session envelopes;
+//! [`Hello`](FrameKind::Hello), [`Announce`](FrameKind::Announce),
+//! [`Partial`](FrameKind::Partial) and [`Verdict`](FrameKind::Verdict)
+//! carry the per-connection key handshake and the sharded-referee
+//! service traffic (see [`crate::shard`]) — all MAC'd identically. The
+//! payload is the [`Message`]'s canonical byte serialization plus its
+//! exact bit length, so `decode ∘ encode` is the identity on envelopes
+//! (pinned by proptests).
 //!
 //! Decoding is *streaming*: [`decode_frame`] consumes a prefix of a byte
 //! buffer and returns [`None`] while the frame is still incomplete.
@@ -29,12 +34,49 @@ use crate::auth::AuthKey;
 use referee_protocol::{DecodeError, Message};
 use referee_simnet::{Envelope, SessionId};
 
-/// Wire protocol version carried in every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version carried in every frame (bumped to 2 when the
+/// frame-kind byte was added for the sharded referee service).
+pub const WIRE_VERSION: u8 = 2;
 
-/// Bytes of header inside the body: version, session, round, from, to,
-/// payload bit length.
-pub const HEADER_BYTES: usize = 1 + 8 + 4 + 4 + 4 + 4;
+/// What a frame carries. The kind byte sits inside the MAC-covered
+/// region, so a frame's type can no more be forged than its contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A session envelope (the only kind the echo mailbox serves).
+    Data = 0,
+    /// Server → client at accept time: `from` is the connection id both
+    /// ends feed to [`AuthKey::derive`] for the per-connection key.
+    Hello = 1,
+    /// Client → sharded server: declares a session and its network size
+    /// (`n` in the payload) before any data, so frames can be routed to
+    /// shard workers by node range.
+    Announce = 2,
+    /// Shard → shard: a serialized
+    /// [`PartialState`](referee_protocol::shard::PartialState); `from`
+    /// names the emitting shard.
+    Partial = 3,
+    /// Sharded server → client: the referee's verdict for a session
+    /// (ok + message-vector digest, or a rejection class).
+    Verdict = 4,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Announce),
+            3 => Some(FrameKind::Partial),
+            4 => Some(FrameKind::Verdict),
+            _ => None,
+        }
+    }
+}
+
+/// Bytes of header inside the body: version, kind, session, round, from,
+/// to, payload bit length.
+pub const HEADER_BYTES: usize = 1 + 1 + 8 + 4 + 4 + 4 + 4;
 
 /// Bytes of MAC tag at the end of the body.
 pub const TAG_BYTES: usize = 8;
@@ -48,6 +90,8 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 pub enum WireError {
     /// The version byte is not [`WIRE_VERSION`].
     BadVersion(u8),
+    /// The kind byte names no known [`FrameKind`].
+    BadKind(u8),
     /// The length prefix is out of bounds or disagrees with the
     /// payload-size field.
     BadLength(String),
@@ -64,6 +108,7 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => {
                 write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
             }
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::BadLength(s) => write!(f, "bad frame length: {s}"),
             WireError::BadMac => write!(f, "frame failed MAC verification"),
             WireError::BadPayload(e) => write!(f, "authenticated frame has bad payload: {e}"),
@@ -92,21 +137,31 @@ impl From<WireError> for DecodeError {
 pub struct DecodedFrame {
     /// Bytes consumed from the front of the buffer (prefix + body).
     pub consumed: usize,
+    /// What the frame carries.
+    pub kind: FrameKind,
     /// The decoded envelope (its `session` field is the wire session id).
     pub envelope: Envelope,
 }
 
-/// Serialize `env` into one authenticated wire frame.
+/// Serialize `env` into one authenticated [`FrameKind::Data`] frame.
 ///
 /// Panics if the payload exceeds [`MAX_BODY_BYTES`] — frugal protocols
 /// never get near it, so an oversized payload is a caller bug.
 pub fn encode_frame(key: &AuthKey, env: &Envelope) -> Vec<u8> {
+    encode_wire_frame(key, FrameKind::Data, env)
+}
+
+/// Serialize `env` into one authenticated wire frame of the given kind.
+/// Control kinds reuse the envelope container with kind-specific field
+/// meanings (see [`FrameKind`]).
+pub fn encode_wire_frame(key: &AuthKey, kind: FrameKind, env: &Envelope) -> Vec<u8> {
     let payload = env.payload.as_bytes();
     let body_len = HEADER_BYTES + payload.len() + TAG_BYTES;
     assert!(body_len <= MAX_BODY_BYTES, "payload of {} bytes exceeds frame cap", payload.len());
     let mut out = Vec::with_capacity(4 + body_len);
     out.extend_from_slice(&(body_len as u32).to_be_bytes());
     out.push(WIRE_VERSION);
+    out.push(kind as u8);
     out.extend_from_slice(&env.session.0.to_be_bytes());
     out.extend_from_slice(&env.round.to_be_bytes());
     out.extend_from_slice(&env.from.to_be_bytes());
@@ -153,11 +208,12 @@ pub fn decode_frame(key: &AuthKey, buf: &[u8]) -> Result<Option<DecodedFrame>, W
     if body[0] != WIRE_VERSION {
         return Err(WireError::BadVersion(body[0]));
     }
-    let session = SessionId(u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")));
-    let round = be_u32(&body[9..13]);
-    let from = be_u32(&body[13..17]);
-    let to = be_u32(&body[17..21]);
-    let len_bits = be_u32(&body[21..25]) as usize;
+    let kind = FrameKind::from_byte(body[1]).ok_or(WireError::BadKind(body[1]))?;
+    let session = SessionId(u64::from_be_bytes(body[2..10].try_into().expect("8 bytes")));
+    let round = be_u32(&body[10..14]);
+    let from = be_u32(&body[14..18]);
+    let to = be_u32(&body[18..22]);
+    let len_bits = be_u32(&body[22..26]) as usize;
 
     let payload_bytes = len_bits.div_ceil(8);
     if HEADER_BYTES + payload_bytes + TAG_BYTES != body_len {
@@ -170,6 +226,7 @@ pub fn decode_frame(key: &AuthKey, buf: &[u8]) -> Result<Option<DecodedFrame>, W
             .map_err(WireError::BadPayload)?;
     Ok(Some(DecodedFrame {
         consumed: 4 + body_len,
+        kind,
         envelope: Envelope { session, round, from, to, payload },
     }))
 }
@@ -201,7 +258,38 @@ mod tests {
         let bytes = encode_frame(&key(), &e);
         let d = decode_frame(&key(), &bytes).unwrap().unwrap();
         assert_eq!(d.consumed, bytes.len());
+        assert_eq!(d.kind, FrameKind::Data);
         assert_eq!(d.envelope, e);
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let e = env(1, 2, 3, 4, 0b1011, 4);
+        for kind in [
+            FrameKind::Data,
+            FrameKind::Hello,
+            FrameKind::Announce,
+            FrameKind::Partial,
+            FrameKind::Verdict,
+        ] {
+            let bytes = encode_wire_frame(&key(), kind, &e);
+            let d = decode_frame(&key(), &bytes).unwrap().unwrap();
+            assert_eq!(d.kind, kind);
+            assert_eq!(d.envelope, e);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected_after_authentication() {
+        // Forge a validly-MAC'd frame with kind byte 9: the *decoder*
+        // must reject it (a buggy peer, not line noise — the MAC holds).
+        let mut bytes = encode_wire_frame(&key(), FrameKind::Data, &env(1, 1, 1, 0, 1, 1));
+        bytes[5] = 9; // kind byte: after 4-byte length + 1-byte version
+        let body_end = bytes.len() - TAG_BYTES;
+        let tag = key().tag(&bytes[4..body_end]);
+        bytes.truncate(body_end);
+        bytes.extend_from_slice(&tag.to_be_bytes());
+        assert_eq!(decode_frame(&key(), &bytes), Err(WireError::BadKind(9)));
     }
 
     #[test]
@@ -295,7 +383,7 @@ mod tests {
     fn noncanonical_padding_is_rejected_after_authentication() {
         // Build a frame whose padding bit is set, with a *valid* MAC —
         // i.e. a buggy peer, not line noise. 3-bit payload, pad bit set.
-        let mut body = vec![WIRE_VERSION];
+        let mut body = vec![WIRE_VERSION, FrameKind::Data as u8];
         body.extend_from_slice(&1u64.to_be_bytes());
         body.extend_from_slice(&1u32.to_be_bytes());
         body.extend_from_slice(&1u32.to_be_bytes());

@@ -8,29 +8,41 @@
 //! the backend that puts *real OS sockets* under those unchanged state
 //! machines, turning the referee model into a system that ships bytes:
 //!
-//! * [`frame`] — the wire codec: length-prefixed, versioned binary
-//!   framing of [`Envelope`](referee_simnet::Envelope)s, carrying the
-//!   [`SessionId`](referee_simnet::SessionId) that lets one connection
-//!   multiplex a whole fleet.
+//! * [`frame`] — the wire codec: length-prefixed, versioned, **typed**
+//!   binary framing of [`Envelope`](referee_simnet::Envelope)s, carrying
+//!   the [`SessionId`](referee_simnet::SessionId) that lets one
+//!   connection multiplex a whole fleet. [`FrameKind`] types each frame:
+//!   session data, the key handshake, and the sharded referee's
+//!   partial-state and verdict traffic.
 //! * [`auth`] — the authentication layer: a keyed 64-bit SipHash-2-4
 //!   tag on every frame; verification failures surface through the
-//!   existing `DecodeError` rejection paths.
+//!   existing `DecodeError` rejection paths. Every connection runs on a
+//!   key derived from the fleet's base key (tweak = connection id,
+//!   assigned at accept time by a `Hello` frame), so a leaked
+//!   per-connection key cannot forge frames on sibling connections.
 //! * [`reactor`] — nonblocking `std::net` connections with explicit
 //!   read/write buffers, advanced by readiness-polling pump sweeps.
-//! * [`fleet`] — the referee-side acceptor ([`FleetServer`]) and
-//!   node-side pool ([`FleetClient`]) whose [`SocketTransport`] runs
-//!   1000+ sessions over a handful of TCP connections with wire-level
-//!   metrics ([`WireSnapshot`]): frames, bytes, MAC rejects,
-//!   backpressure stalls.
+//! * [`fleet`] — the referee-side acceptor ([`FleetServer`]: echo
+//!   mailbox or sharded referee service) and node-side pool
+//!   ([`FleetClient`]) whose [`SocketTransport`] runs 1000+ sessions
+//!   over a handful of TCP connections with wire-level metrics
+//!   ([`WireSnapshot`]).
+//! * [`shard`] — the sharded referee service: authenticated frames are
+//!   routed to shard workers by session + node range
+//!   (`referee_protocol::shard`), shards exchange
+//!   [`PartialState`](referee_protocol::shard::PartialState) frames over
+//!   the same MAC'd codec, and clients get verdicts with a keyed
+//!   [`vector_digest`] of the assembled vector
+//!   ([`FleetClient::verify_session`]).
 //!
 //! # Frame layout
 //!
 //! ```text
-//!  4 bytes  1     8       4      4     4      4      ⌈bits/8⌉     8
-//! ┌────────┬────┬────────┬──────┬─────┬─────┬────────┬──────────┬─────────┐
-//! │ length │ver │session │round │from │ to  │len_bits│ payload  │ MAC tag │
-//! └────────┴────┴────────┴──────┴─────┴─────┴────────┴──────────┴─────────┘
-//!          └────────────── MAC-covered (SipHash-2-4, 64-bit) ─────────────┘
+//!  4 bytes  1    1      8       4      4     4      4      ⌈bits/8⌉     8
+//! ┌────────┬────┬─────┬────────┬──────┬─────┬─────┬────────┬──────────┬─────────┐
+//! │ length │ver │kind │session │round │from │ to  │len_bits│ payload  │ MAC tag │
+//! └────────┴────┴─────┴────────┴──────┴─────┴─────┴────────┴──────────┴─────────┘
+//!          └──────────────── MAC-covered (SipHash-2-4, 64-bit) ────────────────┘
 //! ```
 //!
 //! # Threat model (summary — details in [`auth`])
@@ -41,7 +53,41 @@
 //! absorbed by the session runtime's idempotent duplicate handling.
 //! Confidentiality and key distribution are out of scope. A connection
 //! that carries one bad frame is poisoned immediately; its sessions
-//! starve and reject through the ordinary delivery-failure paths.
+//! starve and reject through the ordinary delivery-failure paths, and a
+//! sharded server retires their referee state on every shard worker.
+//!
+//! # Cross-host fleets
+//!
+//! The codec and acceptor speak plain TCP; nothing below binds to
+//! loopback except the default address. To run the referee on one host
+//! and the fleet on others:
+//!
+//! 1. **Server host** — bind a routable address, either in code:
+//!    ```no_run
+//!    # use referee_wirenet::{AuthKey, FleetServer};
+//!    let server = FleetServer::builder(AuthKey::new(*b"0123456789abcdef"))
+//!        .shards(4)
+//!        .bind("0.0.0.0:7431".parse().unwrap())
+//!        .spawn()
+//!        .unwrap();
+//!    ```
+//!    or via the environment, with no code change:
+//!    `REFEREE_WIRENET_BIND=0.0.0.0:7431` (see [`fleet::BIND_ENV`]).
+//! 2. **Key distribution** — provision the same 128-bit base key on
+//!    both hosts out of band ([`AuthKey::new`]; `from_seed` is for
+//!    demos). Per-connection keys are derived automatically by the
+//!    Hello handshake — the base key itself authenticates only that
+//!    handshake.
+//! 3. **Client hosts** — `FleetClient::connect("server:7431".parse()?,
+//!    conns, key)`; everything else (multiplexing, backpressure,
+//!    verify_session) is host-agnostic.
+//! 4. **Firewalling** — one inbound TCP port on the server; clients
+//!    need only outbound connectivity.
+//!
+//! Shard workers currently live in the server process and exchange
+//! partials over in-process channels — but those partials already cross
+//! the full MAC'd wire codec, so placing shards on separate hosts is a
+//! transport swap, not a redesign (tracked in the ROADMAP).
 //!
 //! # Example: a fleet over loopback TCP
 //!
@@ -66,14 +112,42 @@
 //! assert_eq!(stats.mac_rejects, 0);
 //! assert_eq!(stats.frames_received as usize, g.n());
 //! ```
+//!
+//! # Example: the sharded referee verifying a session
+//!
+//! ```
+//! use referee_wirenet::{shard::vector_digest, AuthKey, FleetClient, FleetServer};
+//! use referee_simnet::SessionId;
+//! use referee_graph::generators;
+//! use referee_protocol::easy::EdgeCountProtocol;
+//! use referee_protocol::referee::local_phase;
+//!
+//! let key = AuthKey::from_seed(31);
+//! let server = FleetServer::spawn_sharded(key, 2).unwrap();
+//! let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+//!
+//! let g = generators::grid(3, 3);
+//! let messages = local_phase(&EdgeCountProtocol, &g);
+//! let arrivals = messages.iter().cloned().enumerate().map(|(i, m)| (i as u32 + 1, m));
+//! let digest = client.verify_session(SessionId(9), g.n(), arrivals).unwrap();
+//! assert_eq!(digest, vector_digest(&key, &messages));
+//! server.stop();
+//! ```
 
 pub mod auth;
 pub mod fleet;
 pub mod frame;
 pub mod metrics;
 pub mod reactor;
+pub mod shard;
 
 pub use auth::AuthKey;
-pub use fleet::{FleetClient, FleetServer, SocketTransport, TamperConfig};
-pub use frame::{decode_frame, encode_frame, DecodedFrame, WireError, WIRE_VERSION};
+pub use fleet::{
+    FleetClient, FleetServer, FleetServerBuilder, SocketTransport, TamperConfig, BIND_ENV,
+};
+pub use frame::{
+    decode_frame, encode_frame, encode_wire_frame, DecodedFrame, FrameKind, WireError,
+    WIRE_VERSION,
+};
 pub use metrics::{WireMetrics, WireSnapshot};
+pub use shard::vector_digest;

@@ -18,6 +18,8 @@ pub struct WireMetrics {
     tampered: AtomicU64,
     orphan_frames: AtomicU64,
     connections: AtomicU64,
+    partial_frames: AtomicU64,
+    verdict_frames: AtomicU64,
 }
 
 macro_rules! bump {
@@ -39,6 +41,8 @@ impl WireMetrics {
     bump!(tampered);
     bump!(orphan_frames);
     bump!(connections);
+    bump!(partial_frames);
+    bump!(verdict_frames);
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> WireSnapshot {
@@ -53,6 +57,8 @@ impl WireMetrics {
             tampered: self.tampered.load(Ordering::Relaxed),
             orphan_frames: self.orphan_frames.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            partial_frames: self.partial_frames.load(Ordering::Relaxed),
+            verdict_frames: self.verdict_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -85,6 +91,11 @@ pub struct WireSnapshot {
     pub orphan_frames: u64,
     /// Connections ever opened.
     pub connections: u64,
+    /// Sharded referee only: cross-shard `PartialState` frames
+    /// exchanged between shard workers.
+    pub partial_frames: u64,
+    /// Sharded referee only: session verdicts issued.
+    pub verdict_frames: u64,
 }
 
 impl std::fmt::Display for WireSnapshot {
@@ -92,7 +103,7 @@ impl std::fmt::Display for WireSnapshot {
         write!(
             f,
             "conns {} | frames {}/{} | bytes {}/{} | mac-rejects {} | decode-rejects {} | \
-             stalls {} | tampered {} | orphans {}",
+             stalls {} | tampered {} | orphans {} | partials {} | verdicts {}",
             self.connections,
             self.frames_sent,
             self.frames_received,
@@ -103,6 +114,8 @@ impl std::fmt::Display for WireSnapshot {
             self.backpressure_stalls,
             self.tampered,
             self.orphan_frames,
+            self.partial_frames,
+            self.verdict_frames,
         )
     }
 }

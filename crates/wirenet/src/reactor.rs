@@ -17,7 +17,7 @@
 //! [`DecodeError`](referee_protocol::DecodeError) rejections.
 
 use crate::auth::AuthKey;
-use crate::frame::{decode_frame, WireError};
+use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use referee_simnet::Envelope;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -28,9 +28,15 @@ pub(crate) const SCRATCH_BYTES: usize = 64 * 1024;
 /// Write-buffer occupancy above which senders stall (backpressure).
 pub(crate) const WRITE_BACKPRESSURE_BYTES: usize = 256 * 1024;
 
-/// One nonblocking connection with its buffers.
+/// One nonblocking connection with its buffers and its frame key.
+///
+/// The key starts as the fleet's base key and is switched to the
+/// per-connection derived key once the [`FrameKind::Hello`] handshake
+/// names the connection (see `fleet`): a leaked per-connection key then
+/// authenticates nothing on sibling connections.
 pub(crate) struct Conn {
     stream: TcpStream,
+    key: AuthKey,
     /// Bytes read off the socket, not yet consumed by the decoder.
     rbuf: Vec<u8>,
     /// Consumed prefix of `rbuf` (compacted lazily).
@@ -48,12 +54,14 @@ pub(crate) struct Conn {
 
 impl Conn {
     /// Adopt `stream` into the reactor: nonblocking, Nagle off (frames
-    /// are latency-sensitive and tiny).
-    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+    /// are latency-sensitive and tiny). Frames are authenticated with
+    /// `key` until [`Conn::set_key`] switches to a derived one.
+    pub fn new(stream: TcpStream, key: AuthKey) -> io::Result<Conn> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         Ok(Conn {
             stream,
+            key,
             rbuf: Vec::new(),
             rpos: 0,
             wbuf: Vec::new(),
@@ -61,6 +69,23 @@ impl Conn {
             open: true,
             stalled: false,
         })
+    }
+
+    /// Switch this connection's frame key (the post-Hello derived key).
+    pub fn set_key(&mut self, key: AuthKey) {
+        self.key = key;
+    }
+
+    /// The key currently authenticating this connection's frames.
+    pub fn key(&self) -> &AuthKey {
+        &self.key
+    }
+
+    /// Encode `env` as a frame of `kind` under this connection's key and
+    /// queue it for transmission.
+    pub fn queue_frame(&mut self, kind: FrameKind, env: &Envelope) {
+        let bytes = encode_wire_frame(&self.key, kind, env);
+        self.queue(&bytes);
     }
 
     /// Whether the connection is still usable.
@@ -132,19 +157,20 @@ impl Conn {
         read
     }
 
-    /// Decode the next complete frame out of the read buffer, if any.
+    /// Decode the next complete frame out of the read buffer, if any,
+    /// under this connection's key.
     ///
     /// An `Err` is terminal: the caller must [`Conn::close`] (this
     /// method does not, so the caller can count the rejection first).
-    pub fn next_frame(&mut self, key: &AuthKey) -> Result<Option<Envelope>, WireError> {
-        match decode_frame(key, &self.rbuf[self.rpos..])? {
+    pub fn next_frame(&mut self) -> Result<Option<(FrameKind, Envelope)>, WireError> {
+        match decode_frame(&self.key, &self.rbuf[self.rpos..])? {
             None => {
                 self.note_drained();
                 Ok(None)
             }
             Some(decoded) => {
                 self.consume(decoded.consumed);
-                Ok(Some(decoded.envelope))
+                Ok(Some((decoded.kind, decoded.envelope)))
             }
         }
     }
@@ -157,9 +183,8 @@ impl Conn {
     /// only want the envelope use `next_frame` and skip the copy.
     pub fn next_frame_raw(
         &mut self,
-        key: &AuthKey,
-    ) -> Result<Option<(Envelope, Vec<u8>)>, WireError> {
-        match decode_frame(key, &self.rbuf[self.rpos..])? {
+    ) -> Result<Option<(FrameKind, Envelope, Vec<u8>)>, WireError> {
+        match decode_frame(&self.key, &self.rbuf[self.rpos..])? {
             None => {
                 self.note_drained();
                 Ok(None)
@@ -167,7 +192,7 @@ impl Conn {
             Some(decoded) => {
                 let raw = self.rbuf[self.rpos..self.rpos + decoded.consumed].to_vec();
                 self.consume(decoded.consumed);
-                Ok(Some((decoded.envelope, raw)))
+                Ok(Some((decoded.kind, decoded.envelope, raw)))
             }
         }
     }
@@ -209,12 +234,12 @@ mod tests {
     use referee_simnet::SessionId;
     use std::net::TcpListener;
 
-    fn pair() -> (Conn, Conn) {
+    fn pair(key: AuthKey) -> (Conn, Conn) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let a = TcpStream::connect(addr).unwrap();
         let (b, _) = listener.accept().unwrap();
-        (Conn::new(a).unwrap(), Conn::new(b).unwrap())
+        (Conn::new(a, key).unwrap(), Conn::new(b, key).unwrap())
     }
 
     fn env(session: u64, round: u32) -> Envelope {
@@ -230,7 +255,7 @@ mod tests {
     #[test]
     fn frames_cross_a_socket_pair() {
         let key = AuthKey::from_seed(5);
-        let (mut a, mut b) = pair();
+        let (mut a, mut b) = pair(key);
         for i in 0..100u64 {
             a.queue(&encode_frame(&key, &env(i, i as u32 + 1)));
         }
@@ -240,7 +265,8 @@ mod tests {
         while got.len() < 100 {
             a.flush();
             b.fill(&mut scratch);
-            while let Some(e) = b.next_frame(&key).unwrap() {
+            while let Some((kind, e)) = b.next_frame().unwrap() {
+                assert_eq!(kind, FrameKind::Data);
                 got.push(e);
             }
             spins += 1;
@@ -254,7 +280,7 @@ mod tests {
     #[test]
     fn corrupted_stream_errors_and_conn_closes() {
         let key = AuthKey::from_seed(6);
-        let (mut a, mut b) = pair();
+        let (mut a, mut b) = pair(key);
         let mut bytes = encode_frame(&key, &env(1, 1));
         let len = bytes.len();
         bytes[len - 1] ^= 0x01; // corrupt inside the MAC tag
@@ -264,7 +290,7 @@ mod tests {
         loop {
             a.flush();
             b.fill(&mut scratch);
-            match b.next_frame(&key) {
+            match b.next_frame() {
                 Ok(None) => {
                     spins += 1;
                     assert!(spins < 10_000, "corruption never surfaced");
@@ -276,5 +302,34 @@ mod tests {
         }
         b.close();
         assert!(!b.is_open());
+    }
+
+    #[test]
+    fn per_connection_keys_partition_the_stream() {
+        // After set_key, frames under the old key are rejected and
+        // frames under the new key decode — the handshake switch-over.
+        let base = AuthKey::from_seed(8);
+        let (mut a, mut b) = pair(base);
+        let derived = base.derive(1);
+        a.set_key(derived);
+        b.set_key(derived);
+        a.queue_frame(FrameKind::Data, &env(4, 2));
+        a.queue(&encode_frame(&base, &env(5, 3)));
+        let mut scratch = vec![0u8; SCRATCH_BYTES];
+        let mut spins = 0;
+        loop {
+            a.flush();
+            b.fill(&mut scratch);
+            match b.next_frame() {
+                Ok(None) => {
+                    spins += 1;
+                    assert!(spins < 10_000, "frames never arrived");
+                }
+                Ok(Some((FrameKind::Data, e))) => assert_eq!(e.session, SessionId(4)),
+                Ok(Some(other)) => panic!("unexpected frame {other:?}"),
+                Err(WireError::BadMac) => break, // the base-keyed frame
+                Err(other) => panic!("expected BadMac, got {other}"),
+            }
+        }
     }
 }

@@ -1,0 +1,722 @@
+//! The sharded referee service: [`FleetServer`](crate::FleetServer) in
+//! `spawn_sharded` mode assembles sessions itself instead of echoing.
+//!
+//! # Topology
+//!
+//! One **router** thread owns the listener and every client connection;
+//! `k` **shard workers** each own the [`RefereeShard`] states for
+//! their slice of every session's ID space. Per session:
+//!
+//! 1. the client announces `(session, n)`
+//!    ([`Announce`](FrameKind::Announce)); the router broadcasts it so
+//!    every worker opens its shard (`shard i` owning
+//!    `shard_range(n, k, i)`);
+//! 2. authenticated [`Data`](FrameKind::Data) frames are routed to
+//!    workers by sender range (`route_arrival`) — the router never
+//!    touches payloads;
+//! 3. a worker whose range completes serializes its
+//!    [`PartialState`] into a
+//!    [`Partial`](FrameKind::Partial) frame — encoded and MAC'd by the
+//!    **same wire codec** as everything else, under a key derived for
+//!    the exchange domain — and ships it to worker 0 (in-process today;
+//!    the codec boundary is what makes cross-host shard placement a
+//!    follow-up, not a redesign);
+//! 4. worker 0 merges the `k` partials (any arrival order — merge is
+//!    commutative) and finishes: the canonical verdict plus, on
+//!    success, a keyed [`vector_digest`] of the assembled message
+//!    vector, returned to the client as a
+//!    [`Verdict`](FrameKind::Verdict) frame under the client
+//!    connection's derived key.
+//!
+//! # Lifecycle and failure behaviour
+//!
+//! Sessions are keyed by **(connection, session id)** end to end, so
+//! independent clients may number their sessions identically. A judged
+//! session is retired from the router and every worker the moment its
+//! verdict ships (the id becomes re-announceable on its connection);
+//! a dying connection retires all of its sessions everywhere.
+//!
+//! Faulty sessions fail **fast**: a duplicate or out-of-range sender
+//! fixes the verdict's `Err` shape, so the observing shard emits its
+//! (poisoned) partial immediately — and arrivals landing after a shard
+//! already shipped are themselves reported as poison notices — letting
+//! worker 0 judge without waiting for ranges that may never fill. The
+//! fast verdict reports the first fault *detected* in the connection's
+//! FIFO arrival order (deterministic per client), which may name a
+//! different offender than the fully-canonical protocol-layer verdict;
+//! the `Err`-vs-`Ok` shape is always identical.
+//!
+//! A client that corrupts or loses traffic never yields a wrong accept:
+//! tampered frames die at the router's MAC check (poisoning the
+//! connection, whose sessions are then retired from every worker), and
+//! the digest lets the client cross-check that the referee assembled
+//! *exactly* the vector it sent.
+
+use crate::auth::AuthKey;
+use crate::fleet::{accept_conn, IDLE_SLEEP};
+use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
+use crate::metrics::WireMetrics;
+use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
+use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
+use referee_protocol::{BitWriter, DecodeError, Message};
+use referee_simnet::{Envelope, SessionId};
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread;
+
+/// Domain-separation tweak for the shard-to-shard exchange key.
+const EXCHANGE_TWEAK: u64 = 0x7368_6172_645f_7863; // "shard_xc"
+
+/// Domain-separation tweak for the message-vector digest key.
+const DIGEST_TWEAK: u64 = 0x7368_6172_645f_6467; // "shard_dg"
+
+/// How many finished session routes the router remembers (FIFO). A
+/// finished route only exists to classify short-lived stragglers behind
+/// a fast verdict as harmless; beyond this window a straggler is
+/// treated as the protocol violation it is, and the memory stays
+/// bounded no matter how many sessions a long-lived connection judges.
+const FINISHED_ROUTE_CAP: usize = 4096;
+
+/// Keyed digest of an assembled message vector: SipHash-2-4 under
+/// `key.derive(DIGEST_TWEAK)` over every message's position, bit length
+/// and canonical bytes. Both ends of a fleet compute it from the base
+/// key, so a verdict's digest pins the *exact* vector the referee
+/// assembled — any reordering, truncation or substitution changes it.
+pub fn vector_digest(key: &AuthKey, messages: &[Message]) -> u64 {
+    let mut buf = Vec::new();
+    for (i, m) in messages.iter().enumerate() {
+        buf.extend_from_slice(&(i as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(&(m.len_bits() as u32).to_be_bytes());
+        buf.extend_from_slice(m.as_bytes());
+    }
+    key.derive(DIGEST_TWEAK).tag(&buf)
+}
+
+/// Serialize a verdict: ok bit + digest on success, else a 2-bit
+/// rejection class (the canonical `DecodeError` variant — the detailed
+/// text stays server-side).
+pub(crate) fn encode_verdict(result: &Result<u64, DecodeError>) -> Message {
+    let mut w = BitWriter::new();
+    match result {
+        Ok(digest) => {
+            w.push_bit(true);
+            w.write_bits(*digest, 64);
+        }
+        Err(e) => {
+            w.push_bit(false);
+            let class = match e {
+                DecodeError::Truncated => 0u64,
+                DecodeError::OutOfRange(_) => 1,
+                DecodeError::Inconsistent(_) => 2,
+                DecodeError::Invalid(_) => 3,
+            };
+            w.write_bits(class, 2);
+        }
+    }
+    Message::from_writer(w)
+}
+
+/// Inverse of [`encode_verdict`]; malformed verdict payloads surface as
+/// `DecodeError::Invalid`.
+pub(crate) fn decode_verdict(msg: &Message) -> Result<u64, DecodeError> {
+    let mut r = msg.reader();
+    if r.read_bit()? {
+        let digest = r.read_bits(64)?;
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid("trailing bits after verdict digest".into()));
+        }
+        return Ok(digest);
+    }
+    let class = r.read_bits(2)?;
+    if !r.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bits after verdict class".into()));
+    }
+    Err(match class {
+        0 => DecodeError::Truncated,
+        1 => DecodeError::OutOfRange("sharded referee: out-of-range sender".into()),
+        2 => DecodeError::Inconsistent("sharded referee: duplicate or missing message".into()),
+        _ => DecodeError::Invalid("sharded referee: invalid session traffic".into()),
+    })
+}
+
+/// Router → worker (and worker → worker 0) traffic. Sessions are keyed
+/// by `(conn, session)` throughout, so independent clients may number
+/// their sessions identically without colliding.
+enum ShardMsg {
+    /// A session opened: every worker creates its shard. `epoch` is the
+    /// router's announce sequence number for this (conn, session) run.
+    Announce { conn: u32, session: u64, n: usize, epoch: u32 },
+    /// An authenticated arrival routed to this worker's range.
+    Data { conn: u32, env: Envelope },
+    /// A wire-encoded [`FrameKind::Partial`] frame (worker 0 only).
+    /// The frame's `round` packs `(epoch << 1) | poison_bit`: epoch
+    /// guards against a slow sibling's partial from a *previous* run of
+    /// a re-announced (conn, session) key leaking into the current one
+    /// (worker→worker-0 sends are not ordered against router→worker-0
+    /// sends); poison_bit 0 = a shard's range partial (counts toward
+    /// the merge quorum), 1 = a poison notice for an arrival observed
+    /// after the range partial shipped (merged, but not quorum).
+    Partial(Vec<u8>),
+    /// A session's verdict shipped: drop its state everywhere.
+    Finish { conn: u32, session: u64 },
+    /// A connection died: drop its sessions.
+    Retire { conn: u32 },
+}
+
+/// Worker 0 → router: a verdict to deliver.
+struct VerdictMsg {
+    conn: u32,
+    session: SessionId,
+    payload: Message,
+}
+
+/// Router-side per-session record: network size plus whether the
+/// verdict already shipped (late data for a finished session is
+/// harmless straggle, not a protocol violation, and the id becomes
+/// re-announceable).
+struct SessionRoute {
+    n: usize,
+    finished: bool,
+}
+
+/// Per-session state inside one worker.
+struct WorkerSession {
+    conn: u32,
+    n: usize,
+    /// The announce epoch of this run (stamped into partial frames so
+    /// stale cross-shard traffic of an earlier run cannot merge here).
+    epoch: u32,
+    /// `None` once the shard completed (or poisoned) and its partial
+    /// was emitted.
+    shard: Option<RefereeShard>,
+    /// Worker 0 only: the merge accumulator and quorum progress.
+    acc: PartialState,
+    merged: usize,
+}
+
+/// The sharded-mode server loop (spawned by
+/// [`FleetServer::spawn_sharded`](crate::FleetServer::spawn_sharded)).
+pub(crate) fn run_sharded_server(
+    listener: TcpListener,
+    key: AuthKey,
+    shards: usize,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+) {
+    let exchange_key = key.derive(EXCHANGE_TWEAK);
+    let (verdict_tx, verdict_rx) = std::sync::mpsc::channel::<VerdictMsg>();
+    let mut worker_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(shards);
+    let mut worker_rxs: Vec<Receiver<ShardMsg>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = std::sync::mpsc::channel();
+        worker_txs.push(tx);
+        worker_rxs.push(rx);
+    }
+    thread::scope(|scope| {
+        for (i, rx) in worker_rxs.into_iter().enumerate().rev() {
+            // Worker 0 merges its own partial directly and must not hold
+            // a sender to itself (its inbox would never disconnect).
+            let tx0 = if i == 0 { None } else { Some(worker_txs[0].clone()) };
+            let vtx = verdict_tx.clone();
+            let exchange_key = &exchange_key;
+            let base = &key;
+            scope.spawn(move || {
+                shard_worker(i, shards, rx, tx0, vtx, exchange_key, base, metrics)
+            });
+        }
+        drop(verdict_tx);
+        route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx);
+        // Dropping the senders disconnects every worker inbox; the scope
+        // then joins the workers.
+        drop(worker_txs);
+    });
+}
+
+/// The router: accepts, authenticates, routes by session + node range,
+/// and writes verdicts back.
+#[allow(clippy::too_many_arguments)]
+fn route(
+    listener: TcpListener,
+    key: AuthKey,
+    shards: usize,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+    worker_txs: &[Sender<ShardMsg>],
+    verdict_rx: &Receiver<VerdictMsg>,
+) {
+    let mut gates: Vec<(u32, Conn)> = Vec::new();
+    let mut announced: HashMap<(u32, u64), SessionRoute> = HashMap::new();
+    let mut finished_fifo: VecDeque<(u32, u64)> = VecDeque::new();
+    let mut next_id: u32 = 1;
+    // Announce sequence, packed into 31 bits of the partial frames'
+    // round field (wraps after 2³¹ announces — a collision would need a
+    // partial of that exact ancient run still in flight).
+    let mut next_epoch: u32 = 1;
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut progress = false;
+        while let Some((id, conn)) = accept_conn(&listener, &key, &mut next_id) {
+            metrics.connections(1);
+            gates.push((id, conn));
+            progress = true;
+        }
+        for (id, conn) in &mut gates {
+            progress |= conn.flush() > 0;
+            if conn.pending_write() > WRITE_BACKPRESSURE_BYTES {
+                if !conn.stalled {
+                    conn.stalled = true;
+                    metrics.backpressure_stalls(1);
+                }
+                continue;
+            }
+            conn.stalled = false;
+            let got = conn.fill(&mut scratch);
+            metrics.bytes_received(got as u64);
+            progress |= got > 0;
+            loop {
+                match conn.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some((FrameKind::Announce, env))) => {
+                        metrics.frames_received(1);
+                        let mut r = env.payload.reader();
+                        let n = match r.read_bits(32) {
+                            Ok(n) if r.is_exhausted() => n as usize,
+                            _ => {
+                                metrics.decode_rejects(1);
+                                conn.close();
+                                break;
+                            }
+                        };
+                        // Re-announcing a *finished* session id is legal
+                        // (long-lived clients recycle ids); a live one is
+                        // a protocol violation.
+                        if announced
+                            .get(&(*id, env.session.0))
+                            .is_some_and(|route| !route.finished)
+                        {
+                            metrics.decode_rejects(1);
+                            conn.close();
+                            break;
+                        }
+                        let epoch = next_epoch & 0x7fff_ffff;
+                        next_epoch = next_epoch.wrapping_add(1);
+                        announced
+                            .insert((*id, env.session.0), SessionRoute { n, finished: false });
+                        for tx in worker_txs {
+                            let _ = tx.send(ShardMsg::Announce {
+                                conn: *id,
+                                session: env.session.0,
+                                n,
+                                epoch,
+                            });
+                        }
+                        progress = true;
+                    }
+                    Ok(Some((FrameKind::Data, env))) => {
+                        metrics.frames_received(1);
+                        match announced.get(&(*id, env.session.0)) {
+                            Some(route) if route.finished => {
+                                // Stragglers behind a fast verdict — the
+                                // session is already judged.
+                                metrics.orphan_frames(1);
+                            }
+                            Some(route) => {
+                                let target = route_arrival(route.n, shards, env.from);
+                                let _ =
+                                    worker_txs[target].send(ShardMsg::Data { conn: *id, env });
+                            }
+                            None => {
+                                // Data for a session this connection
+                                // never announced.
+                                metrics.decode_rejects(1);
+                                conn.close();
+                                break;
+                            }
+                        }
+                        progress = true;
+                    }
+                    Ok(Some(_)) => {
+                        metrics.decode_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                    Err(WireError::BadMac) => {
+                        metrics.mac_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                    Err(_) => {
+                        metrics.decode_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                }
+            }
+        }
+        while let Ok(v) = verdict_rx.try_recv() {
+            match gates.iter_mut().find(|(id, c)| *id == v.conn && c.is_open()) {
+                Some((_, conn)) => {
+                    let env = Envelope {
+                        session: v.session,
+                        round: 0,
+                        from: 0,
+                        to: 0,
+                        payload: v.payload,
+                    };
+                    let bytes = encode_wire_frame(conn.key(), FrameKind::Verdict, &env);
+                    metrics.frames_sent(1);
+                    metrics.bytes_sent(bytes.len() as u64);
+                    conn.queue(&bytes);
+                    conn.flush();
+                }
+                None => metrics.orphan_frames(1),
+            }
+            // The session is judged: mark its route finished (late data
+            // becomes straggle, the id becomes re-announceable) and let
+            // every worker drop its state. Finished routes are kept in
+            // a bounded FIFO — old ones evict, so the map cannot grow
+            // with the number of sessions ever judged.
+            if let Some(route) = announced.get_mut(&(v.conn, v.session.0)) {
+                route.finished = true;
+                finished_fifo.push_back((v.conn, v.session.0));
+                while finished_fifo.len() > FINISHED_ROUTE_CAP {
+                    let key = finished_fifo.pop_front().expect("len > cap > 0");
+                    // Only evict if still finished — the id may have
+                    // been legitimately re-announced since.
+                    if announced.get(&key).is_some_and(|r| r.finished) {
+                        announced.remove(&key);
+                    }
+                }
+            }
+            for tx in worker_txs {
+                let _ = tx.send(ShardMsg::Finish { conn: v.conn, session: v.session.0 });
+            }
+            progress = true;
+        }
+        let closed: Vec<u32> =
+            gates.iter().filter(|(_, c)| !c.is_open()).map(|(id, _)| *id).collect();
+        for cid in &closed {
+            announced.retain(|(owner, _), _| owner != cid);
+            for tx in worker_txs {
+                let _ = tx.send(ShardMsg::Retire { conn: *cid });
+            }
+        }
+        if !closed.is_empty() {
+            gates.retain(|(_, c)| c.is_open());
+        }
+        if !progress {
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// One shard worker: owns shard `index` of every announced session.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker(
+    index: usize,
+    shards: usize,
+    rx: Receiver<ShardMsg>,
+    tx0: Option<Sender<ShardMsg>>,
+    vtx: Sender<VerdictMsg>,
+    exchange_key: &AuthKey,
+    base: &AuthKey,
+    metrics: &WireMetrics,
+) {
+    let mut sessions: HashMap<(u32, u64), WorkerSession> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Announce { conn, session, n, epoch } => {
+                let mut ws = WorkerSession {
+                    conn,
+                    n,
+                    epoch,
+                    shard: Some(RefereeShard::new(n, shards, index)),
+                    acc: PartialState::new(n),
+                    merged: 0,
+                };
+                emit_if_complete(index, session, &mut ws, &tx0, &vtx, exchange_key, metrics);
+                if finish_if_merged(shards, session, &mut ws, &vtx, base, metrics) {
+                    continue; // n = 0 single shard: verdict already out
+                }
+                sessions.insert((conn, session), ws);
+            }
+            ShardMsg::Data { conn, env } => {
+                let session = env.session.0;
+                let Some(ws) = sessions.get_mut(&(conn, session)) else {
+                    metrics.orphan_frames(1);
+                    continue;
+                };
+                match ws.shard.as_mut() {
+                    Some(shard) => match shard.ingest(env.from, env.payload) {
+                        Ok(Arrival::Fresh) | Ok(Arrival::OutOfRange) => {}
+                        Ok(Arrival::Duplicate { .. }) => shard.note_duplicate(env.from),
+                        Err(_) => {
+                            // Router/worker disagreement on ranges — a
+                            // bug, not wire data; surfaced in metrics.
+                            metrics.decode_rejects(1);
+                            continue;
+                        }
+                    },
+                    None => {
+                        // The range partial already shipped, so this
+                        // arrival is by definition a duplicate (the
+                        // shard only ships once its range is full) or an
+                        // out-of-range stray: report the fault so the
+                        // session fails fast instead of wedging a
+                        // not-yet-complete sibling shard's wait.
+                        let mut poison = PartialState::new(ws.n);
+                        if env.from == 0 || env.from as usize > ws.n {
+                            poison.note_out_of_range(env.from);
+                        } else {
+                            poison.note_duplicate(env.from);
+                        }
+                        // A poison notice is a few bits — never oversized.
+                        let _ = apply_partial(
+                            index,
+                            session,
+                            ws,
+                            poison,
+                            false,
+                            &tx0,
+                            exchange_key,
+                        );
+                    }
+                }
+                emit_if_complete(index, session, ws, &tx0, &vtx, exchange_key, metrics);
+                if finish_if_merged(shards, session, ws, &vtx, base, metrics) {
+                    sessions.remove(&(conn, session));
+                }
+            }
+            ShardMsg::Partial(bytes) => {
+                // Worker 0 only: authenticate and decode a sibling
+                // shard's partial through the same codec the wire uses.
+                let decoded = match decode_frame(exchange_key, &bytes) {
+                    Ok(Some(d)) if d.kind == FrameKind::Partial => d,
+                    Ok(_) => {
+                        metrics.decode_rejects(1);
+                        continue;
+                    }
+                    Err(WireError::BadMac) => {
+                        metrics.mac_rejects(1);
+                        continue;
+                    }
+                    Err(_) => {
+                        metrics.decode_rejects(1);
+                        continue;
+                    }
+                };
+                let session = decoded.envelope.session.0;
+                let conn = decoded.envelope.to;
+                let Some(ws) = sessions.get_mut(&(conn, session)) else {
+                    metrics.orphan_frames(1); // finished or retired while in flight
+                    continue;
+                };
+                // `round` packs (epoch << 1) | poison_bit. A stale
+                // partial from a previous run of this (conn, session)
+                // key — possible because worker→worker-0 sends are not
+                // ordered against the router's — must not merge into
+                // the current run.
+                if decoded.envelope.round >> 1 != ws.epoch {
+                    metrics.orphan_frames(1);
+                    continue;
+                }
+                let counts_toward_quorum = decoded.envelope.round & 1 == 0;
+                let merge = PartialState::decode(ws.n, &decoded.envelope.payload)
+                    .and_then(|p| ws.acc.merge(p));
+                match merge {
+                    Ok(()) => {
+                        if counts_toward_quorum {
+                            ws.merged += 1;
+                        }
+                        if finish_if_merged(shards, session, ws, &vtx, base, metrics) {
+                            sessions.remove(&(conn, session));
+                        }
+                    }
+                    Err(e) => {
+                        // A partial that does not decode or merge is an
+                        // internal fault; fail the session closed.
+                        send_verdict(session, ws, Err(e), &vtx, metrics);
+                        sessions.remove(&(conn, session));
+                    }
+                }
+            }
+            ShardMsg::Finish { conn, session } => {
+                sessions.remove(&(conn, session));
+            }
+            ShardMsg::Retire { conn } => {
+                sessions.retain(|(owner, _), _| *owner != conn);
+            }
+        }
+    }
+}
+
+/// Route a partial (a shard's range summary or a poison notice) toward
+/// the accumulator: worker 0 merges in place, everyone else ships a
+/// MAC'd [`FrameKind::Partial`] frame whose `round` packs the run epoch
+/// and the poison bit (see [`ShardMsg::Partial`]). Returns `false` if
+/// the partial is too large for the wire codec's frame cap — the caller
+/// must then fail the session rather than panic a worker (poison
+/// notices are a few bits and can never trip this).
+#[must_use]
+fn apply_partial(
+    index: usize,
+    session: u64,
+    ws: &mut WorkerSession,
+    partial: PartialState,
+    quorum: bool,
+    tx0: &Option<Sender<ShardMsg>>,
+    exchange_key: &AuthKey,
+) -> bool {
+    match tx0 {
+        Some(tx) => {
+            let payload = partial.encode();
+            let body = crate::frame::HEADER_BYTES
+                + payload.len_bits().div_ceil(8)
+                + crate::frame::TAG_BYTES;
+            if body > crate::frame::MAX_BODY_BYTES {
+                return false;
+            }
+            let env = Envelope {
+                session: SessionId(session),
+                round: (ws.epoch << 1) | u32::from(!quorum),
+                from: index as u32,
+                to: ws.conn,
+                payload,
+            };
+            let _ = tx.send(ShardMsg::Partial(encode_wire_frame(
+                exchange_key,
+                FrameKind::Partial,
+                &env,
+            )));
+        }
+        None => {
+            if let Err(e) = ws.acc.merge(partial) {
+                unreachable!("same-n partials always merge: {e}");
+            }
+            if quorum {
+                ws.merged += 1;
+            }
+        }
+    }
+    true
+}
+
+/// If this worker's shard range just completed — or recorded a fault,
+/// which fixes the verdict's `Err` shape no matter what else arrives —
+/// emit its partial toward the accumulator. A partial too large for the
+/// frame cap (a session far outside frugal message sizes) rejects the
+/// session instead of serving it.
+#[allow(clippy::too_many_arguments)]
+fn emit_if_complete(
+    index: usize,
+    session: u64,
+    ws: &mut WorkerSession,
+    tx0: &Option<Sender<ShardMsg>>,
+    vtx: &Sender<VerdictMsg>,
+    exchange_key: &AuthKey,
+    metrics: &WireMetrics,
+) {
+    let ready = ws.shard.as_ref().is_some_and(|s| s.is_complete() || s.is_poisoned());
+    if !ready {
+        return;
+    }
+    let partial = ws.shard.take().expect("checked above").into_partial();
+    if apply_partial(index, session, ws, partial, true, tx0, exchange_key) {
+        if tx0.is_some() {
+            metrics.partial_frames(1);
+        }
+    } else {
+        send_verdict(
+            session,
+            ws,
+            Err(DecodeError::Invalid("shard partial exceeds the wire frame cap".into())),
+            vtx,
+            metrics,
+        );
+    }
+}
+
+/// Worker 0: if all `shards` partials are merged — or the accumulator
+/// is already poisoned, which no further partial can turn into an `Ok`
+/// — finish the assembly and ship the verdict. Returns whether the
+/// session is done.
+fn finish_if_merged(
+    shards: usize,
+    session: u64,
+    ws: &mut WorkerSession,
+    vtx: &Sender<VerdictMsg>,
+    base: &AuthKey,
+    metrics: &WireMetrics,
+) -> bool {
+    if ws.merged < shards && !ws.acc.poisoned() {
+        return false;
+    }
+    let acc = std::mem::replace(&mut ws.acc, PartialState::new(0));
+    let result = acc.finish().map(|messages| vector_digest(base, &messages));
+    send_verdict(session, ws, result, vtx, metrics);
+    true
+}
+
+fn send_verdict(
+    session: u64,
+    ws: &WorkerSession,
+    result: Result<u64, DecodeError>,
+    vtx: &Sender<VerdictMsg>,
+    metrics: &WireMetrics,
+) {
+    metrics.verdict_frames(1);
+    let _ = vtx.send(VerdictMsg {
+        conn: ws.conn,
+        session: SessionId(session),
+        payload: encode_verdict(&result),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_codec_round_trips() {
+        for result in [
+            Ok(0u64),
+            Ok(u64::MAX),
+            Ok(0xdead_beef),
+            Err(DecodeError::Truncated),
+            Err(DecodeError::OutOfRange("x".into())),
+            Err(DecodeError::Inconsistent("y".into())),
+            Err(DecodeError::Invalid("z".into())),
+        ] {
+            let decoded = decode_verdict(&encode_verdict(&result));
+            match (&result, &decoded) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{a:?} vs {b:?}"
+                ),
+                other => panic!("verdict round trip changed shape: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn digest_pins_position_content_and_length() {
+        let key = AuthKey::from_seed(4);
+        let m = |v: u64, w: u32| {
+            let mut wr = BitWriter::new();
+            wr.write_bits(v, w);
+            Message::from_writer(wr)
+        };
+        let base = vec![m(1, 8), m(2, 8)];
+        let swapped = vec![m(2, 8), m(1, 8)];
+        let padded = vec![m(1, 8), m(2, 9)];
+        let d = vector_digest(&key, &base);
+        assert_ne!(d, vector_digest(&key, &swapped), "order must matter");
+        assert_ne!(d, vector_digest(&key, &padded), "bit length must matter");
+        assert_ne!(d, vector_digest(&AuthKey::from_seed(5), &base), "key must matter");
+        assert_eq!(d, vector_digest(&key, &base.clone()), "deterministic");
+    }
+}
