@@ -1,0 +1,144 @@
+//! E29 (systems side): the sharded **multi-round** referee — 1/2/4/8
+//! shards swept through both backends, running Borůvka connectivity.
+//!
+//! * **simnet**: `Scheduler::sweep_multi_round_sharded` — per-round
+//!   shard states exchanging serialized `RoundPartialState`s through
+//!   the transport before every `referee_step`; outcomes pinned against
+//!   the monolithic multi-round sweep, exchange overhead in bits.
+//! * **wirenet**: `FleetServer::spawn_multiround` — the server runs
+//!   `referee_step` per round over its sharded uplink wait, streaming
+//!   MAC'd downlinks back; verdicts pinned against in-process runs.
+//!
+//! Emits `BENCH_exp_multiround_shard.json` (sessions/s per shard count
+//! per backend) for the bench trajectory.
+//!
+//! Run: `cargo run --release -p referee-bench --bin exp_multiround_shard`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use referee_bench::{render_table, section, write_bench_json, BenchRecord};
+use referee_graph::{generators, LabelledGraph};
+use referee_protocol::multiround::BoruvkaConnectivity;
+use referee_simnet::{Scheduler, SessionId};
+use referee_wirenet::{
+    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
+};
+use std::time::Instant;
+
+fn fleet(count: usize, seed: u64) -> Vec<LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generators::gnp(8 + i % 16, 0.2, &mut rng)).collect()
+}
+
+const CAP: usize = 64;
+
+fn main() {
+    println!("# E29: sharded multi-round referee — Borůvka connectivity, both backends");
+    println!("# expectation: verdicts identical at every shard count (per-round merge is");
+    println!("# commutative and associative); exchange overhead grows with rounds × k;");
+    println!("# wire throughput is bounded by the per-round round trips.");
+
+    let sessions = 600usize;
+    let graphs = fleet(sessions, 2029);
+    let scheduler = Scheduler::new(8, 8);
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // ---- simnet: sharded multi-round sweeps vs the monolithic sweep ---
+    section(&format!("simnet: {sessions} Borůvka sessions, scheduler 8×8"));
+    let t0 = Instant::now();
+    let mono = scheduler.sweep_multi_round(&BoruvkaConnectivity, &graphs, CAP, None);
+    let mono_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(mono.aggregate.ok, sessions);
+
+    let mut rows = vec![["shards", "ok", "rejected", "exchange KiB", "sess/s"]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>()];
+    rows.push(vec![
+        "1 (monolithic)".into(),
+        mono.aggregate.ok.to_string(),
+        mono.aggregate.rejected.to_string(),
+        "-".into(),
+        format!("{:.0}", sessions as f64 / mono_wall),
+    ]);
+    for shards in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let sweep = scheduler.sweep_multi_round_sharded(
+            &BoruvkaConnectivity,
+            &graphs,
+            shards,
+            CAP,
+            None,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let exchange_bits: usize = sweep.reports.iter().map(|r| r.exchange_bits).sum();
+        for (s, m) in sweep.reports.iter().zip(&mono.reports) {
+            assert_eq!(
+                s.outcome.as_ref().unwrap(),
+                m.outcome.as_ref().unwrap(),
+                "sharded multi-round outcome diverged at k={shards}"
+            );
+        }
+        records.push(BenchRecord::new("simnet", shards, sessions as f64 / wall));
+        rows.push(vec![
+            shards.to_string(),
+            sweep.aggregate.ok.to_string(),
+            sweep.aggregate.rejected.to_string(),
+            format!("{:.0}", exchange_bits as f64 / 8.0 / 1024.0),
+            format!("{:.0}", sessions as f64 / wall),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // ---- wirenet: the multi-round referee service ----------------------
+    section(&format!("wirenet: {sessions}-session Borůvka fleets, sharded wire referee"));
+    let key = AuthKey::from_seed(29);
+    let truth: Vec<bool> = mono
+        .reports
+        .iter()
+        .map(|r| *r.outcome.as_ref().unwrap().as_ref().unwrap().as_ref().unwrap())
+        .collect();
+    let mut rows =
+        vec![["shards", "conns", "sess/s", "partials", "downlinks", "verdicts", "mac-rej"]
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>()];
+    for shards in [1usize, 2, 4, 8] {
+        let server = FleetServer::spawn_multiround(key, shards, boruvka_connectivity_service())
+            .expect("bind");
+        let conns = 8usize;
+        let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
+        let t0 = Instant::now();
+        let verdicts: Vec<bool> = scheduler.run_indexed(sessions, |i| {
+            let out = client
+                .run_multiround_session(
+                    SessionId(i as u64),
+                    &BoruvkaConnectivity,
+                    &graphs[i],
+                    CAP,
+                )
+                .expect("honest session completes");
+            decode_bool_output(&out).expect("honest uplinks decode")
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(verdicts, truth, "wire verdicts must pin the in-process sweep");
+        let s = server.stop();
+        assert_eq!(s.mac_rejects, 0);
+        assert_eq!(s.verdict_frames as usize, sessions);
+        records.push(BenchRecord::new("wirenet", shards, sessions as f64 / wall));
+        rows.push(vec![
+            shards.to_string(),
+            conns.to_string(),
+            format!("{:.0}", sessions as f64 / wall),
+            s.partial_frames.to_string(),
+            s.downlink_frames.to_string(),
+            s.verdict_frames.to_string(),
+            s.mac_rejects.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    let json = write_bench_json("exp_multiround_shard", &records).expect("write BENCH json");
+    println!("\nmachine-readable results: {}", json.display());
+    println!("sharded multi-round referee experiments completed ✓");
+}

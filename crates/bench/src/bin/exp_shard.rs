@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use referee_bench::{render_table, section};
+use referee_bench::{render_table, section, write_bench_json, BenchRecord};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::easy::EdgeCountProtocol;
 use referee_protocol::referee::local_phase;
@@ -35,6 +35,7 @@ fn main() {
     let sessions = 1000usize;
     let graphs = fleet(sessions, 2028);
     let scheduler = Scheduler::new(8, 8);
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     // ---- simnet: sharded sweeps vs the monolithic sweep ---------------
     section(&format!("simnet: {sessions} EdgeCount sessions, scheduler 8×8"));
@@ -67,6 +68,7 @@ fn main() {
                 "sharded outcome diverged at k={shards}"
             );
         }
+        records.push(BenchRecord::new("simnet", shards, sessions as f64 / wall));
         rows.push(vec![
             shards.to_string(),
             sweep.aggregate.ok.to_string(),
@@ -111,6 +113,7 @@ fn main() {
         assert_eq!(s.mac_rejects, 0);
         assert_eq!(s.verdict_frames as usize, sessions);
         assert_eq!(s.partial_frames as usize, sessions * (shards - 1));
+        records.push(BenchRecord::new("wirenet", shards, sessions as f64 / wall));
         rows.push(vec![
             shards.to_string(),
             conns.to_string(),
@@ -123,5 +126,7 @@ fn main() {
     }
     println!("{}", render_table(&rows));
 
-    println!("\nsharded-referee experiments completed ✓");
+    let json = write_bench_json("exp_shard", &records).expect("write BENCH json");
+    println!("\nmachine-readable results: {}", json.display());
+    println!("sharded-referee experiments completed ✓");
 }

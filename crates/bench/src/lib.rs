@@ -49,6 +49,72 @@ pub fn section(title: &str) {
     println!("\n### {title}\n");
 }
 
+/// One machine-readable throughput measurement for the bench
+/// trajectory: a backend (`"simnet"`, `"wirenet"`), a shard count, and
+/// the measured sessions per second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which backend produced the number.
+    pub backend: String,
+    /// Referee shard count the sweep ran with.
+    pub shards: usize,
+    /// Verified sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Convenience constructor.
+    pub fn new(backend: &str, shards: usize, sessions_per_sec: f64) -> BenchRecord {
+        BenchRecord { backend: backend.into(), shards, sessions_per_sec }
+    }
+}
+
+/// Serialize bench records as the `BENCH_{name}.json` document the
+/// bench trajectory accumulates (hand-rolled writer — the offline build
+/// has no serde). Format, pinned by tests:
+///
+/// ```json
+/// {"bench":"exp_shard","unit":"sessions_per_second","results":[
+///   {"backend":"simnet","shards":1,"sessions_per_sec":12345.6}, …]}
+/// ```
+pub fn bench_json(name: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"bench\":\"{name}\",\"unit\":\"sessions_per_second\",\"results\":["
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"backend\":\"{}\",\"shards\":{},\"sessions_per_sec\":{:.1}}}",
+            r.backend, r.shards, r.sessions_per_sec
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Write `BENCH_{name}.json` into `dir` and return its path.
+pub fn write_bench_json_in(
+    dir: &std::path::Path,
+    name: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, bench_json(name, records))?;
+    Ok(path)
+}
+
+/// Write `BENCH_{name}.json` into the current directory (the repo root
+/// under `cargo run`) and return its path.
+pub fn write_bench_json(
+    name: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    write_bench_json_in(std::path::Path::new("."), name, records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +136,31 @@ mod tests {
     #[test]
     fn empty_table() {
         assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn bench_json_format_is_stable() {
+        let records =
+            [BenchRecord::new("simnet", 1, 70000.049), BenchRecord::new("wirenet", 8, 5234.0)];
+        let json = bench_json("exp_shard", &records);
+        assert_eq!(
+            json,
+            "{\"bench\":\"exp_shard\",\"unit\":\"sessions_per_second\",\"results\":[\
+             {\"backend\":\"simnet\",\"shards\":1,\"sessions_per_sec\":70000.0},\
+             {\"backend\":\"wirenet\",\"shards\":8,\"sessions_per_sec\":5234.0}]}\n"
+        );
+    }
+
+    #[test]
+    fn bench_json_writes_a_file() {
+        let dir = std::env::temp_dir().join(format!("bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path =
+            write_bench_json_in(&dir, "unit_test", &[BenchRecord::new("simnet", 2, 1.5)])
+                .unwrap();
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"shards\":2"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -39,8 +39,14 @@ pub struct PartitionOutcome {
 }
 
 /// Decide connectivity of `g` under a balanced `k`-part partition
-/// (parts are contiguous ID ranges). Panics if `k == 0` or `k > n` for a
-/// non-trivial graph.
+/// (parts are contiguous ID ranges).
+///
+/// Panics if `k == 0`. A `k` larger than `n` is **clamped to `n`** —
+/// more parts than vertices would only add empty parts, which know no
+/// edges and change nothing — and the returned
+/// [`PartitionOutcome::k`] reports the clamped value actually used (on
+/// the trivial `n = 0` graph the run short-circuits and `k` is echoed
+/// back unchanged). Pinned by `oversized_k_is_clamped`.
 pub fn partition_connectivity(g: &LabelledGraph, k: usize) -> PartitionOutcome {
     let n = g.n();
     assert!(k >= 1, "need at least one part");
@@ -207,5 +213,24 @@ mod tests {
         assert!(partition_connectivity(&LabelledGraph::new(0), 3).connected);
         assert!(partition_connectivity(&LabelledGraph::new(1), 3).connected);
         assert!(!partition_connectivity(&LabelledGraph::new(2), 5).connected);
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        // The documented contract: k > n clamps to n (the docs once
+        // promised a panic the code never threw — clamping is the
+        // friendlier behaviour, and this test pins it).
+        let g = generators::path(5);
+        let clamped = partition_connectivity(&g, 100);
+        assert_eq!(clamped.k, 5, "k must report the clamped part count");
+        let exact = partition_connectivity(&g, 5);
+        assert_eq!(clamped.connected, exact.connected);
+        assert_eq!(clamped.max_message_bits, exact.max_message_bits);
+        assert_eq!(clamped.bound_bits, exact.bound_bits);
+        // Still correct on a disconnected graph with an absurd k.
+        let two = generators::path(3).disjoint_union(&generators::path(4));
+        assert!(!partition_connectivity(&two, usize::MAX).connected);
+        // The trivial graph short-circuits before clamping and echoes k.
+        assert_eq!(partition_connectivity(&LabelledGraph::new(0), 9).k, 9);
     }
 }

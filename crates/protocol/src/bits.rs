@@ -121,6 +121,24 @@ impl<'a> BitReader<'a> {
         Ok(v)
     }
 
+    /// Copy the next `len_bits` bits verbatim into `w` (64-bit chunks;
+    /// `Err(Truncated)` if fewer remain). The shared primitive behind
+    /// every "embed a bit string inside another" codec — partial-state
+    /// payloads, verdict payloads — so the chunking exists in one place.
+    pub fn copy_bits_into(
+        &mut self,
+        w: &mut BitWriter,
+        len_bits: usize,
+    ) -> Result<(), DecodeError> {
+        let mut left = len_bits;
+        while left > 0 {
+            let chunk = left.min(64) as u32;
+            w.write_bits(self.read_bits(chunk)?, chunk);
+            left -= chunk as usize;
+        }
+        Ok(())
+    }
+
     /// Read an Elias gamma code (inverse of [`BitWriter::write_gamma`]).
     pub fn read_gamma(&mut self) -> Result<u64, DecodeError> {
         let mut zeros = 0u32;

@@ -19,6 +19,12 @@
 //!   assembly over balanced ID ranges, so the §I.B "wait for one message
 //!   per vertex" scales out across shard workers (the monolithic
 //!   [`referee::assemble_from_arrivals`] is a one-shard run of it).
+//!   [`shard::multiround`] lifts the split to multi-round protocols:
+//!   per-round [`RoundPartialState`](shard::multiround::RoundPartialState)s
+//!   merge into the exact input of each
+//!   [`referee_step`](multiround::MultiRoundProtocol::referee_step), and
+//!   [`multiround::run_multiround`] is the one-shard special case of
+//!   [`shard::multiround::run_multiround_sharded`].
 //! * [`frugality`] — empirical audits of the `O(log n)` bound across
 //!   family sweeps.
 //! * [`baseline`] — the naive adjacency-list protocol (frugal only for

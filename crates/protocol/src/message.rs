@@ -59,6 +59,15 @@ impl Message {
         self.len_bits
     }
 
+    /// Append every bit of this message to `w`, preserving the exact
+    /// bit length (the encode-side counterpart of
+    /// [`BitReader::copy_bits_into`]).
+    pub fn append_to(&self, w: &mut BitWriter) {
+        self.reader()
+            .copy_bits_into(w, self.len_bits)
+            .expect("a message always holds its own length");
+    }
+
     /// Begin reading.
     pub fn reader(&self) -> BitReader<'_> {
         BitReader::new(&self.bytes, self.len_bits)

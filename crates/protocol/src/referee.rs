@@ -71,10 +71,17 @@ pub struct RunStats {
 
 impl RunStats {
     /// `max_message_bits / log₂(n)` — the empirical frugality constant
-    /// for this run (∞ for n ≤ 1 where log is degenerate).
+    /// for this run.
+    ///
+    /// For `n ≤ 1` the divisor is degenerate (0 or −∞), so the ratio is
+    /// measured against 1 bit — the minimum width [`crate::bits_for`]
+    /// ever produces — keeping it **finite** on single-node and empty
+    /// graphs (the old `f64::INFINITY` sentinel tripped `ratio < c`
+    /// assertions in sweeps that included tiny graphs; the same fix as
+    /// [`MultiRoundStats::frugality_ratio`](crate::multiround::MultiRoundStats::frugality_ratio)).
     pub fn frugality_ratio(&self) -> f64 {
         if self.n <= 1 {
-            return f64::INFINITY;
+            return self.max_message_bits as f64;
         }
         self.max_message_bits as f64 / (self.n as f64).log2()
     }
@@ -268,6 +275,17 @@ mod tests {
         let out = run_protocol(&Echo, &g);
         assert!(out.output.is_empty());
         assert_eq!(out.stats.max_message_bits, 0);
+    }
+
+    #[test]
+    fn tiny_graphs_report_finite_frugality_ratios() {
+        // n ≤ 1 used to return f64::INFINITY (the sentinel the
+        // multi-round stats shared); both now measure against 1 bit.
+        let empty = run_protocol(&Echo, &referee_graph::LabelledGraph::new(0));
+        assert_eq!(empty.stats.frugality_ratio(), 0.0);
+        let single = run_protocol(&Echo, &referee_graph::LabelledGraph::new(1));
+        let ratio = single.stats.frugality_ratio();
+        assert!(ratio.is_finite() && ratio >= 1.0, "ratio {ratio}");
     }
 
     #[test]

@@ -24,6 +24,15 @@
 //! directly. Equivalence between any shard count and the monolithic
 //! path is pinned by property tests.
 //!
+//! The [`multiround`] submodule lifts the same split to multi-round
+//! protocols: a [`RoundShard`](multiround::RoundShard) collects one
+//! round's uplinks for its range, and per-round
+//! [`RoundPartialState`](multiround::RoundPartialState)s merge into the
+//! exact input `referee_step` would have seen —
+//! [`run_multiround`](crate::multiround::run_multiround) is the
+//! one-shard special case of
+//! [`run_multiround_sharded`](multiround::run_multiround_sharded).
+//!
 //! # Canonical verdicts
 //!
 //! A sequential assembler can report the *first* fault in arrival order;
@@ -37,6 +46,8 @@
 //!    ([`DecodeError::Inconsistent`]);
 //! 3. then a missing node, smallest first ([`DecodeError::Inconsistent`]);
 //! 4. otherwise the ID-indexed message vector `Γ^l(G)`.
+
+pub mod multiround;
 
 use crate::{DecodeError, Message};
 use referee_graph::VertexId;
@@ -280,13 +291,7 @@ impl PartialState {
         for (sender, msg) in &self.slots {
             w.write_bits(*sender as u64, 32);
             w.write_bits(msg.len_bits() as u64, 32);
-            let mut r = msg.reader();
-            let mut left = msg.len_bits();
-            while left > 0 {
-                let chunk = left.min(64) as u32;
-                w.write_bits(r.read_bits(chunk).expect("within message"), chunk);
-                left -= chunk as usize;
-            }
+            msg.append_to(&mut w);
         }
         Message::from_writer(w)
     }
@@ -339,12 +344,7 @@ impl PartialState {
                 return Err(DecodeError::Truncated);
             }
             let mut w = crate::BitWriter::new();
-            let mut left = len_bits;
-            while left > 0 {
-                let chunk = left.min(64) as u32;
-                w.write_bits(r.read_bits(chunk)?, chunk);
-                left -= chunk as usize;
-            }
+            r.copy_bits_into(&mut w, len_bits)?;
             slots.insert(sender, Message::from_writer(w));
         }
         if !r.is_exhausted() {

@@ -33,6 +33,10 @@
 //!   whose [`PartialState`](referee_protocol::shard::PartialState)
 //!   summaries cross the transport in a seeded exchange phase —
 //!   bit-for-bit equivalent to the unsharded session (pinned by tests).
+//!   [`ShardedMultiRoundSession`] extends the split to multi-round
+//!   protocols: every round's uplinks route into `k` per-round shards
+//!   whose [`RoundPartialState`](referee_protocol::shard::multiround::RoundPartialState)s
+//!   cross the transport before each `referee_step`.
 //! * [`scheduler`] — a claim-based batching worker pool ([`Scheduler`])
 //!   that drives many sessions concurrently (interleaving their `step`s
 //!   within a batch) and disables the legacy simulator's nested
@@ -97,6 +101,7 @@ pub use fault::{FaultConfig, FaultyTransport};
 pub use metrics::{AggregateMetrics, SessionMetrics, TransportCounters};
 pub use scheduler::{Scheduler, SweepReport};
 pub use session::{MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step};
+pub use shard::multiround::{ShardedMultiRoundReport, ShardedMultiRoundSession};
 pub use shard::{ShardedOneRoundSession, ShardedReport};
 pub use transport::{Envelope, PerfectTransport, SessionId, Transport, REFEREE};
 

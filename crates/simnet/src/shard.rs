@@ -22,6 +22,14 @@
 //! to altered embedded messages — the same exposure corrupting the
 //! original node message would have had; the protocol decoders remain
 //! the integrity layer.
+//!
+//! The [`multiround`] submodule lifts the same design to multi-round
+//! protocols: a
+//! [`ShardedMultiRoundSession`](multiround::ShardedMultiRoundSession)
+//! routes every round's uplinks into `k` per-round shards and runs a
+//! seeded cross-shard exchange before each `referee_step`.
+
+pub mod multiround;
 
 use crate::clock::{real_clock, SharedClock};
 use crate::metrics::SessionMetrics;

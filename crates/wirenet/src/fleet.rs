@@ -61,9 +61,12 @@
 use crate::auth::AuthKey;
 use crate::frame::{FrameKind, WireError};
 use crate::metrics::{WireMetrics, WireSnapshot};
+use crate::multiround::{decode_mr_verdict, run_multiround_server, WireReferee};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use crate::shard::{decode_verdict, run_sharded_server};
-use referee_protocol::{BitWriter, DecodeError, Message};
+use referee_graph::{LabelledGraph, VertexId};
+use referee_protocol::multiround::MultiRoundProtocol;
+use referee_protocol::{BitWriter, DecodeError, Message, NodeView};
 use referee_simnet::{Envelope, SessionId, Transport, TransportCounters};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -76,14 +79,59 @@ use std::time::{Duration, Instant};
 /// Sleep between pump sweeps that made no progress.
 pub(crate) const IDLE_SLEEP: Duration = Duration::from_micros(50);
 
-/// How long a connecting client waits for the server's Hello.
-const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Environment variable overriding the Hello handshake deadline, in
+/// milliseconds (see [`WireTimeouts::hello`]).
+pub const HELLO_TIMEOUT_ENV: &str = "REFEREE_WIRENET_HELLO_TIMEOUT_MS";
 
-/// How long a client waits for a sharded referee's verdict after
-/// streaming a complete session. The server judges in microseconds per
-/// session; this bound only exists so a server-side fault (a dead shard
-/// worker, a dropped verdict) surfaces as an error instead of a hang.
-const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Environment variable overriding the verdict/round deadline, in
+/// milliseconds (see [`WireTimeouts::verdict`]).
+pub const VERDICT_TIMEOUT_ENV: &str = "REFEREE_WIRENET_VERDICT_TIMEOUT_MS";
+
+/// The client-side wire deadlines, configurable per
+/// [`FleetClient::connect_with`] or process-wide via environment
+/// variables (the same pattern as [`BIND_ENV`]). These used to be
+/// hardcoded consts; a slow CI host or a long multi-round session could
+/// spuriously trip the fixed 30 s verdict deadline with no recourse —
+/// now the defaults are only defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTimeouts {
+    /// How long a connecting client waits for the server's Hello
+    /// (default 10 s, or [`HELLO_TIMEOUT_ENV`]).
+    pub hello: Duration,
+    /// How long a client waits for a sharded referee's verdict after
+    /// streaming a complete session — and, in multi-round mode, for
+    /// each round's downlinks. The server judges in microseconds per
+    /// step; this bound only exists so a server-side fault (a dead
+    /// shard worker, a dropped verdict) surfaces as an error instead of
+    /// a hang (default 30 s, or [`VERDICT_TIMEOUT_ENV`]).
+    pub verdict: Duration,
+}
+
+impl Default for WireTimeouts {
+    /// The defaults, with environment overrides applied.
+    fn default() -> WireTimeouts {
+        WireTimeouts::resolve(
+            std::env::var(HELLO_TIMEOUT_ENV).ok().as_deref(),
+            std::env::var(VERDICT_TIMEOUT_ENV).ok().as_deref(),
+        )
+    }
+}
+
+impl WireTimeouts {
+    /// Deadline precedence: a parseable positive millisecond value from
+    /// the environment, else the historical default. Split out (with
+    /// the env values as parameters) so it is unit-testable without
+    /// mutating the process environment; unparseable values fall back
+    /// to the default rather than failing a connect.
+    fn resolve(hello_env: Option<&str>, verdict_env: Option<&str>) -> WireTimeouts {
+        let parse = |env: Option<&str>, default_ms: u64| {
+            env.and_then(|s| s.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+        };
+        WireTimeouts { hello: parse(hello_env, 10_000), verdict: parse(verdict_env, 30_000) }
+    }
+}
 
 /// Environment variable overriding the server bind address
 /// (`ip:port`, e.g. `0.0.0.0:7431` for cross-host fleets).
@@ -111,11 +159,21 @@ pub struct FleetServer {
 
 /// Configures a [`FleetServer`] before spawning: bind address (builder,
 /// else [`BIND_ENV`], else loopback-ephemeral) and referee mode.
-#[derive(Debug)]
 pub struct FleetServerBuilder {
     key: AuthKey,
     shards: usize,
     bind: Option<SocketAddr>,
+    multiround: Option<Arc<dyn WireReferee>>,
+}
+
+impl std::fmt::Debug for FleetServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetServerBuilder")
+            .field("shards", &self.shards)
+            .field("bind", &self.bind)
+            .field("multiround", &self.multiround.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl FleetServerBuilder {
@@ -124,6 +182,18 @@ impl FleetServerBuilder {
     /// echo mailbox.
     pub fn shards(mut self, shards: usize) -> FleetServerBuilder {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Run as a **multi-round** referee service: `referee` supplies the
+    /// per-session [`RefereeStepper`](crate::multiround::RefereeStepper)s
+    /// whose `referee_step` runs once per round over the sharded uplink
+    /// wait (see [`crate::multiround`]). Combine with
+    /// [`shards`](FleetServerBuilder::shards) for the worker count;
+    /// drive sessions with
+    /// [`FleetClient::run_multiround_session`].
+    pub fn multiround(mut self, referee: Arc<dyn WireReferee>) -> FleetServerBuilder {
+        self.multiround = Some(referee);
         self
     }
 
@@ -146,11 +216,21 @@ impl FleetServerBuilder {
         let metrics = Arc::new(WireMetrics::default());
         let key = self.key;
         let shards = self.shards;
+        let multiround = self.multiround;
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
             thread::Builder::new().name("wirenet-server".into()).spawn(move || {
-                if shards == 0 {
+                if let Some(referee) = multiround {
+                    run_multiround_server(
+                        listener,
+                        key,
+                        referee,
+                        shards.max(1),
+                        &shutdown,
+                        &metrics,
+                    )
+                } else if shards == 0 {
                     run_server(listener, key, &shutdown, &metrics)
                 } else {
                     run_sharded_server(listener, key, shards, &shutdown, &metrics)
@@ -181,9 +261,10 @@ fn resolve_bind(explicit: Option<SocketAddr>, env: Option<&str>) -> io::Result<S
 }
 
 impl FleetServer {
-    /// Configure a server before spawning (bind address, sharded mode).
+    /// Configure a server before spawning (bind address, sharded or
+    /// multi-round mode).
     pub fn builder(key: AuthKey) -> FleetServerBuilder {
-        FleetServerBuilder { key, shards: 0, bind: None }
+        FleetServerBuilder { key, shards: 0, bind: None, multiround: None }
     }
 
     /// Spawn the echo mailbox on the default bind address.
@@ -195,6 +276,18 @@ impl FleetServer {
     /// the default bind address.
     pub fn spawn_sharded(key: AuthKey, shards: usize) -> io::Result<FleetServer> {
         FleetServer::builder(key).shards(shards).spawn()
+    }
+
+    /// Spawn the **multi-round** referee service with `shards` shard
+    /// workers on the default bind address; `referee` is the protocol
+    /// referee the server runs per round (e.g.
+    /// [`boruvka_connectivity_service`](crate::multiround::boruvka_connectivity_service)).
+    pub fn spawn_multiround(
+        key: AuthKey,
+        shards: usize,
+        referee: Arc<dyn WireReferee>,
+    ) -> io::Result<FleetServer> {
+        FleetServer::builder(key).shards(shards).multiround(referee).spawn()
     }
 
     /// The address clients connect to.
@@ -377,6 +470,7 @@ struct CoreState {
 pub(crate) struct FleetCore {
     state: Mutex<CoreState>,
     metrics: Arc<WireMetrics>,
+    pub(crate) timeouts: WireTimeouts,
 }
 
 impl FleetCore {
@@ -534,9 +628,9 @@ impl FleetCore {
     }
 
     /// Block until the sharded referee's verdict for `session` arrives,
-    /// its connection dies, or [`VERDICT_TIMEOUT`] elapses.
-    fn await_verdict(&self, session: SessionId) -> Result<Message, DecodeError> {
-        let deadline = Instant::now() + VERDICT_TIMEOUT;
+    /// its connection dies, or [`WireTimeouts::verdict`] elapses.
+    pub(crate) fn await_verdict(&self, session: SessionId) -> Result<Message, DecodeError> {
+        let deadline = Instant::now() + self.timeouts.verdict;
         loop {
             let mut st = self.lock();
             self.pump(&mut st);
@@ -560,6 +654,69 @@ impl FleetCore {
         }
     }
 
+    /// Block until either round `round`'s complete downlink vector or
+    /// the session's verdict arrives — or the connection dies, or
+    /// [`WireTimeouts::verdict`] elapses (the per-round deadline).
+    fn await_round(
+        &self,
+        session: SessionId,
+        n: usize,
+        round: u32,
+    ) -> Result<RoundWait, DecodeError> {
+        let deadline = Instant::now() + self.timeouts.verdict;
+        let mut downlinks: Vec<Option<Message>> = vec![None; n];
+        let mut filled = 0usize;
+        loop {
+            let mut st = self.lock();
+            self.pump(&mut st);
+            let lane = st.lanes.get_mut(&session.0).expect("session registered");
+            if let Some(v) = lane.verdict.take() {
+                return Ok(RoundWait::Verdict(v));
+            }
+            while let Some(env) = lane.inbound.pop_front() {
+                if env.from != 0 || env.to == 0 || env.to as usize > n {
+                    return Err(DecodeError::Invalid(format!(
+                        "unexpected frame {} → {} during round {round}",
+                        env.from, env.to
+                    )));
+                }
+                if env.round != round {
+                    return Err(DecodeError::Invalid(format!(
+                        "round-{} downlink delivered during round {round}",
+                        env.round
+                    )));
+                }
+                let slot = &mut downlinks[(env.to - 1) as usize];
+                if slot.is_some() {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "duplicate downlink for node {} in round {round}",
+                        env.to
+                    )));
+                }
+                *slot = Some(env.payload);
+                filled += 1;
+            }
+            if filled == n {
+                let msgs = downlinks.into_iter().map(|d| d.expect("all filled")).collect();
+                return Ok(RoundWait::Downlinks(msgs));
+            }
+            let ci = lane.conn;
+            if !st.conns[ci].is_open() {
+                return Err(DecodeError::Inconsistent(
+                    "connection poisoned while awaiting round downlinks".into(),
+                ));
+            }
+            drop(st);
+            if Instant::now() > deadline {
+                return Err(DecodeError::Inconsistent(format!(
+                    "no round-{round} downlinks from the multi-round referee within the \
+                     deadline"
+                )));
+            }
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+
     /// Register `session` on the next connection (round-robin).
     fn register(&self, session: SessionId) -> usize {
         let mut st = self.lock();
@@ -577,6 +734,14 @@ impl FleetCore {
     }
 }
 
+/// What ended one round's wait on the client.
+enum RoundWait {
+    /// The referee continued: one downlink per node, in ID order.
+    Downlinks(Vec<Message>),
+    /// The referee finished: the raw verdict payload.
+    Verdict(Message),
+}
+
 /// A node-side pool of ≤ a-handful of TCP connections multiplexing a
 /// whole fleet of sessions.
 #[derive(Debug)]
@@ -588,15 +753,29 @@ impl FleetClient {
     /// Open `conns` connections to a [`FleetServer`] at `addr` and
     /// complete the per-connection key handshake on each. Both ends must
     /// hold the same base `key`; a mismatch fails here (the server's
-    /// Hello does not authenticate), before any data is sent.
+    /// Hello does not authenticate), before any data is sent. Deadlines
+    /// come from [`WireTimeouts::default`] (environment-overridable);
+    /// use [`connect_with`](FleetClient::connect_with) to pass explicit
+    /// ones.
     pub fn connect(addr: SocketAddr, conns: usize, key: AuthKey) -> io::Result<FleetClient> {
+        FleetClient::connect_with(addr, conns, key, WireTimeouts::default())
+    }
+
+    /// Like [`connect`](FleetClient::connect), with explicit wire
+    /// deadlines (the Hello handshake wait and the verdict/round wait).
+    pub fn connect_with(
+        addr: SocketAddr,
+        conns: usize,
+        key: AuthKey,
+        timeouts: WireTimeouts,
+    ) -> io::Result<FleetClient> {
         assert!(conns >= 1, "a fleet needs at least one connection");
         let metrics = Arc::new(WireMetrics::default());
         let mut scratch = vec![0u8; SCRATCH_BYTES];
         let mut pool = Vec::with_capacity(conns);
         for _ in 0..conns {
             let mut conn = Conn::new(TcpStream::connect(addr)?, key)?;
-            let id = await_hello(&mut conn, &mut scratch)?;
+            let id = await_hello(&mut conn, &mut scratch, timeouts.hello)?;
             conn.set_key(key.derive(id as u64));
             metrics.connections(1);
             pool.push(conn);
@@ -612,6 +791,7 @@ impl FleetClient {
                     scratch,
                 }),
                 metrics,
+                timeouts,
             }),
         })
     }
@@ -710,6 +890,123 @@ impl FleetClient {
         decode_verdict(&self.core.await_verdict(session)?)
     }
 
+    /// Drive one multi-round session against a **multi-round**
+    /// [`FleetServer`] (see [`crate::multiround`]): this client runs the
+    /// *node half* of `protocol` — node sends, node→node CONGEST links
+    /// (kept local; they never involve the referee), node receives —
+    /// while the server runs `referee_step` per round over its sharded
+    /// uplink wait and streams MAC'd downlinks back.
+    ///
+    /// `Ok` carries the server's **encoded** final output (decode with
+    /// the helper matching the served referee, e.g.
+    /// [`decode_bool_output`](crate::multiround::decode_bool_output));
+    /// `Err` is the canonical rejection class, a delivery failure, or a
+    /// deadline miss ([`WireTimeouts::verdict`] bounds every round's
+    /// wait, so a stalled server errors instead of hanging). Panics if
+    /// `session` is registered on a live transport, like
+    /// [`transport`](FleetClient::transport); the id is reusable once
+    /// the call returns.
+    pub fn run_multiround_session<P: MultiRoundProtocol>(
+        &self,
+        session: SessionId,
+        protocol: &P,
+        g: &LabelledGraph,
+        max_rounds: usize,
+    ) -> Result<Message, DecodeError> {
+        self.core.register(session);
+        let result = self.run_multiround_inner(session, protocol, g, max_rounds);
+        self.core.release(session);
+        result
+    }
+
+    fn run_multiround_inner<P: MultiRoundProtocol>(
+        &self,
+        session: SessionId,
+        protocol: &P,
+        g: &LabelledGraph,
+        max_rounds: usize,
+    ) -> Result<Message, DecodeError> {
+        let n = g.n();
+        if max_rounds == 0 {
+            // Mirror `run_multiround`'s contract: a zero-round cap runs
+            // no protocol at all. The local API reports "referee never
+            // finished" as `Ok(None)`; this wire API's analogue is the
+            // cap error — returned before anything is announced, so the
+            // server sees no session state either.
+            return Err(DecodeError::Invalid(
+                "no verdict within the client's 0-round cap".into(),
+            ));
+        }
+        let mut w = BitWriter::new();
+        w.write_bits(n as u64, 32);
+        let announce =
+            Envelope { session, round: 0, from: 0, to: 0, payload: Message::from_writer(w) };
+        if !self.core.send_kind(FrameKind::Announce, &announce) {
+            return Err(DecodeError::Inconsistent(
+                "connection died announcing the session".into(),
+            ));
+        }
+        if n == 0 {
+            // No nodes, no rounds to drive: the server steps the empty
+            // uplink vectors itself and judges.
+            return decode_mr_verdict(&self.core.await_verdict(session)?);
+        }
+        let mut node_states: Vec<P::NodeState> = (1..=n as u32)
+            .map(|v| protocol.node_init(NodeView::new(n, v, g.neighbourhood(v))))
+            .collect();
+        for round in 1..=max_rounds as u32 {
+            // Phase 1: node sends. Uplinks cross the wire; link
+            // messages are delivered locally, one per edge per round.
+            let mut inbox: Vec<Vec<(VertexId, Message)>> = vec![Vec::new(); n];
+            for v in 1..=n as u32 {
+                let view = NodeView::new(n, v, g.neighbourhood(v));
+                let (to_nbrs, uplink) =
+                    protocol.node_send(&node_states[(v - 1) as usize], view, round as usize);
+                let env = Envelope { session, round, from: v, to: 0, payload: uplink };
+                if !self.core.send_kind(FrameKind::Data, &env) {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "connection died sending the round-{round} uplink of node {v}"
+                    )));
+                }
+                for (target, payload) in to_nbrs {
+                    if !g.has_edge(v, target) {
+                        return Err(DecodeError::Invalid(format!(
+                            "node {v} tried to message non-neighbour {target}"
+                        )));
+                    }
+                    if inbox[(target - 1) as usize].iter().any(|(from, _)| *from == v) {
+                        return Err(DecodeError::Invalid(format!(
+                            "node {v} sent two messages to {target} in round {round} \
+                             (one message per link per round)"
+                        )));
+                    }
+                    inbox[(target - 1) as usize].push((v, payload));
+                }
+            }
+            // Phase 2: the referee's word — downlinks or the verdict.
+            let downlinks = match self.core.await_round(session, n, round)? {
+                RoundWait::Verdict(v) => return decode_mr_verdict(&v),
+                RoundWait::Downlinks(d) => d,
+            };
+            // Phase 3: node receives.
+            for v in 1..=n as u32 {
+                let i = (v - 1) as usize;
+                inbox[i].sort_by_key(|&(from, _)| from);
+                let view = NodeView::new(n, v, g.neighbourhood(v));
+                protocol.node_receive(
+                    &mut node_states[i],
+                    view,
+                    round as usize,
+                    &inbox[i],
+                    &downlinks[i],
+                );
+            }
+        }
+        Err(DecodeError::Invalid(format!(
+            "no verdict within the client's {max_rounds}-round cap"
+        )))
+    }
+
     /// Live client-side wire metrics.
     pub fn metrics(&self) -> WireSnapshot {
         self.core.metrics.snapshot()
@@ -719,8 +1016,8 @@ impl FleetClient {
 /// Pump `conn` until the server's Hello arrives, returning the assigned
 /// connection id. The Hello is the only frame keyed with the base key,
 /// so a key mismatch surfaces here as an authentication failure.
-fn await_hello(conn: &mut Conn, scratch: &mut [u8]) -> io::Result<u32> {
-    let deadline = Instant::now() + HELLO_TIMEOUT;
+fn await_hello(conn: &mut Conn, scratch: &mut [u8], timeout: Duration) -> io::Result<u32> {
+    let deadline = Instant::now() + timeout;
     loop {
         conn.flush();
         conn.fill(scratch);
@@ -828,5 +1125,21 @@ mod tests {
         assert_eq!(default.port(), 0);
         let err = resolve_bind(None, Some("not-an-address")).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn timeout_resolution_precedence() {
+        // Env values (milliseconds) override; the historical consts stay
+        // the defaults. Env values are parameters here so no test ever
+        // mutates the process environment.
+        let d = WireTimeouts::resolve(None, None);
+        assert_eq!(d.hello, Duration::from_secs(10));
+        assert_eq!(d.verdict, Duration::from_secs(30));
+        let e = WireTimeouts::resolve(Some("250"), Some("90000"));
+        assert_eq!(e.hello, Duration::from_millis(250));
+        assert_eq!(e.verdict, Duration::from_secs(90));
+        // Garbage or zero falls back to the default instead of failing
+        // every connect on a typo'd environment.
+        assert_eq!(WireTimeouts::resolve(Some("zebra"), Some("0")), d);
     }
 }

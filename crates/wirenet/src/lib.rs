@@ -34,6 +34,19 @@
 //!   the same MAC'd codec, and clients get verdicts with a keyed
 //!   [`vector_digest`] of the assembled vector
 //!   ([`FleetClient::verify_session`]).
+//! * [`multiround`] — the **multi-round** referee service: the server
+//!   runs a protocol's `referee_step` itself, once per round, over the
+//!   same sharded wait — per-round
+//!   [`RoundPartialState`](referee_protocol::shard::multiround::RoundPartialState)
+//!   `Partial` frames (epoch-fenced, round carried inside the
+//!   authenticated payload), MAC'd downlink frames streamed back each
+//!   round, and the encoded final output as the verdict.
+//!   [`FleetClient::run_multiround_session`] drives the node half
+//!   client-side, so Borůvka-style protocols run against a live wire
+//!   referee. Client-side deadlines (Hello handshake, verdict/round
+//!   waits) are configurable via [`WireTimeouts`] and the
+//!   `REFEREE_WIRENET_{HELLO,VERDICT}_TIMEOUT_MS` environment
+//!   variables.
 //!
 //! # Frame layout
 //!
@@ -138,16 +151,22 @@ pub mod auth;
 pub mod fleet;
 pub mod frame;
 pub mod metrics;
+pub mod multiround;
 pub mod reactor;
 pub mod shard;
 
 pub use auth::AuthKey;
 pub use fleet::{
-    FleetClient, FleetServer, FleetServerBuilder, SocketTransport, TamperConfig, BIND_ENV,
+    FleetClient, FleetServer, FleetServerBuilder, SocketTransport, TamperConfig, WireTimeouts,
+    BIND_ENV, HELLO_TIMEOUT_ENV, VERDICT_TIMEOUT_ENV,
 };
 pub use frame::{
     decode_frame, encode_frame, encode_wire_frame, DecodedFrame, FrameKind, WireError,
     WIRE_VERSION,
 };
 pub use metrics::{WireMetrics, WireSnapshot};
+pub use multiround::{
+    boruvka_connectivity_service, decode_bool_output, encode_bool_output, ProtocolReferee,
+    RefereeStepper, WireReferee,
+};
 pub use shard::vector_digest;

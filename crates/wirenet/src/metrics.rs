@@ -20,6 +20,7 @@ pub struct WireMetrics {
     connections: AtomicU64,
     partial_frames: AtomicU64,
     verdict_frames: AtomicU64,
+    downlink_frames: AtomicU64,
 }
 
 macro_rules! bump {
@@ -43,6 +44,7 @@ impl WireMetrics {
     bump!(connections);
     bump!(partial_frames);
     bump!(verdict_frames);
+    bump!(downlink_frames);
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> WireSnapshot {
@@ -59,6 +61,7 @@ impl WireMetrics {
             connections: self.connections.load(Ordering::Relaxed),
             partial_frames: self.partial_frames.load(Ordering::Relaxed),
             verdict_frames: self.verdict_frames.load(Ordering::Relaxed),
+            downlink_frames: self.downlink_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,6 +99,9 @@ pub struct WireSnapshot {
     pub partial_frames: u64,
     /// Sharded referee only: session verdicts issued.
     pub verdict_frames: u64,
+    /// Multi-round referee only: per-round downlink frames streamed
+    /// back to clients.
+    pub downlink_frames: u64,
 }
 
 impl std::fmt::Display for WireSnapshot {
@@ -103,7 +109,7 @@ impl std::fmt::Display for WireSnapshot {
         write!(
             f,
             "conns {} | frames {}/{} | bytes {}/{} | mac-rejects {} | decode-rejects {} | \
-             stalls {} | tampered {} | orphans {} | partials {} | verdicts {}",
+             stalls {} | tampered {} | orphans {} | partials {} | verdicts {} | downlinks {}",
             self.connections,
             self.frames_sent,
             self.frames_received,
@@ -116,6 +122,7 @@ impl std::fmt::Display for WireSnapshot {
             self.orphan_frames,
             self.partial_frames,
             self.verdict_frames,
+            self.downlink_frames,
         )
     }
 }

@@ -1,0 +1,894 @@
+//! The multi-round referee service: [`FleetServer`](crate::FleetServer)
+//! in `spawn_multiround` mode runs the **referee half** of a
+//! [`MultiRoundProtocol`] itself, round by round, with the per-round
+//! uplink wait sharded exactly like the one-round service.
+//!
+//! # Topology
+//!
+//! One **router** thread owns the listener and every client connection;
+//! `k` **shard workers** each own the
+//! [`RoundShard`]
+//! states for their slice of every session's ID space. Per session:
+//!
+//! 1. the client announces `(session, n)` ([`Announce`](FrameKind::Announce));
+//!    every worker opens shard `i` for round 1;
+//! 2. round-stamped [`Data`](FrameKind::Data) uplink frames are routed
+//!    to workers by sender range; a worker whose range completes for
+//!    round `r` ships its
+//!    [`RoundPartialState`]
+//!    as a [`Partial`](FrameKind::Partial) frame — MAC'd by the same
+//!    wire codec under the exchange-domain key, its envelope stamped
+//!    with the session's announce **epoch** and the round carried
+//!    *inside* the authenticated payload — and advances to round `r+1`;
+//! 3. worker 0 merges each round's partials (any order; empty-range
+//!    shards are implied — they never emit) and, once round `r`'s
+//!    quorum is complete (or poisoned, which fixes the verdict's `Err`
+//!    shape), runs the protocol's
+//!    [`referee_step`](MultiRoundProtocol::referee_step);
+//! 4. `Continue` streams one MAC'd downlink [`Data`](FrameKind::Data)
+//!    frame per node back to the client (from = referee, round `r`);
+//!    `Done` ships the encoded output as a
+//!    [`Verdict`](FrameKind::Verdict) frame and retires the session
+//!    everywhere.
+//!
+//! [`FleetClient::run_multiround_session`](crate::FleetClient::run_multiround_session)
+//! drives the node half of the same protocol against this service:
+//! node→node CONGEST links stay client-side (they never involve the
+//! referee), uplinks and downlinks cross the wire, and the final
+//! verdict is the server's word — the client can cross-check it against
+//! a local run, exactly as `verify_session` cross-checks digests.
+//!
+//! # Failure behaviour
+//!
+//! The lifecycle mirrors [`crate::shard`]: sessions are keyed by
+//! (connection, session id), epochs fence stale cross-shard partials of
+//! re-announced ids, tampered frames poison their connection at the
+//! router's MAC check, and faulty sessions fail fast — a duplicate or
+//! out-of-range sender poisons its round, worker 0 judges without
+//! waiting for quorum, and the client receives the canonical rejection
+//! class instead of hanging (bounded further by the client's
+//! [`WireTimeouts::verdict`](crate::WireTimeouts) round deadline). A
+//! round cap on the server ([`WireReferee::round_cap`]) bounds referee
+//! state even against a client that stalls mid-protocol.
+
+use crate::auth::AuthKey;
+use crate::fleet::{accept_conn, IDLE_SLEEP};
+use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
+use crate::metrics::WireMetrics;
+use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
+use referee_protocol::multiround::{BoruvkaConnectivity, MultiRoundProtocol, RefereeStep};
+use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
+use referee_protocol::shard::{route_arrival, shard_range, Arrival};
+use referee_protocol::{BitWriter, DecodeError, Message};
+use referee_simnet::{Envelope, SessionId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+
+/// Domain-separation tweak for the multi-round shard-exchange key
+/// (distinct from the one-round service's, so partials can never cross
+/// service modes).
+const MR_EXCHANGE_TWEAK: u64 = 0x6d72_7368_6172_6478; // "mrshardx"
+
+/// How many finished session routes the router remembers (FIFO) — same
+/// rationale and bound as the one-round sharded service.
+const FINISHED_ROUTE_CAP: usize = 4096;
+
+/// The referee half of a multi-round protocol, type-erased for the
+/// wire: the final output is pre-encoded into a [`Message`] (the client
+/// decodes it with the matching helper, e.g. [`decode_bool_output`]).
+pub trait RefereeStepper: Send {
+    /// One referee step on round `round`'s complete uplink vector.
+    fn step(&mut self, n: usize, round: usize, uplinks: &[Message]) -> RefereeStep<Message>;
+}
+
+/// Factory for per-session referee steppers — what
+/// [`FleetServer::spawn_multiround`](crate::FleetServer::spawn_multiround)
+/// serves. Implemented for any [`MultiRoundProtocol`] via
+/// [`ProtocolReferee`].
+pub trait WireReferee: Send + Sync {
+    /// Fresh referee state for a size-`n` session.
+    fn open(&self, n: usize) -> Box<dyn RefereeStepper>;
+    /// Server-side safety stop: a session still unfinished after this
+    /// many rounds is rejected (bounds referee state against stalled or
+    /// hostile clients).
+    fn round_cap(&self, n: usize) -> usize;
+}
+
+/// Adapts any (cloneable) [`MultiRoundProtocol`] into a [`WireReferee`]
+/// by pairing it with an output encoder.
+pub struct ProtocolReferee<P: MultiRoundProtocol> {
+    protocol: P,
+    encode: fn(&P::Output) -> Message,
+}
+
+impl<P: MultiRoundProtocol> ProtocolReferee<P> {
+    /// Serve `protocol`, encoding each final output with `encode`.
+    pub fn new(protocol: P, encode: fn(&P::Output) -> Message) -> ProtocolReferee<P> {
+        ProtocolReferee { protocol, encode }
+    }
+}
+
+struct ProtocolStepper<P: MultiRoundProtocol> {
+    protocol: P,
+    state: P::RefereeState,
+    encode: fn(&P::Output) -> Message,
+}
+
+impl<P> RefereeStepper for ProtocolStepper<P>
+where
+    P: MultiRoundProtocol + Send,
+    P::RefereeState: Send,
+{
+    fn step(&mut self, n: usize, round: usize, uplinks: &[Message]) -> RefereeStep<Message> {
+        match self.protocol.referee_step(&mut self.state, n, round, uplinks) {
+            RefereeStep::Done(out) => RefereeStep::Done((self.encode)(&out)),
+            RefereeStep::Continue(d) => RefereeStep::Continue(d),
+        }
+    }
+}
+
+impl<P> WireReferee for ProtocolReferee<P>
+where
+    P: MultiRoundProtocol + Clone + Send + Sync + 'static,
+    P::RefereeState: Send,
+{
+    fn open(&self, n: usize) -> Box<dyn RefereeStepper> {
+        Box::new(ProtocolStepper {
+            protocol: self.protocol.clone(),
+            state: self.protocol.referee_init(n),
+            encode: self.encode,
+        })
+    }
+
+    fn round_cap(&self, n: usize) -> usize {
+        // The Borůvka bound `4·log₂(n) + 8` is comfortably above every
+        // protocol this workspace ships; widen per deployment if a
+        // future protocol needs more rounds.
+        4 * (usize::BITS - n.leading_zeros()) as usize + 8
+    }
+}
+
+/// The connectivity referee ([`BoruvkaConnectivity`]) as a wire
+/// service; decode verdict payloads with [`decode_bool_output`].
+pub fn boruvka_connectivity_service() -> Arc<dyn WireReferee> {
+    Arc::new(ProtocolReferee::new(BoruvkaConnectivity, encode_bool_output))
+}
+
+/// Encode a `Result<bool, DecodeError>` protocol output: `1·b` on
+/// success, else `0` plus the 2-bit rejection class (the same classes
+/// as the one-round verdict codec).
+pub fn encode_bool_output(out: &Result<bool, DecodeError>) -> Message {
+    let mut w = BitWriter::new();
+    match out {
+        Ok(b) => {
+            w.push_bit(true);
+            w.push_bit(*b);
+        }
+        Err(e) => {
+            w.push_bit(false);
+            w.write_bits(error_class(e), 2);
+        }
+    }
+    Message::from_writer(w)
+}
+
+/// Inverse of [`encode_bool_output`].
+pub fn decode_bool_output(msg: &Message) -> Result<bool, DecodeError> {
+    let mut r = msg.reader();
+    if r.read_bit()? {
+        let b = r.read_bit()?;
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid("trailing bits after bool output".into()));
+        }
+        return Ok(b);
+    }
+    let class = r.read_bits(2)?;
+    if !r.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bits after output class".into()));
+    }
+    Err(class_error(class))
+}
+
+fn error_class(e: &DecodeError) -> u64 {
+    match e {
+        DecodeError::Truncated => 0,
+        DecodeError::OutOfRange(_) => 1,
+        DecodeError::Inconsistent(_) => 2,
+        DecodeError::Invalid(_) => 3,
+    }
+}
+
+fn class_error(class: u64) -> DecodeError {
+    match class {
+        0 => DecodeError::Truncated,
+        1 => DecodeError::OutOfRange("multi-round referee: out-of-range sender".into()),
+        2 => DecodeError::Inconsistent(
+            "multi-round referee: duplicate or missing message".into(),
+        ),
+        _ => DecodeError::Invalid("multi-round referee: invalid session traffic".into()),
+    }
+}
+
+/// Serialize a session's terminal verdict: `1` + the encoded protocol
+/// output on success, else `0` + the 2-bit transport-rejection class.
+pub(crate) fn encode_mr_verdict(result: &Result<Message, DecodeError>) -> Message {
+    let mut w = BitWriter::new();
+    match result {
+        Ok(out) => {
+            w.push_bit(true);
+            out.append_to(&mut w);
+        }
+        Err(e) => {
+            w.push_bit(false);
+            w.write_bits(error_class(e), 2);
+        }
+    }
+    Message::from_writer(w)
+}
+
+/// Inverse of [`encode_mr_verdict`]: the encoded protocol output, or
+/// the rejection that ended the session.
+pub(crate) fn decode_mr_verdict(msg: &Message) -> Result<Message, DecodeError> {
+    let mut r = msg.reader();
+    if r.read_bit()? {
+        let mut w = BitWriter::new();
+        r.copy_bits_into(&mut w, r.remaining())?;
+        return Ok(Message::from_writer(w));
+    }
+    let class = r.read_bits(2)?;
+    if !r.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bits after verdict class".into()));
+    }
+    Err(class_error(class))
+}
+
+/// Router → worker (and worker → worker 0) traffic; sessions keyed by
+/// `(conn, session)` like the one-round service.
+enum MrMsg {
+    /// A session opened: every worker creates its round-1 shard.
+    Announce { conn: u32, session: u64, n: usize, epoch: u32 },
+    /// An authenticated round-stamped uplink routed to this worker's
+    /// range.
+    Data { conn: u32, env: Envelope },
+    /// A wire-encoded [`FrameKind::Partial`] frame (worker 0 only). The
+    /// envelope's `round` carries the session's announce epoch — the
+    /// protocol round travels inside the authenticated payload.
+    Partial(Vec<u8>),
+    /// A session's verdict shipped: drop its state everywhere.
+    Finish { conn: u32, session: u64 },
+    /// A connection died: drop its sessions.
+    Retire { conn: u32 },
+}
+
+/// Worker 0 → router.
+enum MrOutbound {
+    /// Stream round `round`'s downlinks (`msgs[i]` to node `i + 1`).
+    Downlinks { conn: u32, session: SessionId, round: u32, msgs: Vec<Message> },
+    /// The session's terminal verdict.
+    Verdict { conn: u32, session: SessionId, payload: Message },
+}
+
+/// Router-side per-session record.
+struct SessionRoute {
+    n: usize,
+    finished: bool,
+}
+
+/// Per-session state inside one worker.
+struct MrSession {
+    conn: u32,
+    n: usize,
+    epoch: u32,
+    /// Total shards in the partition (needed to open each next round).
+    shards: usize,
+    /// The round this worker's shard is currently collecting.
+    shard: RoundShard,
+    /// Worker 0 only: the referee, its next round, and per-round merge
+    /// accumulators `(state, quorum)`.
+    stepper: Option<Box<dyn RefereeStepper>>,
+    referee_round: u32,
+    pending: BTreeMap<u32, (RoundPartialState, usize)>,
+    /// Shards with non-empty ranges for this `n` — the per-round merge
+    /// quorum (empty-range shards never emit; their empty partials are
+    /// implied).
+    needed: usize,
+    /// Server-side round cap.
+    cap: usize,
+}
+
+/// The multi-round-mode server loop (spawned by
+/// [`FleetServer::spawn_multiround`](crate::FleetServer::spawn_multiround)).
+pub(crate) fn run_multiround_server(
+    listener: TcpListener,
+    key: AuthKey,
+    referee: Arc<dyn WireReferee>,
+    shards: usize,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+) {
+    let exchange_key = key.derive(MR_EXCHANGE_TWEAK);
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<MrOutbound>();
+    let mut worker_txs: Vec<Sender<MrMsg>> = Vec::with_capacity(shards);
+    let mut worker_rxs: Vec<Receiver<MrMsg>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = std::sync::mpsc::channel();
+        worker_txs.push(tx);
+        worker_rxs.push(rx);
+    }
+    thread::scope(|scope| {
+        for (i, rx) in worker_rxs.into_iter().enumerate().rev() {
+            let tx0 = if i == 0 { None } else { Some(worker_txs[0].clone()) };
+            let otx = out_tx.clone();
+            let exchange_key = &exchange_key;
+            let referee = Arc::clone(&referee);
+            scope.spawn(move || {
+                mr_worker(i, shards, rx, tx0, otx, exchange_key, referee, metrics)
+            });
+        }
+        drop(out_tx);
+        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx);
+        drop(worker_txs);
+    });
+}
+
+/// The router: accepts, authenticates, routes round-stamped uplinks by
+/// session + node range, and streams downlink and verdict frames back.
+#[allow(clippy::too_many_arguments)]
+fn mr_route(
+    listener: TcpListener,
+    key: AuthKey,
+    shards: usize,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+    worker_txs: &[Sender<MrMsg>],
+    out_rx: &Receiver<MrOutbound>,
+) {
+    let mut gates: Vec<(u32, Conn)> = Vec::new();
+    let mut announced: HashMap<(u32, u64), SessionRoute> = HashMap::new();
+    let mut finished_fifo: VecDeque<(u32, u64)> = VecDeque::new();
+    let mut next_id: u32 = 1;
+    let mut next_epoch: u32 = 1;
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut progress = false;
+        while let Some((id, conn)) = accept_conn(&listener, &key, &mut next_id) {
+            metrics.connections(1);
+            gates.push((id, conn));
+            progress = true;
+        }
+        for (id, conn) in &mut gates {
+            progress |= conn.flush() > 0;
+            if conn.pending_write() > WRITE_BACKPRESSURE_BYTES {
+                if !conn.stalled {
+                    conn.stalled = true;
+                    metrics.backpressure_stalls(1);
+                }
+                continue;
+            }
+            conn.stalled = false;
+            let got = conn.fill(&mut scratch);
+            metrics.bytes_received(got as u64);
+            progress |= got > 0;
+            loop {
+                match conn.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some((FrameKind::Announce, env))) => {
+                        metrics.frames_received(1);
+                        let mut r = env.payload.reader();
+                        let n = match r.read_bits(32) {
+                            Ok(n) if r.is_exhausted() => n as usize,
+                            _ => {
+                                metrics.decode_rejects(1);
+                                conn.close();
+                                break;
+                            }
+                        };
+                        if announced
+                            .get(&(*id, env.session.0))
+                            .is_some_and(|route| !route.finished)
+                        {
+                            metrics.decode_rejects(1);
+                            conn.close();
+                            break;
+                        }
+                        let epoch = next_epoch & 0x7fff_ffff;
+                        next_epoch = next_epoch.wrapping_add(1);
+                        announced
+                            .insert((*id, env.session.0), SessionRoute { n, finished: false });
+                        for tx in worker_txs {
+                            let _ = tx.send(MrMsg::Announce {
+                                conn: *id,
+                                session: env.session.0,
+                                n,
+                                epoch,
+                            });
+                        }
+                        progress = true;
+                    }
+                    Ok(Some((FrameKind::Data, env))) => {
+                        metrics.frames_received(1);
+                        match announced.get(&(*id, env.session.0)) {
+                            Some(route) if route.finished => {
+                                metrics.orphan_frames(1);
+                            }
+                            Some(route) => {
+                                let target = route_arrival(route.n, shards, env.from);
+                                let _ = worker_txs[target].send(MrMsg::Data { conn: *id, env });
+                            }
+                            None => {
+                                metrics.decode_rejects(1);
+                                conn.close();
+                                break;
+                            }
+                        }
+                        progress = true;
+                    }
+                    Ok(Some(_)) => {
+                        metrics.decode_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                    Err(WireError::BadMac) => {
+                        metrics.mac_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                    Err(_) => {
+                        metrics.decode_rejects(1);
+                        conn.close();
+                        break;
+                    }
+                }
+            }
+        }
+        while let Ok(out) = out_rx.try_recv() {
+            match out {
+                MrOutbound::Downlinks { conn: cid, session, round, msgs } => {
+                    match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
+                        Some((_, conn)) => {
+                            for (i, payload) in msgs.into_iter().enumerate() {
+                                let env = Envelope {
+                                    session,
+                                    round,
+                                    from: 0, // the referee
+                                    to: (i + 1) as u32,
+                                    payload,
+                                };
+                                let bytes =
+                                    encode_wire_frame(conn.key(), FrameKind::Data, &env);
+                                metrics.frames_sent(1);
+                                metrics.downlink_frames(1);
+                                metrics.bytes_sent(bytes.len() as u64);
+                                conn.queue(&bytes);
+                            }
+                            conn.flush();
+                        }
+                        None => metrics.orphan_frames(1),
+                    }
+                }
+                MrOutbound::Verdict { conn: cid, session, payload } => {
+                    match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
+                        Some((_, conn)) => {
+                            let env = Envelope { session, round: 0, from: 0, to: 0, payload };
+                            let bytes = encode_wire_frame(conn.key(), FrameKind::Verdict, &env);
+                            metrics.frames_sent(1);
+                            metrics.bytes_sent(bytes.len() as u64);
+                            conn.queue(&bytes);
+                            conn.flush();
+                        }
+                        None => metrics.orphan_frames(1),
+                    }
+                    if let Some(route) = announced.get_mut(&(cid, session.0)) {
+                        route.finished = true;
+                        finished_fifo.push_back((cid, session.0));
+                        while finished_fifo.len() > FINISHED_ROUTE_CAP {
+                            let key = finished_fifo.pop_front().expect("len > cap > 0");
+                            if announced.get(&key).is_some_and(|r| r.finished) {
+                                announced.remove(&key);
+                            }
+                        }
+                    }
+                    for tx in worker_txs {
+                        let _ = tx.send(MrMsg::Finish { conn: cid, session: session.0 });
+                    }
+                }
+            }
+            progress = true;
+        }
+        let closed: Vec<u32> =
+            gates.iter().filter(|(_, c)| !c.is_open()).map(|(id, _)| *id).collect();
+        for cid in &closed {
+            announced.retain(|(owner, _), _| owner != cid);
+            for tx in worker_txs {
+                let _ = tx.send(MrMsg::Retire { conn: *cid });
+            }
+        }
+        if !closed.is_empty() {
+            gates.retain(|(_, c)| c.is_open());
+        }
+        if !progress {
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// Shards with non-empty ranges under a `shards`-way split of `1..=n` —
+/// the per-round merge quorum (empty ranges never emit partials).
+fn nonempty_shards(n: usize, shards: usize) -> usize {
+    (0..shards).filter(|&i| !shard_range(n, shards, i).is_empty()).count()
+}
+
+/// One multi-round shard worker: owns shard `index` of every announced
+/// session's per-round uplink wait.
+#[allow(clippy::too_many_arguments)]
+fn mr_worker(
+    index: usize,
+    shards: usize,
+    rx: Receiver<MrMsg>,
+    tx0: Option<Sender<MrMsg>>,
+    otx: Sender<MrOutbound>,
+    exchange_key: &AuthKey,
+    referee: Arc<dyn WireReferee>,
+    metrics: &WireMetrics,
+) {
+    let mut sessions: HashMap<(u32, u64), MrSession> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MrMsg::Announce { conn, session, n, epoch } => {
+                // A worker whose range is empty for this n can never
+                // receive routed data and never emits: skip the session
+                // entirely (worker 0 always participates — it runs the
+                // referee).
+                if index != 0 && shard_range(n, shards, index).is_empty() {
+                    continue;
+                }
+                let mut ws = MrSession {
+                    conn,
+                    n,
+                    epoch,
+                    shards,
+                    shard: RoundShard::new(n, shards, index, 1),
+                    stepper: (index == 0).then(|| referee.open(n)),
+                    referee_round: 1,
+                    pending: BTreeMap::new(),
+                    needed: nonempty_shards(n, shards),
+                    cap: referee.round_cap(n),
+                };
+                emit_ready_rounds(index, session, &mut ws, &tx0, exchange_key, metrics);
+                if index == 0 && try_advance(session, &mut ws, &otx, metrics) {
+                    continue; // e.g. n = 0: judged straight from announce
+                }
+                sessions.insert((conn, session), ws);
+            }
+            MrMsg::Data { conn, env } => {
+                let session = env.session.0;
+                let Some(ws) = sessions.get_mut(&(conn, session)) else {
+                    metrics.orphan_frames(1);
+                    continue;
+                };
+                if env.from == 0 || env.from as usize > ws.n {
+                    // Out-of-range stray: recorded round-agnostically —
+                    // it poisons the current shard and fails the
+                    // session fast, whatever round it claimed.
+                    let _ = ws.shard.ingest(env.from, env.payload);
+                } else if env.round == ws.shard.round() {
+                    match ws.shard.ingest(env.from, env.payload) {
+                        Ok(Arrival::Fresh) | Ok(Arrival::OutOfRange) => {}
+                        Ok(Arrival::Duplicate { .. }) => ws.shard.note_duplicate(env.from),
+                        Err(_) => {
+                            // Router/worker range disagreement — a bug,
+                            // not wire data; surfaced in metrics.
+                            metrics.decode_rejects(1);
+                            continue;
+                        }
+                    }
+                } else if env.round < ws.shard.round() {
+                    // A straggler behind an already-emitted round
+                    // partial: the referee consumed that round (per-
+                    // connection FIFO means the client re-sent it), so
+                    // it can no longer influence any verdict.
+                    metrics.orphan_frames(1);
+                } else {
+                    // An uplink for a round whose downlinks were never
+                    // issued — a client racing ahead of the protocol.
+                    // Poison the current round so the session fails
+                    // fast instead of wedging.
+                    ws.shard.note_duplicate(env.from);
+                }
+                emit_ready_rounds(index, session, ws, &tx0, exchange_key, metrics);
+                if index == 0 && try_advance(session, ws, &otx, metrics) {
+                    sessions.remove(&(conn, session));
+                }
+            }
+            MrMsg::Partial(bytes) => {
+                // Worker 0 only: authenticate and decode a sibling
+                // shard's round partial through the wire codec.
+                let decoded = match decode_frame(exchange_key, &bytes) {
+                    Ok(Some(d)) if d.kind == FrameKind::Partial => d,
+                    Ok(_) => {
+                        metrics.decode_rejects(1);
+                        continue;
+                    }
+                    Err(WireError::BadMac) => {
+                        metrics.mac_rejects(1);
+                        continue;
+                    }
+                    Err(_) => {
+                        metrics.decode_rejects(1);
+                        continue;
+                    }
+                };
+                let session = decoded.envelope.session.0;
+                let conn = decoded.envelope.to;
+                let Some(ws) = sessions.get_mut(&(conn, session)) else {
+                    metrics.orphan_frames(1); // finished or retired in flight
+                    continue;
+                };
+                // The envelope's round field carries the announce epoch:
+                // a stale partial from a previous run of this (conn,
+                // session) key must not merge into the current one.
+                if decoded.envelope.round != ws.epoch {
+                    metrics.orphan_frames(1);
+                    continue;
+                }
+                let merged = RoundPartialState::decode(ws.n, &decoded.envelope.payload)
+                    .and_then(|p| {
+                        let round = p.round();
+                        if round < ws.referee_round {
+                            // The referee already consumed this round —
+                            // impossible from a live sibling (each
+                            // emits once per round); defensive drop.
+                            metrics.orphan_frames(1);
+                            return Ok(());
+                        }
+                        let (acc, quorum) = ws
+                            .pending
+                            .remove(&round)
+                            .unwrap_or_else(|| (RoundPartialState::new(ws.n, round), 0));
+                        let mut acc = acc;
+                        acc.merge(p)?;
+                        ws.pending.insert(round, (acc, quorum + 1));
+                        Ok(())
+                    });
+                match merged {
+                    Ok(()) => {
+                        if try_advance(session, ws, &otx, metrics) {
+                            sessions.remove(&(conn, session));
+                        }
+                    }
+                    Err(e) => {
+                        send_mr_verdict(session, ws, Err(e), &otx, metrics);
+                        sessions.remove(&(conn, session));
+                    }
+                }
+            }
+            MrMsg::Finish { conn, session } => {
+                sessions.remove(&(conn, session));
+            }
+            MrMsg::Retire { conn } => {
+                sessions.retain(|(owner, _), _| *owner != conn);
+            }
+        }
+    }
+}
+
+/// While this worker's current round shard is complete or poisoned,
+/// emit its partial toward the accumulator and open the next round.
+/// In practice the loop runs at most once per arrival burst — a freshly
+/// opened round with a non-empty range has no arrivals yet — and it
+/// always terminates: every iteration advances the round, and the cap
+/// guard stops runaway emission for sessions the referee has already
+/// judged past their cap.
+fn emit_ready_rounds(
+    index: usize,
+    session: u64,
+    ws: &mut MrSession,
+    tx0: &Option<Sender<MrMsg>>,
+    exchange_key: &AuthKey,
+    metrics: &WireMetrics,
+) {
+    loop {
+        if ws.shard.range().is_empty() {
+            // n = 0 (worker 0 only — Announce filters everyone else):
+            // there is nothing to emit, ever; the zero quorum in
+            // `try_advance` supplies the implied empty partials.
+            return;
+        }
+        if !(ws.shard.is_complete() || ws.shard.is_poisoned()) {
+            return;
+        }
+        if ws.shard.round() as usize > ws.cap {
+            return; // past the cap: the referee judges, nothing to emit
+        }
+        let next = RoundShard::new(ws.n, ws.shards, index, ws.shard.round() + 1);
+        let partial = std::mem::replace(&mut ws.shard, next).into_partial();
+        let round = partial.round();
+        match tx0 {
+            Some(tx) => {
+                let payload = partial.encode();
+                let body = crate::frame::HEADER_BYTES
+                    + payload.len_bits().div_ceil(8)
+                    + crate::frame::TAG_BYTES;
+                if body > crate::frame::MAX_BODY_BYTES {
+                    // A partial beyond the frame cap (a session far
+                    // outside frugal message sizes) is dropped; the
+                    // session starves and the client's round deadline
+                    // rejects it — never a worker panic.
+                    metrics.decode_rejects(1);
+                    return;
+                }
+                let env = Envelope {
+                    session: SessionId(session),
+                    round: ws.epoch,
+                    from: index as u32,
+                    to: ws.conn,
+                    payload,
+                };
+                metrics.partial_frames(1);
+                let _ = tx.send(MrMsg::Partial(encode_wire_frame(
+                    exchange_key,
+                    FrameKind::Partial,
+                    &env,
+                )));
+            }
+            None => {
+                let (mut acc, quorum) = ws
+                    .pending
+                    .remove(&round)
+                    .unwrap_or_else(|| (RoundPartialState::new(ws.n, round), 0));
+                if let Err(e) = acc.merge(partial) {
+                    unreachable!("same-n same-round partials always merge: {e}");
+                }
+                ws.pending.insert(round, (acc, quorum + 1));
+            }
+        }
+    }
+}
+
+/// Worker 0: consume every round whose quorum is complete (or whose
+/// accumulator is poisoned — no further partial can turn an `Err` into
+/// an `Ok`), stepping the referee in round order. Returns whether the
+/// session is done (verdict sent).
+fn try_advance(
+    session: u64,
+    ws: &mut MrSession,
+    otx: &Sender<MrOutbound>,
+    metrics: &WireMetrics,
+) -> bool {
+    loop {
+        if ws.referee_round as usize > ws.cap {
+            send_mr_verdict(
+                session,
+                ws,
+                Err(DecodeError::Invalid(format!(
+                    "no verdict within the {}-round cap",
+                    ws.cap
+                ))),
+                otx,
+                metrics,
+            );
+            return true;
+        }
+        let round = ws.referee_round;
+        let (acc, quorum) = ws
+            .pending
+            .remove(&round)
+            .unwrap_or_else(|| (RoundPartialState::new(ws.n, round), 0));
+        if quorum < ws.needed && !acc.poisoned() {
+            ws.pending.insert(round, (acc, quorum));
+            return false;
+        }
+        match acc.finish() {
+            Err(e) => {
+                send_mr_verdict(session, ws, Err(e), otx, metrics);
+                return true;
+            }
+            Ok(uplinks) => {
+                let stepper = ws.stepper.as_mut().expect("worker 0 owns the referee");
+                match stepper.step(ws.n, round as usize, &uplinks) {
+                    RefereeStep::Done(out) => {
+                        send_mr_verdict(session, ws, Ok(out), otx, metrics);
+                        return true;
+                    }
+                    RefereeStep::Continue(downlinks) => {
+                        if downlinks.len() != ws.n {
+                            send_mr_verdict(
+                                session,
+                                ws,
+                                Err(DecodeError::Inconsistent(format!(
+                                    "referee produced {} downlinks for {} nodes",
+                                    downlinks.len(),
+                                    ws.n
+                                ))),
+                                otx,
+                                metrics,
+                            );
+                            return true;
+                        }
+                        let _ = otx.send(MrOutbound::Downlinks {
+                            conn: ws.conn,
+                            session: SessionId(session),
+                            round,
+                            msgs: downlinks,
+                        });
+                        ws.referee_round += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn send_mr_verdict(
+    session: u64,
+    ws: &MrSession,
+    result: Result<Message, DecodeError>,
+    otx: &Sender<MrOutbound>,
+    metrics: &WireMetrics,
+) {
+    metrics.verdict_frames(1);
+    let _ = otx.send(MrOutbound::Verdict {
+        conn: ws.conn,
+        session: SessionId(session),
+        payload: encode_mr_verdict(&result),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_output_codec_round_trips() {
+        for out in [
+            Ok(true),
+            Ok(false),
+            Err(DecodeError::Truncated),
+            Err(DecodeError::OutOfRange("x".into())),
+            Err(DecodeError::Inconsistent("y".into())),
+            Err(DecodeError::Invalid("z".into())),
+        ] {
+            let decoded = decode_bool_output(&encode_bool_output(&out));
+            match (&out, &decoded) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => {
+                    assert_eq!(std::mem::discriminant(a), std::mem::discriminant(b))
+                }
+                other => panic!("shape changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mr_verdict_codec_round_trips() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1_0110_0101, 9);
+        let payload = Message::from_writer(w);
+        let ok = decode_mr_verdict(&encode_mr_verdict(&Ok(payload.clone()))).unwrap();
+        assert_eq!(ok, payload);
+        let empty = decode_mr_verdict(&encode_mr_verdict(&Ok(Message::empty()))).unwrap();
+        assert_eq!(empty, Message::empty());
+        for e in [
+            DecodeError::Truncated,
+            DecodeError::OutOfRange("a".into()),
+            DecodeError::Inconsistent("b".into()),
+            DecodeError::Invalid("c".into()),
+        ] {
+            let back = decode_mr_verdict(&encode_mr_verdict(&Err(e.clone()))).unwrap_err();
+            assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&e));
+        }
+    }
+
+    #[test]
+    fn nonempty_shard_quorums() {
+        assert_eq!(nonempty_shards(0, 4), 0);
+        assert_eq!(nonempty_shards(1, 4), 1);
+        assert_eq!(nonempty_shards(3, 8), 3);
+        assert_eq!(nonempty_shards(10, 4), 4);
+        assert_eq!(nonempty_shards(10, 1), 1);
+    }
+}

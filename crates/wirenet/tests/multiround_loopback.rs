@@ -1,0 +1,178 @@
+//! The multi-round fleet mode over real loopback TCP: clients drive the
+//! node half of Borůvka connectivity, the server's sharded referee runs
+//! `referee_step` per round — verdicts pinned against in-process runs
+//! and the centralized truth, tampering fails closed with zero
+//! undetected corruption.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use referee_graph::{algo, generators, LabelledGraph};
+use referee_protocol::multiround::{run_multiround, BoruvkaConnectivity};
+use referee_simnet::{Scheduler, SessionId};
+use referee_wirenet::{
+    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
+    TamperConfig,
+};
+
+fn graphs(count: usize, seed: u64) -> Vec<LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generators::gnp(6 + i % 18, 0.22, &mut rng)).collect()
+}
+
+const CAP: usize = 64;
+
+/// Multi-round Borůvka sessions multiplexed over 4 connections against
+/// a 4-shard multi-round server: every wire verdict equals the
+/// in-process `run_multiround` verdict and the centralized truth, and
+/// the server exchanged per-round partials and streamed downlinks.
+#[test]
+fn multiround_fleet_matches_in_process_runs() {
+    let key = AuthKey::from_seed(51);
+    let shards = 4usize;
+    let server =
+        FleetServer::spawn_multiround(key, shards, boruvka_connectivity_service()).unwrap();
+    let client = FleetClient::connect(server.addr(), 4, key).unwrap();
+    let fleet = graphs(120, 71);
+
+    let verdicts: Vec<bool> = Scheduler::new(8, 4).run_indexed(fleet.len(), |i| {
+        let out = client
+            .run_multiround_session(SessionId(i as u64), &BoruvkaConnectivity, &fleet[i], CAP)
+            .expect("honest session completes");
+        decode_bool_output(&out).expect("honest uplinks decode")
+    });
+
+    for (i, (wire, g)) in verdicts.iter().zip(&fleet).enumerate() {
+        let (local, _) = run_multiround(&BoruvkaConnectivity, g, CAP);
+        let local = local.expect("terminates").expect("decodes");
+        assert_eq!(*wire, local, "session {i} diverged from the in-process run");
+        assert_eq!(*wire, algo::is_connected(g), "session {i} vs centralized");
+    }
+
+    let stats = server.stop();
+    assert_eq!(stats.verdict_frames as usize, fleet.len());
+    assert_eq!(stats.mac_rejects, 0);
+    assert_eq!(stats.decode_rejects, 0);
+    assert!(stats.partial_frames > 0, "rounds must exchange shard partials");
+    assert!(stats.downlink_frames > 0, "continuing rounds must stream downlinks");
+}
+
+/// Trivial sizes ride the same wire path: the empty graph (the server
+/// steps empty uplink vectors from the implied-empty-shard quorum), a
+/// single node, and a two-node disconnected graph.
+#[test]
+fn multiround_fleet_handles_trivial_sizes() {
+    let key = AuthKey::from_seed(52);
+    let server = FleetServer::spawn_multiround(key, 3, boruvka_connectivity_service()).unwrap();
+    let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+    for (i, (g, want)) in [
+        (LabelledGraph::new(0), true),
+        (LabelledGraph::new(1), true),
+        (LabelledGraph::new(2), false),
+        (generators::path(2), true),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let out = client
+            .run_multiround_session(SessionId(i as u64), &BoruvkaConnectivity, &g, CAP)
+            .expect("honest session completes");
+        assert_eq!(decode_bool_output(&out).unwrap(), want, "graph {i}");
+    }
+    let stats = server.stop();
+    assert_eq!(stats.verdict_frames, 4);
+    assert_eq!(stats.mac_rejects, 0);
+}
+
+/// Session ids are keyed per connection and reusable after their
+/// verdict, exactly like the one-round service.
+#[test]
+fn multiround_session_ids_are_reusable() {
+    let key = AuthKey::from_seed(53);
+    let server = FleetServer::spawn_multiround(key, 2, boruvka_connectivity_service()).unwrap();
+    let a = FleetClient::connect(server.addr(), 1, key).unwrap();
+    let b = FleetClient::connect(server.addr(), 1, key).unwrap();
+    let g = generators::cycle(9).unwrap();
+    for client in [&a, &b] {
+        for _ in 0..2 {
+            let out = client
+                .run_multiround_session(SessionId(7), &BoruvkaConnectivity, &g, CAP)
+                .unwrap();
+            assert!(decode_bool_output(&out).unwrap());
+        }
+    }
+    let stats = server.stop();
+    assert_eq!(stats.verdict_frames, 4);
+    assert_eq!(stats.decode_rejects, 0, "honest reuse must not poison anything");
+}
+
+/// The acceptance adversary: every third outbound frame is corrupted
+/// after MAC computation. Every tampered frame must die at the router's
+/// MAC check; affected sessions fail closed; any session that *does*
+/// verify saw only clean frames, so its verdict must equal the truth —
+/// zero undetected corruption.
+#[test]
+fn multiround_tampering_yields_zero_undetected_corruption() {
+    let key = AuthKey::from_seed(54);
+    let server = FleetServer::spawn_multiround(key, 2, boruvka_connectivity_service()).unwrap();
+    let sessions = 8usize;
+    let client = FleetClient::connect(server.addr(), sessions, key)
+        .unwrap()
+        .with_tamper(TamperConfig { flip_every: 3 });
+    let fleet = graphs(sessions, 55);
+
+    let mut failed_closed = 0usize;
+    let mut undetected = 0usize;
+    for (i, g) in fleet.iter().enumerate() {
+        match client.run_multiround_session(SessionId(i as u64), &BoruvkaConnectivity, g, CAP) {
+            Err(_) => failed_closed += 1,
+            Ok(out) => {
+                let verdict = decode_bool_output(&out);
+                if verdict != Ok(algo::is_connected(g)) {
+                    undetected += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(undetected, 0, "a corrupted session was accepted");
+    assert!(failed_closed > 0, "tampering every 3rd frame must hit most sessions");
+
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert!(client_stats.tampered > 0, "tamper hook never fired");
+    assert!(server_stats.mac_rejects > 0, "no corruption reached MAC verification");
+}
+
+/// A zero-round cap mirrors `run_multiround`'s contract — no protocol
+/// runs at all: the client errors before announcing anything, so the
+/// server sees no session state.
+#[test]
+fn zero_round_cap_runs_nothing() {
+    let key = AuthKey::from_seed(57);
+    let server = FleetServer::spawn_multiround(key, 2, boruvka_connectivity_service()).unwrap();
+    let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+    let g = generators::path(4);
+    let err = client
+        .run_multiround_session(SessionId(1), &BoruvkaConnectivity, &g, 0)
+        .expect_err("a 0-round cap can never produce a verdict");
+    assert!(format!("{err}").contains("0-round cap"), "{err}");
+    assert_eq!(client.metrics().frames_sent, 0, "nothing may be announced");
+    let stats = server.stop();
+    assert_eq!(stats.frames_received, 0);
+    assert_eq!(stats.verdict_frames, 0);
+}
+
+/// A multi-round session against the wrong kind of server fails closed
+/// (the echo mailbox reflects the Announce, which the client rejects as
+/// an unexpected frame) — never hangs.
+#[test]
+fn multiround_against_echo_server_fails_closed() {
+    let key = AuthKey::from_seed(56);
+    let server = FleetServer::spawn(key).unwrap(); // echo mailbox
+    let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+    let g = generators::path(5);
+    let err = client
+        .run_multiround_session(SessionId(1), &BoruvkaConnectivity, &g, CAP)
+        .expect_err("an echo server cannot referee");
+    let _ = err; // any DecodeError is acceptable; the point is: no hang
+    server.stop();
+}

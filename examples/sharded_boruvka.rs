@@ -1,0 +1,131 @@
+//! Borůvka connectivity refereed by the **sharded multi-round fleet
+//! service** — the PR 4 acceptance demo.
+//!
+//! Phase 1: a `FleetServer` in multi-round mode (4 shard workers) runs
+//! the referee half of Borůvka connectivity for 600 sessions streamed
+//! over 8 multiplexed TCP connections: round-stamped uplinks are routed
+//! to shard workers by ID range, per-round `RoundPartialState`s cross
+//! shards as MAC'd `Partial` frames, and each round's downlinks stream
+//! back before the next round fires. Every wire verdict is
+//! cross-checked against an in-process `run_multiround` run *and* the
+//! centralized BFS truth.
+//!
+//! Phase 2: deliberate wire corruption (one bit flipped in every third
+//! frame, after MAC computation) against a 2-shard server — every
+//! tampered frame is MAC-rejected at the router, affected sessions fail
+//! closed, and zero corrupted sessions are accepted.
+//!
+//! Run: `cargo run --release --example sharded_boruvka`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use referee_one_round::prelude::*;
+use referee_one_round::protocol::multiround::{run_multiround, BoruvkaConnectivity};
+use referee_simnet::{Scheduler, SessionId};
+use referee_wirenet::{
+    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
+    TamperConfig,
+};
+
+fn fleet_graphs(count: usize, seed: u64) -> Vec<LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generators::gnp(6 + i % 20, 0.2, &mut rng)).collect()
+}
+
+const CAP: usize = 64;
+
+fn main() {
+    let sessions = 600usize;
+    let shards = 4usize;
+    let conns = 8usize;
+    let key = AuthKey::from_seed(2026);
+    let graphs = fleet_graphs(sessions, 2026);
+
+    // ---- Phase 1: honest fleet, verdicts cross-checked ----------------
+    let server = FleetServer::spawn_multiround(key, shards, boruvka_connectivity_service())
+        .expect("bind loopback");
+    let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
+    println!(
+        "phase 1: {sessions} multi-round Borůvka sessions over {conns} TCP connections, \
+         refereed by {shards} shards at {}",
+        server.addr()
+    );
+
+    let scheduler = Scheduler::new(8, 8);
+    let t0 = std::time::Instant::now();
+    let verdicts: Vec<bool> = scheduler.run_indexed(sessions, |i| {
+        let out = client
+            .run_multiround_session(SessionId(i as u64), &BoruvkaConnectivity, &graphs[i], CAP)
+            .expect("honest session completes");
+        decode_bool_output(&out).expect("honest uplinks decode")
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    for (i, (wire, g)) in verdicts.iter().zip(&graphs).enumerate() {
+        let (local, _) = run_multiround(&BoruvkaConnectivity, g, CAP);
+        let local = local.expect("terminates").expect("decodes");
+        assert_eq!(*wire, local, "session {i}: wire verdict diverged from in-process run");
+        assert_eq!(*wire, algo::is_connected(g), "session {i}: verdict diverged from truth");
+    }
+
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert_eq!(server_stats.verdict_frames as usize, sessions);
+    assert_eq!(server_stats.mac_rejects, 0);
+    assert_eq!(client_stats.mac_rejects, 0);
+    assert!(server_stats.partial_frames > 0);
+    assert!(server_stats.downlink_frames > 0);
+    println!("  all {sessions} wire verdicts match run_multiround and centralized BFS ✓");
+    println!(
+        "  {} per-round cross-shard partial frames, {} downlink frames streamed ✓",
+        server_stats.partial_frames, server_stats.downlink_frames
+    );
+    println!("  client: {client_stats}");
+    println!("  server: {server_stats}");
+    println!(
+        "  wall {wall:.3}s ≈ {:.0} multi-round sessions/s refereed by shards",
+        sessions as f64 / wall
+    );
+
+    // ---- Phase 2: wire corruption, zero undetected --------------------
+    let corrupt_sessions = 64usize;
+    let server = FleetServer::spawn_multiround(key, 2, boruvka_connectivity_service())
+        .expect("bind loopback");
+    let client = FleetClient::connect(server.addr(), corrupt_sessions, key)
+        .expect("connect")
+        .with_tamper(TamperConfig { flip_every: 3 });
+    println!(
+        "\nphase 2: {corrupt_sessions} sessions, one connection each, 2 shards, \
+         every 3rd frame corrupted on the wire"
+    );
+
+    let mut failed_closed = 0usize;
+    let mut undetected = 0usize;
+    for (i, g) in graphs.iter().take(corrupt_sessions).enumerate() {
+        match client.run_multiround_session(SessionId(i as u64), &BoruvkaConnectivity, g, CAP) {
+            Err(_) => failed_closed += 1,
+            Ok(out) => {
+                // Only possible if no tampered frame hit this session's
+                // connection — the verdict must then equal the truth.
+                if decode_bool_output(&out) != Ok(algo::is_connected(g)) {
+                    undetected += 1;
+                }
+            }
+        }
+    }
+
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert!(client_stats.tampered > 0, "tamper hook never fired");
+    assert!(server_stats.mac_rejects > 0, "no corruption ever reached MAC verification");
+    assert_eq!(undetected, 0, "a corrupted session was accepted");
+    println!(
+        "  {} frames tampered; {} connections poisoned by MAC verification; \
+         {failed_closed}/{corrupt_sessions} sessions failed closed ✓",
+        client_stats.tampered, server_stats.mac_rejects
+    );
+    println!("  zero corrupted sessions accepted (0 undetected) ✓");
+    println!("  server: {server_stats}");
+
+    println!("\nsharded multi-round Borůvka demo completed ✓");
+}
