@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use referee_bench::{render_table, section};
+use referee_bench::{render_table, section, write_bench_json_axis, BenchRecord};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::easy::EdgeCountProtocol;
 use referee_simnet::{OneRoundSession, Scheduler, SessionId};
@@ -29,6 +29,7 @@ fn main() {
     let truth: Vec<usize> = graphs.iter().map(|g| g.m()).collect();
     let scheduler = Scheduler::new(8, 8);
     let key = AuthKey::from_seed(9);
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     section(&format!("{sessions} EdgeCount sessions, scheduler 8×8"));
     let mut rows =
@@ -44,6 +45,7 @@ fn main() {
     for (report, &m) in sweep.reports.iter().zip(&truth) {
         assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
     }
+    records.push(BenchRecord::new("in-memory", 0, sessions as f64 / wall));
     rows.push(vec![
         "in-memory".into(),
         "-".into(),
@@ -74,6 +76,7 @@ fn main() {
         let s = server.stop();
         assert_eq!(s.mac_rejects, 0);
         assert_eq!(c.frames_received, c.frames_sent, "every frame echoed");
+        records.push(BenchRecord::new("wirenet", conns, sessions as f64 / wall));
         rows.push(vec![
             "wirenet".into(),
             conns.to_string(),
@@ -112,5 +115,10 @@ fn main() {
     assert!(s.mac_rejects > 0);
     assert_eq!(s.frames_received, s.frames_sent);
 
-    println!("\nwirenet experiments completed ✓");
+    // The sweep axis here is the connection-pool size, not a shard
+    // count — the JSON names it accordingly ("in-memory" carries 0).
+    let json =
+        write_bench_json_axis("exp_wirenet", "conns", &records).expect("write BENCH json");
+    println!("\nmachine-readable results: {}", json.display());
+    println!("wirenet experiments completed ✓");
 }

@@ -50,13 +50,15 @@ pub fn section(title: &str) {
 }
 
 /// One machine-readable throughput measurement for the bench
-/// trajectory: a backend (`"simnet"`, `"wirenet"`), a shard count, and
-/// the measured sessions per second.
+/// trajectory: a backend (`"simnet"`, `"wirenet"`, `"remote"`), a sweep
+/// axis value (shard count for the shard sweeps, connection count for
+/// the fleet sweeps — the axis is named in the JSON), and the measured
+/// sessions per second.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Which backend produced the number.
     pub backend: String,
-    /// Referee shard count the sweep ran with.
+    /// The sweep's axis value (shards or conns, named per bench).
     pub shards: usize,
     /// Verified sessions per wall-clock second.
     pub sessions_per_sec: f64,
@@ -78,6 +80,14 @@ impl BenchRecord {
 ///   {"backend":"simnet","shards":1,"sessions_per_sec":12345.6}, …]}
 /// ```
 pub fn bench_json(name: &str, records: &[BenchRecord]) -> String {
+    bench_json_axis(name, "shards", records)
+}
+
+/// Like [`bench_json`], with the sweep axis named explicitly — a bench
+/// whose independent variable is not a shard count (e.g. `exp_wirenet`
+/// sweeping connection pools) names its axis (`"conns"`) instead of
+/// mislabelling it.
+pub fn bench_json_axis(name: &str, axis: &str, records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"bench\":\"{name}\",\"unit\":\"sessions_per_second\",\"results\":["
@@ -87,7 +97,7 @@ pub fn bench_json(name: &str, records: &[BenchRecord]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"backend\":\"{}\",\"shards\":{},\"sessions_per_sec\":{:.1}}}",
+            "{{\"backend\":\"{}\",\"{axis}\":{},\"sessions_per_sec\":{:.1}}}",
             r.backend, r.shards, r.sessions_per_sec
         ));
     }
@@ -101,9 +111,31 @@ pub fn write_bench_json_in(
     name: &str,
     records: &[BenchRecord],
 ) -> std::io::Result<std::path::PathBuf> {
+    write_bench_json_axis_in(dir, name, "shards", records)
+}
+
+/// The one place the `BENCH_{name}.json` path and write live: every
+/// other writer delegates here, mirroring how [`bench_json`] delegates
+/// to [`bench_json_axis`].
+pub fn write_bench_json_axis_in(
+    dir: &std::path::Path,
+    name: &str,
+    axis: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
     let path = dir.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, bench_json(name, records))?;
+    std::fs::write(&path, bench_json_axis(name, axis, records))?;
     Ok(path)
+}
+
+/// [`write_bench_json`] with an explicit axis name (see
+/// [`bench_json_axis`]).
+pub fn write_bench_json_axis(
+    name: &str,
+    axis: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    write_bench_json_axis_in(std::path::Path::new("."), name, axis, records)
 }
 
 /// Write `BENCH_{name}.json` into the current directory (the repo root
@@ -149,6 +181,18 @@ mod tests {
              {\"backend\":\"simnet\",\"shards\":1,\"sessions_per_sec\":70000.0},\
              {\"backend\":\"wirenet\",\"shards\":8,\"sessions_per_sec\":5234.0}]}\n"
         );
+    }
+
+    #[test]
+    fn bench_json_axis_renames_the_axis_only() {
+        let records = [BenchRecord::new("wirenet", 8, 7700.0)];
+        assert_eq!(
+            bench_json_axis("exp_wirenet", "conns", &records),
+            "{\"bench\":\"exp_wirenet\",\"unit\":\"sessions_per_second\",\"results\":[\
+             {\"backend\":\"wirenet\",\"conns\":8,\"sessions_per_sec\":7700.0}]}\n"
+        );
+        // The default axis stays "shards" — the pinned historic format.
+        assert_eq!(bench_json("x", &records), bench_json_axis("x", "shards", &records));
     }
 
     #[test]

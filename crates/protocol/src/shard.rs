@@ -33,6 +33,12 @@
 //! one-shard special case of
 //! [`run_multiround_sharded`](multiround::run_multiround_sharded).
 //!
+//! Two further submodules serve cross-host deployments of this split:
+//! [`placement`] assigns shards to hosts (the same balanced-contiguous
+//! arithmetic one level up, plus static maps and loss-remap), and
+//! [`replay`] is the coordinator-side journal/resume machinery that
+//! rebuilds a lost host's volatile shard state bit-for-bit.
+//!
 //! # Canonical verdicts
 //!
 //! A sequential assembler can report the *first* fault in arrival order;
@@ -48,6 +54,8 @@
 //! 4. otherwise the ID-indexed message vector `Γ^l(G)`.
 
 pub mod multiround;
+pub mod placement;
+pub mod replay;
 
 use crate::{DecodeError, Message};
 use referee_graph::VertexId;
@@ -206,6 +214,22 @@ impl PartialState {
     /// recorded), so routers report it here.
     pub fn note_duplicate(&mut self, sender: VertexId) {
         self.dup_min = min_opt(self.dup_min, Some(sender));
+    }
+
+    /// The single-fault summary for a straggler behind an
+    /// already-merged range partial: by definition a duplicate (in
+    /// range) or a stray (out of range). Every deployment that reports
+    /// post-commit stragglers — the in-process shard worker, the
+    /// placement proxy, the placement sim — merges exactly this notice,
+    /// so the fail-fast verdict cannot drift between them.
+    pub fn poison_notice(n: usize, sender: VertexId) -> PartialState {
+        let mut p = PartialState::new(n);
+        if sender == 0 || sender as usize > n {
+            p.note_out_of_range(sender);
+        } else {
+            p.note_duplicate(sender);
+        }
+        p
     }
 
     /// Fold `other` into `self`. Commutative and associative up to the

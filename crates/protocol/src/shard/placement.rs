@@ -1,0 +1,165 @@
+//! Shard placement: which host owns which shard of the referee's wait.
+//!
+//! Cross-host sharding needs one more level of the §IV partition
+//! arithmetic: the balanced contiguous split assigns node IDs to
+//! *shards* ([`shard_of`]/[`shard_range`]); a [`PlacementPolicy`]
+//! assigns shards to *hosts*. The default is the same balanced
+//! contiguous rule one level up — host `j` of `m` owns a contiguous
+//! block of shard indices, computed by reusing [`shard_range`] over the
+//! shard-index space — and a static map is available when a deployment
+//! knows better (heterogeneous hosts, pinned ranges).
+//!
+//! The invariants callers rely on (pinned by property tests):
+//!
+//! 1. every node ID in `1..=n` maps to **exactly one** host
+//!    (`shard_of` is total on `1..=n`, and every shard has a host);
+//! 2. the shard ranges cover `1..=n` with no overlap (inherited from
+//!    the partition arithmetic);
+//! 3. [`remap`](PlacementPolicy::remap) after losing any set of hosts
+//!    yields a policy whose surviving hosts still cover every shard —
+//!    or `None` when nothing survived.
+
+use super::{shard_of, shard_range};
+use referee_graph::VertexId;
+use std::collections::BTreeSet;
+
+/// Identifies one shard host in a placement (what it maps to — an
+/// address, a process, a rack — is the caller's business).
+pub type HostId = u32;
+
+/// An assignment of every shard index to a host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPolicy {
+    /// `map[i]` is the host owning shard `i`; `map.len()` is the shard
+    /// count.
+    map: Vec<HostId>,
+}
+
+impl PlacementPolicy {
+    /// The balanced-contiguous default: host `j` of `hosts.len()` owns
+    /// the contiguous block of shard indices [`shard_range`] assigns it
+    /// (the same arithmetic that splits node IDs into shards, one level
+    /// up). With more hosts than shards the trailing hosts own nothing.
+    ///
+    /// Panics if `shards == 0` or `hosts` is empty.
+    pub fn balanced(shards: usize, hosts: &[HostId]) -> PlacementPolicy {
+        assert!(shards >= 1, "a placement needs at least one shard");
+        assert!(!hosts.is_empty(), "a placement needs at least one host");
+        let map = (0..shards)
+            .map(|i| hosts[shard_of(shards, hosts.len().min(shards), (i + 1) as VertexId)])
+            .collect();
+        PlacementPolicy { map }
+    }
+
+    /// A static map: `map[i]` names the host owning shard `i`.
+    ///
+    /// Panics if `map` is empty (a placement needs at least one shard).
+    pub fn from_map(map: Vec<HostId>) -> PlacementPolicy {
+        assert!(!map.is_empty(), "a placement needs at least one shard");
+        PlacementPolicy { map }
+    }
+
+    /// Total shards placed.
+    pub fn shards(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The host owning shard `index`.
+    ///
+    /// Panics if `index` is out of `0..shards`.
+    pub fn host_of_shard(&self, index: usize) -> HostId {
+        self.map[index]
+    }
+
+    /// The host owning node `v` of a size-`n` network: the owner of
+    /// [`shard_of(n, shards, v)`](shard_of). Panics like `shard_of` if
+    /// `v` is not in `1..=n`.
+    pub fn host_of(&self, n: usize, v: VertexId) -> HostId {
+        self.host_of_shard(shard_of(n, self.shards(), v))
+    }
+
+    /// The distinct hosts this placement uses, in shard order.
+    pub fn hosts(&self) -> Vec<HostId> {
+        let mut seen = BTreeSet::new();
+        self.map.iter().copied().filter(|h| seen.insert(*h)).collect()
+    }
+
+    /// The `(shard index, node range)` assignment of every host-owned
+    /// shard for a size-`n` network, in shard order.
+    pub fn assignments(&self, n: usize) -> Vec<(usize, super::ShardRange, HostId)> {
+        (0..self.shards()).map(|i| (i, shard_range(n, self.shards(), i), self.map[i])).collect()
+    }
+
+    /// The placement after losing every host in `lost`: shards owned by
+    /// a lost host are redistributed round-robin over the survivors (in
+    /// first-appearance order), so coverage is preserved — every shard
+    /// still has exactly one (surviving) owner. Returns `None` when no
+    /// host survives.
+    pub fn remap(&self, lost: &BTreeSet<HostId>) -> Option<PlacementPolicy> {
+        let survivors: Vec<HostId> =
+            self.hosts().into_iter().filter(|h| !lost.contains(h)).collect();
+        if survivors.is_empty() {
+            return None;
+        }
+        let map = self
+            .map
+            .iter()
+            .enumerate()
+            .map(|(i, h)| if lost.contains(h) { survivors[i % survivors.len()] } else { *h })
+            .collect();
+        Some(PlacementPolicy { map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_blocks_are_contiguous_and_cover() {
+        let p = PlacementPolicy::balanced(8, &[10, 20, 30]);
+        assert_eq!(p.shards(), 8);
+        // Contiguous blocks in host order, every shard owned.
+        let owners: Vec<HostId> = (0..8).map(|i| p.host_of_shard(i)).collect();
+        let mut blocks = owners.clone();
+        blocks.dedup();
+        assert_eq!(blocks, vec![10, 20, 30], "one contiguous block per host: {owners:?}");
+    }
+
+    #[test]
+    fn more_hosts_than_shards_uses_a_prefix() {
+        let p = PlacementPolicy::balanced(2, &[1, 2, 3, 4, 5]);
+        assert_eq!(p.hosts().len(), 2);
+    }
+
+    #[test]
+    fn every_node_maps_to_its_shard_owner() {
+        let p = PlacementPolicy::balanced(4, &[7, 9]);
+        for n in [1usize, 5, 16, 97] {
+            for v in 1..=n as VertexId {
+                assert_eq!(p.host_of(n, v), p.host_of_shard(shard_of(n, 4, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_redistributes_lost_shards() {
+        let p = PlacementPolicy::from_map(vec![1, 1, 2, 2, 3, 3]);
+        let lost = BTreeSet::from([2]);
+        let q = p.remap(&lost).expect("survivors exist");
+        assert_eq!(q.shards(), p.shards());
+        for i in 0..q.shards() {
+            assert!(!lost.contains(&q.host_of_shard(i)), "shard {i} still on a lost host");
+        }
+        // Untouched shards keep their owner.
+        assert_eq!(q.host_of_shard(0), 1);
+        assert_eq!(q.host_of_shard(4), 3);
+    }
+
+    #[test]
+    fn remap_with_no_survivors_is_none() {
+        let p = PlacementPolicy::from_map(vec![1, 2]);
+        assert!(p.remap(&BTreeSet::from([1, 2])).is_none());
+        assert_eq!(p.remap(&BTreeSet::new()).unwrap(), p);
+    }
+}

@@ -37,6 +37,11 @@
 //!   protocols: every round's uplinks route into `k` per-round shards
 //!   whose [`RoundPartialState`](referee_protocol::shard::multiround::RoundPartialState)s
 //!   cross the transport before each `referee_step`.
+//! * [`placement`] — [`PlacementSim`]: a sans-I/O, seeded model of
+//!   cross-host shard placement under host loss — kills wipe volatile
+//!   shard state, journal replay rebuilds it — pinned to produce the
+//!   monolithic verdict for every seed and kill rate, so any wire-layer
+//!   reconnect bug has a seed-reproducible counterexample here.
 //! * [`scheduler`] — a claim-based batching worker pool ([`Scheduler`])
 //!   that drives many sessions concurrently (interleaving their `step`s
 //!   within a batch) and disables the legacy simulator's nested
@@ -91,6 +96,7 @@
 pub mod clock;
 pub mod fault;
 pub mod metrics;
+pub mod placement;
 pub mod scheduler;
 pub mod session;
 pub mod shard;
@@ -99,6 +105,7 @@ pub mod transport;
 pub use clock::{real_clock, Clock, ManualClock, RealClock, SharedClock};
 pub use fault::{FaultConfig, FaultyTransport};
 pub use metrics::{AggregateMetrics, SessionMetrics, TransportCounters};
+pub use placement::{PlacementReport, PlacementSim};
 pub use scheduler::{Scheduler, SweepReport};
 pub use session::{MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step};
 pub use shard::multiround::{ShardedMultiRoundReport, ShardedMultiRoundSession};

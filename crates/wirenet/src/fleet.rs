@@ -61,9 +61,12 @@
 use crate::auth::AuthKey;
 use crate::frame::{FrameKind, WireError};
 use crate::metrics::{WireMetrics, WireSnapshot};
-use crate::multiround::{decode_mr_verdict, run_multiround_server, WireReferee};
+use crate::multiround::{
+    decode_mr_verdict, run_multiround_server, run_multiround_server_remote, WireReferee,
+};
+use crate::placement::RemotePlacement;
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
-use crate::shard::{decode_verdict, run_sharded_server};
+use crate::shard::{decode_verdict, run_sharded_server, run_sharded_server_remote};
 use referee_graph::{LabelledGraph, VertexId};
 use referee_protocol::multiround::MultiRoundProtocol;
 use referee_protocol::{BitWriter, DecodeError, Message, NodeView};
@@ -164,6 +167,7 @@ pub struct FleetServerBuilder {
     shards: usize,
     bind: Option<SocketAddr>,
     multiround: Option<Arc<dyn WireReferee>>,
+    placement: Option<RemotePlacement>,
 }
 
 impl std::fmt::Debug for FleetServerBuilder {
@@ -172,6 +176,7 @@ impl std::fmt::Debug for FleetServerBuilder {
             .field("shards", &self.shards)
             .field("bind", &self.bind)
             .field("multiround", &self.multiround.is_some())
+            .field("placement", &self.placement.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -197,6 +202,23 @@ impl FleetServerBuilder {
         self
     }
 
+    /// Place the referee's shards on **remote shard hosts**: the server
+    /// becomes a coordinator whose shard ranges live on the
+    /// [`ShardHost`](crate::placement::ShardHost)s named by
+    /// `placement` (one proxy per shard forwards routed uplinks,
+    /// journals for replay, and survives shard-host kill/restart — see
+    /// [`crate::placement`]). The shard count comes from the
+    /// placement's [`PlacementPolicy`](crate::placement::PlacementPolicy),
+    /// overriding [`shards`](FleetServerBuilder::shards). Combine with
+    /// [`multiround`](FleetServerBuilder::multiround) for the
+    /// multi-round service; without it the one-round verifier is
+    /// served.
+    pub fn placement(mut self, placement: RemotePlacement) -> FleetServerBuilder {
+        self.shards = placement.shards();
+        self.placement = Some(placement);
+        self
+    }
+
     /// Bind to `addr` instead of the default. For cross-host fleets
     /// bind a routable address (e.g. `0.0.0.0:7431`) and point clients
     /// at it; the [`BIND_ENV`] environment variable does the same
@@ -217,23 +239,32 @@ impl FleetServerBuilder {
         let key = self.key;
         let shards = self.shards;
         let multiround = self.multiround;
+        let placement = self.placement;
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
             thread::Builder::new().name("wirenet-server".into()).spawn(move || {
-                if let Some(referee) = multiround {
-                    run_multiround_server(
+                match (placement, multiround) {
+                    (Some(p), Some(referee)) => run_multiround_server_remote(
+                        listener, key, referee, p, &shutdown, &metrics,
+                    ),
+                    (Some(p), None) => {
+                        run_sharded_server_remote(listener, key, p, &shutdown, &metrics)
+                    }
+                    (None, Some(referee)) => run_multiround_server(
                         listener,
                         key,
                         referee,
                         shards.max(1),
                         &shutdown,
                         &metrics,
-                    )
-                } else if shards == 0 {
-                    run_server(listener, key, &shutdown, &metrics)
-                } else {
-                    run_sharded_server(listener, key, shards, &shutdown, &metrics)
+                    ),
+                    (None, None) if shards == 0 => {
+                        run_server(listener, key, &shutdown, &metrics)
+                    }
+                    (None, None) => {
+                        run_sharded_server(listener, key, shards, &shutdown, &metrics)
+                    }
                 }
             })?
         };
@@ -264,7 +295,7 @@ impl FleetServer {
     /// Configure a server before spawning (bind address, sharded or
     /// multi-round mode).
     pub fn builder(key: AuthKey) -> FleetServerBuilder {
-        FleetServerBuilder { key, shards: 0, bind: None, multiround: None }
+        FleetServerBuilder { key, shards: 0, bind: None, multiround: None, placement: None }
     }
 
     /// Spawn the echo mailbox on the default bind address.

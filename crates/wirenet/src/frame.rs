@@ -59,6 +59,19 @@ pub enum FrameKind {
     /// Sharded server → client: the referee's verdict for a session
     /// (ok + message-vector digest, or a rejection class).
     Verdict = 4,
+    /// Coordinator → shard host at connect time: registers the
+    /// connection as one shard of a placement (mode, shard index, shard
+    /// count, registration generation in the payload). The only frame a
+    /// shard-host link carries under the registration key; everything
+    /// after runs under the per-shard generation key (see
+    /// `wirenet::placement`).
+    Register = 5,
+    /// Coordinator → shard host: a session's verdict shipped — drop its
+    /// shard state (`from` = coordinator connection id).
+    Finish = 6,
+    /// Coordinator → shard host: a client connection died — drop all of
+    /// its sessions (`from` = coordinator connection id).
+    Retire = 7,
 }
 
 impl FrameKind {
@@ -69,6 +82,9 @@ impl FrameKind {
             2 => Some(FrameKind::Announce),
             3 => Some(FrameKind::Partial),
             4 => Some(FrameKind::Verdict),
+            5 => Some(FrameKind::Register),
+            6 => Some(FrameKind::Finish),
+            7 => Some(FrameKind::Retire),
             _ => None,
         }
     }
@@ -271,6 +287,9 @@ mod tests {
             FrameKind::Announce,
             FrameKind::Partial,
             FrameKind::Verdict,
+            FrameKind::Register,
+            FrameKind::Finish,
+            FrameKind::Retire,
         ] {
             let bytes = encode_wire_frame(&key(), kind, &e);
             let d = decode_frame(&key(), &bytes).unwrap().unwrap();

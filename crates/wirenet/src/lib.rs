@@ -47,6 +47,13 @@
 //!   waits) are configurable via [`WireTimeouts`] and the
 //!   `REFEREE_WIRENET_{HELLO,VERDICT}_TIMEOUT_MS` environment
 //!   variables.
+//! * [`placement`] — **cross-host shard placement**: shard workers as
+//!   network peers. A [`ShardHost`] role serves shard state behind a
+//!   MAC'd registration handshake with per-shard, generation-scoped
+//!   keys; a [`PlacementPolicy`] + [`RemotePlacement`] decide which
+//!   host owns which ID range; coordinator-side proxies journal and
+//!   replay so shard-host kill/restart leaves verdicts bit-for-bit
+//!   unchanged.
 //!
 //! # Frame layout
 //!
@@ -97,10 +104,59 @@
 //! 4. **Firewalling** — one inbound TCP port on the server; clients
 //!    need only outbound connectivity.
 //!
-//! Shard workers currently live in the server process and exchange
-//! partials over in-process channels — but those partials already cross
-//! the full MAC'd wire codec, so placing shards on separate hosts is a
-//! transport swap, not a redesign (tracked in the ROADMAP).
+//! ## Placing shards on their own hosts
+//!
+//! The referee's shard workers can themselves be network peers (see
+//! [`placement`] for the full design). The recipe, one role at a time:
+//!
+//! 1. **Shard hosts** — on each shard machine run the shard-host role:
+//!    bind via the `REFEREE_SHARDHOST_BIND` environment variable (or an
+//!    explicit address) and keep the process alive:
+//!    ```no_run
+//!    # use referee_wirenet::{AuthKey, ShardHost};
+//!    // REFEREE_SHARDHOST_BIND=0.0.0.0:7432
+//!    let host = ShardHost::spawn_env(AuthKey::new(*b"0123456789abcdef")).unwrap();
+//!    println!("serving shards at {}", host.addr());
+//!    ```
+//!    Shard hosts are deliberately stateless across restarts: the
+//!    coordinator journals everything a live shard may need and replays
+//!    it on reconnect.
+//! 2. **Key registration** — shard hosts hold the same base key as the
+//!    coordinator. Each coordinator link opens with a MAC'd `Register`
+//!    handshake; from then on the link runs under
+//!    `base.derive("place_ky").derive(shard id).derive(generation)` — a
+//!    leaked shard key cannot forge sibling shards, and a reconnect
+//!    bumps the generation so pre-epoch partials fail the MAC.
+//! 3. **Coordinator** — assign shards to hosts with a
+//!    [`PlacementPolicy`] (balanced-contiguous by default, static maps
+//!    for pinned layouts), bind it to addresses with a
+//!    [`RemotePlacement`], and hand it to the builder:
+//!    ```no_run
+//!    # use referee_wirenet::*;
+//!    # let key = AuthKey::from_seed(0);
+//!    let policy = PlacementPolicy::balanced(4, &[0, 1]);
+//!    let placement = RemotePlacement::new(
+//!        policy,
+//!        [(0, "10.0.0.2:7432".parse().unwrap()), (1, "10.0.0.3:7432".parse().unwrap())],
+//!    ).unwrap();
+//!    let server = FleetServer::builder(key)
+//!        .placement(placement.clone())
+//!        .multiround(boruvka_connectivity_service()) // omit for the one-round verifier
+//!        .spawn()
+//!        .unwrap();
+//!    ```
+//!    Clients connect exactly as before — remote placement is invisible
+//!    to them.
+//! 4. **Reconnect semantics** — if a shard host dies, its proxy redials
+//!    (20 ms backoff), re-registers under a fresh generation, and
+//!    replays the journal: uncommitted sessions are re-announced at
+//!    their resume round and their buffered uplinks resent, so the
+//!    rebuilt shard re-emits bit-identical partials and verdicts are
+//!    unchanged (pinned by the chaos tests and
+//!    `examples/cross_host_shards.rs`, which SIGKILLs real child
+//!    processes mid-fleet). A host that comes back on a *different*
+//!    address is re-pointed with
+//!    [`RemotePlacement::update_host`] — no server restart.
 //!
 //! # Example: a fleet over loopback TCP
 //!
@@ -152,6 +208,7 @@ pub mod fleet;
 pub mod frame;
 pub mod metrics;
 pub mod multiround;
+pub mod placement;
 pub mod reactor;
 pub mod shard;
 
@@ -168,5 +225,8 @@ pub use metrics::{WireMetrics, WireSnapshot};
 pub use multiround::{
     boruvka_connectivity_service, decode_bool_output, encode_bool_output, ProtocolReferee,
     RefereeStepper, WireReferee,
+};
+pub use placement::{
+    HostId, PlacementPolicy, RemotePlacement, ShardHost, ShardHostMode, SHARD_HOST_BIND_ENV,
 };
 pub use shard::vector_digest;

@@ -21,6 +21,8 @@ pub struct WireMetrics {
     partial_frames: AtomicU64,
     verdict_frames: AtomicU64,
     downlink_frames: AtomicU64,
+    shard_reconnects: AtomicU64,
+    replayed_frames: AtomicU64,
 }
 
 macro_rules! bump {
@@ -45,6 +47,8 @@ impl WireMetrics {
     bump!(partial_frames);
     bump!(verdict_frames);
     bump!(downlink_frames);
+    bump!(shard_reconnects);
+    bump!(replayed_frames);
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> WireSnapshot {
@@ -62,6 +66,8 @@ impl WireMetrics {
             partial_frames: self.partial_frames.load(Ordering::Relaxed),
             verdict_frames: self.verdict_frames.load(Ordering::Relaxed),
             downlink_frames: self.downlink_frames.load(Ordering::Relaxed),
+            shard_reconnects: self.shard_reconnects.load(Ordering::Relaxed),
+            replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +108,13 @@ pub struct WireSnapshot {
     /// Multi-round referee only: per-round downlink frames streamed
     /// back to clients.
     pub downlink_frames: u64,
+    /// Remote placement only: (re)connections a coordinator proxy made
+    /// to its shard host — 1 per proxy for a clean run, more after
+    /// shard-host loss.
+    pub shard_reconnects: u64,
+    /// Remote placement only: journaled frames resent to a reconnected
+    /// shard host (announcements excluded).
+    pub replayed_frames: u64,
 }
 
 impl std::fmt::Display for WireSnapshot {
@@ -109,7 +122,8 @@ impl std::fmt::Display for WireSnapshot {
         write!(
             f,
             "conns {} | frames {}/{} | bytes {}/{} | mac-rejects {} | decode-rejects {} | \
-             stalls {} | tampered {} | orphans {} | partials {} | verdicts {} | downlinks {}",
+             stalls {} | tampered {} | orphans {} | partials {} | verdicts {} | downlinks {} \
+             | shard-reconnects {} | replays {}",
             self.connections,
             self.frames_sent,
             self.frames_received,
@@ -123,6 +137,8 @@ impl std::fmt::Display for WireSnapshot {
             self.partial_frames,
             self.verdict_frames,
             self.downlink_frames,
+            self.shard_reconnects,
+            self.replayed_frames,
         )
     }
 }

@@ -55,6 +55,7 @@ use crate::auth::AuthKey;
 use crate::fleet::{accept_conn, IDLE_SLEEP};
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use crate::metrics::WireMetrics;
+use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::multiround::{BoruvkaConnectivity, MultiRoundProtocol, RefereeStep};
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
@@ -248,7 +249,7 @@ pub(crate) fn decode_mr_verdict(msg: &Message) -> Result<Message, DecodeError> {
 
 /// Router → worker (and worker → worker 0) traffic; sessions keyed by
 /// `(conn, session)` like the one-round service.
-enum MrMsg {
+pub(crate) enum MrMsg {
     /// A session opened: every worker creates its round-1 shard.
     Announce { conn: u32, session: u64, n: usize, epoch: u32 },
     /// An authenticated round-stamped uplink routed to this worker's
@@ -326,7 +327,87 @@ pub(crate) fn run_multiround_server(
             let exchange_key = &exchange_key;
             let referee = Arc::clone(&referee);
             scope.spawn(move || {
-                mr_worker(i, shards, rx, tx0, otx, exchange_key, referee, metrics)
+                mr_worker(i, shards, rx, tx0, otx, exchange_key, referee, metrics, true)
+            });
+        }
+        drop(out_tx);
+        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx);
+        drop(worker_txs);
+    });
+}
+
+/// Convert router traffic into the placement proxy's event type.
+pub(crate) fn mr_proxy_event(m: MrMsg) -> Option<ProxyEvent> {
+    match m {
+        MrMsg::Announce { conn, session, n, epoch } => {
+            Some(ProxyEvent::Announce { conn, session, n, epoch })
+        }
+        MrMsg::Data { conn, env } => Some(ProxyEvent::Data { conn, env }),
+        MrMsg::Finish { conn, session } => Some(ProxyEvent::Finish { conn, session }),
+        MrMsg::Retire { conn } => Some(ProxyEvent::Retire { conn }),
+        MrMsg::Partial(_) => None,
+    }
+}
+
+/// The multi-round server loop with **remotely placed** shards: every
+/// per-round range wait lives on a
+/// [`ShardHost`](crate::placement::ShardHost) named by `placement`; the
+/// in-process worker 0 keeps only the referee and the per-round merge
+/// accumulators, fed by one proxy per shard.
+pub(crate) fn run_multiround_server_remote(
+    listener: TcpListener,
+    key: AuthKey,
+    referee: Arc<dyn WireReferee>,
+    placement: RemotePlacement,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+) {
+    let shards = placement.shards();
+    let exchange_key = key.derive(MR_EXCHANGE_TWEAK);
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<MrOutbound>();
+    let mut worker_txs: Vec<Sender<MrMsg>> = Vec::with_capacity(shards + 1);
+    let mut worker_rxs: Vec<Receiver<MrMsg>> = Vec::with_capacity(shards + 1);
+    for _ in 0..=shards {
+        let (tx, rx) = std::sync::mpsc::channel();
+        worker_txs.push(tx);
+        worker_rxs.push(rx);
+    }
+    thread::scope(|scope| {
+        let mut rxs = worker_rxs.into_iter();
+        let proxy_rxs: Vec<_> = rxs.by_ref().take(shards).collect();
+        let acc_rx = rxs.next().expect("accumulator channel");
+        {
+            let otx = out_tx.clone();
+            let exchange_key = &exchange_key;
+            let referee = Arc::clone(&referee);
+            scope.spawn(move || {
+                mr_worker(0, shards, acc_rx, None, otx, exchange_key, referee, metrics, false)
+            });
+        }
+        for (i, rx) in proxy_rxs.into_iter().enumerate() {
+            let acc_tx = worker_txs[shards].clone();
+            let base = &key;
+            let exchange_key = &exchange_key;
+            let placement = &placement;
+            let referee = Arc::clone(&referee);
+            scope.spawn(move || {
+                run_proxy(
+                    ProxyConfig {
+                        mode: ShardHostMode::MultiRound,
+                        index: i,
+                        shards,
+                        base,
+                        exchange_key,
+                        placement,
+                        metrics,
+                    },
+                    rx,
+                    mr_proxy_event,
+                    move |bytes| {
+                        let _ = acc_tx.send(MrMsg::Partial(bytes));
+                    },
+                    move |n| referee.round_cap(n),
+                )
             });
         }
         drop(out_tx);
@@ -523,7 +604,10 @@ fn nonempty_shards(n: usize, shards: usize) -> usize {
 }
 
 /// One multi-round shard worker: owns shard `index` of every announced
-/// session's per-round uplink wait.
+/// session's per-round uplink wait. With `owns_range` false (remote
+/// placement) the worker collects nothing itself — it keeps only the
+/// referee and the per-round merge accumulators, its "shard" a
+/// permanently empty range that never emits.
 #[allow(clippy::too_many_arguments)]
 fn mr_worker(
     index: usize,
@@ -534,6 +618,7 @@ fn mr_worker(
     exchange_key: &AuthKey,
     referee: Arc<dyn WireReferee>,
     metrics: &WireMetrics,
+    owns_range: bool,
 ) {
     let mut sessions: HashMap<(u32, u64), MrSession> = HashMap::new();
     while let Ok(msg) = rx.recv() {
@@ -551,7 +636,13 @@ fn mr_worker(
                     n,
                     epoch,
                     shards,
-                    shard: RoundShard::new(n, shards, index, 1),
+                    shard: if owns_range {
+                        RoundShard::new(n, shards, index, 1)
+                    } else {
+                        // n = 0 yields the empty range: the emit loop
+                        // returns immediately, forever.
+                        RoundShard::new(0, 1, 0, 1)
+                    },
                     stepper: (index == 0).then(|| referee.open(n)),
                     referee_round: 1,
                     pending: BTreeMap::new(),

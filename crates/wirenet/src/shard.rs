@@ -18,9 +18,10 @@
 //!    [`PartialState`] into a
 //!    [`Partial`](FrameKind::Partial) frame — encoded and MAC'd by the
 //!    **same wire codec** as everything else, under a key derived for
-//!    the exchange domain — and ships it to worker 0 (in-process today;
-//!    the codec boundary is what makes cross-host shard placement a
-//!    follow-up, not a redesign);
+//!    the exchange domain — and ships it to worker 0 (in-process by
+//!    default; with a [`RemotePlacement`] the ranges live on
+//!    [`ShardHost`](crate::placement::ShardHost) peers instead — see
+//!    [`crate::placement`]);
 //! 4. worker 0 merges the `k` partials (any arrival order — merge is
 //!    commutative) and finishes: the canonical verdict plus, on
 //!    success, a keyed [`vector_digest`] of the assembled message
@@ -56,6 +57,7 @@ use crate::auth::AuthKey;
 use crate::fleet::{accept_conn, IDLE_SLEEP};
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use crate::metrics::WireMetrics;
+use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
 use referee_protocol::{BitWriter, DecodeError, Message};
@@ -144,7 +146,7 @@ pub(crate) fn decode_verdict(msg: &Message) -> Result<u64, DecodeError> {
 /// Router → worker (and worker → worker 0) traffic. Sessions are keyed
 /// by `(conn, session)` throughout, so independent clients may number
 /// their sessions identically without colliding.
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     /// A session opened: every worker creates its shard. `epoch` is the
     /// router's announce sequence number for this (conn, session) run.
     Announce { conn: u32, session: u64, n: usize, epoch: u32 },
@@ -223,13 +225,93 @@ pub(crate) fn run_sharded_server(
             let exchange_key = &exchange_key;
             let base = &key;
             scope.spawn(move || {
-                shard_worker(i, shards, rx, tx0, vtx, exchange_key, base, metrics)
+                shard_worker(i, shards, rx, tx0, vtx, exchange_key, base, metrics, true)
             });
         }
         drop(verdict_tx);
         route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx);
         // Dropping the senders disconnects every worker inbox; the scope
         // then joins the workers.
+        drop(worker_txs);
+    });
+}
+
+/// Convert router traffic into the placement proxy's event type
+/// (`Partial` never flows router → proxy).
+pub(crate) fn shard_proxy_event(m: ShardMsg) -> Option<ProxyEvent> {
+    match m {
+        ShardMsg::Announce { conn, session, n, epoch } => {
+            Some(ProxyEvent::Announce { conn, session, n, epoch })
+        }
+        ShardMsg::Data { conn, env } => Some(ProxyEvent::Data { conn, env }),
+        ShardMsg::Finish { conn, session } => Some(ProxyEvent::Finish { conn, session }),
+        ShardMsg::Retire { conn } => Some(ProxyEvent::Retire { conn }),
+        ShardMsg::Partial(_) => None,
+    }
+}
+
+/// The sharded-mode server loop with **remotely placed** shards: every
+/// shard's range lives on a [`ShardHost`](crate::placement::ShardHost)
+/// named by `placement`; the in-process worker 0 degenerates to the
+/// merge accumulator (it owns no range), fed by one proxy per shard.
+pub(crate) fn run_sharded_server_remote(
+    listener: TcpListener,
+    key: AuthKey,
+    placement: RemotePlacement,
+    shutdown: &AtomicBool,
+    metrics: &WireMetrics,
+) {
+    let shards = placement.shards();
+    let exchange_key = key.derive(EXCHANGE_TWEAK);
+    let (verdict_tx, verdict_rx) = std::sync::mpsc::channel::<VerdictMsg>();
+    // One channel per shard proxy, plus the accumulator's (last), which
+    // the router also broadcasts control traffic to.
+    let mut worker_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(shards + 1);
+    let mut worker_rxs: Vec<Receiver<ShardMsg>> = Vec::with_capacity(shards + 1);
+    for _ in 0..=shards {
+        let (tx, rx) = std::sync::mpsc::channel();
+        worker_txs.push(tx);
+        worker_rxs.push(rx);
+    }
+    thread::scope(|scope| {
+        let mut rxs = worker_rxs.into_iter();
+        let proxy_rxs: Vec<_> = rxs.by_ref().take(shards).collect();
+        let acc_rx = rxs.next().expect("accumulator channel");
+        {
+            let vtx = verdict_tx.clone();
+            let exchange_key = &exchange_key;
+            let base = &key;
+            scope.spawn(move || {
+                shard_worker(0, shards, acc_rx, None, vtx, exchange_key, base, metrics, false)
+            });
+        }
+        for (i, rx) in proxy_rxs.into_iter().enumerate() {
+            let acc_tx = worker_txs[shards].clone();
+            let base = &key;
+            let exchange_key = &exchange_key;
+            let placement = &placement;
+            scope.spawn(move || {
+                run_proxy(
+                    ProxyConfig {
+                        mode: ShardHostMode::OneRound,
+                        index: i,
+                        shards,
+                        base,
+                        exchange_key,
+                        placement,
+                        metrics,
+                    },
+                    rx,
+                    shard_proxy_event,
+                    move |bytes| {
+                        let _ = acc_tx.send(ShardMsg::Partial(bytes));
+                    },
+                    |_| 1,
+                )
+            });
+        }
+        drop(verdict_tx);
+        route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx);
         drop(worker_txs);
     });
 }
@@ -413,6 +495,10 @@ fn route(
 }
 
 /// One shard worker: owns shard `index` of every announced session.
+/// With `owns_range` false (remote placement) the worker holds no shard
+/// of its own — it is the pure merge accumulator, fed `Partial` frames
+/// by the shard proxies and expecting one quorum partial from each of
+/// the `shards` remotely-placed ranges.
 #[allow(clippy::too_many_arguments)]
 fn shard_worker(
     index: usize,
@@ -423,6 +509,7 @@ fn shard_worker(
     exchange_key: &AuthKey,
     base: &AuthKey,
     metrics: &WireMetrics,
+    owns_range: bool,
 ) {
     let mut sessions: HashMap<(u32, u64), WorkerSession> = HashMap::new();
     while let Ok(msg) = rx.recv() {
@@ -432,7 +519,7 @@ fn shard_worker(
                     conn,
                     n,
                     epoch,
-                    shard: Some(RefereeShard::new(n, shards, index)),
+                    shard: owns_range.then(|| RefereeShard::new(n, shards, index)),
                     acc: PartialState::new(n),
                     merged: 0,
                 };
@@ -466,12 +553,7 @@ fn shard_worker(
                         // out-of-range stray: report the fault so the
                         // session fails fast instead of wedging a
                         // not-yet-complete sibling shard's wait.
-                        let mut poison = PartialState::new(ws.n);
-                        if env.from == 0 || env.from as usize > ws.n {
-                            poison.note_out_of_range(env.from);
-                        } else {
-                            poison.note_duplicate(env.from);
-                        }
+                        let poison = PartialState::poison_notice(ws.n, env.from);
                         // A poison notice is a few bits — never oversized.
                         let _ = apply_partial(
                             index,

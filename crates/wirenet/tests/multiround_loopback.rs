@@ -8,11 +8,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use referee_graph::{algo, generators, LabelledGraph};
 use referee_protocol::multiround::{run_multiround, BoruvkaConnectivity};
-use referee_simnet::{Scheduler, SessionId};
+use referee_protocol::shard::replay::encode_resume;
+use referee_protocol::{BitWriter, Message};
+use referee_simnet::{Envelope, Scheduler, SessionId};
+use referee_wirenet::placement::{link_key, register_frame, shard_key, ShardHostMode};
 use referee_wirenet::{
-    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
-    TamperConfig,
+    boruvka_connectivity_service, decode_bool_output, decode_frame, encode_wire_frame, AuthKey,
+    FleetClient, FleetServer, FrameKind, ShardHost, TamperConfig, WireError,
 };
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 fn graphs(count: usize, seed: u64) -> Vec<LabelledGraph> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -159,6 +165,147 @@ fn zero_round_cap_runs_nothing() {
     let stats = server.stop();
     assert_eq!(stats.frames_received, 0);
     assert_eq!(stats.verdict_frames, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard key separation on shard-host links
+// ---------------------------------------------------------------------------
+
+/// A minimal raw coordinator link for the shard-host tamper tests.
+struct RawLink {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RawLink {
+    fn connect(addr: std::net::SocketAddr) -> RawLink {
+        let stream = TcpStream::connect(addr).expect("connect to shard host");
+        stream.set_read_timeout(Some(Duration::from_millis(20))).expect("read timeout");
+        RawLink { stream, buf: Vec::new() }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write frame");
+    }
+
+    /// Read until one frame decodes under `key`, the peer hangs up, or
+    /// the deadline passes. `Ok(None)` = silence, `Err(true)` = closed.
+    fn read_frame(
+        &mut self,
+        key: &AuthKey,
+        deadline: Duration,
+    ) -> Result<Option<(FrameKind, Envelope)>, bool> {
+        let until = Instant::now() + deadline;
+        let mut scratch = [0u8; 4096];
+        loop {
+            match decode_frame(key, &self.buf) {
+                Ok(Some(d)) => {
+                    self.buf.drain(..d.consumed);
+                    return Ok(Some((d.kind, d.envelope)));
+                }
+                Ok(None) => {}
+                Err(_) => return Err(false), // undecodable under this key
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return Err(true), // peer closed
+                Ok(k) => self.buf.extend_from_slice(&scratch[..k]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() > until {
+                        return Ok(None);
+                    }
+                }
+                Err(_) => return Err(true),
+            }
+        }
+    }
+}
+
+fn bits(v: u64, w: u32) -> Message {
+    let mut wr = BitWriter::new();
+    wr.write_bits(v, w);
+    Message::from_writer(wr)
+}
+
+/// A frame MAC'd with shard A's key, replayed to a link registered as
+/// shard B, is MAC-rejected and poisons the link — per-shard keys keep
+/// siblings cryptographically apart even inside one fleet. The control
+/// link (shard A under its own key) keeps working and ships its
+/// partial.
+#[test]
+fn frame_under_sibling_shard_key_is_rejected() {
+    let base = AuthKey::from_seed(61);
+    let host = ShardHost::spawn(base).expect("bind shard host");
+    let shards = 2usize;
+
+    // Control: shard 0 registered and serving under its own key.
+    let key_a = link_key(&base, 0, 1);
+    let mut a = RawLink::connect(host.addr());
+    a.send(&register_frame(&base, ShardHostMode::OneRound, 0, shards, 1));
+    let announce = Envelope {
+        session: SessionId(7),
+        round: 3, // announce epoch
+        from: 1,  // coordinator client-connection id
+        to: 0,
+        payload: encode_resume(1, 1, 1),
+    };
+    a.send(&encode_wire_frame(&key_a, FrameKind::Announce, &announce));
+    let data =
+        Envelope { session: SessionId(7), round: 1, from: 1, to: 1, payload: bits(0b1011, 4) };
+    a.send(&encode_wire_frame(&key_a, FrameKind::Data, &data));
+    let (kind, env) = a
+        .read_frame(&key_a, Duration::from_secs(5))
+        .expect("link healthy")
+        .expect("shard 0 emits its range partial");
+    assert_eq!(kind, FrameKind::Partial);
+    assert_eq!(env.round, 3 << 1, "quorum partial stamped with the announce epoch");
+
+    // Attack: a link registered as shard 1 replays a frame MAC'd with
+    // shard 0's key.
+    let mut b = RawLink::connect(host.addr());
+    b.send(&register_frame(&base, ShardHostMode::OneRound, 1, shards, 1));
+    b.send(&encode_wire_frame(&key_a, FrameKind::Data, &data));
+    // The host must reject the MAC and hang up on the link.
+    let outcome = b.read_frame(&link_key(&base, 1, 1), Duration::from_secs(5));
+    assert_eq!(outcome, Err(true), "the tampering link must be closed");
+    let stats = host.stop();
+    assert!(stats.mac_rejects >= 1, "the cross-shard frame must be MAC-rejected");
+}
+
+/// A reconnected host replaying a pre-epoch partial fails closed: link
+/// keys are generation-scoped, so anything a previous registration
+/// generation MAC'd — and anything keyed with the raw (un-scoped)
+/// shard key — is rejected by the current generation's verifier, which
+/// is exactly the check the coordinator proxy runs on every partial.
+#[test]
+fn pre_epoch_partial_fails_closed() {
+    let base = AuthKey::from_seed(62);
+    let partial_env = Envelope {
+        session: SessionId(9),
+        round: 4 << 1,
+        from: 0,
+        to: 1,
+        payload: bits(0x5a5a, 16),
+    };
+    // What a crashed generation-1 incarnation of shard 0 would replay…
+    let stale = encode_wire_frame(&link_key(&base, 0, 1), FrameKind::Partial, &partial_env);
+    // …must die under the post-reconnect generation-2 key:
+    assert_eq!(decode_frame(&link_key(&base, 0, 2), &stale), Err(WireError::BadMac));
+    // The un-scoped shard key authenticates no link traffic either.
+    let unscoped = encode_wire_frame(&shard_key(&base, 0), FrameKind::Partial, &partial_env);
+    assert_eq!(decode_frame(&link_key(&base, 0, 1), &unscoped), Err(WireError::BadMac));
+    // And a live host enforces it end to end: register generation 2,
+    // then replay the generation-1 frame — MAC-rejected, link closed.
+    let host = ShardHost::spawn(base).expect("bind shard host");
+    let mut link = RawLink::connect(host.addr());
+    link.send(&register_frame(&base, ShardHostMode::OneRound, 0, 1, 2));
+    link.send(&stale);
+    let outcome = link.read_frame(&link_key(&base, 0, 2), Duration::from_secs(5));
+    assert_eq!(outcome, Err(true), "the stale-generation link must be closed");
+    let stats = host.stop();
+    assert!(stats.mac_rejects >= 1, "the pre-epoch frame must be MAC-rejected");
 }
 
 /// A multi-round session against the wrong kind of server fails closed

@@ -1,0 +1,107 @@
+//! `PlacementPolicy` invariants, pinned for arbitrary `n`, shard
+//! counts, host sets and loss sets: every node ID maps to exactly one
+//! host, the shard ranges cover `1..=n` with no overlap, and remapping
+//! after any host loss preserves coverage on the survivors.
+
+use proptest::prelude::*;
+use referee_wirenet::placement::{HostId, PlacementPolicy};
+use std::collections::BTreeSet;
+
+/// Assert the three coverage invariants of one policy for one `n`.
+fn assert_covers(p: &PlacementPolicy, n: usize, allowed: Option<&BTreeSet<HostId>>) {
+    let k = p.shards();
+    // 1. Ranges cover 1..=n with no overlap: count each node's owners.
+    let mut owners = vec![0usize; n];
+    for (i, range, host) in p.assignments(n) {
+        assert_eq!(host, p.host_of_shard(i));
+        if let Some(allowed) = allowed {
+            assert!(allowed.contains(&host), "shard {i} placed on dead host {host}");
+        }
+        for v in range.lo..=range.hi {
+            owners[(v - 1) as usize] += 1;
+        }
+    }
+    assert!(owners.iter().all(|&c| c == 1), "n={n} k={k}: {owners:?}");
+    // 2. Every node ID maps to exactly one host, the owner of its
+    //    shard's range.
+    for v in 1..=n as u32 {
+        let host = p.host_of(n, v);
+        let (_, _, by_range) = p
+            .assignments(n)
+            .into_iter()
+            .find(|(_, r, _)| r.contains(v))
+            .expect("some range contains v");
+        assert_eq!(host, by_range, "n={n} v={v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Balanced placements cover for arbitrary n, k and host sets, and
+    /// survive arbitrary loss sets (or report total loss as `None`).
+    #[test]
+    fn balanced_placement_covers_and_remaps(
+        n in 0usize..120,
+        k in 1usize..=12,
+        host_count in 1usize..=6,
+        host_base in 0u32..1000,
+        loss_mask in any::<u8>(),
+    ) {
+        let hosts: Vec<HostId> = (0..host_count as u32).map(|i| host_base + i * 7).collect();
+        let p = PlacementPolicy::balanced(k, &hosts);
+        prop_assert_eq!(p.shards(), k);
+        assert_covers(&p, n, None);
+
+        let lost: BTreeSet<HostId> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| loss_mask >> (i % 8) & 1 == 1)
+            .map(|(_, h)| *h)
+            .collect();
+        let used: BTreeSet<HostId> = p.hosts().into_iter().collect();
+        match p.remap(&lost) {
+            None => prop_assert!(
+                used.iter().all(|h| lost.contains(h)),
+                "remap may only fail when every used host died"
+            ),
+            Some(q) => {
+                prop_assert_eq!(q.shards(), k);
+                let survivors: BTreeSet<HostId> =
+                    used.difference(&lost).copied().collect();
+                assert_covers(&q, n, Some(&survivors));
+            }
+        }
+    }
+
+    /// Static maps get the same guarantees — coverage is a property of
+    /// the partition arithmetic, not of how shards were assigned.
+    #[test]
+    fn static_map_covers_and_remaps(
+        n in 0usize..90,
+        map in proptest::collection::vec(0u32..5, 1..10),
+        loss_mask in any::<u8>(),
+    ) {
+        let p = PlacementPolicy::from_map(map.clone());
+        assert_covers(&p, n, None);
+        let lost: BTreeSet<HostId> =
+            (0u32..5).filter(|h| loss_mask >> h & 1 == 1).collect();
+        if let Some(q) = p.remap(&lost) {
+            let survivors: BTreeSet<HostId> = p
+                .hosts()
+                .into_iter()
+                .filter(|h| !lost.contains(h))
+                .collect();
+            assert_covers(&q, n, Some(&survivors));
+        }
+    }
+
+    /// Losing nothing is the identity; losing everything is `None`.
+    #[test]
+    fn remap_edge_cases(map in proptest::collection::vec(0u32..4, 1..8)) {
+        let p = PlacementPolicy::from_map(map);
+        prop_assert_eq!(p.remap(&BTreeSet::new()).unwrap(), p.clone());
+        let all: BTreeSet<HostId> = p.hosts().into_iter().collect();
+        prop_assert!(p.remap(&all).is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! Cross-host shard placement over **real child processes** — the PR 5
+//! acceptance demo and CI soak.
+//!
+//! The parent process re-executes itself twice in the `shard-host`
+//! role: each child binds a loopback listener, prints its address, and
+//! serves shard state until it is killed. The parent then runs a
+//! `FleetServer` in **remote placement** mode (4 shards placed on the
+//! 2 child hosts), drives a fleet of multi-round Borůvka sessions
+//! against it, and — mid-run, on a seeded schedule — SIGKILLs a child
+//! and respawns it on a fresh port, re-pointing the placement's address
+//! book. The coordinator's journal replay must make every kill
+//! invisible: **all** verdicts are asserted bit-for-bit equal to
+//! in-process `run_multiround_sharded` and to the centralized truth.
+//!
+//! Phase 2 repeats the wire-tamper adversary against the remote-shard
+//! topology: every third client frame is corrupted after MAC
+//! computation; every tampered frame must die at the router, and zero
+//! corrupted sessions may be accepted.
+//!
+//! Run: `cargo run --release --example cross_host_shards`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use referee_one_round::prelude::*;
+use referee_one_round::protocol::multiround::BoruvkaConnectivity;
+use referee_one_round::protocol::shard::multiround::run_multiround_sharded;
+use referee_simnet::{Scheduler, SessionId};
+use referee_wirenet::{
+    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
+    PlacementPolicy, RemotePlacement, ShardHost, TamperConfig,
+};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const KEY_SEED: u64 = 2031;
+const SHARDS: usize = 4;
+const SESSIONS: usize = 300;
+const CAP: usize = 64;
+
+/// Child role: serve shard state until killed, announcing the bound
+/// address on stdout so the parent can place shards on us.
+fn shard_host_role() -> ! {
+    let host = ShardHost::spawn_env(AuthKey::from_seed(KEY_SEED)).expect("bind shard host");
+    println!("SHARD_HOST_LISTENING {}", host.addr());
+    // An unkillable flush: the parent blocks on this line.
+    use std::io::Write;
+    std::io::stdout().flush().expect("flush address line");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Spawn one shard-host child process and read back its address.
+fn spawn_host() -> (Child, SocketAddr) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = Command::new(exe)
+        .arg("shard-host")
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn shard-host child");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("child announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("SHARD_HOST_LISTENING ")
+        .expect("address line format")
+        .parse()
+        .expect("child printed a socket address");
+    (child, addr)
+}
+
+fn fleet_graphs(count: usize, seed: u64) -> Vec<LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generators::gnp(5 + i % 18, 0.22, &mut rng)).collect()
+}
+
+/// Kill every child on exit, success or panic.
+struct Reaper(Arc<Mutex<Vec<Child>>>);
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in self.0.lock().unwrap().iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("shard-host") {
+        shard_host_role();
+    }
+    let key = AuthKey::from_seed(KEY_SEED);
+    let children = Arc::new(Mutex::new(Vec::new()));
+    let _reaper = Reaper(Arc::clone(&children));
+
+    // ---- Phase 1: seeded kill/restart chaos over real processes -------
+    let (c0, a0) = spawn_host();
+    let (c1, a1) = spawn_host();
+    {
+        let mut kids = children.lock().unwrap();
+        kids.push(c0);
+        kids.push(c1);
+    }
+    let policy = PlacementPolicy::balanced(SHARDS, &[0, 1]);
+    let placement = RemotePlacement::new(policy, [(0, a0), (1, a1)]).expect("addresses cover");
+    let server = FleetServer::builder(key)
+        .placement(placement.clone())
+        .multiround(boruvka_connectivity_service())
+        .spawn()
+        .expect("bind coordinator");
+    let client = FleetClient::connect(server.addr(), 4, key).expect("connect");
+    println!(
+        "phase 1: {SESSIONS} multi-round Borůvka sessions, {SHARDS} shards remotely placed \
+         on 2 child processes ({a0}, {a1}), seeded SIGKILL/restart mid-run"
+    );
+
+    let graphs = fleet_graphs(SESSIONS, 2031);
+    let stop = Arc::new(AtomicBool::new(false));
+    let kill_count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let chaos = {
+        let stop = Arc::clone(&stop);
+        let kill_count = Arc::clone(&kill_count);
+        let placement = placement.clone();
+        let children = Arc::clone(&children);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(77);
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(40));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Kill one child (seeded pick), respawn it on a fresh
+                // port, re-point the address book — the proxies redial,
+                // re-register a new generation and replay.
+                let victim = rng.gen_range(0..2usize);
+                {
+                    let mut kids = children.lock().unwrap();
+                    let _ = kids[victim].kill();
+                    let _ = kids[victim].wait();
+                }
+                let (child, addr) = spawn_host();
+                assert!(placement.update_host(victim as u32, addr), "host in the book");
+                children.lock().unwrap()[victim] = child;
+                kill_count.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+
+    let run_one = |id: usize, g: &LabelledGraph| -> bool {
+        let out = client
+            .run_multiround_session(SessionId(id as u64), &BoruvkaConnectivity, g, CAP)
+            .expect("honest session completes despite shard-host kills");
+        decode_bool_output(&out).expect("honest uplinks decode")
+    };
+    let t0 = std::time::Instant::now();
+    let scheduler = Scheduler::new(4, 8);
+    let verdicts: Vec<bool> = scheduler.run_indexed(SESSIONS, |i| run_one(i, &graphs[i]));
+    // A fast machine can drain the fleet before the first chaos tick:
+    // keep sessions flowing until at least one kill landed, plus a
+    // post-kill tail that exercises reconnect + replay — so the chaos
+    // assertions below never race the scheduler.
+    let mut extra = 0usize;
+    loop {
+        let killed = kill_count.load(Ordering::SeqCst) > 0;
+        if killed && extra >= 16 {
+            break;
+        }
+        let g = &graphs[extra % SESSIONS];
+        let verdict = run_one(SESSIONS + extra, g);
+        assert_eq!(verdict, algo::is_connected(g), "extra session {extra}");
+        extra += 1;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::SeqCst);
+    chaos.join().expect("chaos thread");
+    let kills = kill_count.load(Ordering::SeqCst);
+
+    for (i, (wire, g)) in verdicts.iter().zip(&graphs).enumerate() {
+        let (local, _) = run_multiround_sharded(&BoruvkaConnectivity, g, SHARDS, CAP);
+        let local = local.expect("terminates").expect("honest run decodes");
+        assert_eq!(*wire, local, "session {i} diverged from in-process sharded run");
+        assert_eq!(*wire, algo::is_connected(g), "session {i} diverged from centralized truth");
+    }
+    let stats = server.stop();
+    let total = SESSIONS + extra;
+    println!(
+        "  {SESSIONS}/{SESSIONS} verdicts bit-for-bit vs run_multiround_sharded \
+         (+{extra} post-kill sessions, {:.0} sess/s) under {kills} kill/restarts",
+        total as f64 / wall
+    );
+    println!(
+        "  reconnects {} | replayed frames {} | partials {} | mac-rejects {}",
+        stats.shard_reconnects, stats.replayed_frames, stats.partial_frames, stats.mac_rejects
+    );
+    assert!(kills > 0, "the chaos schedule must actually kill");
+    assert!(
+        stats.shard_reconnects as usize > SHARDS,
+        "kills must force redials beyond the initial {SHARDS}"
+    );
+    assert_eq!(stats.verdict_frames as usize, total);
+
+    // ---- Phase 2: wire tampering fails closed, zero undetected --------
+    let policy = PlacementPolicy::balanced(2, &[0, 1]);
+    let placement2 = RemotePlacement::new(
+        policy,
+        [(0, placement.addr_of_host(0)), (1, placement.addr_of_host(1))],
+    )
+    .expect("addresses cover");
+    let server = FleetServer::builder(key)
+        .placement(placement2)
+        .multiround(boruvka_connectivity_service())
+        .spawn()
+        .expect("bind coordinator");
+    let tampered_sessions = 48usize;
+    let client = FleetClient::connect(server.addr(), tampered_sessions, key)
+        .expect("connect")
+        .with_tamper(TamperConfig { flip_every: 3 });
+    println!("phase 2: {tampered_sessions} sessions, every 3rd frame corrupted post-MAC");
+    let mut failed_closed = 0usize;
+    let mut undetected = 0usize;
+    for (i, g) in graphs.iter().take(tampered_sessions).enumerate() {
+        match client.run_multiround_session(SessionId(i as u64), &BoruvkaConnectivity, g, CAP) {
+            Err(_) => failed_closed += 1,
+            Ok(out) => {
+                if decode_bool_output(&out) != Ok(algo::is_connected(g)) {
+                    undetected += 1;
+                }
+            }
+        }
+    }
+    let server_stats = server.stop();
+    println!(
+        "  failed closed {failed_closed}/{tampered_sessions} | undetected {undetected} | \
+         router mac-rejects {}",
+        server_stats.mac_rejects
+    );
+    assert_eq!(undetected, 0, "a corrupted session was accepted");
+    assert!(failed_closed > 0, "tampering every 3rd frame must hit most sessions");
+    assert!(server_stats.mac_rejects > 0, "corruption must die at the router MAC check");
+
+    println!("\ncross-host shard placement survives process kills, tamper fails closed ✓");
+}
