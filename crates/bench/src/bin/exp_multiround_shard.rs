@@ -16,12 +16,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use referee_bench::{render_table, section, write_bench_json, BenchRecord};
+use referee_bench::{render_table, section, write_bench_json, BenchRecord, Percentiles};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::multiround::BoruvkaConnectivity;
 use referee_simnet::{Scheduler, SessionId};
 use referee_wirenet::{
-    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
+    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer, Stage,
 };
 use std::time::Instant;
 
@@ -79,7 +79,10 @@ fn main() {
                 "sharded multi-round outcome diverged at k={shards}"
             );
         }
-        records.push(BenchRecord::new("simnet", shards, sessions as f64 / wall));
+        records.push(
+            BenchRecord::new("simnet", shards, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(&sweep.aggregate.latency)),
+        );
         rows.push(vec![
             shards.to_string(),
             sweep.aggregate.ok.to_string(),
@@ -122,10 +125,15 @@ fn main() {
         });
         let wall = t0.elapsed().as_secs_f64();
         assert_eq!(verdicts, truth, "wire verdicts must pin the in-process sweep");
+        let c = client.metrics();
         let s = server.stop();
         assert_eq!(s.mac_rejects, 0);
         assert_eq!(s.verdict_frames as usize, sessions);
-        records.push(BenchRecord::new("wirenet", shards, sessions as f64 / wall));
+        // Announce→verdict per session, stamped client-side.
+        records.push(
+            BenchRecord::new("wirenet", shards, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(c.stage(Stage::Verdict))),
+        );
         rows.push(vec![
             shards.to_string(),
             conns.to_string(),

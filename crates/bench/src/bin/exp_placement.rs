@@ -13,14 +13,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use referee_bench::{render_table, section, write_bench_json, BenchRecord};
+use referee_bench::{render_table, section, write_bench_json, BenchRecord, Percentiles};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::easy::EdgeCountProtocol;
 use referee_protocol::referee::local_phase;
+use referee_protocol::HistSnapshot;
 use referee_simnet::{Scheduler, SessionId};
 use referee_wirenet::{
     vector_digest, AuthKey, FleetClient, FleetServer, PlacementPolicy, RemotePlacement,
-    ShardHost,
+    ShardHost, Stage, WireSnapshot,
 };
 use std::time::Instant;
 
@@ -48,7 +49,7 @@ fn main() {
             .map(String::from)
             .collect::<Vec<_>>()];
 
-    let run = |server: &FleetServer| -> (f64, Vec<u64>) {
+    let run = |server: &FleetServer| -> (f64, Vec<u64>, WireSnapshot) {
         let client = FleetClient::connect(server.addr(), 8, key).expect("connect");
         let t0 = Instant::now();
         let digests: Vec<u64> = scheduler.run_indexed(sessions, |i| {
@@ -61,17 +62,20 @@ fn main() {
                 .verify_session(SessionId(i as u64), g.n(), arrivals)
                 .expect("honest session verifies")
         });
-        (t0.elapsed().as_secs_f64(), digests)
+        (t0.elapsed().as_secs_f64(), digests, client.metrics())
     };
 
     section(&format!("{sessions}-session fleets, in-process shard workers"));
     for shards in [1usize, 2, 4, 8] {
         let server = FleetServer::spawn_sharded(key, shards).expect("bind");
-        let (wall, digests) = run(&server);
+        let (wall, digests, c) = run(&server);
         assert_eq!(digests, truth, "in-process digests must pin the sent vectors");
         let s = server.stop();
         assert_eq!(s.mac_rejects, 0);
-        records.push(BenchRecord::new("wirenet", shards, sessions as f64 / wall));
+        records.push(
+            BenchRecord::new("wirenet", shards, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(c.stage(Stage::Verdict))),
+        );
         rows.push(vec![
             "in-process".into(),
             shards.to_string(),
@@ -94,11 +98,27 @@ fn main() {
         .expect("addresses cover");
         let server =
             FleetServer::builder(key).placement(placement).spawn().expect("bind coordinator");
-        let (wall, digests) = run(&server);
+        let (wall, digests, c) = run(&server);
         assert_eq!(digests, truth, "remote digests must pin the sent vectors");
         let s = server.stop();
         assert_eq!(s.mac_rejects, 0);
-        records.push(BenchRecord::new("remote", shards, sessions as f64 / wall));
+        records.push(
+            BenchRecord::new("remote", shards, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(c.stage(Stage::Verdict))),
+        );
+        // Ship each host's range-wait histogram back over the encoded
+        // wire layout (exactly what a telemetry frame would carry) and
+        // merge them — the cross-host analogue of PartialState merging.
+        let mut range_wait = HistSnapshot::new();
+        for h in &hosts {
+            let over_wire =
+                HistSnapshot::decode(&h.metrics().stage(Stage::UplinksComplete).encode())
+                    .expect("canonical histogram layout round-trips");
+            range_wait.merge(&over_wire);
+        }
+        if range_wait.count() > 0 {
+            println!("  k={shards}: host-side range wait {range_wait}");
+        }
         rows.push(vec![
             "remote".into(),
             shards.to_string(),

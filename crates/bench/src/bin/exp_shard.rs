@@ -13,12 +13,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use referee_bench::{render_table, section, write_bench_json, BenchRecord};
+use referee_bench::{render_table, section, write_bench_json, BenchRecord, Percentiles};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::easy::EdgeCountProtocol;
 use referee_protocol::referee::local_phase;
 use referee_simnet::{Scheduler, SessionId};
-use referee_wirenet::{vector_digest, AuthKey, FleetClient, FleetServer};
+use referee_wirenet::{vector_digest, AuthKey, FleetClient, FleetServer, Stage};
 use std::time::Instant;
 
 fn fleet(count: usize, seed: u64) -> Vec<LabelledGraph> {
@@ -68,7 +68,10 @@ fn main() {
                 "sharded outcome diverged at k={shards}"
             );
         }
-        records.push(BenchRecord::new("simnet", shards, sessions as f64 / wall));
+        records.push(
+            BenchRecord::new("simnet", shards, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(&sweep.aggregate.latency)),
+        );
         rows.push(vec![
             shards.to_string(),
             sweep.aggregate.ok.to_string(),
@@ -113,7 +116,12 @@ fn main() {
         assert_eq!(s.mac_rejects, 0);
         assert_eq!(s.verdict_frames as usize, sessions);
         assert_eq!(s.partial_frames as usize, sessions * (shards - 1));
-        records.push(BenchRecord::new("wirenet", shards, sessions as f64 / wall));
+        // The client stamps announce→verdict per session into its
+        // Verdict stage histogram — the end-to-end wire latency.
+        records.push(
+            BenchRecord::new("wirenet", shards, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(c.stage(Stage::Verdict))),
+        );
         rows.push(vec![
             shards.to_string(),
             conns.to_string(),

@@ -5,11 +5,22 @@
 //! Run: `cargo run --release -p referee-bench --bin exp_simnet`
 
 use rand::{rngs::StdRng, SeedableRng};
-use referee_bench::{render_table, section};
+use referee_bench::{render_table, section, write_bench_json_axis, BenchRecord, Percentiles};
 use referee_degeneracy::{DegeneracyProtocol, Reconstruction};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::multiround::BoruvkaConnectivity;
 use referee_simnet::{FaultConfig, Scheduler, SweepReport};
+
+/// One bench-trajectory record for a sweep: the network label as the
+/// backend, the fleet size on the `sessions` axis, throughput, and the
+/// aggregate's latency percentiles.
+fn record<R: referee_simnet::scheduler::Report>(
+    label: &str,
+    sweep: &SweepReport<R>,
+) -> BenchRecord {
+    BenchRecord::new(label, sweep.aggregate.sessions, sweep.aggregate.throughput())
+        .with_percentiles(Percentiles::from_hist(&sweep.aggregate.latency))
+}
 
 fn fleet(count: usize, seed: u64) -> Vec<LabelledGraph> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -60,6 +71,7 @@ fn main() {
     let graphs = fleet(sessions, 2011);
     let protocol = DegeneracyProtocol::new(2);
     let mut rows = vec![header()];
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     let perfect = scheduler.sweep_one_round(&protocol, &graphs, None);
     let exact = perfect
@@ -70,6 +82,7 @@ fn main() {
         .count();
     assert_eq!(exact, sessions, "perfect network must reconstruct everything");
     rows.push(row("perfect", &perfect));
+    records.push(record("perfect", &perfect));
 
     for (label, cfg) in [
         ("lossless-decorator", FaultConfig::lossless(7)),
@@ -96,6 +109,7 @@ fn main() {
         // output) as rejections too, not just delivery failures.
         sweep.reclassify_ok(|r| matches!(&r.outcome, Ok(Ok(_))));
         rows.push(row(label, &sweep));
+        records.push(record(label, &sweep));
     }
     println!("{}", render_table(&rows));
 
@@ -117,6 +131,7 @@ fn main() {
         assert_eq!(*verdict, referee_graph::algo::is_connected(g));
     }
     rows.push(row("perfect", &perfect));
+    records.push(record("boruvka-perfect", &perfect));
     let mut noisy = scheduler.sweep_multi_round(
         &BoruvkaConnectivity,
         &graphs,
@@ -131,7 +146,12 @@ fn main() {
     );
     noisy.reclassify_ok(|r| matches!(&r.outcome, Ok(Some(Ok(_)))));
     rows.push(row("noisy", &noisy));
+    records.push(record("boruvka-noisy", &noisy));
     println!("{}", render_table(&rows));
 
+    // The sweep axis here is the fleet size per network condition.
+    let json =
+        write_bench_json_axis("exp_simnet", "sessions", &records).expect("write BENCH json");
+    println!("\nmachine-readable results: {}", json.display());
     println!("heavy-traffic sweeps completed ✓");
 }

@@ -7,10 +7,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use referee_bench::{render_table, section, write_bench_json_axis, BenchRecord};
+use referee_bench::{render_table, section, write_bench_json_axis, BenchRecord, Percentiles};
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::easy::EdgeCountProtocol;
-use referee_simnet::{OneRoundSession, Scheduler, SessionId};
+use referee_simnet::{AggregateMetrics, OneRoundSession, Scheduler, SessionId};
 use referee_wirenet::{AuthKey, FleetClient, FleetServer, TamperConfig};
 use std::time::Instant;
 
@@ -45,7 +45,10 @@ fn main() {
     for (report, &m) in sweep.reports.iter().zip(&truth) {
         assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
     }
-    records.push(BenchRecord::new("in-memory", 0, sessions as f64 / wall));
+    records.push(
+        BenchRecord::new("in-memory", 0, sessions as f64 / wall)
+            .with_percentiles(Percentiles::from_hist(&sweep.aggregate.latency)),
+    );
     rows.push(vec![
         "in-memory".into(),
         "-".into(),
@@ -69,14 +72,19 @@ fn main() {
                 .run(&mut transport)
         });
         let wall = t0.elapsed().as_secs_f64();
+        let mut agg = AggregateMetrics::default();
         for (report, &m) in reports.iter().zip(&truth) {
             assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
+            agg.absorb(&report.metrics, report.outcome.is_ok());
         }
         let c = client.metrics();
         let s = server.stop();
         assert_eq!(s.mac_rejects, 0);
         assert_eq!(c.frames_received, c.frames_sent, "every frame echoed");
-        records.push(BenchRecord::new("wirenet", conns, sessions as f64 / wall));
+        records.push(
+            BenchRecord::new("wirenet", conns, sessions as f64 / wall)
+                .with_percentiles(Percentiles::from_hist(&agg.latency)),
+        );
         rows.push(vec![
             "wirenet".into(),
             conns.to_string(),

@@ -49,6 +49,33 @@ pub fn section(title: &str) {
     println!("\n### {title}\n");
 }
 
+/// Tail-latency summary riding along with a throughput number: the
+/// p50/p99/p999 bucket bounds (microseconds) of a per-session latency
+/// histogram. Log₂-bucketed upstream, so each value overestimates the
+/// true percentile by less than 2× — coarse, but stable across runs and
+/// cheap enough to record on every session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median session latency, µs (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile session latency, µs (bucket upper bound).
+    pub p99_us: u64,
+    /// 99.9th-percentile session latency, µs (bucket upper bound).
+    pub p999_us: u64,
+}
+
+impl Percentiles {
+    /// Summarise a latency histogram; `None` when it holds no samples
+    /// (so empty sweeps keep the old JSON shape).
+    pub fn from_hist(h: &referee_protocol::HistSnapshot) -> Option<Percentiles> {
+        if h.count() == 0 {
+            None
+        } else {
+            Some(Percentiles { p50_us: h.p50(), p99_us: h.p99(), p999_us: h.p999() })
+        }
+    }
+}
+
 /// One machine-readable throughput measurement for the bench
 /// trajectory: a backend (`"simnet"`, `"wirenet"`, `"remote"`), a sweep
 /// axis value (shard count for the shard sweeps, connection count for
@@ -62,12 +89,23 @@ pub struct BenchRecord {
     pub shards: usize,
     /// Verified sessions per wall-clock second.
     pub sessions_per_sec: f64,
+    /// Optional tail-latency summary. `None` (the [`BenchRecord::new`]
+    /// default) keeps the emitted JSON byte-identical to the historic
+    /// format, so old trajectory files stay comparable.
+    pub percentiles: Option<Percentiles>,
 }
 
 impl BenchRecord {
     /// Convenience constructor.
     pub fn new(backend: &str, shards: usize, sessions_per_sec: f64) -> BenchRecord {
-        BenchRecord { backend: backend.into(), shards, sessions_per_sec }
+        BenchRecord { backend: backend.into(), shards, sessions_per_sec, percentiles: None }
+    }
+
+    /// Attach a tail-latency summary (builder style); `None` is a no-op
+    /// so callers can pass [`Percentiles::from_hist`] straight through.
+    pub fn with_percentiles(mut self, p: Option<Percentiles>) -> BenchRecord {
+        self.percentiles = p;
+        self
     }
 }
 
@@ -97,9 +135,16 @@ pub fn bench_json_axis(name: &str, axis: &str, records: &[BenchRecord]) -> Strin
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"backend\":\"{}\",\"{axis}\":{},\"sessions_per_sec\":{:.1}}}",
+            "{{\"backend\":\"{}\",\"{axis}\":{},\"sessions_per_sec\":{:.1}",
             r.backend, r.shards, r.sessions_per_sec
         ));
+        if let Some(p) = r.percentiles {
+            out.push_str(&format!(
+                ",\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}",
+                p.p50_us, p.p99_us, p.p999_us
+            ));
+        }
+        out.push('}');
     }
     out.push_str("]}\n");
     out
@@ -145,6 +190,69 @@ pub fn write_bench_json(
     records: &[BenchRecord],
 ) -> std::io::Result<std::path::PathBuf> {
     write_bench_json_in(std::path::Path::new("."), name, records)
+}
+
+/// A tail-latency SLO assertion for soak runs: ceilings (µs) on the
+/// p99 and/or p999 session latency. Disabled bounds are `None`, so a
+/// default `SloCheck` passes everything — soak examples call
+/// [`SloCheck::from_env`] and get a no-op unless CI opts in by setting
+/// `REFEREE_SLO_P99_US` / `REFEREE_SLO_P999_US`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloCheck {
+    /// Ceiling on p99 session latency, µs. `None` = unchecked.
+    pub p99_us: Option<u64>,
+    /// Ceiling on p999 session latency, µs. `None` = unchecked.
+    pub p999_us: Option<u64>,
+}
+
+impl SloCheck {
+    /// Build from `REFEREE_SLO_P99_US` / `REFEREE_SLO_P999_US`.
+    /// Unset or unparsable variables leave that bound disabled.
+    pub fn from_env() -> SloCheck {
+        let read = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok());
+        SloCheck { p99_us: read("REFEREE_SLO_P99_US"), p999_us: read("REFEREE_SLO_P999_US") }
+    }
+
+    /// Whether any bound is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.p99_us.is_some() || self.p999_us.is_some()
+    }
+
+    /// Check measured percentiles against the armed bounds. `Ok(())`
+    /// when every armed bound holds (or none are armed); `Err` carries
+    /// a human-readable violation report naming `label`.
+    pub fn check(&self, label: &str, p: &Percentiles) -> Result<(), String> {
+        let mut violations = Vec::new();
+        if let Some(cap) = self.p99_us {
+            if p.p99_us > cap {
+                violations.push(format!("p99 {}us > SLO {}us", p.p99_us, cap));
+            }
+        }
+        if let Some(cap) = self.p999_us {
+            if p.p999_us > cap {
+                violations.push(format!("p999 {}us > SLO {}us", p.p999_us, cap));
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("SLO violation in {label}: {}", violations.join(", ")))
+        }
+    }
+
+    /// [`SloCheck::check`], panicking on violation — the form soak
+    /// examples use so a tail-latency regression fails CI loudly.
+    pub fn enforce(&self, label: &str, p: &Percentiles) {
+        if let Err(e) = self.check(label, p) {
+            panic!("{e}");
+        }
+        if self.is_enabled() {
+            println!(
+                "SLO ok for {label}: p99 {}us, p999 {}us within bounds",
+                p.p99_us, p.p999_us
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +301,58 @@ mod tests {
         );
         // The default axis stays "shards" — the pinned historic format.
         assert_eq!(bench_json("x", &records), bench_json_axis("x", "shards", &records));
+    }
+
+    #[test]
+    fn bench_json_percentiles_extend_the_record_in_place() {
+        // With percentiles attached, the three `*_us` fields append
+        // inside the record; records without them are untouched, so a
+        // mixed trajectory stays valid line-by-line.
+        let records = [
+            BenchRecord::new("wirenet", 4, 900.0).with_percentiles(Some(Percentiles {
+                p50_us: 1023,
+                p99_us: 16383,
+                p999_us: 65535,
+            })),
+            BenchRecord::new("simnet", 4, 70000.0),
+        ];
+        assert_eq!(
+            bench_json("exp_shard", &records),
+            "{\"bench\":\"exp_shard\",\"unit\":\"sessions_per_second\",\"results\":[\
+             {\"backend\":\"wirenet\",\"shards\":4,\"sessions_per_sec\":900.0,\
+             \"p50_us\":1023,\"p99_us\":16383,\"p999_us\":65535},\
+             {\"backend\":\"simnet\",\"shards\":4,\"sessions_per_sec\":70000.0}]}\n"
+        );
+    }
+
+    #[test]
+    fn percentiles_from_hist_summarises_nonempty_only() {
+        let mut h = referee_protocol::HistSnapshot::new();
+        assert_eq!(Percentiles::from_hist(&h), None);
+        h.record_us(1000);
+        assert_eq!(
+            Percentiles::from_hist(&h),
+            Some(Percentiles { p50_us: 1023, p99_us: 1023, p999_us: 1023 })
+        );
+    }
+
+    #[test]
+    fn slo_check_bounds() {
+        let p = Percentiles { p50_us: 511, p99_us: 4095, p999_us: 16383 };
+        // Disarmed: passes anything.
+        assert!(SloCheck::default().check("x", &p).is_ok());
+        assert!(!SloCheck::default().is_enabled());
+        // Armed and satisfied.
+        let ok = SloCheck { p99_us: Some(5000), p999_us: Some(20000) };
+        assert!(ok.check("x", &p).is_ok());
+        // Armed and violated — the report names the label and bound.
+        let tight = SloCheck { p99_us: Some(1000), p999_us: None };
+        let err = tight.check("soak", &p).unwrap_err();
+        assert!(err.contains("soak") && err.contains("p99 4095us > SLO 1000us"), "{err}");
+        // Both bounds violated → both reported.
+        let both = SloCheck { p99_us: Some(1), p999_us: Some(2) };
+        let err = both.check("s", &p).unwrap_err();
+        assert!(err.contains("p99 ") && err.contains("p999 "), "{err}");
     }
 
     #[test]

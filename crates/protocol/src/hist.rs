@@ -1,0 +1,366 @@
+//! Fixed-bucket log₂-scaled latency histograms.
+//!
+//! The observability layer needs tail percentiles (p50/p99/p999) from
+//! every shard worker and every remote [`ShardHost`] without locks on the
+//! hot path and without unbounded memory. A [`LatencyHistogram`] is 64
+//! lock-free `AtomicU64` buckets where bucket `i` holds every microsecond
+//! value whose bit length is `i` — so each bucket spans one power of two
+//! and a reported quantile overestimates the true value by strictly less
+//! than 2× (see [`bucket_bound`]).
+//!
+//! A frozen [`HistSnapshot`] is a plain array that merges commutatively
+//! and associatively by bucket-wise saturating addition, exactly like the
+//! sharded referee's `PartialState`: shard workers and remote hosts
+//! [`encode`](HistSnapshot::encode) their snapshots onto the wire and the
+//! coordinator [`decode`](HistSnapshot::decode)s and merges them, in any
+//! order, into one fleet-wide distribution.
+//!
+//! [`ShardHost`]: https://docs.rs/referee-wirenet
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::message::Message;
+use crate::{BitWriter, DecodeError};
+
+/// Number of buckets: one per possible bit length of a `u64` microsecond
+/// value, plus bucket 0 for the value 0.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket a microsecond value lands in: its bit length, clamped to
+/// the overflow bucket. `0 → 0`, `v ∈ [2^(i-1), 2^i - 1] → i`.
+pub fn bucket_of(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `i` — the value every quantile
+/// query reports for samples in that bucket. `2^i - 1` for ordinary
+/// buckets, so for any recorded `v ≥ 1` below the overflow bucket the
+/// reported bound satisfies `v ≤ bound < 2·v`. The overflow bucket
+/// (index 63) is unbounded and reports `u64::MAX`.
+pub fn bucket_bound(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+    if i == HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Lock-free latency accumulator: 64 atomic buckets, log₂-scaled, in
+/// microseconds. Share it behind an `Arc` (or hang it off a metrics
+/// struct); every recorder path is a single relaxed `fetch_add`.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one latency sample from a [`std::time::Duration`]
+    /// (saturating at the overflow bucket).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold a frozen snapshot into this histogram — how a coordinator
+    /// absorbs a decoded remote histogram into its own live metrics.
+    pub fn absorb(&self, snap: &HistSnapshot) {
+        for (bucket, &count) in self.buckets.iter().zip(snap.buckets.iter()) {
+            if count > 0 {
+                bucket.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time frozen copy.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A frozen [`LatencyHistogram`]: plain bucket counts that merge
+/// commutatively and associatively, answer quantile queries, and
+/// round-trip through a canonical wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot { buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the identity element of [`merge`](Self::merge)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one microsecond sample into this (non-atomic) snapshot —
+    /// for single-threaded accumulation, e.g. simnet aggregates.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] = self.buckets[bucket_of(us)].saturating_add(1);
+    }
+
+    /// Bucket-wise saturating sum. Commutative and associative, so shard
+    /// and host snapshots merge in any arrival order.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+    }
+
+    /// Bucket-wise saturating difference `self − earlier`: the
+    /// distribution of samples recorded *between* two snapshots of the
+    /// same histogram, so one phase of a run can be measured in
+    /// isolation.
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut out = *self;
+        for (b, e) in out.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *b = b.saturating_sub(*e);
+        }
+        out
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |acc, &b| acc.saturating_add(b))
+    }
+
+    /// The per-bucket counts (index = [`bucket_of`] the sample).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a bucket upper bound in
+    /// microseconds: the bound of the bucket where the cumulative count
+    /// first reaches `⌈q · count⌉`. Overestimates the true sample by
+    /// strictly less than 2× outside the overflow bucket. Returns 0 on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Median latency, in microseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency, in microseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency, in microseconds.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Canonical wire layout: gamma-coded count of non-empty buckets,
+    /// then `(index + 1, count)` gamma pairs in strictly increasing
+    /// bucket order. Sparse, so an idle stage costs a handful of bits.
+    pub fn encode(&self) -> Message {
+        let mut w = BitWriter::new();
+        let nonzero = self.buckets.iter().filter(|&&b| b > 0).count() as u64;
+        w.write_gamma(nonzero + 1);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 {
+                w.write_gamma(i as u64 + 1);
+                w.write_gamma(b);
+            }
+        }
+        Message::from_writer(w)
+    }
+
+    /// Decode the [`encode`](Self::encode) layout, rejecting
+    /// non-canonical streams: out-of-range or non-increasing bucket
+    /// indices, and trailing bits.
+    pub fn decode(msg: &Message) -> Result<HistSnapshot, DecodeError> {
+        let mut r = msg.reader();
+        let pairs = r.read_gamma()? - 1;
+        if pairs > HIST_BUCKETS as u64 {
+            return Err(DecodeError::OutOfRange(format!(
+                "{pairs} histogram buckets, max {HIST_BUCKETS}"
+            )));
+        }
+        let mut snap = HistSnapshot::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..pairs {
+            let idx = (r.read_gamma()? - 1) as usize;
+            if idx >= HIST_BUCKETS {
+                return Err(DecodeError::OutOfRange(format!("histogram bucket {idx}")));
+            }
+            if prev.is_some_and(|p| idx <= p) {
+                return Err(DecodeError::Invalid(
+                    "histogram buckets not strictly increasing".into(),
+                ));
+            }
+            prev = Some(idx);
+            snap.buckets[idx] = r.read_gamma()?;
+        }
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid("trailing bits after histogram".into()));
+        }
+        Ok(snap)
+    }
+}
+
+impl std::fmt::Display for HistSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={}us p99={}us p999={}us",
+            self.count(),
+            self.p50(),
+            self.p99(),
+            self.p999()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bounds_cover_their_buckets() {
+        for i in 0..HIST_BUCKETS - 1 {
+            let ub = bucket_bound(i);
+            assert_eq!(bucket_of(ub), i, "bound of bucket {i} must land in it");
+            assert_eq!(bucket_of(ub + 1), i + 1);
+        }
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s, HistSnapshot::default());
+    }
+
+    #[test]
+    fn exact_quantiles_on_bucket_bounds() {
+        // 100 samples at 1023us and 1 sample at 1_048_575us: p50 is the
+        // low bound, p999 the high one.
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_us(1023);
+        }
+        h.record_us((1 << 20) - 1);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 101);
+        assert_eq!(s.p50(), 1023);
+        assert_eq!(s.p99(), 1023);
+        assert_eq!(s.p999(), (1 << 20) - 1);
+        assert_eq!(s.quantile(1.0), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn absorb_matches_merge() {
+        let h = LatencyHistogram::new();
+        h.record_us(5);
+        let mut remote = HistSnapshot::new();
+        remote.record_us(500);
+        remote.record_us(5);
+        h.absorb(&remote);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.buckets()[bucket_of(5)], 2);
+        assert_eq!(s.buckets()[bucket_of(500)], 1);
+    }
+
+    #[test]
+    fn record_duration_is_microseconds() {
+        let h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::from_micros(300));
+        assert_eq!(h.snapshot().buckets()[bucket_of(300)], 1);
+    }
+
+    #[test]
+    fn encode_decode_rejects_non_canonical() {
+        // Non-increasing bucket order.
+        let mut w = BitWriter::new();
+        w.write_gamma(2 + 1);
+        w.write_gamma(5 + 1);
+        w.write_gamma(1);
+        w.write_gamma(5 + 1);
+        w.write_gamma(1);
+        let msg = Message::from_writer(w);
+        assert!(matches!(HistSnapshot::decode(&msg), Err(DecodeError::Invalid(_))));
+
+        // Bucket index out of range.
+        let mut w = BitWriter::new();
+        w.write_gamma(1 + 1);
+        w.write_gamma(64 + 1);
+        w.write_gamma(1);
+        let msg = Message::from_writer(w);
+        assert!(matches!(HistSnapshot::decode(&msg), Err(DecodeError::OutOfRange(_))));
+
+        // Trailing bits.
+        let mut w = BitWriter::new();
+        w.write_gamma(1);
+        w.push_bit(false);
+        let msg = Message::from_writer(w);
+        assert!(matches!(HistSnapshot::decode(&msg), Err(DecodeError::Invalid(_))));
+
+        // Truncated stream.
+        let mut w = BitWriter::new();
+        w.write_gamma(1 + 1);
+        let msg = Message::from_writer(w);
+        assert!(matches!(HistSnapshot::decode(&msg), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut s = HistSnapshot::new();
+        s.record_us(7);
+        assert_eq!(format!("{s}"), "n=1 p50=7us p99=7us p999=7us");
+    }
+}

@@ -27,6 +27,11 @@
 //!   [`shard::multiround::run_multiround_sharded`].
 //! * [`frugality`] — empirical audits of the `O(log n)` bound across
 //!   family sweeps.
+//! * [`hist`] — fixed-bucket log₂-scaled latency histograms
+//!   ([`LatencyHistogram`]/[`HistSnapshot`]): lock-free recording,
+//!   commutative mergeable snapshots, and a canonical wire layout so
+//!   shard workers and remote hosts ship percentiles back to the
+//!   coordinator exactly like [`PartialState`].
 //! * [`baseline`] — the naive adjacency-list protocol (frugal only for
 //!   bounded degree, footnote 1 of the paper).
 //! * [`multiround`] — the CONGEST-with-referee extension (§IV "more
@@ -42,6 +47,7 @@ pub mod baseline;
 pub mod bits;
 pub mod easy;
 pub mod frugality;
+pub mod hist;
 pub mod mac;
 pub mod message;
 pub mod model;
@@ -51,6 +57,7 @@ pub mod shard;
 
 pub use bits::{BitReader, BitWriter};
 pub use frugality::{FrugalityAudit, FrugalityReport};
+pub use hist::{bucket_bound, bucket_of, HistSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use mac::{siphash24, siphash24_truncated, MacKey};
 pub use message::Message;
 pub use model::{NodeView, OneRoundProtocol};

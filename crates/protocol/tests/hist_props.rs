@@ -1,0 +1,149 @@
+//! Histogram algebra, pinned: bucket-wise merge is commutative and
+//! associative across any shard count in `1..=8` and any merge shape
+//! (left fold vs pairwise tree vs recording everything into one
+//! histogram), quantiles are monotone in `q` and overestimate a recorded
+//! sample by strictly less than 2×, and snapshots survive their wire
+//! encoding exactly.
+
+use proptest::prelude::*;
+use referee_protocol::hist::{bucket_of, HistSnapshot, LatencyHistogram, HIST_BUCKETS};
+
+/// All samples folded into one snapshot.
+fn snap_of(samples: &[u64]) -> HistSnapshot {
+    let mut s = HistSnapshot::new();
+    for &v in samples {
+        s.record_us(v);
+    }
+    s
+}
+
+/// Merge a list of snapshots as a pairwise tree (the shape a fan-in of
+/// shard hosts produces).
+fn tree_merge(mut parts: Vec<HistSnapshot>) -> HistSnapshot {
+    if parts.is_empty() {
+        return HistSnapshot::new();
+    }
+    while parts.len() > 1 {
+        let mut next = Vec::new();
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(&b);
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.pop().expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// `a ∪ b = b ∪ a`.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Split a sample multiset across `k ∈ 1..=8` shards: a left fold of
+    /// the shard snapshots, a pairwise tree, and one histogram that saw
+    /// every sample all agree exactly.
+    #[test]
+    fn merge_is_associative_across_shards(
+        samples in proptest::collection::vec(any::<u64>(), 0..300),
+        k in 1usize..=8,
+    ) {
+        let whole = snap_of(&samples);
+        // Partition the multiset across shards by `v % k`.
+        let shards: Vec<HistSnapshot> = (0..k)
+            .map(|i| {
+                let part: Vec<u64> =
+                    samples.iter().copied().filter(|v| (*v % k as u64) == i as u64).collect();
+                snap_of(&part)
+            })
+            .collect();
+        let mut fold = HistSnapshot::new();
+        for s in &shards {
+            fold.merge(s);
+        }
+        let tree = tree_merge(shards.clone());
+        prop_assert_eq!(fold, whole);
+        prop_assert_eq!(tree, whole);
+    }
+
+    /// Quantiles never decrease as `q` grows, and every reported value
+    /// is a valid bucket bound at least as large as some recorded sample.
+    #[test]
+    fn quantile_is_monotone(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        qs in proptest::collection::vec(0u32..=1_000_000, 2..10),
+    ) {
+        let s = snap_of(&samples);
+        let mut sorted = qs.clone();
+        sorted.sort_unstable();
+        let values: Vec<u64> =
+            sorted.iter().map(|&q| s.quantile(f64::from(q) / 1e6)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile not monotone: {:?}", values);
+        }
+    }
+
+    /// A bucket bound overestimates the sample it covers by strictly
+    /// less than 2× for every value below the overflow bucket.
+    #[test]
+    fn bucket_bound_error_is_under_2x(v in 1u64..(1 << 62)) {
+        let mut s = HistSnapshot::new();
+        s.record_us(v);
+        for q in [0.001, 0.5, 0.99, 1.0] {
+            let got = s.quantile(q);
+            prop_assert!(got >= v, "quantile({q}) = {got} under-reports {v}");
+            prop_assert!(got < v.saturating_mul(2), "quantile({q}) = {got} ≥ 2×{v}");
+        }
+    }
+
+    /// Encode → decode is the identity, and decoding distributes over
+    /// merge: merging decoded copies equals decoding nothing and merging
+    /// the originals.
+    #[test]
+    fn encode_decode_round_trip(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let da = HistSnapshot::decode(&sa.encode()).expect("own encoding decodes");
+        let db = HistSnapshot::decode(&sb.encode()).expect("own encoding decodes");
+        prop_assert_eq!(da, sa);
+        prop_assert_eq!(db, sb);
+        let mut merged_decoded = da;
+        merged_decoded.merge(&db);
+        let mut merged = sa;
+        merged.merge(&sb);
+        prop_assert_eq!(merged_decoded, merged);
+        // The merged snapshot round-trips too.
+        prop_assert_eq!(HistSnapshot::decode(&merged.encode()).expect("decodes"), merged);
+    }
+
+    /// The atomic recorder and the plain snapshot agree sample-for-sample.
+    #[test]
+    fn atomic_and_plain_recorders_agree(
+        samples in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record_us(v);
+        }
+        prop_assert_eq!(h.snapshot(), snap_of(&samples));
+        for &v in &samples {
+            prop_assert!(bucket_of(v) < HIST_BUCKETS);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! per-round latencies. [`AggregateMetrics`] folds thousands of sessions
 //! into one report for the scheduler.
 
-use referee_protocol::RunStats;
+use referee_protocol::{HistSnapshot, RunStats};
 
 /// Delivery accounting for one transport (or a merged fleet of them).
 ///
@@ -108,6 +108,11 @@ pub struct AggregateMetrics {
     pub transport: TransportCounters,
     /// Wall time of the whole sweep (set by the scheduler).
     pub wall_seconds: f64,
+    /// Per-session wall-time latency (Σ `round_seconds`, recorded in
+    /// microseconds). Clock-stamped by the session runtime, so under a
+    /// [`ManualClock`](crate::ManualClock) the percentiles are exact
+    /// and deterministic.
+    pub latency: HistSnapshot,
 }
 
 impl AggregateMetrics {
@@ -128,6 +133,8 @@ impl AggregateMetrics {
         }
         self.total_rounds += m.rounds as u64;
         self.transport.merge(&m.transport);
+        let seconds: f64 = m.round_seconds.iter().sum();
+        self.latency.record_us((seconds * 1e6).max(0.0) as u64);
     }
 
     /// Merge another aggregate (e.g. per-worker partials).
@@ -140,6 +147,7 @@ impl AggregateMetrics {
         self.max_frugality_ratio = self.max_frugality_ratio.max(other.max_frugality_ratio);
         self.total_rounds += other.total_rounds;
         self.transport.merge(&other.transport);
+        self.latency.merge(&other.latency);
     }
 
     /// Mean rounds per session.
@@ -191,5 +199,23 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.sessions, 4);
         assert_eq!(b.mean_rounds(), 3.0);
+    }
+
+    #[test]
+    fn absorb_records_session_latency() {
+        // 1023 µs + 1 µs of round time → one sample in the 1023-bound
+        // bucket; merge folds distributions bucket-wise.
+        let mut m = SessionMetrics::new(4);
+        m.round_seconds = vec![0.001023, 0.000001];
+        let mut a = AggregateMetrics::default();
+        a.absorb(&m, true);
+        assert_eq!(a.latency.count(), 1);
+        assert_eq!(a.latency.p50(), 2047);
+
+        let mut b = AggregateMetrics::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.latency.count(), 2);
+        assert_eq!(b.latency.p99(), 2047);
     }
 }

@@ -60,7 +60,7 @@
 
 use crate::auth::AuthKey;
 use crate::frame::{FrameKind, WireError};
-use crate::metrics::{WireMetrics, WireSnapshot};
+use crate::metrics::{Stage, WireMetrics, WireSnapshot};
 use crate::multiround::{
     decode_mr_verdict, run_multiround_server, run_multiround_server_remote, WireReferee,
 };
@@ -805,9 +805,11 @@ impl FleetClient {
         let mut scratch = vec![0u8; SCRATCH_BYTES];
         let mut pool = Vec::with_capacity(conns);
         for _ in 0..conns {
+            let dialed = Instant::now();
             let mut conn = Conn::new(TcpStream::connect(addr)?, key)?;
             let id = await_hello(&mut conn, &mut scratch, timeouts.hello)?;
             conn.set_key(key.derive(id as u64));
+            metrics.record_stage(Stage::ConnectHello, dialed.elapsed());
             metrics.connections(1);
             pool.push(conn);
         }
@@ -901,6 +903,7 @@ impl FleetClient {
                 arrivals.len()
             )));
         }
+        let opened = Instant::now();
         let mut w = BitWriter::new();
         w.write_bits(n as u64, 32);
         let announce =
@@ -910,6 +913,7 @@ impl FleetClient {
                 "connection died announcing the session".into(),
             ));
         }
+        self.core.metrics.record_stage(Stage::Announce, opened.elapsed());
         for (sender, payload) in arrivals {
             let env = Envelope { session, round: 1, from: sender, to: 0, payload };
             if !self.core.send_kind(FrameKind::Data, &env) {
@@ -918,7 +922,10 @@ impl FleetClient {
                 )));
             }
         }
-        decode_verdict(&self.core.await_verdict(session)?)
+        self.core.metrics.record_stage(Stage::UplinksComplete, opened.elapsed());
+        let verdict = decode_verdict(&self.core.await_verdict(session)?);
+        self.core.metrics.record_stage(Stage::Verdict, opened.elapsed());
+        verdict
     }
 
     /// Drive one multi-round session against a **multi-round**
@@ -968,6 +975,7 @@ impl FleetClient {
                 "no verdict within the client's 0-round cap".into(),
             ));
         }
+        let opened = Instant::now();
         let mut w = BitWriter::new();
         w.write_bits(n as u64, 32);
         let announce =
@@ -977,15 +985,19 @@ impl FleetClient {
                 "connection died announcing the session".into(),
             ));
         }
+        self.core.metrics.record_stage(Stage::Announce, opened.elapsed());
         if n == 0 {
             // No nodes, no rounds to drive: the server steps the empty
             // uplink vectors itself and judges.
-            return decode_mr_verdict(&self.core.await_verdict(session)?);
+            let verdict = decode_mr_verdict(&self.core.await_verdict(session)?);
+            self.core.metrics.record_stage(Stage::Verdict, opened.elapsed());
+            return verdict;
         }
         let mut node_states: Vec<P::NodeState> = (1..=n as u32)
             .map(|v| protocol.node_init(NodeView::new(n, v, g.neighbourhood(v))))
             .collect();
         for round in 1..=max_rounds as u32 {
+            let round_opened = Instant::now();
             // Phase 1: node sends. Uplinks cross the wire; link
             // messages are delivered locally, one per edge per round.
             let mut inbox: Vec<Vec<(VertexId, Message)>> = vec![Vec::new(); n];
@@ -1014,9 +1026,13 @@ impl FleetClient {
                     inbox[(target - 1) as usize].push((v, payload));
                 }
             }
+            self.core.metrics.record_stage(Stage::UplinksComplete, round_opened.elapsed());
             // Phase 2: the referee's word — downlinks or the verdict.
             let downlinks = match self.core.await_round(session, n, round)? {
-                RoundWait::Verdict(v) => return decode_mr_verdict(&v),
+                RoundWait::Verdict(v) => {
+                    self.core.metrics.record_stage(Stage::Verdict, opened.elapsed());
+                    return decode_mr_verdict(&v);
+                }
                 RoundWait::Downlinks(d) => d,
             };
             // Phase 3: node receives.

@@ -158,6 +158,36 @@
 //!    address is re-pointed with
 //!    [`RemotePlacement::update_host`] — no server restart.
 //!
+//! # Observability
+//!
+//! Every endpoint — client pool, server, shard host, coordinator —
+//! owns a [`WireMetrics`] and exposes it as a [`WireSnapshot`] via its
+//! `metrics()` / `stop()` methods. A snapshot carries two kinds of
+//! signal:
+//!
+//! * **Counters** — frames/bytes sent and received, MAC rejects,
+//!   tampered frames, backpressure stalls, shard traffic
+//!   (partial/downlink/verdict frames), reconnects and replays.
+//! * **Per-stage latency histograms** — each session is stamped at the
+//!   named lifecycle [`Stage`]s (`connect_hello`, `announce`,
+//!   `uplinks_complete`, `partial_merge`, `referee_step`, `verdict`)
+//!   into fixed-bucket log₂ histograms
+//!   ([`LatencyHistogram`](referee_protocol::LatencyHistogram)), so
+//!   [`WireSnapshot::stage`] answers p50/p99/p999 per stage with no
+//!   allocation on the hot path. Client-side stages measure what a
+//!   caller feels (announce→verdict); server/host-side stages isolate
+//!   where the time went (merge wait vs referee step).
+//!
+//! The recipe for a soak loop: snapshot before, snapshot after, and
+//! [`WireSnapshot::delta`] isolates the phase between them; histograms
+//! from remote processes travel through
+//! [`HistSnapshot::encode`](referee_protocol::HistSnapshot::encode) and
+//! merge into a coordinator's metrics with
+//! [`WireMetrics::absorb_stage`] — the same mergeable-partial-state
+//! discipline the referee itself uses. Tail-latency SLOs over these
+//! percentiles are enforced in CI by `referee_bench::SloCheck` (see
+//! `examples/cross_host_shards.rs`).
+//!
 //! # Example: a fleet over loopback TCP
 //!
 //! ```
@@ -221,7 +251,7 @@ pub use frame::{
     decode_frame, encode_frame, encode_wire_frame, DecodedFrame, FrameKind, WireError,
     WIRE_VERSION,
 };
-pub use metrics::{WireMetrics, WireSnapshot};
+pub use metrics::{Stage, WireMetrics, WireSnapshot};
 pub use multiround::{
     boruvka_connectivity_service, decode_bool_output, encode_bool_output, ProtocolReferee,
     RefereeStepper, WireReferee,

@@ -1,7 +1,65 @@
 //! Wire-level observability: atomic counters shared between the reactor,
-//! the transports, and whoever reports.
+//! the transports, and whoever reports — plus per-stage latency
+//! histograms over the session lifecycle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use referee_protocol::hist::{HistSnapshot, LatencyHistogram};
+
+/// Named stages of the session lifecycle, each timed into its own
+/// latency histogram on [`WireMetrics`]. Client-side endpoints populate
+/// the connect/announce/uplink/verdict stages; server-side endpoints
+/// populate the merge and referee stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// TCP connect through the Hello exchange (client pool connections
+    /// and placement-proxy dials to a shard host).
+    ConnectHello,
+    /// Session open → announce frame queued and flushed.
+    Announce,
+    /// Announce → the session's last uplink queued (per round in
+    /// multi-round mode).
+    UplinksComplete,
+    /// Server side: a session (or round) opening → its partial states
+    /// fully merged across shards.
+    PartialMerge,
+    /// One referee invocation: the global phase, or one multi-round
+    /// step.
+    RefereeStep,
+    /// Announce → verdict observed (received on a client, sent on a
+    /// server).
+    Verdict,
+}
+
+impl Stage {
+    /// Every stage, in lifecycle order — the index into
+    /// [`WireSnapshot::stages`].
+    pub const ALL: [Stage; 6] = [
+        Stage::ConnectHello,
+        Stage::Announce,
+        Stage::UplinksComplete,
+        Stage::PartialMerge,
+        Stage::RefereeStep,
+        Stage::Verdict,
+    ];
+
+    /// Stable snake_case name (used in logs and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::ConnectHello => "connect_hello",
+            Stage::Announce => "announce",
+            Stage::UplinksComplete => "uplinks_complete",
+            Stage::PartialMerge => "partial_merge",
+            Stage::RefereeStep => "referee_step",
+            Stage::Verdict => "verdict",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
 
 /// Live counters for one endpoint (a client's connection pool or a
 /// server). All methods are lock-free; read a coherent-enough view with
@@ -23,6 +81,7 @@ pub struct WireMetrics {
     downlink_frames: AtomicU64,
     shard_reconnects: AtomicU64,
     replayed_frames: AtomicU64,
+    stages: [LatencyHistogram; Stage::ALL.len()],
 }
 
 macro_rules! bump {
@@ -50,7 +109,19 @@ impl WireMetrics {
     bump!(shard_reconnects);
     bump!(replayed_frames);
 
-    /// A point-in-time copy of every counter.
+    /// Record one duration sample into `stage`'s latency histogram.
+    pub(crate) fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stages[stage.index()].record_duration(elapsed);
+    }
+
+    /// Fold a frozen histogram (e.g. decoded off the wire from a remote
+    /// [`ShardHost`](crate::ShardHost)) into `stage`'s live histogram —
+    /// the coordinator-side half of cross-host latency aggregation.
+    pub fn absorb_stage(&self, stage: Stage, snap: &HistSnapshot) {
+        self.stages[stage.index()].absorb(snap);
+    }
+
+    /// A point-in-time copy of every counter and stage histogram.
     pub fn snapshot(&self) -> WireSnapshot {
         WireSnapshot {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
@@ -68,6 +139,7 @@ impl WireMetrics {
             downlink_frames: self.downlink_frames.load(Ordering::Relaxed),
             shard_reconnects: self.shard_reconnects.load(Ordering::Relaxed),
             replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            stages: std::array::from_fn(|i| self.stages[i].snapshot()),
         }
     }
 }
@@ -115,6 +187,42 @@ pub struct WireSnapshot {
     /// Remote placement only: journaled frames resent to a reconnected
     /// shard host (announcements excluded).
     pub replayed_frames: u64,
+    /// Per-stage latency histograms, indexed in [`Stage::ALL`] order.
+    pub stages: [HistSnapshot; Stage::ALL.len()],
+}
+
+impl WireSnapshot {
+    /// The latency histogram for one lifecycle stage.
+    pub fn stage(&self, stage: Stage) -> &HistSnapshot {
+        &self.stages[stage.index()]
+    }
+
+    /// Saturating counter (and histogram-bucket) difference
+    /// `self − earlier`, so one phase of a run — a tamper sweep, a soak
+    /// window — can be measured in isolation from the counters'
+    /// lifetime totals.
+    pub fn delta(&self, earlier: &WireSnapshot) -> WireSnapshot {
+        WireSnapshot {
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            frames_received: self.frames_received.saturating_sub(earlier.frames_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            mac_rejects: self.mac_rejects.saturating_sub(earlier.mac_rejects),
+            decode_rejects: self.decode_rejects.saturating_sub(earlier.decode_rejects),
+            backpressure_stalls: self
+                .backpressure_stalls
+                .saturating_sub(earlier.backpressure_stalls),
+            tampered: self.tampered.saturating_sub(earlier.tampered),
+            orphan_frames: self.orphan_frames.saturating_sub(earlier.orphan_frames),
+            connections: self.connections.saturating_sub(earlier.connections),
+            partial_frames: self.partial_frames.saturating_sub(earlier.partial_frames),
+            verdict_frames: self.verdict_frames.saturating_sub(earlier.verdict_frames),
+            downlink_frames: self.downlink_frames.saturating_sub(earlier.downlink_frames),
+            shard_reconnects: self.shard_reconnects.saturating_sub(earlier.shard_reconnects),
+            replayed_frames: self.replayed_frames.saturating_sub(earlier.replayed_frames),
+            stages: std::array::from_fn(|i| self.stages[i].delta(&earlier.stages[i])),
+        }
+    }
 }
 
 impl std::fmt::Display for WireSnapshot {
@@ -139,7 +247,14 @@ impl std::fmt::Display for WireSnapshot {
             self.downlink_frames,
             self.shard_reconnects,
             self.replayed_frames,
-        )
+        )?;
+        for stage in Stage::ALL {
+            let h = self.stage(stage);
+            if h.count() > 0 {
+                write!(f, " | {} {}", stage.name(), h)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -159,5 +274,55 @@ mod tests {
         assert_eq!(s.mac_rejects, 1);
         assert_eq!(s.frames_received, 0);
         assert!(format!("{s}").contains("mac-rejects 1"));
+    }
+
+    #[test]
+    fn snapshot_reflects_stage_histograms() {
+        let m = WireMetrics::default();
+        m.record_stage(Stage::Verdict, Duration::from_micros(700));
+        m.record_stage(Stage::Verdict, Duration::from_micros(900));
+        m.record_stage(Stage::RefereeStep, Duration::from_micros(3));
+        let s = m.snapshot();
+        assert_eq!(s.stage(Stage::Verdict).count(), 2);
+        assert_eq!(s.stage(Stage::Verdict).p50(), 1023);
+        assert_eq!(s.stage(Stage::RefereeStep).count(), 1);
+        assert_eq!(s.stage(Stage::Announce).count(), 0);
+        let rendered = format!("{s}");
+        assert!(rendered.contains("verdict n=2 p50=1023us"), "{rendered}");
+        assert!(!rendered.contains("announce"), "{rendered}");
+    }
+
+    #[test]
+    fn absorb_stage_merges_remote_histograms() {
+        let m = WireMetrics::default();
+        m.record_stage(Stage::PartialMerge, Duration::from_micros(10));
+        let mut remote = referee_protocol::HistSnapshot::new();
+        remote.record_us(2000);
+        remote.record_us(12);
+        m.absorb_stage(Stage::PartialMerge, &remote);
+        assert_eq!(m.snapshot().stage(Stage::PartialMerge).count(), 3);
+    }
+
+    #[test]
+    fn delta_isolates_a_phase() {
+        let m = WireMetrics::default();
+        m.frames_sent(10);
+        m.connections(2);
+        m.record_stage(Stage::Verdict, Duration::from_micros(100));
+        let before = m.snapshot();
+        m.frames_sent(5);
+        m.mac_rejects(1);
+        m.record_stage(Stage::Verdict, Duration::from_micros(4000));
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.frames_sent, 5);
+        assert_eq!(d.mac_rejects, 1);
+        assert_eq!(d.connections, 0);
+        assert_eq!(d.stage(Stage::Verdict).count(), 1);
+        assert_eq!(d.stage(Stage::Verdict).p50(), 4095);
+        // Degenerate direction saturates instead of wrapping.
+        let rev = before.delta(&after);
+        assert_eq!(rev.frames_sent, 0);
+        assert_eq!(rev.stage(Stage::Verdict).count(), 0);
     }
 }

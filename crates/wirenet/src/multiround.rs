@@ -54,7 +54,7 @@
 use crate::auth::AuthKey;
 use crate::fleet::{accept_conn, IDLE_SLEEP};
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
-use crate::metrics::WireMetrics;
+use crate::metrics::{Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::multiround::{BoruvkaConnectivity, MultiRoundProtocol, RefereeStep};
@@ -68,6 +68,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Domain-separation tweak for the multi-round shard-exchange key
 /// (distinct from the one-round service's, so partials can never cross
@@ -299,6 +300,12 @@ struct MrSession {
     needed: usize,
     /// Server-side round cap.
     cap: usize,
+    /// When this worker saw the announce — the zero point for the
+    /// server-side verdict stage histogram.
+    opened: Instant,
+    /// When the referee's current round opened (reset per round) — the
+    /// zero point for the per-round partial-merge stage histogram.
+    round_opened: Instant,
 }
 
 /// The multi-round-mode server loop (spawned by
@@ -648,6 +655,8 @@ fn mr_worker(
                     pending: BTreeMap::new(),
                     needed: nonempty_shards(n, shards),
                     cap: referee.round_cap(n),
+                    opened: Instant::now(),
+                    round_opened: Instant::now(),
                 };
                 emit_ready_rounds(index, session, &mut ws, &tx0, exchange_key, metrics);
                 if index == 0 && try_advance(session, &mut ws, &otx, metrics) {
@@ -873,6 +882,7 @@ fn try_advance(
             ws.pending.insert(round, (acc, quorum));
             return false;
         }
+        metrics.record_stage(Stage::PartialMerge, ws.round_opened.elapsed());
         match acc.finish() {
             Err(e) => {
                 send_mr_verdict(session, ws, Err(e), otx, metrics);
@@ -880,7 +890,10 @@ fn try_advance(
             }
             Ok(uplinks) => {
                 let stepper = ws.stepper.as_mut().expect("worker 0 owns the referee");
-                match stepper.step(ws.n, round as usize, &uplinks) {
+                let stepped = Instant::now();
+                let step = stepper.step(ws.n, round as usize, &uplinks);
+                metrics.record_stage(Stage::RefereeStep, stepped.elapsed());
+                match step {
                     RefereeStep::Done(out) => {
                         send_mr_verdict(session, ws, Ok(out), otx, metrics);
                         return true;
@@ -907,6 +920,7 @@ fn try_advance(
                             msgs: downlinks,
                         });
                         ws.referee_round += 1;
+                        ws.round_opened = Instant::now();
                     }
                 }
             }
@@ -921,6 +935,7 @@ fn send_mr_verdict(
     otx: &Sender<MrOutbound>,
     metrics: &WireMetrics,
 ) {
+    metrics.record_stage(Stage::Verdict, ws.opened.elapsed());
     metrics.verdict_frames(1);
     let _ = otx.send(MrOutbound::Verdict {
         conn: ws.conn,

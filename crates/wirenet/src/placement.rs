@@ -66,7 +66,7 @@ use crate::auth::AuthKey;
 use crate::frame::{
     encode_wire_frame, FrameKind, WireError, HEADER_BYTES, MAX_BODY_BYTES, TAG_BYTES,
 };
-use crate::metrics::{WireMetrics, WireSnapshot};
+use crate::metrics::{Stage, WireMetrics, WireSnapshot};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
 use referee_protocol::shard::replay::{decode_resume, encode_resume, Recorded, ShardJournal};
@@ -369,15 +369,17 @@ struct HostLink {
     sessions: HashMap<(u32, u64), HostSession>,
 }
 
-/// Per-session shard state on a host.
+/// Per-session shard state on a host. `opened` is when the current
+/// range wait began (the announce, or the previous multi-round emit) —
+/// the zero point for the host's uplinks-complete stage histogram.
 enum HostSession {
     /// One-round: `None` once the range partial shipped (later arrivals
     /// are by definition duplicates or strays — reported as poison
     /// notices so the session fails fast, exactly like the in-process
     /// worker).
-    One { n: usize, epoch: u32, shard: Option<RefereeShard> },
+    One { n: usize, epoch: u32, shard: Option<RefereeShard>, opened: Instant },
     /// Multi-round: the round currently collecting, advanced on emit.
-    Multi { n: usize, epoch: u32, shard: RoundShard, cap: usize },
+    Multi { n: usize, epoch: u32, shard: RoundShard, cap: usize, opened: Instant },
 }
 
 /// The shard-host accept/pump loop.
@@ -478,6 +480,7 @@ fn host_frame(
                     n,
                     epoch,
                     shard: Some(RefereeShard::new(n, shards, index)),
+                    opened: Instant::now(),
                 },
                 ShardHostMode::MultiRound => {
                     if shard_range(n, shards, index).is_empty() {
@@ -490,6 +493,7 @@ fn host_frame(
                         epoch,
                         shard: RoundShard::new(n, shards, index, resume),
                         cap: cap as usize,
+                        opened: Instant::now(),
                     }
                 }
             };
@@ -507,7 +511,7 @@ fn host_frame(
                 return Ok(());
             };
             match hs {
-                HostSession::One { n, epoch, shard } => match shard.as_mut() {
+                HostSession::One { n, epoch, shard, .. } => match shard.as_mut() {
                     Some(s) => match s.ingest(env.from, env.payload) {
                         Ok(Arrival::Fresh) | Ok(Arrival::OutOfRange) => {}
                         Ok(Arrival::Duplicate { .. }) => s.note_duplicate(env.from),
@@ -586,11 +590,12 @@ fn emit_ready(
     let Some(hs) = link.sessions.get_mut(&key) else { return };
     let (conn, session) = key;
     match hs {
-        HostSession::One { epoch, shard, .. } => {
+        HostSession::One { epoch, shard, opened, .. } => {
             let ready = shard.as_ref().is_some_and(|s| s.is_complete() || s.is_poisoned());
             if !ready {
                 return;
             }
+            metrics.record_stage(Stage::UplinksComplete, opened.elapsed());
             let partial = shard.take().expect("checked above").into_partial();
             let round = *epoch << 1;
             queue_partial(
@@ -603,13 +608,15 @@ fn emit_ready(
                 metrics,
             );
         }
-        HostSession::Multi { n, epoch, shard, cap } => loop {
+        HostSession::Multi { n, epoch, shard, cap, opened } => loop {
             if shard.range().is_empty() || !(shard.is_complete() || shard.is_poisoned()) {
                 return;
             }
             if shard.round() as usize > *cap {
                 return; // past the cap: the referee judges server-side
             }
+            metrics.record_stage(Stage::UplinksComplete, opened.elapsed());
+            *opened = Instant::now();
             let next = RoundShard::new(*n, shards, index, shard.round() + 1);
             let partial = std::mem::replace(shard, next).into_partial();
             queue_partial(
@@ -775,8 +782,10 @@ fn dial(
     sessions: &HashMap<(u32, u64), ProxySession>,
 ) -> Option<Conn> {
     let addr = cfg.placement.addr_of_host(host);
+    let dialed = Instant::now();
     let stream = TcpStream::connect_timeout(&addr, DIAL_TIMEOUT).ok()?;
     let mut conn = Conn::new(stream, registration_key(cfg.base)).ok()?;
+    cfg.metrics.record_stage(Stage::ConnectHello, dialed.elapsed());
     *generation = generation.wrapping_add(1).max(1);
     conn.queue_frame(
         FrameKind::Register,

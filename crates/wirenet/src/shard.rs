@@ -56,7 +56,7 @@
 use crate::auth::AuthKey;
 use crate::fleet::{accept_conn, IDLE_SLEEP};
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
-use crate::metrics::WireMetrics;
+use crate::metrics::{Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
@@ -67,6 +67,7 @@ use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::thread;
+use std::time::Instant;
 
 /// Domain-separation tweak for the shard-to-shard exchange key.
 const EXCHANGE_TWEAK: u64 = 0x7368_6172_645f_7863; // "shard_xc"
@@ -196,6 +197,9 @@ struct WorkerSession {
     /// Worker 0 only: the merge accumulator and quorum progress.
     acc: PartialState,
     merged: usize,
+    /// When this worker saw the announce — the zero point for the
+    /// partial-merge and server-side verdict stage histograms.
+    opened: Instant,
 }
 
 /// The sharded-mode server loop (spawned by
@@ -522,6 +526,7 @@ fn shard_worker(
                     shard: owns_range.then(|| RefereeShard::new(n, shards, index)),
                     acc: PartialState::new(n),
                     merged: 0,
+                    opened: Instant::now(),
                 };
                 emit_if_complete(index, session, &mut ws, &tx0, &vtx, exchange_key, metrics);
                 if finish_if_merged(shards, session, &mut ws, &vtx, base, metrics) {
@@ -735,8 +740,11 @@ fn finish_if_merged(
     if ws.merged < shards && !ws.acc.poisoned() {
         return false;
     }
+    metrics.record_stage(Stage::PartialMerge, ws.opened.elapsed());
     let acc = std::mem::replace(&mut ws.acc, PartialState::new(0));
+    let stepped = Instant::now();
     let result = acc.finish().map(|messages| vector_digest(base, &messages));
+    metrics.record_stage(Stage::RefereeStep, stepped.elapsed());
     send_verdict(session, ws, result, vtx, metrics);
     true
 }
@@ -748,6 +756,7 @@ fn send_verdict(
     vtx: &Sender<VerdictMsg>,
     metrics: &WireMetrics,
 ) {
+    metrics.record_stage(Stage::Verdict, ws.opened.elapsed());
     metrics.verdict_frames(1);
     let _ = vtx.send(VerdictMsg {
         conn: ws.conn,

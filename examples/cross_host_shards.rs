@@ -21,13 +21,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use referee_bench::{Percentiles, SloCheck};
 use referee_one_round::prelude::*;
 use referee_one_round::protocol::multiround::BoruvkaConnectivity;
 use referee_one_round::protocol::shard::multiround::run_multiround_sharded;
 use referee_simnet::{Scheduler, SessionId};
 use referee_wirenet::{
     boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
-    PlacementPolicy, RemotePlacement, ShardHost, TamperConfig,
+    PlacementPolicy, RemotePlacement, ShardHost, Stage, TamperConfig,
 };
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
@@ -186,6 +187,7 @@ fn main() {
         assert_eq!(*wire, local, "session {i} diverged from in-process sharded run");
         assert_eq!(*wire, algo::is_connected(g), "session {i} diverged from centralized truth");
     }
+    let client_stats = client.metrics();
     let stats = server.stop();
     let total = SESSIONS + extra;
     println!(
@@ -203,6 +205,14 @@ fn main() {
         "kills must force redials beyond the initial {SHARDS}"
     );
     assert_eq!(stats.verdict_frames as usize, total);
+
+    // Announce→verdict latency per session, *including* sessions that
+    // lived through a shard-host kill and replay — the tail the SLO
+    // gate (REFEREE_SLO_P99_US / REFEREE_SLO_P999_US) watches in CI.
+    let verdict_hist = client_stats.stage(Stage::Verdict);
+    let p = Percentiles::from_hist(verdict_hist).expect("sessions ran");
+    println!("  latency under chaos: {verdict_hist}");
+    SloCheck::from_env().enforce("cross_host_shards phase 1", &p);
 
     // ---- Phase 2: wire tampering fails closed, zero undetected --------
     let policy = PlacementPolicy::balanced(2, &[0, 1]);

@@ -19,11 +19,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use referee_bench::{Percentiles, SloCheck};
 use referee_one_round::prelude::*;
 use referee_one_round::protocol::multiround::{run_multiround, BoruvkaConnectivity};
 use referee_simnet::{Scheduler, SessionId};
 use referee_wirenet::{
-    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
+    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer, Stage,
     TamperConfig,
 };
 
@@ -86,6 +87,13 @@ fn main() {
         "  wall {wall:.3}s ≈ {:.0} multi-round sessions/s refereed by shards",
         sessions as f64 / wall
     );
+
+    // Announce→verdict latency per session, client-stamped; the SLO
+    // gate is armed by REFEREE_SLO_P99_US / REFEREE_SLO_P999_US in CI.
+    let verdict_hist = client_stats.stage(Stage::Verdict);
+    let p = Percentiles::from_hist(verdict_hist).expect("sessions ran");
+    println!("  latency: {verdict_hist}");
+    SloCheck::from_env().enforce("sharded_boruvka phase 1", &p);
 
     // ---- Phase 2: wire corruption, zero undetected --------------------
     let corrupt_sessions = 64usize;

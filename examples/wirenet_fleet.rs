@@ -14,9 +14,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use referee_bench::{Percentiles, SloCheck};
 use referee_one_round::prelude::*;
 use referee_one_round::protocol::easy::EdgeCountProtocol;
-use referee_simnet::{OneRoundSession, PerfectTransport, SessionId};
+use referee_simnet::{AggregateMetrics, OneRoundSession, PerfectTransport, SessionId};
 use referee_wirenet::{AuthKey, FleetClient, FleetServer, TamperConfig};
 
 fn fleet_graphs(count: usize, seed: u64) -> Vec<LabelledGraph> {
@@ -73,6 +74,17 @@ fn main() {
     println!("  client: {client_stats}");
     println!("  server: {server_stats}");
     println!("  wall {wall:.3}s ≈ {:.0} sessions/s over real sockets", sessions as f64 / wall);
+
+    // Per-session wire latency, with an optional SLO gate: CI arms it
+    // via REFEREE_SLO_P99_US / REFEREE_SLO_P999_US and a tail-latency
+    // regression fails the run.
+    let mut agg = AggregateMetrics::default();
+    for report in &wire {
+        agg.absorb(&report.metrics, report.outcome.is_ok());
+    }
+    let p = Percentiles::from_hist(&agg.latency).expect("sessions ran");
+    println!("  latency: {}", agg.latency);
+    SloCheck::from_env().enforce("wirenet_fleet phase 1", &p);
 
     // ---- Phase 2: wire corruption, all MAC-rejected -------------------
     let corrupt_sessions = 64usize;
