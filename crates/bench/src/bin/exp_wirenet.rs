@@ -11,7 +11,7 @@ use referee_bench::{render_table, section, write_bench_json_axis, BenchRecord, P
 use referee_graph::{generators, LabelledGraph};
 use referee_protocol::easy::EdgeCountProtocol;
 use referee_simnet::{AggregateMetrics, OneRoundSession, Scheduler, SessionId};
-use referee_wirenet::{AuthKey, FleetClient, FleetServer, TamperConfig};
+use referee_wirenet::{AuthKey, FleetClient, FleetServer, TamperConfig, TRACE_CAPACITY_ENV};
 use std::time::Instant;
 
 fn fleet(count: usize, seed: u64) -> Vec<LabelledGraph> {
@@ -59,43 +59,75 @@ fn main() {
         "-".into(),
     ]);
 
-    // Wirenet with growing connection pools.
-    for conns in [1usize, 2, 4, 8] {
-        let server = FleetServer::spawn(key).expect("bind");
-        let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
-        let t0 = Instant::now();
-        let reports: Vec<_> = scheduler.run_indexed(sessions, |i| {
-            let id = SessionId(i as u64);
-            let mut transport = client.transport(id);
-            OneRoundSession::new(&EdgeCountProtocol, &graphs[i])
-                .with_session(id)
-                .run(&mut transport)
-        });
-        let wall = t0.elapsed().as_secs_f64();
-        let mut agg = AggregateMetrics::default();
-        for (report, &m) in reports.iter().zip(&truth) {
-            assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
-            agg.absorb(&report.metrics, report.outcome.is_ok());
+    // Wirenet with growing connection pools, swept twice: with the
+    // flight recorder at its default capacity ("wirenet") and fully
+    // disabled ("wirenet-notrace", REFEREE_TRACE_CAPACITY=0). Both
+    // modes land in the JSON so CI history tracks the recorder's cost.
+    let mut best = [0.0f64; 2];
+    for (mode, backend) in ["wirenet", "wirenet-notrace"].into_iter().enumerate() {
+        if mode == 1 {
+            std::env::set_var(TRACE_CAPACITY_ENV, "0");
         }
-        let c = client.metrics();
-        let s = server.stop();
-        assert_eq!(s.mac_rejects, 0);
-        assert_eq!(c.frames_received, c.frames_sent, "every frame echoed");
-        records.push(
-            BenchRecord::new("wirenet", conns, sessions as f64 / wall)
-                .with_percentiles(Percentiles::from_hist(&agg.latency)),
-        );
-        rows.push(vec![
-            "wirenet".into(),
-            conns.to_string(),
-            format!("{:.0}", sessions as f64 / wall),
-            c.frames_sent.to_string(),
-            format!("{:.0}", (c.bytes_sent + c.bytes_received) as f64 / 1024.0),
-            s.mac_rejects.to_string(),
-            c.backpressure_stalls.to_string(),
-        ]);
+        for conns in [1usize, 2, 4, 8] {
+            let server = FleetServer::spawn(key).expect("bind");
+            let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
+            let t0 = Instant::now();
+            let reports: Vec<_> = scheduler.run_indexed(sessions, |i| {
+                let id = SessionId(i as u64);
+                let mut transport = client.transport(id);
+                OneRoundSession::new(&EdgeCountProtocol, &graphs[i])
+                    .with_session(id)
+                    .run(&mut transport)
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            let mut agg = AggregateMetrics::default();
+            for (report, &m) in reports.iter().zip(&truth) {
+                assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
+                agg.absorb(&report.metrics, report.outcome.is_ok());
+            }
+            let c = client.metrics();
+            let s = server.stop();
+            assert_eq!(s.mac_rejects, 0);
+            assert_eq!(c.frames_received, c.frames_sent, "every frame echoed");
+            if mode == 1 {
+                assert_eq!(c.trace_drops, 0, "a disabled recorder records (and drops) nothing");
+            }
+            let rate = sessions as f64 / wall;
+            best[mode] = best[mode].max(rate);
+            records.push(
+                BenchRecord::new(backend, conns, rate)
+                    .with_percentiles(Percentiles::from_hist(&agg.latency)),
+            );
+            rows.push(vec![
+                backend.into(),
+                conns.to_string(),
+                format!("{rate:.0}"),
+                c.frames_sent.to_string(),
+                format!("{:.0}", (c.bytes_sent + c.bytes_received) as f64 / 1024.0),
+                s.mac_rejects.to_string(),
+                c.backpressure_stalls.to_string(),
+            ]);
+        }
     }
+    std::env::remove_var(TRACE_CAPACITY_ENV);
     println!("{}", render_table(&rows));
+
+    // Overhead guard: recording into the lock-free ring must be free at
+    // this granularity. The bound is deliberately loose (loopback
+    // throughput on shared CI is noisy) — it exists to catch a future
+    // change that puts real work (allocation, locking, I/O) on the
+    // trace path, not to police scheduler jitter.
+    let ratio = best[0] / best[1];
+    println!(
+        "trace overhead: best traced {:.0} sess/s vs best untraced {:.0} sess/s \
+         (ratio {ratio:.2})",
+        best[0], best[1]
+    );
+    assert!(
+        ratio > 0.4,
+        "tracing cost a {:.0}% throughput hit — the recorder is no longer cheap",
+        (1.0 - ratio) * 100.0
+    );
 
     section("corruption sweep: every 2nd frame tampered, 32 sessions / 32 conns");
     let server = FleetServer::spawn(key).expect("bind");

@@ -32,6 +32,11 @@
 //!   commutative mergeable snapshots, and a canonical wire layout so
 //!   shard workers and remote hosts ship percentiles back to the
 //!   coordinator exactly like [`PartialState`].
+//! * [`trace`] — causal event tracing ([`FlightRecorder`]/
+//!   [`TraceSnapshot`]): a lock-free drop-oldest ring of per-session
+//!   trace events with the same mergeable-snapshot discipline as
+//!   [`hist`], plus Chrome `trace_event` rendering for failure-triggered
+//!   post-mortems.
 //! * [`baseline`] — the naive adjacency-list protocol (frugal only for
 //!   bounded degree, footnote 1 of the paper).
 //! * [`multiround`] — the CONGEST-with-referee extension (§IV "more
@@ -54,6 +59,7 @@ pub mod model;
 pub mod multiround;
 pub mod referee;
 pub mod shard;
+pub mod trace;
 
 pub use bits::{BitReader, BitWriter};
 pub use frugality::{FrugalityAudit, FrugalityReport};
@@ -67,6 +73,7 @@ pub use referee::{
 pub use shard::{
     route_arrival, shard_of, shard_range, Arrival, PartialState, RefereeShard, ShardRange,
 };
+pub use trace::{FlightRecorder, TraceEvent, TraceKind, TraceSnapshot, DEFAULT_TRACE_CAPACITY};
 
 /// Errors surfaced while decoding messages at the referee.
 ///

@@ -1,0 +1,216 @@
+//! Trace stitching algebra, pinned: segment merge is order-invariant
+//! across any split and merge shape (left fold vs pairwise tree vs one
+//! snapshot that saw everything), per-`(session, endpoint)` sequence
+//! numbers stay strictly monotone after stitching, the ring keeps
+//! exactly the newest `capacity` events under overflow, and snapshots
+//! survive their canonical wire encoding exactly — with non-canonical
+//! encodings rejected.
+
+use proptest::prelude::*;
+use referee_protocol::trace::{FlightRecorder, TraceEvent, TraceKind, TraceSnapshot};
+use referee_protocol::{BitWriter, Message};
+
+/// A raw event list with globally unique `seq` (what any set of real
+/// recorders produces: each endpoint's recorder hands out unique seqs).
+fn events(max: usize) -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec((0u64..4, 0u32..5, any::<u64>(), 0u8..14, any::<u64>()), 0..max)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (session, endpoint, ts_us, code, payload))| TraceEvent {
+                    session,
+                    endpoint,
+                    seq: i as u64,
+                    ts_us,
+                    kind: TraceKind::from_code(code).expect("codes 0..14 are valid"),
+                    payload,
+                })
+                .collect()
+        })
+}
+
+/// Merge a list of segments as a pairwise tree (the shape a fan-in of
+/// shard hosts produces).
+fn tree_merge(mut parts: Vec<TraceSnapshot>) -> TraceSnapshot {
+    if parts.is_empty() {
+        return TraceSnapshot::new();
+    }
+    while parts.len() > 1 {
+        let mut next = Vec::new();
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(&b);
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.pop().expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Split the event set across `k` segments by any congruence class;
+    /// left fold, reversed fold and pairwise tree all stitch back to
+    /// the snapshot that saw everything. Merging the result into itself
+    /// changes nothing (idempotent).
+    #[test]
+    fn stitching_is_order_invariant(evs in events(200), k in 1usize..=6) {
+        let whole = TraceSnapshot::from_events(evs.clone());
+        let segments: Vec<TraceSnapshot> = (0..k)
+            .map(|i| {
+                let part: Vec<TraceEvent> = evs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % k == i)
+                    .map(|(_, e)| *e)
+                    .collect();
+                TraceSnapshot::from_events(part)
+            })
+            .collect();
+        let mut fold = TraceSnapshot::new();
+        for s in &segments {
+            fold.merge(s);
+        }
+        let mut rev = TraceSnapshot::new();
+        for s in segments.iter().rev() {
+            rev.merge(s);
+        }
+        let tree = tree_merge(segments.clone());
+        prop_assert_eq!(&fold, &whole);
+        prop_assert_eq!(&rev, &whole);
+        prop_assert_eq!(&tree, &whole);
+        let mut twice = fold.clone();
+        twice.merge(&fold);
+        prop_assert_eq!(&twice, &whole, "merge is idempotent");
+    }
+
+    /// After stitching arbitrary segment splits, every
+    /// `(session, endpoint)` lane's sequence numbers are strictly
+    /// increasing in canonical order — the causal-order guarantee a
+    /// post-mortem relies on.
+    #[test]
+    fn lane_seq_is_monotone_after_stitching(evs in events(200), k in 1usize..=6) {
+        let segments: Vec<TraceSnapshot> = (0..k)
+            .map(|i| {
+                let part: Vec<TraceEvent> = evs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % k == i)
+                    .map(|(_, e)| *e)
+                    .collect();
+                TraceSnapshot::from_events(part)
+            })
+            .collect();
+        let stitched = tree_merge(segments);
+        for w in stitched.events().windows(2) {
+            if w[0].session == w[1].session && w[0].endpoint == w[1].endpoint {
+                prop_assert!(w[0].seq < w[1].seq, "lane seq must strictly increase");
+            }
+        }
+    }
+
+    /// Encode → decode is the identity, including for stitched
+    /// snapshots, and decoding distributes over merge.
+    #[test]
+    fn encode_decode_round_trip(a in events(150), b in events(150)) {
+        let (sa, sb) = (TraceSnapshot::from_events(a), TraceSnapshot::from_events(b));
+        let da = TraceSnapshot::decode(&sa.encode()).expect("own encoding decodes");
+        let db = TraceSnapshot::decode(&sb.encode()).expect("own encoding decodes");
+        prop_assert_eq!(&da, &sa);
+        prop_assert_eq!(&db, &sb);
+        let mut merged_decoded = da;
+        merged_decoded.merge(&db);
+        let mut merged = sa;
+        merged.merge(&sb);
+        prop_assert_eq!(&merged_decoded, &merged);
+        prop_assert_eq!(
+            &TraceSnapshot::decode(&merged.encode()).expect("decodes"),
+            &merged
+        );
+    }
+
+    /// Under overflow the ring keeps exactly the newest `capacity`
+    /// events (drop-oldest), and reports every displaced one.
+    #[test]
+    fn ring_keeps_the_newest_under_overflow(
+        total in 0usize..200,
+        capacity in 1usize..64,
+    ) {
+        let r = FlightRecorder::with_capacity(capacity);
+        for i in 0..total {
+            r.record(i as u64, 7, 3, TraceKind::Uplink, i as u64);
+        }
+        let snap = r.snapshot();
+        let kept = total.min(capacity);
+        prop_assert_eq!(snap.len(), kept);
+        prop_assert_eq!(r.dropped(), total.saturating_sub(capacity) as u64);
+        // The survivors are exactly the `kept` highest payloads.
+        let payloads: Vec<u64> = snap.events().iter().map(|e| e.payload).collect();
+        let expect: Vec<u64> = ((total - kept)..total).map(|i| i as u64).collect();
+        prop_assert_eq!(payloads, expect);
+    }
+}
+
+/// Replicates the private minimal-width field coding, so the strictness
+/// tests below can author deliberately malformed snapshots.
+fn write_compact(w: &mut BitWriter, v: u64) {
+    let width = (64 - v.leading_zeros()).max(1);
+    w.write_gamma(u64::from(width));
+    w.write_bits(v, width);
+}
+
+fn write_event(w: &mut BitWriter, e: &TraceEvent, kind_code: u64) {
+    write_compact(w, e.session);
+    write_compact(w, u64::from(e.endpoint));
+    write_compact(w, e.seq);
+    write_compact(w, e.ts_us);
+    w.write_bits(kind_code, 5);
+    write_compact(w, e.payload);
+}
+
+fn ev(session: u64, endpoint: u32, seq: u64) -> TraceEvent {
+    TraceEvent { session, endpoint, seq, ts_us: 10, kind: TraceKind::Uplink, payload: 1 }
+}
+
+#[test]
+fn decode_rejects_out_of_canonical_order() {
+    let (a, b) = (ev(1, 0, 0), ev(1, 0, 1));
+    let mut w = BitWriter::new();
+    w.write_gamma(3);
+    write_event(&mut w, &b, b.kind as u64); // deliberately reversed
+    write_event(&mut w, &a, a.kind as u64);
+    assert!(TraceSnapshot::decode(&Message::from_writer(w)).is_err());
+}
+
+#[test]
+fn decode_rejects_duplicate_events() {
+    let a = ev(1, 0, 0);
+    let mut w = BitWriter::new();
+    w.write_gamma(3);
+    write_event(&mut w, &a, a.kind as u64);
+    write_event(&mut w, &a, a.kind as u64);
+    assert!(TraceSnapshot::decode(&Message::from_writer(w)).is_err());
+}
+
+#[test]
+fn decode_rejects_unknown_kind_codes() {
+    let a = ev(1, 0, 0);
+    let mut w = BitWriter::new();
+    w.write_gamma(2);
+    write_event(&mut w, &a, 29); // 5-bit field, but no such kind
+    assert!(TraceSnapshot::decode(&Message::from_writer(w)).is_err());
+}
+
+#[test]
+fn decode_rejects_trailing_bits() {
+    let snap = TraceSnapshot::from_events(vec![ev(1, 0, 0)]);
+    let mut w = BitWriter::new();
+    w.write_gamma(2);
+    let e = snap.events()[0];
+    write_event(&mut w, &e, e.kind as u64);
+    w.write_bits(0, 1); // one spare bit after a valid snapshot
+    assert!(TraceSnapshot::decode(&Message::from_writer(w)).is_err());
+}

@@ -24,6 +24,7 @@
 //! [`assemble_from_arrivals`](referee_protocol::referee::assemble_from_arrivals)
 //! on the same arrival sequence.
 
+use crate::clock::{Clock, ManualClock};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -31,8 +32,46 @@ use referee_graph::VertexId;
 use referee_protocol::shard::placement::{HostId, PlacementPolicy};
 use referee_protocol::shard::replay::{Recorded, ShardJournal};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
+use referee_protocol::trace::{FlightRecorder, TraceKind};
 use referee_protocol::{DecodeError, Message};
 use std::collections::BTreeSet;
+
+/// The single simulated assembly's trace session id (session 0 is the
+/// connection-level namespace in `wirenet` traces; the sim mirrors
+/// that convention).
+const SIM_SESSION: u64 = 1;
+
+/// Trace endpoint ids, mirroring `wirenet::metrics::trace_endpoint`:
+/// the coordinator is endpoint 0, simulated host `h` is `0x200 + h`.
+const COORDINATOR: u32 = 0;
+
+fn host_endpoint(h: HostId) -> u32 {
+    0x200 + h
+}
+
+/// Deterministic trace hook for [`PlacementSim::run_traced`]: every
+/// recorded event first advances the manual clock by exactly one
+/// microsecond, so the same seed reproduces the trace bit-for-bit —
+/// timestamps included.
+struct SimTracer<'a> {
+    recorder: &'a FlightRecorder,
+    clock: &'a ManualClock,
+}
+
+impl SimTracer<'_> {
+    fn record(&self, endpoint: u32, kind: TraceKind, payload: u64) {
+        self.clock.advance(1e-6);
+        let ts_us = (self.clock.now() * 1e6).round() as u64;
+        self.recorder.record(ts_us, SIM_SESSION, endpoint, kind, payload);
+    }
+}
+
+/// Record through an optional tracer (no-op on the untraced path).
+fn tr(tracer: Option<&SimTracer<'_>>, endpoint: u32, kind: TraceKind, payload: u64) {
+    if let Some(t) = tracer {
+        t.record(endpoint, kind, payload);
+    }
+}
 
 /// A seeded host-loss model for one sharded assembly (see the module
 /// docs).
@@ -81,6 +120,35 @@ impl PlacementSim {
         policy: &PlacementPolicy,
         arrivals: &[(VertexId, Message)],
     ) -> PlacementReport {
+        self.run_inner(n, policy, arrivals, None)
+    }
+
+    /// Like [`run`](Self::run), but records every schedule decision —
+    /// kills, journal replays, deliveries, partial emit/merge, poison
+    /// notices and the final verdict — into `recorder`, stamped from
+    /// `clock` (advanced one microsecond per event). The verdict and
+    /// fault accounting are identical to the untraced run, and the
+    /// resulting [`TraceSnapshot`](referee_protocol::trace::TraceSnapshot)
+    /// is a pure function of `(seed, kill_rate, n, policy, arrivals)`:
+    /// the same inputs encode to byte-identical traces.
+    pub fn run_traced(
+        &self,
+        n: usize,
+        policy: &PlacementPolicy,
+        arrivals: &[(VertexId, Message)],
+        recorder: &FlightRecorder,
+        clock: &ManualClock,
+    ) -> PlacementReport {
+        self.run_inner(n, policy, arrivals, Some(&SimTracer { recorder, clock }))
+    }
+
+    fn run_inner(
+        &self,
+        n: usize,
+        policy: &PlacementPolicy,
+        arrivals: &[(VertexId, Message)],
+        tracer: Option<&SimTracer<'_>>,
+    ) -> PlacementReport {
         let k = policy.shards();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut order: Vec<usize> = (0..arrivals.len()).collect();
@@ -104,22 +172,27 @@ impl PlacementSim {
 
         // Emit-and-commit: fold a complete/poisoned shard into the
         // accumulator and prune its journal.
-        fn emit_ready(
-            shards: &mut [Option<RefereeShard>],
-            journals: &mut [ShardJournal],
-            acc: &mut PartialState,
-            partials: &mut usize,
-        ) {
+        let emit_ready = |shards: &mut [Option<RefereeShard>],
+                          journals: &mut [ShardJournal],
+                          acc: &mut PartialState,
+                          partials: &mut usize| {
             for (i, slot) in shards.iter_mut().enumerate() {
                 let ready = slot.as_ref().is_some_and(|s| s.is_complete() || s.is_poisoned());
                 if ready {
                     let partial = slot.take().expect("checked above").into_partial();
+                    tr(
+                        tracer,
+                        host_endpoint(policy.host_of_shard(i)),
+                        TraceKind::PartialEmit,
+                        i as u64,
+                    );
                     acc.merge(partial).expect("same-n partials always merge");
+                    tr(tracer, COORDINATOR, TraceKind::PartialMerge, i as u64);
                     journals[i].commit(1);
                     *partials += 1;
                 }
             }
-        }
+        };
 
         // Empty ranges complete immediately (k > n).
         emit_ready(&mut shards, &mut journals, &mut acc, &mut report.partials);
@@ -130,6 +203,7 @@ impl PlacementSim {
             if !hosts.is_empty() && rng.gen_bool(self.kill_rate) {
                 let victim = hosts[rng.gen_range(0..hosts.len())];
                 report.kills += 1;
+                tr(tracer, host_endpoint(victim), TraceKind::Kill, u64::from(victim));
                 self.kill_and_replay(
                     n,
                     policy,
@@ -137,11 +211,13 @@ impl PlacementSim {
                     &mut shards,
                     &mut journals,
                     &mut report.replayed,
+                    tracer,
                 );
                 emit_ready(&mut shards, &mut journals, &mut acc, &mut report.partials);
             }
             let (sender, payload) = &arrivals[step];
             let target = route_arrival(n, k, *sender);
+            tr(tracer, COORDINATOR, TraceKind::Uplink, u64::from(*sender));
             // One-round discipline (the same check the wire proxy
             // runs): once the shard's partial merged, *anything* else —
             // in-range duplicate or out-of-range stray — is reported as
@@ -150,6 +226,7 @@ impl PlacementSim {
                 let poison = PartialState::poison_notice(n, *sender);
                 acc.merge(poison).expect("same-n partials always merge");
                 report.notices += 1;
+                tr(tracer, COORDINATOR, TraceKind::Poison, u64::from(*sender));
                 continue;
             }
             match journals[target].record(1, *sender, payload.clone()) {
@@ -169,16 +246,25 @@ impl PlacementSim {
         // ending early).
         for (i, slot) in shards.iter_mut().enumerate() {
             if let Some(shard) = slot.take() {
+                tr(
+                    tracer,
+                    host_endpoint(policy.host_of_shard(i)),
+                    TraceKind::PartialEmit,
+                    i as u64,
+                );
                 acc.merge(shard.into_partial()).expect("same-n partials always merge");
+                tr(tracer, COORDINATOR, TraceKind::PartialMerge, i as u64);
                 journals[i].commit(1);
             }
         }
         report.verdict = acc.finish();
+        tr(tracer, COORDINATOR, TraceKind::Verdict, report.verdict.is_ok() as u64);
         report
     }
 
     /// Kill `victim`: wipe every un-committed shard it hosts, then
     /// rebuild each from its journal (the proxy's redial replay).
+    #[allow(clippy::too_many_arguments)]
     fn kill_and_replay(
         &self,
         n: usize,
@@ -187,6 +273,7 @@ impl PlacementSim {
         shards: &mut [Option<RefereeShard>],
         journals: &mut [ShardJournal],
         replayed: &mut usize,
+        tracer: Option<&SimTracer<'_>>,
     ) {
         let k = policy.shards();
         let lost: BTreeSet<usize> = (0..k)
@@ -197,6 +284,7 @@ impl PlacementSim {
             for (_, sender, payload) in journals[i].replay() {
                 ingest_service_policy(&mut fresh, sender, payload.clone());
                 *replayed += 1;
+                tr(tracer, host_endpoint(victim), TraceKind::Replay, u64::from(sender));
             }
             shards[i] = Some(fresh);
         }
@@ -285,6 +373,63 @@ mod tests {
         assert!(report.kills > 0, "a 0.5 kill rate over 40 steps must kill");
         assert!(report.replayed > 0, "kills mid-collection must replay journal entries");
         assert!(report.verdict.is_ok());
+    }
+
+    #[test]
+    fn traced_run_is_bit_for_bit_reproducible() {
+        let policy = PlacementPolicy::balanced(4, &[0, 1, 2]);
+        let n = 23;
+        let arrivals = honest(n);
+        let trace_of = |seed: u64| {
+            let recorder = FlightRecorder::with_capacity(4096);
+            let clock = ManualClock::default();
+            let report = PlacementSim::new(seed, 0.4)
+                .run_traced(n, &policy, &arrivals, &recorder, &clock);
+            (report, recorder.snapshot().encode())
+        };
+        let (a_report, a_trace) = trace_of(42);
+        let (b_report, b_trace) = trace_of(42);
+        assert_eq!(a_trace.as_bytes(), b_trace.as_bytes(), "same seed, same bytes");
+        assert_eq!(format!("{:?}", a_report.verdict), format!("{:?}", b_report.verdict));
+        // A different seed schedules differently — traces diverge.
+        let (_, c_trace) = trace_of(43);
+        assert_ne!(a_trace.as_bytes(), c_trace.as_bytes(), "different seed, different trace");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_the_schedule() {
+        let policy = PlacementPolicy::balanced(4, &[0, 1]);
+        let n = 40;
+        let arrivals = honest(n);
+        let sim = PlacementSim::new(7, 0.5);
+        let plain = sim.run(n, &policy, &arrivals);
+        let recorder = FlightRecorder::with_capacity(8192);
+        let clock = ManualClock::default();
+        let traced = sim.run_traced(n, &policy, &arrivals, &recorder, &clock);
+        assert_eq!(format!("{:?}", plain.verdict), format!("{:?}", traced.verdict));
+        assert_eq!(plain.kills, traced.kills);
+        assert_eq!(plain.replayed, traced.replayed);
+
+        let snap = recorder.snapshot();
+        let count = |kind: TraceKind| snap.events().iter().filter(|e| e.kind == kind).count();
+        assert_eq!(count(TraceKind::Kill), traced.kills);
+        assert_eq!(count(TraceKind::Replay), traced.replayed);
+        assert_eq!(count(TraceKind::Uplink), arrivals.len());
+        assert_eq!(count(TraceKind::PartialEmit), count(TraceKind::PartialMerge));
+        assert_eq!(count(TraceKind::Verdict), 1);
+        // ManualClock hands every event its own tick, so the timeline is
+        // causally ordered: all stamps distinct, and within each
+        // endpoint's lane seq order and time order agree.
+        let mut ts: Vec<u64> = snap.events().iter().map(|e| e.ts_us).collect();
+        let total = ts.len();
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(ts.len(), total, "one distinct tick per event");
+        for w in snap.events().windows(2) {
+            if w[0].session == w[1].session && w[0].endpoint == w[1].endpoint {
+                assert!(w[0].seq < w[1].seq && w[0].ts_us < w[1].ts_us, "lane-monotone");
+            }
+        }
     }
 
     #[test]

@@ -23,9 +23,10 @@ use crate::shard::{ShardedOneRoundSession, ShardedReport};
 use crate::transport::PerfectTransport;
 use referee_graph::LabelledGraph;
 use referee_protocol::multiround::MultiRoundProtocol;
+use referee_protocol::trace::{wall_clock_us, FlightRecorder, TraceKind};
 use referee_protocol::OneRoundProtocol;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Runs batches of sessions across a scoped worker pool.
@@ -35,12 +36,17 @@ pub struct Scheduler {
     pub workers: usize,
     /// Sessions claimed per cursor fetch.
     pub batch: usize,
+    /// Optional flight recorder: when set, every claimed batch records a
+    /// `TaskStart`/`TaskEnd` pair (endpoint `0x300 + worker`, payload =
+    /// the batch's `lo` index), so a post-mortem shows how the claim
+    /// cursor actually distributed work across the pool.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for Scheduler {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(64);
-        Scheduler { workers, batch: 32 }
+        Scheduler { workers, batch: 32, recorder: None }
     }
 }
 
@@ -48,7 +54,14 @@ impl Scheduler {
     /// A scheduler with explicit worker and batch sizes (both clamped to
     /// at least 1).
     pub fn new(workers: usize, batch: usize) -> Self {
-        Scheduler { workers: workers.max(1), batch: batch.max(1) }
+        Scheduler { workers: workers.max(1), batch: batch.max(1), recorder: None }
+    }
+
+    /// Attach a flight recorder; see the `recorder` field docs.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Generic claim-based parallel map: `run(i)` for every `i` in
@@ -78,10 +91,12 @@ impl Scheduler {
         let cursor = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let cursor = &cursor;
                     let drive_batch = &drive_batch;
+                    let recorder = self.recorder.as_deref();
                     scope.spawn(move || {
+                        let endpoint = 0x300 + w as u32;
                         let mut mine = Vec::new();
                         loop {
                             let lo = cursor.fetch_add(batch, Ordering::Relaxed);
@@ -89,7 +104,25 @@ impl Scheduler {
                                 break;
                             }
                             let hi = (lo + batch).min(jobs);
+                            if let Some(r) = recorder {
+                                r.record(
+                                    wall_clock_us(),
+                                    0,
+                                    endpoint,
+                                    TraceKind::TaskStart,
+                                    lo as u64,
+                                );
+                            }
                             mine.push((lo, drive_batch(lo, hi)));
+                            if let Some(r) = recorder {
+                                r.record(
+                                    wall_clock_us(),
+                                    0,
+                                    endpoint,
+                                    TraceKind::TaskEnd,
+                                    lo as u64,
+                                );
+                            }
                         }
                         mine
                     })
@@ -505,8 +538,41 @@ mod tests {
     fn degenerate_public_fields_are_clamped() {
         // The fields are public; zero values must neither hang (batch)
         // nor silently drop work (workers).
-        let s = Scheduler { workers: 0, batch: 0 };
+        let s = Scheduler { workers: 0, batch: 0, recorder: None };
         let out = s.run_indexed(10, |i| i + 1);
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recorder_sees_every_claimed_batch() {
+        let recorder = Arc::new(FlightRecorder::with_capacity(1024));
+        let s = Scheduler::new(4, 8).with_recorder(Arc::clone(&recorder));
+        let out = s.run_indexed(50, |i| i);
+        assert_eq!(out.len(), 50);
+        let snap = recorder.snapshot();
+        let starts: Vec<u64> = snap
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::TaskStart)
+            .map(|e| e.payload)
+            .collect();
+        let ends: Vec<u64> = snap
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::TaskEnd)
+            .map(|e| e.payload)
+            .collect();
+        // 50 jobs / batch 8 → 7 claims, each bracketed by a start/end
+        // pair carrying the batch's lo index.
+        let mut expect: Vec<u64> = (0..7).map(|b| b * 8).collect();
+        let mut got_starts = starts.clone();
+        got_starts.sort_unstable();
+        let mut got_ends = ends;
+        got_ends.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got_starts, expect);
+        assert_eq!(got_ends, expect);
+        // Worker endpoints live in the 0x300 lane.
+        assert!(snap.events().iter().all(|e| (0x300..0x340).contains(&e.endpoint)));
     }
 }

@@ -60,15 +60,16 @@
 
 use crate::auth::AuthKey;
 use crate::frame::{FrameKind, WireError};
-use crate::metrics::{Stage, WireMetrics, WireSnapshot};
+use crate::metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot};
 use crate::multiround::{
     decode_mr_verdict, run_multiround_server, run_multiround_server_remote, WireReferee,
 };
-use crate::placement::RemotePlacement;
+use crate::placement::{default_redial_backoff, RemotePlacement};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use crate::shard::{decode_verdict, run_sharded_server, run_sharded_server_remote};
 use referee_graph::{LabelledGraph, VertexId};
 use referee_protocol::multiround::MultiRoundProtocol;
+use referee_protocol::trace::{TraceKind, TraceSnapshot};
 use referee_protocol::{BitWriter, DecodeError, Message, NodeView};
 use referee_simnet::{Envelope, SessionId, Transport, TransportCounters};
 use std::collections::{HashMap, VecDeque};
@@ -168,6 +169,7 @@ pub struct FleetServerBuilder {
     bind: Option<SocketAddr>,
     multiround: Option<Arc<dyn WireReferee>>,
     placement: Option<RemotePlacement>,
+    redial_backoff: Option<Duration>,
 }
 
 impl std::fmt::Debug for FleetServerBuilder {
@@ -177,6 +179,7 @@ impl std::fmt::Debug for FleetServerBuilder {
             .field("bind", &self.bind)
             .field("multiround", &self.multiround.is_some())
             .field("placement", &self.placement.is_some())
+            .field("redial_backoff", &self.redial_backoff)
             .finish_non_exhaustive()
     }
 }
@@ -219,6 +222,16 @@ impl FleetServerBuilder {
         self
     }
 
+    /// How long a shard proxy waits between redial attempts to a dead
+    /// or restarting [`ShardHost`](crate::placement::ShardHost)
+    /// (remote placement only). Defaults to the historical 20 ms, or
+    /// the [`REDIAL_BACKOFF_ENV`](crate::placement::REDIAL_BACKOFF_ENV)
+    /// environment value — this builder knob wins over both.
+    pub fn redial_backoff(mut self, backoff: Duration) -> FleetServerBuilder {
+        self.redial_backoff = Some(backoff);
+        self
+    }
+
     /// Bind to `addr` instead of the default. For cross-host fleets
     /// bind a routable address (e.g. `0.0.0.0:7431`) and point clients
     /// at it; the [`BIND_ENV`] environment variable does the same
@@ -240,17 +253,18 @@ impl FleetServerBuilder {
         let shards = self.shards;
         let multiround = self.multiround;
         let placement = self.placement;
+        let backoff = self.redial_backoff.unwrap_or_else(default_redial_backoff);
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
             thread::Builder::new().name("wirenet-server".into()).spawn(move || {
                 match (placement, multiround) {
                     (Some(p), Some(referee)) => run_multiround_server_remote(
-                        listener, key, referee, p, &shutdown, &metrics,
+                        listener, key, referee, p, backoff, &shutdown, &metrics,
                     ),
-                    (Some(p), None) => {
-                        run_sharded_server_remote(listener, key, p, &shutdown, &metrics)
-                    }
+                    (Some(p), None) => run_sharded_server_remote(
+                        listener, key, p, backoff, &shutdown, &metrics,
+                    ),
                     (None, Some(referee)) => run_multiround_server(
                         listener,
                         key,
@@ -295,7 +309,14 @@ impl FleetServer {
     /// Configure a server before spawning (bind address, sharded or
     /// multi-round mode).
     pub fn builder(key: AuthKey) -> FleetServerBuilder {
-        FleetServerBuilder { key, shards: 0, bind: None, multiround: None, placement: None }
+        FleetServerBuilder {
+            key,
+            shards: 0,
+            bind: None,
+            multiround: None,
+            placement: None,
+            redial_backoff: None,
+        }
     }
 
     /// Spawn the echo mailbox on the default bind address.
@@ -329,6 +350,13 @@ impl FleetServer {
     /// Live server-side wire metrics.
     pub fn metrics(&self) -> WireSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The server's causally-ordered flight-recorder timeline: the
+    /// local ring's surviving events merged with every trace segment
+    /// shipped by remote shard hosts (see `protocol::trace`).
+    pub fn stitched_trace(&self) -> TraceSnapshot {
+        self.metrics.stitched_trace()
     }
 
     /// Shut down, join the server thread, and return its final metrics.
@@ -391,8 +419,10 @@ fn run_server(
         let mut progress = false;
         // Accept whatever is waiting (an Err is WouldBlock or a
         // transient failure: try again next sweep).
-        while let Some((_, conn)) = accept_conn(&listener, &key, &mut next_id) {
+        while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
             metrics.connections(1);
+            conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+            metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
             conns.push(conn);
             progress = true;
         }
@@ -442,6 +472,7 @@ fn run_server(
                         // Tamper-evident fail-fast: a connection that
                         // carried one corrupted frame is dead to us.
                         metrics.mac_rejects(1);
+                        metrics.trace(0, trace_endpoint::SERVER, TraceKind::MacReject, 0);
                         conn.close();
                         break;
                     }
@@ -809,6 +840,8 @@ impl FleetClient {
             let mut conn = Conn::new(TcpStream::connect(addr)?, key)?;
             let id = await_hello(&mut conn, &mut scratch, timeouts.hello)?;
             conn.set_key(key.derive(id as u64));
+            conn.trace_with(metrics.recorder_arc(), trace_endpoint::CLIENT);
+            metrics.trace(0, trace_endpoint::CLIENT, TraceKind::Dial, u64::from(id));
             metrics.record_stage(Stage::ConnectHello, dialed.elapsed());
             metrics.connections(1);
             pool.push(conn);
@@ -914,6 +947,12 @@ impl FleetClient {
             ));
         }
         self.core.metrics.record_stage(Stage::Announce, opened.elapsed());
+        self.core.metrics.trace(
+            session.0,
+            trace_endpoint::CLIENT,
+            TraceKind::Announce,
+            n as u64,
+        );
         for (sender, payload) in arrivals {
             let env = Envelope { session, round: 1, from: sender, to: 0, payload };
             if !self.core.send_kind(FrameKind::Data, &env) {
@@ -923,8 +962,15 @@ impl FleetClient {
             }
         }
         self.core.metrics.record_stage(Stage::UplinksComplete, opened.elapsed());
+        self.core.metrics.trace(session.0, trace_endpoint::CLIENT, TraceKind::Uplink, n as u64);
         let verdict = decode_verdict(&self.core.await_verdict(session)?);
         self.core.metrics.record_stage(Stage::Verdict, opened.elapsed());
+        self.core.metrics.trace(
+            session.0,
+            trace_endpoint::CLIENT,
+            TraceKind::Verdict,
+            verdict.is_ok() as u64,
+        );
         verdict
     }
 
@@ -986,6 +1032,12 @@ impl FleetClient {
             ));
         }
         self.core.metrics.record_stage(Stage::Announce, opened.elapsed());
+        self.core.metrics.trace(
+            session.0,
+            trace_endpoint::CLIENT,
+            TraceKind::Announce,
+            n as u64,
+        );
         if n == 0 {
             // No nodes, no rounds to drive: the server steps the empty
             // uplink vectors itself and judges.
@@ -1027,10 +1079,22 @@ impl FleetClient {
                 }
             }
             self.core.metrics.record_stage(Stage::UplinksComplete, round_opened.elapsed());
+            self.core.metrics.trace(
+                session.0,
+                trace_endpoint::CLIENT,
+                TraceKind::Uplink,
+                u64::from(round),
+            );
             // Phase 2: the referee's word — downlinks or the verdict.
             let downlinks = match self.core.await_round(session, n, round)? {
                 RoundWait::Verdict(v) => {
                     self.core.metrics.record_stage(Stage::Verdict, opened.elapsed());
+                    self.core.metrics.trace(
+                        session.0,
+                        trace_endpoint::CLIENT,
+                        TraceKind::Verdict,
+                        u64::from(round),
+                    );
                     return decode_mr_verdict(&v);
                 }
                 RoundWait::Downlinks(d) => d,
@@ -1057,6 +1121,13 @@ impl FleetClient {
     /// Live client-side wire metrics.
     pub fn metrics(&self) -> WireSnapshot {
         self.core.metrics.snapshot()
+    }
+
+    /// The client's flight-recorder timeline (session lifecycle events
+    /// as the caller saw them), for stitching with the server's in a
+    /// post-mortem.
+    pub fn stitched_trace(&self) -> TraceSnapshot {
+        self.core.metrics.stitched_trace()
     }
 }
 

@@ -72,6 +72,12 @@ pub enum FrameKind {
     /// Coordinator → shard host: a client connection died — drop all of
     /// its sessions (`from` = coordinator connection id).
     Retire = 7,
+    /// Shard host → coordinator: a serialized
+    /// [`TraceSnapshot`](referee_protocol::trace::TraceSnapshot) segment
+    /// (`from` names the emitting shard) for cross-process timeline
+    /// stitching. Shipped piggy-backed on session teardown, never on the
+    /// hot path.
+    Trace = 8,
 }
 
 impl FrameKind {
@@ -85,6 +91,7 @@ impl FrameKind {
             5 => Some(FrameKind::Register),
             6 => Some(FrameKind::Finish),
             7 => Some(FrameKind::Retire),
+            8 => Some(FrameKind::Trace),
             _ => None,
         }
     }
@@ -290,6 +297,7 @@ mod tests {
             FrameKind::Register,
             FrameKind::Finish,
             FrameKind::Retire,
+            FrameKind::Trace,
         ] {
             let bytes = encode_wire_frame(&key(), kind, &e);
             let d = decode_frame(&key(), &bytes).unwrap().unwrap();
@@ -300,15 +308,15 @@ mod tests {
 
     #[test]
     fn unknown_kind_rejected_after_authentication() {
-        // Forge a validly-MAC'd frame with kind byte 9: the *decoder*
+        // Forge a validly-MAC'd frame with kind byte 10: the *decoder*
         // must reject it (a buggy peer, not line noise — the MAC holds).
         let mut bytes = encode_wire_frame(&key(), FrameKind::Data, &env(1, 1, 1, 0, 1, 1));
-        bytes[5] = 9; // kind byte: after 4-byte length + 1-byte version
+        bytes[5] = 10; // kind byte: after 4-byte length + 1-byte version
         let body_end = bytes.len() - TAG_BYTES;
         let tag = key().tag(&bytes[4..body_end]);
         bytes.truncate(body_end);
         bytes.extend_from_slice(&tag.to_be_bytes());
-        assert_eq!(decode_frame(&key(), &bytes), Err(WireError::BadKind(9)));
+        assert_eq!(decode_frame(&key(), &bytes), Err(WireError::BadKind(10)));
     }
 
     #[test]

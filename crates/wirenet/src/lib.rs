@@ -148,7 +148,10 @@
 //!    Clients connect exactly as before — remote placement is invisible
 //!    to them.
 //! 4. **Reconnect semantics** — if a shard host dies, its proxy redials
-//!    (20 ms backoff), re-registers under a fresh generation, and
+//!    (20 ms backoff by default — tune with
+//!    [`FleetServerBuilder::redial_backoff`] or the
+//!    `REFEREE_WIRENET_REDIAL_BACKOFF_MS` environment variable),
+//!    re-registers under a fresh generation, and
 //!    replays the journal: uncommitted sessions are re-announced at
 //!    their resume round and their buffered uplinks resent, so the
 //!    rebuilt shard re-emits bit-identical partials and verdicts are
@@ -187,6 +190,39 @@
 //! discipline the referee itself uses. Tail-latency SLOs over these
 //! percentiles are enforced in CI by `referee_bench::SloCheck` (see
 //! `examples/cross_host_shards.rs`).
+//!
+//! ## Post-mortem debugging
+//!
+//! Every [`WireMetrics`] also owns a
+//! [`FlightRecorder`](referee_protocol::trace::FlightRecorder) — a
+//! lock-free, fixed-capacity, drop-oldest ring of causal
+//! [`TraceEvent`](referee_protocol::trace::TraceEvent)s. All four
+//! service layers record into it: dials and redials (with the
+//! registration generation), session announcements, uplink arrivals,
+//! shard partial emits/merges, referee steps, MAC rejects, poison
+//! notices, journal replays, verdicts — and every connection records a
+//! `Kill` the moment it observes its peer close. Recording is a few
+//! atomic stores; a zero-capacity recorder
+//! (`REFEREE_TRACE_CAPACITY=0`) turns it all off for
+//! overhead-sensitive runs, surfacing any displaced events as the
+//! [`WireSnapshot::trace_drops`] counter.
+//!
+//! Traces stitch across processes: shard hosts ship incremental
+//! [`TraceSnapshot`](referee_protocol::trace::TraceSnapshot) segments
+//! to their coordinator piggy-backed on session teardown
+//! ([`FrameKind::Trace`]), and snapshot merge is a set union under a
+//! canonical `(session, endpoint, seq)` order — commutative,
+//! associative, idempotent — so segments arriving in any order
+//! assemble one causally ordered timeline per session.
+//!
+//! Post-mortems are failure-triggered and off by default: set
+//! `REFEREE_TRACE_DUMP=1` and call
+//! [`dump_if_armed`](referee_protocol::trace::dump_if_armed) when an
+//! SLO check fails, a verdict mismatches, or a chaos kill fires, and
+//! the stitched timeline lands in `TRACE_<label>.json` — Chrome
+//! `trace_event` format, one `pid` row per endpoint and one `tid`
+//! track per session, readable in `chrome://tracing` or Perfetto
+//! (`examples/cross_host_shards.rs` wires all three triggers).
 //!
 //! # Example: a fleet over loopback TCP
 //!
@@ -251,12 +287,13 @@ pub use frame::{
     decode_frame, encode_frame, encode_wire_frame, DecodedFrame, FrameKind, WireError,
     WIRE_VERSION,
 };
-pub use metrics::{Stage, WireMetrics, WireSnapshot};
+pub use metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot, TRACE_CAPACITY_ENV};
 pub use multiround::{
     boruvka_connectivity_service, decode_bool_output, encode_bool_output, ProtocolReferee,
     RefereeStepper, WireReferee,
 };
 pub use placement::{
-    HostId, PlacementPolicy, RemotePlacement, ShardHost, ShardHostMode, SHARD_HOST_BIND_ENV,
+    HostId, PlacementPolicy, RemotePlacement, ShardHost, ShardHostMode, DEFAULT_REDIAL_BACKOFF,
+    REDIAL_BACKOFF_ENV, SHARD_HOST_BIND_ENV,
 };
 pub use shard::vector_digest;

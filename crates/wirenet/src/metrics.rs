@@ -1,11 +1,53 @@
 //! Wire-level observability: atomic counters shared between the reactor,
 //! the transports, and whoever reports — plus per-stage latency
-//! histograms over the session lifecycle.
+//! histograms and a causal-event flight recorder over the session
+//! lifecycle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use referee_protocol::hist::{HistSnapshot, LatencyHistogram};
+use referee_protocol::trace::{self, FlightRecorder, TraceKind, TraceSnapshot};
+
+/// Environment variable sizing the per-endpoint [`FlightRecorder`] ring
+/// (events). `0` disables tracing entirely; unset or unparsable keeps
+/// [`DEFAULT_TRACE_CAPACITY`](referee_protocol::trace::DEFAULT_TRACE_CAPACITY).
+pub const TRACE_CAPACITY_ENV: &str = "REFEREE_TRACE_CAPACITY";
+
+/// Resolve a recorder capacity from the env value (passed as a
+/// parameter so unit tests never mutate the process environment —
+/// the same discipline as [`WireTimeouts`](crate::WireTimeouts)).
+pub(crate) fn resolve_trace_capacity(env: Option<&str>) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(referee_protocol::trace::DEFAULT_TRACE_CAPACITY)
+}
+
+/// Endpoint-id conventions for [`TraceEvent`](referee_protocol::TraceEvent)s
+/// recorded by the wire layers, so stitched timelines attribute every
+/// event to the process/role that recorded it.
+pub mod trace_endpoint {
+    /// The coordinator / fleet-server router.
+    pub const SERVER: u32 = 0;
+    /// A client connection pool.
+    pub const CLIENT: u32 = 1;
+    /// The coordinator-side placement proxy for shard `i`.
+    pub fn proxy(i: u32) -> u32 {
+        0x100 + i
+    }
+    /// The remote shard host serving shard `i`.
+    pub fn shard_host(i: u32) -> u32 {
+        0x200 + i
+    }
+    /// Server-side shard worker `i` (in-process sharded services).
+    pub fn worker(i: u32) -> u32 {
+        0x300 + i
+    }
+    /// An external chaos/fault injector (kill schedules in soak
+    /// harnesses record what they did under this endpoint, so the
+    /// post-mortem shows the injected faults on the same timeline).
+    pub const CHAOS: u32 = 0x400;
+}
 
 /// Named stages of the session lifecycle, each timed into its own
 /// latency histogram on [`WireMetrics`]. Client-side endpoints populate
@@ -62,9 +104,9 @@ impl Stage {
 }
 
 /// Live counters for one endpoint (a client's connection pool or a
-/// server). All methods are lock-free; read a coherent-enough view with
-/// [`WireMetrics::snapshot`].
-#[derive(Debug, Default)]
+/// server). All counter and trace methods are lock-free; read a
+/// coherent-enough view with [`WireMetrics::snapshot`].
+#[derive(Debug)]
 pub struct WireMetrics {
     frames_sent: AtomicU64,
     frames_received: AtomicU64,
@@ -82,6 +124,26 @@ pub struct WireMetrics {
     shard_reconnects: AtomicU64,
     replayed_frames: AtomicU64,
     stages: [LatencyHistogram; Stage::ALL.len()],
+    /// The endpoint's black-box flight recorder (lock-free ring).
+    /// `Arc`-shared so individual connections can carry a trace hook
+    /// into the reactor layer without borrowing the whole metrics.
+    recorder: Arc<FlightRecorder>,
+    /// Trace segments shipped in from remote endpoints (shard hosts on
+    /// `Finish`/`Retire`), stitched with the local ring by
+    /// [`WireMetrics::stitched_trace`]. Only touched at segment-ship
+    /// and post-mortem time, so a mutex is fine here.
+    remote_trace: Mutex<TraceSnapshot>,
+}
+
+impl Default for WireMetrics {
+    /// Recorder capacity comes from [`TRACE_CAPACITY_ENV`] (default
+    /// [`DEFAULT_TRACE_CAPACITY`](referee_protocol::trace::DEFAULT_TRACE_CAPACITY),
+    /// `0` disables tracing).
+    fn default() -> Self {
+        WireMetrics::with_trace_capacity(resolve_trace_capacity(
+            std::env::var(TRACE_CAPACITY_ENV).ok().as_deref(),
+        ))
+    }
 }
 
 macro_rules! bump {
@@ -93,6 +155,38 @@ macro_rules! bump {
 }
 
 impl WireMetrics {
+    /// Metrics with an explicitly sized flight recorder (`0` disables
+    /// tracing; counters and histograms are unaffected).
+    pub fn with_trace_capacity(capacity: usize) -> WireMetrics {
+        WireMetrics {
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            mac_rejects: AtomicU64::new(0),
+            decode_rejects: AtomicU64::new(0),
+            backpressure_stalls: AtomicU64::new(0),
+            tampered: AtomicU64::new(0),
+            orphan_frames: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            partial_frames: AtomicU64::new(0),
+            verdict_frames: AtomicU64::new(0),
+            downlink_frames: AtomicU64::new(0),
+            shard_reconnects: AtomicU64::new(0),
+            replayed_frames: AtomicU64::new(0),
+            stages: std::array::from_fn(|_| LatencyHistogram::new()),
+            // Creation-time epoch: a restarted process observing the
+            // same endpoint lane (a respawned shard host) gets a later,
+            // disjoint seq range, keeping stitched lanes strictly
+            // monotone across incarnations.
+            recorder: Arc::new(FlightRecorder::with_capacity_and_epoch(
+                capacity,
+                trace::wall_clock_us(),
+            )),
+            remote_trace: Mutex::new(TraceSnapshot::new()),
+        }
+    }
+
     bump!(frames_sent);
     bump!(frames_received);
     bump!(bytes_sent);
@@ -121,6 +215,41 @@ impl WireMetrics {
         self.stages[stage.index()].absorb(snap);
     }
 
+    /// Record one causal trace event into this endpoint's flight
+    /// recorder, stamped with wall-clock microseconds so cooperating
+    /// processes on one machine stitch onto a single time axis.
+    /// Lock-free; a no-op when the recorder is disabled.
+    pub fn trace(&self, session: u64, endpoint: u32, kind: TraceKind, payload: u64) {
+        self.recorder.record(trace::wall_clock_us(), session, endpoint, kind, payload);
+    }
+
+    /// The endpoint's flight recorder (for incremental segment
+    /// shipping via [`FlightRecorder::snapshot_since`]).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// A shared handle to the flight recorder — what the reactor's
+    /// per-connection trace hooks hold.
+    pub(crate) fn recorder_arc(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Fold a trace segment shipped from a remote endpoint (the
+    /// coordinator-side half of cross-process trace stitching —
+    /// the trace analogue of [`WireMetrics::absorb_stage`]).
+    pub fn absorb_trace(&self, snap: &TraceSnapshot) {
+        self.remote_trace.lock().expect("remote trace lock").merge(snap);
+    }
+
+    /// One causally-ordered timeline: the local ring's surviving events
+    /// merged with every absorbed remote segment.
+    pub fn stitched_trace(&self) -> TraceSnapshot {
+        let mut snap = self.recorder.snapshot();
+        snap.merge(&self.remote_trace.lock().expect("remote trace lock"));
+        snap
+    }
+
     /// A point-in-time copy of every counter and stage histogram.
     pub fn snapshot(&self) -> WireSnapshot {
         WireSnapshot {
@@ -139,6 +268,7 @@ impl WireMetrics {
             downlink_frames: self.downlink_frames.load(Ordering::Relaxed),
             shard_reconnects: self.shard_reconnects.load(Ordering::Relaxed),
             replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            trace_drops: self.recorder.dropped(),
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
         }
     }
@@ -187,6 +317,11 @@ pub struct WireSnapshot {
     /// Remote placement only: journaled frames resent to a reconnected
     /// shard host (announcements excluded).
     pub replayed_frames: u64,
+    /// Trace events overwritten by flight-recorder ring overflow
+    /// (drop-oldest) — nonzero means the post-mortem window was shorter
+    /// than the incident and the ring needs resizing
+    /// (`REFEREE_TRACE_CAPACITY`).
+    pub trace_drops: u64,
     /// Per-stage latency histograms, indexed in [`Stage::ALL`] order.
     pub stages: [HistSnapshot; Stage::ALL.len()],
 }
@@ -220,6 +355,7 @@ impl WireSnapshot {
             downlink_frames: self.downlink_frames.saturating_sub(earlier.downlink_frames),
             shard_reconnects: self.shard_reconnects.saturating_sub(earlier.shard_reconnects),
             replayed_frames: self.replayed_frames.saturating_sub(earlier.replayed_frames),
+            trace_drops: self.trace_drops.saturating_sub(earlier.trace_drops),
             stages: std::array::from_fn(|i| self.stages[i].delta(&earlier.stages[i])),
         }
     }
@@ -231,7 +367,7 @@ impl std::fmt::Display for WireSnapshot {
             f,
             "conns {} | frames {}/{} | bytes {}/{} | mac-rejects {} | decode-rejects {} | \
              stalls {} | tampered {} | orphans {} | partials {} | verdicts {} | downlinks {} \
-             | shard-reconnects {} | replays {}",
+             | shard-reconnects {} | replays {} | trace-drops {}",
             self.connections,
             self.frames_sent,
             self.frames_received,
@@ -247,6 +383,7 @@ impl std::fmt::Display for WireSnapshot {
             self.downlink_frames,
             self.shard_reconnects,
             self.replayed_frames,
+            self.trace_drops,
         )?;
         for stage in Stage::ALL {
             let h = self.stage(stage);
@@ -301,6 +438,58 @@ mod tests {
         remote.record_us(12);
         m.absorb_stage(Stage::PartialMerge, &remote);
         assert_eq!(m.snapshot().stage(Stage::PartialMerge).count(), 3);
+    }
+
+    #[test]
+    fn trace_drops_pin_drop_oldest_overflow() {
+        // A deliberately tiny ring: 4 slots fed 7 events must drop the
+        // *oldest* 3 and report exactly that in the snapshot counter.
+        let m = WireMetrics::with_trace_capacity(4);
+        for i in 0..7u64 {
+            m.trace(i, trace_endpoint::SERVER, TraceKind::Uplink, i);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.trace_drops, 3);
+        let surviving = m.stitched_trace();
+        assert_eq!(surviving.len(), 4);
+        let sessions: Vec<u64> = surviving.events().iter().map(|e| e.session).collect();
+        assert_eq!(sessions, [3, 4, 5, 6], "the newest four survive drop-oldest");
+        assert!(format!("{s}").contains("trace-drops 3"));
+        // Delta keeps isolating phases for the new counter too.
+        for i in 0..2u64 {
+            m.trace(i, trace_endpoint::SERVER, TraceKind::Uplink, i);
+        }
+        assert_eq!(m.snapshot().delta(&s).trace_drops, 2);
+    }
+
+    #[test]
+    fn trace_capacity_resolution_precedence() {
+        use referee_protocol::trace::DEFAULT_TRACE_CAPACITY;
+        assert_eq!(resolve_trace_capacity(None), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(resolve_trace_capacity(Some("64")), 64);
+        assert_eq!(resolve_trace_capacity(Some(" 128 ")), 128);
+        // 0 is a *valid* setting: it disables the recorder.
+        assert_eq!(resolve_trace_capacity(Some("0")), 0);
+        assert_eq!(resolve_trace_capacity(Some("junk")), DEFAULT_TRACE_CAPACITY);
+        let m = WireMetrics::with_trace_capacity(0);
+        m.trace(1, trace_endpoint::CLIENT, TraceKind::Dial, 0);
+        assert!(m.stitched_trace().is_empty());
+        assert_eq!(m.snapshot().trace_drops, 0, "disabled recorders drop nothing");
+    }
+
+    #[test]
+    fn stitching_absorbs_remote_segments() {
+        let m = WireMetrics::with_trace_capacity(16);
+        m.trace(5, trace_endpoint::SERVER, TraceKind::Announce, 9);
+        let remote = WireMetrics::with_trace_capacity(16);
+        remote.trace(5, trace_endpoint::shard_host(2), TraceKind::PartialEmit, 2);
+        m.absorb_trace(&remote.stitched_trace());
+        let stitched = m.stitched_trace();
+        assert_eq!(stitched.len(), 2);
+        assert_eq!(stitched.session_events(5).count(), 2);
+        // Absorbing the same segment again is idempotent.
+        m.absorb_trace(&remote.stitched_trace());
+        assert_eq!(m.stitched_trace(), stitched);
     }
 
     #[test]

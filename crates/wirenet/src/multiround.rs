@@ -54,12 +54,13 @@
 use crate::auth::AuthKey;
 use crate::fleet::{accept_conn, IDLE_SLEEP};
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
-use crate::metrics::{Stage, WireMetrics};
+use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::multiround::{BoruvkaConnectivity, MultiRoundProtocol, RefereeStep};
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
 use referee_protocol::shard::{route_arrival, shard_range, Arrival};
+use referee_protocol::trace::TraceKind;
 use referee_protocol::{BitWriter, DecodeError, Message};
 use referee_simnet::{Envelope, SessionId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -68,7 +69,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Domain-separation tweak for the multi-round shard-exchange key
 /// (distinct from the one-round service's, so partials can never cross
@@ -366,6 +367,7 @@ pub(crate) fn run_multiround_server_remote(
     key: AuthKey,
     referee: Arc<dyn WireReferee>,
     placement: RemotePlacement,
+    backoff: Duration,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
 ) {
@@ -407,6 +409,7 @@ pub(crate) fn run_multiround_server_remote(
                         exchange_key,
                         placement,
                         metrics,
+                        backoff,
                     },
                     rx,
                     mr_proxy_event,
@@ -443,8 +446,10 @@ fn mr_route(
     let mut scratch = vec![0u8; SCRATCH_BYTES];
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
-        while let Some((id, conn)) = accept_conn(&listener, &key, &mut next_id) {
+        while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
             metrics.connections(1);
+            conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+            metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
             gates.push((id, conn));
             progress = true;
         }
@@ -485,6 +490,12 @@ fn mr_route(
                         }
                         let epoch = next_epoch & 0x7fff_ffff;
                         next_epoch = next_epoch.wrapping_add(1);
+                        metrics.trace(
+                            env.session.0,
+                            trace_endpoint::SERVER,
+                            TraceKind::Announce,
+                            n as u64,
+                        );
                         announced
                             .insert((*id, env.session.0), SessionRoute { n, finished: false });
                         for tx in worker_txs {
@@ -505,6 +516,12 @@ fn mr_route(
                             }
                             Some(route) => {
                                 let target = route_arrival(route.n, shards, env.from);
+                                metrics.trace(
+                                    env.session.0,
+                                    trace_endpoint::SERVER,
+                                    TraceKind::Uplink,
+                                    u64::from(env.from),
+                                );
                                 let _ = worker_txs[target].send(MrMsg::Data { conn: *id, env });
                             }
                             None => {
@@ -522,6 +539,7 @@ fn mr_route(
                     }
                     Err(WireError::BadMac) => {
                         metrics.mac_rejects(1);
+                        metrics.trace(0, trace_endpoint::SERVER, TraceKind::MacReject, 0);
                         conn.close();
                         break;
                     }
@@ -565,6 +583,12 @@ fn mr_route(
                             let bytes = encode_wire_frame(conn.key(), FrameKind::Verdict, &env);
                             metrics.frames_sent(1);
                             metrics.bytes_sent(bytes.len() as u64);
+                            metrics.trace(
+                                session.0,
+                                trace_endpoint::SERVER,
+                                TraceKind::Verdict,
+                                u64::from(cid),
+                            );
                             conn.queue(&bytes);
                             conn.flush();
                         }
@@ -756,6 +780,12 @@ fn mr_worker(
                     });
                 match merged {
                     Ok(()) => {
+                        metrics.trace(
+                            session,
+                            trace_endpoint::worker(0),
+                            TraceKind::PartialMerge,
+                            u64::from(decoded.envelope.from),
+                        );
                         if try_advance(session, ws, &otx, metrics) {
                             sessions.remove(&(conn, session));
                         }
@@ -807,6 +837,12 @@ fn emit_ready_rounds(
         let next = RoundShard::new(ws.n, ws.shards, index, ws.shard.round() + 1);
         let partial = std::mem::replace(&mut ws.shard, next).into_partial();
         let round = partial.round();
+        metrics.trace(
+            session,
+            trace_endpoint::worker(index as u32),
+            TraceKind::PartialEmit,
+            u64::from(round),
+        );
         match tx0 {
             Some(tx) => {
                 let payload = partial.encode();
@@ -893,6 +929,12 @@ fn try_advance(
                 let stepped = Instant::now();
                 let step = stepper.step(ws.n, round as usize, &uplinks);
                 metrics.record_stage(Stage::RefereeStep, stepped.elapsed());
+                metrics.trace(
+                    session,
+                    trace_endpoint::worker(0),
+                    TraceKind::RefereeStep,
+                    u64::from(round),
+                );
                 match step {
                     RefereeStep::Done(out) => {
                         send_mr_verdict(session, ws, Ok(out), otx, metrics);

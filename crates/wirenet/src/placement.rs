@@ -66,11 +66,12 @@ use crate::auth::AuthKey;
 use crate::frame::{
     encode_wire_frame, FrameKind, WireError, HEADER_BYTES, MAX_BODY_BYTES, TAG_BYTES,
 };
-use crate::metrics::{Stage, WireMetrics, WireSnapshot};
+use crate::metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
 use referee_protocol::shard::replay::{decode_resume, encode_resume, Recorded, ShardJournal};
 use referee_protocol::shard::{shard_range, Arrival, PartialState, RefereeShard};
+use referee_protocol::trace::{TraceKind, TraceSnapshot};
 use referee_protocol::{BitWriter, DecodeError, Message};
 use referee_simnet::{Envelope, SessionId};
 use std::collections::{BTreeMap, HashMap};
@@ -87,8 +88,30 @@ pub use referee_protocol::shard::placement::{HostId, PlacementPolicy};
 /// Domain-separation tweak for the placement key hierarchy.
 const PLACEMENT_TWEAK: u64 = 0x706c_6163_655f_6b79; // "place_ky"
 
-/// How long a proxy waits before redialling a dead shard host.
-const RECONNECT_BACKOFF: Duration = Duration::from_millis(20);
+/// Default proxy redial backoff after a shard-host link dies (see
+/// [`REDIAL_BACKOFF_ENV`] and
+/// [`FleetServerBuilder::redial_backoff`](crate::fleet::FleetServerBuilder::redial_backoff)).
+pub const DEFAULT_REDIAL_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Environment variable overriding the proxy redial backoff, in
+/// milliseconds. Unset, unparsable or zero keeps
+/// [`DEFAULT_REDIAL_BACKOFF`]; the builder knob takes precedence.
+pub const REDIAL_BACKOFF_ENV: &str = "REFEREE_WIRENET_REDIAL_BACKOFF_MS";
+
+/// Resolve the redial backoff from an env *value* (passed as a
+/// parameter so unit tests never mutate the process environment — the
+/// same discipline as [`WireTimeouts`](crate::WireTimeouts)).
+pub(crate) fn resolve_redial_backoff(env: Option<&str>) -> Duration {
+    env.and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map_or(DEFAULT_REDIAL_BACKOFF, Duration::from_millis)
+}
+
+/// The redial backoff a builder starts from: [`REDIAL_BACKOFF_ENV`] if
+/// set, else [`DEFAULT_REDIAL_BACKOFF`].
+pub(crate) fn default_redial_backoff() -> Duration {
+    resolve_redial_backoff(std::env::var(REDIAL_BACKOFF_ENV).ok().as_deref())
+}
 
 /// Dial timeout for one connection attempt to a shard host.
 const DIAL_TIMEOUT: Duration = Duration::from_millis(500);
@@ -367,6 +390,11 @@ struct HostLink {
     role: Option<(ShardHostMode, usize, usize)>,
     /// Shard state keyed by (coordinator client-connection id, session).
     sessions: HashMap<(u32, u64), HostSession>,
+    /// Flight-recorder watermark: events below this sequence were
+    /// already shipped to the coordinator on a previous
+    /// `Finish`/`Retire`, so each [`FrameKind::Trace`] segment is an
+    /// increment, never a resend.
+    shipped_seq: u64,
 }
 
 /// Per-session shard state on a host. `opened` is when the current
@@ -397,7 +425,12 @@ fn run_shard_host(
         while let Ok((stream, _)) = listener.accept() {
             if let Ok(conn) = Conn::new(stream, reg_key) {
                 metrics.connections(1);
-                links.push(HostLink { conn, role: None, sessions: HashMap::new() });
+                links.push(HostLink {
+                    conn,
+                    role: None,
+                    sessions: HashMap::new(),
+                    shipped_seq: 0,
+                });
                 progress = true;
             }
         }
@@ -430,6 +463,10 @@ fn run_shard_host(
                         // Wrong base key, a sibling shard's key, or a
                         // stale-generation frame: fail the link closed.
                         metrics.mac_rejects(1);
+                        if let Some((_, index, _)) = link.role {
+                            let ep = trace_endpoint::shard_host(index as u32);
+                            metrics.trace(0, ep, TraceKind::MacReject, 0);
+                        }
                         link.conn.close();
                         break;
                     }
@@ -467,14 +504,19 @@ fn host_frame(
         };
         link.role = Some((mode, index, shards));
         link.conn.set_key(link_key(base, index, generation));
+        let ep = trace_endpoint::shard_host(index as u32);
+        link.conn.trace_with(metrics.recorder_arc(), ep);
+        metrics.trace(0, ep, TraceKind::Dial, u64::from(generation));
         return Ok(());
     };
+    let endpoint = trace_endpoint::shard_host(index as u32);
     match kind {
         FrameKind::Announce => {
             let (n, resume, cap) = decode_resume(&env.payload).map_err(|_| ())?;
             let conn = env.from;
             let session = env.session.0;
             let epoch = env.round;
+            metrics.trace(session, endpoint, TraceKind::Announce, n as u64);
             let hs = match mode {
                 ShardHostMode::OneRound => HostSession::One {
                     n,
@@ -510,6 +552,7 @@ fn host_frame(
                 metrics.orphan_frames(1); // finished or retired in flight
                 return Ok(());
             };
+            metrics.trace(env.session.0, endpoint, TraceKind::Uplink, u64::from(env.from));
             match hs {
                 HostSession::One { n, epoch, shard, .. } => match shard.as_mut() {
                     Some(s) => match s.ingest(env.from, env.payload) {
@@ -526,6 +569,12 @@ fn host_frame(
                         // The range partial already shipped: this is a
                         // duplicate or stray — report it so the session
                         // fails fast instead of wedging a sibling.
+                        metrics.trace(
+                            env.session.0,
+                            endpoint,
+                            TraceKind::Poison,
+                            u64::from(env.from),
+                        );
                         let poison = PartialState::poison_notice(*n, env.from);
                         let round = (*epoch << 1) | 1;
                         queue_partial(
@@ -546,14 +595,45 @@ fn host_frame(
         }
         FrameKind::Finish => {
             link.sessions.remove(&(env.from, env.session.0));
+            ship_trace(link, index, metrics);
             Ok(())
         }
         FrameKind::Retire => {
             link.sessions.retain(|(conn, _), _| *conn != env.from);
+            ship_trace(link, index, metrics);
             Ok(())
         }
         _ => Err(()),
     }
+}
+
+/// Ship the host's flight-recorder increment (everything recorded since
+/// the last ship) back to the coordinator as one
+/// [`Trace`](FrameKind::Trace) frame — called on `Finish`/`Retire`, the
+/// natural session-teardown points, so the coordinator can stitch a
+/// cross-process timeline without any extra round trips. Best-effort: a
+/// segment too large for a frame is skipped (the events stay in the
+/// ring for a later, smaller increment… or are eventually dropped-oldest
+/// and surface in `trace_drops`).
+fn ship_trace(link: &mut HostLink, index: usize, metrics: &WireMetrics) {
+    let recorder = metrics.recorder();
+    if !recorder.is_enabled() {
+        return;
+    }
+    let mark = recorder.last_seq();
+    let segment = recorder.snapshot_since(link.shipped_seq);
+    if segment.is_empty() {
+        return;
+    }
+    let payload = segment.encode();
+    if !fits_frame(&payload) {
+        return;
+    }
+    link.shipped_seq = mark;
+    let env = Envelope { session: SessionId(0), round: 0, from: index as u32, to: 0, payload };
+    metrics.frames_sent(1);
+    link.conn.queue_frame(FrameKind::Trace, &env);
+    link.conn.flush();
 }
 
 /// Multi-round ingest, mirroring the in-process worker's round rules.
@@ -652,6 +732,12 @@ fn queue_partial(
         Envelope { session, round, from: index as u32, to: cconn, payload: payload.clone() };
     metrics.frames_sent(1);
     metrics.partial_frames(1);
+    metrics.trace(
+        session.0,
+        trace_endpoint::shard_host(index as u32),
+        TraceKind::PartialEmit,
+        u64::from(round),
+    );
     conn.queue_frame(FrameKind::Partial, &env);
     conn.flush();
 }
@@ -705,6 +791,15 @@ pub(crate) struct ProxyConfig<'a> {
     pub exchange_key: &'a AuthKey,
     pub placement: &'a RemotePlacement,
     pub metrics: &'a WireMetrics,
+    /// How long to wait before redialling a dead shard-host link.
+    pub backoff: Duration,
+}
+
+impl ProxyConfig<'_> {
+    /// This proxy's trace endpoint id.
+    fn endpoint(&self) -> u32 {
+        trace_endpoint::proxy(self.index as u32)
+    }
 }
 
 /// Coordinator-side journal entry for one session on this shard.
@@ -759,7 +854,7 @@ pub(crate) fn run_proxy<M: Send>(
         }
         // Keep the link alive: dial, register, replay.
         if !link.as_ref().is_some_and(Conn::is_open) {
-            let backoff_over = last_dial.is_none_or(|t| t.elapsed() >= RECONNECT_BACKOFF);
+            let backoff_over = last_dial.is_none_or(|t| t.elapsed() >= cfg.backoff);
             if backoff_over {
                 last_dial = Some(Instant::now());
                 link = dial(&cfg, host, &mut generation, &sessions);
@@ -785,8 +880,11 @@ fn dial(
     let dialed = Instant::now();
     let stream = TcpStream::connect_timeout(&addr, DIAL_TIMEOUT).ok()?;
     let mut conn = Conn::new(stream, registration_key(cfg.base)).ok()?;
+    conn.trace_with(cfg.metrics.recorder_arc(), cfg.endpoint());
     cfg.metrics.record_stage(Stage::ConnectHello, dialed.elapsed());
     *generation = generation.wrapping_add(1).max(1);
+    let kind = if *generation == 1 { TraceKind::Dial } else { TraceKind::Redial };
+    cfg.metrics.trace(0, cfg.endpoint(), kind, u64::from(*generation));
     conn.queue_frame(
         FrameKind::Register,
         &Envelope {
@@ -815,6 +913,7 @@ fn dial(
         );
         for (round, sender, payload) in ps.journal.replay() {
             cfg.metrics.replayed_frames(1);
+            cfg.metrics.trace(*session, cfg.endpoint(), TraceKind::Replay, u64::from(sender));
             conn.queue_frame(
                 FrameKind::Data,
                 &Envelope {
@@ -843,6 +942,7 @@ fn proxy_event(
     match ev {
         ProxyEvent::Announce { conn, session, n, epoch } => {
             let cap = round_cap(n) as u32;
+            cfg.metrics.trace(session, cfg.endpoint(), TraceKind::Announce, n as u64);
             sessions.insert(
                 (conn, session),
                 ProxySession { journal: ShardJournal::new(n), epoch, cap },
@@ -876,6 +976,12 @@ fn proxy_event(
                     // fail-fast verdict must not depend on host
                     // liveness.
                     let poison = PartialState::poison_notice(ps.journal.n(), env.from);
+                    cfg.metrics.trace(
+                        env.session.0,
+                        cfg.endpoint(),
+                        TraceKind::Poison,
+                        u64::from(env.from),
+                    );
                     let notice = Envelope {
                         session: env.session,
                         round: (ps.epoch << 1) | 1,
@@ -993,6 +1099,26 @@ fn pump_partials(
                 }
                 send_partial(encode_wire_frame(cfg.exchange_key, FrameKind::Partial, &env));
             }
+            Ok(Some((FrameKind::Trace, env))) => {
+                // A trace segment the host shipped on Finish/Retire:
+                // stitch it into the coordinator's timeline. A host
+                // answering for a shard it was not registered as, or a
+                // malformed segment, fails the link closed like any
+                // other protocol violation.
+                if env.from as usize != cfg.index {
+                    cfg.metrics.decode_rejects(1);
+                    conn.close();
+                    return;
+                }
+                match TraceSnapshot::decode(&env.payload) {
+                    Ok(segment) => cfg.metrics.absorb_trace(&segment),
+                    Err(_) => {
+                        cfg.metrics.decode_rejects(1);
+                        conn.close();
+                        return;
+                    }
+                }
+            }
             Ok(Some(_)) => {
                 cfg.metrics.decode_rejects(1);
                 conn.close();
@@ -1002,6 +1128,7 @@ fn pump_partials(
                 // A stale-generation (pre-epoch) or cross-shard-keyed
                 // frame: reject and drop the link — never merge it.
                 cfg.metrics.mac_rejects(1);
+                cfg.metrics.trace(0, cfg.endpoint(), TraceKind::MacReject, 0);
                 conn.close();
                 return;
             }
@@ -1011,5 +1138,24 @@ fn pump_partials(
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redial_backoff_resolution_precedence() {
+        // Env values (milliseconds) override; the historical 20 ms stays
+        // the default. Env values are parameters here so no test ever
+        // mutates the process environment.
+        assert_eq!(resolve_redial_backoff(None), DEFAULT_REDIAL_BACKOFF);
+        assert_eq!(resolve_redial_backoff(Some("5")), Duration::from_millis(5));
+        assert_eq!(resolve_redial_backoff(Some(" 250 ")), Duration::from_millis(250));
+        // Garbage or zero falls back to the default instead of spinning
+        // the proxy dial loop hot on a typo'd environment.
+        assert_eq!(resolve_redial_backoff(Some("0")), DEFAULT_REDIAL_BACKOFF);
+        assert_eq!(resolve_redial_backoff(Some("fast")), DEFAULT_REDIAL_BACKOFF);
     }
 }

@@ -18,9 +18,11 @@
 
 use crate::auth::AuthKey;
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
+use referee_protocol::trace::{wall_clock_us, FlightRecorder, TraceKind};
 use referee_simnet::Envelope;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
 /// Size of the stack-free read scratch buffer.
 pub(crate) const SCRATCH_BYTES: usize = 64 * 1024;
@@ -50,6 +52,12 @@ pub(crate) struct Conn {
     /// being throttled, so a stall episode is counted once, not once
     /// per poll sweep.
     pub(crate) stalled: bool,
+    /// Connection-level trace hook: `(recorder, endpoint id)`. When
+    /// set, any close — poison, EOF, or socket error — records a
+    /// [`TraceKind::Kill`] attributed to `endpoint`, so a chaos kill
+    /// shows up in the trace of every peer that observed the
+    /// connection die.
+    trace: Option<(Arc<FlightRecorder>, u32)>,
 }
 
 impl Conn {
@@ -68,7 +76,26 @@ impl Conn {
             wpos: 0,
             open: true,
             stalled: false,
+            trace: None,
         })
+    }
+
+    /// Attach a trace hook (see the `trace` field): the connection's
+    /// [`TraceKind::Kill`] is recorded when it closes for any reason.
+    /// The caller records its own `Dial`-side event — what "opening"
+    /// means (accept, connect, proxy redial) is layer-specific.
+    pub fn trace_with(&mut self, recorder: Arc<FlightRecorder>, endpoint: u32) {
+        self.trace = Some((recorder, endpoint));
+    }
+
+    /// Record the connection's death once, at the open → closed edge.
+    fn mark_closed(&mut self) {
+        if self.open {
+            if let Some((recorder, endpoint)) = &self.trace {
+                recorder.record(wall_clock_us(), 0, *endpoint, TraceKind::Kill, 0);
+            }
+        }
+        self.open = false;
     }
 
     /// Switch this connection's frame key (the post-Hello derived key).
@@ -95,7 +122,7 @@ impl Conn {
 
     /// Poison the connection (decode failure, peer misbehaviour).
     pub fn close(&mut self) {
-        self.open = false;
+        self.mark_closed();
     }
 
     /// Bytes queued but not yet written.
@@ -115,14 +142,14 @@ impl Conn {
         let mut written = 0;
         while self.open && self.wpos < self.wbuf.len() {
             match self.stream.write(&self.wbuf[self.wpos..]) {
-                Ok(0) => self.open = false,
+                Ok(0) => self.mark_closed(),
                 Ok(k) => {
                     self.wpos += k;
                     written += k;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => self.open = false,
+                Err(_) => self.mark_closed(),
             }
         }
         if self.wpos == self.wbuf.len() {
@@ -141,7 +168,7 @@ impl Conn {
         let mut read = 0;
         while self.open {
             match self.stream.read(scratch) {
-                Ok(0) => self.open = false, // EOF
+                Ok(0) => self.mark_closed(), // EOF
                 Ok(k) => {
                     self.rbuf.extend_from_slice(&scratch[..k]);
                     read += k;
@@ -151,7 +178,7 @@ impl Conn {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => self.open = false,
+                Err(_) => self.mark_closed(),
             }
         }
         read

@@ -56,10 +56,11 @@
 use crate::auth::AuthKey;
 use crate::fleet::{accept_conn, IDLE_SLEEP};
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
-use crate::metrics::{Stage, WireMetrics};
+use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
+use referee_protocol::trace::TraceKind;
 use referee_protocol::{BitWriter, DecodeError, Message};
 use referee_simnet::{Envelope, SessionId};
 use std::collections::{HashMap, VecDeque};
@@ -67,7 +68,7 @@ use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Domain-separation tweak for the shard-to-shard exchange key.
 const EXCHANGE_TWEAK: u64 = 0x7368_6172_645f_7863; // "shard_xc"
@@ -262,6 +263,7 @@ pub(crate) fn run_sharded_server_remote(
     listener: TcpListener,
     key: AuthKey,
     placement: RemotePlacement,
+    backoff: Duration,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
 ) {
@@ -304,6 +306,7 @@ pub(crate) fn run_sharded_server_remote(
                         exchange_key,
                         placement,
                         metrics,
+                        backoff,
                     },
                     rx,
                     shard_proxy_event,
@@ -343,8 +346,10 @@ fn route(
     let mut scratch = vec![0u8; SCRATCH_BYTES];
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
-        while let Some((id, conn)) = accept_conn(&listener, &key, &mut next_id) {
+        while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
             metrics.connections(1);
+            conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+            metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
             gates.push((id, conn));
             progress = true;
         }
@@ -388,6 +393,12 @@ fn route(
                         }
                         let epoch = next_epoch & 0x7fff_ffff;
                         next_epoch = next_epoch.wrapping_add(1);
+                        metrics.trace(
+                            env.session.0,
+                            trace_endpoint::SERVER,
+                            TraceKind::Announce,
+                            n as u64,
+                        );
                         announced
                             .insert((*id, env.session.0), SessionRoute { n, finished: false });
                         for tx in worker_txs {
@@ -410,6 +421,12 @@ fn route(
                             }
                             Some(route) => {
                                 let target = route_arrival(route.n, shards, env.from);
+                                metrics.trace(
+                                    env.session.0,
+                                    trace_endpoint::SERVER,
+                                    TraceKind::Uplink,
+                                    u64::from(env.from),
+                                );
                                 let _ =
                                     worker_txs[target].send(ShardMsg::Data { conn: *id, env });
                             }
@@ -430,6 +447,7 @@ fn route(
                     }
                     Err(WireError::BadMac) => {
                         metrics.mac_rejects(1);
+                        metrics.trace(0, trace_endpoint::SERVER, TraceKind::MacReject, 0);
                         conn.close();
                         break;
                     }
@@ -454,6 +472,12 @@ fn route(
                     let bytes = encode_wire_frame(conn.key(), FrameKind::Verdict, &env);
                     metrics.frames_sent(1);
                     metrics.bytes_sent(bytes.len() as u64);
+                    metrics.trace(
+                        v.session.0,
+                        trace_endpoint::SERVER,
+                        TraceKind::Verdict,
+                        u64::from(v.conn),
+                    );
                     conn.queue(&bytes);
                     conn.flush();
                 }
@@ -614,6 +638,12 @@ fn shard_worker(
                     .and_then(|p| ws.acc.merge(p));
                 match merge {
                     Ok(()) => {
+                        metrics.trace(
+                            session,
+                            trace_endpoint::worker(0),
+                            TraceKind::PartialMerge,
+                            u64::from(decoded.envelope.from),
+                        );
                         if counts_toward_quorum {
                             ws.merged += 1;
                         }
@@ -711,6 +741,12 @@ fn emit_if_complete(
     }
     let partial = ws.shard.take().expect("checked above").into_partial();
     if apply_partial(index, session, ws, partial, true, tx0, exchange_key) {
+        metrics.trace(
+            session,
+            trace_endpoint::worker(index as u32),
+            TraceKind::PartialEmit,
+            index as u64,
+        );
         if tx0.is_some() {
             metrics.partial_frames(1);
         }
@@ -745,6 +781,8 @@ fn finish_if_merged(
     let stepped = Instant::now();
     let result = acc.finish().map(|messages| vector_digest(base, &messages));
     metrics.record_stage(Stage::RefereeStep, stepped.elapsed());
+    // Assembly completes at the merge accumulator — worker 0.
+    metrics.trace(session, trace_endpoint::worker(0), TraceKind::RefereeStep, shards as u64);
     send_verdict(session, ws, result, vtx, metrics);
     true
 }

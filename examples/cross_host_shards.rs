@@ -25,10 +25,13 @@ use referee_bench::{Percentiles, SloCheck};
 use referee_one_round::prelude::*;
 use referee_one_round::protocol::multiround::BoruvkaConnectivity;
 use referee_one_round::protocol::shard::multiround::run_multiround_sharded;
-use referee_simnet::{Scheduler, SessionId};
+use referee_one_round::protocol::trace::{
+    dump_if_armed, wall_clock_us, FlightRecorder, TraceKind, TraceSnapshot,
+};
+use referee_simnet::{ManualClock, PlacementSim, Scheduler, SessionId};
 use referee_wirenet::{
-    boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer,
-    PlacementPolicy, RemotePlacement, ShardHost, Stage, TamperConfig,
+    boruvka_connectivity_service, decode_bool_output, trace_endpoint, AuthKey, FleetClient,
+    FleetServer, PlacementPolicy, RemotePlacement, ShardHost, Stage, TamperConfig,
 };
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
@@ -123,11 +126,15 @@ fn main() {
     let graphs = fleet_graphs(SESSIONS, 2031);
     let stop = Arc::new(AtomicBool::new(false));
     let kill_count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    // The fault injector keeps its own flight recorder, so the injected
+    // kills land on the same post-mortem timeline as their fallout.
+    let chaos_recorder = Arc::new(FlightRecorder::default());
     let chaos = {
         let stop = Arc::clone(&stop);
         let kill_count = Arc::clone(&kill_count);
         let placement = placement.clone();
         let children = Arc::clone(&children);
+        let recorder = Arc::clone(&chaos_recorder);
         std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(77);
             while !stop.load(Ordering::Relaxed) {
@@ -144,6 +151,13 @@ fn main() {
                     let _ = kids[victim].kill();
                     let _ = kids[victim].wait();
                 }
+                recorder.record(
+                    wall_clock_us(),
+                    0,
+                    trace_endpoint::CHAOS,
+                    TraceKind::Kill,
+                    victim as u64,
+                );
                 let (child, addr) = spawn_host();
                 assert!(placement.update_host(victim as u32, addr), "host in the book");
                 children.lock().unwrap()[victim] = child;
@@ -188,6 +202,11 @@ fn main() {
         assert_eq!(*wire, algo::is_connected(g), "session {i} diverged from centralized truth");
     }
     let client_stats = client.metrics();
+    // Stitch one causally-ordered timeline: server ring + segments
+    // shipped by the shard hosts + client lifecycle + injected kills.
+    let mut stitched = server.stitched_trace();
+    stitched.merge(&client.stitched_trace());
+    stitched.merge(&chaos_recorder.snapshot());
     let stats = server.stop();
     let total = SESSIONS + extra;
     println!(
@@ -206,13 +225,94 @@ fn main() {
     );
     assert_eq!(stats.verdict_frames as usize, total);
 
+    // The stitched timeline must be causally coherent: the injected
+    // kills are on it, the hosts' shipped segments are on it, and every
+    // endpoint's lane is seq- and time-ordered after stitching.
+    let chaos_kills =
+        stitched.events().iter().filter(|e| e.endpoint == trace_endpoint::CHAOS).count();
+    assert_eq!(chaos_kills, kills, "every injected kill is on the timeline");
+    assert!(
+        stitched.events().iter().any(|e| (0x200..0x300).contains(&e.endpoint)),
+        "shard hosts shipped trace segments cross-process"
+    );
+    let mut lanes_checked = 0usize;
+    for w in stitched.events().windows(2) {
+        if w[0].session == w[1].session && w[0].endpoint == w[1].endpoint {
+            assert!(w[0].seq < w[1].seq, "lane seq strictly increases");
+            assert!(w[0].ts_us <= w[1].ts_us, "lane time never runs backwards");
+            lanes_checked += 1;
+        }
+    }
+    assert!(lanes_checked > 0, "the stitched trace has real per-lane history");
+    let traced_sessions =
+        stitched.events().iter().map(|e| e.session).filter(|&s| s != 0).count();
+    println!(
+        "  stitched trace: {} events, {} session-scoped, {} injected kills on-timeline",
+        stitched.len(),
+        traced_sessions,
+        chaos_kills
+    );
+    // Chaos kills fired, so this run qualifies for a post-mortem: with
+    // REFEREE_TRACE_DUMP armed the timeline lands in TRACE_*.json.
+    if let Some(path) = dump_if_armed("cross_host_shards", &stitched) {
+        println!("  post-mortem trace dumped to {}", path.display());
+    }
+
     // Announce→verdict latency per session, *including* sessions that
     // lived through a shard-host kill and replay — the tail the SLO
     // gate (REFEREE_SLO_P99_US / REFEREE_SLO_P999_US) watches in CI.
     let verdict_hist = client_stats.stage(Stage::Verdict);
     let p = Percentiles::from_hist(verdict_hist).expect("sessions ran");
     println!("  latency under chaos: {verdict_hist}");
-    SloCheck::from_env().enforce("cross_host_shards phase 1", &p);
+    let slo = SloCheck::from_env();
+    if let Err(e) = slo.check("cross_host_shards phase 1", &p) {
+        // SLO violation: dump the timeline before dying, so the failure
+        // ships its own diagnosis.
+        dump_if_armed("cross_host_shards_slo", &stitched);
+        panic!("{e}");
+    }
+    slo.enforce("cross_host_shards phase 1", &p);
+
+    // ---- Deterministic companion: the simnet twin of this chaos run ---
+    // The same kill/replay state machine under a seeded schedule and a
+    // manual clock: two runs of the same seed must produce *byte
+    // identical* traces — the reproducibility contract that makes a
+    // post-mortem from CI replayable at a desk.
+    let sim_policy = PlacementPolicy::balanced(SHARDS, &[0, 1]);
+    let sim_arrivals: Vec<(u32, _)> = {
+        let g = &graphs[0];
+        let msgs = referee_one_round::protocol::referee::local_phase(
+            &referee_one_round::protocol::easy::EdgeCountProtocol,
+            g,
+        );
+        msgs.into_iter().enumerate().map(|(i, m)| (i as u32 + 1, m)).collect()
+    };
+    let sim_n = graphs[0].n();
+    let sim_trace = |seed: u64| {
+        let recorder = FlightRecorder::default();
+        let clock = ManualClock::default();
+        let report = PlacementSim::new(seed, 0.35).run_traced(
+            sim_n,
+            &sim_policy,
+            &sim_arrivals,
+            &recorder,
+            &clock,
+        );
+        assert!(report.verdict.is_ok(), "honest sim assembly verifies");
+        recorder.snapshot()
+    };
+    let (sim_a, sim_b) = (sim_trace(2031), sim_trace(2031));
+    assert_eq!(
+        sim_a.encode().as_bytes(),
+        sim_b.encode().as_bytes(),
+        "same seed, byte-identical sim trace"
+    );
+    assert_eq!(
+        TraceSnapshot::decode(&sim_a.encode()).expect("canonical encoding decodes"),
+        sim_a
+    );
+    println!("  sim twin: seed 2031 reproduces a {}-event trace bit-for-bit", sim_a.len());
+    dump_if_armed("cross_host_shards_sim", &sim_a);
 
     // ---- Phase 2: wire tampering fails closed, zero undetected --------
     let policy = PlacementPolicy::balanced(2, &[0, 1]);

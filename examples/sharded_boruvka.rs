@@ -22,6 +22,7 @@ use rand::SeedableRng;
 use referee_bench::{Percentiles, SloCheck};
 use referee_one_round::prelude::*;
 use referee_one_round::protocol::multiround::{run_multiround, BoruvkaConnectivity};
+use referee_one_round::protocol::trace::dump_if_armed;
 use referee_simnet::{Scheduler, SessionId};
 use referee_wirenet::{
     boruvka_connectivity_service, decode_bool_output, AuthKey, FleetClient, FleetServer, Stage,
@@ -70,6 +71,13 @@ fn main() {
     }
 
     let client_stats = client.metrics();
+    // Keep the stitched flight-recorder timeline around: if the SLO
+    // gate below trips, the failure dumps its own post-mortem.
+    let stitched = {
+        let mut t = server.stitched_trace();
+        t.merge(&client.stitched_trace());
+        t
+    };
     let server_stats = server.stop();
     assert_eq!(server_stats.verdict_frames as usize, sessions);
     assert_eq!(server_stats.mac_rejects, 0);
@@ -93,7 +101,12 @@ fn main() {
     let verdict_hist = client_stats.stage(Stage::Verdict);
     let p = Percentiles::from_hist(verdict_hist).expect("sessions ran");
     println!("  latency: {verdict_hist}");
-    SloCheck::from_env().enforce("sharded_boruvka phase 1", &p);
+    let slo = SloCheck::from_env();
+    if let Err(e) = slo.check("sharded_boruvka phase 1", &p) {
+        dump_if_armed("sharded_boruvka_slo", &stitched);
+        panic!("{e}");
+    }
+    slo.enforce("sharded_boruvka phase 1", &p);
 
     // ---- Phase 2: wire corruption, zero undetected --------------------
     let corrupt_sessions = 64usize;

@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use referee_bench::{Percentiles, SloCheck};
 use referee_one_round::prelude::*;
 use referee_one_round::protocol::easy::EdgeCountProtocol;
+use referee_one_round::protocol::trace::dump_if_armed;
 use referee_simnet::{AggregateMetrics, OneRoundSession, PerfectTransport, SessionId};
 use referee_wirenet::{AuthKey, FleetClient, FleetServer, TamperConfig};
 
@@ -66,6 +67,13 @@ fn main() {
     }
 
     let client_stats = client.metrics();
+    // Keep the stitched flight-recorder timeline around: if the SLO
+    // gate below trips, the failure dumps its own post-mortem.
+    let stitched = {
+        let mut t = server.stitched_trace();
+        t.merge(&client.stitched_trace());
+        t
+    };
     let server_stats = server.stop();
     assert_eq!(server_stats.frames_received, expected_frames);
     assert_eq!(server_stats.mac_rejects, 0);
@@ -84,7 +92,12 @@ fn main() {
     }
     let p = Percentiles::from_hist(&agg.latency).expect("sessions ran");
     println!("  latency: {}", agg.latency);
-    SloCheck::from_env().enforce("wirenet_fleet phase 1", &p);
+    let slo = SloCheck::from_env();
+    if let Err(e) = slo.check("wirenet_fleet phase 1", &p) {
+        dump_if_armed("wirenet_fleet_slo", &stitched);
+        panic!("{e}");
+    }
+    slo.enforce("wirenet_fleet phase 1", &p);
 
     // ---- Phase 2: wire corruption, all MAC-rejected -------------------
     let corrupt_sessions = 64usize;
