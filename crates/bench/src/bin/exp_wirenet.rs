@@ -32,11 +32,12 @@ fn main() {
     let mut records: Vec<BenchRecord> = Vec::new();
 
     section(&format!("{sessions} EdgeCount sessions, scheduler 8×8"));
-    let mut rows =
-        vec![["backend", "conns", "sess/s", "frames", "wire KiB", "mac-rej", "stalls"]
-            .into_iter()
-            .map(String::from)
-            .collect::<Vec<_>>()];
+    let mut rows = vec![[
+        "backend", "conns", "sess/s", "frames", "wire KiB", "fr/write", "mac-rej", "stalls",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect::<Vec<_>>()];
 
     // In-memory baseline.
     let t0 = Instant::now();
@@ -57,12 +58,20 @@ fn main() {
         "-".into(),
         "-".into(),
         "-".into(),
+        "-".into(),
     ]);
 
     // Wirenet with growing connection pools, swept twice: with the
     // flight recorder at its default capacity ("wirenet") and fully
     // disabled ("wirenet-notrace", REFEREE_TRACE_CAPACITY=0). Both
     // modes land in the JSON so CI history tracks the recorder's cost.
+    //
+    // Variance control: every configuration first runs an untimed
+    // quarter-fleet warmup (primes sockets, allocator arenas and branch
+    // predictors), then records the best of 3 timed trials — loopback
+    // throughput on shared CI is noisy, and the max is the estimator
+    // least disturbed by a descheduled trial.
+    const TRIALS: usize = 3;
     let mut best = [0.0f64; 2];
     for (mode, backend) in ["wirenet", "wirenet-notrace"].into_iter().enumerate() {
         if mode == 1 {
@@ -71,19 +80,32 @@ fn main() {
         for conns in [1usize, 2, 4, 8] {
             let server = FleetServer::spawn(key).expect("bind");
             let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
-            let t0 = Instant::now();
-            let reports: Vec<_> = scheduler.run_indexed(sessions, |i| {
-                let id = SessionId(i as u64);
-                let mut transport = client.transport(id);
-                OneRoundSession::new(&EdgeCountProtocol, &graphs[i])
-                    .with_session(id)
-                    .run(&mut transport)
-            });
-            let wall = t0.elapsed().as_secs_f64();
-            let mut agg = AggregateMetrics::default();
-            for (report, &m) in reports.iter().zip(&truth) {
-                assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
-                agg.absorb(&report.metrics, report.outcome.is_ok());
+            let run_fleet = |count: usize| {
+                scheduler.run_indexed(count, |i| {
+                    let id = SessionId(i as u64);
+                    let mut transport = client.transport(id);
+                    OneRoundSession::new(&EdgeCountProtocol, &graphs[i])
+                        .with_session(id)
+                        .run(&mut transport)
+                })
+            };
+            run_fleet(sessions / 4); // warmup, untimed
+            let mut best_rate = 0.0f64;
+            let mut best_agg = AggregateMetrics::default();
+            for _ in 0..TRIALS {
+                let t0 = Instant::now();
+                let reports = run_fleet(sessions);
+                let wall = t0.elapsed().as_secs_f64();
+                let mut agg = AggregateMetrics::default();
+                for (report, &m) in reports.iter().zip(&truth) {
+                    assert_eq!(*report.outcome.as_ref().unwrap().as_ref().unwrap(), m);
+                    agg.absorb(&report.metrics, report.outcome.is_ok());
+                }
+                let rate = sessions as f64 / wall;
+                if rate > best_rate {
+                    best_rate = rate;
+                    best_agg = agg;
+                }
             }
             let c = client.metrics();
             let s = server.stop();
@@ -92,18 +114,18 @@ fn main() {
             if mode == 1 {
                 assert_eq!(c.trace_drops, 0, "a disabled recorder records (and drops) nothing");
             }
-            let rate = sessions as f64 / wall;
-            best[mode] = best[mode].max(rate);
+            best[mode] = best[mode].max(best_rate);
             records.push(
-                BenchRecord::new(backend, conns, rate)
-                    .with_percentiles(Percentiles::from_hist(&agg.latency)),
+                BenchRecord::new(backend, conns, best_rate)
+                    .with_percentiles(Percentiles::from_hist(&best_agg.latency)),
             );
             rows.push(vec![
                 backend.into(),
                 conns.to_string(),
-                format!("{rate:.0}"),
+                format!("{best_rate:.0}"),
                 c.frames_sent.to_string(),
                 format!("{:.0}", (c.bytes_sent + c.bytes_received) as f64 / 1024.0),
+                format!("{:.1}", c.frames_per_write()),
                 s.mac_rejects.to_string(),
                 c.backpressure_stalls.to_string(),
             ]);

@@ -65,6 +65,9 @@ use crate::multiround::{
     decode_mr_verdict, run_multiround_server, run_multiround_server_remote, WireReferee,
 };
 use crate::placement::{default_redial_backoff, RemotePlacement};
+use crate::poll::{
+    default_backend, fd_of, resolve_poller, Poller, PollerBackend, Readiness, POLLER_ENV,
+};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use crate::shard::{decode_verdict, run_sharded_server, run_sharded_server_remote};
 use referee_graph::{LabelledGraph, VertexId};
@@ -76,12 +79,25 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Sleep between pump sweeps that made no progress.
+/// The sweep backend's sleep between pump sweeps that made no progress
+/// (also the floor for the epoll wait cap). Overridable per server via
+/// [`FleetServerBuilder::idle_sleep`].
 pub(crate) const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// Client write-buffer occupancy that triggers an eager flush inside
+/// `send_kind` instead of waiting for the next pump: big-burst senders
+/// overlap socket writes with encoding, while short bursts (a session's
+/// handful of uplinks) coalesce into one `write(2)`.
+const FLUSH_COALESCE_BYTES: usize = 16 * 1024;
+
+/// How long a follower thread waits on the pump condvar before
+/// re-checking its lane (the leader thread is inside the kernel wait
+/// and will notify sooner on any readiness).
+const FOLLOWER_WAIT: Duration = Duration::from_millis(2);
 
 /// Environment variable overriding the Hello handshake deadline, in
 /// milliseconds (see [`WireTimeouts::hello`]).
@@ -170,6 +186,8 @@ pub struct FleetServerBuilder {
     multiround: Option<Arc<dyn WireReferee>>,
     placement: Option<RemotePlacement>,
     redial_backoff: Option<Duration>,
+    poller: Option<PollerBackend>,
+    idle_sleep: Option<Duration>,
 }
 
 impl std::fmt::Debug for FleetServerBuilder {
@@ -180,6 +198,8 @@ impl std::fmt::Debug for FleetServerBuilder {
             .field("multiround", &self.multiround.is_some())
             .field("placement", &self.placement.is_some())
             .field("redial_backoff", &self.redial_backoff)
+            .field("poller", &self.poller)
+            .field("idle_sleep", &self.idle_sleep)
             .finish_non_exhaustive()
     }
 }
@@ -241,6 +261,26 @@ impl FleetServerBuilder {
         self
     }
 
+    /// Select the idle-wait backend for the server's pump loops:
+    /// [`PollerBackend::Epoll`] (the default — kernel readiness with a
+    /// wakeup fd) or [`PollerBackend::Sweep`] (the historical
+    /// sleep-and-sweep loop). This knob wins over the [`POLLER_ENV`]
+    /// environment variable; epoll silently degrades to sweep where
+    /// unavailable.
+    pub fn poller(mut self, backend: PollerBackend) -> FleetServerBuilder {
+        self.poller = Some(backend);
+        self
+    }
+
+    /// Override the idle interval between no-progress pump sweeps
+    /// (default `50 µs`): the sweep backend sleeps it,
+    /// the epoll backend uses it (floored at 2 ms — `epoll_wait`
+    /// granularity) as the wait cap.
+    pub fn idle_sleep(mut self, idle: Duration) -> FleetServerBuilder {
+        self.idle_sleep = Some(idle);
+        self
+    }
+
     /// Bind, spawn the server thread(s) and start serving.
     pub fn spawn(self) -> io::Result<FleetServer> {
         let addr = resolve_bind(self.bind, std::env::var(BIND_ENV).ok().as_deref())?;
@@ -254,16 +294,18 @@ impl FleetServerBuilder {
         let multiround = self.multiround;
         let placement = self.placement;
         let backoff = self.redial_backoff.unwrap_or_else(default_redial_backoff);
+        let backend = resolve_poller(self.poller, std::env::var(POLLER_ENV).ok().as_deref());
+        let poller = Poller::new(backend, self.idle_sleep.unwrap_or(IDLE_SLEEP));
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
             thread::Builder::new().name("wirenet-server".into()).spawn(move || {
                 match (placement, multiround) {
                     (Some(p), Some(referee)) => run_multiround_server_remote(
-                        listener, key, referee, p, backoff, &shutdown, &metrics,
+                        listener, key, referee, p, backoff, &shutdown, &metrics, poller,
                     ),
                     (Some(p), None) => run_sharded_server_remote(
-                        listener, key, p, backoff, &shutdown, &metrics,
+                        listener, key, p, backoff, &shutdown, &metrics, poller,
                     ),
                     (None, Some(referee)) => run_multiround_server(
                         listener,
@@ -272,12 +314,13 @@ impl FleetServerBuilder {
                         shards.max(1),
                         &shutdown,
                         &metrics,
+                        poller,
                     ),
                     (None, None) if shards == 0 => {
-                        run_server(listener, key, &shutdown, &metrics)
+                        run_server(listener, key, &shutdown, &metrics, &poller)
                     }
                     (None, None) => {
-                        run_sharded_server(listener, key, shards, &shutdown, &metrics)
+                        run_sharded_server(listener, key, shards, &shutdown, &metrics, poller)
                     }
                 }
             })?
@@ -316,6 +359,8 @@ impl FleetServer {
             multiround: None,
             placement: None,
             redial_backoff: None,
+            poller: None,
+            idle_sleep: None,
         }
     }
 
@@ -411,25 +456,43 @@ fn run_server(
     key: AuthKey,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
+    poller: &Poller,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut next_id: u32 = 1;
     let mut scratch = vec![0u8; SCRATCH_BYTES];
+    let listener_fd = fd_of(&listener);
+    poller.register(listener_fd);
+    let mut ready: Vec<i32> = Vec::new();
+    let mut readiness = Readiness::All;
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
-        // Accept whatever is waiting (an Err is WouldBlock or a
-        // transient failure: try again next sweep).
-        while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
-            metrics.connections(1);
-            conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
-            metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
-            conns.push(conn);
-            progress = true;
+        // Accept when the listener edged (or on a full sweep — the
+        // degraded path every non-Fds readiness answer takes). An Err
+        // is WouldBlock or a transient failure: try again next sweep.
+        if readiness == Readiness::All || ready.contains(&listener_fd) {
+            while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
+                metrics.connections(1);
+                conn.meter_with(metrics.syscall_meter());
+                conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+                metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
+                poller.register(conn.fd());
+                conns.push(conn);
+                progress = true;
+            }
         }
-        // Pump every connection: flush echoes, read frames, validate,
+        // Pump the connections the kernel flagged (all of them when
+        // readiness degraded): flush echoes, read frames, validate,
         // echo back.
-        for conn in &mut conns {
-            progress |= conn.flush() > 0;
+        let pump_list: Vec<usize> = match readiness {
+            Readiness::All => (0..conns.len()).collect(),
+            Readiness::Fds => {
+                ready.iter().filter_map(|fd| conns.iter().position(|c| c.fd() == *fd)).collect()
+            }
+        };
+        for ci in pump_list {
+            let conn = &mut conns[ci];
+            conn.flush();
             // Backpressure: a peer that writes but never reads would
             // otherwise grow our echo buffer without bound. Stop
             // reading until the buffer drains — TCP then pushes back on
@@ -447,19 +510,18 @@ fn run_server(
             metrics.bytes_received(got as u64);
             progress |= got > 0;
             loop {
-                match conn.next_frame_raw() {
+                // `echo_frame` authenticates and requeues the raw bytes
+                // in place: no envelope build, no intermediate copy —
+                // the server never looks inside a Data frame, so per
+                // frame it pays one MAC and one memcpy, nothing else.
+                match conn.echo_frame() {
                     Ok(None) => break,
-                    Ok(Some((FrameKind::Data, _env, raw))) => {
+                    Ok(Some((FrameKind::Data, wire_len))) => {
                         metrics.frames_received(1);
-                        // Echo the authenticated bytes verbatim: the
-                        // codec is canonical, so this is the re-encoding
-                        // without paying the MAC twice.
                         metrics.frames_sent(1);
-                        metrics.bytes_sent(raw.len() as u64);
-                        conn.queue(&raw);
-                        progress = true;
+                        metrics.bytes_sent(wire_len as u64);
                     }
-                    Ok(Some((kind, ..))) => {
+                    Ok(Some((kind, _))) => {
                         // Control frames have no business at an echo
                         // mailbox; a peer sending them is confused or
                         // hostile.
@@ -483,11 +545,24 @@ fn run_server(
                     }
                 }
             }
+            // One batched flush per connection per sweep: every echo
+            // queued by the decode loop above leaves in a single
+            // `write(2)` (frames_per_write > 1 under load).
+            conn.flush();
         }
         conns.retain(Conn::is_open);
-        if !progress {
-            thread::sleep(IDLE_SLEEP);
+        // Under epoll, every pumped socket was drained to `WouldBlock`
+        // and anything new arrives as a fresh readiness edge, so go
+        // straight back to the wait (whose capped timeout reports
+        // `All`, re-probing stalled or missed sockets at sweep
+        // cadence). The sweep backend has no edges: keep the
+        // historical behavior of re-sweeping immediately while traffic
+        // flows, sleeping only when a sweep moves nothing.
+        if progress && poller.backend() == PollerBackend::Sweep {
+            readiness = Readiness::All;
+            continue;
         }
+        readiness = poller.wait_ready(&mut ready);
     }
 }
 
@@ -517,14 +592,51 @@ struct Lane {
     verdict: Option<Message>,
 }
 
+/// Hasher for the lane map. Its keys are session ids the *client
+/// itself* hands out (dense, never adversarial), and the map sits on
+/// the hot path — several lookups per frame — so the DoS-resistant
+/// default SipHash is pure overhead. A splitmix64 finisher mixes every
+/// input bit into every output bit in a handful of arithmetic ops.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneHasher(u64);
+
+impl std::hash::Hasher for LaneHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    // The generic byte path (unused by u64 keys, but required): FNV-1a.
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        // splitmix64 finisher.
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// Session id → lane, with the cheap mixer above.
+type LaneMap = HashMap<u64, Lane, std::hash::BuildHasherDefault<LaneHasher>>;
+
 #[derive(Debug)]
 struct CoreState {
     conns: Vec<Conn>,
-    lanes: HashMap<u64, Lane>,
+    lanes: LaneMap,
     next_conn: usize,
     tamper: Option<TamperConfig>,
     tamper_counter: u64,
     scratch: Vec<u8>,
+    /// Whether some thread is currently the *pump leader*: it released
+    /// the lock and is blocked in the poller wait, and will pump on
+    /// return. Other waiters become followers on the condvar; senders
+    /// rely on their own next pump (not the leader) to flush.
+    pumping: bool,
 }
 
 /// Shared connection-pool state behind every [`SocketTransport`].
@@ -533,6 +645,11 @@ pub(crate) struct FleetCore {
     state: Mutex<CoreState>,
     metrics: Arc<WireMetrics>,
     pub(crate) timeouts: WireTimeouts,
+    /// The pool's readiness poller: every connection is registered at
+    /// connect; idle waits block here instead of sleeping.
+    poller: Poller,
+    /// Wakes follower threads when the pump leader finishes a sweep.
+    pump_done: Condvar,
 }
 
 impl FleetCore {
@@ -542,64 +659,146 @@ impl FleetCore {
         self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// The idle wait every client loop uses when its lane has nothing
+    /// deliverable: *one* thread (the leader) releases the lock and
+    /// blocks in the kernel readiness wait, then relocks, pumps, and
+    /// notifies; every other thread (followers) parks on the condvar.
+    /// The mutex+condvar pair means a follower can never miss the
+    /// leader's sweep; the leader's wait is capped (and woken by
+    /// senders via [`Poller::wake`]), so no readiness edge strands
+    /// anyone for long.
+    fn wait_pump(&self, mut st: MutexGuard<'_, CoreState>) {
+        if st.pumping {
+            // Follower: the leader will pump; wait for its notify (or
+            // the cap) and let the caller's loop re-examine the lane.
+            let _ = self
+                .pump_done
+                .wait_timeout(st, FOLLOWER_WAIT)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            return;
+        }
+        st.pumping = true;
+        drop(st);
+        let mut ready = Vec::new();
+        let readiness = self.poller.wait_ready(&mut ready);
+        let mut st = self.lock();
+        st.pumping = false;
+        let moved = match readiness {
+            // Wake, timeout, overflow, or the sweep backend: probe the
+            // whole pool (the historical behavior, and the liveness
+            // backstop for any readiness edge we failed to account).
+            Readiness::All => self.pump(&mut st),
+            // The kernel named the ready sockets: pump exactly those
+            // and leave the rest of the pool's fds untouched — at
+            // large pool sizes this is the difference between O(ready)
+            // and O(pool) syscalls per wakeup.
+            Readiness::Fds => {
+                let mut moved = false;
+                for fd in ready {
+                    if let Some(ci) = st.conns.iter().position(|c| c.fd() == fd) {
+                        st.conns[ci].readable = true;
+                        moved |= self.pump_conn(&mut st, ci);
+                    }
+                }
+                moved
+            }
+        };
+        drop(st);
+        // Wake followers only when the pump moved bytes: a timed-out
+        // wait that found nothing has nothing to deliver, and
+        // broadcasting anyway marches every parked thread through a
+        // futex wake, a contended relock and a fruitless lane check —
+        // pure scheduler churn on an oversubscribed host. Followers
+        // re-check on their own cap regardless, so skipping the notify
+        // never strands one beyond FOLLOWER_WAIT.
+        if moved {
+            self.pump_done.notify_all();
+        }
+    }
+
     /// One nonblocking sweep over every connection: flush writes, read
     /// sockets, demultiplex complete frames into lanes. Returns whether
-    /// anything moved.
+    /// anything moved. Only the pump leader (and connect/chaos paths)
+    /// sweeps everything; session threads pump just their own
+    /// connection via [`FleetCore::pump_conn`], so the per-call cost
+    /// does not scale with the pool size.
     fn pump(&self, st: &mut CoreState) -> bool {
-        let CoreState { conns, lanes, scratch, .. } = st;
         let mut progress = false;
-        for conn in conns.iter_mut() {
-            if !conn.is_open() {
-                continue;
-            }
-            progress |= conn.flush() > 0;
+        for ci in 0..st.conns.len() {
+            // A full sweep is the "trust nothing" path: probe every
+            // socket regardless of what readiness bookkeeping says.
+            st.conns[ci].readable = true;
+            progress |= self.pump_conn(st, ci);
+        }
+        progress
+    }
+
+    /// Flush, drain and demultiplex a single connection.
+    fn pump_conn(&self, st: &mut CoreState, ci: usize) -> bool {
+        let CoreState { conns, lanes, scratch, .. } = st;
+        let conn = &mut conns[ci];
+        if !conn.is_open() {
+            return false;
+        }
+        let mut progress = conn.flush() > 0;
+        // Only probe the socket while the kernel may have bytes for us:
+        // under the epoll backend the leader re-arms `readable` from
+        // real readiness events, so an idle lane's pump costs zero
+        // `read(2)`s instead of one guaranteed `EAGAIN` per call. The
+        // sweep backend never clears the flag (no event source).
+        if conn.readable {
             let got = conn.fill(scratch);
             self.metrics.bytes_received(got as u64);
             progress |= got > 0;
-            loop {
-                match conn.next_frame() {
-                    Ok(None) => break,
-                    Ok(Some((FrameKind::Data, env))) => {
-                        self.metrics.frames_received(1);
-                        match lanes.get_mut(&env.session.0) {
-                            Some(lane) => {
-                                lane.in_flight = lane.in_flight.saturating_sub(1);
-                                lane.inbound.push_back(env);
-                            }
-                            None => {
-                                // A late echo for a lane already retired
-                                // (the transport was dropped with frames
-                                // still in flight) — count and discard.
-                                self.metrics.orphan_frames(1);
-                            }
+            if self.poller.backend() == PollerBackend::Epoll {
+                // `fill` drained to a short read or `EAGAIN`: the
+                // socket is empty until the next readiness edge.
+                conn.readable = false;
+            }
+        }
+        loop {
+            match conn.next_frame() {
+                Ok(None) => break,
+                Ok(Some((FrameKind::Data, env))) => {
+                    self.metrics.frames_received(1);
+                    match lanes.get_mut(&env.session.0) {
+                        Some(lane) => {
+                            lane.in_flight = lane.in_flight.saturating_sub(1);
+                            lane.inbound.push_back(env);
                         }
-                        progress = true;
-                    }
-                    Ok(Some((FrameKind::Verdict, env))) => {
-                        self.metrics.frames_received(1);
-                        match lanes.get_mut(&env.session.0) {
-                            Some(lane) => lane.verdict = Some(env.payload),
-                            None => self.metrics.orphan_frames(1),
+                        None => {
+                            // A late echo for a lane already retired
+                            // (the transport was dropped with frames
+                            // still in flight) — count and discard.
+                            self.metrics.orphan_frames(1);
                         }
-                        progress = true;
                     }
-                    Ok(Some((_, _))) => {
-                        // Hello was consumed at connect; Announce and
-                        // Partial never flow server → client.
-                        self.metrics.decode_rejects(1);
-                        conn.close();
-                        break;
+                    progress = true;
+                }
+                Ok(Some((FrameKind::Verdict, env))) => {
+                    self.metrics.frames_received(1);
+                    match lanes.get_mut(&env.session.0) {
+                        Some(lane) => lane.verdict = Some(env.payload),
+                        None => self.metrics.orphan_frames(1),
                     }
-                    Err(WireError::BadMac) => {
-                        self.metrics.mac_rejects(1);
-                        conn.close();
-                        break;
-                    }
-                    Err(_) => {
-                        self.metrics.decode_rejects(1);
-                        conn.close();
-                        break;
-                    }
+                    progress = true;
+                }
+                Ok(Some((_, _))) => {
+                    // Hello was consumed at connect; Announce and
+                    // Partial never flow server → client.
+                    self.metrics.decode_rejects(1);
+                    conn.close();
+                    break;
+                }
+                Err(WireError::BadMac) => {
+                    self.metrics.mac_rejects(1);
+                    conn.close();
+                    break;
+                }
+                Err(_) => {
+                    self.metrics.decode_rejects(1);
+                    conn.close();
+                    break;
                 }
             }
         }
@@ -615,42 +814,62 @@ impl FleetCore {
         if st.conns[ci].pending_write() > WRITE_BACKPRESSURE_BYTES {
             self.metrics.backpressure_stalls(1);
             loop {
-                self.pump(&mut st);
+                self.pump_conn(&mut st, ci);
                 if st.conns[ci].pending_write() <= WRITE_BACKPRESSURE_BYTES
                     || !st.conns[ci].is_open()
                 {
                     break;
                 }
-                drop(st);
-                thread::sleep(IDLE_SLEEP);
+                self.wait_pump(st);
                 st = self.lock();
             }
         }
         if !st.conns[ci].is_open() {
             return false;
         }
-        let mut bytes = crate::frame::encode_wire_frame(st.conns[ci].key(), kind, env);
-        if let Some(tamper) = st.tamper {
-            st.tamper_counter += 1;
-            if st.tamper_counter.is_multiple_of(tamper.flip_every.max(1)) {
+        // Deterministic tamper decision up front (it only needs the
+        // counter), so the frame borrow below stays exclusive.
+        let tamper_mult = match st.tamper {
+            Some(tamper) => {
+                st.tamper_counter += 1;
+                st.tamper_counter
+                    .is_multiple_of(tamper.flip_every.max(1))
+                    .then(|| st.tamper_counter.wrapping_mul(0x9e3779b97f4a7c15))
+            }
+            None => None,
+        };
+        // Encode straight into the connection's write buffer: no
+        // per-frame allocation, and no eager flush — frames coalesce
+        // until the pump sweep (or the coalesce ceiling) writes them
+        // out in one syscall.
+        let frame_len = {
+            let frame = st.conns[ci].queue_frame_mut(kind, env);
+            if let Some(mult) = tamper_mult {
                 // Deterministic bit position inside the MAC-covered
                 // body — never the length prefix, so the stream stays
                 // framed and the corruption reaches MAC verification.
-                let body_bits = (bytes.len() - 4) * 8;
-                let bit = (st.tamper_counter.wrapping_mul(0x9e3779b97f4a7c15)
-                    % body_bits as u64) as usize;
-                bytes[4 + bit / 8] ^= 1 << (7 - bit % 8);
-                self.metrics.tampered(1);
+                let body_bits = (frame.len() - 4) * 8;
+                let bit = (mult % body_bits as u64) as usize;
+                frame[4 + bit / 8] ^= 1 << (7 - bit % 8);
             }
+            frame.len()
+        };
+        if tamper_mult.is_some() {
+            self.metrics.tampered(1);
         }
         self.metrics.frames_sent(1);
-        self.metrics.bytes_sent(bytes.len() as u64);
+        self.metrics.bytes_sent(frame_len as u64);
         if kind == FrameKind::Data {
             st.lanes.get_mut(&env.session.0).expect("session registered").in_flight += 1;
         }
-        let conn = &mut st.conns[ci];
-        conn.queue(&bytes);
-        conn.flush();
+        if st.conns[ci].pending_write() >= FLUSH_COALESCE_BYTES {
+            st.conns[ci].flush();
+        }
+        // No poller nudge: the sender's own next `recv`/`await_*` call
+        // pumps (and therefore flushes) this connection before it can
+        // park, so queued frames never wait on the leader. Waking the
+        // leader here cost an eventfd `write(2)` plus a full-pool probe
+        // sweep per send burst and bought nothing.
         true
     }
 
@@ -666,13 +885,18 @@ impl FleetCore {
         loop {
             let mut st = self.lock();
             // Fast path: deliver already-demultiplexed traffic without
-            // touching any socket (send() flushes eagerly, so skipping
-            // the pump here delays nothing).
+            // touching any socket. Queued uplinks are not delayed by
+            // skipping the pump — the next wait_pump (ours or another
+            // lane's) flushes them in one batched write.
             let lane = st.lanes.get_mut(&session.0).expect("session registered");
             if let Some(env) = lane.inbound.pop_front() {
                 return Some(env);
             }
-            self.pump(&mut st);
+            // Pump only this lane's connection: sibling lanes' traffic
+            // is the leader's job, and sweeping the whole pool here
+            // would make every recv cost O(connections) in syscalls.
+            let ci = lane.conn;
+            self.pump_conn(&mut st, ci);
             let lane = st.lanes.get_mut(&session.0).expect("session registered");
             if let Some(env) = lane.inbound.pop_front() {
                 return Some(env);
@@ -680,12 +904,10 @@ impl FleetCore {
             if lane.in_flight == 0 {
                 return None;
             }
-            let ci = lane.conn;
             if !st.conns[ci].is_open() {
                 return None; // in-flight frames died with the connection
             }
-            drop(st);
-            thread::sleep(IDLE_SLEEP);
+            self.wait_pump(st);
         }
     }
 
@@ -695,24 +917,23 @@ impl FleetCore {
         let deadline = Instant::now() + self.timeouts.verdict;
         loop {
             let mut st = self.lock();
-            self.pump(&mut st);
+            let ci = st.lanes.get(&session.0).expect("session registered").conn;
+            self.pump_conn(&mut st, ci);
             let lane = st.lanes.get_mut(&session.0).expect("session registered");
             if let Some(v) = lane.verdict.take() {
                 return Ok(v);
             }
-            let ci = lane.conn;
             if !st.conns[ci].is_open() {
                 return Err(DecodeError::Inconsistent(
                     "connection poisoned while awaiting the shard verdict".into(),
                 ));
             }
-            drop(st);
             if Instant::now() > deadline {
                 return Err(DecodeError::Inconsistent(
                     "no verdict from the sharded referee within the deadline".into(),
                 ));
             }
-            thread::sleep(IDLE_SLEEP);
+            self.wait_pump(st);
         }
     }
 
@@ -730,7 +951,8 @@ impl FleetCore {
         let mut filled = 0usize;
         loop {
             let mut st = self.lock();
-            self.pump(&mut st);
+            let ci = st.lanes.get(&session.0).expect("session registered").conn;
+            self.pump_conn(&mut st, ci);
             let lane = st.lanes.get_mut(&session.0).expect("session registered");
             if let Some(v) = lane.verdict.take() {
                 return Ok(RoundWait::Verdict(v));
@@ -762,20 +984,18 @@ impl FleetCore {
                 let msgs = downlinks.into_iter().map(|d| d.expect("all filled")).collect();
                 return Ok(RoundWait::Downlinks(msgs));
             }
-            let ci = lane.conn;
             if !st.conns[ci].is_open() {
                 return Err(DecodeError::Inconsistent(
                     "connection poisoned while awaiting round downlinks".into(),
                 ));
             }
-            drop(st);
             if Instant::now() > deadline {
                 return Err(DecodeError::Inconsistent(format!(
                     "no round-{round} downlinks from the multi-round referee within the \
                      deadline"
                 )));
             }
-            thread::sleep(IDLE_SLEEP);
+            self.wait_pump(st);
         }
     }
 
@@ -833,12 +1053,15 @@ impl FleetClient {
     ) -> io::Result<FleetClient> {
         assert!(conns >= 1, "a fleet needs at least one connection");
         let metrics = Arc::new(WireMetrics::default());
+        let poller = Poller::new(default_backend(), IDLE_SLEEP);
         let mut scratch = vec![0u8; SCRATCH_BYTES];
         let mut pool = Vec::with_capacity(conns);
         for _ in 0..conns {
             let dialed = Instant::now();
             let mut conn = Conn::new(TcpStream::connect(addr)?, key)?;
-            let id = await_hello(&mut conn, &mut scratch, timeouts.hello)?;
+            conn.meter_with(metrics.syscall_meter());
+            poller.register(conn.fd());
+            let id = await_hello(&mut conn, &mut scratch, timeouts.hello, &poller)?;
             conn.set_key(key.derive(id as u64));
             conn.trace_with(metrics.recorder_arc(), trace_endpoint::CLIENT);
             metrics.trace(0, trace_endpoint::CLIENT, TraceKind::Dial, u64::from(id));
@@ -850,14 +1073,17 @@ impl FleetClient {
             core: Arc::new(FleetCore {
                 state: Mutex::new(CoreState {
                     conns: pool,
-                    lanes: HashMap::new(),
+                    lanes: LaneMap::default(),
                     next_conn: 0,
                     tamper: None,
                     tamper_counter: 0,
                     scratch,
+                    pumping: false,
                 }),
                 metrics,
                 timeouts,
+                poller,
+                pump_done: Condvar::new(),
             }),
         })
     }
@@ -1134,7 +1360,12 @@ impl FleetClient {
 /// Pump `conn` until the server's Hello arrives, returning the assigned
 /// connection id. The Hello is the only frame keyed with the base key,
 /// so a key mismatch surfaces here as an authentication failure.
-fn await_hello(conn: &mut Conn, scratch: &mut [u8], timeout: Duration) -> io::Result<u32> {
+fn await_hello(
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    timeout: Duration,
+    poller: &Poller,
+) -> io::Result<u32> {
     let deadline = Instant::now() + timeout;
     loop {
         conn.flush();
@@ -1160,7 +1391,7 @@ fn await_hello(conn: &mut Conn, scratch: &mut [u8], timeout: Duration) -> io::Re
                         "no Hello from server (is it a referee fleet server?)",
                     ));
                 }
-                thread::sleep(IDLE_SLEEP);
+                poller.wait();
             }
             Err(e) => {
                 return Err(io::Error::new(

@@ -180,8 +180,31 @@ pub fn encode_frame(key: &AuthKey, env: &Envelope) -> Vec<u8> {
 pub fn encode_wire_frame(key: &AuthKey, kind: FrameKind, env: &Envelope) -> Vec<u8> {
     let payload = env.payload.as_bytes();
     let body_len = HEADER_BYTES + payload.len() + TAG_BYTES;
-    assert!(body_len <= MAX_BODY_BYTES, "payload of {} bytes exceeds frame cap", payload.len());
     let mut out = Vec::with_capacity(4 + body_len);
+    encode_frame_into(key, kind, env, &mut out);
+    out
+}
+
+/// Serialize `env` into one authenticated wire frame *appended* to
+/// `out`, returning the number of bytes written. The MAC is computed in
+/// place over the appended span, so a reused buffer makes the whole
+/// encode allocation-free — this is the batched write path's hot
+/// function: frames coalesce into one per-connection buffer and flush
+/// with one `write(2)` per sweep.
+///
+/// Panics if the payload exceeds [`MAX_BODY_BYTES`], like
+/// [`encode_wire_frame`].
+pub fn encode_frame_into(
+    key: &AuthKey,
+    kind: FrameKind,
+    env: &Envelope,
+    out: &mut Vec<u8>,
+) -> usize {
+    let payload = env.payload.as_bytes();
+    let body_len = HEADER_BYTES + payload.len() + TAG_BYTES;
+    assert!(body_len <= MAX_BODY_BYTES, "payload of {} bytes exceeds frame cap", payload.len());
+    let start = out.len();
+    out.reserve(4 + body_len);
     out.extend_from_slice(&(body_len as u32).to_be_bytes());
     out.push(WIRE_VERSION);
     out.push(kind as u8);
@@ -191,13 +214,69 @@ pub fn encode_wire_frame(key: &AuthKey, kind: FrameKind, env: &Envelope) -> Vec<
     out.extend_from_slice(&env.to.to_be_bytes());
     out.extend_from_slice(&(env.payload.len_bits() as u32).to_be_bytes());
     out.extend_from_slice(payload);
-    let tag = key.tag(&out[4..]);
+    let tag = key.tag(&out[start + 4..]);
     out.extend_from_slice(&tag.to_be_bytes());
-    out
+    out.len() - start
 }
 
 fn be_u32(bytes: &[u8]) -> u32 {
     u32::from_be_bytes(bytes.try_into().expect("4 bytes"))
+}
+
+/// Authenticate the frame at the front of `buf` without materializing
+/// its [`Envelope`]: the echo fast path. Runs exactly the checks of
+/// [`decode_frame`] — length bounds, MAC, version, kind, length
+/// cross-check, payload canonicality — and returns only the frame's
+/// kind and total wire length (prefix + body). Accept/reject behavior
+/// is identical to [`decode_frame`] on every input (pinned by tests);
+/// skipped is only the envelope construction (two heap allocations and
+/// a field parse per frame), which matters to a server echoing
+/// hundreds of thousands of frames per second that never looks inside
+/// them.
+pub fn verify_frame(
+    key: &AuthKey,
+    buf: &[u8],
+) -> Result<Option<(FrameKind, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = be_u32(&buf[..4]) as usize;
+    if !(HEADER_BYTES + TAG_BYTES..=MAX_BODY_BYTES).contains(&body_len) {
+        return Err(WireError::BadLength(format!("body of {body_len} bytes out of bounds")));
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    let body = &buf[4..4 + body_len];
+
+    // Authenticate before interpreting any field.
+    let tag = u64::from_be_bytes(body[body_len - TAG_BYTES..].try_into().expect("8 bytes"));
+    if !key.verify(&body[..body_len - TAG_BYTES], tag) {
+        return Err(WireError::BadMac);
+    }
+
+    if body[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion(body[0]));
+    }
+    let kind = FrameKind::from_byte(body[1]).ok_or(WireError::BadKind(body[1]))?;
+    let len_bits = be_u32(&body[22..26]) as usize;
+    let payload_bytes = len_bits.div_ceil(8);
+    if HEADER_BYTES + payload_bytes + TAG_BYTES != body_len {
+        return Err(WireError::BadLength(format!(
+            "length field {body_len} disagrees with {len_bits}-bit payload"
+        )));
+    }
+    // The canonicality rule `Message::from_bits` enforces, applied in
+    // place: padding bits of a ragged final byte must be zero.
+    if !len_bits.is_multiple_of(8) {
+        let pad_mask = 0xffu8 >> (len_bits % 8);
+        if body[HEADER_BYTES + payload_bytes - 1] & pad_mask != 0 {
+            return Err(WireError::BadPayload(DecodeError::Invalid(
+                "non-canonical payload: padding bits set".into(),
+            )));
+        }
+    }
+    Ok(Some((kind, 4 + body_len)))
 }
 
 /// Try to decode one frame from the front of `buf`.
@@ -254,6 +333,30 @@ pub fn decode_frame(key: &AuthKey, buf: &[u8]) -> Result<Option<DecodedFrame>, W
     }))
 }
 
+/// Decode *every* complete frame at the front of `buf` in one pass —
+/// the batched read path: drain the socket once, then parse everything
+/// that arrived before returning to the poller.
+///
+/// Returns the decoded frames and the total bytes consumed. A torn
+/// final frame (or torn length prefix) is *not* consumed — its bytes
+/// stay in the buffer for the next read to complete. The first
+/// malformed frame aborts with its error; frames decoded before it are
+/// lost, which is fine because every error here is terminal for the
+/// connection (a corrupted length-prefixed stream cannot be
+/// resynchronized).
+pub fn decode_frames(
+    key: &AuthKey,
+    buf: &[u8],
+) -> Result<(Vec<DecodedFrame>, usize), WireError> {
+    let mut frames = Vec::new();
+    let mut consumed = 0;
+    while let Some(frame) = decode_frame(key, &buf[consumed..])? {
+        consumed += frame.consumed;
+        frames.push(frame);
+    }
+    Ok((frames, consumed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +386,59 @@ mod tests {
         assert_eq!(d.consumed, bytes.len());
         assert_eq!(d.kind, FrameKind::Data);
         assert_eq!(d.envelope, e);
+    }
+
+    #[test]
+    fn encode_into_appends_identically_to_encode() {
+        // The in-place encoder is byte-for-byte the allocating one, at
+        // any starting offset (the MAC span must track the append
+        // point, not the buffer start).
+        let a = env(7, 3, 12, 0, 0xdead, 16);
+        let b = env(8, 1, 2, 3, 0b101, 3);
+        let mut batch = Vec::new();
+        let wrote_a = encode_frame_into(&key(), FrameKind::Data, &a, &mut batch);
+        let wrote_b = encode_frame_into(&key(), FrameKind::Verdict, &b, &mut batch);
+        let lone_a = encode_wire_frame(&key(), FrameKind::Data, &a);
+        let lone_b = encode_wire_frame(&key(), FrameKind::Verdict, &b);
+        assert_eq!(wrote_a, lone_a.len());
+        assert_eq!(wrote_b, lone_b.len());
+        assert_eq!(&batch[..wrote_a], &lone_a[..]);
+        assert_eq!(&batch[wrote_a..], &lone_b[..]);
+    }
+
+    #[test]
+    fn batch_decode_drains_complete_frames_and_keeps_torn_tail() {
+        let envs: Vec<Envelope> = (0..5).map(|i| env(i, 1, 2, 0, i * 7 + 1, 12)).collect();
+        let mut stream = Vec::new();
+        for e in &envs {
+            encode_frame_into(&key(), FrameKind::Data, e, &mut stream);
+        }
+        let tail_start = stream.len();
+        // Append a torn final frame: all but its last byte.
+        let torn = encode_wire_frame(&key(), FrameKind::Data, &env(99, 1, 1, 0, 3, 2));
+        stream.extend_from_slice(&torn[..torn.len() - 1]);
+        let (frames, consumed) = decode_frames(&key(), &stream).unwrap();
+        assert_eq!(consumed, tail_start, "torn tail must not be consumed");
+        assert_eq!(frames.len(), envs.len());
+        for (f, e) in frames.iter().zip(&envs) {
+            assert_eq!(&f.envelope, e);
+        }
+        // Completing the tail yields exactly the missing frame.
+        let mut rest = stream[consumed..].to_vec();
+        rest.push(torn[torn.len() - 1]);
+        let (frames, consumed) = decode_frames(&key(), &rest).unwrap();
+        assert_eq!(consumed, rest.len());
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].envelope.session.0, 99);
+    }
+
+    #[test]
+    fn batch_decode_surfaces_mid_stream_corruption() {
+        let mut stream = encode_frame(&key(), &env(1, 1, 1, 0, 1, 1));
+        let mut bad = encode_frame(&key(), &env(2, 1, 1, 0, 1, 1));
+        *bad.last_mut().unwrap() ^= 1; // corrupt the second frame's MAC
+        stream.extend_from_slice(&bad);
+        assert_eq!(decode_frames(&key(), &stream), Err(WireError::BadMac));
     }
 
     #[test]
@@ -422,6 +578,60 @@ mod tests {
         let mut frame = ((body.len() as u32).to_be_bytes()).to_vec();
         frame.extend_from_slice(&body);
         assert!(matches!(decode_frame(&key(), &frame), Err(WireError::BadPayload(_))));
+    }
+
+    /// `verify_frame` must agree with `decode_frame` on every input:
+    /// same acceptance (kind + consumed), same rejection class.
+    fn assert_verify_matches_decode(bytes: &[u8]) {
+        let decoded = decode_frame(&key(), bytes);
+        let verified = verify_frame(&key(), bytes);
+        match (decoded, verified) {
+            (Ok(None), Ok(None)) => {}
+            (Ok(Some(d)), Ok(Some((kind, consumed)))) => {
+                assert_eq!((d.kind, d.consumed), (kind, consumed));
+            }
+            (Err(de), Err(ve)) => assert_eq!(de, ve),
+            (d, v) => panic!("decode_frame {d:?} but verify_frame {v:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_matches_decode_on_valid_frames_prefixes_and_bit_flips() {
+        let bytes = encode_frame(&key(), &env(3, 2, 5, 0, 0xabc, 12));
+        for cut in 0..=bytes.len() {
+            assert_verify_matches_decode(&bytes[..cut]);
+        }
+        for bit in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (7 - bit % 8);
+            assert_verify_matches_decode(&bad);
+        }
+    }
+
+    #[test]
+    fn verify_matches_decode_on_authenticated_forgeries() {
+        // Line noise always dies at the MAC; the interesting cases are
+        // *validly MAC'd* malformed frames (a buggy or hostile peer
+        // holding the key). Re-tag after each mutation so both decoders
+        // reach their structural checks.
+        let base = encode_wire_frame(&key(), FrameKind::Data, &env(1, 1, 1, 0, 0b101, 3));
+        let retag = |mut bytes: Vec<u8>| {
+            let body_end = bytes.len() - TAG_BYTES;
+            let tag = key().tag(&bytes[4..body_end]);
+            bytes.truncate(body_end);
+            bytes.extend_from_slice(&tag.to_be_bytes());
+            bytes
+        };
+        for (at, val) in [
+            (4usize, 9u8),     // bad version
+            (5, 10),           // unknown kind
+            (26, 0xff),        // len_bits lie (disagrees with body length)
+            (30, 0b1010_0001), // padding bit set (non-canonical payload)
+        ] {
+            let mut bad = base.clone();
+            bad[at] = val;
+            assert_verify_matches_decode(&retag(bad));
+        }
     }
 
     #[test]

@@ -21,7 +21,19 @@
 //!   assigned at accept time by a `Hello` frame), so a leaked
 //!   per-connection key cannot forge frames on sibling connections.
 //! * [`reactor`] — nonblocking `std::net` connections with explicit
-//!   read/write buffers, advanced by readiness-polling pump sweeps.
+//!   read/write buffers, advanced by kernel-readiness pump sweeps: an
+//!   [`poll`]-provided `epoll` wait (edge-triggered sockets + a wakeup
+//!   fd; the historical sleep-and-sweep loop as the non-Linux and
+//!   [`POLLER_ENV`]-selectable fallback), outbound frames coalesced
+//!   into one reused buffer per connection (MAC computed in place,
+//!   zero per-frame allocation, one `write(2)` per flush) and inbound
+//!   bytes drained once then batch-decoded. The epoll wait hands the
+//!   hot loops the *set* of fds that edged, so they pump exactly the
+//!   flagged connections (any degraded answer falls back to probing
+//!   the whole pool); the echo server authenticates and requeues Data
+//!   frames in place without ever materializing an envelope. The
+//!   `write_syscalls`/`read_syscalls` counters and
+//!   [`WireSnapshot::frames_per_write`] make the batching measurable.
 //! * [`fleet`] — the referee-side acceptor ([`FleetServer`]: echo
 //!   mailbox or sharded referee service) and node-side pool
 //!   ([`FleetClient`]) whose [`SocketTransport`] runs 1000+ sessions
@@ -275,6 +287,7 @@ pub mod frame;
 pub mod metrics;
 pub mod multiround;
 pub mod placement;
+pub mod poll;
 pub mod reactor;
 pub mod shard;
 
@@ -284,8 +297,8 @@ pub use fleet::{
     BIND_ENV, HELLO_TIMEOUT_ENV, VERDICT_TIMEOUT_ENV,
 };
 pub use frame::{
-    decode_frame, encode_frame, encode_wire_frame, DecodedFrame, FrameKind, WireError,
-    WIRE_VERSION,
+    decode_frame, decode_frames, encode_frame, encode_frame_into, encode_wire_frame,
+    DecodedFrame, FrameKind, WireError, WIRE_VERSION,
 };
 pub use metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot, TRACE_CAPACITY_ENV};
 pub use multiround::{
@@ -296,4 +309,5 @@ pub use placement::{
     HostId, PlacementPolicy, RemotePlacement, ShardHost, ShardHostMode, DEFAULT_REDIAL_BACKOFF,
     REDIAL_BACKOFF_ENV, SHARD_HOST_BIND_ENV,
 };
+pub use poll::{PollerBackend, POLLER_ENV};
 pub use shard::vector_digest;

@@ -103,6 +103,30 @@ impl Stage {
     }
 }
 
+/// A cloneable handle counting the `write(2)`/`read(2)` syscalls a
+/// [`Conn`](crate::reactor) issues, shared with the owning
+/// [`WireMetrics`] — the evidence that the batched hot path really
+/// batches: `frames_sent / write_syscalls` is
+/// [`WireSnapshot::frames_per_write`].
+#[derive(Debug, Clone)]
+pub struct SyscallMeter {
+    writes: Arc<AtomicU64>,
+    reads: Arc<AtomicU64>,
+}
+
+impl SyscallMeter {
+    /// Count one `write(2)` issued (would-block attempts included —
+    /// they are real syscalls).
+    pub(crate) fn count_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `read(2)` issued.
+    pub(crate) fn count_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Live counters for one endpoint (a client's connection pool or a
 /// server). All counter and trace methods are lock-free; read a
 /// coherent-enough view with [`WireMetrics::snapshot`].
@@ -123,6 +147,11 @@ pub struct WireMetrics {
     downlink_frames: AtomicU64,
     shard_reconnects: AtomicU64,
     replayed_frames: AtomicU64,
+    /// `write(2)`/`read(2)` syscall counters, `Arc`-shared so every
+    /// connection carries a cheap [`SyscallMeter`] clone into the
+    /// reactor layer.
+    write_syscalls: Arc<AtomicU64>,
+    read_syscalls: Arc<AtomicU64>,
     stages: [LatencyHistogram; Stage::ALL.len()],
     /// The endpoint's black-box flight recorder (lock-free ring).
     /// `Arc`-shared so individual connections can carry a trace hook
@@ -174,6 +203,8 @@ impl WireMetrics {
             downlink_frames: AtomicU64::new(0),
             shard_reconnects: AtomicU64::new(0),
             replayed_frames: AtomicU64::new(0),
+            write_syscalls: Arc::new(AtomicU64::new(0)),
+            read_syscalls: Arc::new(AtomicU64::new(0)),
             stages: std::array::from_fn(|_| LatencyHistogram::new()),
             // Creation-time epoch: a restarted process observing the
             // same endpoint lane (a respawned shard host) gets a later,
@@ -202,6 +233,16 @@ impl WireMetrics {
     bump!(downlink_frames);
     bump!(shard_reconnects);
     bump!(replayed_frames);
+
+    /// A [`SyscallMeter`] clone sharing this endpoint's syscall
+    /// counters — attach it to every [`Conn`](crate::reactor) via
+    /// `meter_with` so `frames_per_write` measures real batching.
+    pub(crate) fn syscall_meter(&self) -> SyscallMeter {
+        SyscallMeter {
+            writes: Arc::clone(&self.write_syscalls),
+            reads: Arc::clone(&self.read_syscalls),
+        }
+    }
 
     /// Record one duration sample into `stage`'s latency histogram.
     pub(crate) fn record_stage(&self, stage: Stage, elapsed: Duration) {
@@ -268,6 +309,8 @@ impl WireMetrics {
             downlink_frames: self.downlink_frames.load(Ordering::Relaxed),
             shard_reconnects: self.shard_reconnects.load(Ordering::Relaxed),
             replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            write_syscalls: self.write_syscalls.load(Ordering::Relaxed),
+            read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
             trace_drops: self.recorder.dropped(),
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
         }
@@ -317,6 +360,13 @@ pub struct WireSnapshot {
     /// Remote placement only: journaled frames resent to a reconnected
     /// shard host (announcements excluded).
     pub replayed_frames: u64,
+    /// `write(2)` syscalls issued by this endpoint's connections
+    /// (would-block attempts included). With the batched write path,
+    /// this should sit well below `frames_sent` — see
+    /// [`WireSnapshot::frames_per_write`].
+    pub write_syscalls: u64,
+    /// `read(2)` syscalls issued by this endpoint's connections.
+    pub read_syscalls: u64,
     /// Trace events overwritten by flight-recorder ring overflow
     /// (drop-oldest) — nonzero means the post-mortem window was shorter
     /// than the incident and the ring needs resizing
@@ -330,6 +380,17 @@ impl WireSnapshot {
     /// The latency histogram for one lifecycle stage.
     pub fn stage(&self, stage: Stage) -> &HistSnapshot {
         &self.stages[stage.index()]
+    }
+
+    /// Frames sent per `write(2)` issued — the batching ratio of the
+    /// coalescing write path. Above 1.0 means frames shared syscalls;
+    /// `0.0` when no writes were issued (or syscalls are unmetered).
+    pub fn frames_per_write(&self) -> f64 {
+        if self.write_syscalls == 0 {
+            0.0
+        } else {
+            self.frames_sent as f64 / self.write_syscalls as f64
+        }
     }
 
     /// Saturating counter (and histogram-bucket) difference
@@ -355,6 +416,8 @@ impl WireSnapshot {
             downlink_frames: self.downlink_frames.saturating_sub(earlier.downlink_frames),
             shard_reconnects: self.shard_reconnects.saturating_sub(earlier.shard_reconnects),
             replayed_frames: self.replayed_frames.saturating_sub(earlier.replayed_frames),
+            write_syscalls: self.write_syscalls.saturating_sub(earlier.write_syscalls),
+            read_syscalls: self.read_syscalls.saturating_sub(earlier.read_syscalls),
             trace_drops: self.trace_drops.saturating_sub(earlier.trace_drops),
             stages: std::array::from_fn(|i| self.stages[i].delta(&earlier.stages[i])),
         }
@@ -367,7 +430,8 @@ impl std::fmt::Display for WireSnapshot {
             f,
             "conns {} | frames {}/{} | bytes {}/{} | mac-rejects {} | decode-rejects {} | \
              stalls {} | tampered {} | orphans {} | partials {} | verdicts {} | downlinks {} \
-             | shard-reconnects {} | replays {} | trace-drops {}",
+             | shard-reconnects {} | replays {} | syscalls {}w/{}r ({:.1} frames/write) | \
+             trace-drops {}",
             self.connections,
             self.frames_sent,
             self.frames_received,
@@ -383,6 +447,9 @@ impl std::fmt::Display for WireSnapshot {
             self.downlink_frames,
             self.shard_reconnects,
             self.replayed_frames,
+            self.write_syscalls,
+            self.read_syscalls,
+            self.frames_per_write(),
             self.trace_drops,
         )?;
         for stage in Stage::ALL {
@@ -411,6 +478,28 @@ mod tests {
         assert_eq!(s.mac_rejects, 1);
         assert_eq!(s.frames_received, 0);
         assert!(format!("{s}").contains("mac-rejects 1"));
+    }
+
+    #[test]
+    fn syscall_meter_feeds_frames_per_write() {
+        let m = WireMetrics::default();
+        assert_eq!(m.snapshot().frames_per_write(), 0.0, "no writes yet");
+        let meter = m.syscall_meter();
+        let clone = meter.clone(); // connections share the same counters
+        meter.count_write();
+        clone.count_write();
+        clone.count_read();
+        m.frames_sent(6);
+        let s = m.snapshot();
+        assert_eq!(s.write_syscalls, 2);
+        assert_eq!(s.read_syscalls, 1);
+        assert!((s.frames_per_write() - 3.0).abs() < f64::EPSILON);
+        assert!(format!("{s}").contains("syscalls 2w/1r (3.0 frames/write)"));
+        // Delta isolates phases for the syscall counters too.
+        meter.count_write();
+        let d = m.snapshot().delta(&s);
+        assert_eq!(d.write_syscalls, 1);
+        assert_eq!(d.read_syscalls, 0);
     }
 
     #[test]

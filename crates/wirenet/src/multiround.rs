@@ -52,11 +52,13 @@
 //! state even against a client that stalls mid-protocol.
 
 use crate::auth::AuthKey;
-use crate::fleet::{accept_conn, IDLE_SLEEP};
+use crate::fleet::accept_conn;
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
+use crate::poll::{fd_of, Poller, Waker};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
+use crate::shard::acc_first_order;
 use referee_protocol::multiround::{BoruvkaConnectivity, MultiRoundProtocol, RefereeStep};
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
 use referee_protocol::shard::{route_arrival, shard_range, Arrival};
@@ -275,6 +277,21 @@ enum MrOutbound {
     Verdict { conn: u32, session: SessionId, payload: Message },
 }
 
+/// The outbound channel paired with the router poller's waker: mpsc
+/// sends are invisible to `epoll`, so every downlink burst or verdict
+/// nudges the router out of its kernel readiness wait.
+struct OutTx {
+    tx: Sender<MrOutbound>,
+    waker: Waker,
+}
+
+impl OutTx {
+    fn send(&self, out: MrOutbound) {
+        let _ = self.tx.send(out);
+        self.waker.wake();
+    }
+}
+
 /// Router-side per-session record.
 struct SessionRoute {
     n: usize,
@@ -318,6 +335,7 @@ pub(crate) fn run_multiround_server(
     shards: usize,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
+    poller: Poller,
 ) {
     let exchange_key = key.derive(MR_EXCHANGE_TWEAK);
     let (out_tx, out_rx) = std::sync::mpsc::channel::<MrOutbound>();
@@ -331,7 +349,7 @@ pub(crate) fn run_multiround_server(
     thread::scope(|scope| {
         for (i, rx) in worker_rxs.into_iter().enumerate().rev() {
             let tx0 = if i == 0 { None } else { Some(worker_txs[0].clone()) };
-            let otx = out_tx.clone();
+            let otx = OutTx { tx: out_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
             let referee = Arc::clone(&referee);
             scope.spawn(move || {
@@ -339,7 +357,7 @@ pub(crate) fn run_multiround_server(
             });
         }
         drop(out_tx);
-        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx);
+        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx, &poller);
         drop(worker_txs);
     });
 }
@@ -362,6 +380,7 @@ pub(crate) fn mr_proxy_event(m: MrMsg) -> Option<ProxyEvent> {
 /// [`ShardHost`](crate::placement::ShardHost) named by `placement`; the
 /// in-process worker 0 keeps only the referee and the per-round merge
 /// accumulators, fed by one proxy per shard.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_multiround_server_remote(
     listener: TcpListener,
     key: AuthKey,
@@ -370,6 +389,7 @@ pub(crate) fn run_multiround_server_remote(
     backoff: Duration,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
+    poller: Poller,
 ) {
     let shards = placement.shards();
     let exchange_key = key.derive(MR_EXCHANGE_TWEAK);
@@ -386,7 +406,7 @@ pub(crate) fn run_multiround_server_remote(
         let proxy_rxs: Vec<_> = rxs.by_ref().take(shards).collect();
         let acc_rx = rxs.next().expect("accumulator channel");
         {
-            let otx = out_tx.clone();
+            let otx = OutTx { tx: out_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
             let referee = Arc::clone(&referee);
             scope.spawn(move || {
@@ -421,7 +441,7 @@ pub(crate) fn run_multiround_server_remote(
             });
         }
         drop(out_tx);
-        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx);
+        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx, &poller);
         drop(worker_txs);
     });
 }
@@ -437,7 +457,9 @@ fn mr_route(
     metrics: &WireMetrics,
     worker_txs: &[Sender<MrMsg>],
     out_rx: &Receiver<MrOutbound>,
+    poller: &Poller,
 ) {
+    poller.register(fd_of(&listener));
     let mut gates: Vec<(u32, Conn)> = Vec::new();
     let mut announced: HashMap<(u32, u64), SessionRoute> = HashMap::new();
     let mut finished_fifo: VecDeque<(u32, u64)> = VecDeque::new();
@@ -449,6 +471,8 @@ fn mr_route(
         while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
             metrics.connections(1);
             conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+            conn.meter_with(metrics.syscall_meter());
+            poller.register(conn.fd());
             metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
             gates.push((id, conn));
             progress = true;
@@ -498,8 +522,11 @@ fn mr_route(
                         );
                         announced
                             .insert((*id, env.session.0), SessionRoute { n, finished: false });
-                        for tx in worker_txs {
-                            let _ = tx.send(MrMsg::Announce {
+                        // Accumulator-first: see `acc_first_order` — a
+                        // partial must never overtake its announce into
+                        // the accumulator's inbox.
+                        for wi in acc_first_order(worker_txs.len(), shards) {
+                            let _ = worker_txs[wi].send(MrMsg::Announce {
                                 conn: *id,
                                 session: env.session.0,
                                 n,
@@ -556,6 +583,10 @@ fn mr_route(
                 MrOutbound::Downlinks { conn: cid, session, round, msgs } => {
                     match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
                         Some((_, conn)) => {
+                            // A whole round's downlinks coalesce in the
+                            // write buffer; the next sweep's flush ships
+                            // them in one write (progress stays true, so
+                            // no wait intervenes).
                             for (i, payload) in msgs.into_iter().enumerate() {
                                 let env = Envelope {
                                     session,
@@ -564,14 +595,12 @@ fn mr_route(
                                     to: (i + 1) as u32,
                                     payload,
                                 };
-                                let bytes =
-                                    encode_wire_frame(conn.key(), FrameKind::Data, &env);
+                                let frame_len =
+                                    conn.queue_frame_mut(FrameKind::Data, &env).len();
                                 metrics.frames_sent(1);
                                 metrics.downlink_frames(1);
-                                metrics.bytes_sent(bytes.len() as u64);
-                                conn.queue(&bytes);
+                                metrics.bytes_sent(frame_len as u64);
                             }
-                            conn.flush();
                         }
                         None => metrics.orphan_frames(1),
                     }
@@ -580,17 +609,16 @@ fn mr_route(
                     match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
                         Some((_, conn)) => {
                             let env = Envelope { session, round: 0, from: 0, to: 0, payload };
-                            let bytes = encode_wire_frame(conn.key(), FrameKind::Verdict, &env);
+                            let frame_len =
+                                conn.queue_frame_mut(FrameKind::Verdict, &env).len();
                             metrics.frames_sent(1);
-                            metrics.bytes_sent(bytes.len() as u64);
+                            metrics.bytes_sent(frame_len as u64);
                             metrics.trace(
                                 session.0,
                                 trace_endpoint::SERVER,
                                 TraceKind::Verdict,
                                 u64::from(cid),
                             );
-                            conn.queue(&bytes);
-                            conn.flush();
                         }
                         None => metrics.orphan_frames(1),
                     }
@@ -604,8 +632,9 @@ fn mr_route(
                             }
                         }
                     }
-                    for tx in worker_txs {
-                        let _ = tx.send(MrMsg::Finish { conn: cid, session: session.0 });
+                    for wi in acc_first_order(worker_txs.len(), shards) {
+                        let _ = worker_txs[wi]
+                            .send(MrMsg::Finish { conn: cid, session: session.0 });
                     }
                 }
             }
@@ -615,15 +644,15 @@ fn mr_route(
             gates.iter().filter(|(_, c)| !c.is_open()).map(|(id, _)| *id).collect();
         for cid in &closed {
             announced.retain(|(owner, _), _| owner != cid);
-            for tx in worker_txs {
-                let _ = tx.send(MrMsg::Retire { conn: *cid });
+            for wi in acc_first_order(worker_txs.len(), shards) {
+                let _ = worker_txs[wi].send(MrMsg::Retire { conn: *cid });
             }
         }
         if !closed.is_empty() {
             gates.retain(|(_, c)| c.is_open());
         }
         if !progress {
-            thread::sleep(IDLE_SLEEP);
+            poller.wait();
         }
     }
 }
@@ -645,7 +674,7 @@ fn mr_worker(
     shards: usize,
     rx: Receiver<MrMsg>,
     tx0: Option<Sender<MrMsg>>,
-    otx: Sender<MrOutbound>,
+    otx: OutTx,
     exchange_key: &AuthKey,
     referee: Arc<dyn WireReferee>,
     metrics: &WireMetrics,
@@ -889,12 +918,7 @@ fn emit_ready_rounds(
 /// accumulator is poisoned — no further partial can turn an `Err` into
 /// an `Ok`), stepping the referee in round order. Returns whether the
 /// session is done (verdict sent).
-fn try_advance(
-    session: u64,
-    ws: &mut MrSession,
-    otx: &Sender<MrOutbound>,
-    metrics: &WireMetrics,
-) -> bool {
+fn try_advance(session: u64, ws: &mut MrSession, otx: &OutTx, metrics: &WireMetrics) -> bool {
     loop {
         if ws.referee_round as usize > ws.cap {
             send_mr_verdict(
@@ -955,7 +979,7 @@ fn try_advance(
                             );
                             return true;
                         }
-                        let _ = otx.send(MrOutbound::Downlinks {
+                        otx.send(MrOutbound::Downlinks {
                             conn: ws.conn,
                             session: SessionId(session),
                             round,
@@ -974,12 +998,12 @@ fn send_mr_verdict(
     session: u64,
     ws: &MrSession,
     result: Result<Message, DecodeError>,
-    otx: &Sender<MrOutbound>,
+    otx: &OutTx,
     metrics: &WireMetrics,
 ) {
     metrics.record_stage(Stage::Verdict, ws.opened.elapsed());
     metrics.verdict_frames(1);
-    let _ = otx.send(MrOutbound::Verdict {
+    otx.send(MrOutbound::Verdict {
         conn: ws.conn,
         session: SessionId(session),
         payload: encode_mr_verdict(&result),

@@ -418,13 +418,18 @@ fn run_shard_host(
     metrics: &WireMetrics,
 ) {
     let reg_key = registration_key(&key);
+    let poller =
+        crate::poll::Poller::new(crate::poll::default_backend(), crate::fleet::IDLE_SLEEP);
+    poller.register(crate::poll::fd_of(&listener));
     let mut links: Vec<HostLink> = Vec::new();
     let mut scratch = vec![0u8; SCRATCH_BYTES];
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
         while let Ok((stream, _)) = listener.accept() {
-            if let Ok(conn) = Conn::new(stream, reg_key) {
+            if let Ok(mut conn) = Conn::new(stream, reg_key) {
                 metrics.connections(1);
+                conn.meter_with(metrics.syscall_meter());
+                poller.register(conn.fd());
                 links.push(HostLink {
                     conn,
                     role: None,
@@ -482,7 +487,7 @@ fn run_shard_host(
         // coordinator's journal is the durable copy.
         links.retain(|l| l.conn.is_open());
         if !progress {
-            thread::sleep(crate::fleet::IDLE_SLEEP);
+            poller.wait();
         }
     }
 }
@@ -632,8 +637,9 @@ fn ship_trace(link: &mut HostLink, index: usize, metrics: &WireMetrics) {
     link.shipped_seq = mark;
     let env = Envelope { session: SessionId(0), round: 0, from: index as u32, to: 0, payload };
     metrics.frames_sent(1);
+    // No eager flush: the host loop's per-link flush ships this
+    // alongside whatever else the sweep queued, in one write.
     link.conn.queue_frame(FrameKind::Trace, &env);
-    link.conn.flush();
 }
 
 /// Multi-round ingest, mirroring the in-process worker's round rules.
@@ -738,8 +744,9 @@ fn queue_partial(
         TraceKind::PartialEmit,
         u64::from(round),
     );
+    // No eager flush: the host loop's per-link flush batches partials
+    // (a session's whole burst leaves in one write).
     conn.queue_frame(FrameKind::Partial, &env);
-    conn.flush();
 }
 
 // ---------------------------------------------------------------------------

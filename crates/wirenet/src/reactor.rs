@@ -1,14 +1,27 @@
 //! The reactor substrate: nonblocking connections with explicit
-//! read/write buffers, pumped by readiness polling.
+//! read/write buffers, pumped by kernel-readiness sweeps.
 //!
-//! `std` exposes no `poll(2)`/`epoll` wrapper, so readiness is probed
-//! the portable way: every connection is `O_NONBLOCK`, and a *pump*
-//! sweep attempts to flush each write buffer and drain each socket into
-//! its read buffer, reporting whether anything moved. Callers
-//! (the server loop, [`FleetClient`](crate::FleetClient) transports)
-//! sleep briefly only when a whole sweep made no progress — with a
-//! handful of connections per endpoint the sweep itself is a few
-//! syscalls, so this behaves like a poll loop without the API.
+//! Every connection is `O_NONBLOCK`, and a *pump* sweep attempts to
+//! flush each write buffer and drain each socket into its read buffer,
+//! reporting whether anything moved. When a whole sweep makes no
+//! progress, callers (the server loops,
+//! [`FleetClient`](crate::FleetClient) transports) block in a
+//! [`Poller`](crate::poll) wait — `epoll_wait(2)` on every registered
+//! socket plus a wakeup fd on Linux, the historical sleep-and-sweep
+//! fallback elsewhere (see [`crate::poll`] for the backend and
+//! edge-trigger story).
+//!
+//! The byte path batches in both directions: outbound frames are
+//! encoded *in place* into the connection's reusable write buffer
+//! (`Conn::queue_frame` → `encode_frame_into`, MAC computed over the
+//! appended span, zero per-frame allocation) and coalesce there until
+//! one `Conn::flush` pushes everything queued with as few `write(2)`
+//! calls as the socket accepts; inbound, one `Conn::fill` drains the
+//! socket to `WouldBlock` and the decoder then parses every complete
+//! frame from the read buffer before the loop returns to the poller.
+//! The `write_syscalls`/`read_syscalls` counters (via
+//! `Conn::meter_with`) and the derived `frames_per_write` ratio in
+//! [`WireSnapshot`](crate::WireSnapshot) make the batching observable.
 //!
 //! Frame extraction (`Conn::next_frame`) runs the streaming decoder
 //! over the read buffer; a decode or MAC failure poisons the connection
@@ -17,7 +30,8 @@
 //! [`DecodeError`](referee_protocol::DecodeError) rejections.
 
 use crate::auth::AuthKey;
-use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
+use crate::frame::{decode_frame, encode_frame_into, verify_frame, FrameKind, WireError};
+use crate::metrics::SyscallMeter;
 use referee_protocol::trace::{wall_clock_us, FlightRecorder, TraceKind};
 use referee_simnet::Envelope;
 use std::io::{self, Read, Write};
@@ -52,12 +66,23 @@ pub(crate) struct Conn {
     /// being throttled, so a stall episode is counted once, not once
     /// per poll sweep.
     pub(crate) stalled: bool,
+    /// Kernel-readiness hint: `true` when the socket may have unread
+    /// bytes. Loops that get per-fd readiness from an epoll poller
+    /// clear this after draining to `WouldBlock` and re-set it when the
+    /// kernel flags the fd again, skipping the speculative (always
+    /// `EAGAIN`) probe `read(2)` per idle pump. Loops without per-fd
+    /// readiness (sweep backend, routers) leave it `true` — `fill`
+    /// then probes unconditionally, exactly the historical behavior.
+    pub(crate) readable: bool,
     /// Connection-level trace hook: `(recorder, endpoint id)`. When
     /// set, any close — poison, EOF, or socket error — records a
     /// [`TraceKind::Kill`] attributed to `endpoint`, so a chaos kill
     /// shows up in the trace of every peer that observed the
     /// connection die.
     trace: Option<(Arc<FlightRecorder>, u32)>,
+    /// Syscall meter: counts every `write(2)`/`read(2)` this connection
+    /// issues, proving (or disproving) that frames batch per syscall.
+    meter: Option<SyscallMeter>,
 }
 
 impl Conn {
@@ -76,8 +101,24 @@ impl Conn {
             wpos: 0,
             open: true,
             stalled: false,
+            readable: true,
             trace: None,
+            meter: None,
         })
+    }
+
+    /// Attach a syscall meter (cloned off
+    /// [`WireMetrics::syscall_meter`](crate::metrics::WireMetrics::syscall_meter)):
+    /// every `write(2)` and `read(2)` the connection issues is counted,
+    /// so `frames_per_write` in the snapshot measures real batching.
+    pub fn meter_with(&mut self, meter: SyscallMeter) {
+        self.meter = Some(meter);
+    }
+
+    /// The raw socket fd for poller registration (`-1` on platforms
+    /// without fds — the poller skips those).
+    pub fn fd(&self) -> i32 {
+        crate::poll::fd_of(&self.stream)
     }
 
     /// Attach a trace hook (see the `trace` field): the connection's
@@ -103,16 +144,22 @@ impl Conn {
         self.key = key;
     }
 
-    /// The key currently authenticating this connection's frames.
-    pub fn key(&self) -> &AuthKey {
-        &self.key
+    /// Encode `env` as a frame of `kind` under this connection's key
+    /// and queue it for transmission — encoding appends straight into
+    /// the reused write buffer (MAC computed in place), so queueing a
+    /// frame allocates nothing once the buffer is warm.
+    pub fn queue_frame(&mut self, kind: FrameKind, env: &Envelope) {
+        encode_frame_into(&self.key, kind, env, &mut self.wbuf);
     }
 
-    /// Encode `env` as a frame of `kind` under this connection's key and
-    /// queue it for transmission.
-    pub fn queue_frame(&mut self, kind: FrameKind, env: &Envelope) {
-        let bytes = encode_wire_frame(&self.key, kind, env);
-        self.queue(&bytes);
+    /// As `Conn::queue_frame`, returning the queued frame's bytes as
+    /// a mutable slice — the hook the tamper harness uses to flip bits
+    /// *after* the MAC was computed, without a round trip through a
+    /// temporary allocation.
+    pub fn queue_frame_mut(&mut self, kind: FrameKind, env: &Envelope) -> &mut [u8] {
+        let start = self.wbuf.len();
+        encode_frame_into(&self.key, kind, env, &mut self.wbuf);
+        &mut self.wbuf[start..]
     }
 
     /// Whether the connection is still usable.
@@ -131,7 +178,10 @@ impl Conn {
     }
 
     /// Queue frame bytes for transmission (actual writing happens in
-    /// [`Conn::flush`] sweeps).
+    /// `Conn::flush` sweeps). Production paths queue through
+    /// `Conn::queue_frame` (encode in place) or [`Conn::echo_frame`]
+    /// (requeue in place); tests inject pre-built byte streams.
+    #[cfg(test)]
     pub fn queue(&mut self, bytes: &[u8]) {
         self.wbuf.extend_from_slice(bytes);
     }
@@ -141,6 +191,9 @@ impl Conn {
     pub fn flush(&mut self) -> usize {
         let mut written = 0;
         while self.open && self.wpos < self.wbuf.len() {
+            if let Some(m) = &self.meter {
+                m.count_write();
+            }
             match self.stream.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => self.mark_closed(),
                 Ok(k) => {
@@ -167,6 +220,9 @@ impl Conn {
     pub fn fill(&mut self, scratch: &mut [u8]) -> usize {
         let mut read = 0;
         while self.open {
+            if let Some(m) = &self.meter {
+                m.count_read();
+            }
             match self.stream.read(scratch) {
                 Ok(0) => self.mark_closed(), // EOF
                 Ok(k) => {
@@ -202,24 +258,29 @@ impl Conn {
         }
     }
 
-    /// Like `next_frame`, but also hands back a copy of the raw wire
-    /// bytes of the frame (length prefix included). An echoing peer can
-    /// forward those bytes verbatim — the codec is canonical
-    /// (`decode ∘ encode = id`), so re-encoding would reproduce them
-    /// bit-for-bit while paying the MAC a second time. Receivers that
-    /// only want the envelope use `next_frame` and skip the copy.
-    pub fn next_frame_raw(
-        &mut self,
-    ) -> Result<Option<(FrameKind, Envelope, Vec<u8>)>, WireError> {
-        match decode_frame(&self.key, &self.rbuf[self.rpos..])? {
+    /// The echo mailbox's hot path: authenticate the next complete
+    /// frame *without* materializing its envelope
+    /// ([`verify_frame`]) and, when it is a [`FrameKind::Data`] frame,
+    /// queue its raw bytes straight from the read buffer into the
+    /// write buffer — the codec is canonical (`decode ∘ encode = id`),
+    /// so this single memcpy is the re-encoding, minus the second MAC
+    /// and minus the envelope's two allocations per frame that
+    /// `next_frame` would build just to be thrown away. Returns the
+    /// frame's kind and wire length; non-`Data` kinds are consumed but
+    /// *not* echoed (callers reject them anyway). An `Err` is terminal,
+    /// as for [`Conn::next_frame`].
+    pub fn echo_frame(&mut self) -> Result<Option<(FrameKind, usize)>, WireError> {
+        match verify_frame(&self.key, &self.rbuf[self.rpos..])? {
             None => {
                 self.note_drained();
                 Ok(None)
             }
-            Some(decoded) => {
-                let raw = self.rbuf[self.rpos..self.rpos + decoded.consumed].to_vec();
-                self.consume(decoded.consumed);
-                Ok(Some((decoded.kind, decoded.envelope, raw)))
+            Some((kind, consumed)) => {
+                if kind == FrameKind::Data {
+                    self.wbuf.extend_from_slice(&self.rbuf[self.rpos..self.rpos + consumed]);
+                }
+                self.consume(consumed);
+                Ok(Some((kind, consumed)))
             }
         }
     }

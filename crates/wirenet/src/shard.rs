@@ -54,10 +54,11 @@
 //! *exactly* the vector it sent.
 
 use crate::auth::AuthKey;
-use crate::fleet::{accept_conn, IDLE_SLEEP};
+use crate::fleet::accept_conn;
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
+use crate::poll::{fd_of, Poller, Waker};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
 use referee_protocol::trace::TraceKind;
@@ -176,6 +177,21 @@ struct VerdictMsg {
     payload: Message,
 }
 
+/// The verdict channel paired with the router poller's waker: mpsc
+/// sends are invisible to `epoll`, so every verdict send nudges the
+/// router out of its kernel readiness wait.
+struct VerdictTx {
+    tx: Sender<VerdictMsg>,
+    waker: Waker,
+}
+
+impl VerdictTx {
+    fn send(&self, v: VerdictMsg) {
+        let _ = self.tx.send(v);
+        self.waker.wake();
+    }
+}
+
 /// Router-side per-session record: network size plus whether the
 /// verdict already shipped (late data for a finished session is
 /// harmless straggle, not a protocol violation, and the id becomes
@@ -211,6 +227,7 @@ pub(crate) fn run_sharded_server(
     shards: usize,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
+    poller: Poller,
 ) {
     let exchange_key = key.derive(EXCHANGE_TWEAK);
     let (verdict_tx, verdict_rx) = std::sync::mpsc::channel::<VerdictMsg>();
@@ -226,7 +243,7 @@ pub(crate) fn run_sharded_server(
             // Worker 0 merges its own partial directly and must not hold
             // a sender to itself (its inbox would never disconnect).
             let tx0 = if i == 0 { None } else { Some(worker_txs[0].clone()) };
-            let vtx = verdict_tx.clone();
+            let vtx = VerdictTx { tx: verdict_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
             let base = &key;
             scope.spawn(move || {
@@ -234,11 +251,27 @@ pub(crate) fn run_sharded_server(
             });
         }
         drop(verdict_tx);
-        route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx);
+        route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx, &poller);
         // Dropping the senders disconnects every worker inbox; the scope
         // then joins the workers.
         drop(worker_txs);
     });
+}
+
+/// Index order for broadcasting router control traffic to workers: the
+/// merge accumulator FIRST, then everyone else. Every worker's reaction
+/// to a control message funnels into the accumulator's inbox — e.g. an
+/// empty-range shard host ships its partial the instant a proxy relays
+/// a fresh announce — and channel causality only keeps that reaction
+/// *behind* the message that caused it if the router enqueued the
+/// accumulator's copy before any other worker's. In-process layouts
+/// keep the accumulator at index 0 (forward order was already safe);
+/// remote placement appends its channel after the `shards` proxies,
+/// where forward order let partials overtake their announce and starve
+/// the merge quorum.
+pub(crate) fn acc_first_order(len: usize, shards: usize) -> impl Iterator<Item = usize> {
+    let acc = if len > shards { shards } else { 0 };
+    std::iter::once(acc).chain((0..len).filter(move |i| *i != acc))
 }
 
 /// Convert router traffic into the placement proxy's event type
@@ -266,6 +299,7 @@ pub(crate) fn run_sharded_server_remote(
     backoff: Duration,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
+    poller: Poller,
 ) {
     let shards = placement.shards();
     let exchange_key = key.derive(EXCHANGE_TWEAK);
@@ -284,7 +318,7 @@ pub(crate) fn run_sharded_server_remote(
         let proxy_rxs: Vec<_> = rxs.by_ref().take(shards).collect();
         let acc_rx = rxs.next().expect("accumulator channel");
         {
-            let vtx = verdict_tx.clone();
+            let vtx = VerdictTx { tx: verdict_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
             let base = &key;
             scope.spawn(move || {
@@ -318,7 +352,7 @@ pub(crate) fn run_sharded_server_remote(
             });
         }
         drop(verdict_tx);
-        route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx);
+        route(listener, key, shards, shutdown, metrics, &worker_txs, &verdict_rx, &poller);
         drop(worker_txs);
     });
 }
@@ -334,7 +368,9 @@ fn route(
     metrics: &WireMetrics,
     worker_txs: &[Sender<ShardMsg>],
     verdict_rx: &Receiver<VerdictMsg>,
+    poller: &Poller,
 ) {
+    poller.register(fd_of(&listener));
     let mut gates: Vec<(u32, Conn)> = Vec::new();
     let mut announced: HashMap<(u32, u64), SessionRoute> = HashMap::new();
     let mut finished_fifo: VecDeque<(u32, u64)> = VecDeque::new();
@@ -349,6 +385,8 @@ fn route(
         while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
             metrics.connections(1);
             conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+            conn.meter_with(metrics.syscall_meter());
+            poller.register(conn.fd());
             metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
             gates.push((id, conn));
             progress = true;
@@ -401,8 +439,8 @@ fn route(
                         );
                         announced
                             .insert((*id, env.session.0), SessionRoute { n, finished: false });
-                        for tx in worker_txs {
-                            let _ = tx.send(ShardMsg::Announce {
+                        for wi in acc_first_order(worker_txs.len(), shards) {
+                            let _ = worker_txs[wi].send(ShardMsg::Announce {
                                 conn: *id,
                                 session: env.session.0,
                                 n,
@@ -469,17 +507,18 @@ fn route(
                         to: 0,
                         payload: v.payload,
                     };
-                    let bytes = encode_wire_frame(conn.key(), FrameKind::Verdict, &env);
+                    // Queue without an eager flush: progress stays true,
+                    // so the next sweep's per-connection flush ships
+                    // every verdict queued this iteration in one write.
+                    let frame_len = conn.queue_frame_mut(FrameKind::Verdict, &env).len();
                     metrics.frames_sent(1);
-                    metrics.bytes_sent(bytes.len() as u64);
+                    metrics.bytes_sent(frame_len as u64);
                     metrics.trace(
                         v.session.0,
                         trace_endpoint::SERVER,
                         TraceKind::Verdict,
                         u64::from(v.conn),
                     );
-                    conn.queue(&bytes);
-                    conn.flush();
                 }
                 None => metrics.orphan_frames(1),
             }
@@ -500,8 +539,9 @@ fn route(
                     }
                 }
             }
-            for tx in worker_txs {
-                let _ = tx.send(ShardMsg::Finish { conn: v.conn, session: v.session.0 });
+            for wi in acc_first_order(worker_txs.len(), shards) {
+                let _ = worker_txs[wi]
+                    .send(ShardMsg::Finish { conn: v.conn, session: v.session.0 });
             }
             progress = true;
         }
@@ -509,15 +549,15 @@ fn route(
             gates.iter().filter(|(_, c)| !c.is_open()).map(|(id, _)| *id).collect();
         for cid in &closed {
             announced.retain(|(owner, _), _| owner != cid);
-            for tx in worker_txs {
-                let _ = tx.send(ShardMsg::Retire { conn: *cid });
+            for wi in acc_first_order(worker_txs.len(), shards) {
+                let _ = worker_txs[wi].send(ShardMsg::Retire { conn: *cid });
             }
         }
         if !closed.is_empty() {
             gates.retain(|(_, c)| c.is_open());
         }
         if !progress {
-            thread::sleep(IDLE_SLEEP);
+            poller.wait();
         }
     }
 }
@@ -533,7 +573,7 @@ fn shard_worker(
     shards: usize,
     rx: Receiver<ShardMsg>,
     tx0: Option<Sender<ShardMsg>>,
-    vtx: Sender<VerdictMsg>,
+    vtx: VerdictTx,
     exchange_key: &AuthKey,
     base: &AuthKey,
     metrics: &WireMetrics,
@@ -731,7 +771,7 @@ fn emit_if_complete(
     session: u64,
     ws: &mut WorkerSession,
     tx0: &Option<Sender<ShardMsg>>,
-    vtx: &Sender<VerdictMsg>,
+    vtx: &VerdictTx,
     exchange_key: &AuthKey,
     metrics: &WireMetrics,
 ) {
@@ -769,7 +809,7 @@ fn finish_if_merged(
     shards: usize,
     session: u64,
     ws: &mut WorkerSession,
-    vtx: &Sender<VerdictMsg>,
+    vtx: &VerdictTx,
     base: &AuthKey,
     metrics: &WireMetrics,
 ) -> bool {
@@ -791,12 +831,12 @@ fn send_verdict(
     session: u64,
     ws: &WorkerSession,
     result: Result<u64, DecodeError>,
-    vtx: &Sender<VerdictMsg>,
+    vtx: &VerdictTx,
     metrics: &WireMetrics,
 ) {
     metrics.record_stage(Stage::Verdict, ws.opened.elapsed());
     metrics.verdict_frames(1);
-    let _ = vtx.send(VerdictMsg {
+    vtx.send(VerdictMsg {
         conn: ws.conn,
         session: SessionId(session),
         payload: encode_verdict(&result),

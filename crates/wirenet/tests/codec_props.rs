@@ -9,7 +9,9 @@ use rand::{Rng, SeedableRng};
 use referee_protocol::{BitWriter, Message};
 use referee_simnet::{Envelope, SessionId};
 use referee_wirenet::frame::{HEADER_BYTES, MAX_BODY_BYTES, TAG_BYTES};
-use referee_wirenet::{decode_frame, encode_frame, AuthKey, WireError};
+use referee_wirenet::{
+    decode_frame, decode_frames, encode_frame, encode_frame_into, AuthKey, FrameKind, WireError,
+};
 
 /// An arbitrary payload from (value-seed, bit-width ≤ 96).
 fn payload(seed: u64, bits: usize) -> Message {
@@ -74,6 +76,65 @@ proptest! {
         let bytes = encode_frame(&key, &env);
         for cut in 0..bytes.len() {
             prop_assert_eq!(decode_frame(&key, &bytes[..cut]).unwrap(), None);
+        }
+    }
+
+    /// The batched read path's streaming invariant: a frame sequence
+    /// chopped at *arbitrary* byte boundaries (mid-length-prefix,
+    /// mid-header, mid-MAC — wherever the chunk sizes land) and decoded
+    /// incrementally with [`decode_frames`] yields exactly the frames of
+    /// whole-buffer delivery, in order; a torn final frame is never
+    /// consumed and completes once its bytes arrive.
+    #[test]
+    fn split_boundaries_decode_identically(
+        specs in proptest::collection::vec((any::<u64>(), 0usize..96, any::<u64>()), 1..6),
+        chunks in proptest::collection::vec(1usize..48, 1..24),
+        key_seed in any::<u64>(),
+    ) {
+        let key = AuthKey::from_seed(key_seed);
+        let mut wire = Vec::new();
+        let mut want = Vec::new();
+        for (i, (value_seed, bits, session)) in specs.iter().enumerate() {
+            let env = Envelope {
+                session: SessionId(*session),
+                round: i as u32,
+                from: i as u32 + 1,
+                to: 0,
+                payload: payload(*value_seed, *bits),
+            };
+            encode_frame_into(&key, FrameKind::Data, &env, &mut wire);
+            want.push(env);
+        }
+        let (whole, whole_used) = decode_frames(&key, &wire).unwrap();
+        prop_assert_eq!(whole_used, wire.len());
+        prop_assert_eq!(whole.len(), want.len());
+
+        // Deliver the same bytes in arbitrary chunks, draining consumed
+        // frames after every "read" exactly like the reactor does.
+        let mut buf: Vec<u8> = Vec::new();
+        let mut got = Vec::new();
+        let mut fed = 0usize;
+        for chunk in chunks {
+            let next = (fed + chunk).min(wire.len());
+            buf.extend_from_slice(&wire[fed..next]);
+            fed = next;
+            let (frames, used) = decode_frames(&key, &buf).unwrap();
+            prop_assert!(used <= buf.len(), "consumed past the buffer");
+            buf.drain(..used);
+            got.extend(frames);
+        }
+        // The torn tail (if the chunks ran out mid-frame) stays
+        // buffered; completing it must release the remaining frames.
+        buf.extend_from_slice(&wire[fed..]);
+        let (frames, used) = decode_frames(&key, &buf).unwrap();
+        buf.drain(..used);
+        got.extend(frames);
+        prop_assert!(buf.is_empty(), "complete delivery must leave nothing buffered");
+        prop_assert_eq!(got.len(), want.len());
+        for ((g, w), r) in got.iter().zip(&want).zip(&whole) {
+            prop_assert_eq!(g.kind, FrameKind::Data);
+            prop_assert_eq!(&g.envelope, w);
+            prop_assert_eq!(&g.envelope, &r.envelope);
         }
     }
 }

@@ -84,6 +84,11 @@ fn main() {
     assert_eq!(client_stats.mac_rejects, 0);
     assert!(server_stats.partial_frames > 0);
     assert!(server_stats.downlink_frames > 0);
+    assert!(
+        client_stats.frames_per_write() > 1.0,
+        "coalescing write path must batch frames per write(2) under load, got {:.2}",
+        client_stats.frames_per_write()
+    );
     println!("  all {sessions} wire verdicts match run_multiround and centralized BFS ✓");
     println!(
         "  {} per-round cross-shard partial frames, {} downlink frames streamed ✓",

@@ -78,6 +78,11 @@ fn main() {
     assert_eq!(server_stats.frames_received, expected_frames);
     assert_eq!(server_stats.mac_rejects, 0);
     assert_eq!(client_stats.mac_rejects, 0);
+    assert!(
+        client_stats.frames_per_write() > 1.0,
+        "coalescing write path must batch frames per write(2) under load, got {:.2}",
+        client_stats.frames_per_write()
+    );
     println!("  all {sessions} outcomes bit-for-bit identical to in-memory runs ✓");
     println!("  client: {client_stats}");
     println!("  server: {server_stats}");
