@@ -1,0 +1,140 @@
+//! E31: the **service catalog × workload families** grid — every
+//! registered catalog service swept over every seeded graph family.
+//!
+//! Two passes:
+//!
+//! * **grid**: each (service, family) cell runs its sessions through
+//!   the catalog entry's local replay (`CatalogEntry::run_local`, the
+//!   same node+referee halves a catalog-mode `FleetServer` serves),
+//!   recording sessions/s plus round/bit complexity per cell.
+//! * **mixed**: `Scheduler::sweep_mixed` interleaves three services in
+//!   one pool; every type-erased outcome is pinned bit-for-bit against
+//!   the catalog's local replay of the same session.
+//!
+//! Emits `BENCH_exp_catalog.json` (one record per grid cell, extras =
+//! round/bit complexity) for the bench trajectory.
+//!
+//! Run: `cargo run --release -p referee-bench --bin exp_catalog`
+
+use referee_bench::{render_table, section, write_bench_json_axis, BenchRecord};
+use referee_core::catalog::standard_catalog;
+use referee_degeneracy::AdaptiveDegeneracyProtocol;
+use referee_graph::generators::GraphFamily;
+use referee_graph::LabelledGraph;
+use referee_protocol::combinators::OneRoundAsMultiRound;
+use referee_protocol::multiround::BoruvkaConnectivity;
+use referee_protocol::service::{encode_bool_output, encode_graph_output};
+use referee_simnet::{MixedLane, Scheduler};
+use referee_sketches::SketchConnectivityProtocol;
+use std::time::Instant;
+
+const CAP: usize = 64;
+const SESSIONS: usize = 48;
+const SEED: u64 = 31;
+
+fn family_fleet(family: GraphFamily, sessions: usize) -> Vec<LabelledGraph> {
+    (0..sessions)
+        .map(|i| family.generate(14 + i % 12, SEED ^ (i as u64).rotate_left(7)))
+        .collect()
+}
+
+fn main() {
+    println!("# E31: catalog services × workload families");
+    println!("# expectation: every (service, family) cell completes within the round cap;");
+    println!("# adversarial families push their target service toward its worst-case rounds;");
+    println!("# mixed-pool outcomes are bit-identical to the catalog's local replay.");
+
+    let catalog = standard_catalog(SEED);
+    let families = GraphFamily::standard();
+    let scheduler = Scheduler::new(8, 8);
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // ---- grid: every service over every family ------------------------
+    for family in &families {
+        let graphs = family_fleet(*family, SESSIONS);
+        section(&format!("family {}: {} sessions", family.name(), SESSIONS));
+        let mut rows =
+            vec![["service", "sess/s", "rounds max", "uplink bits max", "link bits max"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()];
+        for entry in catalog.entries() {
+            let t0 = Instant::now();
+            let results = scheduler.run_indexed(SESSIONS, |i| {
+                entry.run_local(&graphs[i], CAP).expect("standard entries have a local half")
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            let mut rounds_max = 0usize;
+            let mut uplink_max = 0usize;
+            let mut link_max = 0usize;
+            for (verdict, stats) in &results {
+                assert!(
+                    verdict.is_some(),
+                    "{} on {} must finish within {CAP} rounds",
+                    entry.name(),
+                    family.name()
+                );
+                rounds_max = rounds_max.max(stats.rounds);
+                uplink_max = uplink_max.max(stats.max_uplink_bits);
+                link_max = link_max.max(stats.max_link_bits);
+            }
+            let rate = SESSIONS as f64 / wall;
+            records.push(
+                BenchRecord::new(
+                    &format!("{}/{}", entry.name(), family.name()),
+                    SESSIONS,
+                    rate,
+                )
+                .with_extra("rounds_max", rounds_max as f64)
+                .with_extra("uplink_bits_max", uplink_max as f64)
+                .with_extra("link_bits_max", link_max as f64),
+            );
+            rows.push(vec![
+                entry.name().to_string(),
+                format!("{rate:.0}"),
+                rounds_max.to_string(),
+                uplink_max.to_string(),
+                link_max.to_string(),
+            ]);
+        }
+        println!("{}", render_table(&rows));
+    }
+
+    // ---- mixed: three services interleaved in one scheduler pool ------
+    section("mixed pool: boruvka + adaptive-degeneracy + sketch-connectivity");
+    let graphs =
+        family_fleet(GraphFamily::BoundedTreewidth { width: 3, density: 0.8 }, SESSIONS);
+    let sketch = OneRoundAsMultiRound(SketchConnectivityProtocol::new(SEED));
+    let lanes = [
+        MixedLane::new("boruvka", &BoruvkaConnectivity, encode_bool_output),
+        MixedLane::new("adaptive-degeneracy", &AdaptiveDegeneracyProtocol, encode_graph_output),
+        MixedLane::new("sketch-connectivity", &sketch, encode_bool_output),
+    ];
+    let t0 = Instant::now();
+    let sweep = scheduler.sweep_mixed(&lanes, &graphs, CAP, None);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(sweep.aggregate.ok, SESSIONS);
+    for (i, report) in sweep.reports.iter().enumerate() {
+        let entry = catalog.get(&report.service).expect("lane names mirror the catalog");
+        let (truth, _) = entry.run_local(&graphs[i], CAP).expect("local half");
+        let truth = truth.expect("verdict");
+        let got = report.outcome.as_ref().expect("delivered").as_ref().expect("verdict");
+        assert_eq!(
+            (got.len_bits(), got.as_bytes()),
+            (truth.len_bits(), truth.as_bytes()),
+            "mixed-pool verdict diverged from local replay for {} session {i}",
+            report.service
+        );
+    }
+    println!(
+        "{} sessions across {} services: {:.0} sess/s, all outcomes pinned ✓",
+        SESSIONS,
+        lanes.len(),
+        SESSIONS as f64 / wall
+    );
+
+    let json =
+        write_bench_json_axis("exp_catalog", "sessions", &records).expect("write BENCH json");
+    println!("\nmachine-readable results: {}", json.display());
+    println!("catalog × family experiments completed ✓");
+}

@@ -93,18 +93,40 @@ pub struct BenchRecord {
     /// default) keeps the emitted JSON byte-identical to the historic
     /// format, so old trajectory files stay comparable.
     pub percentiles: Option<Percentiles>,
+    /// Extra numeric measurements emitted as additional JSON keys (in
+    /// order). Empty by default, which — like `percentiles: None` —
+    /// keeps the historic byte format. `exp_catalog` uses this for
+    /// round/bit complexity per (service, family) cell.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
     /// Convenience constructor.
     pub fn new(backend: &str, shards: usize, sessions_per_sec: f64) -> BenchRecord {
-        BenchRecord { backend: backend.into(), shards, sessions_per_sec, percentiles: None }
+        BenchRecord {
+            backend: backend.into(),
+            shards,
+            sessions_per_sec,
+            percentiles: None,
+            extras: Vec::new(),
+        }
     }
 
     /// Attach a tail-latency summary (builder style); `None` is a no-op
     /// so callers can pass [`Percentiles::from_hist`] straight through.
     pub fn with_percentiles(mut self, p: Option<Percentiles>) -> BenchRecord {
         self.percentiles = p;
+        self
+    }
+
+    /// Append an extra numeric measurement (builder style). Keys must
+    /// be plain identifiers — they are emitted into JSON unescaped.
+    pub fn with_extra(mut self, key: &str, value: f64) -> BenchRecord {
+        debug_assert!(
+            key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "extra key {key:?} must be a plain identifier"
+        );
+        self.extras.push((key.to_string(), value));
         self
     }
 }
@@ -138,6 +160,9 @@ pub fn bench_json_axis(name: &str, axis: &str, records: &[BenchRecord]) -> Strin
             "{{\"backend\":\"{}\",\"{axis}\":{},\"sessions_per_sec\":{:.1}",
             r.backend, r.shards, r.sessions_per_sec
         ));
+        for (key, value) in &r.extras {
+            out.push_str(&format!(",\"{key}\":{value:.1}"));
+        }
         if let Some(p) = r.percentiles {
             out.push_str(&format!(
                 ",\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}",

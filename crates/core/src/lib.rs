@@ -34,6 +34,7 @@
 //! | this crate | prelude, high-level helpers, §IV partition-connectivity |
 
 pub mod api;
+pub mod catalog;
 pub mod partition;
 
 pub use referee_degeneracy as degeneracy;
@@ -51,6 +52,7 @@ pub mod prelude {
         reconstruct_adaptive, reconstruct_bounded_degeneracy, reconstruct_forest,
         sketch_census, AdaptiveReport, ReconstructionReport, SketchCensus,
     };
+    pub use crate::catalog::standard_catalog;
     pub use crate::partition::{partition_connectivity, PartitionOutcome};
     pub use referee_degeneracy::{
         adaptive_reconstruct, AdaptiveDegeneracyProtocol, DecoderKind, DegeneracyProtocol,

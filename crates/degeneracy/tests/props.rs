@@ -181,3 +181,42 @@ proptest! {
         prop_assert_eq!(one.graph().unwrap(), adaptive.unwrap());
     }
 }
+
+// ---------------------------------------------------------------------------
+// OneRoundAsMultiRound equivalence: every one-round degeneracy protocol
+// rides the multi-round adapter without changing its answer.
+// ---------------------------------------------------------------------------
+
+use referee_graph::LabelledGraph;
+use referee_protocol::combinators::OneRoundAsMultiRound;
+use referee_protocol::multiround::run_multiround;
+use referee_protocol::OneRoundProtocol;
+
+fn adapter_matches_native<P>(p: &P, g: &LabelledGraph)
+where
+    P: OneRoundProtocol + Sync,
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    let native = run_protocol(p, g).output;
+    let (adapted, stats) = run_multiround(&OneRoundAsMultiRound(p), g, 4);
+    assert_eq!(adapted.expect("adapter finishes in one step"), native, "{}", p.name());
+    assert_eq!(stats.rounds, 1, "{}", p.name());
+    assert_eq!(stats.max_link_bits, 0, "{}", p.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn degeneracy_protocols_ride_the_multiround_adapter_unchanged(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        k in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.3, &mut rng);
+        adapter_matches_native(&ForestProtocol, &g);
+        adapter_matches_native(&DegeneracyProtocol::new(k), &g);
+        adapter_matches_native(&GeneralizedDegeneracyProtocol::new(k), &g);
+    }
+}

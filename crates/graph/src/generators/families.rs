@@ -1,0 +1,350 @@
+//! Seeded workload **families** for catalog-wide experiment sweeps.
+//!
+//! Every constructor here takes an explicit `seed: u64` (not a borrowed
+//! RNG): the same `(family, n, seed)` triple always yields the
+//! byte-identical graph — pinned by proptests via
+//! [`to_graph6`](crate::graph6::to_graph6) — so benchmark runs, wire
+//! soaks and local ground-truth replays all agree on their inputs
+//! without shipping graphs around.
+//!
+//! The families cover the axes the catalog experiments sweep:
+//!
+//! * [`bounded_treewidth`] — partial k-trees built along an explicit
+//!   elimination order, so `treewidth ≤ width` holds by construction;
+//! * [`power_law`] — Chung–Lu graphs with degree weights
+//!   `w_i ∝ i^(-1/(γ-1))`, the heavy-tailed regime where a few hubs
+//!   dominate uplink sizes;
+//! * [`disconnected`] — forced multi-component inputs (connectivity
+//!   services must answer *no*, spanning-forest services must not
+//!   invent cross edges);
+//! * per-protocol adversarial inputs: [`adversarial_boruvka`] (a
+//!   label-scrambled path maximising merge phases),
+//!   [`adversarial_degeneracy`] (a dense core hiding behind a long
+//!   peeling tail) and [`adversarial_sketch`] (two dense halves joined
+//!   by a single bridge the sketch sampler must not miss).
+//!
+//! [`GraphFamily`] enumerates them behind one `generate(n, seed)` entry
+//! point so a bench can iterate `GraphFamily::standard()` × services.
+
+use crate::generators::{degenerate, random, structured};
+use crate::{LabelledGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Mix the family discriminant into the user seed so two families given
+/// the same seed do not walk identical RNG streams.
+fn rng_for(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt).rotate_left(17),
+    )
+}
+
+/// Scramble vertex labels with a seeded permutation so construction
+/// order is not revealed by the labelling.
+fn scramble(g: &LabelledGraph, rng: &mut StdRng) -> LabelledGraph {
+    let mut perm: Vec<VertexId> = (1..=g.n() as VertexId).collect();
+    perm.shuffle(rng);
+    g.relabel(&perm)
+}
+
+/// Random partial k-tree: treewidth ≤ `width` **by construction**.
+///
+/// A k-tree is grown along an explicit elimination order (each new
+/// vertex joined to an existing k-clique), then each edge survives with
+/// probability `density`. Subgraphs of k-trees are exactly the graphs
+/// of treewidth ≤ k, so thinning never breaks the bound — it only
+/// hides the witnessing order from the referee.
+pub fn bounded_treewidth(n: usize, width: usize, density: f64, seed: u64) -> LabelledGraph {
+    assert!(width >= 1, "treewidth bound must be >= 1");
+    assert!(n > width, "partial k-tree needs n > width (n={n}, width={width})");
+    let mut rng = rng_for(seed, 0x07u64.wrapping_add(width as u64));
+    let full = degenerate::k_tree(n, width, &mut rng);
+    let kept = full.edges().filter(|_| density >= 1.0 || rng.gen_bool(density.clamp(0.0, 1.0)));
+    let thin = LabelledGraph::from_edges(n, kept.map(|e| (e.0, e.1)))
+        .expect("subset of simple edges stays simple");
+    scramble(&thin, &mut rng)
+}
+
+/// Chung–Lu power-law graph: vertex `i` gets weight
+/// `w_i ∝ (i + 1)^(-1/(γ - 1))`, edge `{i, j}` appears independently
+/// with probability `min(1, w_i · w_j / Σw)`. Smaller `gamma` (must be
+/// > 2) means a heavier tail — a few hubs of very high degree.
+pub fn power_law(n: usize, gamma: f64, seed: u64) -> LabelledGraph {
+    assert!(gamma > 2.0, "power-law exponent must be > 2 (got {gamma})");
+    let mut rng = rng_for(seed, 0x1a);
+    let exponent = 1.0 / (gamma - 1.0);
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-exponent)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    // Scale weights so the expected average degree is ~4 (capped for
+    // tiny n), keeping the sweep's session cost comparable across
+    // exponents while the *shape* of the degree sequence varies.
+    let target_avg = 4.0_f64.min((n.saturating_sub(1)) as f64);
+    let scale = if raw_sum > 0.0 { (target_avg * n as f64 / raw_sum).sqrt() } else { 0.0 };
+    let w: Vec<f64> = raw.iter().map(|x| x * scale).collect();
+    let total: f64 = w.iter().sum();
+    let mut g = LabelledGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = (w[i] * w[j] / total.max(f64::MIN_POSITIVE)).min(1.0);
+            if rng.gen_bool(p) {
+                g.add_edge((i + 1) as VertexId, (j + 1) as VertexId).expect("fresh edge");
+            }
+        }
+    }
+    scramble(&g, &mut rng)
+}
+
+/// Exactly `parts` connected components: random trees (plus a few
+/// random chords) of near-equal size, disjoint-unioned and then
+/// label-scrambled so components interleave in the label space instead
+/// of forming contiguous runs.
+pub fn disconnected(n: usize, parts: usize, seed: u64) -> LabelledGraph {
+    assert!(parts >= 1 && parts <= n, "need 1 <= parts <= n (n={n}, parts={parts})");
+    let mut rng = rng_for(seed, 0x2bu64.wrapping_add(parts as u64));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut g = LabelledGraph::new(0);
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        let mut component = random::random_tree(size, &mut rng);
+        // A few chords so components are not all trees (spanning-forest
+        // services must still pick n_c - 1 edges per component).
+        if size >= 3 {
+            for _ in 0..(size / 4) {
+                let u = rng.gen_range(1..=size as VertexId);
+                let v = rng.gen_range(1..=size as VertexId);
+                if u != v && !component.has_edge(u, v) {
+                    component.add_edge(u, v).expect("checked fresh");
+                }
+            }
+        }
+        g = g.disjoint_union(&component);
+    }
+    scramble(&g, &mut rng)
+}
+
+/// Borůvka's worst case: a single path. Every merge phase only doubles
+/// component sizes along the line, so the round count hits the
+/// `⌈log₂ n⌉` ceiling; labels are scrambled so fragment IDs carry no
+/// positional hints.
+pub fn adversarial_boruvka(n: usize, seed: u64) -> LabelledGraph {
+    let mut rng = rng_for(seed, 0x3c);
+    scramble(&structured::path(n), &mut rng)
+}
+
+/// Adversarial input for peel-based degeneracy protocols: a dense
+/// `k_core` (a k-tree on half the vertices, degeneracy exactly `k`)
+/// hiding behind a long path tail. Degree-1 peeling must walk the whole
+/// tail, round after round, before the core's structure is even
+/// reachable — maximising adaptive-protocol round counts while the
+/// degeneracy stays exactly `max(k, 1)`.
+pub fn adversarial_degeneracy(n: usize, k: usize, seed: u64) -> LabelledGraph {
+    assert!(k >= 1, "degeneracy target must be >= 1");
+    let core_n = (n / 2).max(k + 1);
+    assert!(core_n < n, "need room for a tail (n={n}, k={k})");
+    let mut rng = rng_for(seed, 0x4du64.wrapping_add(k as u64));
+    let core = degenerate::k_tree(core_n, k, &mut rng);
+    let tail = structured::path(n - core_n);
+    let mut g = core.disjoint_union(&tail);
+    // Attach the tail's first vertex to a random core vertex.
+    let anchor = rng.gen_range(1..=core_n as VertexId);
+    g.add_edge(anchor, (core_n + 1) as VertexId).expect("cross edge is fresh");
+    scramble(&g, &mut rng)
+}
+
+/// Adversarial input for sketch-based connectivity: two G(n/2, ½)
+/// halves joined by a **single** bridge. The verdict flips on one edge
+/// out of ~n²/8 — exactly the needle an ℓ₀-sampling sketch must
+/// recover from a sea of dense intra-half noise.
+pub fn adversarial_sketch(n: usize, seed: u64) -> LabelledGraph {
+    assert!(n >= 2, "bridge needs two endpoints (n={n})");
+    let mut rng = rng_for(seed, 0x5e);
+    // Each half is a random spanning tree (connected by construction)
+    // densified with ~p = ½ chords, so the only cut edge is the bridge.
+    let mut dense_half = |size: usize| {
+        let mut half = random::random_tree(size, &mut rng);
+        for u in 1..=size as VertexId {
+            for v in (u + 1)..=size as VertexId {
+                if !half.has_edge(u, v) && rng.gen_bool(0.5) {
+                    half.add_edge(u, v).expect("checked fresh");
+                }
+            }
+        }
+        half
+    };
+    let left_n = n / 2;
+    let left = dense_half(left_n);
+    let right = dense_half(n - left_n);
+    let mut g = left.disjoint_union(&right);
+    let u = rng.gen_range(1..=left_n.max(1) as VertexId);
+    let v = rng.gen_range((left_n + 1) as VertexId..=n as VertexId);
+    g.add_edge(u, v).expect("cross-half edge is fresh");
+    scramble(&g, &mut rng)
+}
+
+/// One axis of the catalog experiment sweep: a named, seeded workload
+/// family. `generate(n, seed)` is deterministic per variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphFamily {
+    /// [`bounded_treewidth`] with this width bound and edge density.
+    BoundedTreewidth {
+        /// Treewidth bound `k` (partial k-tree).
+        width: usize,
+        /// Probability each k-tree edge survives thinning.
+        density: f64,
+    },
+    /// [`power_law`] with this exponent.
+    PowerLaw {
+        /// Tail exponent γ > 2; smaller is heavier-tailed.
+        gamma: f64,
+    },
+    /// [`disconnected`] with this many components.
+    Disconnected {
+        /// Exact number of connected components.
+        parts: usize,
+    },
+    /// [`adversarial_boruvka`].
+    AdversarialBoruvka,
+    /// [`adversarial_degeneracy`] with this degeneracy target.
+    AdversarialDegeneracy {
+        /// Degeneracy of the hidden core.
+        k: usize,
+    },
+    /// [`adversarial_sketch`].
+    AdversarialSketch,
+}
+
+impl GraphFamily {
+    /// Stable machine-readable name (used as the benchmark axis label).
+    pub fn name(&self) -> String {
+        match self {
+            GraphFamily::BoundedTreewidth { width, density } => {
+                format!("treewidth{width}-d{density:.2}")
+            }
+            GraphFamily::PowerLaw { gamma } => format!("powerlaw{gamma:.1}"),
+            GraphFamily::Disconnected { parts } => format!("disconnected{parts}"),
+            GraphFamily::AdversarialBoruvka => "adversarial-boruvka".into(),
+            GraphFamily::AdversarialDegeneracy { k } => format!("adversarial-degeneracy{k}"),
+            GraphFamily::AdversarialSketch => "adversarial-sketch".into(),
+        }
+    }
+
+    /// Generate the family's graph on `n` vertices. Deterministic: the
+    /// same `(self, n, seed)` always yields the byte-identical graph.
+    pub fn generate(&self, n: usize, seed: u64) -> LabelledGraph {
+        match *self {
+            GraphFamily::BoundedTreewidth { width, density } => {
+                bounded_treewidth(n, width, density, seed)
+            }
+            GraphFamily::PowerLaw { gamma } => power_law(n, gamma, seed),
+            GraphFamily::Disconnected { parts } => disconnected(n, parts, seed),
+            GraphFamily::AdversarialBoruvka => adversarial_boruvka(n, seed),
+            GraphFamily::AdversarialDegeneracy { k } => adversarial_degeneracy(n, k, seed),
+            GraphFamily::AdversarialSketch => adversarial_sketch(n, seed),
+        }
+    }
+
+    /// The standard sweep set: every family the `exp_catalog` bench
+    /// crosses with every catalog service.
+    pub fn standard() -> Vec<GraphFamily> {
+        vec![
+            GraphFamily::BoundedTreewidth { width: 3, density: 0.8 },
+            GraphFamily::PowerLaw { gamma: 2.5 },
+            GraphFamily::Disconnected { parts: 3 },
+            GraphFamily::AdversarialBoruvka,
+            GraphFamily::AdversarialDegeneracy { k: 3 },
+            GraphFamily::AdversarialSketch,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::graph6::to_graph6;
+
+    #[test]
+    fn bounded_treewidth_honours_width_bound() {
+        for width in 1..=4 {
+            for seed in 0..4 {
+                let g = bounded_treewidth(24, width, 0.7, seed);
+                // treewidth ≤ w ⇒ degeneracy ≤ w; certified directly.
+                assert!(
+                    degenerate::check_degeneracy_at_most(&g, width),
+                    "width={width} seed={seed}"
+                );
+            }
+        }
+        // Exact treewidth check on a size the exact solver handles.
+        let g = bounded_treewidth(10, 2, 1.0, 7);
+        assert!(algo::treewidth_exact(&g) <= 2);
+    }
+
+    #[test]
+    fn power_law_exponent_shapes_the_tail() {
+        let heavy = power_law(300, 2.2, 42);
+        let light = power_law(300, 3.5, 42);
+        let max_deg = |g: &LabelledGraph| {
+            g.vertices().map(|v| g.neighbourhood(v).len()).max().unwrap_or(0)
+        };
+        assert!(
+            max_deg(&heavy) > max_deg(&light),
+            "γ=2.2 should grow bigger hubs than γ=3.5 (got {} vs {})",
+            max_deg(&heavy),
+            max_deg(&light)
+        );
+    }
+
+    #[test]
+    fn disconnected_has_exactly_the_requested_parts() {
+        for parts in 1..=5 {
+            let g = disconnected(23, parts, 9);
+            assert_eq!(algo::component_count(&g), parts, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn adversarial_boruvka_is_a_scrambled_path() {
+        let g = adversarial_boruvka(33, 5);
+        assert_eq!(g.m(), 32);
+        assert!(algo::is_connected(&g));
+        assert!(algo::is_forest(&g));
+    }
+
+    #[test]
+    fn adversarial_degeneracy_pins_the_core_degeneracy() {
+        for k in 1..=3 {
+            let g = adversarial_degeneracy(40, k, 11);
+            assert!(algo::is_connected(&g), "k={k}");
+            assert!(degenerate::check_degeneracy_at_most(&g, k), "k={k}");
+            assert!(!degenerate::check_degeneracy_at_most(&g, k - 1), "k={k} should be tight");
+        }
+    }
+
+    #[test]
+    fn adversarial_sketch_hinges_on_one_bridge() {
+        let g = adversarial_sketch(30, 3);
+        assert!(algo::is_connected(&g));
+        // Exactly one cross-half edge: the min cut is that bridge.
+        assert_eq!(algo::global_min_cut(&g).expect("n >= 2").weight, 1);
+    }
+
+    #[test]
+    fn every_standard_family_is_seed_deterministic() {
+        for fam in GraphFamily::standard() {
+            for seed in [0u64, 1, 0xdead_beef] {
+                let a = to_graph6(&fam.generate(20, seed));
+                let b = to_graph6(&fam.generate(20, seed));
+                assert_eq!(a, b, "{} seed={seed}", fam.name());
+            }
+            // Different seeds should (overwhelmingly) differ.
+            let a = to_graph6(&fam.generate(20, 1));
+            let b = to_graph6(&fam.generate(20, 2));
+            if fam != GraphFamily::AdversarialBoruvka {
+                assert_ne!(a, b, "{} should vary with the seed", fam.name());
+            }
+        }
+    }
+}

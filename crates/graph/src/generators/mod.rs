@@ -9,18 +9,27 @@
 //!   model), incremental square-free (Theorem 1's class).
 //! * [`degenerate`] — random k-degenerate graphs with a known elimination
 //!   order, and k-trees (treewidth exactly k), the classes of Theorem 5.
+//! * [`families`] — seeded workload families for catalog-wide sweeps
+//!   (bounded treewidth via elimination orders, Chung–Lu power law,
+//!   forced-disconnected, per-protocol adversarial inputs), enumerable
+//!   through [`GraphFamily`].
 //! * [`planar`] — planar-by-construction families (Apollonian networks,
 //!   triangulations, outerplanar, series-parallel, wheels) exercising the
 //!   §III claim "planar graphs have degeneracy 5", plus circulants and
 //!   complete binary trees as companions.
 
 pub mod degenerate;
+pub mod families;
 pub mod planar;
 pub mod preferential;
 pub mod random;
 pub mod structured;
 
 pub use degenerate::{check_degeneracy_at_most, k_tree, random_k_degenerate};
+pub use families::{
+    adversarial_boruvka, adversarial_degeneracy, adversarial_sketch, bounded_treewidth,
+    disconnected, power_law, GraphFamily,
+};
 pub use planar::{
     circulant, complete_binary_tree, fan, random_apollonian, random_outerplanar, random_planar,
     random_planar_triangulation, random_series_parallel, wheel,

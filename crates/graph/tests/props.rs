@@ -328,3 +328,40 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Workload families are pure functions of `(family, n, seed)`:
+    /// regenerating must yield the byte-identical graph6 string, and the
+    /// advertised family parameters must hold on every sample.
+    #[test]
+    fn workload_families_are_seed_deterministic(
+        n in 10usize..40,
+        seed in any::<u64>(),
+    ) {
+        for family in generators::GraphFamily::standard() {
+            let a = graph6::to_graph6(&family.generate(n, seed));
+            let b = graph6::to_graph6(&family.generate(n, seed));
+            prop_assert_eq!(&a, &b, "{} must be deterministic per seed", family.name());
+        }
+    }
+
+    /// Family parameters are honoured on arbitrary seeds, not just the
+    /// fixed ones the unit tests use.
+    #[test]
+    fn workload_family_parameters_hold(
+        n in 12usize..36,
+        seed in any::<u64>(),
+        width in 1usize..4,
+        parts in 1usize..5,
+    ) {
+        let tw = generators::bounded_treewidth(n, width, 0.8, seed);
+        prop_assert!(generators::check_degeneracy_at_most(&tw, width));
+        let dis = generators::disconnected(n, parts, seed);
+        prop_assert_eq!(algo::component_count(&dis), parts);
+        let adv = generators::adversarial_sketch(n, seed);
+        prop_assert!(algo::is_connected(&adv));
+        prop_assert_eq!(algo::global_min_cut(&adv).expect("n >= 2").weight, 1);
+    }
+}

@@ -1,0 +1,864 @@
+//! Protocol **combinators**: build new [`MultiRoundProtocol`]s out of
+//! existing ones without touching the referee runner.
+//!
+//! Three shapes cover the compositions the workspace needs:
+//!
+//! * [`Chain<P, Q>`] — run `P` to completion, then `Q`, in one session:
+//!   round counters concatenate (`rounds = rounds(P) + rounds(Q)`), the
+//!   output is the pair of both outputs, and `P`'s output can seed `Q`'s
+//!   referee state ([`Chain::with_bridge`] — "output of `P` becomes
+//!   setup input of `Q`").
+//! * [`Extend<P, X>`] — piggyback an extra per-round uplink payload (an
+//!   [`UplinkExtension`]) onto `P`'s messages. The base protocol's
+//!   verdict is untouched: honest runs produce a `.0` bit-for-bit equal
+//!   to running `P` alone (pinned by property tests).
+//! * [`OneRoundAsMultiRound<P>`] — any [`OneRoundProtocol`] as a
+//!   1-round [`MultiRoundProtocol`]: `local` becomes the round-1 uplink
+//!   and `global` the round-1 referee step, so every one-round protocol
+//!   in the workspace can ride the multi-round wire service unchanged.
+//!
+//! # Wire discipline
+//!
+//! `Chain` adds **one bit** to every phase-1 downlink (the phase tag:
+//! `0` = `P`'s downlink follows, `1` = switch to `Q`), so both sides
+//! change phase in lockstep without any out-of-band signal; phase-2
+//! downlinks are raw `Q` downlinks. Uplinks and node→node links are
+//! never modified, and `P`'s final-round link messages are discarded
+//! exactly as a sequential run discards them (the runner never calls
+//! `node_receive` for the round the referee finished on).
+//!
+//! `Extend` frames every uplink as `[extra_len:16][extra][base]`, so
+//! the referee can split without knowing the base protocol's message
+//! layout. Extras are capped at [`MAX_EXTENSION_BITS`]; a malformed
+//! split records the failure in the extension slot of the output and
+//! feeds the *raw* uplink to the base protocol, whose own validation
+//! fails closed — corruption can suppress the census, never forge a
+//! base verdict.
+
+use crate::model::{NodeView, OneRoundProtocol};
+use crate::multiround::{MultiRoundProtocol, RefereeStep};
+use crate::{BitWriter, DecodeError, Message};
+use referee_graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Chain
+// ---------------------------------------------------------------------------
+
+/// Referee-side bridge for [`Chain::with_bridge`]: called at the switch
+/// with `P`'s output, the session size `n`, and `Q`'s freshly
+/// initialized referee state.
+pub type ChainBridge<P, Q> =
+    fn(&<P as MultiRoundProtocol>::Output, usize, &mut <Q as MultiRoundProtocol>::RefereeState);
+
+/// Sequential composition: run `P` to its verdict, then `Q`, inside one
+/// multi-round session. See the module docs for the wire discipline.
+pub struct Chain<P: MultiRoundProtocol, Q: MultiRoundProtocol> {
+    first: P,
+    second: Q,
+    /// Seeds `Q`'s referee state from `P`'s output at the switch.
+    bridge: Option<ChainBridge<P, Q>>,
+}
+
+impl<P: MultiRoundProtocol + Clone, Q: MultiRoundProtocol + Clone> Clone for Chain<P, Q> {
+    fn clone(&self) -> Self {
+        Chain { first: self.first.clone(), second: self.second.clone(), bridge: self.bridge }
+    }
+}
+
+impl<P: MultiRoundProtocol, Q: MultiRoundProtocol> Chain<P, Q> {
+    /// Chain `first` then `second`; `second` starts from its own
+    /// `referee_init`, independent of `first`'s output.
+    pub fn new(first: P, second: Q) -> Chain<P, Q> {
+        Chain { first, second, bridge: None }
+    }
+
+    /// Chain with a referee-side **bridge**: at the switch, `bridge` is
+    /// called on `P`'s output and `Q`'s freshly initialized referee
+    /// state, letting the first phase's result parameterize the second
+    /// (the "output of `P` becomes setup input of `Q`" contract).
+    pub fn with_bridge(first: P, second: Q, bridge: ChainBridge<P, Q>) -> Chain<P, Q> {
+        Chain { first, second, bridge: Some(bridge) }
+    }
+}
+
+/// Node state for [`Chain`]: which phase this node is in.
+pub enum ChainNodeState<A, B> {
+    /// Still running `P`.
+    First(A),
+    /// Running `Q`; `base` is the global round `Q`'s round 1 is offset
+    /// from (the switch round).
+    Second {
+        /// `Q`'s node state.
+        inner: B,
+        /// The global round at which the switch downlink arrived.
+        base: usize,
+    },
+}
+
+/// Referee state for [`Chain`].
+pub struct ChainRefereeState<P: MultiRoundProtocol, Q: MultiRoundProtocol> {
+    first: P::RefereeState,
+    second: Option<Q::RefereeState>,
+    first_out: Option<P::Output>,
+    /// 0 while `P` runs; the global round of `P`'s verdict afterwards.
+    switch_round: usize,
+}
+
+/// Prepend the 1-bit phase tag to a phase-1 downlink.
+fn tag_downlink(tag: bool, inner: &Message) -> Message {
+    let mut w = BitWriter::new();
+    w.push_bit(tag);
+    inner.append_to(&mut w);
+    Message::from_writer(w)
+}
+
+impl<P, Q> MultiRoundProtocol for Chain<P, Q>
+where
+    P: MultiRoundProtocol,
+    Q: MultiRoundProtocol,
+{
+    type Output = (P::Output, Q::Output);
+    type NodeState = ChainNodeState<P::NodeState, Q::NodeState>;
+    type RefereeState = ChainRefereeState<P, Q>;
+
+    fn name(&self) -> String {
+        format!("chain({} → {})", self.first.name(), self.second.name())
+    }
+
+    fn node_init(&self, view: NodeView<'_>) -> Self::NodeState {
+        ChainNodeState::First(self.first.node_init(view))
+    }
+
+    fn referee_init(&self, n: usize) -> Self::RefereeState {
+        ChainRefereeState {
+            first: self.first.referee_init(n),
+            second: None,
+            first_out: None,
+            switch_round: 0,
+        }
+    }
+
+    fn node_send(
+        &self,
+        state: &Self::NodeState,
+        view: NodeView<'_>,
+        round: usize,
+    ) -> (Vec<(VertexId, Message)>, Message) {
+        match state {
+            ChainNodeState::First(s) => self.first.node_send(s, view, round),
+            ChainNodeState::Second { inner, base } => {
+                self.second.node_send(inner, view, round - base)
+            }
+        }
+    }
+
+    fn referee_step(
+        &self,
+        state: &mut Self::RefereeState,
+        n: usize,
+        round: usize,
+        uplinks: &[Message],
+    ) -> RefereeStep<Self::Output> {
+        if state.switch_round == 0 {
+            match self.first.referee_step(&mut state.first, n, round, uplinks) {
+                RefereeStep::Continue(downs) => RefereeStep::Continue(
+                    downs.iter().map(|d| tag_downlink(false, d)).collect(),
+                ),
+                RefereeStep::Done(out) => {
+                    // Switch: init Q's referee (optionally seeded from
+                    // P's output) and tell every node via the 1-bit
+                    // switch downlink. P's final-round neighbour
+                    // messages die here, matching a sequential run.
+                    let mut q_state = self.second.referee_init(n);
+                    if let Some(bridge) = self.bridge {
+                        bridge(&out, n, &mut q_state);
+                    }
+                    state.second = Some(q_state);
+                    state.first_out = Some(out);
+                    state.switch_round = round;
+                    RefereeStep::Continue(vec![tag_downlink(true, &Message::empty()); n])
+                }
+            }
+        } else {
+            let q_round = round - state.switch_round;
+            let q_state = state.second.as_mut().expect("phase 2 has a Q referee state");
+            match self.second.referee_step(q_state, n, q_round, uplinks) {
+                RefereeStep::Continue(downs) => RefereeStep::Continue(downs),
+                RefereeStep::Done(q_out) => {
+                    let p_out =
+                        state.first_out.take().expect("phase 2 holds P's output exactly once");
+                    RefereeStep::Done((p_out, q_out))
+                }
+            }
+        }
+    }
+
+    fn node_receive(
+        &self,
+        state: &mut Self::NodeState,
+        view: NodeView<'_>,
+        round: usize,
+        from_neighbours: &[(VertexId, Message)],
+        from_referee: &Message,
+    ) {
+        let next = match state {
+            ChainNodeState::First(s) => {
+                let mut r = from_referee.reader();
+                let switch = r.read_bit().expect("chain downlink carries its phase tag");
+                if switch {
+                    Some(ChainNodeState::Second {
+                        inner: self.second.node_init(view),
+                        base: round,
+                    })
+                } else {
+                    let mut w = BitWriter::new();
+                    r.copy_bits_into(&mut w, r.remaining())
+                        .expect("remaining bits always copy");
+                    let inner_down = Message::from_writer(w);
+                    self.first.node_receive(s, view, round, from_neighbours, &inner_down);
+                    None
+                }
+            }
+            ChainNodeState::Second { inner, base } => {
+                self.second.node_receive(
+                    inner,
+                    view,
+                    round - *base,
+                    from_neighbours,
+                    from_referee,
+                );
+                None
+            }
+        };
+        if let Some(next) = next {
+            *state = next;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extend
+// ---------------------------------------------------------------------------
+
+/// Bit width of the extra-payload length prefix every [`Extend`] uplink
+/// carries.
+pub const EXTENSION_LEN_BITS: u32 = 16;
+
+/// The largest extra payload an [`Extend`] uplink can carry, in bits
+/// (everything the [`EXTENSION_LEN_BITS`]-bit prefix can count).
+pub const MAX_EXTENSION_BITS: usize = (1 << EXTENSION_LEN_BITS) - 1;
+
+/// An extra per-round uplink payload piggybacked by [`Extend`]: each
+/// node contributes [`extra`](UplinkExtension::extra) bits per round
+/// and the referee folds them into a running
+/// [`Summary`](UplinkExtension::Summary), entirely outside the base
+/// protocol's view.
+pub trait UplinkExtension {
+    /// What the referee accumulates across rounds and senders.
+    type Summary;
+
+    /// Extension name for reports.
+    fn name(&self) -> String;
+
+    /// Fresh summary for a size-`n` session.
+    fn init(&self, n: usize) -> Self::Summary;
+
+    /// The extra bits node `view.id` contributes in `round`. Must stay
+    /// within [`MAX_EXTENSION_BITS`].
+    fn extra(&self, view: NodeView<'_>, round: usize) -> Message;
+
+    /// Fold one node's round-`round` extra into the summary. Reject
+    /// malformed extras — the error is reported in the extension slot
+    /// of the session output (the base verdict is unaffected).
+    fn absorb(
+        &self,
+        summary: &mut Self::Summary,
+        n: usize,
+        round: usize,
+        sender: VertexId,
+        extra: &Message,
+    ) -> Result<(), DecodeError>;
+}
+
+/// Piggyback extension `X` onto base protocol `P`. The output pairs
+/// `P`'s untouched verdict with the extension summary (or the first
+/// decode failure the extension hit).
+#[derive(Debug, Clone)]
+pub struct Extend<P, X> {
+    base: P,
+    extension: X,
+}
+
+impl<P: MultiRoundProtocol, X: UplinkExtension> Extend<P, X> {
+    /// Extend `base`'s uplinks with `extension`'s per-round payloads.
+    pub fn new(base: P, extension: X) -> Extend<P, X> {
+        Extend { base, extension }
+    }
+}
+
+/// Referee state for [`Extend`].
+pub struct ExtendRefereeState<R, S> {
+    base: R,
+    summary: Option<Result<S, DecodeError>>,
+}
+
+/// Split one extended uplink into `(extra, base)` parts.
+fn split_extended(up: &Message) -> Result<(Message, Message), DecodeError> {
+    let mut r = up.reader();
+    let extra_len = r.read_bits(EXTENSION_LEN_BITS)? as usize;
+    if r.remaining() < extra_len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut we = BitWriter::new();
+    r.copy_bits_into(&mut we, extra_len)?;
+    let mut wb = BitWriter::new();
+    r.copy_bits_into(&mut wb, r.remaining())?;
+    Ok((Message::from_writer(we), Message::from_writer(wb)))
+}
+
+impl<P, X> MultiRoundProtocol for Extend<P, X>
+where
+    P: MultiRoundProtocol,
+    X: UplinkExtension,
+{
+    type Output = (P::Output, Result<X::Summary, DecodeError>);
+    type NodeState = P::NodeState;
+    type RefereeState = ExtendRefereeState<P::RefereeState, X::Summary>;
+
+    fn name(&self) -> String {
+        format!("{} + {}", self.base.name(), self.extension.name())
+    }
+
+    fn node_init(&self, view: NodeView<'_>) -> Self::NodeState {
+        self.base.node_init(view)
+    }
+
+    fn referee_init(&self, n: usize) -> Self::RefereeState {
+        ExtendRefereeState {
+            base: self.base.referee_init(n),
+            summary: Some(Ok(self.extension.init(n))),
+        }
+    }
+
+    fn node_send(
+        &self,
+        state: &Self::NodeState,
+        view: NodeView<'_>,
+        round: usize,
+    ) -> (Vec<(VertexId, Message)>, Message) {
+        let (links, base_up) = self.base.node_send(state, view, round);
+        let extra = self.extension.extra(view, round);
+        assert!(
+            extra.len_bits() <= MAX_EXTENSION_BITS,
+            "extension payload of {} bits exceeds the {MAX_EXTENSION_BITS}-bit cap",
+            extra.len_bits()
+        );
+        let mut w = BitWriter::new();
+        w.write_bits(extra.len_bits() as u64, EXTENSION_LEN_BITS);
+        extra.append_to(&mut w);
+        base_up.append_to(&mut w);
+        (links, Message::from_writer(w))
+    }
+
+    fn referee_step(
+        &self,
+        state: &mut Self::RefereeState,
+        n: usize,
+        round: usize,
+        uplinks: &[Message],
+    ) -> RefereeStep<Self::Output> {
+        let mut base_uplinks = Vec::with_capacity(uplinks.len());
+        for (i, up) in uplinks.iter().enumerate() {
+            match split_extended(up) {
+                Ok((extra, base_up)) => {
+                    if let Some(Ok(summary)) = state.summary.as_mut() {
+                        if let Err(e) = self.extension.absorb(
+                            summary,
+                            n,
+                            round,
+                            (i + 1) as VertexId,
+                            &extra,
+                        ) {
+                            state.summary = Some(Err(e));
+                        }
+                    }
+                    base_uplinks.push(base_up);
+                }
+                Err(e) => {
+                    // Unsplittable uplink: record the failure in the
+                    // extension slot and hand the raw bits to the base
+                    // protocol, whose own validation fails closed.
+                    if matches!(state.summary, Some(Ok(_))) {
+                        state.summary = Some(Err(e));
+                    }
+                    base_uplinks.push(up.clone());
+                }
+            }
+        }
+        match self.base.referee_step(&mut state.base, n, round, &base_uplinks) {
+            RefereeStep::Continue(downs) => RefereeStep::Continue(downs),
+            RefereeStep::Done(out) => {
+                let summary = state.summary.take().expect("summary delivered exactly once");
+                RefereeStep::Done((out, summary))
+            }
+        }
+    }
+
+    fn node_receive(
+        &self,
+        state: &mut Self::NodeState,
+        view: NodeView<'_>,
+        round: usize,
+        from_neighbours: &[(VertexId, Message)],
+        from_referee: &Message,
+    ) {
+        self.base.node_receive(state, view, round, from_neighbours, from_referee);
+    }
+}
+
+/// The canonical example extension: every node reports its degree in
+/// round 1 (width `bits_for(n)`); the summary is the degree total,
+/// which the handshake lemma makes `2·|E|` — a free edge census on any
+/// base protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeCensus;
+
+impl UplinkExtension for DegreeCensus {
+    type Summary = u64;
+
+    fn name(&self) -> String {
+        "degree census".into()
+    }
+
+    fn init(&self, _n: usize) -> u64 {
+        0
+    }
+
+    fn extra(&self, view: NodeView<'_>, round: usize) -> Message {
+        if round != 1 {
+            return Message::empty();
+        }
+        let mut w = BitWriter::new();
+        w.write_bits(view.degree() as u64, crate::bits_for(view.n));
+        Message::from_writer(w)
+    }
+
+    fn absorb(
+        &self,
+        summary: &mut u64,
+        n: usize,
+        round: usize,
+        sender: VertexId,
+        extra: &Message,
+    ) -> Result<(), DecodeError> {
+        if round != 1 {
+            if extra.len_bits() != 0 {
+                return Err(DecodeError::Invalid(format!(
+                    "node {sender} sent census bits after round 1"
+                )));
+            }
+            return Ok(());
+        }
+        let mut r = extra.reader();
+        let degree = r.read_bits(crate::bits_for(n))?;
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid(format!(
+                "node {sender} sent trailing census bits"
+            )));
+        }
+        if degree as usize >= n.max(1) {
+            return Err(DecodeError::OutOfRange(format!(
+                "node {sender} reported degree {degree} on {n} nodes"
+            )));
+        }
+        *summary += degree;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OneRoundAsMultiRound
+// ---------------------------------------------------------------------------
+
+/// Any [`OneRoundProtocol`] as a 1-round [`MultiRoundProtocol`]: the
+/// round-1 uplink is `Γ^l(view)` and the round-1 referee step is
+/// `Γ^g(n, uplinks)` — always `Done` after one step, so the adapter's
+/// output equals the native one-round path bit for bit (pinned by
+/// equivalence tests in every protocol crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneRoundAsMultiRound<P>(pub P);
+
+impl<P: OneRoundProtocol> MultiRoundProtocol for OneRoundAsMultiRound<P> {
+    type Output = P::Output;
+    type NodeState = ();
+    type RefereeState = ();
+
+    fn name(&self) -> String {
+        format!("{} (as multi-round)", self.0.name())
+    }
+
+    fn node_init(&self, _view: NodeView<'_>) {}
+
+    fn referee_init(&self, _n: usize) {}
+
+    fn node_send(
+        &self,
+        _state: &(),
+        view: NodeView<'_>,
+        round: usize,
+    ) -> (Vec<(VertexId, Message)>, Message) {
+        // The referee finishes at round 1; later sends are unreachable
+        // in a conforming runner but defensively harmless.
+        let uplink = if round == 1 { self.0.local(view) } else { Message::empty() };
+        (Vec::new(), uplink)
+    }
+
+    fn referee_step(
+        &self,
+        _state: &mut (),
+        n: usize,
+        _round: usize,
+        uplinks: &[Message],
+    ) -> RefereeStep<P::Output> {
+        RefereeStep::Done(self.0.global(n, uplinks))
+    }
+
+    fn node_receive(
+        &self,
+        _state: &mut (),
+        _view: NodeView<'_>,
+        _round: usize,
+        _from_neighbours: &[(VertexId, Message)],
+        _from_referee: &Message,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::easy::EdgeCountProtocol;
+    use crate::multiround::{run_multiround, BoruvkaConnectivity, MultiRoundStats};
+    use referee_graph::{generators, LabelledGraph};
+
+    /// A protocol whose referee finishes on its **first** step (the
+    /// "P finishes in round 0" edge case): output is the number of
+    /// non-empty round-1 uplinks.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct Immediate;
+
+    impl MultiRoundProtocol for Immediate {
+        type Output = usize;
+        type NodeState = ();
+        type RefereeState = ();
+
+        fn name(&self) -> String {
+            "immediate".into()
+        }
+
+        fn node_init(&self, _view: NodeView<'_>) {}
+
+        fn referee_init(&self, _n: usize) {}
+
+        fn node_send(
+            &self,
+            _state: &(),
+            _view: NodeView<'_>,
+            _round: usize,
+        ) -> (Vec<(VertexId, Message)>, Message) {
+            let mut w = BitWriter::new();
+            w.push_bit(true);
+            (Vec::new(), Message::from_writer(w))
+        }
+
+        fn referee_step(
+            &self,
+            _state: &mut (),
+            _n: usize,
+            _round: usize,
+            uplinks: &[Message],
+        ) -> RefereeStep<usize> {
+            RefereeStep::Done(uplinks.iter().filter(|u| u.len_bits() > 0).count())
+        }
+
+        fn node_receive(
+            &self,
+            _state: &mut (),
+            _view: NodeView<'_>,
+            _round: usize,
+            _from_neighbours: &[(VertexId, Message)],
+            _from_referee: &Message,
+        ) {
+        }
+    }
+
+    fn cap(n: usize) -> usize {
+        4 * (usize::BITS - n.leading_zeros()) as usize + 16
+    }
+
+    fn run_chain_vs_sequential(g: &LabelledGraph) {
+        let chain = Chain::new(BoruvkaConnectivity, BoruvkaConnectivity);
+        let (out, stats) = run_multiround(&chain, g, 2 * cap(g.n()));
+        let (p_out, p_stats) = run_multiround(&BoruvkaConnectivity, g, cap(g.n()));
+        let (q_out, q_stats) = run_multiround(&BoruvkaConnectivity, g, cap(g.n()));
+        let (a, b) = out.expect("chain terminates");
+        assert_eq!(a, p_out.expect("P terminates"));
+        assert_eq!(b, q_out.expect("Q terminates"));
+        assert_eq!(stats.rounds, p_stats.rounds + q_stats.rounds, "rounds concatenate");
+    }
+
+    #[test]
+    fn chain_equals_sequential_on_families() {
+        for g in [
+            generators::path(17),
+            generators::petersen(),
+            generators::path(5).disjoint_union(&generators::cycle(4).unwrap()),
+            LabelledGraph::new(1),
+        ] {
+            run_chain_vs_sequential(&g);
+        }
+    }
+
+    #[test]
+    fn chain_on_empty_graph() {
+        run_chain_vs_sequential(&LabelledGraph::new(0));
+    }
+
+    #[test]
+    fn chain_where_first_finishes_immediately() {
+        // P done at its very first referee step: the switch downlink is
+        // the round-1 downlink, Q starts at global round 2.
+        let g = generators::path(9);
+        let chain = Chain::new(Immediate, BoruvkaConnectivity);
+        let (out, stats) = run_multiround(&chain, &g, cap(g.n()) + 1);
+        let (count, conn) = out.expect("chain terminates");
+        assert_eq!(count, 9);
+        assert_eq!(conn, Ok(true));
+        let (_, p_stats) = run_multiround(&Immediate, &g, 4);
+        let (_, q_stats) = run_multiround(&BoruvkaConnectivity, &g, cap(g.n()));
+        assert_eq!(p_stats.rounds, 1);
+        assert_eq!(stats.rounds, p_stats.rounds + q_stats.rounds);
+    }
+
+    #[test]
+    fn chain_where_second_finishes_immediately() {
+        let g = generators::petersen();
+        let chain = Chain::new(BoruvkaConnectivity, Immediate);
+        let (out, stats) = run_multiround(&chain, &g, cap(g.n()) + 1);
+        let (conn, count) = out.expect("chain terminates");
+        assert_eq!(conn, Ok(true));
+        assert_eq!(count, g.n());
+        let (_, p_stats) = run_multiround(&BoruvkaConnectivity, &g, cap(g.n()));
+        assert_eq!(stats.rounds, p_stats.rounds + 1);
+    }
+
+    #[test]
+    fn chain_bridge_sees_first_output() {
+        // The bridge seeds Q's referee state from P's output: Q here
+        // reports its seeded state back, proving the plumbing.
+        #[derive(Debug, Clone, Copy, Default)]
+        struct EchoSeed;
+
+        impl MultiRoundProtocol for EchoSeed {
+            type Output = usize;
+            type NodeState = ();
+            type RefereeState = usize;
+
+            fn name(&self) -> String {
+                "echo-seed".into()
+            }
+
+            fn node_init(&self, _view: NodeView<'_>) {}
+
+            fn referee_init(&self, _n: usize) -> usize {
+                0
+            }
+
+            fn node_send(
+                &self,
+                _state: &(),
+                _view: NodeView<'_>,
+                _round: usize,
+            ) -> (Vec<(VertexId, Message)>, Message) {
+                (Vec::new(), Message::empty())
+            }
+
+            fn referee_step(
+                &self,
+                state: &mut usize,
+                _n: usize,
+                _round: usize,
+                _uplinks: &[Message],
+            ) -> RefereeStep<usize> {
+                RefereeStep::Done(*state)
+            }
+
+            fn node_receive(
+                &self,
+                _state: &mut (),
+                _view: NodeView<'_>,
+                _round: usize,
+                _from_neighbours: &[(VertexId, Message)],
+                _from_referee: &Message,
+            ) {
+            }
+        }
+
+        let g = generators::path(6);
+        let chain = Chain::with_bridge(Immediate, EchoSeed, |p_out, n, q_state| {
+            *q_state = p_out * 100 + n;
+        });
+        let (out, _) = run_multiround(&chain, &g, 8);
+        let (count, echoed) = out.expect("terminates");
+        assert_eq!(count, 6);
+        assert_eq!(echoed, 606);
+    }
+
+    #[test]
+    fn extend_leaves_base_output_untouched() {
+        for g in [
+            generators::path(12),
+            generators::petersen(),
+            generators::path(4).disjoint_union(&generators::path(3)),
+            LabelledGraph::new(0),
+            LabelledGraph::new(1),
+        ] {
+            let ext = Extend::new(BoruvkaConnectivity, DegreeCensus);
+            let (out, _) = run_multiround(&ext, &g, cap(g.n()));
+            let (base_out, base_stats) = run_multiround(&BoruvkaConnectivity, &g, cap(g.n()));
+            let (verdict, census) = out.expect("extended run terminates");
+            assert_eq!(verdict, base_out.expect("base run terminates"));
+            assert_eq!(census.expect("honest census decodes"), 2 * g.m() as u64);
+            let _ = base_stats;
+        }
+    }
+
+    #[test]
+    fn extend_rounds_match_base() {
+        let g = generators::path(20);
+        let ext = Extend::new(BoruvkaConnectivity, DegreeCensus);
+        let (_, stats) = run_multiround(&ext, &g, cap(g.n()));
+        let (_, base_stats) = run_multiround(&BoruvkaConnectivity, &g, cap(g.n()));
+        assert_eq!(stats.rounds, base_stats.rounds);
+    }
+
+    /// An extension shipping exactly `bits` extra bits in round 1.
+    #[derive(Debug, Clone, Copy)]
+    struct Padding {
+        bits: usize,
+    }
+
+    impl UplinkExtension for Padding {
+        type Summary = usize;
+
+        fn name(&self) -> String {
+            format!("padding({})", self.bits)
+        }
+
+        fn init(&self, _n: usize) -> usize {
+            0
+        }
+
+        fn extra(&self, _view: NodeView<'_>, round: usize) -> Message {
+            if round != 1 {
+                return Message::empty();
+            }
+            let mut w = BitWriter::new();
+            for i in 0..self.bits {
+                w.push_bit(i % 2 == 0);
+            }
+            Message::from_writer(w)
+        }
+
+        fn absorb(
+            &self,
+            summary: &mut usize,
+            _n: usize,
+            round: usize,
+            _sender: VertexId,
+            extra: &Message,
+        ) -> Result<(), DecodeError> {
+            if round == 1 && extra.len_bits() != self.bits {
+                return Err(DecodeError::Truncated);
+            }
+            *summary += extra.len_bits();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn extension_payload_at_the_bit_cap() {
+        // Exactly MAX_EXTENSION_BITS round-trips through the 16-bit
+        // length prefix.
+        let g = generators::path(3);
+        let ext = Extend::new(BoruvkaConnectivity, Padding { bits: MAX_EXTENSION_BITS });
+        let (out, stats) = run_multiround(&ext, &g, cap(g.n()));
+        let (verdict, padding) = out.expect("terminates");
+        assert_eq!(verdict, Ok(true));
+        assert_eq!(padding.expect("padding absorbs"), 3 * MAX_EXTENSION_BITS);
+        assert!(stats.max_uplink_bits >= MAX_EXTENSION_BITS + EXTENSION_LEN_BITS as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn extension_payload_over_the_cap_panics() {
+        let g = generators::path(2);
+        let ext = Extend::new(BoruvkaConnectivity, Padding { bits: MAX_EXTENSION_BITS + 1 });
+        let _ = run_multiround(&ext, &g, 8);
+    }
+
+    #[test]
+    fn extend_survives_unsplittable_uplink() {
+        // Feed the referee a raw (unframed) uplink directly: the split
+        // fails, the census slot records the error, and the base
+        // protocol sees the raw bits (failing closed by its own rules).
+        let ext = Extend::new(BoruvkaConnectivity, DegreeCensus);
+        let mut state = ext.referee_init(2);
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3); // too short for even the length prefix
+        let bad = Message::from_writer(w);
+        let step = ext.referee_step(&mut state, 2, 1, &[bad.clone(), bad]);
+        match step {
+            RefereeStep::Done((base, summary)) => {
+                assert!(base.is_err(), "base must fail closed on raw bits");
+                assert!(summary.is_err(), "census must record the split failure");
+            }
+            RefereeStep::Continue(_) => panic!("malformed uplinks must not continue"),
+        }
+    }
+
+    #[test]
+    fn one_round_adapter_equals_native_path() {
+        let g = generators::petersen();
+        let n = g.n();
+        let p = EdgeCountProtocol;
+        let msgs: Vec<Message> =
+            g.vertices().map(|v| p.local(NodeView::new(n, v, g.neighbourhood(v)))).collect();
+        let native = p.global(n, &msgs);
+        let (adapted, stats) = run_multiround(&OneRoundAsMultiRound(p), &g, 4);
+        assert_eq!(adapted.expect("one step"), native);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.max_link_bits, 0);
+    }
+
+    #[test]
+    fn one_round_adapter_on_empty_graph() {
+        let g = LabelledGraph::new(0);
+        let (out, stats) = run_multiround(&OneRoundAsMultiRound(EdgeCountProtocol), &g, 4);
+        assert_eq!(out.expect("one step"), EdgeCountProtocol.global(0, &[]));
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn chain_stats_are_the_max_over_phases() {
+        let g = generators::path(10);
+        let chain = Chain::new(BoruvkaConnectivity, Immediate);
+        let (_, stats) = run_multiround(&chain, &g, cap(g.n()) + 1);
+        let (_, base) = run_multiround(&BoruvkaConnectivity, &g, cap(g.n()));
+        // Phase-1 downlinks carry the 1-bit phase tag.
+        assert_eq!(stats.max_downlink_bits, base.max_downlink_bits + 1);
+        assert_eq!(stats.max_uplink_bits, base.max_uplink_bits);
+        assert_eq!(stats.max_link_bits, base.max_link_bits);
+        let _: MultiRoundStats = stats;
+    }
+}

@@ -47,9 +47,54 @@
 //! * [`easy`] — the positive boundary: degree-statistic properties that
 //!   *are* one-round frugally decidable (edge count, degree sequence,
 //!   extremes/regularity, Eulerian parity, fingerprint verification).
+//! * [`combinators`] — protocol algebra over [`multiround`]: see
+//!   *Combinators & catalog* below.
+//! * [`service`] — the type-erased referee half ([`WireReferee`]) and
+//!   the named [`ServiceCatalog`] multi-protocol registry.
+//!
+//! # Combinators & catalog
+//!
+//! Protocols compose without touching the runner or the referee
+//! plumbing:
+//!
+//! * [`combinators::Chain`] runs `P` to completion, hands its output to
+//!   `Q`'s referee (via an optional bridge function), then runs `Q` —
+//!   round counters concatenate, stats take the per-dimension max, and
+//!   the composite is bit-for-bit equal to running `P` then `Q`
+//!   back-to-back.
+//! * [`combinators::Extend`] piggybacks an extra per-round uplink
+//!   payload (an [`combinators::UplinkExtension`]) onto an existing
+//!   protocol without perturbing its verdict.
+//! * [`combinators::OneRoundAsMultiRound`] lifts any
+//!   [`OneRoundProtocol`] into the multi-round runner unchanged.
+//!
+//! Because each combinator is itself an `impl MultiRoundProtocol`, the
+//! results nest and ride every backend (direct run, sharded referee,
+//! simnet, wirenet) for free.
+//!
+//! To expose a protocol — composed or not — as a named wire service,
+//! register it in a [`ServiceCatalog`] with an output encoder:
+//!
+//! ```
+//! use referee_protocol::multiround::BoruvkaConnectivity;
+//! use referee_protocol::service::{encode_bool_output, ServiceCatalog};
+//!
+//! let catalog = ServiceCatalog::new()
+//!     .register("boruvka", BoruvkaConnectivity, encode_bool_output);
+//! ```
+//!
+//! A server built on a catalog serves every entry concurrently; clients
+//! pick a service by name in their authenticated `Announce`. The recipe
+//! for a new service: implement (or compose) the protocol, pick or
+//! write a prefix-free output codec (see
+//! [`service::encode_bool_output`] / [`service::encode_graph_output`]),
+//! `register` it under a unique name, and hand the same catalog to the
+//! server builder and to any ground-truth replay
+//! ([`service::CatalogEntry::run_local`]).
 
 pub mod baseline;
 pub mod bits;
+pub mod combinators;
 pub mod easy;
 pub mod frugality;
 pub mod hist;
@@ -58,10 +103,12 @@ pub mod message;
 pub mod model;
 pub mod multiround;
 pub mod referee;
+pub mod service;
 pub mod shard;
 pub mod trace;
 
 pub use bits::{BitReader, BitWriter};
+pub use combinators::{Chain, Extend, OneRoundAsMultiRound, UplinkExtension};
 pub use frugality::{FrugalityAudit, FrugalityReport};
 pub use hist::{bucket_bound, bucket_of, HistSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use mac::{siphash24, siphash24_truncated, MacKey};
@@ -70,6 +117,7 @@ pub use model::{NodeView, OneRoundProtocol};
 pub use referee::{
     parallel_threshold, run_protocol, set_parallel_threshold, RunOutcome, RunStats,
 };
+pub use service::{RefereeStepper, ServiceCatalog, WireReferee};
 pub use shard::{
     route_arrival, shard_of, shard_range, Arrival, PartialState, RefereeShard, ShardRange,
 };

@@ -1,0 +1,197 @@
+//! Combinator laws, property-tested: `Chain` is bit-for-bit the
+//! sequential composition, `Extend` never perturbs the base verdict
+//! (even with payloads at the bit-width cap), and
+//! `OneRoundAsMultiRound` equals the native one-round path for every
+//! one-round protocol this crate defines.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use referee_graph::VertexId;
+use referee_graph::{generators, LabelledGraph};
+use referee_protocol::baseline::AdjacencyListProtocol;
+use referee_protocol::combinators::{
+    Chain, DegreeCensus, Extend, OneRoundAsMultiRound, UplinkExtension, EXTENSION_LEN_BITS,
+    MAX_EXTENSION_BITS,
+};
+use referee_protocol::easy::{
+    DegreeExtremesProtocol, DegreeSequenceProtocol, EdgeCountProtocol, EulerianDegreeProtocol,
+    NeighbourhoodSumProtocol,
+};
+use referee_protocol::multiround::{run_multiround, BoruvkaConnectivity};
+use referee_protocol::service::encode_bool_output;
+use referee_protocol::{
+    run_protocol, BitWriter, DecodeError, Message, NodeView, OneRoundProtocol,
+};
+
+const CAP: usize = 64;
+
+fn random_graph(n: usize, seed: u64) -> LabelledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::gnp(n, 0.3, &mut rng)
+}
+
+/// Encode a pair of connectivity verdicts with the wire codec, so the
+/// chain comparison is over the exact bits a catalog service would
+/// ship.
+fn bool_pair_bits(a: &Result<bool, DecodeError>, b: &Result<bool, DecodeError>) -> Message {
+    let mut w = BitWriter::new();
+    encode_bool_output(a).append_to(&mut w);
+    encode_bool_output(b).append_to(&mut w);
+    Message::from_writer(w)
+}
+
+/// The adapter must reproduce the native one-round path exactly: same
+/// output, one referee round, no node→node traffic.
+fn adapter_matches_native<P>(p: &P, g: &LabelledGraph)
+where
+    P: OneRoundProtocol + Sync,
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    let native = run_protocol(p, g).output;
+    let (adapted, stats) = run_multiround(&OneRoundAsMultiRound(p), g, 4);
+    assert_eq!(adapted.expect("adapter finishes in one step"), native, "{}", p.name());
+    assert_eq!(stats.rounds, 1, "{}", p.name());
+    assert_eq!(stats.max_link_bits, 0, "{}", p.name());
+}
+
+/// An extension shipping exactly `bits` alternating bits in round 1 —
+/// used to probe the length-prefix cap.
+#[derive(Debug, Clone, Copy)]
+struct Padding {
+    bits: usize,
+}
+
+impl UplinkExtension for Padding {
+    type Summary = usize;
+
+    fn name(&self) -> String {
+        format!("padding({})", self.bits)
+    }
+
+    fn init(&self, _n: usize) -> usize {
+        0
+    }
+
+    fn extra(&self, _view: NodeView<'_>, round: usize) -> Message {
+        if round != 1 {
+            return Message::empty();
+        }
+        let mut w = BitWriter::new();
+        for i in 0..self.bits {
+            w.push_bit(i % 2 == 0);
+        }
+        Message::from_writer(w)
+    }
+
+    fn absorb(
+        &self,
+        summary: &mut usize,
+        _n: usize,
+        round: usize,
+        _sender: VertexId,
+        extra: &Message,
+    ) -> Result<(), DecodeError> {
+        if round == 1 && extra.len_bits() != self.bits {
+            return Err(DecodeError::Truncated);
+        }
+        *summary += extra.len_bits();
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Chain(P, Q)` on a random graph is *the* sequential composition:
+    /// outputs pair up, round counters concatenate, and the wire
+    /// encoding of the chained verdicts is bit-for-bit the
+    /// concatenation of the two standalone encodings.
+    #[test]
+    fn chain_is_bitwise_sequential_composition(n in 1usize..24, seed in any::<u64>()) {
+        let g = random_graph(n, seed);
+        let chain = Chain::new(BoruvkaConnectivity, BoruvkaConnectivity);
+        let (out, stats) = run_multiround(&chain, &g, 2 * CAP);
+        let (p_out, p_stats) = run_multiround(&BoruvkaConnectivity, &g, CAP);
+        let (q_out, q_stats) = run_multiround(&BoruvkaConnectivity, &g, CAP);
+        let (a, b) = out.expect("chain terminates");
+        let p_out = p_out.expect("P terminates");
+        let q_out = q_out.expect("Q terminates");
+        prop_assert_eq!(&a, &p_out);
+        prop_assert_eq!(&b, &q_out);
+        prop_assert_eq!(stats.rounds, p_stats.rounds + q_stats.rounds);
+
+        let chained = bool_pair_bits(&a, &b);
+        let sequential = bool_pair_bits(&p_out, &q_out);
+        prop_assert_eq!(chained.len_bits(), sequential.len_bits());
+        prop_assert_eq!(chained.as_bytes(), sequential.as_bytes());
+    }
+
+    /// The round-0 edge case: `P`'s referee is `Done` on its very first
+    /// step (a one-round adapter), so the switch downlink is the
+    /// round-1 downlink and `Q` runs unshifted semantics afterwards.
+    #[test]
+    fn chain_handles_first_protocol_finishing_immediately(
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, seed);
+        let chain = Chain::new(OneRoundAsMultiRound(EdgeCountProtocol), BoruvkaConnectivity);
+        let (out, stats) = run_multiround(&chain, &g, CAP + 1);
+        let (count, conn) = out.expect("chain terminates");
+        let (p_out, p_stats) =
+            run_multiround(&OneRoundAsMultiRound(EdgeCountProtocol), &g, 4);
+        let (q_out, q_stats) = run_multiround(&BoruvkaConnectivity, &g, CAP);
+        prop_assert_eq!(p_stats.rounds, 1);
+        prop_assert_eq!(count, p_out.expect("one step"));
+        prop_assert_eq!(conn, q_out.expect("Q terminates"));
+        prop_assert_eq!(stats.rounds, 1 + q_stats.rounds);
+    }
+
+    /// `Extend` leaves the base output untouched on random graphs: the
+    /// `.0` verdict encodes to exactly the bits the bare protocol
+    /// would ship, rounds match, and the census reads `2·|E|`.
+    #[test]
+    fn extend_preserves_base_output(n in 1usize..24, seed in any::<u64>()) {
+        let g = random_graph(n, seed);
+        let ext = Extend::new(BoruvkaConnectivity, DegreeCensus);
+        let (out, stats) = run_multiround(&ext, &g, CAP);
+        let (base_out, base_stats) = run_multiround(&BoruvkaConnectivity, &g, CAP);
+        let (verdict, census) = out.expect("extended run terminates");
+        let base_out = base_out.expect("base run terminates");
+        prop_assert_eq!(&verdict, &base_out);
+        prop_assert_eq!(census.expect("honest census decodes"), 2 * g.m() as u64);
+        prop_assert_eq!(stats.rounds, base_stats.rounds);
+        let got = encode_bool_output(&verdict);
+        let want = encode_bool_output(&base_out);
+        prop_assert_eq!(got.len_bits(), want.len_bits());
+        prop_assert_eq!(got.as_bytes(), want.as_bytes());
+    }
+
+    /// Payloads all the way to the bit-width cap survive the 16-bit
+    /// length prefix and never perturb the base verdict.
+    #[test]
+    fn extend_payloads_up_to_the_cap(extra in 0usize..2, seed in any::<u64>()) {
+        let bits = MAX_EXTENSION_BITS - extra;
+        let g = random_graph(4, seed);
+        let ext = Extend::new(BoruvkaConnectivity, Padding { bits });
+        let (out, stats) = run_multiround(&ext, &g, CAP);
+        let (base_out, _) = run_multiround(&BoruvkaConnectivity, &g, CAP);
+        let (verdict, padding) = out.expect("terminates");
+        prop_assert_eq!(verdict, base_out.expect("base terminates"));
+        prop_assert_eq!(padding.expect("padding absorbs"), 4 * bits);
+        prop_assert!(stats.max_uplink_bits >= bits + EXTENSION_LEN_BITS as usize);
+    }
+
+    /// Every one-round protocol this crate defines rides the adapter
+    /// without changing its answer.
+    #[test]
+    fn one_round_adapters_match_native_path(n in 1usize..20, seed in any::<u64>()) {
+        let g = random_graph(n, seed);
+        adapter_matches_native(&EdgeCountProtocol, &g);
+        adapter_matches_native(&DegreeSequenceProtocol, &g);
+        adapter_matches_native(&DegreeExtremesProtocol, &g);
+        adapter_matches_native(&EulerianDegreeProtocol, &g);
+        adapter_matches_native(&NeighbourhoodSumProtocol, &g);
+        adapter_matches_native(&AdjacencyListProtocol, &g);
+    }
+}

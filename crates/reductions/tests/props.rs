@@ -115,3 +115,71 @@ proptest! {
         prop_assert_eq!(run_protocol(&delta, &g).output.unwrap(), g);
     }
 }
+
+// ---------------------------------------------------------------------------
+// OneRoundAsMultiRound equivalence: every one-round protocol this crate
+// defines — oracles, sketches and reductions — rides the multi-round
+// adapter without changing its answer.
+// ---------------------------------------------------------------------------
+
+use referee_graph::LabelledGraph;
+use referee_protocol::combinators::OneRoundAsMultiRound;
+use referee_protocol::multiround::run_multiround;
+use referee_protocol::OneRoundProtocol;
+use referee_reductions::collision::{DegreeSumSketch, ModularSumSketch};
+use referee_reductions::diameter_t::DiameterTOracle;
+use referee_reductions::oracle::InducedSquareOracle;
+use referee_reductions::DiameterTReduction;
+
+fn adapter_matches_native<P>(p: &P, g: &LabelledGraph)
+where
+    P: OneRoundProtocol + Sync,
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    let native = run_protocol(p, g).output;
+    let (adapted, stats) = run_multiround(&OneRoundAsMultiRound(p), g, 4);
+    assert_eq!(adapted.expect("adapter finishes in one step"), native, "{}", p.name());
+    assert_eq!(stats.rounds, 1, "{}", p.name());
+    assert_eq!(stats.max_link_bits, 0, "{}", p.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn oracles_and_sketches_ride_the_multiround_adapter_unchanged(
+        n in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.35, &mut rng);
+        adapter_matches_native(&TriangleOracle, &g);
+        adapter_matches_native(&SquareOracle, &g);
+        adapter_matches_native(&InducedSquareOracle, &g);
+        adapter_matches_native(&DiameterOracle, &g);
+        adapter_matches_native(&BipartitenessOracle, &g);
+        adapter_matches_native(&DiameterTOracle { thresh: 3 }, &g);
+        adapter_matches_native(&DegreeSumSketch, &g);
+        adapter_matches_native(&ModularSumSketch { bits: 2 }, &g);
+    }
+
+    #[test]
+    fn reductions_ride_the_multiround_adapter_unchanged(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.35, &mut rng);
+        adapter_matches_native(&TriangleReduction::new(TriangleOracle), &g);
+        adapter_matches_native(&SquareReduction::new(SquareOracle), &g);
+        adapter_matches_native(&DiameterReduction::new(DiameterOracle), &g);
+        adapter_matches_native(
+            &DiameterTReduction::new(DiameterTOracle { thresh: 3 }, 3),
+            &g,
+        );
+        adapter_matches_native(
+            &BipartiteConnectivityReduction::new(BipartitenessOracle),
+            &g,
+        );
+    }
+}

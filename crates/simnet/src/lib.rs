@@ -106,7 +106,7 @@ pub use clock::{real_clock, Clock, ManualClock, RealClock, SharedClock};
 pub use fault::{FaultConfig, FaultyTransport};
 pub use metrics::{AggregateMetrics, SessionMetrics, TransportCounters};
 pub use placement::{PlacementReport, PlacementSim};
-pub use scheduler::{Scheduler, SweepReport};
+pub use scheduler::{MixedLane, MixedReport, Scheduler, SweepReport};
 pub use session::{MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step};
 pub use shard::multiround::{ShardedMultiRoundReport, ShardedMultiRoundSession};
 pub use shard::{ShardedOneRoundSession, ShardedReport};

@@ -22,9 +22,9 @@ use crate::shard::multiround::{ShardedMultiRoundReport, ShardedMultiRoundSession
 use crate::shard::{ShardedOneRoundSession, ShardedReport};
 use crate::transport::PerfectTransport;
 use referee_graph::LabelledGraph;
-use referee_protocol::multiround::MultiRoundProtocol;
+use referee_protocol::multiround::{MultiRoundProtocol, MultiRoundStats};
 use referee_protocol::trace::{wall_clock_us, FlightRecorder, TraceKind};
-use referee_protocol::OneRoundProtocol;
+use referee_protocol::{DecodeError, Message, OneRoundProtocol};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -248,6 +248,38 @@ impl Scheduler {
         })
     }
 
+    /// Sweep a **heterogeneous mix** of protocols in one pool: session
+    /// `i` runs `lanes[i % lanes.len()]`'s protocol on `graphs[i]`, so
+    /// sessions of every service interleave within each claimed batch —
+    /// the sans-I/O twin of a catalog-mode
+    /// `FleetServer` refereeing several services concurrently. Outputs
+    /// are type-erased through each lane's encoder (the same
+    /// `fn(&Output) -> Message` a
+    /// [`ServiceCatalog`](referee_protocol::service::ServiceCatalog)
+    /// entry registers), so one [`SweepReport`] aggregates across
+    /// protocols while staying bit-comparable to wire verdicts.
+    ///
+    /// Panics if `lanes` is empty.
+    pub fn sweep_mixed<'a>(
+        &self,
+        lanes: &[MixedLane<'a>],
+        graphs: &'a [LabelledGraph],
+        max_rounds: usize,
+        faults: Option<FaultConfig>,
+    ) -> SweepReport<MixedReport> {
+        assert!(!lanes.is_empty(), "sweep_mixed needs at least one lane");
+        self.sweep(graphs.len(), |lo, hi| {
+            let mut live: Vec<Option<_>> = (lo..hi)
+                .map(|i| {
+                    let transport = session_transport(faults, i);
+                    let session = lanes[i % lanes.len()].open(&graphs[i], max_rounds);
+                    Some((session, transport))
+                })
+                .collect();
+            drive_interleaved(&mut live, |s, t| s.step(t), |s, t| s.finish(t))
+        })
+    }
+
     /// Shared sweep driver: claim batches, run them, aggregate.
     fn sweep<R: Report + Send>(
         &self,
@@ -432,6 +464,116 @@ impl<O> Report for ShardedMultiRoundReport<O> {
     }
 }
 
+/// One service in a heterogeneous [`Scheduler::sweep_mixed`] pool: a
+/// protocol plus the verdict encoder a
+/// [`ServiceCatalog`](referee_protocol::service::ServiceCatalog) entry
+/// would register for it. The protocol's concrete `Output` is erased at
+/// the lane boundary, so lanes of different protocols coexist in one
+/// slice and one sweep.
+pub struct MixedLane<'a> {
+    name: String,
+    open: Box<dyn Fn(&'a LabelledGraph, usize) -> Box<dyn ErasedMultiRound + 'a> + Sync + 'a>,
+}
+
+impl std::fmt::Debug for MixedLane<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedLane").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl<'a> MixedLane<'a> {
+    /// A lane running `protocol` under `name`, erasing outputs through
+    /// `encode` (use the same encoder the catalog entry registers so
+    /// simnet outcomes stay bit-comparable to wire verdicts).
+    pub fn new<P>(
+        name: &str,
+        protocol: &'a P,
+        encode: fn(&P::Output) -> Message,
+    ) -> MixedLane<'a>
+    where
+        P: MultiRoundProtocol + Sync,
+        P::Output: Send,
+        P::NodeState: Send,
+        P::RefereeState: Send,
+    {
+        let service = name.to_string();
+        MixedLane {
+            name: service.clone(),
+            open: Box::new(move |g, max_rounds| {
+                Box::new(ErasedSession {
+                    session: MultiRoundSession::new(protocol, g, max_rounds),
+                    encode,
+                    service: service.clone(),
+                })
+            }),
+        }
+    }
+
+    /// The service name stamped on every report this lane produces.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&self, g: &'a LabelledGraph, max_rounds: usize) -> Box<dyn ErasedMultiRound + 'a> {
+        (self.open)(g, max_rounds)
+    }
+}
+
+/// Object-safe view of an in-flight multi-round session; the concrete
+/// protocol (and its `Output`) hide behind this so [`MixedLane`]s of
+/// different protocols share one sweep.
+trait ErasedMultiRound {
+    fn step(&mut self, transport: &mut FaultyTransport<PerfectTransport>) -> Step;
+    fn finish(self: Box<Self>, transport: &FaultyTransport<PerfectTransport>) -> MixedReport;
+}
+
+struct ErasedSession<'a, P: MultiRoundProtocol> {
+    session: MultiRoundSession<'a, P>,
+    encode: fn(&P::Output) -> Message,
+    service: String,
+}
+
+impl<P: MultiRoundProtocol> ErasedMultiRound for ErasedSession<'_, P> {
+    fn step(&mut self, transport: &mut FaultyTransport<PerfectTransport>) -> Step {
+        self.session.step(transport)
+    }
+    fn finish(self: Box<Self>, transport: &FaultyTransport<PerfectTransport>) -> MixedReport {
+        let report = self.session.into_report(transport);
+        MixedReport {
+            service: self.service,
+            outcome: report.outcome.map(|o| o.map(|out| (self.encode)(&out))),
+            metrics: report.metrics,
+            stats: report.stats,
+        }
+    }
+}
+
+/// A [`MultiRoundReport`] with the output already pushed through its
+/// lane's verdict encoder, plus the lane name — the common shape every
+/// protocol in a mixed sweep reduces to.
+#[derive(Debug, Clone)]
+pub struct MixedReport {
+    /// Which [`MixedLane`] produced this report.
+    pub service: String,
+    /// `Ok(Some(encoded))` when the referee returned a verdict within
+    /// the round budget; `Ok(None)` when the budget ran out; `Err` when
+    /// the session-layer runtime rejected delivery.
+    pub outcome: Result<Option<Message>, DecodeError>,
+    /// Per-session delivery metrics.
+    pub metrics: crate::metrics::SessionMetrics,
+    /// Round/bit complexity as measured by the session runtime.
+    pub stats: MultiRoundStats,
+}
+
+impl Report for MixedReport {
+    fn metrics(&self) -> &crate::metrics::SessionMetrics {
+        &self.metrics
+    }
+    fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +593,88 @@ mod tests {
         let s = Scheduler::default();
         let out: Vec<u8> = s.run_indexed(0, |_| unreachable!("no jobs"));
         assert!(out.is_empty());
+    }
+
+    /// One pool, three services interleaved per batch: every mixed
+    /// report must carry its lane's name and an encoded verdict
+    /// bit-for-bit equal to running that lane's protocol directly.
+    #[test]
+    fn sweep_mixed_interleaves_services_and_matches_direct_runs() {
+        use referee_protocol::combinators::OneRoundAsMultiRound;
+        use referee_protocol::easy::{DegreeSequenceProtocol, EdgeCountProtocol};
+        use referee_protocol::multiround::{run_multiround, BoruvkaConnectivity};
+        use referee_protocol::service::encode_bool_output;
+        use referee_protocol::BitWriter;
+
+        fn encode_count(out: &Result<usize, DecodeError>) -> Message {
+            let mut w = BitWriter::new();
+            match out {
+                Ok(v) => {
+                    w.push_bit(true);
+                    w.write_bits(*v as u64, 32);
+                }
+                Err(_) => w.push_bit(false),
+            }
+            Message::from_writer(w)
+        }
+        fn encode_degrees(out: &Result<Vec<usize>, DecodeError>) -> Message {
+            let mut w = BitWriter::new();
+            match out {
+                Ok(ds) => {
+                    w.push_bit(true);
+                    for d in ds {
+                        w.write_bits(*d as u64, 16);
+                    }
+                }
+                Err(_) => w.push_bit(false),
+            }
+            Message::from_writer(w)
+        }
+
+        let graphs: Vec<LabelledGraph> = (0..9)
+            .map(|i| match i % 3 {
+                0 => referee_graph::generators::cycle(4 + i).expect("n >= 3"),
+                1 => referee_graph::generators::grid(2, 2 + i),
+                _ => referee_graph::generators::star(3 + i).expect("n >= 1"),
+            })
+            .collect();
+
+        let edge_count = OneRoundAsMultiRound(EdgeCountProtocol);
+        let degrees = OneRoundAsMultiRound(DegreeSequenceProtocol);
+        let lanes = [
+            MixedLane::new("boruvka", &BoruvkaConnectivity, encode_bool_output),
+            MixedLane::new("edge-count", &edge_count, encode_count),
+            MixedLane::new("degrees", &degrees, encode_degrees),
+        ];
+        let sweep = Scheduler::new(4, 2).sweep_mixed(&lanes, &graphs, 64, None);
+        assert_eq!(sweep.reports.len(), graphs.len());
+        assert_eq!(sweep.aggregate.ok, graphs.len());
+        for (i, r) in sweep.reports.iter().enumerate() {
+            assert_eq!(r.service, lanes[i % lanes.len()].name());
+            let got =
+                r.outcome.as_ref().expect("delivered").as_ref().expect("verdict within budget");
+            let want = match i % lanes.len() {
+                0 => encode_bool_output(
+                    &run_multiround(&BoruvkaConnectivity, &graphs[i], 64).0.expect("verdict"),
+                ),
+                1 => encode_count(
+                    &run_multiround(&edge_count, &graphs[i], 64).0.expect("verdict"),
+                ),
+                _ => encode_degrees(
+                    &run_multiround(&degrees, &graphs[i], 64).0.expect("verdict"),
+                ),
+            };
+            assert_eq!(got.len_bits(), want.len_bits(), "lane {i}");
+            assert_eq!(got.as_bytes(), want.as_bytes(), "lane {i}");
+            assert!(r.stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn sweep_mixed_rejects_empty_lane_set() {
+        let graphs = [referee_graph::generators::grid(2, 2)];
+        Scheduler::new(1, 1).sweep_mixed(&[], &graphs, 8, None);
     }
 
     #[test]

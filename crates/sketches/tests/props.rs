@@ -164,3 +164,47 @@ proptest! {
         prop_assert_eq!(votes >= 2, truth);
     }
 }
+
+// ---------------------------------------------------------------------------
+// OneRoundAsMultiRound equivalence: every sketch protocol rides the
+// multi-round adapter without changing its answer.
+// ---------------------------------------------------------------------------
+
+use referee_graph::LabelledGraph;
+use referee_protocol::combinators::OneRoundAsMultiRound;
+use referee_protocol::multiround::run_multiround;
+use referee_protocol::{run_protocol as run_one_round, OneRoundProtocol};
+use referee_sketches::{
+    SketchBipartitenessProtocol, SketchConnectivityProtocol, SketchKConnectivityProtocol,
+    SketchSpanningForestProtocol,
+};
+
+fn adapter_matches_native<P>(p: &P, g: &LabelledGraph)
+where
+    P: OneRoundProtocol + Sync,
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    let native = run_one_round(p, g).output;
+    let (adapted, stats) = run_multiround(&OneRoundAsMultiRound(p), g, 4);
+    assert_eq!(adapted.expect("adapter finishes in one step"), native, "{}", p.name());
+    assert_eq!(stats.rounds, 1, "{}", p.name());
+    assert_eq!(stats.max_link_bits, 0, "{}", p.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sketch_protocols_ride_the_multiround_adapter_unchanged(
+        n in 2usize..14,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.35, &mut rng);
+        adapter_matches_native(&SketchConnectivityProtocol::new(seed), &g);
+        adapter_matches_native(&SketchSpanningForestProtocol::new(seed), &g);
+        adapter_matches_native(&SketchKConnectivityProtocol::new(seed, k), &g);
+        adapter_matches_native(&SketchBipartitenessProtocol::new(seed), &g);
+    }
+}

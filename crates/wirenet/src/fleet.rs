@@ -62,7 +62,8 @@ use crate::auth::AuthKey;
 use crate::frame::{FrameKind, WireError};
 use crate::metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot};
 use crate::multiround::{
-    decode_mr_verdict, run_multiround_server, run_multiround_server_remote, WireReferee,
+    decode_mr_verdict, encode_mr_announce, run_multiround_server, run_multiround_server_remote,
+    ServiceCatalog, WireReferee, MAX_SERVICE_NAME_BYTES,
 };
 use crate::placement::{default_redial_backoff, RemotePlacement};
 use crate::poll::{
@@ -183,7 +184,7 @@ pub struct FleetServerBuilder {
     key: AuthKey,
     shards: usize,
     bind: Option<SocketAddr>,
-    multiround: Option<Arc<dyn WireReferee>>,
+    multiround: Option<ServiceCatalog>,
     placement: Option<RemotePlacement>,
     redial_backoff: Option<Duration>,
     poller: Option<PollerBackend>,
@@ -219,9 +220,22 @@ impl FleetServerBuilder {
     /// wait (see [`crate::multiround`]). Combine with
     /// [`shards`](FleetServerBuilder::shards) for the worker count;
     /// drive sessions with
-    /// [`FleetClient::run_multiround_session`].
-    pub fn multiround(mut self, referee: Arc<dyn WireReferee>) -> FleetServerBuilder {
-        self.multiround = Some(referee);
+    /// [`FleetClient::run_multiround_session`]. Equivalent to
+    /// [`catalog`](FleetServerBuilder::catalog) with the single-entry
+    /// catalog `ServiceCatalog::single(referee)`.
+    pub fn multiround(self, referee: Arc<dyn WireReferee>) -> FleetServerBuilder {
+        self.catalog(ServiceCatalog::single(referee))
+    }
+
+    /// Run as a **multi-protocol** multi-round referee service: every
+    /// entry of `catalog` is served concurrently, with clients naming
+    /// their service in the MAC'd `Announce`
+    /// ([`FleetClient::run_multiround_session_as`]; the plain
+    /// [`run_multiround_session`](FleetClient::run_multiround_session)
+    /// selects entry 0). Announcing an unknown name fails closed with
+    /// a typed error verdict.
+    pub fn catalog(mut self, catalog: ServiceCatalog) -> FleetServerBuilder {
+        self.multiround = Some(catalog);
         self
     }
 
@@ -301,16 +315,23 @@ impl FleetServerBuilder {
             let metrics = Arc::clone(&metrics);
             thread::Builder::new().name("wirenet-server".into()).spawn(move || {
                 match (placement, multiround) {
-                    (Some(p), Some(referee)) => run_multiround_server_remote(
-                        listener, key, referee, p, backoff, &shutdown, &metrics, poller,
+                    (Some(p), Some(catalog)) => run_multiround_server_remote(
+                        listener,
+                        key,
+                        Arc::new(catalog),
+                        p,
+                        backoff,
+                        &shutdown,
+                        &metrics,
+                        poller,
                     ),
                     (Some(p), None) => run_sharded_server_remote(
                         listener, key, p, backoff, &shutdown, &metrics, poller,
                     ),
-                    (None, Some(referee)) => run_multiround_server(
+                    (None, Some(catalog)) => run_multiround_server(
                         listener,
                         key,
-                        referee,
+                        Arc::new(catalog),
                         shards.max(1),
                         &shutdown,
                         &metrics,
@@ -1224,7 +1245,29 @@ impl FleetClient {
         max_rounds: usize,
     ) -> Result<Message, DecodeError> {
         self.core.register(session);
-        let result = self.run_multiround_inner(session, protocol, g, max_rounds);
+        let result = self.run_multiround_inner(session, None, protocol, g, max_rounds);
+        self.core.release(session);
+        result
+    }
+
+    /// Like [`run_multiround_session`](FleetClient::run_multiround_session),
+    /// but against a **named service** of a catalog-mode server
+    /// ([`FleetServerBuilder::catalog`](crate::FleetServerBuilder::catalog)):
+    /// the service name rides inside the MAC'd `Announce`, so one
+    /// server concurrently referees whichever protocol each session
+    /// selects. A name the server's catalog doesn't know fails closed —
+    /// the server answers a typed
+    /// [`DecodeError::Invalid`] verdict immediately, never a hang.
+    pub fn run_multiround_session_as<P: MultiRoundProtocol>(
+        &self,
+        session: SessionId,
+        service: &str,
+        protocol: &P,
+        g: &LabelledGraph,
+        max_rounds: usize,
+    ) -> Result<Message, DecodeError> {
+        self.core.register(session);
+        let result = self.run_multiround_inner(session, Some(service), protocol, g, max_rounds);
         self.core.release(session);
         result
     }
@@ -1232,11 +1275,17 @@ impl FleetClient {
     fn run_multiround_inner<P: MultiRoundProtocol>(
         &self,
         session: SessionId,
+        service: Option<&str>,
         protocol: &P,
         g: &LabelledGraph,
         max_rounds: usize,
     ) -> Result<Message, DecodeError> {
         let n = g.n();
+        if service.is_some_and(|s| s.is_empty() || s.len() > MAX_SERVICE_NAME_BYTES) {
+            return Err(DecodeError::Invalid(format!(
+                "service names must be 1..={MAX_SERVICE_NAME_BYTES} bytes"
+            )));
+        }
         if max_rounds == 0 {
             // Mirror `run_multiround`'s contract: a zero-round cap runs
             // no protocol at all. The local API reports "referee never
@@ -1248,10 +1297,13 @@ impl FleetClient {
             ));
         }
         let opened = Instant::now();
-        let mut w = BitWriter::new();
-        w.write_bits(n as u64, 32);
-        let announce =
-            Envelope { session, round: 0, from: 0, to: 0, payload: Message::from_writer(w) };
+        let announce = Envelope {
+            session,
+            round: 0,
+            from: 0,
+            to: 0,
+            payload: encode_mr_announce(n, service),
+        };
         if !self.core.send_kind(FrameKind::Announce, &announce) {
             return Err(DecodeError::Inconsistent(
                 "connection died announcing the session".into(),

@@ -302,8 +302,9 @@ pub use frame::{
 };
 pub use metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot, TRACE_CAPACITY_ENV};
 pub use multiround::{
-    boruvka_connectivity_service, decode_bool_output, encode_bool_output, ProtocolReferee,
-    RefereeStepper, WireReferee,
+    boruvka_connectivity_service, decode_bool_output, decode_graph_output, encode_bool_output,
+    encode_graph_output, ProtocolReferee, RefereeStepper, ServiceCatalog, WireReferee,
+    MAX_SERVICE_NAME_BYTES,
 };
 pub use placement::{
     HostId, PlacementPolicy, RemotePlacement, ShardHost, ShardHostMode, DEFAULT_REDIAL_BACKOFF,

@@ -1,7 +1,13 @@
 //! The multi-round referee service: [`FleetServer`](crate::FleetServer)
 //! in `spawn_multiround` mode runs the **referee half** of a
-//! [`MultiRoundProtocol`] itself, round by round, with the per-round
-//! uplink wait sharded exactly like the one-round service.
+//! [`MultiRoundProtocol`](referee_protocol::multiround::MultiRoundProtocol)
+//! itself, round by round, with the per-round uplink wait sharded
+//! exactly like the one-round service. The server hosts a whole
+//! [`ServiceCatalog`]: every worker keys its per-session state by
+//! (connection, session, service), so one listener serves
+//! heterogeneous protocols concurrently — each client names its
+//! service in the MAC'd `Announce`, and an unknown name fails closed
+//! with a typed error verdict instead of hanging.
 //!
 //! # Topology
 //!
@@ -10,8 +16,10 @@
 //! [`RoundShard`]
 //! states for their slice of every session's ID space. Per session:
 //!
-//! 1. the client announces `(session, n)` ([`Announce`](FrameKind::Announce));
-//!    every worker opens shard `i` for round 1;
+//! 1. the client announces `(session, n, service name)`
+//!    ([`Announce`](FrameKind::Announce)); the router resolves the name
+//!    against the catalog and every worker opens shard `i` for round 1
+//!    under that service's referee and round cap;
 //! 2. round-stamped [`Data`](FrameKind::Data) uplink frames are routed
 //!    to workers by sender range; a worker whose range completes for
 //!    round `r` ships its
@@ -24,7 +32,7 @@
 //!    shards are implied — they never emit) and, once round `r`'s
 //!    quorum is complete (or poisoned, which fixes the verdict's `Err`
 //!    shape), runs the protocol's
-//!    [`referee_step`](MultiRoundProtocol::referee_step);
+//!    [`referee_step`](referee_protocol::multiround::MultiRoundProtocol::referee_step);
 //! 4. `Continue` streams one MAC'd downlink [`Data`](FrameKind::Data)
 //!    frame per node back to the client (from = referee, round `r`);
 //!    `Done` ships the encoded output as a
@@ -56,10 +64,10 @@ use crate::fleet::accept_conn;
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
-use crate::poll::{fd_of, Poller, Waker};
+use crate::poll::{fd_of, Poller, PollerBackend, Readiness, Waker};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use crate::shard::acc_first_order;
-use referee_protocol::multiround::{BoruvkaConnectivity, MultiRoundProtocol, RefereeStep};
+use referee_protocol::multiround::RefereeStep;
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
 use referee_protocol::shard::{route_arrival, shard_range, Arrival};
 use referee_protocol::trace::TraceKind;
@@ -82,140 +90,56 @@ const MR_EXCHANGE_TWEAK: u64 = 0x6d72_7368_6172_6478; // "mrshardx"
 /// rationale and bound as the one-round sharded service.
 const FINISHED_ROUTE_CAP: usize = 4096;
 
-/// The referee half of a multi-round protocol, type-erased for the
-/// wire: the final output is pre-encoded into a [`Message`] (the client
-/// decodes it with the matching helper, e.g. [`decode_bool_output`]).
-pub trait RefereeStepper: Send {
-    /// One referee step on round `round`'s complete uplink vector.
-    fn step(&mut self, n: usize, round: usize, uplinks: &[Message]) -> RefereeStep<Message>;
-}
+// The protocol-agnostic referee service layer — [`WireReferee`],
+// [`RefereeStepper`], [`ProtocolReferee`], the output codecs, and the
+// multi-protocol [`ServiceCatalog`] — lives in `protocol::service`
+// (nothing about it is wire-specific); re-exported here so historical
+// `referee_wirenet::multiround::…` paths keep working.
+pub use referee_protocol::service::{
+    boruvka_connectivity_service, decode_bool_output, decode_graph_output, encode_bool_output,
+    encode_graph_output, ProtocolReferee, RefereeStepper, ServiceCatalog, WireReferee,
+    MAX_SERVICE_NAME_BYTES,
+};
 
-/// Factory for per-session referee steppers — what
-/// [`FleetServer::spawn_multiround`](crate::FleetServer::spawn_multiround)
-/// serves. Implemented for any [`MultiRoundProtocol`] via
-/// [`ProtocolReferee`].
-pub trait WireReferee: Send + Sync {
-    /// Fresh referee state for a size-`n` session.
-    fn open(&self, n: usize) -> Box<dyn RefereeStepper>;
-    /// Server-side safety stop: a session still unfinished after this
-    /// many rounds is rejected (bounds referee state against stalled or
-    /// hostile clients).
-    fn round_cap(&self, n: usize) -> usize;
-}
+use referee_protocol::service::{class_error, error_class};
 
-/// Adapts any (cloneable) [`MultiRoundProtocol`] into a [`WireReferee`]
-/// by pairing it with an output encoder.
-pub struct ProtocolReferee<P: MultiRoundProtocol> {
-    protocol: P,
-    encode: fn(&P::Output) -> Message,
-}
-
-impl<P: MultiRoundProtocol> ProtocolReferee<P> {
-    /// Serve `protocol`, encoding each final output with `encode`.
-    pub fn new(protocol: P, encode: fn(&P::Output) -> Message) -> ProtocolReferee<P> {
-        ProtocolReferee { protocol, encode }
-    }
-}
-
-struct ProtocolStepper<P: MultiRoundProtocol> {
-    protocol: P,
-    state: P::RefereeState,
-    encode: fn(&P::Output) -> Message,
-}
-
-impl<P> RefereeStepper for ProtocolStepper<P>
-where
-    P: MultiRoundProtocol + Send,
-    P::RefereeState: Send,
-{
-    fn step(&mut self, n: usize, round: usize, uplinks: &[Message]) -> RefereeStep<Message> {
-        match self.protocol.referee_step(&mut self.state, n, round, uplinks) {
-            RefereeStep::Done(out) => RefereeStep::Done((self.encode)(&out)),
-            RefereeStep::Continue(d) => RefereeStep::Continue(d),
-        }
-    }
-}
-
-impl<P> WireReferee for ProtocolReferee<P>
-where
-    P: MultiRoundProtocol + Clone + Send + Sync + 'static,
-    P::RefereeState: Send,
-{
-    fn open(&self, n: usize) -> Box<dyn RefereeStepper> {
-        Box::new(ProtocolStepper {
-            protocol: self.protocol.clone(),
-            state: self.protocol.referee_init(n),
-            encode: self.encode,
-        })
-    }
-
-    fn round_cap(&self, n: usize) -> usize {
-        // The Borůvka bound `4·log₂(n) + 8` is comfortably above every
-        // protocol this workspace ships; widen per deployment if a
-        // future protocol needs more rounds.
-        4 * (usize::BITS - n.leading_zeros()) as usize + 8
-    }
-}
-
-/// The connectivity referee ([`BoruvkaConnectivity`]) as a wire
-/// service; decode verdict payloads with [`decode_bool_output`].
-pub fn boruvka_connectivity_service() -> Arc<dyn WireReferee> {
-    Arc::new(ProtocolReferee::new(BoruvkaConnectivity, encode_bool_output))
-}
-
-/// Encode a `Result<bool, DecodeError>` protocol output: `1·b` on
-/// success, else `0` plus the 2-bit rejection class (the same classes
-/// as the one-round verdict codec).
-pub fn encode_bool_output(out: &Result<bool, DecodeError>) -> Message {
+/// Serialize a session's `Announce` payload: the 32-bit network size,
+/// optionally followed by a one-byte length prefix + the UTF-8 bytes of
+/// the requested catalog service's name. A bare 32-bit payload selects
+/// service index 0 — exactly the wire bytes pre-catalog clients sent,
+/// so single-service deployments interoperate unchanged.
+pub(crate) fn encode_mr_announce(n: usize, service: Option<&str>) -> Message {
     let mut w = BitWriter::new();
-    match out {
-        Ok(b) => {
-            w.push_bit(true);
-            w.push_bit(*b);
-        }
-        Err(e) => {
-            w.push_bit(false);
-            w.write_bits(error_class(e), 2);
+    w.write_bits(n as u64, 32);
+    if let Some(name) = service {
+        debug_assert!(name.len() <= MAX_SERVICE_NAME_BYTES);
+        w.write_bits(name.len() as u64, 8);
+        for b in name.bytes() {
+            w.write_bits(u64::from(b), 8);
         }
     }
     Message::from_writer(w)
 }
 
-/// Inverse of [`encode_bool_output`].
-pub fn decode_bool_output(msg: &Message) -> Result<bool, DecodeError> {
-    let mut r = msg.reader();
-    if r.read_bit()? {
-        let b = r.read_bit()?;
-        if !r.is_exhausted() {
-            return Err(DecodeError::Invalid("trailing bits after bool output".into()));
-        }
-        return Ok(b);
+/// Inverse of [`encode_mr_announce`]: `(n, requested service name)`.
+/// `None` rejects a malformed payload (trailing bits, truncated name,
+/// non-UTF-8 name) — the router closes the connection, exactly as for
+/// any other undecodable frame.
+fn decode_mr_announce(payload: &Message) -> Option<(usize, Option<String>)> {
+    let mut r = payload.reader();
+    let n = r.read_bits(32).ok()? as usize;
+    if r.is_exhausted() {
+        return Some((n, None));
     }
-    let class = r.read_bits(2)?;
+    let len = r.read_bits(8).ok()? as usize;
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.read_bits(8).ok()? as u8);
+    }
     if !r.is_exhausted() {
-        return Err(DecodeError::Invalid("trailing bits after output class".into()));
+        return None;
     }
-    Err(class_error(class))
-}
-
-fn error_class(e: &DecodeError) -> u64 {
-    match e {
-        DecodeError::Truncated => 0,
-        DecodeError::OutOfRange(_) => 1,
-        DecodeError::Inconsistent(_) => 2,
-        DecodeError::Invalid(_) => 3,
-    }
-}
-
-fn class_error(class: u64) -> DecodeError {
-    match class {
-        0 => DecodeError::Truncated,
-        1 => DecodeError::OutOfRange("multi-round referee: out-of-range sender".into()),
-        2 => DecodeError::Inconsistent(
-            "multi-round referee: duplicate or missing message".into(),
-        ),
-        _ => DecodeError::Invalid("multi-round referee: invalid session traffic".into()),
-    }
+    String::from_utf8(bytes).ok().map(|name| (n, Some(name)))
 }
 
 /// Serialize a session's terminal verdict: `1` + the encoded protocol
@@ -254,8 +178,11 @@ pub(crate) fn decode_mr_verdict(msg: &Message) -> Result<Message, DecodeError> {
 /// Router → worker (and worker → worker 0) traffic; sessions keyed by
 /// `(conn, session)` like the one-round service.
 pub(crate) enum MrMsg {
-    /// A session opened: every worker creates its round-1 shard.
-    Announce { conn: u32, session: u64, n: usize, epoch: u32 },
+    /// A session opened: every worker creates its round-1 shard under
+    /// the catalog service the router resolved (an index into the
+    /// shared [`ServiceCatalog`] — the router fails unknown names
+    /// closed before they reach any worker).
+    Announce { conn: u32, session: u64, n: usize, epoch: u32, service: u32 },
     /// An authenticated round-stamped uplink routed to this worker's
     /// range.
     Data { conn: u32, env: Envelope },
@@ -298,11 +225,17 @@ struct SessionRoute {
     finished: bool,
 }
 
-/// Per-session state inside one worker.
+/// Per-session state inside one worker — keyed by (conn, session) in
+/// the worker's map, with the resolved catalog `service` pinned at
+/// announce time (the stepper and round cap are that service's; a
+/// re-announced id may land on a different service under a fresh
+/// epoch).
 struct MrSession {
     conn: u32,
     n: usize,
     epoch: u32,
+    #[allow(dead_code)] // recorded for debugging; cap + stepper already carry its effect
+    service: u32,
     /// Total shards in the partition (needed to open each next round).
     shards: usize,
     /// The round this worker's shard is currently collecting.
@@ -331,7 +264,7 @@ struct MrSession {
 pub(crate) fn run_multiround_server(
     listener: TcpListener,
     key: AuthKey,
-    referee: Arc<dyn WireReferee>,
+    catalog: Arc<ServiceCatalog>,
     shards: usize,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
@@ -351,13 +284,23 @@ pub(crate) fn run_multiround_server(
             let tx0 = if i == 0 { None } else { Some(worker_txs[0].clone()) };
             let otx = OutTx { tx: out_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
-            let referee = Arc::clone(&referee);
+            let catalog = Arc::clone(&catalog);
             scope.spawn(move || {
-                mr_worker(i, shards, rx, tx0, otx, exchange_key, referee, metrics, true)
+                mr_worker(i, shards, rx, tx0, otx, exchange_key, catalog, metrics, true)
             });
         }
         drop(out_tx);
-        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx, &poller);
+        mr_route(
+            listener,
+            key,
+            &catalog,
+            shards,
+            shutdown,
+            metrics,
+            &worker_txs,
+            &out_rx,
+            &poller,
+        );
         drop(worker_txs);
     });
 }
@@ -365,7 +308,10 @@ pub(crate) fn run_multiround_server(
 /// Convert router traffic into the placement proxy's event type.
 pub(crate) fn mr_proxy_event(m: MrMsg) -> Option<ProxyEvent> {
     match m {
-        MrMsg::Announce { conn, session, n, epoch } => {
+        // Remote shard hosts only collect per-round uplink ranges —
+        // they never run a referee, so the service index stays
+        // coordinator-side.
+        MrMsg::Announce { conn, session, n, epoch, service: _ } => {
             Some(ProxyEvent::Announce { conn, session, n, epoch })
         }
         MrMsg::Data { conn, env } => Some(ProxyEvent::Data { conn, env }),
@@ -384,7 +330,7 @@ pub(crate) fn mr_proxy_event(m: MrMsg) -> Option<ProxyEvent> {
 pub(crate) fn run_multiround_server_remote(
     listener: TcpListener,
     key: AuthKey,
-    referee: Arc<dyn WireReferee>,
+    catalog: Arc<ServiceCatalog>,
     placement: RemotePlacement,
     backoff: Duration,
     shutdown: &AtomicBool,
@@ -408,9 +354,9 @@ pub(crate) fn run_multiround_server_remote(
         {
             let otx = OutTx { tx: out_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
-            let referee = Arc::clone(&referee);
+            let catalog = Arc::clone(&catalog);
             scope.spawn(move || {
-                mr_worker(0, shards, acc_rx, None, otx, exchange_key, referee, metrics, false)
+                mr_worker(0, shards, acc_rx, None, otx, exchange_key, catalog, metrics, false)
             });
         }
         for (i, rx) in proxy_rxs.into_iter().enumerate() {
@@ -418,7 +364,7 @@ pub(crate) fn run_multiround_server_remote(
             let base = &key;
             let exchange_key = &exchange_key;
             let placement = &placement;
-            let referee = Arc::clone(&referee);
+            let catalog = Arc::clone(&catalog);
             scope.spawn(move || {
                 run_proxy(
                     ProxyConfig {
@@ -436,22 +382,40 @@ pub(crate) fn run_multiround_server_remote(
                     move |bytes| {
                         let _ = acc_tx.send(MrMsg::Partial(bytes));
                     },
-                    move |n| referee.round_cap(n),
+                    // Shard hosts are service-agnostic: they bound a
+                    // session by the catalog's widest cap (worker 0
+                    // judges by the exact per-service cap regardless).
+                    move |n| catalog.max_round_cap(n),
                 )
             });
         }
         drop(out_tx);
-        mr_route(listener, key, shards, shutdown, metrics, &worker_txs, &out_rx, &poller);
+        mr_route(
+            listener,
+            key,
+            &catalog,
+            shards,
+            shutdown,
+            metrics,
+            &worker_txs,
+            &out_rx,
+            &poller,
+        );
         drop(worker_txs);
     });
 }
 
 /// The router: accepts, authenticates, routes round-stamped uplinks by
 /// session + node range, and streams downlink and verdict frames back.
+/// Like the echo server's pump, it rides the poller's readiness *sets*:
+/// only the connections the kernel flagged are filled and parsed each
+/// wake (a full probe sweep of the pool happens only when readiness
+/// degrades to `All` — the sweep backend, or the capped wait timeout).
 #[allow(clippy::too_many_arguments)]
 fn mr_route(
     listener: TcpListener,
     key: AuthKey,
+    catalog: &ServiceCatalog,
     shards: usize,
     shutdown: &AtomicBool,
     metrics: &WireMetrics,
@@ -459,25 +423,38 @@ fn mr_route(
     out_rx: &Receiver<MrOutbound>,
     poller: &Poller,
 ) {
-    poller.register(fd_of(&listener));
+    let listener_fd = fd_of(&listener);
+    poller.register(listener_fd);
     let mut gates: Vec<(u32, Conn)> = Vec::new();
     let mut announced: HashMap<(u32, u64), SessionRoute> = HashMap::new();
     let mut finished_fifo: VecDeque<(u32, u64)> = VecDeque::new();
     let mut next_id: u32 = 1;
     let mut next_epoch: u32 = 1;
     let mut scratch = vec![0u8; SCRATCH_BYTES];
+    let mut ready: Vec<i32> = Vec::new();
+    let mut readiness = Readiness::All;
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
-        while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
-            metrics.connections(1);
-            conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
-            conn.meter_with(metrics.syscall_meter());
-            poller.register(conn.fd());
-            metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
-            gates.push((id, conn));
-            progress = true;
+        if readiness == Readiness::All || ready.contains(&listener_fd) {
+            while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
+                metrics.connections(1);
+                conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+                conn.meter_with(metrics.syscall_meter());
+                poller.register(conn.fd());
+                metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
+                gates.push((id, conn));
+                progress = true;
+            }
         }
-        for (id, conn) in &mut gates {
+        let pump_list: Vec<usize> = match readiness {
+            Readiness::All => (0..gates.len()).collect(),
+            Readiness::Fds => ready
+                .iter()
+                .filter_map(|fd| gates.iter().position(|(_, c)| c.fd() == *fd))
+                .collect(),
+        };
+        for gi in pump_list {
+            let (id, conn) = &mut gates[gi];
             progress |= conn.flush() > 0;
             if conn.pending_write() > WRITE_BACKPRESSURE_BYTES {
                 if !conn.stalled {
@@ -495,14 +472,10 @@ fn mr_route(
                     Ok(None) => break,
                     Ok(Some((FrameKind::Announce, env))) => {
                         metrics.frames_received(1);
-                        let mut r = env.payload.reader();
-                        let n = match r.read_bits(32) {
-                            Ok(n) if r.is_exhausted() => n as usize,
-                            _ => {
-                                metrics.decode_rejects(1);
-                                conn.close();
-                                break;
-                            }
+                        let Some((n, name)) = decode_mr_announce(&env.payload) else {
+                            metrics.decode_rejects(1);
+                            conn.close();
+                            break;
                         };
                         if announced
                             .get(&(*id, env.session.0))
@@ -512,6 +485,60 @@ fn mr_route(
                             conn.close();
                             break;
                         }
+                        // Resolve the requested service (a bare
+                        // announce is index 0 — the pre-catalog wire
+                        // format). An unknown name fails *closed*: the
+                        // session is born finished with a typed error
+                        // verdict already queued, so the client gets a
+                        // canonical rejection instead of a hang, the
+                        // connection stays usable, and no worker ever
+                        // hears of the session.
+                        let service = match &name {
+                            None if !catalog.is_empty() => 0,
+                            Some(name) if catalog.index_of(name).is_some() => {
+                                catalog.index_of(name).expect("checked") as u32
+                            }
+                            _ => {
+                                metrics.decode_rejects(1);
+                                let payload =
+                                    encode_mr_verdict(&Err(DecodeError::Invalid(format!(
+                                        "unknown catalog service {:?}",
+                                        name.as_deref().unwrap_or("")
+                                    ))));
+                                let verdict_env = Envelope {
+                                    session: env.session,
+                                    round: 0,
+                                    from: 0,
+                                    to: 0,
+                                    payload,
+                                };
+                                let frame_len = conn
+                                    .queue_frame_mut(FrameKind::Verdict, &verdict_env)
+                                    .len();
+                                metrics.frames_sent(1);
+                                metrics.verdict_frames(1);
+                                metrics.bytes_sent(frame_len as u64);
+                                metrics.trace(
+                                    env.session.0,
+                                    trace_endpoint::SERVER,
+                                    TraceKind::Verdict,
+                                    u64::from(*id),
+                                );
+                                announced.insert(
+                                    (*id, env.session.0),
+                                    SessionRoute { n, finished: true },
+                                );
+                                finished_fifo.push_back((*id, env.session.0));
+                                while finished_fifo.len() > FINISHED_ROUTE_CAP {
+                                    let key = finished_fifo.pop_front().expect("len > cap > 0");
+                                    if announced.get(&key).is_some_and(|r| r.finished) {
+                                        announced.remove(&key);
+                                    }
+                                }
+                                progress = true;
+                                continue;
+                            }
+                        };
                         let epoch = next_epoch & 0x7fff_ffff;
                         next_epoch = next_epoch.wrapping_add(1);
                         metrics.trace(
@@ -531,6 +558,7 @@ fn mr_route(
                                 session: env.session.0,
                                 n,
                                 epoch,
+                                service,
                             });
                         }
                         progress = true;
@@ -577,16 +605,27 @@ fn mr_route(
                     }
                 }
             }
+            // Anything the parse loop queued directly (an unknown-
+            // service verdict) leaves before the conn drops off the
+            // readiness radar.
+            conn.flush();
         }
+        // Worker traffic queues frames on connections the kernel never
+        // flagged, so track which conns the drain touched and flush
+        // exactly those afterwards (one batched `write(2)` per conn per
+        // burst — a whole round's downlinks coalesce first).
+        let mut touched: Vec<u32> = Vec::new();
         while let Ok(out) = out_rx.try_recv() {
             match out {
                 MrOutbound::Downlinks { conn: cid, session, round, msgs } => {
                     match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
                         Some((_, conn)) => {
                             // A whole round's downlinks coalesce in the
-                            // write buffer; the next sweep's flush ships
-                            // them in one write (progress stays true, so
-                            // no wait intervenes).
+                            // write buffer; the post-drain flush of the
+                            // touched conns ships them in one write.
+                            if !touched.contains(&cid) {
+                                touched.push(cid);
+                            }
                             for (i, payload) in msgs.into_iter().enumerate() {
                                 let env = Envelope {
                                     session,
@@ -608,6 +647,9 @@ fn mr_route(
                 MrOutbound::Verdict { conn: cid, session, payload } => {
                     match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
                         Some((_, conn)) => {
+                            if !touched.contains(&cid) {
+                                touched.push(cid);
+                            }
                             let env = Envelope { session, round: 0, from: 0, to: 0, payload };
                             let frame_len =
                                 conn.queue_frame_mut(FrameKind::Verdict, &env).len();
@@ -640,6 +682,11 @@ fn mr_route(
             }
             progress = true;
         }
+        for cid in touched {
+            if let Some((_, conn)) = gates.iter_mut().find(|(id, _)| *id == cid) {
+                conn.flush();
+            }
+        }
         let closed: Vec<u32> =
             gates.iter().filter(|(_, c)| !c.is_open()).map(|(id, _)| *id).collect();
         for cid in &closed {
@@ -651,9 +698,16 @@ fn mr_route(
         if !closed.is_empty() {
             gates.retain(|(_, c)| c.is_open());
         }
-        if !progress {
-            poller.wait();
+        // Epoll: pumped sockets drained to WouldBlock; new bytes arrive
+        // as readiness edges and worker traffic wakes the poller via
+        // the out channel's waker, so wait (the capped timeout reports
+        // `All`, re-probing stalled conns at sweep cadence). Sweep: no
+        // edges — re-sweep immediately while traffic flows.
+        if progress && poller.backend() == PollerBackend::Sweep {
+            readiness = Readiness::All;
+            continue;
         }
+        readiness = poller.wait_ready(&mut ready);
     }
 }
 
@@ -676,14 +730,14 @@ fn mr_worker(
     tx0: Option<Sender<MrMsg>>,
     otx: OutTx,
     exchange_key: &AuthKey,
-    referee: Arc<dyn WireReferee>,
+    catalog: Arc<ServiceCatalog>,
     metrics: &WireMetrics,
     owns_range: bool,
 ) {
     let mut sessions: HashMap<(u32, u64), MrSession> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            MrMsg::Announce { conn, session, n, epoch } => {
+            MrMsg::Announce { conn, session, n, epoch, service } => {
                 // A worker whose range is empty for this n can never
                 // receive routed data and never emits: skip the session
                 // entirely (worker 0 always participates — it runs the
@@ -691,10 +745,15 @@ fn mr_worker(
                 if index != 0 && shard_range(n, shards, index).is_empty() {
                     continue;
                 }
+                // The router resolved (and fail-closed) the service
+                // name before broadcasting, so the index is valid.
+                let entry =
+                    catalog.by_index(service as usize).expect("router validated the service");
                 let mut ws = MrSession {
                     conn,
                     n,
                     epoch,
+                    service,
                     shards,
                     shard: if owns_range {
                         RoundShard::new(n, shards, index, 1)
@@ -703,11 +762,11 @@ fn mr_worker(
                         // returns immediately, forever.
                         RoundShard::new(0, 1, 0, 1)
                     },
-                    stepper: (index == 0).then(|| referee.open(n)),
+                    stepper: (index == 0).then(|| entry.open(n)),
                     referee_round: 1,
                     pending: BTreeMap::new(),
                     needed: nonempty_shards(n, shards),
-                    cap: referee.round_cap(n),
+                    cap: entry.round_cap(n),
                     opened: Instant::now(),
                     round_opened: Instant::now(),
                 };
@@ -1053,6 +1112,47 @@ mod tests {
             let back = decode_mr_verdict(&encode_mr_verdict(&Err(e.clone()))).unwrap_err();
             assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&e));
         }
+    }
+
+    #[test]
+    fn announce_codec_round_trips() {
+        for (n, service) in [
+            (0usize, None),
+            (17, None),
+            (5, Some("boruvka")),
+            (1 << 20, Some("sketch-then-reconstruct")),
+            (3, Some("x")),
+        ] {
+            let payload = encode_mr_announce(n, service);
+            assert_eq!(decode_mr_announce(&payload), Some((n, service.map(str::to_string))));
+        }
+        // A bare 32-bit announce is exactly the pre-catalog wire bytes.
+        let mut w = BitWriter::new();
+        w.write_bits(42, 32);
+        assert_eq!(encode_mr_announce(42, None), Message::from_writer(w));
+    }
+
+    #[test]
+    fn announce_codec_rejects_malformed() {
+        // Truncated name: length prefix promises more bytes than exist.
+        let mut w = BitWriter::new();
+        w.write_bits(5, 32);
+        w.write_bits(4, 8);
+        w.write_bits(u64::from(b'a'), 8);
+        assert_eq!(decode_mr_announce(&Message::from_writer(w)), None);
+        // Trailing bits after the name.
+        let mut w = BitWriter::new();
+        w.write_bits(5, 32);
+        w.write_bits(1, 8);
+        w.write_bits(u64::from(b'a'), 8);
+        w.push_bit(true);
+        assert_eq!(decode_mr_announce(&Message::from_writer(w)), None);
+        // Non-UTF-8 name bytes.
+        let mut w = BitWriter::new();
+        w.write_bits(5, 32);
+        w.write_bits(1, 8);
+        w.write_bits(0xff, 8);
+        assert_eq!(decode_mr_announce(&Message::from_writer(w)), None);
     }
 
     #[test]

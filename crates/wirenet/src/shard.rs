@@ -58,7 +58,7 @@ use crate::fleet::accept_conn;
 use crate::frame::{decode_frame, encode_wire_frame, FrameKind, WireError};
 use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
-use crate::poll::{fd_of, Poller, Waker};
+use crate::poll::{fd_of, Poller, PollerBackend, Readiness, Waker};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
 use referee_protocol::trace::TraceKind;
@@ -358,7 +358,11 @@ pub(crate) fn run_sharded_server_remote(
 }
 
 /// The router: accepts, authenticates, routes by session + node range,
-/// and writes verdicts back.
+/// and writes verdicts back. Rides the poller's readiness *sets* like
+/// the echo server's pump: each wake fills and parses only the
+/// connections the kernel flagged; a full probe sweep of the pool
+/// happens only when readiness degrades to `All` (the sweep backend, or
+/// the capped wait timeout re-probing stalled conns).
 #[allow(clippy::too_many_arguments)]
 fn route(
     listener: TcpListener,
@@ -370,7 +374,8 @@ fn route(
     verdict_rx: &Receiver<VerdictMsg>,
     poller: &Poller,
 ) {
-    poller.register(fd_of(&listener));
+    let listener_fd = fd_of(&listener);
+    poller.register(listener_fd);
     let mut gates: Vec<(u32, Conn)> = Vec::new();
     let mut announced: HashMap<(u32, u64), SessionRoute> = HashMap::new();
     let mut finished_fifo: VecDeque<(u32, u64)> = VecDeque::new();
@@ -380,18 +385,30 @@ fn route(
     // partial of that exact ancient run still in flight).
     let mut next_epoch: u32 = 1;
     let mut scratch = vec![0u8; SCRATCH_BYTES];
+    let mut ready: Vec<i32> = Vec::new();
+    let mut readiness = Readiness::All;
     while !shutdown.load(Ordering::Relaxed) {
         let mut progress = false;
-        while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
-            metrics.connections(1);
-            conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
-            conn.meter_with(metrics.syscall_meter());
-            poller.register(conn.fd());
-            metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
-            gates.push((id, conn));
-            progress = true;
+        if readiness == Readiness::All || ready.contains(&listener_fd) {
+            while let Some((id, mut conn)) = accept_conn(&listener, &key, &mut next_id) {
+                metrics.connections(1);
+                conn.trace_with(metrics.recorder_arc(), trace_endpoint::SERVER);
+                conn.meter_with(metrics.syscall_meter());
+                poller.register(conn.fd());
+                metrics.trace(0, trace_endpoint::SERVER, TraceKind::Dial, u64::from(id));
+                gates.push((id, conn));
+                progress = true;
+            }
         }
-        for (id, conn) in &mut gates {
+        let pump_list: Vec<usize> = match readiness {
+            Readiness::All => (0..gates.len()).collect(),
+            Readiness::Fds => ready
+                .iter()
+                .filter_map(|fd| gates.iter().position(|(_, c)| c.fd() == *fd))
+                .collect(),
+        };
+        for gi in pump_list {
+            let (id, conn) = &mut gates[gi];
             progress |= conn.flush() > 0;
             if conn.pending_write() > WRITE_BACKPRESSURE_BYTES {
                 if !conn.stalled {
@@ -497,6 +514,11 @@ fn route(
                 }
             }
         }
+        // Verdicts land on connections the kernel never flagged: track
+        // which conns the drain touches and flush exactly those after —
+        // every verdict queued this burst still ships in one write per
+        // conn.
+        let mut touched: Vec<u32> = Vec::new();
         while let Ok(v) = verdict_rx.try_recv() {
             match gates.iter_mut().find(|(id, c)| *id == v.conn && c.is_open()) {
                 Some((_, conn)) => {
@@ -507,9 +529,9 @@ fn route(
                         to: 0,
                         payload: v.payload,
                     };
-                    // Queue without an eager flush: progress stays true,
-                    // so the next sweep's per-connection flush ships
-                    // every verdict queued this iteration in one write.
+                    if !touched.contains(&v.conn) {
+                        touched.push(v.conn);
+                    }
                     let frame_len = conn.queue_frame_mut(FrameKind::Verdict, &env).len();
                     metrics.frames_sent(1);
                     metrics.bytes_sent(frame_len as u64);
@@ -545,6 +567,11 @@ fn route(
             }
             progress = true;
         }
+        for cid in touched {
+            if let Some((_, conn)) = gates.iter_mut().find(|(id, _)| *id == cid) {
+                conn.flush();
+            }
+        }
         let closed: Vec<u32> =
             gates.iter().filter(|(_, c)| !c.is_open()).map(|(id, _)| *id).collect();
         for cid in &closed {
@@ -556,9 +583,16 @@ fn route(
         if !closed.is_empty() {
             gates.retain(|(_, c)| c.is_open());
         }
-        if !progress {
-            poller.wait();
+        // Epoll: pumped sockets were drained to WouldBlock and worker
+        // verdicts wake the poller through the channel's waker, so go
+        // straight back to the wait (its capped timeout reports `All`,
+        // re-probing stalled conns at sweep cadence). Sweep: no edges —
+        // re-sweep immediately while traffic flows.
+        if progress && poller.backend() == PollerBackend::Sweep {
+            readiness = Readiness::All;
+            continue;
         }
+        readiness = poller.wait_ready(&mut ready);
     }
 }
 

@@ -1,0 +1,238 @@
+//! One `FleetServer`, **five concurrent catalog services** — the
+//! protocol-agnostic referee stack end to end.
+//!
+//! Phase 1: a catalog-mode server (2 shard workers) serves the whole
+//! [`standard_catalog`] — Borůvka connectivity, adaptive degeneracy
+//! reconstruction, sketch connectivity, the chained
+//! sketch-then-reconstruct composite and degree-census-extended Borůvka
+//! — while 500 sessions, interleaved across services and 6 multiplexed
+//! TCP connections, announce their service by name. Every wire verdict
+//! is bit-compared against the catalog's local replay
+//! (`CatalogEntry::run_local`, i.e. a direct `run_multiround`).
+//!
+//! Phase 2: an unknown service name fails closed with a typed error
+//! verdict (no hang, no silent drop), and the connection keeps serving.
+//!
+//! Phase 3: deliberate wire corruption against the full catalog — every
+//! accepted verdict must still be exactly honest (zero undetected).
+//!
+//! Phase 4: the same mixed workload under the sweep poller backend —
+//! kernel readiness sets must cut the server's `read(2)` syscall count.
+//!
+//! Run: `cargo run --release --example catalog_fleet`
+
+use referee_bench::{Percentiles, SloCheck};
+use referee_one_round::prelude::*;
+use referee_one_round::protocol::combinators::{
+    Chain, DegreeCensus, Extend, OneRoundAsMultiRound,
+};
+use referee_one_round::protocol::multiround::BoruvkaConnectivity;
+use referee_simnet::SessionId;
+use referee_wirenet::{AuthKey, FleetClient, FleetServer, PollerBackend, Stage, TamperConfig};
+
+const CAP: usize = 64;
+const SEED: u64 = 77;
+
+fn fleet_graphs(count: usize) -> Vec<LabelledGraph> {
+    (0..count)
+        .map(|i| {
+            let fam = &generators::GraphFamily::standard()[i % 6];
+            fam.generate(10 + i % 10, SEED ^ (i as u64).rotate_left(9))
+        })
+        .collect()
+}
+
+/// Drive session `i` against the named service with the matching node
+/// half; returns the wire verdict.
+fn run_one(
+    client: &FleetClient,
+    session: SessionId,
+    g: &LabelledGraph,
+    service: &str,
+) -> Result<Message, DecodeError> {
+    match service {
+        "boruvka" => {
+            client.run_multiround_session_as(session, service, &BoruvkaConnectivity, g, CAP)
+        }
+        "adaptive-degeneracy" => client.run_multiround_session_as(
+            session,
+            service,
+            &AdaptiveDegeneracyProtocol,
+            g,
+            CAP,
+        ),
+        "sketch-connectivity" => client.run_multiround_session_as(
+            session,
+            service,
+            &OneRoundAsMultiRound(SketchConnectivityProtocol::new(SEED)),
+            g,
+            CAP,
+        ),
+        "sketch-then-reconstruct" => client.run_multiround_session_as(
+            session,
+            service,
+            &Chain::new(
+                OneRoundAsMultiRound(SketchConnectivityProtocol::new(SEED)),
+                AdaptiveDegeneracyProtocol,
+            ),
+            g,
+            CAP,
+        ),
+        "boruvka-degrees" => client.run_multiround_session_as(
+            session,
+            service,
+            &Extend::new(BoruvkaConnectivity, DegreeCensus),
+            g,
+            CAP,
+        ),
+        other => panic!("unknown catalog service {other}"),
+    }
+}
+
+fn main() {
+    let sessions = 500usize;
+    let conns = 6usize;
+    let key = AuthKey::from_seed(2027);
+    let graphs = fleet_graphs(sessions);
+    let catalog = standard_catalog(SEED);
+    let names: Vec<String> = catalog.names().map(String::from).collect();
+    let scheduler = Scheduler::new(8, 8);
+
+    // ---- Phase 1: honest mixed-catalog soak ---------------------------
+    let server = FleetServer::builder(key)
+        .shards(2)
+        .catalog(standard_catalog(SEED))
+        .spawn()
+        .expect("bind loopback");
+    let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
+    println!(
+        "phase 1: {sessions} sessions interleaving {} catalog services over {conns} \
+         connections at {}",
+        names.len(),
+        server.addr()
+    );
+
+    let t0 = std::time::Instant::now();
+    let verdicts: Vec<Message> = scheduler.run_indexed(sessions, |i| {
+        let service = &names[i % names.len()];
+        run_one(&client, SessionId(i as u64), &graphs[i], service)
+            .unwrap_or_else(|e| panic!("session {i} ({service}): {e:?}"))
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    for (i, wire) in verdicts.iter().enumerate() {
+        let entry = catalog.get(&names[i % names.len()]).expect("registered");
+        let (truth, _) = entry.run_local(&graphs[i], CAP).expect("local half");
+        let truth = truth.expect("within round cap");
+        assert_eq!(
+            (wire.len_bits(), wire.as_bytes()),
+            (truth.len_bits(), truth.as_bytes()),
+            "session {i} ({}): wire verdict diverged from local replay",
+            entry.name()
+        );
+    }
+
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert_eq!(server_stats.verdict_frames as usize, sessions);
+    assert_eq!(server_stats.mac_rejects, 0);
+    assert_eq!(server_stats.decode_rejects, 0);
+    let epoll_reads = server_stats.read_syscalls;
+    println!("  all {sessions} verdicts bit-equal to the catalog's local replay ✓");
+    println!("  client: {client_stats}");
+    println!("  server: {server_stats}");
+    println!("  wall {wall:.3}s ≈ {:.0} mixed-catalog sessions/s", sessions as f64 / wall);
+
+    let p = Percentiles::from_hist(client_stats.stage(Stage::Verdict)).expect("sessions ran");
+    SloCheck::from_env().enforce("catalog_fleet phase 1", &p);
+
+    // ---- Phase 2: unknown service fails closed ------------------------
+    let server = FleetServer::builder(key)
+        .catalog(standard_catalog(SEED))
+        .spawn()
+        .expect("bind loopback");
+    let client = FleetClient::connect(server.addr(), 1, key).expect("connect");
+    println!("\nphase 2: announcing an unknown service");
+    let err = client
+        .run_multiround_session_as(
+            SessionId(1),
+            "no-such-service",
+            &BoruvkaConnectivity,
+            &graphs[0],
+            CAP,
+        )
+        .expect_err("unknown service must fail closed");
+    assert!(matches!(err, DecodeError::Invalid(_)), "typed error expected, got {err:?}");
+    let wire = run_one(&client, SessionId(2), &graphs[0], "boruvka")
+        .expect("connection still serves after the rejection");
+    let entry = catalog.get("boruvka").expect("registered");
+    let (truth, _) = entry.run_local(&graphs[0], CAP).expect("local half");
+    assert_eq!(wire.as_bytes(), truth.expect("verdict").as_bytes());
+    let stats = server.stop();
+    assert!(stats.decode_rejects > 0);
+    println!("  typed error verdict received, connection kept serving ✓");
+
+    // ---- Phase 3: tamper, zero undetected -----------------------------
+    let corrupt = 60usize;
+    let server = FleetServer::builder(key)
+        .shards(2)
+        .catalog(standard_catalog(SEED))
+        .spawn()
+        .expect("bind loopback");
+    let client = FleetClient::connect(server.addr(), corrupt.min(8), key)
+        .expect("connect")
+        .with_tamper(TamperConfig { flip_every: 3 });
+    println!("\nphase 3: {corrupt} sessions across all services, every 3rd frame corrupted");
+
+    let mut undetected = 0usize;
+    for (i, g) in graphs.iter().take(corrupt).enumerate() {
+        let service = &names[i % names.len()];
+        if let Ok(wire) = run_one(&client, SessionId(i as u64), g, service) {
+            let entry = catalog.get(service).expect("registered");
+            let (truth, _) = entry.run_local(g, CAP).expect("local half");
+            if wire.as_bytes() != truth.expect("verdict").as_bytes() {
+                undetected += 1;
+            }
+        }
+    }
+    let client_stats = client.metrics();
+    let server_stats = server.stop();
+    assert!(client_stats.tampered > 0, "tamper hook never fired");
+    assert!(server_stats.mac_rejects > 0, "no corruption reached MAC verification");
+    assert_eq!(undetected, 0, "a corrupted catalog session was accepted");
+    println!(
+        "  {} frames tampered, {} MAC rejections, zero undetected ✓",
+        client_stats.tampered, server_stats.mac_rejects
+    );
+
+    // ---- Phase 4: readiness sets cut read(2) syscalls -----------------
+    println!("\nphase 4: same workload on the sweep backend (readiness-set control)");
+    let server = FleetServer::builder(key)
+        .shards(2)
+        .catalog(standard_catalog(SEED))
+        .poller(PollerBackend::Sweep)
+        .spawn()
+        .expect("bind loopback");
+    let client = FleetClient::connect(server.addr(), conns, key).expect("connect");
+    let _sweep_verdicts: Vec<Message> = scheduler.run_indexed(sessions, |i| {
+        let service = &names[i % names.len()];
+        run_one(&client, SessionId(i as u64), &graphs[i], service)
+            .unwrap_or_else(|e| panic!("session {i} ({service}): {e:?}"))
+    });
+    let sweep_stats = server.stop();
+    let sweep_reads = sweep_stats.read_syscalls;
+    println!("  epoll read(2): {epoll_reads}, sweep read(2): {sweep_reads}");
+    if cfg!(target_os = "linux") {
+        assert!(
+            epoll_reads < sweep_reads,
+            "readiness sets must cut server read(2) syscalls (epoll {epoll_reads} vs \
+             sweep {sweep_reads})"
+        );
+        println!(
+            "  readiness sets cut server read(2) syscalls by {:.1}× ✓",
+            sweep_reads as f64 / epoll_reads.max(1) as f64
+        );
+    }
+
+    println!("\nmixed-catalog fleet demo completed ✓");
+}
