@@ -151,11 +151,17 @@ impl HistSnapshot {
         &self.buckets
     }
 
-    /// The `q`-quantile (`0 < q ≤ 1`) as a bucket upper bound in
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) as a bucket upper bound in
     /// microseconds: the bound of the bucket where the cumulative count
     /// first reaches `⌈q · count⌉`. Overestimates the true sample by
-    /// strictly less than 2× outside the overflow bucket. Returns 0 on an
-    /// empty histogram.
+    /// strictly less than 2× outside the overflow bucket.
+    ///
+    /// Edge cases are pinned, not implementation-defined: an **empty**
+    /// snapshot (every bucket zero — `count() == 0`) returns **0** for
+    /// every `q`; a snapshot whose samples are all the value 0 returns
+    /// 0 too ([`bucket_bound`]`(0) == 0`); and `q = 0` clamps the rank
+    /// to 1, reporting the bound of the lowest non-empty bucket.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
         let count = self.count();
@@ -283,6 +289,42 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.quantile(0.5), 0);
         assert_eq!(s, HistSnapshot::default());
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty snapshot: 0 for every q, across the whole range.
+        let empty = HistSnapshot::new();
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty snapshot, q={q}");
+        }
+        assert_eq!((empty.p50(), empty.p99(), empty.p999()), (0, 0, 0));
+
+        // All samples are the value 0: non-empty, but every quantile is
+        // still the bucket-0 bound, which is 0.
+        let mut zeros = HistSnapshot::new();
+        for _ in 0..5 {
+            zeros.record_us(0);
+        }
+        assert_eq!(zeros.count(), 5);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(zeros.quantile(q), 0, "all-zero samples, q={q}");
+        }
+
+        // q = 0 clamps to rank 1: the lowest non-empty bucket's bound.
+        let mut mixed = HistSnapshot::new();
+        mixed.record_us(100);
+        mixed.record_us(100_000);
+        assert_eq!(mixed.quantile(0.0), bucket_bound(bucket_of(100)));
+
+        // Subtracting a snapshot from itself empties it again.
+        assert_eq!(mixed.delta(&mixed).quantile(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range_q() {
+        HistSnapshot::new().quantile(1.5);
     }
 
     #[test]

@@ -37,6 +37,11 @@
 //!   trace events with the same mergeable-snapshot discipline as
 //!   [`hist`], plus Chrome `trace_event` rendering for failure-triggered
 //!   post-mortems.
+//! * [`evidence`] — attributable misbehavior: MAC'd
+//!   [`EvidenceRecord`] transcripts, the typed [`ProvableError`]
+//!   taxonomy, self-contained gamma-coded [`EvidenceBundle`]s, and the
+//!   standalone [`verify_bundle`] / [`prosecute`] third-party checks —
+//!   see *Accountability* below.
 //! * [`baseline`] — the naive adjacency-list protocol (frugal only for
 //!   bounded degree, footnote 1 of the paper).
 //! * [`multiround`] — the CONGEST-with-referee extension (§IV "more
@@ -91,11 +96,50 @@
 //! `register` it under a unique name, and hand the same catalog to the
 //! server builder and to any ground-truth replay
 //! ([`service::CatalogEntry::run_local`]).
+//!
+//! # Accountability
+//!
+//! Fail-closed rejection proves *something* misbehaved; [`evidence`]
+//! proves *who*. Every authenticated transmission can be retained as an
+//! [`EvidenceRecord`] — the exact MAC-covered bytes plus the
+//! key-schedule derivation path of the key that signed them:
+//!
+//! ```text
+//! body = [ver:1][kind:1][session:8][round:4][from:4][to:4][len_bits:4][payload]
+//! tag  = siphash24(base.derive(path₀).derive(path₁)…, body)
+//! ```
+//!
+//! When a referee observes a provable violation (the [`ProvableError`]
+//! taxonomy: equivocation, duplicate sender, out-of-range sender,
+//! wrong round, malformed uplink, stale replay) it packages the
+//! offending records into a gamma-coded, self-contained
+//! [`EvidenceBundle`]. The verification recipe for a third party — no
+//! live state, no trust in the accuser:
+//!
+//! 1. obtain the session **base key** and the public
+//!    [`SessionParams`] (session id, `n`, round cap) out of band;
+//! 2. decode the bundle ([`EvidenceBundle::from_bytes`] for the
+//!    self-contained byte form, [`EvidenceBundle::decode`] for the
+//!    in-message form);
+//! 3. run [`verify_bundle`] — it re-MACs every record under the
+//!    bundle's own derivation paths and checks the *shape rule* of the
+//!    claimed error; `Ok(`[`Attribution`]`)` names the culprit
+//!    (`None` for documented-but-unattributable facts like identical
+//!    duplicates, which an at-least-once network produces without
+//!    malice), any forgery or mismatch is a typed [`EvidenceError`].
+//!
+//! Alternatively [`prosecute`] sweeps a whole retained transcript and
+//! emits every bundle it can prove. Soundness is the **no-framing**
+//! property: only the holder of the derived key can produce a
+//! MAC-valid record under a path, and no set of records an honest
+//! party signs satisfies any attributable shape rule — pinned by the
+//! evidence proptests and the `byzantine_fleet` wire soak.
 
 pub mod baseline;
 pub mod bits;
 pub mod combinators;
 pub mod easy;
+pub mod evidence;
 pub mod frugality;
 pub mod hist;
 pub mod mac;
@@ -109,6 +153,10 @@ pub mod trace;
 
 pub use bits::{BitReader, BitWriter};
 pub use combinators::{Chain, Extend, OneRoundAsMultiRound, UplinkExtension};
+pub use evidence::{
+    prosecute, verify_bundle, Attribution, EvidenceBundle, EvidenceError, EvidenceRecord,
+    ProvableError, SessionParams,
+};
 pub use frugality::{FrugalityAudit, FrugalityReport};
 pub use hist::{bucket_bound, bucket_of, HistSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use mac::{siphash24, siphash24_truncated, MacKey};

@@ -84,6 +84,13 @@ impl RoundShard {
         self.inner.note_duplicate(sender);
     }
 
+    /// The uplink recorded for `sender` this round, if any (what an
+    /// accountability layer signs as the original of an equivocation
+    /// pair — see [`crate::evidence`]).
+    pub fn message_for(&self, sender: VertexId) -> Option<&Message> {
+        self.inner.message_for(sender)
+    }
+
     /// The shard's per-round summary, ready to exchange and merge.
     pub fn into_partial(self) -> RoundPartialState {
         RoundPartialState { round: self.round, inner: self.inner.into_partial() }

@@ -81,11 +81,14 @@ pub enum TraceKind {
     TaskStart = 12,
     /// A scheduler task finished (payload: task index).
     TaskEnd = 13,
+    /// An evidence bundle was emitted for a provable violation
+    /// (payload: accused principal when known).
+    Evidence = 14,
 }
 
 impl TraceKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [TraceKind; 14] = [
+    pub const ALL: [TraceKind; 15] = [
         TraceKind::Dial,
         TraceKind::Redial,
         TraceKind::Announce,
@@ -100,6 +103,7 @@ impl TraceKind {
         TraceKind::Kill,
         TraceKind::TaskStart,
         TraceKind::TaskEnd,
+        TraceKind::Evidence,
     ];
 
     /// Stable snake_case name (used in Chrome trace output and logs).
@@ -119,6 +123,7 @@ impl TraceKind {
             TraceKind::Kill => "kill",
             TraceKind::TaskStart => "task_start",
             TraceKind::TaskEnd => "task_end",
+            TraceKind::Evidence => "evidence",
         }
     }
 

@@ -1,0 +1,168 @@
+//! Replay idempotence for the redial path: a [`ShardJournal`] replayed
+//! into a fresh shard after a reconnect rebuilds **bit-for-bit** the
+//! same uncommitted round state no matter how many times the replay
+//! runs — the property that makes a shard-host kill/redial/kill/redial
+//! sequence safe against double-delivery of journaled uplinks.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
+use referee_protocol::shard::replay::{Recorded, ShardJournal};
+use referee_protocol::shard::Arrival;
+use referee_protocol::{BitWriter, Message};
+use std::collections::BTreeMap;
+
+fn msg(value: u64, width: u32) -> Message {
+    let mut w = BitWriter::new();
+    w.write_bits(value & ((1u64 << width) - 1), width);
+    Message::from_writer(w)
+}
+
+/// What a reconnected shard host ends up holding after one full journal
+/// replay: per uncommitted round, the encoded partial of a fresh shard
+/// fed the replay stream under the monolithic duplicate policy —
+/// exactly the bytes the host would emit once each round completes.
+fn rebuilt_state(journal: &ShardJournal, n: usize) -> Vec<(u32, Message)> {
+    let mut per_round: BTreeMap<u32, RoundShard> = BTreeMap::new();
+    for (round, sender, payload) in journal.replay() {
+        let shard = per_round.entry(round).or_insert_with(|| RoundShard::new(n, 1, 0, round));
+        if let Ok(Arrival::Duplicate { .. }) = shard.ingest(sender, payload.clone()) {
+            shard.note_duplicate(sender);
+        }
+    }
+    per_round.into_iter().map(|(r, s)| (r, s.into_partial().encode())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Random routed streams with interleaved commits: replaying the
+    /// journal twice (two successive redials) rebuilds byte-identical
+    /// partials, the journal itself is untouched by replay, committed
+    /// rounds never resurface, and a straggler for a committed round is
+    /// classified `Stale` without perturbing the replay stream.
+    #[test]
+    fn replay_twice_rebuilds_identical_state(
+        n in 1usize..20,
+        ops in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut journal = ShardJournal::new(n);
+        for _ in 0..ops {
+            if rng.gen_bool(0.15) {
+                journal.commit(rng.gen_range(1..6u64) as u32);
+            } else {
+                // Mostly in-range senders, some strays (0 or > n).
+                let sender = rng.gen_range(0..n as u64 + 4) as u32;
+                let round = rng.gen_range(1..8u64) as u32;
+                journal.record(round, sender, msg(rng.gen_range(0..1 << 16), 20));
+            }
+        }
+
+        let before = (journal.resume_round(), journal.buffered());
+        let first = rebuilt_state(&journal, n);
+        let second = rebuilt_state(&journal, n);
+        prop_assert_eq!(&first, &second, "second replay diverged");
+        prop_assert_eq!(
+            (journal.resume_round(), journal.buffered()),
+            before,
+            "replay mutated the journal"
+        );
+
+        // Nothing below the resume round may ever replay: the shard
+        // host no longer holds those rounds, re-sending them would
+        // poison committed state.
+        let resume = journal.resume_round();
+        prop_assert!(journal.replay().all(|(r, _, _)| r >= resume));
+
+        // Double-delivery of committed history: the redial race can
+        // hand the journal an uplink for an already-merged round. It
+        // must be classified Stale and leave the replay untouched.
+        if journal.committed() {
+            let stream: Vec<(u32, u32, Message)> =
+                journal.replay().map(|(r, v, m)| (r, v, m.clone())).collect();
+            let verdict = journal.record(resume - 1, 1, msg(7, 5));
+            prop_assert_eq!(verdict, Recorded::Stale);
+            let after: Vec<(u32, u32, Message)> =
+                journal.replay().map(|(r, v, m)| (r, v, m.clone())).collect();
+            prop_assert_eq!(stream, after, "a stale record changed the replay");
+            prop_assert_eq!(rebuilt_state(&journal, n), first);
+        }
+    }
+
+    /// The replay stream itself is stable: two collections of
+    /// `replay()` see the same (round, sender, payload) triples in the
+    /// same order — rounds ascending, routing order within a round.
+    #[test]
+    fn replay_iteration_is_deterministic(
+        n in 1usize..16,
+        ops in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut journal = ShardJournal::new(n);
+        for _ in 0..ops {
+            let sender = rng.gen_range(1..=n as u64) as u32;
+            let round = rng.gen_range(1..5u64) as u32;
+            journal.record(round, sender, msg(rng.gen_range(0..1 << 10), 12));
+        }
+        let a: Vec<(u32, u32, Message)> =
+            journal.replay().map(|(r, v, m)| (r, v, m.clone())).collect();
+        let b: Vec<(u32, u32, Message)> =
+            journal.replay().map(|(r, v, m)| (r, v, m.clone())).collect();
+        prop_assert_eq!(&a, &b);
+        let mut rounds: Vec<u32> = a.iter().map(|(r, _, _)| *r).collect();
+        let sorted = {
+            let mut s = rounds.clone();
+            s.sort_unstable();
+            s
+        };
+        prop_assert_eq!(&mut rounds, &sorted, "replay not round-ordered");
+    }
+}
+
+/// The bit-for-bit acceptance case spelled out: fill half a round, kill
+/// the host, replay into a fresh shard, finish the round — the partial
+/// equals the one an uninterrupted shard would have shipped.
+#[test]
+fn reconnect_mid_round_is_bit_transparent() {
+    let n = 6usize;
+    let uplinks: Vec<(u32, Message)> =
+        (1..=n as u32).map(|v| (v, msg(u64::from(v) * 3 + 1, 9))).collect();
+
+    // Uninterrupted run.
+    let mut direct = RoundShard::new(n, 1, 0, 1);
+    for (v, m) in &uplinks {
+        direct.ingest(*v, m.clone()).unwrap();
+    }
+    let expected = direct.into_partial().encode();
+
+    // Journaled run: three uplinks reach the host, then it dies. The
+    // journal replays them into a fresh shard; the rest arrive live.
+    let mut journal = ShardJournal::new(n);
+    for (v, m) in &uplinks {
+        assert_eq!(journal.record(1, *v, m.clone()), Recorded::Forward);
+    }
+    let mut rebuilt = RoundShard::new(n, 1, 0, journal.resume_round());
+    for (round, v, m) in journal.replay() {
+        assert_eq!(round, 1);
+        rebuilt.ingest(v, m.clone()).unwrap();
+    }
+    let replayed = rebuilt.into_partial().encode();
+    assert_eq!(replayed, expected, "replayed partial differs from the uninterrupted one");
+
+    // Once the partial commits, the journal drops the round and a
+    // second reconnect has nothing to replay — committed state cannot
+    // be double-applied.
+    journal.commit(1);
+    assert!(journal.committed());
+    assert_eq!(journal.buffered(), 0);
+    assert_eq!(journal.replay().count(), 0);
+    assert_eq!(
+        RoundPartialState::decode(n, &expected).unwrap().round(),
+        1,
+        "sanity: the committed partial still decodes"
+    );
+}

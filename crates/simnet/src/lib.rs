@@ -93,6 +93,7 @@
 //! That is the same trust model as the paper's, now observable per
 //! message.
 
+pub mod byzantine;
 pub mod clock;
 pub mod fault;
 pub mod metrics;
@@ -102,11 +103,12 @@ pub mod session;
 pub mod shard;
 pub mod transport;
 
+pub use byzantine::{ByzantineConfig, InjectionCounts, Misbehaving};
 pub use clock::{real_clock, Clock, ManualClock, RealClock, SharedClock};
 pub use fault::{FaultConfig, FaultyTransport};
 pub use metrics::{AggregateMetrics, SessionMetrics, TransportCounters};
 pub use placement::{PlacementReport, PlacementSim};
-pub use scheduler::{MixedLane, MixedReport, Scheduler, SweepReport};
+pub use scheduler::{ByzantineReport, MixedLane, MixedReport, Scheduler, SweepReport};
 pub use session::{MultiRoundReport, MultiRoundSession, OneRoundReport, OneRoundSession, Step};
 pub use shard::multiround::{ShardedMultiRoundReport, ShardedMultiRoundSession};
 pub use shard::{ShardedOneRoundSession, ShardedReport};

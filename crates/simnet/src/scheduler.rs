@@ -13,6 +13,7 @@
 //! with every core already driving sessions, a per-session fan-out would
 //! only oversubscribe the machine.
 
+use crate::byzantine::{ByzantineConfig, InjectionCounts, Misbehaving};
 use crate::fault::{FaultConfig, FaultyTransport};
 use crate::metrics::AggregateMetrics;
 use crate::session::{
@@ -20,10 +21,12 @@ use crate::session::{
 };
 use crate::shard::multiround::{ShardedMultiRoundReport, ShardedMultiRoundSession};
 use crate::shard::{ShardedOneRoundSession, ShardedReport};
-use crate::transport::PerfectTransport;
-use referee_graph::LabelledGraph;
+use crate::transport::{PerfectTransport, SessionId};
+use referee_graph::{LabelledGraph, VertexId};
+use referee_protocol::evidence::{EvidenceBundle, SessionParams};
 use referee_protocol::multiround::{MultiRoundProtocol, MultiRoundStats};
 use referee_protocol::trace::{wall_clock_us, FlightRecorder, TraceKind};
+use referee_protocol::MacKey;
 use referee_protocol::{DecodeError, Message, OneRoundProtocol};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -248,6 +251,63 @@ impl Scheduler {
         })
     }
 
+    /// Sweep sharded one-round sessions over seeded byzantine
+    /// [`Misbehaving`] transports: lane `i` runs on `graphs[i]` with a
+    /// per-lane derived seed, byzantine mask, session id and base key,
+    /// and after the session ends (however it ends) the independent
+    /// prosecutor scans the MAC'd transcript into evidence bundles.
+    /// Each [`ByzantineReport`] carries everything a third-party
+    /// verifier needs (`base`, `params`) plus the injection ground
+    /// truth, so harnesses can assert the accountability properties —
+    /// completeness and no-framing — per lane.
+    pub fn sweep_byzantine<P>(
+        &self,
+        protocol: &P,
+        graphs: &[LabelledGraph],
+        shards: usize,
+        cfg: ByzantineConfig,
+    ) -> SweepReport<ByzantineReport<P::Output>>
+    where
+        P: OneRoundProtocol + Sync,
+        P::Output: Send,
+    {
+        self.sweep(graphs.len(), |lo, hi| {
+            let mut lanes: Vec<Option<_>> = (lo..hi)
+                .map(|i| {
+                    let g = &graphs[i];
+                    let lane_cfg = ByzantineConfig { seed: lane_seed(cfg.seed, i), ..cfg };
+                    let params =
+                        SessionParams { session: i as u64 + 1, n: g.n() as u32, round_cap: 1 };
+                    let base = byzantine_base_key(lane_cfg.seed);
+                    let mask = lane_cfg.sample_mask(g.n());
+                    let transport =
+                        Misbehaving::new(PerfectTransport::new(), lane_cfg, mask, base, params);
+                    let session = ShardedOneRoundSession::new(protocol, g, shards)
+                        .with_session(SessionId(params.session))
+                        .with_exchange_seed(lane_seed(0x6b79_7a61, i));
+                    Some((session, transport))
+                })
+                .collect();
+            drive_interleaved(
+                &mut lanes,
+                |s, t| s.step(t),
+                |s, t: &Misbehaving<PerfectTransport>| {
+                    let report = s.into_report(t);
+                    ByzantineReport {
+                        outcome: report.outcome,
+                        metrics: report.metrics,
+                        shards: report.shards,
+                        base: t.base_key(),
+                        params: t.params(),
+                        mask: t.mask().iter().copied().collect(),
+                        injections: t.injections(),
+                        bundles: t.prosecute(),
+                    }
+                },
+            )
+        })
+    }
+
     /// Sweep a **heterogeneous mix** of protocols in one pool: session
     /// `i` runs `lanes[i % lanes.len()]`'s protocol on `graphs[i]`, so
     /// sessions of every service interleave within each claimed batch —
@@ -358,6 +418,17 @@ fn lane_seed(base: u64, lane: usize) -> u64 {
         .wrapping_add(0xd1b54a32d192ed03)
 }
 
+/// Deterministic per-lane session base key for byzantine sweeps (a
+/// fixture-quality derivation — real deployments provision keys out of
+/// band).
+fn byzantine_base_key(seed: u64) -> MacKey {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&seed.to_le_bytes());
+    k[8..]
+        .copy_from_slice(&seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17).to_le_bytes());
+    MacKey(k)
+}
+
 /// Round-robin step every live lane until all complete.
 fn drive_interleaved<S, T, R>(
     lanes: &mut [Option<(S, T)>],
@@ -447,6 +518,40 @@ impl<O> Report for MultiRoundReport<O> {
 }
 
 impl<O> Report for ShardedReport<O> {
+    fn metrics(&self) -> &crate::metrics::SessionMetrics {
+        &self.metrics
+    }
+    fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Outcome of one byzantine-sweep lane: the session result plus
+/// everything needed to independently verify (or refute) the evidence
+/// the prosecutor produced.
+#[derive(Debug)]
+pub struct ByzantineReport<O> {
+    /// The referee's output, or the failure that ended the session.
+    pub outcome: Result<O, DecodeError>,
+    /// Per-session delivery metrics.
+    pub metrics: crate::metrics::SessionMetrics,
+    /// Shard count the session ran with.
+    pub shards: usize,
+    /// The session base key — the only secret a third-party verifier
+    /// needs.
+    pub base: MacKey,
+    /// Public session facts ([`verify_bundle`](referee_protocol::evidence::verify_bundle)
+    /// input).
+    pub params: SessionParams,
+    /// The byzantine nodes this lane actually ran with.
+    pub mask: Vec<VertexId>,
+    /// Injection ground truth from the [`Misbehaving`] wrapper.
+    pub injections: InjectionCounts,
+    /// Evidence bundles the prosecutor built from the transcript.
+    pub bundles: Vec<EvidenceBundle>,
+}
+
+impl<O> Report for ByzantineReport<O> {
     fn metrics(&self) -> &crate::metrics::SessionMetrics {
         &self.metrics
     }

@@ -1,0 +1,231 @@
+//! The accountability harness: seeds × byzantine masks × k=1..=8
+//! shards, asserting the three evidence properties.
+//!
+//! * **Completeness** — every byzantine-caused session failure that
+//!   involved a provable injection yields at least one bundle that
+//!   `verify_bundle` accepts and that attributes a byzantine node.
+//!   (Pure withholding is the documented exception: absence leaves no
+//!   record, so those failures yield no bundle — and accuse nobody.)
+//! * **No-framing soundness** — across every seed, mask and shard
+//!   count, no bundle ever attributes an honest node: every emitted
+//!   bundle verifies, and every `Some` culprit is in the byzantine
+//!   mask.
+//! * **Forgery rejection** — bit-flipped, tag-tampered, re-accused,
+//!   re-labelled and spliced variants of valid bundles always fail
+//!   `verify_bundle`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use referee_graph::generators;
+use referee_protocol::easy::EdgeCountProtocol;
+use referee_protocol::evidence::{verify_bundle, EvidenceBundle, ProvableError};
+use referee_simnet::{ByzantineConfig, Scheduler};
+
+fn graphs(seed: u64, lanes: usize) -> Vec<referee_graph::LabelledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..lanes)
+        .map(|_| {
+            let n = rng.gen_range(4..=16);
+            generators::gnp(n, 0.3, &mut rng)
+        })
+        .collect()
+}
+
+/// Exhaustive forgery sweep over one valid bundle: every mutation must
+/// fail verification.
+fn assert_forgeries_fail(
+    base: &referee_protocol::MacKey,
+    params: &referee_protocol::evidence::SessionParams,
+    bundle: &EvidenceBundle,
+    honest: &[u32],
+) {
+    // Flip every bit of every record body.
+    for (ri, rec) in bundle.records.iter().enumerate() {
+        for byte in 0..rec.body.len() {
+            let mut forged = bundle.clone();
+            forged.records[ri].body[byte] ^= 1;
+            assert!(
+                verify_bundle(base, params, &forged).is_err(),
+                "byte-flipped record {ri} byte {byte} verified"
+            );
+        }
+        // Tamper the tag.
+        let mut forged = bundle.clone();
+        forged.records[ri].tag ^= 0x8000_0001;
+        assert!(verify_bundle(base, params, &forged).is_err());
+        // Graft the record onto a different principal's path.
+        let mut forged = bundle.clone();
+        if let Some(last) = forged.records[ri].path.last_mut() {
+            *last ^= 1;
+        }
+        assert!(verify_bundle(base, params, &forged).is_err());
+    }
+    // Re-point the accusation at every honest node.
+    for &h in honest {
+        let mut forged = bundle.clone();
+        forged.accused = Some(h);
+        assert!(
+            verify_bundle(base, params, &forged).is_err(),
+            "re-accusing honest node {h} verified"
+        );
+    }
+    // Re-label the claimed error (keeping the accusation shape legal).
+    for e in ProvableError::ALL {
+        if e == bundle.error {
+            continue;
+        }
+        let mut forged = bundle.clone();
+        forged.error = e;
+        if !e.attributable() {
+            forged.accused = None;
+        } else if forged.accused.is_none() {
+            forged.accused = bundle.records[0].path.last().map(|&p| p as u32);
+        }
+        assert!(
+            verify_bundle(base, params, &forged).is_err(),
+            "re-labelling {:?} as {:?} verified",
+            bundle.error,
+            e
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline sweep: per (seed, shard count) run a fleet of lanes
+    /// with seeded byzantine masks and check completeness + no-framing
+    /// + codec round-trip on every lane, plus a forgery sweep on a
+    /// sample of valid bundles.
+    #[test]
+    fn byzantine_sweep_is_complete_and_never_frames(
+        seed in any::<u64>(),
+        k in 1usize..=8,
+        byz10 in 0u32..=6,
+    ) {
+        let gs = graphs(seed, 24);
+        let cfg = ByzantineConfig {
+            byzantine: byz10 as f64 / 10.0,
+            seed,
+            ..ByzantineConfig::full(seed)
+        };
+        let sweep = Scheduler::new(2, 8).sweep_byzantine(&EdgeCountProtocol, &gs, k, cfg);
+        prop_assert_eq!(sweep.reports.len(), gs.len());
+
+        for (lane, report) in sweep.reports.iter().enumerate() {
+            let mask = &report.mask;
+
+            // No byzantine nodes and no injections: the run must
+            // succeed and the prosecutor must stay silent.
+            if report.injections.total() == 0 {
+                prop_assert!(
+                    report.outcome.is_ok(),
+                    "lane {lane}: clean run failed: {:?}",
+                    report.outcome
+                );
+                prop_assert!(
+                    report.bundles.is_empty(),
+                    "lane {lane}: bundles without injections: {:?}",
+                    report.bundles
+                );
+            }
+
+            let mut attributed_byzantine = false;
+            for bundle in &report.bundles {
+                // No-framing, part 1: every emitted bundle verifies.
+                let att = verify_bundle(&report.base, &report.params, bundle)
+                    .expect("emitted bundle must verify");
+                // No-framing, part 2: a culprit is always byzantine.
+                if let Some(c) = att.culprit {
+                    prop_assert!(
+                        mask.contains(&c),
+                        "lane {lane}: bundle attributes honest node {c} (mask {mask:?})"
+                    );
+                    attributed_byzantine = true;
+                }
+                // Self-containment: the bundle survives its canonical
+                // byte form and re-verifies after decode.
+                let rt = EvidenceBundle::from_bytes(&bundle.to_bytes()).unwrap();
+                prop_assert_eq!(&rt, bundle);
+                verify_bundle(&report.base, &report.params, &rt).unwrap();
+            }
+
+            // Completeness: a failed session with at least one provable
+            // injection must attribute a byzantine node.
+            if report.outcome.is_err() && report.injections.provable() > 0 {
+                prop_assert!(
+                    attributed_byzantine,
+                    "lane {lane}: failure with {} provable injections produced no \
+                     attributable bundle ({} bundles)",
+                    report.injections.provable(),
+                    report.bundles.len()
+                );
+            }
+        }
+
+        // Forgery sweep on the first few valid bundles of the fleet.
+        let mut forged = 0;
+        for report in &sweep.reports {
+            for bundle in &report.bundles {
+                if forged >= 3 {
+                    break;
+                }
+                let honest: Vec<u32> = (1..=report.params.n)
+                    .filter(|v| !report.mask.contains(v))
+                    .collect();
+                assert_forgeries_fail(&report.base, &report.params, bundle, &honest);
+                forged += 1;
+            }
+        }
+    }
+
+    /// Provable-only configuration (the one CI gates on): every
+    /// byzantine-caused failure must be attributed — no exceptions.
+    #[test]
+    fn provable_only_failures_are_always_attributed(
+        seed in any::<u64>(),
+        k in 1usize..=8,
+    ) {
+        let gs = graphs(seed ^ 0x70726f76, 16);
+        let cfg = ByzantineConfig {
+            byzantine: 0.35,
+            seed,
+            ..ByzantineConfig::provable(seed)
+        };
+        let sweep = Scheduler::new(2, 8).sweep_byzantine(&EdgeCountProtocol, &gs, k, cfg);
+        // The harness must not be vacuous: at a 35% byzantine rate over
+        // 16 lanes some injections (and thus bundles) must exist.
+        let total: u64 = sweep.reports.iter().map(|r| r.injections.total()).sum();
+        prop_assert!(total > 0, "no injections across the whole sweep");
+        prop_assert!(
+            sweep.reports.iter().any(|r| !r.bundles.is_empty()),
+            "no evidence across the whole sweep"
+        );
+        for (lane, report) in sweep.reports.iter().enumerate() {
+            prop_assert_eq!(
+                report.injections.total(),
+                report.injections.provable(),
+                "provable config must not withhold or duplicate"
+            );
+            if report.outcome.is_err() {
+                // Under a perfect inner transport the only failure
+                // cause is byzantine behavior, and with provable-only
+                // actions there is always an attributable bundle.
+                let attributed = report.bundles.iter().any(|b| {
+                    verify_bundle(&report.base, &report.params, b)
+                        .ok()
+                        .and_then(|a| a.culprit)
+                        .is_some_and(|c| report.mask.contains(&c))
+                });
+                prop_assert!(
+                    attributed,
+                    "lane {lane}: unattributed byzantine failure \
+                     (injections {:?}, mask {:?})",
+                    report.injections,
+                    report.mask
+                );
+            }
+        }
+    }
+}

@@ -71,6 +71,14 @@ impl AuthKey {
     pub fn verify(&self, body: &[u8], tag: u64) -> bool {
         self.tag(body) == tag
     }
+
+    /// The raw [`MacKey`] — the evidence layer
+    /// ([`referee_protocol::evidence`]) signs and verifies transcript
+    /// records under the same per-connection keys the frames themselves
+    /// use, so a bundle's derivation path starts from this value.
+    pub fn mac_key(&self) -> &MacKey {
+        &self.0
+    }
 }
 
 impl std::fmt::Debug for AuthKey {

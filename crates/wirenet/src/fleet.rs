@@ -418,6 +418,15 @@ impl FleetServer {
         self.metrics.snapshot()
     }
 
+    /// Every evidence bundle the server's workers cut (up to the
+    /// `REFEREE_EVIDENCE_CAP` retention cap), in emission order. Each
+    /// one is self-contained: verify it with
+    /// [`verify_bundle`](referee_protocol::evidence::verify_bundle)
+    /// against the fleet key and the session's parameters alone.
+    pub fn evidence(&self) -> Vec<referee_protocol::evidence::EvidenceBundle> {
+        self.metrics.evidence()
+    }
+
     /// The server's causally-ordered flight-recorder timeline: the
     /// local ring's surviving events merged with every trace segment
     /// shipped by remote shard hosts (see `protocol::trace`).
@@ -801,6 +810,27 @@ impl FleetCore {
                     match lanes.get_mut(&env.session.0) {
                         Some(lane) => lane.verdict = Some(env.payload),
                         None => self.metrics.orphan_frames(1),
+                    }
+                    progress = true;
+                }
+                Ok(Some((FrameKind::Evidence, env))) => {
+                    // The server cut a bundle proving a protocol
+                    // violation on this fleet: log it (counter + capped
+                    // retention) so operators can pull it via
+                    // [`FleetClient::evidence`] and verify it
+                    // third-party against the session key schedule.
+                    self.metrics.frames_received(1);
+                    match referee_protocol::evidence::EvidenceBundle::decode(&env.payload) {
+                        Ok(bundle) => {
+                            self.metrics.record_evidence(&bundle);
+                            self.metrics.trace(
+                                env.session.0,
+                                trace_endpoint::CLIENT,
+                                TraceKind::Evidence,
+                                u64::from(env.from),
+                            );
+                        }
+                        Err(_) => self.metrics.decode_rejects(1),
                     }
                     progress = true;
                 }
@@ -1399,6 +1429,13 @@ impl FleetClient {
     /// Live client-side wire metrics.
     pub fn metrics(&self) -> WireSnapshot {
         self.core.metrics.snapshot()
+    }
+
+    /// Every evidence bundle the server shipped to this client (up to
+    /// the `REFEREE_EVIDENCE_CAP` retention cap), in arrival order —
+    /// the operator-side copy of the server's accountability log.
+    pub fn evidence(&self) -> Vec<referee_protocol::evidence::EvidenceBundle> {
+        self.core.metrics.evidence()
     }
 
     /// The client's flight-recorder timeline (session lifecycle events

@@ -78,6 +78,14 @@ pub enum FrameKind {
     /// stitching. Shipped piggy-backed on session teardown, never on the
     /// hot path.
     Trace = 8,
+    /// Server → client: a serialized
+    /// [`EvidenceBundle`](referee_protocol::evidence::EvidenceBundle)
+    /// proving a protocol violation (`session` names the session it was
+    /// cut from, `from` the accused principal — or 0 when the violation
+    /// is provable but not attributable). Shipped coordinator-ward at
+    /// the point the offending frame was rejected, so the operator holds
+    /// third-party-verifiable evidence before the session even fails.
+    Evidence = 9,
 }
 
 impl FrameKind {
@@ -92,6 +100,7 @@ impl FrameKind {
             6 => Some(FrameKind::Finish),
             7 => Some(FrameKind::Retire),
             8 => Some(FrameKind::Trace),
+            9 => Some(FrameKind::Evidence),
             _ => None,
         }
     }
@@ -454,6 +463,7 @@ mod tests {
             FrameKind::Finish,
             FrameKind::Retire,
             FrameKind::Trace,
+            FrameKind::Evidence,
         ] {
             let bytes = encode_wire_frame(&key(), kind, &e);
             let d = decode_frame(&key(), &bytes).unwrap().unwrap();

@@ -236,6 +236,63 @@
 //! track per session, readable in `chrome://tracing` or Perfetto
 //! (`examples/cross_host_shards.rs` wires all three triggers).
 //!
+//! # Accountability
+//!
+//! Every provable wire-level violation produces more than a dead
+//! session: the shard and multiround services package the offending
+//! MAC'd frames into self-contained
+//! [`EvidenceBundle`](referee_protocol::evidence::EvidenceBundle)s
+//! (see `referee_protocol::evidence` for the format and the no-framing
+//! argument). The load-bearing identity: an evidence record's body
+//! **is** the frame's MAC-covered region byte-for-byte, and its tag is
+//! the tag the client's own frame carried under the per-connection
+//! derived key (path `[conn]`) — so a bundle is the client's own
+//! signed bytes, not the referee's paraphrase.
+//!
+//! Bundles travel as [`FrameKind::Evidence`] frames (shipped
+//! coordinator-ward ahead of the verdict, `from` = the accused
+//! connection or 0), are counted by the
+//! [`WireSnapshot::evidence_bundles`] metric, stamped as
+//! `TraceKind::Evidence` on the flight recorder, and retained at both
+//! ends — [`FleetServer::evidence`] / [`FleetClient::evidence`] — up
+//! to the `REFEREE_EVIDENCE_CAP` retention cap ([`EVIDENCE_CAP_ENV`],
+//! default 1024; `0` disables retention, never emission). The
+//! `byzantine_fleet` example additionally dumps each retained bundle
+//! to `EVIDENCE_<k>_<i>.bin` when `REFEREE_EVIDENCE_DIR` names a
+//! directory, and CI re-uploads those as artifacts.
+//!
+//! Verification needs only the base key and the public session
+//! parameters — no live state, no trust in the referee:
+//!
+//! ```
+//! use referee_wirenet::{AuthKey, FleetClient, FleetServer};
+//! use referee_protocol::evidence::{verify_bundle, ProvableError, SessionParams};
+//! use referee_protocol::referee::local_phase;
+//! use referee_protocol::easy::EdgeCountProtocol;
+//! use referee_graph::generators;
+//! use referee_simnet::SessionId;
+//!
+//! let key = AuthKey::from_seed(44);
+//! let server = FleetServer::spawn_sharded(key, 2).unwrap();
+//! let client = FleetClient::connect(server.addr(), 1, key).unwrap();
+//! let g = generators::grid(2, 3);
+//! let messages = local_phase(&EdgeCountProtocol, &g);
+//!
+//! // An out-of-range stray takes node 1's slot: the session rejects…
+//! let mut arrivals: Vec<_> =
+//!     messages.iter().cloned().enumerate().map(|(i, m)| (i as u32 + 1, m)).collect();
+//! arrivals[0].0 = g.n() as u32 + 7;
+//! assert!(client.verify_session(SessionId(3), g.n(), arrivals).is_err());
+//!
+//! // …and leaves a third-party-checkable proof behind.
+//! let bundle = &server.evidence()[0];
+//! assert_eq!(bundle.error, ProvableError::OutOfRangeSender);
+//! let params = SessionParams { session: 3, n: g.n() as u32, round_cap: 1 };
+//! let att = verify_bundle(key.mac_key(), &params, bundle).unwrap();
+//! assert_eq!(att.culprit, bundle.accused);
+//! server.stop();
+//! ```
+//!
 //! # Example: a fleet over loopback TCP
 //!
 //! ```
@@ -298,17 +355,19 @@ pub use fleet::{
 };
 pub use frame::{
     decode_frame, decode_frames, encode_frame, encode_frame_into, encode_wire_frame,
-    DecodedFrame, FrameKind, WireError, WIRE_VERSION,
+    DecodedFrame, FrameKind, WireError, HEADER_BYTES, TAG_BYTES, WIRE_VERSION,
 };
-pub use metrics::{trace_endpoint, Stage, WireMetrics, WireSnapshot, TRACE_CAPACITY_ENV};
+pub use metrics::{
+    trace_endpoint, Stage, WireMetrics, WireSnapshot, EVIDENCE_CAP_ENV, TRACE_CAPACITY_ENV,
+};
 pub use multiround::{
     boruvka_connectivity_service, decode_bool_output, decode_graph_output, encode_bool_output,
     encode_graph_output, ProtocolReferee, RefereeStepper, ServiceCatalog, WireReferee,
     MAX_SERVICE_NAME_BYTES,
 };
 pub use placement::{
-    HostId, PlacementPolicy, RemotePlacement, ShardHost, ShardHostMode, DEFAULT_REDIAL_BACKOFF,
-    REDIAL_BACKOFF_ENV, SHARD_HOST_BIND_ENV,
+    link_key, link_key_path, shard_key, HostId, PlacementPolicy, RemotePlacement, ShardHost,
+    ShardHostMode, DEFAULT_REDIAL_BACKOFF, REDIAL_BACKOFF_ENV, SHARD_HOST_BIND_ENV,
 };
 pub use poll::{PollerBackend, POLLER_ENV};
 pub use shard::vector_digest;

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use referee_protocol::evidence::EvidenceBundle;
 use referee_protocol::hist::{HistSnapshot, LatencyHistogram};
 use referee_protocol::trace::{self, FlightRecorder, TraceKind, TraceSnapshot};
 
@@ -15,12 +16,29 @@ use referee_protocol::trace::{self, FlightRecorder, TraceKind, TraceSnapshot};
 /// [`DEFAULT_TRACE_CAPACITY`](referee_protocol::trace::DEFAULT_TRACE_CAPACITY).
 pub const TRACE_CAPACITY_ENV: &str = "REFEREE_TRACE_CAPACITY";
 
+/// Environment variable capping the per-endpoint evidence-bundle log
+/// (bundles retained in memory; the `evidence_bundles` counter keeps
+/// counting past the cap). `0` disables retention entirely; unset or
+/// unparsable keeps [`DEFAULT_EVIDENCE_CAP`].
+pub const EVIDENCE_CAP_ENV: &str = "REFEREE_EVIDENCE_CAP";
+
+/// Default number of [`EvidenceBundle`]s retained per endpoint. Bundles
+/// are a few dozen bytes each, and a healthy fleet emits none, so the
+/// cap only guards against a hostile peer grinding out violations.
+pub const DEFAULT_EVIDENCE_CAP: usize = 1024;
+
 /// Resolve a recorder capacity from the env value (passed as a
 /// parameter so unit tests never mutate the process environment —
 /// the same discipline as [`WireTimeouts`](crate::WireTimeouts)).
 pub(crate) fn resolve_trace_capacity(env: Option<&str>) -> usize {
     env.and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(referee_protocol::trace::DEFAULT_TRACE_CAPACITY)
+}
+
+/// Resolve the evidence-log cap from the env value (same parameter
+/// discipline as [`resolve_trace_capacity`]).
+pub(crate) fn resolve_evidence_cap(env: Option<&str>) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(DEFAULT_EVIDENCE_CAP)
 }
 
 /// Endpoint-id conventions for [`TraceEvent`](referee_protocol::TraceEvent)s
@@ -147,6 +165,7 @@ pub struct WireMetrics {
     downlink_frames: AtomicU64,
     shard_reconnects: AtomicU64,
     replayed_frames: AtomicU64,
+    evidence_bundles: AtomicU64,
     /// `write(2)`/`read(2)` syscall counters, `Arc`-shared so every
     /// connection carries a cheap [`SyscallMeter`] clone into the
     /// reactor layer.
@@ -162,6 +181,11 @@ pub struct WireMetrics {
     /// [`WireMetrics::stitched_trace`]. Only touched at segment-ship
     /// and post-mortem time, so a mutex is fine here.
     remote_trace: Mutex<TraceSnapshot>,
+    /// Evidence bundles cut (or received) by this endpoint, capped at
+    /// `evidence_cap` ([`EVIDENCE_CAP_ENV`]). Violations are rare and
+    /// off the hot path, so a mutex is fine here too.
+    evidence_log: Mutex<Vec<EvidenceBundle>>,
+    evidence_cap: usize,
 }
 
 impl Default for WireMetrics {
@@ -203,6 +227,7 @@ impl WireMetrics {
             downlink_frames: AtomicU64::new(0),
             shard_reconnects: AtomicU64::new(0),
             replayed_frames: AtomicU64::new(0),
+            evidence_bundles: AtomicU64::new(0),
             write_syscalls: Arc::new(AtomicU64::new(0)),
             read_syscalls: Arc::new(AtomicU64::new(0)),
             stages: std::array::from_fn(|_| LatencyHistogram::new()),
@@ -215,6 +240,8 @@ impl WireMetrics {
                 trace::wall_clock_us(),
             )),
             remote_trace: Mutex::new(TraceSnapshot::new()),
+            evidence_log: Mutex::new(Vec::new()),
+            evidence_cap: resolve_evidence_cap(std::env::var(EVIDENCE_CAP_ENV).ok().as_deref()),
         }
     }
 
@@ -283,6 +310,22 @@ impl WireMetrics {
         self.remote_trace.lock().expect("remote trace lock").merge(snap);
     }
 
+    /// Log one [`EvidenceBundle`] cut (or received) by this endpoint:
+    /// bumps the `evidence_bundles` counter unconditionally and retains
+    /// the bundle up to the [`EVIDENCE_CAP_ENV`] cap.
+    pub fn record_evidence(&self, bundle: &EvidenceBundle) {
+        self.evidence_bundles.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.evidence_log.lock().expect("evidence log lock");
+        if log.len() < self.evidence_cap {
+            log.push(bundle.clone());
+        }
+    }
+
+    /// A copy of every retained [`EvidenceBundle`], in emission order.
+    pub fn evidence(&self) -> Vec<EvidenceBundle> {
+        self.evidence_log.lock().expect("evidence log lock").clone()
+    }
+
     /// One causally-ordered timeline: the local ring's surviving events
     /// merged with every absorbed remote segment.
     pub fn stitched_trace(&self) -> TraceSnapshot {
@@ -309,6 +352,7 @@ impl WireMetrics {
             downlink_frames: self.downlink_frames.load(Ordering::Relaxed),
             shard_reconnects: self.shard_reconnects.load(Ordering::Relaxed),
             replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            evidence_bundles: self.evidence_bundles.load(Ordering::Relaxed),
             write_syscalls: self.write_syscalls.load(Ordering::Relaxed),
             read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
             trace_drops: self.recorder.dropped(),
@@ -360,6 +404,11 @@ pub struct WireSnapshot {
     /// Remote placement only: journaled frames resent to a reconnected
     /// shard host (announcements excluded).
     pub replayed_frames: u64,
+    /// Evidence bundles cut (server) or received (client) — see
+    /// [`WireMetrics::record_evidence`] and
+    /// [`referee_protocol::evidence`]. Nonzero means a peer committed a
+    /// provable protocol violation.
+    pub evidence_bundles: u64,
     /// `write(2)` syscalls issued by this endpoint's connections
     /// (would-block attempts included). With the batched write path,
     /// this should sit well below `frames_sent` — see
@@ -416,6 +465,7 @@ impl WireSnapshot {
             downlink_frames: self.downlink_frames.saturating_sub(earlier.downlink_frames),
             shard_reconnects: self.shard_reconnects.saturating_sub(earlier.shard_reconnects),
             replayed_frames: self.replayed_frames.saturating_sub(earlier.replayed_frames),
+            evidence_bundles: self.evidence_bundles.saturating_sub(earlier.evidence_bundles),
             write_syscalls: self.write_syscalls.saturating_sub(earlier.write_syscalls),
             read_syscalls: self.read_syscalls.saturating_sub(earlier.read_syscalls),
             trace_drops: self.trace_drops.saturating_sub(earlier.trace_drops),
@@ -430,8 +480,8 @@ impl std::fmt::Display for WireSnapshot {
             f,
             "conns {} | frames {}/{} | bytes {}/{} | mac-rejects {} | decode-rejects {} | \
              stalls {} | tampered {} | orphans {} | partials {} | verdicts {} | downlinks {} \
-             | shard-reconnects {} | replays {} | syscalls {}w/{}r ({:.1} frames/write) | \
-             trace-drops {}",
+             | shard-reconnects {} | replays {} | evidence {} | \
+             syscalls {}w/{}r ({:.1} frames/write) | trace-drops {}",
             self.connections,
             self.frames_sent,
             self.frames_received,
@@ -447,6 +497,7 @@ impl std::fmt::Display for WireSnapshot {
             self.downlink_frames,
             self.shard_reconnects,
             self.replayed_frames,
+            self.evidence_bundles,
             self.write_syscalls,
             self.read_syscalls,
             self.frames_per_write(),
@@ -549,6 +600,39 @@ mod tests {
             m.trace(i, trace_endpoint::SERVER, TraceKind::Uplink, i);
         }
         assert_eq!(m.snapshot().delta(&s).trace_drops, 2);
+    }
+
+    #[test]
+    fn evidence_log_counts_and_caps() {
+        use referee_protocol::evidence::{EvidenceBundle, EvidenceRecord, ProvableError};
+        let bundle = EvidenceBundle {
+            error: ProvableError::OutOfRangeSender,
+            accused: Some(9),
+            records: vec![EvidenceRecord { path: vec![7], body: vec![1, 2, 3], tag: 42 }],
+        };
+        let m = WireMetrics { evidence_cap: 2, ..WireMetrics::default() };
+        for _ in 0..5 {
+            m.record_evidence(&bundle);
+        }
+        // The counter keeps counting past the cap; the log stops.
+        let s = m.snapshot();
+        assert_eq!(s.evidence_bundles, 5);
+        assert_eq!(m.evidence().len(), 2);
+        assert_eq!(m.evidence()[0], bundle);
+        assert!(format!("{s}").contains("evidence 5"));
+        // Delta isolates phases for the evidence counter too.
+        m.record_evidence(&bundle);
+        assert_eq!(m.snapshot().delta(&s).evidence_bundles, 1);
+    }
+
+    #[test]
+    fn evidence_cap_resolution_precedence() {
+        assert_eq!(resolve_evidence_cap(None), DEFAULT_EVIDENCE_CAP);
+        assert_eq!(resolve_evidence_cap(Some("16")), 16);
+        assert_eq!(resolve_evidence_cap(Some(" 8 ")), 8);
+        // 0 is a *valid* setting: it disables retention (not counting).
+        assert_eq!(resolve_evidence_cap(Some("0")), 0);
+        assert_eq!(resolve_evidence_cap(Some("junk")), DEFAULT_EVIDENCE_CAP);
     }
 
     #[test]

@@ -66,7 +66,8 @@ use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::poll::{fd_of, Poller, PollerBackend, Readiness, Waker};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
-use crate::shard::acc_first_order;
+use crate::shard::{acc_first_order, build_evidence, evidence_record, evidence_record_for};
+use referee_protocol::evidence::{EvidenceRecord, ProvableError};
 use referee_protocol::multiround::RefereeStep;
 use referee_protocol::shard::multiround::{RoundPartialState, RoundShard};
 use referee_protocol::shard::{route_arrival, shard_range, Arrival};
@@ -202,6 +203,9 @@ enum MrOutbound {
     Downlinks { conn: u32, session: SessionId, round: u32, msgs: Vec<Message> },
     /// The session's terminal verdict.
     Verdict { conn: u32, session: SessionId, payload: Message },
+    /// A serialized evidence bundle for a provable violation observed
+    /// on `conn` (any worker; judges nothing — the session stays live).
+    Evidence { conn: u32, session: SessionId, from: u32, payload: Message },
 }
 
 /// The outbound channel paired with the router poller's waker: mpsc
@@ -284,9 +288,10 @@ pub(crate) fn run_multiround_server(
             let tx0 = if i == 0 { None } else { Some(worker_txs[0].clone()) };
             let otx = OutTx { tx: out_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
+            let base = &key;
             let catalog = Arc::clone(&catalog);
             scope.spawn(move || {
-                mr_worker(i, shards, rx, tx0, otx, exchange_key, catalog, metrics, true)
+                mr_worker(i, shards, rx, tx0, otx, exchange_key, base, catalog, metrics, true)
             });
         }
         drop(out_tx);
@@ -354,9 +359,21 @@ pub(crate) fn run_multiround_server_remote(
         {
             let otx = OutTx { tx: out_tx.clone(), waker: poller.waker() };
             let exchange_key = &exchange_key;
+            let base = &key;
             let catalog = Arc::clone(&catalog);
             scope.spawn(move || {
-                mr_worker(0, shards, acc_rx, None, otx, exchange_key, catalog, metrics, false)
+                mr_worker(
+                    0,
+                    shards,
+                    acc_rx,
+                    None,
+                    otx,
+                    exchange_key,
+                    base,
+                    catalog,
+                    metrics,
+                    false,
+                )
             });
         }
         for (i, rx) in proxy_rxs.into_iter().enumerate() {
@@ -679,6 +696,21 @@ fn mr_route(
                             .send(MrMsg::Finish { conn: cid, session: session.0 });
                     }
                 }
+                MrOutbound::Evidence { conn: cid, session, from, payload } => {
+                    match gates.iter_mut().find(|(id, c)| *id == cid && c.is_open()) {
+                        Some((_, conn)) => {
+                            if !touched.contains(&cid) {
+                                touched.push(cid);
+                            }
+                            let env = Envelope { session, round: 0, from, to: 0, payload };
+                            let frame_len =
+                                conn.queue_frame_mut(FrameKind::Evidence, &env).len();
+                            metrics.frames_sent(1);
+                            metrics.bytes_sent(frame_len as u64);
+                        }
+                        None => metrics.orphan_frames(1),
+                    }
+                }
             }
             progress = true;
         }
@@ -717,6 +749,44 @@ fn nonempty_shards(n: usize, shards: usize) -> usize {
     (0..shards).filter(|&i| !shard_range(n, shards, i).is_empty()).count()
 }
 
+/// Build, self-verify, and ship an evidence bundle for a multi-round
+/// session — the mr twin of the one-round service's `emit_evidence`.
+/// The bundle rides the worker→router outbound channel as an
+/// [`MrOutbound::Evidence`] and reaches the client as a
+/// [`FrameKind::Evidence`] frame; it never touches round/verdict
+/// bookkeeping, so the session's failure path is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn mr_evidence(
+    index: usize,
+    base: &AuthKey,
+    session: u64,
+    ws: &MrSession,
+    error: ProvableError,
+    records: Vec<EvidenceRecord>,
+    otx: &OutTx,
+    metrics: &WireMetrics,
+) {
+    let Some(bundle) = build_evidence(
+        base,
+        ws.conn,
+        session,
+        ws.n,
+        ws.cap as u32,
+        error,
+        records,
+        trace_endpoint::worker(index as u32),
+        metrics,
+    ) else {
+        return;
+    };
+    otx.send(MrOutbound::Evidence {
+        conn: ws.conn,
+        session: SessionId(session),
+        from: bundle.accused.unwrap_or(0),
+        payload: bundle.encode(),
+    });
+}
+
 /// One multi-round shard worker: owns shard `index` of every announced
 /// session's per-round uplink wait. With `owns_range` false (remote
 /// placement) the worker collects nothing itself — it keeps only the
@@ -730,6 +800,7 @@ fn mr_worker(
     tx0: Option<Sender<MrMsg>>,
     otx: OutTx,
     exchange_key: &AuthKey,
+    base: &AuthKey,
     catalog: Arc<ServiceCatalog>,
     metrics: &WireMetrics,
     owns_range: bool,
@@ -782,21 +853,79 @@ fn mr_worker(
                     metrics.orphan_frames(1);
                     continue;
                 };
+                let cap = ws.cap as u32;
                 if env.from == 0 || env.from as usize > ws.n {
                     // Out-of-range stray: recorded round-agnostically —
                     // it poisons the current shard and fails the
                     // session fast, whatever round it claimed.
+                    mr_evidence(
+                        index,
+                        base,
+                        session,
+                        ws,
+                        ProvableError::OutOfRangeSender,
+                        vec![evidence_record(base, conn, &env)],
+                        &otx,
+                        metrics,
+                    );
                     let _ = ws.shard.ingest(env.from, env.payload);
                 } else if env.round == ws.shard.round() {
-                    match ws.shard.ingest(env.from, env.payload) {
+                    match ws.shard.ingest(env.from, env.payload.clone()) {
                         Ok(Arrival::Fresh) | Ok(Arrival::OutOfRange) => {}
-                        Ok(Arrival::Duplicate { .. }) => ws.shard.note_duplicate(env.from),
+                        Ok(Arrival::Duplicate { identical }) => {
+                            let (error, records) = if identical {
+                                // Provable but NOT attributable: an
+                                // at-least-once network duplicates
+                                // frames too, so nobody is accused.
+                                let rec = evidence_record(base, conn, &env);
+                                (ProvableError::DuplicateSender, vec![rec.clone(), rec])
+                            } else {
+                                // Equivocation: the recorded original
+                                // and the conflicting arrival, signed
+                                // into the same (round, sender) slot.
+                                match ws.shard.message_for(env.from).cloned() {
+                                    Some(prev) => (
+                                        ProvableError::Equivocation,
+                                        vec![
+                                            evidence_record_for(base, conn, &env, &prev),
+                                            evidence_record(base, conn, &env),
+                                        ],
+                                    ),
+                                    None => (ProvableError::Equivocation, Vec::new()),
+                                }
+                            };
+                            if !records.is_empty() {
+                                mr_evidence(
+                                    index, base, session, ws, error, records, &otx, metrics,
+                                );
+                            }
+                            ws.shard.note_duplicate(env.from);
+                        }
                         Err(_) => {
                             // Router/worker range disagreement — a bug,
                             // not wire data; surfaced in metrics.
                             metrics.decode_rejects(1);
                             continue;
                         }
+                    }
+                } else if env.round == 0 || env.round > cap {
+                    // A round stamp outside 1..=cap can never be an
+                    // honest uplink of this session — provable on the
+                    // frame alone. Round 0 would otherwise be absorbed
+                    // as a harmless straggler; past-cap stamps poison
+                    // like any other race-ahead below.
+                    mr_evidence(
+                        index,
+                        base,
+                        session,
+                        ws,
+                        ProvableError::WrongRound,
+                        vec![evidence_record(base, conn, &env)],
+                        &otx,
+                        metrics,
+                    );
+                    if env.round > cap {
+                        ws.shard.note_duplicate(env.from);
                     }
                 } else if env.round < ws.shard.round() {
                     // A straggler behind an already-emitted round

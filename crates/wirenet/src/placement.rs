@@ -143,6 +143,17 @@ pub fn link_key(base: &AuthKey, index: usize, generation: u32) -> AuthKey {
     shard_key(base, index).derive(generation as u64)
 }
 
+/// [`link_key`]'s derivation expressed as an evidence-record path —
+/// `[placement tweak, index, generation]` — so a frame captured under a
+/// superseded generation can be packaged into a
+/// [`ProvableError::StaleReplay`](referee_protocol::evidence::ProvableError)
+/// bundle: the stale record paired with a context record whose path
+/// differs only in a *newer* final (generation) element. Folding the
+/// base key through this path yields exactly [`link_key`]'s MAC key.
+pub fn link_key_path(index: usize, generation: u32) -> Vec<u64> {
+    vec![PLACEMENT_TWEAK, index as u64, u64::from(generation)]
+}
+
 /// Which referee service a shard-host link serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardHostMode {

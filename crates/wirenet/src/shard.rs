@@ -60,6 +60,10 @@ use crate::metrics::{trace_endpoint, Stage, WireMetrics};
 use crate::placement::{run_proxy, ProxyConfig, ProxyEvent, RemotePlacement, ShardHostMode};
 use crate::poll::{fd_of, Poller, PollerBackend, Readiness, Waker};
 use crate::reactor::{Conn, SCRATCH_BYTES, WRITE_BACKPRESSURE_BYTES};
+use referee_protocol::evidence::{
+    encode_record_body, verify_bundle, EvidenceBundle, EvidenceRecord, ProvableError,
+    SessionParams,
+};
 use referee_protocol::shard::{route_arrival, Arrival, PartialState, RefereeShard};
 use referee_protocol::trace::TraceKind;
 use referee_protocol::{BitWriter, DecodeError, Message};
@@ -170,10 +174,17 @@ pub(crate) enum ShardMsg {
     Retire { conn: u32 },
 }
 
-/// Worker 0 → router: a verdict to deliver.
+/// Worker → router: a frame to deliver to a client — a session verdict
+/// ([`FrameKind::Verdict`], worker 0 only) or an evidence bundle
+/// ([`FrameKind::Evidence`], any worker that observed a provable
+/// violation).
 struct VerdictMsg {
     conn: u32,
     session: SessionId,
+    kind: FrameKind,
+    /// The frame's `from` field: 0 for verdicts, the accused principal
+    /// (or 0 when unattributable) for evidence.
+    from: u32,
     payload: Message,
 }
 
@@ -211,6 +222,12 @@ struct WorkerSession {
     /// `None` once the shard completed (or poisoned) and its partial
     /// was emitted.
     shard: Option<RefereeShard>,
+    /// Every Fresh uplink this worker's range accepted, retained past
+    /// the partial's emission: a late conflicting frame for an
+    /// already-shipped range must still be provable as equivocation
+    /// (the shard itself is gone by then — see the `None` arm of the
+    /// data path). Bounded by the session's range width and lifetime.
+    transcript: Vec<(u32, Message)>,
     /// Worker 0 only: the merge accumulator and quorum progress.
     acc: PartialState,
     merged: usize,
@@ -525,24 +542,32 @@ fn route(
                     let env = Envelope {
                         session: v.session,
                         round: 0,
-                        from: 0,
+                        from: v.from,
                         to: 0,
                         payload: v.payload,
                     };
                     if !touched.contains(&v.conn) {
                         touched.push(v.conn);
                     }
-                    let frame_len = conn.queue_frame_mut(FrameKind::Verdict, &env).len();
+                    let frame_len = conn.queue_frame_mut(v.kind, &env).len();
                     metrics.frames_sent(1);
                     metrics.bytes_sent(frame_len as u64);
-                    metrics.trace(
-                        v.session.0,
-                        trace_endpoint::SERVER,
-                        TraceKind::Verdict,
-                        u64::from(v.conn),
-                    );
+                    if v.kind == FrameKind::Verdict {
+                        metrics.trace(
+                            v.session.0,
+                            trace_endpoint::SERVER,
+                            TraceKind::Verdict,
+                            u64::from(v.conn),
+                        );
+                    }
                 }
                 None => metrics.orphan_frames(1),
+            }
+            // Evidence frames ride the verdict channel but judge
+            // nothing: the session stays live.
+            if v.kind != FrameKind::Verdict {
+                progress = true;
+                continue;
             }
             // The session is judged: mark its route finished (late data
             // becomes straggle, the id becomes re-announceable) and let
@@ -622,6 +647,7 @@ fn shard_worker(
                     n,
                     epoch,
                     shard: owns_range.then(|| RefereeShard::new(n, shards, index)),
+                    transcript: Vec::new(),
                     acc: PartialState::new(n),
                     merged: 0,
                     opened: Instant::now(),
@@ -638,24 +664,130 @@ fn shard_worker(
                     metrics.orphan_frames(1);
                     continue;
                 };
+                // One-round uplinks are stamped round 1 by contract;
+                // any other stamp is a provable violation. Evidence
+                // only — ingestion below is unchanged, so the verdict
+                // shape stays what it always was.
+                if env.round != 1 {
+                    let rec = evidence_record(base, conn, &env);
+                    emit_evidence(
+                        index,
+                        base,
+                        conn,
+                        session,
+                        ws.n,
+                        ProvableError::WrongRound,
+                        vec![rec],
+                        &vtx,
+                        metrics,
+                    );
+                }
                 match ws.shard.as_mut() {
-                    Some(shard) => match shard.ingest(env.from, env.payload) {
-                        Ok(Arrival::Fresh) | Ok(Arrival::OutOfRange) => {}
-                        Ok(Arrival::Duplicate { .. }) => shard.note_duplicate(env.from),
-                        Err(_) => {
-                            // Router/worker disagreement on ranges — a
-                            // bug, not wire data; surfaced in metrics.
-                            metrics.decode_rejects(1);
-                            continue;
+                    Some(shard) => {
+                        match shard.ingest(env.from, env.payload.clone()) {
+                            Ok(Arrival::Fresh) => {
+                                ws.transcript.push((env.from, env.payload.clone()));
+                            }
+                            Ok(Arrival::OutOfRange) => {
+                                let rec = evidence_record(base, conn, &env);
+                                emit_evidence(
+                                    index,
+                                    base,
+                                    conn,
+                                    session,
+                                    ws.n,
+                                    ProvableError::OutOfRangeSender,
+                                    vec![rec],
+                                    &vtx,
+                                    metrics,
+                                );
+                            }
+                            Ok(Arrival::Duplicate { identical }) => {
+                                let records = if identical {
+                                    // Provable but NOT attributable: an
+                                    // at-least-once network duplicates
+                                    // frames too, so nobody is accused.
+                                    let rec = evidence_record(base, conn, &env);
+                                    vec![rec.clone(), rec]
+                                } else {
+                                    // Equivocation: the recorded
+                                    // original and the conflicting
+                                    // arrival, signed into the same
+                                    // (round, sender) slot.
+                                    match shard.message_for(env.from).cloned() {
+                                        Some(prev) => vec![
+                                            evidence_record_for(base, conn, &env, &prev),
+                                            evidence_record(base, conn, &env),
+                                        ],
+                                        None => Vec::new(),
+                                    }
+                                };
+                                if !records.is_empty() {
+                                    let error = if identical {
+                                        ProvableError::DuplicateSender
+                                    } else {
+                                        ProvableError::Equivocation
+                                    };
+                                    emit_evidence(
+                                        index, base, conn, session, ws.n, error, records, &vtx,
+                                        metrics,
+                                    );
+                                }
+                                shard.note_duplicate(env.from);
+                            }
+                            Err(_) => {
+                                // Router/worker disagreement on ranges —
+                                // a bug, not wire data; surfaced in
+                                // metrics.
+                                metrics.decode_rejects(1);
+                                continue;
+                            }
                         }
-                    },
+                    }
                     None => {
                         // The range partial already shipped, so this
                         // arrival is by definition a duplicate (the
                         // shard only ships once its range is full) or an
-                        // out-of-range stray: report the fault so the
-                        // session fails fast instead of wedging a
-                        // not-yet-complete sibling shard's wait.
+                        // out-of-range stray. The shard's state is gone,
+                        // but the retained transcript still proves what
+                        // the sender originally said — so the violation
+                        // stays attributable even here.
+                        let (error, records) = if env.from == 0 || env.from as usize > ws.n {
+                            let rec = evidence_record(base, conn, &env);
+                            (ProvableError::OutOfRangeSender, vec![rec])
+                        } else {
+                            match ws
+                                .transcript
+                                .iter()
+                                .find(|(f, _)| *f == env.from)
+                                .map(|(_, m)| m.clone())
+                            {
+                                Some(prev) if prev == env.payload => {
+                                    let rec = evidence_record(base, conn, &env);
+                                    (ProvableError::DuplicateSender, vec![rec.clone(), rec])
+                                }
+                                Some(prev) => (
+                                    ProvableError::Equivocation,
+                                    vec![
+                                        evidence_record_for(base, conn, &env, &prev),
+                                        evidence_record(base, conn, &env),
+                                    ],
+                                ),
+                                // An in-range sender this worker
+                                // never accepted: a router/worker
+                                // range disagreement, nothing to
+                                // prove from this frame alone.
+                                None => (ProvableError::Equivocation, Vec::new()),
+                            }
+                        };
+                        if !records.is_empty() {
+                            emit_evidence(
+                                index, base, conn, session, ws.n, error, records, &vtx, metrics,
+                            );
+                        }
+                        // Report the fault so the session fails fast
+                        // instead of wedging a not-yet-complete sibling
+                        // shard's wait.
                         let poison = PartialState::poison_notice(ws.n, env.from);
                         // A poison notice is a few bits — never oversized.
                         let _ = apply_partial(
@@ -873,7 +1005,101 @@ fn send_verdict(
     vtx.send(VerdictMsg {
         conn: ws.conn,
         session: SessionId(session),
+        kind: FrameKind::Verdict,
+        from: 0,
         payload: encode_verdict(&result),
+    });
+}
+
+/// Re-sign one client payload as a transcript record. The evidence
+/// record body layout is byte-for-byte the wire frame's MAC-covered
+/// body, and the record key path `[conn]` folds to the connection key
+/// both ends already derived — so a record cut from a decoded arrival
+/// carries exactly the tag the client's frame did (pinned by tests).
+pub(crate) fn evidence_record_for(
+    base: &AuthKey,
+    conn: u32,
+    env: &Envelope,
+    payload: &Message,
+) -> EvidenceRecord {
+    let body = encode_record_body(
+        crate::frame::WIRE_VERSION,
+        FrameKind::Data as u8,
+        env.session.0,
+        env.round,
+        env.from,
+        env.to,
+        payload,
+    );
+    EvidenceRecord::sign(base.mac_key(), vec![u64::from(conn)], body)
+}
+
+/// [`evidence_record_for`] over the arrival's own payload.
+pub(crate) fn evidence_record(base: &AuthKey, conn: u32, env: &Envelope) -> EvidenceRecord {
+    evidence_record_for(base, conn, env, &env.payload)
+}
+
+/// Assemble and self-verify one evidence bundle accusing `conn` (when
+/// the error is attributable). `None` means the offending frame's
+/// fields fall outside the self-contained shape rules (say, a data
+/// frame addressed off the referee) and prove nothing to a third party
+/// — the accountability layer never ships a bundle `verify_bundle`
+/// would bounce. Also logs the bundle on `metrics` and traces the
+/// emission.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_evidence(
+    base: &AuthKey,
+    conn: u32,
+    session: u64,
+    n: usize,
+    round_cap: u32,
+    error: ProvableError,
+    records: Vec<EvidenceRecord>,
+    endpoint: u32,
+    metrics: &WireMetrics,
+) -> Option<EvidenceBundle> {
+    let accused = error.attributable().then_some(conn);
+    let bundle = EvidenceBundle { error, accused, records };
+    let params = SessionParams { session, n: n as u32, round_cap };
+    verify_bundle(base.mac_key(), &params, &bundle).ok()?;
+    metrics.record_evidence(&bundle);
+    metrics.trace(session, endpoint, TraceKind::Evidence, u64::from(accused.unwrap_or(0)));
+    Some(bundle)
+}
+
+/// [`build_evidence`] for the one-round service, shipped client-ward
+/// through the worker's verdict channel.
+#[allow(clippy::too_many_arguments)]
+fn emit_evidence(
+    index: usize,
+    base: &AuthKey,
+    conn: u32,
+    session: u64,
+    n: usize,
+    error: ProvableError,
+    records: Vec<EvidenceRecord>,
+    vtx: &VerdictTx,
+    metrics: &WireMetrics,
+) {
+    let Some(bundle) = build_evidence(
+        base,
+        conn,
+        session,
+        n,
+        1,
+        error,
+        records,
+        trace_endpoint::worker(index as u32),
+        metrics,
+    ) else {
+        return;
+    };
+    vtx.send(VerdictMsg {
+        conn,
+        session: SessionId(session),
+        kind: FrameKind::Evidence,
+        from: bundle.accused.unwrap_or(0),
+        payload: bundle.encode(),
     });
 }
 
